@@ -1,0 +1,94 @@
+// Shared scaffolding for the paper-reproduction bench binaries.
+//
+// Every binary regenerates one table or figure of the paper: it runs the
+// relevant setting REPRO_RUNS times per data point (default 60; the paper
+// used 500 — set REPRO_RUNS=500 for full fidelity), prints the regenerated
+// rows/series, and annotates them with the values the paper reports so the
+// shape comparison is immediate.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hpp"
+#include "exp/csv_export.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+
+namespace smartexp3::bench {
+
+/// The seven decentralized-learning algorithms of the paper's Fig 2 (the
+/// Centralized and Fixed Random baselines never switch / never learn and are
+/// reported separately where the paper does so).
+inline const std::vector<std::string>& learning_algorithms() {
+  static const std::vector<std::string> algos = {
+      "exp3",        "block_exp3",         "hybrid_block_exp3",
+      "smart_exp3_noreset", "smart_exp3",  "greedy",
+      "full_information"};
+  return algos;
+}
+
+/// All nine algorithms in the paper's Table V order.
+inline const std::vector<std::string>& all_algorithms() {
+  static const std::vector<std::string> algos = {
+      "exp3",       "block_exp3", "hybrid_block_exp3", "smart_exp3_noreset",
+      "smart_exp3", "greedy",     "full_information",  "centralized",
+      "fixed_random"};
+  return algos;
+}
+
+/// Pretty label used in tables.
+inline std::string label_of(const std::string& policy) {
+  if (policy == "exp3") return "EXP3";
+  if (policy == "block_exp3") return "Block EXP3";
+  if (policy == "hybrid_block_exp3") return "Hybrid Block EXP3";
+  if (policy == "smart_exp3_noreset") return "Smart EXP3 w/o Reset";
+  if (policy == "smart_exp3") return "Smart EXP3";
+  if (policy == "greedy") return "Greedy";
+  if (policy == "full_information") return "Full Information";
+  if (policy == "centralized") return "Centralized";
+  if (policy == "fixed_random") return "Fixed Random";
+  return policy;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_run_banner(const std::string& artifact, int runs) {
+  std::cout << "########################################################\n"
+            << "# Reproduction of " << artifact << '\n'
+            << "# runs per data point: " << runs
+            << " (paper: 500; set REPRO_RUNS to change)\n"
+            << "########################################################\n";
+}
+
+inline void print_elapsed(const Stopwatch& sw) {
+  std::cout << "\n[elapsed " << exp::fmt(sw.seconds(), 1) << " s]\n";
+}
+
+/// If REPRO_CSV_DIR is set, write the labelled series there as
+/// <dir>/<artifact>.csv (one column per series) for external plotting.
+inline void maybe_export_series(const std::string& artifact,
+                                const std::vector<std::string>& names,
+                                const std::vector<std::vector<double>>& series) {
+  const char* dir = std::getenv("REPRO_CSV_DIR");
+  if (dir == nullptr || series.empty()) return;
+  const std::string path = std::string(dir) + "/" + artifact + ".csv";
+  exp::write_series_csv(path, names, series);
+  std::cout << "[csv] wrote " << path << '\n';
+}
+
+}  // namespace smartexp3::bench

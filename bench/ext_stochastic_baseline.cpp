@@ -1,0 +1,62 @@
+// Extension bench (beyond the paper's figures): adversarial vs stochastic
+// bandits in the congestion game. The paper argues (§II, §VIII) that network
+// selection must be modelled *adversarially* because the other devices'
+// choices make rewards non-stationary; stochastic-bandit algorithms like
+// UCB1 assume i.i.d. rewards per arm. This bench quantifies that argument:
+// UCB1 vs the EXP3 family on setting 1, static and under the Fig-8 style
+// departure shock.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  const int runs = exp::repro_runs();
+  print_run_banner("extension: stochastic (UCB1) vs adversarial bandits", runs);
+  Stopwatch sw;
+
+  const std::vector<std::string> algos = {"ucb1", "exp3", "smart_exp3"};
+
+  exp::print_heading("Static setting 1 — 20 devices");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& algo : algos) {
+    auto cfg = exp::static_setting1(algo);
+    const auto results = exp::run_many(cfg, runs);
+    const auto series = exp::mean_distance_series(results);
+    double tail = 0.0;
+    for (std::size_t i = series.size() - 100; i < series.size(); ++i) tail += series[i];
+    tail /= 100.0;
+    rows.push_back({label_of(algo) == algo ? algo : label_of(algo),
+                    exp::fmt(exp::switch_summary(results).mean, 1),
+                    exp::fmt(tail, 1),
+                    exp::fmt(100.0 * exp::mean_eps_fraction(results), 1),
+                    exp::fmt(exp::mean_of_run_median_download_mb(results) / 1024.0, 2)});
+  }
+  exp::print_table({"algorithm", "switches", "tail distance %", "%slots@eps-eq",
+                    "median DL (GB)"},
+                   rows);
+
+  exp::print_heading("Departure shock (16 of 20 leave at t=600)");
+  rows.clear();
+  for (const auto& algo : algos) {
+    auto cfg = exp::dynamic_leave_setting(algo);
+    const auto results = exp::run_many(cfg, runs);
+    const auto series = exp::mean_distance_series(results);
+    double tail = 0.0;
+    for (std::size_t i = series.size() - 200; i < series.size(); ++i) tail += series[i];
+    tail /= 200.0;
+    rows.push_back({label_of(algo) == algo ? algo : label_of(algo),
+                    exp::fmt(tail, 1)});
+  }
+  exp::print_table({"algorithm", "post-shock tail distance %"}, rows);
+
+  std::cout << "\nExpected: under congestion UCB1's stationarity assumption breaks\n"
+               "down completely — every arm's mean drifts with the other devices'\n"
+               "choices, optimism never settles, and UCB1 thrashes (switching\n"
+               "nearly every slot, worst download, enormous distance). Its low\n"
+               "post-shock distance is an artifact of that same thrashing (four\n"
+               "round-robining devices spread evenly by accident). This is the\n"
+               "paper's case for the adversarial formulation in this problem.\n";
+  print_elapsed(sw);
+  return 0;
+}

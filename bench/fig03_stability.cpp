@@ -1,0 +1,45 @@
+// Paper Figure 3: percentage of runs that reach a stable state (Definition
+// 2) and whether that state is a Nash equilibrium, for the three blocking
+// variants (EXP3 and Full Information never stabilize; Smart EXP3 with
+// resets is excluded by definition).
+//
+// Expected shape: Block EXP3 stabilizes in a minority of runs and rarely at
+// NE; the greedy policy (Hybrid) raises the rate sharply; the switch-back
+// mechanism (Smart w/o Reset) pins nearly 100 % of runs at NE.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  const int runs = exp::repro_runs();
+  print_run_banner("Figure 3 (stable-state rates)", runs);
+  Stopwatch sw;
+
+  const std::vector<std::string> algos = {"block_exp3", "hybrid_block_exp3",
+                                          "smart_exp3_noreset"};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& algo : algos) {
+    for (const int setting : {1, 2}) {
+      auto cfg = setting == 1 ? exp::static_setting1(algo) : exp::static_setting2(algo);
+      cfg.recorder.track_stability = true;
+      const auto s = exp::stability_summary(exp::run_many(cfg, runs));
+      rows.push_back({label_of(algo), std::to_string(setting),
+                      exp::fmt(100.0 * s.stable_fraction, 1),
+                      exp::fmt(100.0 * s.stable_at_nash_fraction, 1),
+                      exp::fmt(100.0 * (s.stable_fraction - s.stable_at_nash_fraction), 1)});
+    }
+  }
+
+  exp::print_heading("Figure 3 — % runs stable / stable at NE / stable elsewhere");
+  exp::print_table({"algorithm", "setting", "%stable", "%at-NE", "%other"}, rows);
+  exp::print_paper_vs_measured(
+      "Smart EXP3 w/o Reset stable at NE",
+      "99.4 % (setting 1), 100 % (setting 2)",
+      rows[4][3] + " % / " + rows[5][3] + " %");
+  exp::print_paper_vs_measured("Block EXP3 stabilizes", "~40 % of runs, rarely at NE",
+                               rows[0][2] + " % (s1), " + rows[1][2] + " % (s2)");
+  print_elapsed(sw);
+  return 0;
+}

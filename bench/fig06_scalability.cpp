@@ -1,0 +1,56 @@
+// Paper Figure 6: scalability of Smart EXP3 w/o Reset — median time slots
+// to reach a stable state as the number of networks grows (3/5/7, 20
+// devices) and as the number of devices grows (20/40/80, 3 networks), over
+// 8640-slot (36 h) runs.
+//
+// Expected shape: roughly linear growth in the number of networks,
+// sub-linear in the number of devices; (nearly) 100 % of runs stable at NE.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  // The 36-hour horizon makes this the slowest figure; default to fewer runs.
+  const int runs = exp::repro_runs(30);
+  print_run_banner("Figure 6 (scalability of Smart EXP3 w/o Reset)", runs);
+  Stopwatch sw;
+
+  exp::print_heading("Figure 6 (left) — networks sweep, 20 devices");
+  std::vector<std::vector<std::string>> rows;
+  for (const int k : {3, 5, 7}) {
+    auto cfg = exp::scalability_setting("smart_exp3_noreset", k, 20);
+    cfg.recorder.track_distance = false;  // keep the long runs lean
+    cfg.recorder.track_stability = true;
+    const auto s = exp::stability_summary(exp::run_many(cfg, runs));
+    rows.push_back({std::to_string(k), exp::fmt(s.median_stable_slot, 0),
+                    exp::fmt(100.0 * s.stable_fraction, 1),
+                    exp::fmt(100.0 * s.stable_at_nash_fraction, 1),
+                    exp::fmt(100.0 * s.stable_at_eps_fraction, 1)});
+  }
+  exp::print_table(
+      {"networks", "median slots to stable", "%stable", "%at-NE", "%at-eps-NE"}, rows);
+
+  exp::print_heading("Figure 6 (right) — devices sweep, 3 networks");
+  rows.clear();
+  for (const int n : {20, 40, 80}) {
+    auto cfg = exp::scalability_setting("smart_exp3_noreset", 3, n);
+    cfg.recorder.track_distance = false;
+    cfg.recorder.track_stability = true;
+    const auto s = exp::stability_summary(exp::run_many(cfg, runs));
+    rows.push_back({std::to_string(n), exp::fmt(s.median_stable_slot, 0),
+                    exp::fmt(100.0 * s.stable_fraction, 1),
+                    exp::fmt(100.0 * s.stable_at_nash_fraction, 1),
+                    exp::fmt(100.0 * s.stable_at_eps_fraction, 1)});
+  }
+  exp::print_table(
+      {"devices", "median slots to stable", "%stable", "%at-NE", "%at-eps-NE"}, rows);
+
+  exp::print_paper_vs_measured(
+      "growth shape",
+      "linear in #networks, sub-linear in #devices; (nearly) 100 % at NE",
+      "compare rows above; at larger scales the last off-by-one device move "
+      "is worth < eps, so strict-NE undercounts — read %at-eps-NE");
+  print_elapsed(sw);
+  return 0;
+}

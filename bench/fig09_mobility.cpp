@@ -1,0 +1,52 @@
+// Paper Figure 9: setting 3 — three service areas (food court, study area,
+// bus stop), five networks (cellular 16 Mbps everywhere; WLANs 14/22/7/4
+// with local coverage), and 8 of 20 devices migrating across all three
+// areas at slots 400 and 800. Distance to NE reported per device group.
+//
+// Expected shape: Smart EXP3 keeps every group's distance low (reaching
+// epsilon-equilibrium), including the movers; EXP3 and Greedy drift.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  const int runs = exp::repro_runs();
+  print_run_banner("Figure 9 (mobility across service areas)", runs);
+  Stopwatch sw;
+
+  const std::vector<std::string> group_names = {"movers 1-8", "food court 9-10",
+                                                "study area 11-15", "bus stop 16-20"};
+  const std::vector<std::string> algos = {"exp3", "smart_exp3_noreset", "smart_exp3",
+                                          "greedy"};
+
+  for (const auto& algo : algos) {
+    auto cfg = exp::mobility_setting(algo);
+    const auto results = exp::run_many(cfg, runs);
+    exp::print_heading("Figure 9 — " + label_of(algo));
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t g = 0; g < group_names.size(); ++g) {
+      const auto series = exp::mean_distance_series(results, g);
+      auto window_mean = [&](std::size_t a, std::size_t b) {
+        double s = 0.0;
+        for (std::size_t i = a; i < b; ++i) s += series[i];
+        return s / static_cast<double>(b - a);
+      };
+      rows.push_back({group_names[g], exp::sparkline(series, 44),
+                      exp::fmt(window_mean(300, 400), 1),
+                      exp::fmt(window_mean(700, 800), 1),
+                      exp::fmt(window_mean(1100, 1200), 1)});
+    }
+    exp::print_table({"device group", "distance over time", "pre-move1", "pre-move2",
+                      "tail"},
+                     rows);
+  }
+
+  exp::print_paper_vs_measured(
+      "Smart EXP3 in setting 3",
+      "outperforms all alternatives for every group; reaches eps-equilibrium "
+      "(eps = 7.5)",
+      "compare tails across the four tables above");
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Paper Figure 10: average number of network switches incurred by Smart
+// EXP3 devices that stay for the whole experiment, across the static and
+// dynamic settings, plus the movers of setting 3 (who reset more, hence
+// switch more). Paper values: static s1 65, static s2 66, dynamic-join
+// (11 persistent devices) 65, dynamic-leave (4 devices) 64, setting 3
+// movers 102, setting 3 others 68.
+#include "bench_util.hpp"
+
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  const int runs = exp::repro_runs();
+  print_run_banner("Figure 10 (Smart EXP3 switches of persistent devices)", runs);
+  Stopwatch sw;
+
+  std::vector<std::vector<std::string>> rows;
+
+  auto add_row = [&](const std::string& label, const exp::ExperimentConfig& cfg,
+                     double paper_value, bool movers_only, bool others_only) {
+    const auto results = exp::run_many(cfg, runs);
+    std::vector<double> xs;
+    for (const auto& run : results) {
+      for (std::size_t i = 0; i < run.switches.size(); ++i) {
+        if (!run.persistent[i]) continue;
+        const bool is_mover = i < 8;  // devices 1..8 move in setting 3
+        if (movers_only && !is_mover) continue;
+        if (others_only && is_mover) continue;
+        xs.push_back(static_cast<double>(run.switches[i]));
+      }
+    }
+    rows.push_back({label, exp::fmt(stats::mean(xs), 1), exp::fmt(stats::stddev(xs), 1),
+                    exp::fmt(paper_value, 0)});
+  };
+
+  add_row("static setting 1", exp::static_setting1("smart_exp3"), 65, false, false);
+  add_row("static setting 2", exp::static_setting2("smart_exp3"), 66, false, false);
+  add_row("dynamic join (11 devices)", exp::dynamic_join_setting("smart_exp3"), 65,
+          false, false);
+  add_row("dynamic leave (4 devices)", exp::dynamic_leave_setting("smart_exp3"), 64,
+          false, false);
+  add_row("setting 3 (8 moving devices)", exp::mobility_setting("smart_exp3"), 102,
+          true, false);
+  add_row("setting 3 (other 12 devices)", exp::mobility_setting("smart_exp3"), 68,
+          false, true);
+
+  exp::print_heading("Figure 10 — mean switches of devices present throughout");
+  exp::print_table({"setting", "mean switches", "sd", "paper"}, rows);
+  exp::print_paper_vs_measured("movers vs stationary",
+                               "movers switch more (102 vs 68) due to extra resets",
+                               rows[4][1] + " vs " + rows[5][1]);
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Paper Figure 12: the network-selection process of Smart EXP3 overlaid on
+// trace pairs 1 and 3 — per slot, the WiFi rate, the cellular rate, and the
+// bit rate Smart EXP3 actually observed (i.e. which network it rode).
+// The run shown is the one whose cumulative download is closest to the
+// median across runs, as in the paper.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "trace/synth.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  const int runs = exp::repro_runs(200);
+  print_run_banner("Figure 12 (Smart EXP3 selection timeline on traces 1 & 3)", runs);
+  Stopwatch sw;
+
+  for (const int idx : {1, 3}) {
+    const auto pair = trace::synthetic_pair(idx);
+    auto cfg = exp::trace_setting(pair, "smart_exp3");
+    const auto results = exp::run_many(cfg, runs);
+
+    // Pick the run closest to the median download.
+    const double median_dl = exp::median_total_download_mb(results);
+    std::size_t best = 0;
+    double best_gap = 1e300;
+    for (std::size_t r = 0; r < results.size(); ++r) {
+      const double gap = std::abs(results[r].total_download_mb - median_dl);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = r;
+      }
+    }
+    const auto& run = results[best];
+
+    exp::print_heading("Figure 12 — trace " + std::to_string(idx) +
+                       " (median-download run: " +
+                       exp::fmt(run.total_download_mb, 0) + " MB)");
+    std::cout << "# columns: slot, wifi_mbps, cellular_mbps, chosen(0=wifi,1=cell), "
+                 "observed_mbps\n";
+    for (std::size_t t = 0; t < pair.slots(); t += 2) {
+      std::cout << "fig12_trace" << idx << ',' << t << ',' << exp::fmt(pair.wifi_mbps[t])
+                << ',' << exp::fmt(pair.cellular_mbps[t]) << ','
+                << run.selections[0][t] << ',' << exp::fmt(run.rates[0][t]) << '\n';
+    }
+    // Compact visual: which network it rode.
+    std::string ride;
+    for (std::size_t t = 0; t < pair.slots(); ++t) {
+      ride += run.selections[0][t] == 1 ? 'C' : 'w';
+    }
+    std::cout << "ride (w=wifi, C=cellular):\n  " << ride << '\n';
+  }
+  print_elapsed(sw);
+  return 0;
+}

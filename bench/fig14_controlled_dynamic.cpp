@@ -1,0 +1,53 @@
+// Paper Figure 14: the controlled dynamic setting — 9 of the 14 devices
+// leave after slot 239 (1 hour in), freeing resources in the noisy
+// testbed stand-in.
+//
+// Expected shape: both algorithms behave as in the static setting for the
+// first hour; after the departure, Smart EXP3's continuous exploration
+// discovers the freed capacity and its Definition 4 distance drops, while
+// Greedy stays stuck high.
+#include "bench_util.hpp"
+
+#include "metrics/nash.hpp"
+
+int main() {
+  using namespace smartexp3;
+  using namespace smartexp3::bench;
+
+  const int runs = exp::repro_runs(10);
+  print_run_banner("Figure 14 (controlled dynamic: 9 devices leave at t=240)", runs);
+  Stopwatch sw;
+
+  std::vector<std::vector<std::string>> rows;
+  double tails[2] = {0, 0};
+  int p = 0;
+  for (const auto* policy : {"smart_exp3", "greedy"}) {
+    auto cfg = exp::controlled_dynamic_setting(policy);
+    const auto results = exp::run_many(cfg, runs);
+    const auto series = exp::mean_def4_series(results);
+    auto window_mean = [&](std::size_t a, std::size_t b) {
+      double s = 0.0;
+      for (std::size_t i = a; i < b; ++i) s += series[i];
+      return s / static_cast<double>(b - a);
+    };
+    tails[p] = window_mean(400, 480);
+    rows.push_back({label_of(policy), exp::sparkline(series, 48),
+                    exp::fmt(window_mean(180, 240), 1),
+                    exp::fmt(window_mean(240, 280), 1),
+                    exp::fmt(window_mean(400, 480), 1)});
+    exp::print_series_csv(std::string("fig14_") + policy, series, /*stride=*/20);
+    ++p;
+  }
+
+  exp::print_heading("Figure 14 — distance from average bit rate available (%)");
+  exp::print_table({"algorithm", "distance over time", "pre-leave", "leave spike",
+                    "tail"},
+                   rows);
+  exp::print_paper_vs_measured(
+      "post-departure adaptation", "Smart EXP3 recovers; Greedy maintains a high "
+                                   "distance",
+      "smart tail=" + exp::fmt(tails[0], 1) + " % vs greedy tail=" +
+          exp::fmt(tails[1], 1) + " %");
+  print_elapsed(sw);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmarks (google-benchmark): per-slot decision cost of each policy
+// and the full world step — the overhead a real device would pay to run
+// Smart EXP3 is a few hundred nanoseconds per 15-second slot.
+#include <benchmark/benchmark.h>
+
+#include "core/factory.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+#include "metrics/nash.hpp"
+
+namespace {
+
+using namespace smartexp3;
+
+void BM_PolicyStep(benchmark::State& state, const std::string& name) {
+  auto factory = core::make_named_policy_factory({4.0, 7.0, 22.0});
+  auto policy = factory(0, name, 42);
+  policy->set_networks({0, 1, 2});
+  stats::Rng rng(7);
+  int t = 0;
+  core::SlotFeedback fb;
+  fb.all_gains = {0.3, 0.5, 0.8};
+  fb.all_rates_mbps = {6.6, 11.0, 17.6};
+  for (auto _ : state) {
+    const NetworkId c = policy->choose(t);
+    benchmark::DoNotOptimize(c);
+    fb.gain = rng.uniform();
+    fb.bit_rate_mbps = fb.gain * 22.0;
+    policy->observe(t, fb);
+    ++t;
+  }
+}
+
+void BM_WorldSlot20Devices(benchmark::State& state) {
+  auto cfg = exp::static_setting1("smart_exp3");
+  cfg.world.horizon = 1 << 30;  // never finish inside the benchmark
+  auto world = exp::build_world(cfg, 1);
+  for (auto _ : state) {
+    world->step();
+  }
+  state.SetItemsProcessed(state.iterations() * 20);  // device-slots
+}
+
+void BM_FullRunSetting1(benchmark::State& state) {
+  const auto cfg = exp::static_setting1("smart_exp3");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto result = exp::run_once(cfg, ++seed);
+    benchmark::DoNotOptimize(result.total_download_mb);
+  }
+}
+
+void BM_WaterFill(benchmark::State& state) {
+  const std::vector<double> caps = {4, 7, 22, 11, 16, 9, 14};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        metrics::water_fill_allocation(caps, static_cast<int>(state.range(0))));
+  }
+}
+
+void BM_DistanceToNash(benchmark::State& state) {
+  const std::vector<double> caps = {4, 7, 22};
+  const std::vector<int> counts = {2, 4, 14};
+  std::vector<int> nets;
+  std::vector<double> gains;
+  for (int i = 0; i < 20; ++i) {
+    nets.push_back(i % 3);
+    gains.push_back(1.5);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::distance_to_nash(caps, counts, nets, gains));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_PolicyStep, exp3, std::string("exp3"));
+BENCHMARK_CAPTURE(BM_PolicyStep, block_exp3, std::string("block_exp3"));
+BENCHMARK_CAPTURE(BM_PolicyStep, hybrid_block_exp3, std::string("hybrid_block_exp3"));
+BENCHMARK_CAPTURE(BM_PolicyStep, smart_exp3, std::string("smart_exp3"));
+BENCHMARK_CAPTURE(BM_PolicyStep, smart_exp3_noreset, std::string("smart_exp3_noreset"));
+BENCHMARK_CAPTURE(BM_PolicyStep, greedy, std::string("greedy"));
+BENCHMARK_CAPTURE(BM_PolicyStep, full_information, std::string("full_information"));
+BENCHMARK_CAPTURE(BM_PolicyStep, fixed_random, std::string("fixed_random"));
+BENCHMARK(BM_WorldSlot20Devices);
+BENCHMARK(BM_FullRunSetting1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WaterFill)->Arg(20)->Arg(80);
+BENCHMARK(BM_DistanceToNash);
+
+BENCHMARK_MAIN();

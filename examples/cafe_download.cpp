@@ -1,0 +1,96 @@
+// Cafe download race (the paper's in-the-wild §VII-B scenario): one laptop,
+// a public WiFi and a tethered cellular network, both under drifting
+// background load, and a 500 MB file to fetch. Runs Smart EXP3 and Greedy
+// head-to-head on identical load realisations and reports the download
+// times. Demonstrates trace-driven networks and driving a World slot by
+// slot against a goal.
+#include <algorithm>
+#include <iostream>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+using namespace smartexp3;
+
+std::vector<double> wifi_trace(int slots, stats::Rng& rng) {
+  // Fast when quiet, but a lunch-rush crowd usually camps on it for a while.
+  std::vector<double> t;
+  const bool rush = rng.chance(0.9);
+  const int starts = rush ? rng.int_in(10, 25) : slots + 1;
+  const int ends = starts + rng.int_in(60, 90);
+  const int size = rng.int_in(10, 14);
+  int load = rng.int_in(1, 2);
+  for (int i = 0; i < slots; ++i) {
+    if (rng.chance(0.3)) load += rng.coin() ? 1 : -1;
+    const int crowd = (i >= starts && i < ends) ? size : 0;
+    t.push_back(16.0 / (1.0 + std::clamp(load + crowd, 1, 14)));
+  }
+  return t;
+}
+
+std::vector<double> cellular_trace(int slots, stats::Rng& rng) {
+  std::vector<double> t;
+  int load = rng.int_in(3, 4);
+  for (int i = 0; i < slots; ++i) {
+    if (rng.chance(0.3)) load = std::clamp(load + (rng.coin() ? 1 : -1), 2, 5);
+    t.push_back(14.0 / (1.0 + load));
+  }
+  return t;
+}
+
+double race(const std::string& policy, std::uint64_t seed) {
+  const int horizon = 400;
+  stats::Rng rng(seed);  // same seed => same cafe conditions for both racers
+  auto wifi = netsim::make_wifi(0, 0.0, {}, "cafe-wifi");
+  wifi.trace = wifi_trace(horizon, rng);
+  auto cell = netsim::make_cellular(1, 0.0, {}, "tethered-phone");
+  cell.trace = cellular_trace(horizon, rng);
+
+  exp::ExperimentConfig cfg;
+  cfg.world.horizon = horizon;
+  cfg.networks = {std::move(wifi), std::move(cell)};
+  netsim::DeviceSpec laptop;
+  laptop.id = 1;
+  laptop.policy_name = policy;
+  cfg.devices = {laptop};
+  cfg.recorder.track_distance = false;
+
+  auto world = exp::build_world(cfg, seed * 977);
+  while (!world->done()) {
+    world->step();
+    if (world->devices()[0].download_mb >= 500.0) break;
+  }
+  return world->now() * 15.0 / 60.0;  // minutes
+}
+
+}  // namespace
+
+int main() {
+  using namespace smartexp3;
+
+  exp::print_heading("Cafe download race — 500 MB over WiFi vs tethered cellular");
+  std::vector<double> smart_minutes;
+  std::vector<double> greedy_minutes;
+  std::vector<std::vector<std::string>> rows;
+  for (std::uint64_t run = 1; run <= 12; ++run) {
+    const double s = race("smart_exp3", run);
+    const double g = race("greedy", run);
+    smart_minutes.push_back(s);
+    greedy_minutes.push_back(g);
+    rows.push_back({"run " + std::to_string(run), exp::fmt(s, 1) + " min",
+                    exp::fmt(g, 1) + " min",
+                    s < g ? "Smart EXP3" : (g < s ? "Greedy" : "tie")});
+  }
+  exp::print_table({"cafe visit", "Smart EXP3", "Greedy", "faster"}, rows);
+
+  const double s = stats::mean(smart_minutes);
+  const double g = stats::mean(greedy_minutes);
+  std::cout << "\nmean: Smart EXP3 " << exp::fmt(s, 2) << " min, Greedy "
+            << exp::fmt(g, 2) << " min -> " << exp::fmt(g / s, 2)
+            << "x speedup (paper measured 1.2x / 18 % faster).\n";
+  return 0;
+}

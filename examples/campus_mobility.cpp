@@ -1,0 +1,59 @@
+// Campus mobility scenario (the paper's Figure 1 world): three service
+// areas — food court, study area, bus stop — five networks with partial
+// coverage, and a group of students walking across campus. Demonstrates
+// service areas, scenario move events, per-group metrics, and how Smart
+// EXP3's network-set-change rules handle appearing/disappearing networks.
+#include <iostream>
+
+#include "exp/aggregate.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace smartexp3;
+
+  exp::print_heading("Campus mobility — 20 devices, 3 areas, 5 networks");
+  std::cout <<
+      "Networks: cellular 16 Mbps (campus-wide), WLANs 14/22/7/4 Mbps with\n"
+      "local coverage. Devices 1-8 walk food court -> study area (slot 400)\n"
+      "-> bus stop (slot 800). Every device runs Smart EXP3.\n";
+
+  auto cfg = exp::mobility_setting("smart_exp3");
+  const int runs = 20;
+  const auto results = exp::run_many(cfg, runs);
+
+  const std::vector<std::string> groups = {"movers (1-8)", "food court (9-10)",
+                                           "study area (11-15)", "bus stop (16-20)"};
+  std::vector<std::vector<std::string>> rows;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto series = exp::mean_distance_series(results, g);
+    double tail = 0.0;
+    for (std::size_t i = series.size() - 100; i < series.size(); ++i) tail += series[i];
+    tail /= 100.0;
+    rows.push_back({groups[g], exp::sparkline(series, 50), exp::fmt(tail, 1) + " %"});
+  }
+  exp::print_table({"group", "distance to NE over the day", "final"}, rows);
+
+  // Movers pay for adaptivity with extra resets and switches.
+  std::vector<double> mover_switches;
+  std::vector<double> other_switches;
+  std::vector<double> mover_resets;
+  for (const auto& run : results) {
+    for (std::size_t i = 0; i < run.switches.size(); ++i) {
+      (i < 8 ? mover_switches : other_switches)
+          .push_back(static_cast<double>(run.switches[i]));
+      if (i < 8) mover_resets.push_back(static_cast<double>(run.resets[i]));
+    }
+  }
+  std::cout << "\nmovers:     " << exp::fmt(stats::mean(mover_switches), 1)
+            << " switches, " << exp::fmt(stats::mean(mover_resets), 1)
+            << " resets per device\n";
+  std::cout << "stationary: " << exp::fmt(stats::mean(other_switches), 1)
+            << " switches per device\n";
+  std::cout << "\nThe movers keep discovering new networks (weight = max of the\n"
+               "known ones + forced exploration), so they re-converge in each\n"
+               "area instead of clinging to networks that left coverage.\n";
+  return 0;
+}

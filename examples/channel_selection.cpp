@@ -1,0 +1,70 @@
+// WiFi channel selection (the paper's §IX future work): 12 co-located
+// access points pick among the three non-overlapping 2.4 GHz channels.
+// Same congestion game, different resource — demonstrating that the library
+// is a general resource-selection toolkit, not just a network picker.
+// Also shows utility shaping (the other §IX item): a cost-aware device
+// that discounts a metered network.
+#include <iostream>
+#include <unordered_map>
+
+#include "core/exp3.hpp"
+#include "core/utility_shaping.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+
+int main() {
+  using namespace smartexp3;
+
+  exp::print_heading("Channel selection — 12 APs, channels 1/6/11");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto* policy : {"smart_exp3", "greedy", "exp3"}) {
+    auto cfg = exp::channel_selection_setting(policy);
+    const auto results = exp::run_many(cfg, 30);
+    const auto series = exp::mean_distance_series(results);
+    double tail = 0.0;
+    for (std::size_t i = series.size() - 60; i < series.size(); ++i) tail += series[i];
+    tail /= 60.0;
+    rows.push_back({policy, exp::fmt(exp::switch_summary(results).mean, 1),
+                    exp::fmt(tail, 1) + " %",
+                    exp::fmt(100.0 * exp::mean_eps_fraction(results), 1) + " %"});
+  }
+  exp::print_table({"policy", "re-tunes per AP", "final distance", "%slots at eps-eq"},
+                   rows);
+  std::cout << "\nAt equilibrium each channel carries 4 APs; Smart EXP3 gets\n"
+               "there decentralised, with bounded re-tuning.\n";
+
+  // ---- utility shaping: a metered cellular network ----
+  exp::print_heading("Utility shaping — throughput vs. metered cellular");
+  // Two networks: free WiFi at 6 Mbps, metered cellular at 22 Mbps. A pure
+  // throughput learner camps on cellular; a cost-aware one flips to WiFi.
+  const double gain_scale = 22.0;
+  auto run_device = [&](bool cost_aware) {
+    std::unordered_map<NetworkId, core::NetworkCosts> costs;
+    costs[1] = {/*cost_per_mb=*/0.02, /*energy_per_slot=*/0.1};
+    core::UtilityWeights weights;
+    weights.cost = cost_aware ? 1.0 : 0.0;
+    weights.energy = cost_aware ? 1.0 : 0.0;
+    auto policy = core::make_utility_shaped(std::make_unique<core::Exp3>(7), weights,
+                                            costs, gain_scale);
+    policy->set_networks({0, 1});
+    int on_cellular = 0;
+    for (int t = 0; t < 2000; ++t) {
+      const NetworkId c = policy->choose(t);
+      on_cellular += c == 1 ? 1 : 0;
+      core::SlotFeedback fb;
+      fb.gain = (c == 0 ? 6.0 : 22.0) / gain_scale;
+      fb.bit_rate_mbps = fb.gain * gain_scale;
+      policy->observe(t, fb);
+    }
+    return on_cellular / 2000.0;
+  };
+  std::cout << "throughput-only learner : "
+            << exp::fmt(100.0 * run_device(false), 0)
+            << " % of slots on the metered network\n";
+  std::cout << "cost-aware learner      : "
+            << exp::fmt(100.0 * run_device(true), 0)
+            << " % of slots on the metered network\n";
+  return 0;
+}

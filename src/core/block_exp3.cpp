@@ -1,0 +1,16 @@
+#include "core/block_exp3.hpp"
+
+namespace smartexp3::core {
+
+namespace {
+BlockPolicyOptions block_options(double beta) {
+  BlockPolicyOptions o;
+  o.beta = beta;
+  return o;
+}
+}  // namespace
+
+BlockExp3::BlockExp3(std::uint64_t seed, double beta)
+    : BlockPolicy(seed, block_options(beta), "block_exp3") {}
+
+}  // namespace smartexp3::core

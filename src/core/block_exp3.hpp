@@ -1,0 +1,16 @@
+// Block EXP3 (paper Table III): EXP3 that selects a network for an
+// adaptively growing block of time slots instead of re-sampling every slot.
+// This is the pure "blocking" ablation — no initial exploration, no greedy
+// choices, no switch-back, no reset.
+#pragma once
+
+#include "core/block_policy.hpp"
+
+namespace smartexp3::core {
+
+class BlockExp3 final : public BlockPolicy {
+ public:
+  explicit BlockExp3(std::uint64_t seed, double beta = 0.1);
+};
+
+}  // namespace smartexp3::core

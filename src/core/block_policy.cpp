@@ -1,0 +1,380 @@
+#include "core/block_policy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace smartexp3::core {
+
+namespace {
+
+/// Block length rule from Algorithm 1 line 9: l = ceil((1+beta)^x).
+int block_length(double beta, int x) {
+  const double raw = std::pow(1.0 + beta, static_cast<double>(x));
+  // Guard against pathological growth in very long runs.
+  if (raw > 1e9) return 1'000'000'000;
+  return static_cast<int>(std::ceil(raw - 1e-12));
+}
+
+}  // namespace
+
+BlockPolicy::BlockPolicy(std::uint64_t seed, BlockPolicyOptions options, std::string name)
+    : options_(options), name_(std::move(name)), rng_(seed) {
+  if (options_.beta <= 0.0 || options_.beta > 1.0) {
+    throw std::invalid_argument("BlockPolicy: beta must be in (0, 1]");
+  }
+  if (options_.switch_back_window < 1) {
+    throw std::invalid_argument("BlockPolicy: switch_back_window must be >= 1");
+  }
+}
+
+int BlockPolicy::block_length_of(std::size_t i) const {
+  return block_length(options_.beta, x_[i]);
+}
+
+double BlockPolicy::average_gain(std::size_t i) const {
+  return gain_count_[i] > 0 ? gain_sum_[i] / static_cast<double>(gain_count_[i]) : 0.0;
+}
+
+void BlockPolicy::initialise(const std::vector<NetworkId>& available) {
+  nets_ = available;
+  weights_.reset(nets_.size());
+  x_.assign(nets_.size(), 0);
+  gain_sum_.assign(nets_.size(), 0.0);
+  gain_count_.assign(nets_.size(), 0);
+  slots_on_.assign(nets_.size(), 0);
+  probs_.assign(nets_.size(), 1.0 / static_cast<double>(nets_.size()));
+  explore_queue_.clear();
+  if (options_.explore_first) {
+    for (std::size_t i = 0; i < nets_.size(); ++i) explore_queue_.push_back(static_cast<int>(i));
+  }
+  cur_ = prev_ = -1;
+  pending_switch_back_to_ = -1;
+  gate_a_failed_once_ = false;
+  gate_y_ = 0;
+  consecutive_drop_slots_ = 0;
+}
+
+void BlockPolicy::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("BlockPolicy: empty network set");
+  if (nets_.empty()) {
+    initialise(available);
+    return;
+  }
+  if (available == nets_) return;
+  apply_network_change(available);
+}
+
+void BlockPolicy::apply_network_change(const std::vector<NetworkId>& available) {
+  // Paper §III "Change in set of networks": a newly discovered network gets
+  // the maximum weight of the existing networks so it is likely to be
+  // explored; losing a network with significantly high selection
+  // probability, or the one we are connected to, must not leave stale block
+  // state behind. Whether a *full* minimal reset follows depends on the
+  // reset toggle (Smart EXP3 resets; the w/o-Reset ablation and the plain
+  // block variants only patch their state).
+  const std::vector<double> old_probs = probs_;
+
+  double max_lw = 0.0;
+  bool have_retained = false;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (std::find(available.begin(), available.end(), nets_[i]) != available.end()) {
+      max_lw = have_retained ? std::max(max_lw, weights_.log_weight(i)) : weights_.log_weight(i);
+      have_retained = true;
+    }
+  }
+
+  bool lost_connected = false;
+  bool lost_high_probability = false;
+  const int old_cur_net = cur_ >= 0 ? nets_[static_cast<std::size_t>(cur_)] : kNoNetwork;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (std::find(available.begin(), available.end(), nets_[i]) == available.end()) {
+      if (static_cast<int>(i) == cur_) lost_connected = true;
+      if (old_probs[i] >= options_.reset_prob_threshold) lost_high_probability = true;
+    }
+  }
+
+  bool any_new = false;
+  WeightTable next_weights;
+  std::vector<int> next_x;
+  std::vector<double> next_gain_sum;
+  std::vector<long> next_gain_count;
+  std::vector<long> next_slots_on;
+  std::vector<int> next_explore;
+  for (std::size_t j = 0; j < available.size(); ++j) {
+    const auto it = std::find(nets_.begin(), nets_.end(), available[j]);
+    if (it != nets_.end()) {
+      const auto i = static_cast<std::size_t>(it - nets_.begin());
+      next_weights.push_back(weights_.log_weight(i));
+      next_x.push_back(x_[i]);
+      next_gain_sum.push_back(gain_sum_[i]);
+      next_gain_count.push_back(gain_count_[i]);
+      next_slots_on.push_back(slots_on_[i]);
+      if (std::find(explore_queue_.begin(), explore_queue_.end(), static_cast<int>(i)) !=
+          explore_queue_.end()) {
+        next_explore.push_back(static_cast<int>(j));
+      }
+    } else {
+      any_new = true;
+      next_weights.push_back(have_retained ? max_lw : 0.0);
+      next_x.push_back(0);
+      next_gain_sum.push_back(0.0);
+      next_gain_count.push_back(0);
+      next_slots_on.push_back(0);
+      next_explore.push_back(static_cast<int>(j));
+    }
+  }
+
+  nets_ = available;
+  weights_ = std::move(next_weights);
+  weights_.normalise();
+  x_ = std::move(next_x);
+  gain_sum_ = std::move(next_gain_sum);
+  gain_count_ = std::move(next_gain_count);
+  slots_on_ = std::move(next_slots_on);
+  explore_queue_ = std::move(next_explore);
+  // Recompute the mixed strategy immediately: an in-flight block may keep
+  // running, and observers (the stability detector) read probabilities
+  // between block boundaries.
+  probs_ = weights_.probabilities(gamma_);
+
+  // Any in-flight block refers to old indices; drop it without a weight
+  // update (the paper "resets the block" when the connected network is gone;
+  // for simple additions the block is re-keyed below if possible).
+  if (cur_ >= 0 && !lost_connected && old_cur_net != kNoNetwork) {
+    const auto it = std::find(nets_.begin(), nets_.end(), old_cur_net);
+    cur_ = it != nets_.end() ? static_cast<int>(it - nets_.begin()) : -1;
+  } else {
+    cur_ = -1;
+  }
+  prev_ = -1;  // stale index space; switch-back target would be meaningless
+  prev_window_.clear();
+  pending_switch_back_to_ = -1;
+
+  if (options_.reset && (any_new || lost_high_probability)) {
+    cur_ = -1;
+    minimal_reset();
+  }
+}
+
+void BlockPolicy::refresh_probabilities() {
+  gamma_ = options_.fixed_gamma > 0.0 ? std::min(options_.fixed_gamma, 1.0)
+                                      : gamma_schedule(block_index_);
+  probs_ = weights_.probabilities(gamma_);
+}
+
+std::size_t BlockPolicy::argmax_probability() const {
+  return static_cast<std::size_t>(
+      std::max_element(probs_.begin(), probs_.end()) - probs_.begin());
+}
+
+std::size_t BlockPolicy::argmax_average_gain() const {
+  std::size_t best = 0;
+  double best_avg = -1.0;
+  for (std::size_t i = 0; i < k(); ++i) {
+    const double avg = average_gain(i);
+    if (avg > best_avg) {
+      best_avg = avg;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool BlockPolicy::greedy_gate_open() const {
+  if (!options_.greedy || k() < 2) return false;
+  // Condition (a): the distribution is still near-uniform.
+  const auto [mn, mx] = std::minmax_element(probs_.begin(), probs_.end());
+  if (*mx - *mn <= 1.0 / static_cast<double>(k() - 1)) return true;
+  // Condition (b): shortly after a reset — the favourite's block length has
+  // not yet regrown to y, its value when (a) first failed.
+  if (gate_a_failed_once_) {
+    return block_length_of(argmax_probability()) < gate_y_;
+  }
+  return false;
+}
+
+void BlockPolicy::start_block() {
+  ++block_index_;
+  ++stats_.blocks_started;
+  refresh_probabilities();
+
+  // Track the greedy gate's y parameter: l_{i+} when (a) first fails.
+  if (options_.greedy && !gate_a_failed_once_ && k() >= 2) {
+    const auto [mn, mx] = std::minmax_element(probs_.begin(), probs_.end());
+    if (*mx - *mn > 1.0 / static_cast<double>(k() - 1)) {
+      gate_a_failed_once_ = true;
+      gate_y_ = block_length_of(argmax_probability());
+    }
+  }
+
+  // Periodic minimal reset (paper §V): the favourite network is both very
+  // likely and held for very long blocks — time to re-explore.
+  if (options_.reset) {
+    const std::size_t fav = argmax_probability();
+    if (probs_[fav] >= options_.reset_prob_threshold &&
+        block_length_of(fav) >= options_.reset_block_len) {
+      minimal_reset();
+    }
+  }
+
+  cur_is_switch_back_ = false;
+  if (pending_switch_back_to_ >= 0) {
+    // Special switch-back block: return to the previous network, p(b) = 1.
+    cur_ = pending_switch_back_to_;
+    pending_switch_back_to_ = -1;
+    cur_p_ = 1.0;
+    cur_is_switch_back_ = true;
+    ++stats_.switch_backs;
+  } else if (!explore_queue_.empty()) {
+    // Initial (or post-reset) exploration in random order.
+    const std::size_t pick = static_cast<std::size_t>(rng_.below(explore_queue_.size()));
+    cur_ = explore_queue_[pick];
+    cur_p_ = 1.0 / static_cast<double>(explore_queue_.size());
+    explore_queue_.erase(explore_queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  } else if (greedy_gate_open() && rng_.coin()) {
+    // Greedy selection: the network with the highest average observed gain.
+    cur_ = static_cast<int>(argmax_average_gain());
+    cur_p_ = 0.5;
+    ++stats_.greedy_selections;
+  } else if (greedy_gate_open()) {
+    // The coin said "random": sample the EXP3 distribution, but the overall
+    // selection probability is halved by the coin flip.
+    const std::size_t idx = rng_.sample_discrete(probs_);
+    cur_ = static_cast<int>(idx);
+    cur_p_ = probs_[idx] / 2.0;
+  } else {
+    const std::size_t idx = rng_.sample_discrete(probs_);
+    cur_ = static_cast<int>(idx);
+    cur_p_ = probs_[idx];
+  }
+
+  cur_len_ = block_length_of(static_cast<std::size_t>(cur_));
+  ++x_[static_cast<std::size_t>(cur_)];
+  cur_pos_ = 0;
+  cur_gain_sum_ = 0.0;
+  cur_window_.clear();
+}
+
+NetworkId BlockPolicy::choose(Slot) {
+  assert(!nets_.empty());
+  if (cur_ < 0 || cur_pos_ >= cur_len_) start_block();
+  return nets_[static_cast<std::size_t>(cur_)];
+}
+
+bool BlockPolicy::should_switch_back(double first_slot_gain) const {
+  if (!options_.switch_back) return false;
+  if (cur_is_switch_back_ || prev_was_switch_back_) return false;  // no ping-pong
+  if (prev_ < 0 || prev_ == cur_) return false;   // no previous network to return to
+  if (prev_window_.empty()) return false;
+  // Stale previous network index after an environment change is cleared in
+  // apply_network_change, so prev_ is trustworthy here.
+  const double avg = std::accumulate(prev_window_.begin(), prev_window_.end(), 0.0) /
+                     static_cast<double>(prev_window_.size());
+  if (first_slot_gain < avg) return true;
+  if (first_slot_gain < prev_window_.back()) return true;
+  std::size_t higher = 0;
+  for (const double g : prev_window_) higher += g > first_slot_gain ? 1 : 0;
+  return 2 * higher > prev_window_.size();
+}
+
+void BlockPolicy::finalise_block() {
+  // Algorithm 1 lines 10-12 at block granularity: the block gain
+  // g_ib(b) in [0, l_ib] is the sum of per-slot gains, the estimate divides
+  // by the selection probability, and the weight update multiplies by
+  // exp(gamma * ghat / k).
+  const double ghat = cur_gain_sum_ / std::max(cur_p_, 1e-12);
+  weights_.bump(static_cast<std::size_t>(cur_), gamma_ * ghat / static_cast<double>(k()));
+  weights_.normalise();
+
+  prev_ = cur_;
+  prev_was_switch_back_ = cur_is_switch_back_;
+  prev_window_ = cur_window_;
+  cur_ = -1;
+}
+
+void BlockPolicy::minimal_reset() {
+  // Paper §III/§V: block lengths and greedy statistics are cleared and
+  // exploration is forced, but the weights (everything EXP3 has learned)
+  // are retained — that is what makes the reset "minimal".
+  std::fill(x_.begin(), x_.end(), 0);
+  std::fill(gain_sum_.begin(), gain_sum_.end(), 0.0);
+  std::fill(gain_count_.begin(), gain_count_.end(), 0);
+  std::fill(slots_on_.begin(), slots_on_.end(), 0);
+  explore_queue_.clear();
+  for (std::size_t i = 0; i < k(); ++i) explore_queue_.push_back(static_cast<int>(i));
+  consecutive_drop_slots_ = 0;
+  pending_switch_back_to_ = -1;
+  prev_ = -1;
+  prev_window_.clear();
+  prev_was_switch_back_ = false;
+  ++stats_.resets;
+}
+
+void BlockPolicy::force_reset() {
+  if (cur_ >= 0) finalise_block();
+  minimal_reset();
+}
+
+void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
+  if (cur_ < 0) return;  // block was dropped by an environment change
+  const double g = fb.gain;
+  const auto cur = static_cast<std::size_t>(cur_);
+
+  cur_gain_sum_ += g;
+  cur_window_.push_back(g);
+  if (cur_window_.size() > static_cast<std::size_t>(options_.switch_back_window)) {
+    cur_window_.erase(cur_window_.begin());
+  }
+  ++cur_pos_;
+
+  // Greedy statistics (exclude nothing; the paper estimates each network's
+  // quality by the average gain observed on it).
+  gain_sum_[cur] += g;
+  gain_count_[cur] += 1;
+  slots_on_[cur] += 1;
+
+  // Gain-drop reset (paper §V): a >= 15 % drop on the most-used network,
+  // sustained for more than drop_slots consecutive slots, signals a real
+  // change in the environment rather than noise.
+  if (options_.reset) {
+    const std::size_t imax = static_cast<std::size_t>(
+        std::max_element(slots_on_.begin(), slots_on_.end()) - slots_on_.begin());
+    if (cur == imax && gain_count_[cur] > 1) {
+      const double avg = average_gain(cur);
+      if (avg > 0.0 && g < (1.0 - options_.drop_fraction) * avg) {
+        ++consecutive_drop_slots_;
+      } else {
+        consecutive_drop_slots_ = 0;
+      }
+      if (consecutive_drop_slots_ > options_.drop_slots) {
+        finalise_block();
+        minimal_reset();
+        return;
+      }
+    } else {
+      consecutive_drop_slots_ = 0;
+    }
+  }
+
+  // Switch-back evaluation after the first slot of a block (paper §III/§V):
+  // if the new network is worse than the previous one was, abort this block
+  // (it becomes a single-slot block, weights updated as usual) and return.
+  if (cur_pos_ == 1 && should_switch_back(g)) {
+    const int target = prev_;
+    finalise_block();
+    pending_switch_back_to_ = target;
+    return;
+  }
+
+  if (cur_pos_ >= cur_len_) finalise_block();
+}
+
+std::vector<double> BlockPolicy::probabilities() const {
+  if (nets_.empty()) return {};
+  return probs_;
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,127 @@
+// The block-based EXP3 engine underlying Block EXP3, Hybrid Block EXP3 and
+// Smart EXP3 (paper Algorithm 1 plus the §V implementation details).
+//
+// The three published variants differ only in which mechanisms are enabled:
+//
+//   Block EXP3          = adaptive blocking only
+//   Hybrid Block EXP3   = + initial exploration + greedy policy
+//   Smart EXP3 w/o Reset= + switch-back
+//   Smart EXP3          = + minimal reset (periodic and on gain drops)
+//
+// so all four share this engine, configured through BlockPolicyOptions; the
+// named classes in block_exp3.hpp / hybrid_block_exp3.hpp / smart_exp3.hpp
+// are thin configuration wrappers. The option granularity doubles as the
+// feature-ablation surface used by bench/ablation_features.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/weight_table.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::core {
+
+struct BlockPolicyOptions {
+  // --- mechanism toggles ---
+  bool explore_first = false;  ///< visit every network once before learning
+  bool greedy = false;         ///< coin-flip greedy selections while gated on
+  bool switch_back = false;    ///< abort blocks that start worse than before
+  bool reset = false;          ///< minimal reset (periodic + gain-drop)
+
+  // --- parameters (paper §V values) ---
+  double beta = 0.1;                  ///< block growth: len = ceil((1+beta)^x)
+  double reset_prob_threshold = 0.75; ///< periodic reset: p_{i+} >= this ...
+  int reset_block_len = 40;           ///< ... and l_{i+} >= this
+  double drop_fraction = 0.15;        ///< gain-drop reset: >=15 % below average
+  int drop_slots = 4;                 ///< ... for more than this many slots
+  int switch_back_window = 8;         ///< slots of the previous block considered
+  /// Fixed exploration rate; <= 0 selects gamma_b = b^{-1/3} (block index).
+  double fixed_gamma = -1.0;
+};
+
+class BlockPolicy : public Policy {
+ public:
+  BlockPolicy(std::uint64_t seed, BlockPolicyOptions options, std::string name);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot t, const SlotFeedback& fb) override;
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  PolicyStats stats() const override { return stats_; }
+  std::string name() const override { return name_; }
+
+  // --- introspection for tests and the stability detector ---
+  const BlockPolicyOptions& options() const { return options_; }
+  long blocks_started() const { return block_index_; }
+  /// Length a new block on network index i would have right now.
+  int block_length_of(std::size_t i) const;
+  /// Whether the greedy gate (paper §V conditions (a)/(b)) is currently open.
+  bool greedy_gate_open() const;
+  /// Average per-slot gain observed on network index i (0 if never visited).
+  double average_gain(std::size_t i) const;
+  /// Force a minimal reset (exposed for tests; normal operation triggers
+  /// resets internally).
+  void force_reset();
+
+ protected:
+  std::size_t k() const { return nets_.size(); }
+
+ private:
+  void initialise(const std::vector<NetworkId>& available);
+  void apply_network_change(const std::vector<NetworkId>& available);
+  void start_block();
+  void finalise_block();
+  void minimal_reset();
+  bool should_switch_back(double first_slot_gain) const;
+  void refresh_probabilities();
+  std::size_t argmax_probability() const;
+  std::size_t argmax_average_gain() const;
+
+  BlockPolicyOptions options_;
+  std::string name_;
+  stats::Rng rng_;
+
+  std::vector<NetworkId> nets_;
+  WeightTable weights_;
+  std::vector<int> x_;                 // times each network was selected
+  std::vector<double> gain_sum_;       // greedy statistics: sum of slot gains
+  std::vector<long> gain_count_;       // ... and slot counts
+  std::vector<long> slots_on_;         // total slots per network (for i_max)
+
+  long block_index_ = 0;               // b in Algorithm 1 (monotone)
+  double gamma_ = 1.0;                 // gamma of the current block
+  std::vector<double> probs_;          // distribution computed at block start
+
+  // Current block.
+  int cur_ = -1;                       // network index; -1 = between blocks
+  int cur_len_ = 0;
+  int cur_pos_ = 0;
+  double cur_gain_sum_ = 0.0;
+  double cur_p_ = 1.0;                 // probability of the selection (p(b))
+  bool cur_is_switch_back_ = false;
+  std::vector<double> cur_window_;     // last <= switch_back_window slot gains
+
+  // Previous block (for switch-back decisions).
+  int prev_ = -1;
+  bool prev_was_switch_back_ = false;
+  std::vector<double> prev_window_;
+
+  int pending_switch_back_to_ = -1;    // set when a block is aborted
+
+  // Initial / forced exploration.
+  std::vector<int> explore_queue_;     // network indices not yet explored
+
+  // Greedy gate state (paper §V): y = l_{i+} when condition (a) first fails.
+  bool gate_a_failed_once_ = false;
+  int gate_y_ = 0;
+
+  // Gain-drop reset detection.
+  int consecutive_drop_slots_ = 0;
+
+  PolicyStats stats_;
+};
+
+}  // namespace smartexp3::core

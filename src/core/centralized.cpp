@@ -1,0 +1,100 @@
+#include "core/centralized.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/nash.hpp"
+
+namespace smartexp3::core {
+
+CentralizedCoordinator::CentralizedCoordinator(std::vector<double> capacities)
+    : capacities_(std::move(capacities)) {
+  if (capacities_.empty()) {
+    throw std::invalid_argument("CentralizedCoordinator: no networks");
+  }
+}
+
+void CentralizedCoordinator::register_device(DeviceId id) {
+  if (assignment_.emplace(id, kNoNetwork).second) dirty_ = true;
+}
+
+void CentralizedCoordinator::deregister_device(DeviceId id) {
+  if (assignment_.erase(id) > 0) dirty_ = true;
+}
+
+NetworkId CentralizedCoordinator::assignment(DeviceId id) {
+  if (dirty_) rebalance();
+  const auto it = assignment_.find(id);
+  if (it == assignment_.end() || it->second == kNoNetwork) {
+    throw std::logic_error("CentralizedCoordinator: device not registered/assigned");
+  }
+  return it->second;
+}
+
+void CentralizedCoordinator::rebalance() {
+  // Target equilibrium counts, then a minimum-move reassignment: devices
+  // keep their current network while quota remains, and only the surplus is
+  // moved into networks with free quota.
+  const auto target =
+      metrics::water_fill_allocation(capacities_, static_cast<int>(assignment_.size()));
+  std::vector<int> remaining = target;
+  std::vector<DeviceId> to_place;
+  for (auto& [id, net] : assignment_) {
+    if (net != kNoNetwork && remaining[static_cast<std::size_t>(net)] > 0) {
+      --remaining[static_cast<std::size_t>(net)];
+    } else {
+      to_place.push_back(id);
+    }
+  }
+  std::size_t next_net = 0;
+  for (const DeviceId id : to_place) {
+    while (next_net < remaining.size() && remaining[next_net] == 0) ++next_net;
+    if (next_net >= remaining.size()) {
+      throw std::logic_error("CentralizedCoordinator: quota accounting mismatch");
+    }
+    assignment_[id] = static_cast<NetworkId>(next_net);
+    --remaining[next_net];
+  }
+  dirty_ = false;
+}
+
+CentralizedPolicy::CentralizedPolicy(DeviceId id,
+                                     std::shared_ptr<CentralizedCoordinator> coordinator)
+    : id_(id), coordinator_(std::move(coordinator)) {
+  if (!coordinator_) throw std::invalid_argument("CentralizedPolicy: null coordinator");
+}
+
+CentralizedPolicy::~CentralizedPolicy() {
+  if (registered_) coordinator_->deregister_device(id_);
+}
+
+void CentralizedPolicy::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("Centralized: empty network set");
+  nets_ = available;
+  if (!registered_) {
+    coordinator_->register_device(id_);
+    registered_ = true;
+  }
+}
+
+NetworkId CentralizedPolicy::choose(Slot) { return coordinator_->assignment(id_); }
+
+void CentralizedPolicy::on_leave(Slot) {
+  if (registered_) {
+    coordinator_->deregister_device(id_);
+    registered_ = false;
+  }
+}
+
+std::vector<double> CentralizedPolicy::probabilities() const {
+  std::vector<double> p(nets_.size(), 0.0);
+  if (!registered_) return p;
+  // The coordinator's assignment is deterministic: one-hot.
+  const NetworkId net = coordinator_->assignment(id_);
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i] == net) p[i] = 1.0;
+  }
+  return p;
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,62 @@
+// Centralized baseline (paper Table II): an omniscient coordinator that
+// keeps all participating devices at a Nash-equilibrium allocation. It is
+// not implementable without infrastructure support; the paper includes it as
+// the optimal reference. Devices sharing a CentralizedCoordinator register
+// on arrival and are (re)assigned with a minimum number of moves whenever
+// membership changes, so in a static setting the baseline performs zero
+// switches after the first slot.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace smartexp3::core {
+
+class CentralizedCoordinator {
+ public:
+  /// `capacities[i]` is the capacity (Mbps) of network id i. The coordinator
+  /// assumes all registered devices can reach all networks (true for the
+  /// static settings the paper evaluates it on).
+  explicit CentralizedCoordinator(std::vector<double> capacities);
+
+  void register_device(DeviceId id);
+  void deregister_device(DeviceId id);
+
+  /// Current network assignment for a registered device. Recomputes the
+  /// allocation lazily after membership changes.
+  NetworkId assignment(DeviceId id);
+
+  int device_count() const { return static_cast<int>(assignment_.size()); }
+
+ private:
+  void rebalance();
+
+  std::vector<double> capacities_;
+  std::map<DeviceId, NetworkId> assignment_;  // ordered => deterministic
+  bool dirty_ = false;
+};
+
+class CentralizedPolicy final : public Policy {
+ public:
+  CentralizedPolicy(DeviceId id, std::shared_ptr<CentralizedCoordinator> coordinator);
+  ~CentralizedPolicy() override;
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot, const SlotFeedback&) override {}
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  void on_leave(Slot t) override;
+  std::string name() const override { return "centralized"; }
+
+ private:
+  DeviceId id_;
+  std::shared_ptr<CentralizedCoordinator> coordinator_;
+  std::vector<NetworkId> nets_;
+  bool registered_ = false;
+};
+
+}  // namespace smartexp3::core

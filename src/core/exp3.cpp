@@ -1,0 +1,74 @@
+#include "core/exp3.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace smartexp3::core {
+
+Exp3::Exp3(std::uint64_t seed) : Exp3(seed, Options{}) {}
+
+Exp3::Exp3(std::uint64_t seed, Options options) : options_(options), rng_(seed) {}
+
+double Exp3::current_gamma() const {
+  if (options_.fixed_gamma > 0.0) return std::min(options_.fixed_gamma, 1.0);
+  return gamma_schedule(selections_ + 1);
+}
+
+void Exp3::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("Exp3: empty network set");
+  if (nets_.empty()) {
+    nets_ = available;
+    weights_.reset(nets_.size());
+    return;
+  }
+  // Environment change: keep the learned weight of every retained network,
+  // start newly discovered networks at absolute weight 1 — tiny relative to
+  // long-trained favourites, exactly as in unnormalised textbook EXP3.
+  WeightTable next;
+  next.set_offset(weights_.offset());
+  std::vector<NetworkId> next_nets;
+  next_nets.reserve(available.size());
+  for (const NetworkId id : available) {
+    const auto it = std::find(nets_.begin(), nets_.end(), id);
+    next_nets.push_back(id);
+    if (it != nets_.end()) {
+      next.push_back(weights_.log_weight(static_cast<std::size_t>(it - nets_.begin())));
+    } else {
+      next.push_back(weights_.relative_of_unit_weight());
+    }
+  }
+  nets_ = std::move(next_nets);
+  weights_ = std::move(next);
+  weights_.normalise();
+  chosen_ = -1;  // a pending observation no longer maps to a valid index
+}
+
+NetworkId Exp3::choose(Slot) {
+  assert(!nets_.empty());
+  gamma_used_ = current_gamma();
+  const auto probs = weights_.probabilities(gamma_used_);
+  const std::size_t idx = rng_.sample_discrete(probs);
+  chosen_ = static_cast<int>(idx);
+  p_chosen_ = probs[idx];
+  ++selections_;
+  return nets_[idx];
+}
+
+void Exp3::observe(Slot, const SlotFeedback& fb) {
+  if (chosen_ < 0) return;  // network set changed between choose and observe
+  // Importance-weighted gain estimate and multiplicative update (paper
+  // Algorithm 1 lines 11-12 with block length 1).
+  const double ghat = fb.gain / std::max(p_chosen_, 1e-12);
+  weights_.bump(static_cast<std::size_t>(chosen_),
+                gamma_used_ * ghat / static_cast<double>(nets_.size()));
+  weights_.normalise();
+  chosen_ = -1;
+}
+
+std::vector<double> Exp3::probabilities() const {
+  if (nets_.empty()) return {};
+  return weights_.probabilities(current_gamma());
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,44 @@
+// EXP3 (Auer, Cesa-Bianchi, Freund, Schapire 2002): the classic adversarial
+// multi-armed bandit algorithm, selecting per time slot. This is the
+// baseline the paper improves upon.
+#pragma once
+
+#include "core/policy.hpp"
+#include "core/weight_table.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::core {
+
+class Exp3 final : public Policy {
+ public:
+  struct Options {
+    /// Fixed exploration rate; <= 0 selects the decaying schedule
+    /// gamma_t = t^{-1/3} used in the paper's implementation.
+    double fixed_gamma = -1.0;
+  };
+
+  explicit Exp3(std::uint64_t seed);
+  Exp3(std::uint64_t seed, Options options);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot t, const SlotFeedback& fb) override;
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "exp3"; }
+
+  /// Exposed for tests: the gamma that will be used by the next selection.
+  double current_gamma() const;
+
+ private:
+  Options options_;
+  stats::Rng rng_;
+  std::vector<NetworkId> nets_;
+  WeightTable weights_;
+  long selections_ = 0;   // number of choose() calls so far
+  int chosen_ = -1;       // index of the arm picked this slot
+  double p_chosen_ = 1.0; // probability with which it was picked
+  double gamma_used_ = 1.0;
+};
+
+}  // namespace smartexp3::core

@@ -1,0 +1,72 @@
+#include "core/factory.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "core/block_exp3.hpp"
+#include "core/exp3.hpp"
+#include "core/fixed_random.hpp"
+#include "core/full_information.hpp"
+#include "core/greedy.hpp"
+#include "core/hybrid_block_exp3.hpp"
+#include "core/ucb1.hpp"
+
+namespace smartexp3::core {
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {
+      "exp3",   "block_exp3",   "hybrid_block_exp3", "smart_exp3_noreset",
+      "smart_exp3", "greedy",   "full_information",  "centralized",
+      "fixed_random"};
+  return names;
+}
+
+const std::vector<std::string>& extension_policy_names() {
+  static const std::vector<std::string> names = {"ucb1"};
+  return names;
+}
+
+bool is_valid_policy_name(const std::string& name) {
+  const auto& names = policy_names();
+  if (std::find(names.begin(), names.end(), name) != names.end()) return true;
+  const auto& ext = extension_policy_names();
+  return std::find(ext.begin(), ext.end(), name) != ext.end();
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name, std::uint64_t seed,
+                                    const SmartExp3Tunables& smart) {
+  if (name == "exp3") return std::make_unique<Exp3>(seed);
+  if (name == "block_exp3") return std::make_unique<BlockExp3>(seed, smart.beta);
+  if (name == "hybrid_block_exp3") return std::make_unique<HybridBlockExp3>(seed, smart.beta);
+  if (name == "smart_exp3") {
+    SmartExp3Tunables t = smart;
+    t.enable_reset = true;
+    return std::make_unique<SmartExp3>(seed, t);
+  }
+  if (name == "smart_exp3_noreset") {
+    SmartExp3Tunables t = smart;
+    t.enable_reset = false;
+    return std::make_unique<SmartExp3>(seed, t);
+  }
+  if (name == "greedy") return std::make_unique<GreedyPolicy>(seed);
+  if (name == "fixed_random") return std::make_unique<FixedRandomPolicy>(seed);
+  if (name == "full_information") return std::make_unique<FullInformationPolicy>(seed);
+  if (name == "ucb1") return std::make_unique<Ucb1Policy>(seed);
+  throw std::invalid_argument("make_policy: unknown or unsupported policy '" + name + "'");
+}
+
+std::function<std::unique_ptr<Policy>(DeviceId, const std::string&, std::uint64_t)>
+make_named_policy_factory(std::vector<double> capacities, SmartExp3Tunables smart) {
+  // One coordinator shared by every centralized device of the same world.
+  auto coordinator = std::make_shared<CentralizedCoordinator>(std::move(capacities));
+  return [coordinator, smart](DeviceId id, const std::string& name, std::uint64_t seed)
+             -> std::unique_ptr<Policy> {
+    if (name == "centralized") {
+      return std::make_unique<CentralizedPolicy>(id, coordinator);
+    }
+    return make_policy(name, seed, smart);
+  };
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,46 @@
+// Policy factory: create any of the nine selection algorithms by name.
+//
+// Names (as used in DeviceSpec::policy_name and the CLI):
+//   "exp3", "block_exp3", "hybrid_block_exp3", "smart_exp3",
+//   "smart_exp3_noreset", "greedy", "fixed_random", "full_information",
+//   "centralized"
+//
+// "centralized" requires a shared CentralizedCoordinator; use
+// make_policy_factory, which owns one per call (i.e. one per world).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/centralized.hpp"
+#include "core/policy.hpp"
+#include "core/smart_exp3.hpp"
+
+namespace smartexp3::core {
+
+/// The paper's nine algorithms, in its presentation order.
+const std::vector<std::string>& policy_names();
+
+/// Extension algorithms implemented beyond the paper (currently "ucb1", the
+/// stochastic-bandit contrast baseline).
+const std::vector<std::string>& extension_policy_names();
+
+/// Accepts both paper and extension names.
+bool is_valid_policy_name(const std::string& name);
+
+/// Create a non-centralized policy by name. Throws std::invalid_argument on
+/// unknown names and on "centralized" (which needs a coordinator).
+std::unique_ptr<Policy> make_policy(const std::string& name, std::uint64_t seed,
+                                    const SmartExp3Tunables& smart = {});
+
+/// A factory functor suitable for netsim::World: handles every policy name
+/// including "centralized" (one shared coordinator per factory instance).
+/// `capacities[i]` must be the capacity of network id i (used only by the
+/// centralized coordinator).
+std::function<std::unique_ptr<Policy>(DeviceId id, const std::string& name,
+                                      std::uint64_t seed)>
+make_named_policy_factory(std::vector<double> capacities, SmartExp3Tunables smart = {});
+
+}  // namespace smartexp3::core

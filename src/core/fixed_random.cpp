@@ -1,0 +1,38 @@
+#include "core/fixed_random.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smartexp3::core {
+
+FixedRandomPolicy::FixedRandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+void FixedRandomPolicy::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("FixedRandom: empty network set");
+  nets_ = available;
+  if (picked_ != kNoNetwork &&
+      std::find(nets_.begin(), nets_.end(), picked_) == nets_.end()) {
+    picked_ = kNoNetwork;  // forced to re-draw
+  }
+}
+
+NetworkId FixedRandomPolicy::choose(Slot) {
+  if (picked_ == kNoNetwork) {
+    picked_ = nets_[static_cast<std::size_t>(rng_.below(nets_.size()))];
+  }
+  return picked_;
+}
+
+std::vector<double> FixedRandomPolicy::probabilities() const {
+  std::vector<double> p(nets_.size(), 0.0);
+  if (picked_ == kNoNetwork) {
+    std::fill(p.begin(), p.end(), nets_.empty() ? 0.0 : 1.0 / static_cast<double>(nets_.size()));
+    return p;
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (nets_[i] == picked_) p[i] = 1.0;
+  }
+  return p;
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,27 @@
+// Fixed Random baseline (paper Table II): pick one network uniformly at
+// random and never leave it (unless it disappears).
+#pragma once
+
+#include "core/policy.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::core {
+
+class FixedRandomPolicy final : public Policy {
+ public:
+  explicit FixedRandomPolicy(std::uint64_t seed);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot /*t*/, const SlotFeedback& /*fb*/) override {}
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "fixed_random"; }
+
+ private:
+  stats::Rng rng_;
+  std::vector<NetworkId> nets_;
+  NetworkId picked_ = kNoNetwork;
+};
+
+}  // namespace smartexp3::core

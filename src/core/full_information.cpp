@@ -1,0 +1,66 @@
+#include "core/full_information.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace smartexp3::core {
+
+FullInformationPolicy::FullInformationPolicy(std::uint64_t seed)
+    : FullInformationPolicy(seed, Options{}) {}
+
+FullInformationPolicy::FullInformationPolicy(std::uint64_t seed, Options options)
+    : options_(options), rng_(seed) {}
+
+double FullInformationPolicy::current_eta() const {
+  if (options_.fixed_eta > 0.0) return std::min(options_.fixed_eta, 1.0);
+  return gamma_schedule(selections_ + 1);
+}
+
+void FullInformationPolicy::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("FullInformation: empty network set");
+  if (nets_.empty()) {
+    nets_ = available;
+    weights_.reset(nets_.size());
+    return;
+  }
+  WeightTable next;
+  std::vector<NetworkId> next_nets;
+  for (const NetworkId id : available) {
+    const auto it = std::find(nets_.begin(), nets_.end(), id);
+    next_nets.push_back(id);
+    next.push_back(it != nets_.end()
+                       ? weights_.log_weight(static_cast<std::size_t>(it - nets_.begin()))
+                       : 0.0);
+  }
+  nets_ = std::move(next_nets);
+  weights_ = std::move(next);
+  weights_.normalise();
+}
+
+NetworkId FullInformationPolicy::choose(Slot) {
+  assert(!nets_.empty());
+  // Pure weight-proportional sampling: full feedback needs no forced
+  // exploration (gamma = 0 in the mixing formula).
+  const auto probs = weights_.probabilities(0.0);
+  ++selections_;
+  return nets_[rng_.sample_discrete(probs)];
+}
+
+void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {
+  if (fb.all_gains.size() != nets_.size()) return;  // feedback unavailable
+  // Multiplicative update on losses: w_i *= exp(-eta * (1 - gain_i)).
+  const double eta = current_eta();
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const double loss = 1.0 - std::clamp(fb.all_gains[i], 0.0, 1.0);
+    weights_.bump(i, -eta * loss);
+  }
+  weights_.normalise();
+}
+
+std::vector<double> FullInformationPolicy::probabilities() const {
+  if (nets_.empty()) return {};
+  return weights_.probabilities(0.0);
+}
+
+}  // namespace smartexp3::core

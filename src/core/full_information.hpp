@@ -1,0 +1,44 @@
+// Full Information baseline (paper Table II): an exponentially weighted
+// forecaster in the *full-feedback* model. At the end of every slot the
+// device learns the gain it could have obtained from every network and
+// applies a multiplicative loss update (György & Ottucsák-style). It is not
+// implementable without external feedback; the paper includes it as an
+// idealised reference point.
+#pragma once
+
+#include "core/policy.hpp"
+#include "core/weight_table.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::core {
+
+class FullInformationPolicy final : public Policy {
+ public:
+  struct Options {
+    /// Fixed learning rate; <= 0 selects the decaying schedule
+    /// eta_t = t^{-1/3}, matching the exploration schedule of the bandit
+    /// policies.
+    double fixed_eta = -1.0;
+  };
+
+  explicit FullInformationPolicy(std::uint64_t seed);
+  FullInformationPolicy(std::uint64_t seed, Options options);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot t, const SlotFeedback& fb) override;
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "full_information"; }
+
+ private:
+  double current_eta() const;
+
+  Options options_;
+  stats::Rng rng_;
+  std::vector<NetworkId> nets_;
+  WeightTable weights_;
+  long selections_ = 0;
+};
+
+}  // namespace smartexp3::core

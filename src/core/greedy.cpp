@@ -1,0 +1,111 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace smartexp3::core {
+
+GreedyPolicy::GreedyPolicy(std::uint64_t seed) : rng_(seed) {}
+
+void GreedyPolicy::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("Greedy: empty network set");
+  if (nets_.empty()) {
+    nets_ = available;
+    gain_sum_.assign(nets_.size(), 0.0);
+    gain_count_.assign(nets_.size(), 0);
+    explore_queue_.clear();
+    for (std::size_t i = 0; i < nets_.size(); ++i) explore_queue_.push_back(static_cast<int>(i));
+    rng_.shuffle(explore_queue_);
+    return;
+  }
+  if (available == nets_) return;
+
+  // Keep statistics of retained networks; enqueue newly discovered ones for
+  // a single exploration visit.
+  std::vector<double> next_sum;
+  std::vector<long> next_count;
+  std::vector<int> next_explore;
+  for (std::size_t j = 0; j < available.size(); ++j) {
+    const auto it = std::find(nets_.begin(), nets_.end(), available[j]);
+    if (it != nets_.end()) {
+      const auto i = static_cast<std::size_t>(it - nets_.begin());
+      next_sum.push_back(gain_sum_[i]);
+      next_count.push_back(gain_count_[i]);
+      if (std::find(explore_queue_.begin(), explore_queue_.end(), static_cast<int>(i)) !=
+          explore_queue_.end()) {
+        next_explore.push_back(static_cast<int>(j));
+      }
+    } else {
+      next_sum.push_back(0.0);
+      next_count.push_back(0);
+      next_explore.push_back(static_cast<int>(j));
+    }
+  }
+  nets_ = available;
+  gain_sum_ = std::move(next_sum);
+  gain_count_ = std::move(next_count);
+  explore_queue_ = std::move(next_explore);
+  rng_.shuffle(explore_queue_);
+  chosen_ = -1;
+}
+
+double GreedyPolicy::average_gain(std::size_t i) const {
+  return gain_count_[i] > 0 ? gain_sum_[i] / static_cast<double>(gain_count_[i]) : 0.0;
+}
+
+std::size_t GreedyPolicy::best_index() const {
+  // Deterministic argmax (first of any ties); choose() breaks ties randomly.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < nets_.size(); ++i) {
+    if (average_gain(i) > average_gain(best)) best = i;
+  }
+  return best;
+}
+
+NetworkId GreedyPolicy::choose(Slot) {
+  assert(!nets_.empty());
+  if (!explore_queue_.empty()) {
+    chosen_ = explore_queue_.back();
+    explore_queue_.pop_back();
+    return nets_[static_cast<std::size_t>(chosen_)];
+  }
+  // Argmax with random tie-breaking.
+  double best = -1.0;
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const double avg = average_gain(i);
+    if (avg > best + 1e-12) {
+      best = avg;
+      ties.clear();
+      ties.push_back(i);
+    } else if (avg > best - 1e-12) {
+      ties.push_back(i);
+    }
+  }
+  const std::size_t pick = ties[static_cast<std::size_t>(rng_.below(ties.size()))];
+  chosen_ = static_cast<int>(pick);
+  return nets_[pick];
+}
+
+void GreedyPolicy::observe(Slot, const SlotFeedback& fb) {
+  if (chosen_ < 0) return;
+  gain_sum_[static_cast<std::size_t>(chosen_)] += fb.gain;
+  gain_count_[static_cast<std::size_t>(chosen_)] += 1;
+  chosen_ = -1;
+}
+
+std::vector<double> GreedyPolicy::probabilities() const {
+  std::vector<double> p(nets_.size(), 0.0);
+  if (nets_.empty()) return p;
+  if (!explore_queue_.empty()) {
+    // Still exploring: effectively uniform over the unexplored set.
+    for (const int i : explore_queue_) p[static_cast<std::size_t>(i)] =
+        1.0 / static_cast<double>(explore_queue_.size());
+    return p;
+  }
+  p[best_index()] = 1.0;
+  return p;
+}
+
+}  // namespace smartexp3::core

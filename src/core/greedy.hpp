@@ -1,0 +1,36 @@
+// Greedy baseline (paper Table II): explore each network once in random
+// order, then always select the network with the highest average observed
+// gain. Simple, low-switching, but prone to "tragedy of the commons"
+// lock-in (paper §VI-A, unutilized resources).
+#pragma once
+
+#include "core/policy.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::core {
+
+class GreedyPolicy final : public Policy {
+ public:
+  explicit GreedyPolicy(std::uint64_t seed);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot t, const SlotFeedback& fb) override;
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "greedy"; }
+
+  double average_gain(std::size_t i) const;
+
+ private:
+  std::size_t best_index() const;
+
+  stats::Rng rng_;
+  std::vector<NetworkId> nets_;
+  std::vector<double> gain_sum_;
+  std::vector<long> gain_count_;
+  std::vector<int> explore_queue_;  // indices not yet visited (random order)
+  int chosen_ = -1;
+};
+
+}  // namespace smartexp3::core

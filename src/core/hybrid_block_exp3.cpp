@@ -1,0 +1,18 @@
+#include "core/hybrid_block_exp3.hpp"
+
+namespace smartexp3::core {
+
+namespace {
+BlockPolicyOptions hybrid_options(double beta) {
+  BlockPolicyOptions o;
+  o.beta = beta;
+  o.explore_first = true;
+  o.greedy = true;
+  return o;
+}
+}  // namespace
+
+HybridBlockExp3::HybridBlockExp3(std::uint64_t seed, double beta)
+    : BlockPolicy(seed, hybrid_options(beta), "hybrid_block_exp3") {}
+
+}  // namespace smartexp3::core

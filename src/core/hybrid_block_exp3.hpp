@@ -1,0 +1,15 @@
+// Hybrid Block EXP3 (paper Table III): Block EXP3 extended with Smart
+// EXP3's initial-exploration phase and coin-flip greedy policy. No
+// switch-back, no reset.
+#pragma once
+
+#include "core/block_policy.hpp"
+
+namespace smartexp3::core {
+
+class HybridBlockExp3 final : public BlockPolicy {
+ public:
+  explicit HybridBlockExp3(std::uint64_t seed, double beta = 0.1);
+};
+
+}  // namespace smartexp3::core

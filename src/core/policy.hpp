@@ -1,0 +1,85 @@
+// The network-selection policy interface.
+//
+// A Policy is the per-device decision maker: every slot the world asks it
+// which network to use (`choose`) and afterwards reports what happened
+// (`observe`). Policies never see other devices or the world directly — the
+// only coupling between devices is through the congestion they create, which
+// is exactly the bandit feedback model of the paper (§II-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/types.hpp"
+
+namespace smartexp3::core {
+
+/// Everything a device learns about the slot that just finished.
+struct SlotFeedback {
+  /// Bit rate observed on the chosen network (Mbps).
+  double bit_rate_mbps = 0.0;
+  /// The same rate scaled into [0, 1] by the world's gain scale — the gain
+  /// `g_i(t)` of the paper's formulation. Deliberately ignores switching
+  /// delay (§II-B item 4).
+  double gain = 0.0;
+  /// True if this slot began with a network switch.
+  bool switched = false;
+  /// Association delay paid at the start of the slot (seconds; 0 if no
+  /// switch).
+  double delay_s = 0.0;
+  /// Data actually downloaded this slot (megabytes), i.e. goodput after the
+  /// switching delay.
+  double goodput_mb = 0.0;
+  /// Full-information feedback: for every *visible* network (in the order of
+  /// Policy::networks()) the rate the device would have observed there this
+  /// slot. Only the FullInformation baseline consumes this; bandit policies
+  /// must ignore it.
+  std::vector<double> all_rates_mbps;
+  /// Scaled version of all_rates_mbps (same indexing), in [0, 1].
+  std::vector<double> all_gains;
+};
+
+/// Counters a policy maintains about its own mechanisms, used by the
+/// experiment reports (e.g. reset and switch-back counts of Smart EXP3).
+struct PolicyStats {
+  int blocks_started = 0;
+  int greedy_selections = 0;
+  int switch_backs = 0;
+  int resets = 0;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Install / update the set of visible networks (sorted by the world in
+  /// network-table order). The first call initialises the policy; later
+  /// calls signal a change in the environment (device moved, networks
+  /// (dis)appeared) and trigger each policy's adaptation rules.
+  virtual void set_networks(const std::vector<NetworkId>& available) = 0;
+
+  /// The network to use during slot `t`. Must be one of networks().
+  virtual NetworkId choose(Slot t) = 0;
+
+  /// Feedback for slot `t` (the slot chosen by the immediately preceding
+  /// choose() call).
+  virtual void observe(Slot t, const SlotFeedback& fb) = 0;
+
+  /// Current mixed strategy over networks(), aligned index-for-index.
+  /// Deterministic policies return a one-hot vector. Used by the
+  /// stability detector (paper Definition 2).
+  virtual std::vector<double> probabilities() const = 0;
+
+  /// Currently visible networks, aligned with probabilities().
+  virtual const std::vector<NetworkId>& networks() const = 0;
+
+  /// Called when the device leaves the service area (used by the
+  /// centralized baseline to release its allocation slot).
+  virtual void on_leave(Slot /*t*/) {}
+
+  virtual PolicyStats stats() const { return {}; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace smartexp3::core

@@ -1,0 +1,35 @@
+#include "core/smart_exp3.hpp"
+
+namespace smartexp3::core {
+
+namespace {
+BlockPolicyOptions to_options(const SmartExp3Tunables& t) {
+  BlockPolicyOptions o;
+  o.beta = t.beta;
+  o.explore_first = t.enable_explore_first;
+  o.greedy = t.enable_greedy;
+  o.switch_back = t.enable_switch_back;
+  o.reset = t.enable_reset;
+  o.reset_prob_threshold = t.reset_prob_threshold;
+  o.reset_block_len = t.reset_block_len;
+  o.drop_fraction = t.drop_fraction;
+  o.drop_slots = t.drop_slots;
+  o.switch_back_window = t.switch_back_window;
+  return o;
+}
+
+std::string variant_name(const SmartExp3Tunables& t) {
+  return t.enable_reset ? "smart_exp3" : "smart_exp3_noreset";
+}
+}  // namespace
+
+SmartExp3::SmartExp3(std::uint64_t seed, SmartExp3Tunables tunables)
+    : BlockPolicy(seed, to_options(tunables), variant_name(tunables)) {}
+
+SmartExp3Tunables smart_exp3_no_reset() {
+  SmartExp3Tunables t;
+  t.enable_reset = false;
+  return t;
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,36 @@
+// Smart EXP3 — the paper's contribution (Algorithm 1 + §V implementation
+// details): adaptive blocking, initial exploration, coin-flip greedy
+// selections while the distribution is near-uniform, switch-back after bad
+// first slots, and a minimal reset mechanism (periodic and on sustained gain
+// drops) that retains learned weights while re-enabling exploration.
+#pragma once
+
+#include "core/block_policy.hpp"
+
+namespace smartexp3::core {
+
+/// Tunables of Smart EXP3 beyond the defaults. All paper §V values are the
+/// defaults of BlockPolicyOptions; this struct exists so ablation benches
+/// and downstream users can deviate deliberately.
+struct SmartExp3Tunables {
+  double beta = 0.1;
+  bool enable_reset = true;        ///< false = "Smart EXP3 w/o Reset"
+  bool enable_switch_back = true;
+  bool enable_greedy = true;
+  bool enable_explore_first = true;
+  double reset_prob_threshold = 0.75;
+  int reset_block_len = 40;
+  double drop_fraction = 0.15;
+  int drop_slots = 4;
+  int switch_back_window = 8;
+};
+
+class SmartExp3 final : public BlockPolicy {
+ public:
+  explicit SmartExp3(std::uint64_t seed, SmartExp3Tunables tunables = {});
+};
+
+/// Convenience: the "Smart EXP3 w/o Reset" variant used throughout §VI.
+SmartExp3Tunables smart_exp3_no_reset();
+
+}  // namespace smartexp3::core

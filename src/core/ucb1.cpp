@@ -1,0 +1,102 @@
+#include "core/ucb1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace smartexp3::core {
+
+Ucb1Policy::Ucb1Policy(std::uint64_t seed) : Ucb1Policy(seed, Options{}) {}
+
+Ucb1Policy::Ucb1Policy(std::uint64_t seed, Options options)
+    : options_(options), rng_(seed) {
+  if (options_.c <= 0.0) throw std::invalid_argument("Ucb1: c must be positive");
+}
+
+void Ucb1Policy::set_networks(const std::vector<NetworkId>& available) {
+  if (available.empty()) throw std::invalid_argument("Ucb1: empty network set");
+  if (nets_.empty()) {
+    nets_ = available;
+    gain_sum_.assign(nets_.size(), 0.0);
+    pulls_.assign(nets_.size(), 0);
+    return;
+  }
+  if (available == nets_) return;
+  // Keep statistics of retained arms; new arms start unpulled (UCB1's
+  // infinite optimism explores them immediately).
+  std::vector<double> next_sum;
+  std::vector<long> next_pulls;
+  for (const NetworkId id : available) {
+    const auto it = std::find(nets_.begin(), nets_.end(), id);
+    if (it != nets_.end()) {
+      const auto i = static_cast<std::size_t>(it - nets_.begin());
+      next_sum.push_back(gain_sum_[i]);
+      next_pulls.push_back(pulls_[i]);
+    } else {
+      next_sum.push_back(0.0);
+      next_pulls.push_back(0);
+    }
+  }
+  nets_ = available;
+  gain_sum_ = std::move(next_sum);
+  pulls_ = std::move(next_pulls);
+  chosen_ = -1;
+}
+
+double Ucb1Policy::ucb(std::size_t i) const {
+  if (pulls_[i] == 0) return std::numeric_limits<double>::infinity();
+  const double mean = gain_sum_[i] / static_cast<double>(pulls_[i]);
+  const double radius = std::sqrt(options_.c * std::log(std::max<long>(total_pulls_, 2)) /
+                                  static_cast<double>(pulls_[i]));
+  return mean + radius;
+}
+
+std::size_t Ucb1Policy::best_ucb_index() {
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const double v = ucb(i);
+    if (v > best) {
+      best = v;
+      ties.assign(1, i);
+    } else if (v == best) {
+      ties.push_back(i);
+    }
+  }
+  return ties[static_cast<std::size_t>(rng_.below(ties.size()))];
+}
+
+NetworkId Ucb1Policy::choose(Slot) {
+  const std::size_t idx = best_ucb_index();
+  chosen_ = static_cast<int>(idx);
+  return nets_[idx];
+}
+
+void Ucb1Policy::observe(Slot, const SlotFeedback& fb) {
+  if (chosen_ < 0) return;
+  const auto i = static_cast<std::size_t>(chosen_);
+  gain_sum_[i] += std::clamp(fb.gain, 0.0, 1.0);
+  pulls_[i] += 1;
+  total_pulls_ += 1;
+  chosen_ = -1;
+}
+
+std::vector<double> Ucb1Policy::probabilities() const {
+  // UCB1 is deterministic up to tie-breaks: one-hot on the argmax UCB.
+  std::vector<double> p(nets_.size(), 0.0);
+  if (nets_.empty()) return p;
+  std::size_t best = 0;
+  double best_v = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const double v = ucb(i);
+    if (v > best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  p[best] = 1.0;
+  return p;
+}
+
+}  // namespace smartexp3::core

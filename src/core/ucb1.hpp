@@ -1,0 +1,49 @@
+// UCB1 (Auer, Cesa-Bianchi, Fischer 2002) — a *stochastic* bandit baseline.
+//
+// Not part of the paper's Table II, but the paper contrasts its adversarial
+// formulation with stochastic-bandit approaches to network selection (§VIII,
+// [36]); this implementation makes that contrast measurable: UCB1's
+// optimism-under-stationarity assumption is violated by congestion (other
+// devices are adversaries) and by drifting network quality, so it serves as
+// the canonical "wrong model" baseline in the extension benches.
+#pragma once
+
+#include "core/policy.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::core {
+
+class Ucb1Policy final : public Policy {
+ public:
+  struct Options {
+    /// Exploration strength in the confidence radius sqrt(c * ln t / n_i).
+    /// The classic constant is 2.
+    double c = 2.0;
+  };
+
+  explicit Ucb1Policy(std::uint64_t seed);
+  Ucb1Policy(std::uint64_t seed, Options options);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot t, const SlotFeedback& fb) override;
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "ucb1"; }
+
+  /// Current upper confidence bound of arm i (exposed for tests).
+  double ucb(std::size_t i) const;
+
+ private:
+  std::size_t best_ucb_index();
+
+  Options options_;
+  stats::Rng rng_;
+  std::vector<NetworkId> nets_;
+  std::vector<double> gain_sum_;
+  std::vector<long> pulls_;
+  long total_pulls_ = 0;
+  int chosen_ = -1;
+};
+
+}  // namespace smartexp3::core

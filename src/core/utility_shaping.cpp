@@ -1,0 +1,81 @@
+#include "core/utility_shaping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netsim/types.hpp"
+
+namespace smartexp3::core {
+
+UtilityShapedPolicy::UtilityShapedPolicy(std::unique_ptr<Policy> inner,
+                                         UtilityWeights weights,
+                                         std::unordered_map<NetworkId, NetworkCosts> costs,
+                                         double gain_scale_mbps, double slot_seconds)
+    : inner_(std::move(inner)),
+      weights_(weights),
+      costs_(std::move(costs)),
+      gain_scale_mbps_(gain_scale_mbps),
+      slot_seconds_(slot_seconds) {
+  if (!inner_) throw std::invalid_argument("UtilityShapedPolicy: null inner policy");
+  if (gain_scale_mbps_ <= 0.0) {
+    throw std::invalid_argument("UtilityShapedPolicy: gain scale must be positive");
+  }
+}
+
+double UtilityShapedPolicy::shape(NetworkId net, double gain) const {
+  double utility = weights_.rate * gain;
+  const auto it = costs_.find(net);
+  if (it != costs_.end()) {
+    // The scaled gain corresponds to gain * scale Mbps, i.e. this many MB
+    // per slot — the basis for the monetary term.
+    const double mb_this_slot = mbps_seconds_to_mb(gain * gain_scale_mbps_, slot_seconds_);
+    utility -= weights_.cost * it->second.cost_per_mb * mb_this_slot;
+    utility -= weights_.energy * it->second.energy_per_slot;
+  }
+  return std::clamp(utility, 0.0, 1.0);
+}
+
+void UtilityShapedPolicy::set_networks(const std::vector<NetworkId>& available) {
+  inner_->set_networks(available);
+}
+
+NetworkId UtilityShapedPolicy::choose(Slot t) {
+  last_chosen_ = inner_->choose(t);
+  return last_chosen_;
+}
+
+void UtilityShapedPolicy::observe(Slot t, const SlotFeedback& fb) {
+  // The world guarantees observe() follows the matching choose(), so the
+  // gain belongs to last_chosen_.
+  SlotFeedback shaped = fb;
+  shaped.gain = shape(last_chosen_, fb.gain);
+  for (std::size_t i = 0; i < shaped.all_gains.size(); ++i) {
+    shaped.all_gains[i] = shape(inner_->networks()[i], fb.all_gains[i]);
+  }
+  inner_->observe(t, shaped);
+}
+
+std::vector<double> UtilityShapedPolicy::probabilities() const {
+  return inner_->probabilities();
+}
+
+const std::vector<NetworkId>& UtilityShapedPolicy::networks() const {
+  return inner_->networks();
+}
+
+void UtilityShapedPolicy::on_leave(Slot t) { inner_->on_leave(t); }
+
+PolicyStats UtilityShapedPolicy::stats() const { return inner_->stats(); }
+
+std::string UtilityShapedPolicy::name() const {
+  return "utility_shaped(" + inner_->name() + ")";
+}
+
+std::unique_ptr<Policy> make_utility_shaped(
+    std::unique_ptr<Policy> inner, UtilityWeights weights,
+    std::unordered_map<NetworkId, NetworkCosts> costs, double gain_scale_mbps) {
+  return std::make_unique<UtilityShapedPolicy>(std::move(inner), weights,
+                                               std::move(costs), gain_scale_mbps);
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,72 @@
+// Utility shaping — the paper's §IX future work: "consider other selection
+// criteria, such as application requirements, energy constraints and
+// monetary cost".
+//
+// UtilityShapedPolicy wraps any selection policy and rewrites the gain it
+// observes: instead of learning on raw throughput, the wrapped policy learns
+// on a utility that discounts each network's monetary cost (e.g. metered
+// cellular data) and energy draw (e.g. a power-hungry radio). The game
+// structure is unchanged — it is still a congestion game, just with shaped
+// payoffs — so every property of the underlying algorithm carries over.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/policy.hpp"
+
+namespace smartexp3::core {
+
+/// Per-network shaping terms. Utilities are computed as
+///   utility = gain * rate_weight
+///           - cost_weight   * cost_per_mb   * (rate implied by the gain)
+///           - energy_weight * energy_per_slot
+/// and clamped back into [0, 1] so the EXP3 machinery's assumptions hold.
+struct NetworkCosts {
+  double cost_per_mb = 0.0;      ///< monetary cost, arbitrary currency / MB
+  double energy_per_slot = 0.0;  ///< battery drain per 15 s slot, in [0, 1]
+};
+
+struct UtilityWeights {
+  double rate = 1.0;    ///< weight of raw throughput
+  double cost = 0.0;    ///< weight of monetary cost
+  double energy = 0.0;  ///< weight of energy drain
+};
+
+class UtilityShapedPolicy final : public Policy {
+ public:
+  /// `gain_scale_mbps` must match the world's gain scale so the monetary
+  /// term (which is per-MB) can be derived from the scaled gain.
+  UtilityShapedPolicy(std::unique_ptr<Policy> inner, UtilityWeights weights,
+                      std::unordered_map<NetworkId, NetworkCosts> costs,
+                      double gain_scale_mbps, double slot_seconds = 15.0);
+
+  void set_networks(const std::vector<NetworkId>& available) override;
+  NetworkId choose(Slot t) override;
+  void observe(Slot t, const SlotFeedback& fb) override;
+  std::vector<double> probabilities() const override;
+  const std::vector<NetworkId>& networks() const override;
+  void on_leave(Slot t) override;
+  PolicyStats stats() const override;
+  std::string name() const override;
+
+  /// The shaped utility for a raw scaled gain on a given network (exposed
+  /// for tests and reports).
+  double shape(NetworkId net, double gain) const;
+
+ private:
+  std::unique_ptr<Policy> inner_;
+  UtilityWeights weights_;
+  std::unordered_map<NetworkId, NetworkCosts> costs_;
+  double gain_scale_mbps_;
+  double slot_seconds_;
+  NetworkId last_chosen_ = kNoNetwork;
+};
+
+/// Convenience: wrap a policy so cellular-type costs apply to one set of
+/// networks (id -> costs map built by the caller).
+std::unique_ptr<Policy> make_utility_shaped(
+    std::unique_ptr<Policy> inner, UtilityWeights weights,
+    std::unordered_map<NetworkId, NetworkCosts> costs, double gain_scale_mbps);
+
+}  // namespace smartexp3::core

@@ -1,0 +1,90 @@
+// Log-space multiplicative weights shared by all EXP3-family policies.
+//
+// EXP3's weight update w_i <- w_i * exp(gamma * ghat / k) overflows double
+// precision quickly once block-level gains appear (ghat can be hundreds), so
+// weights are kept in log space and probabilities are computed with the
+// usual max-subtraction softmax. All update rules in the paper are exactly
+// preserved: multiplying weights is adding log-weights, and the probability
+// p_i = (1-gamma) * w_i / sum_j w_j + gamma / k is invariant under the
+// normalisation (subtracting the max log-weight) applied after each update.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace smartexp3::core {
+
+class WeightTable {
+ public:
+  void reset(std::size_t k) {
+    lw_.assign(k, 0.0);
+    offset_ = 0.0;
+  }
+
+  std::size_t size() const { return lw_.size(); }
+  bool empty() const { return lw_.empty(); }
+
+  double log_weight(std::size_t i) const { return lw_[i]; }
+  void set_log_weight(std::size_t i, double v) { lw_[i] = v; }
+  void push_back(double lw) { lw_.push_back(lw); }
+
+  double max_log_weight() const {
+    assert(!lw_.empty());
+    return *std::max_element(lw_.begin(), lw_.end());
+  }
+
+  /// Multiplicative update: w_i *= exp(delta).
+  void bump(std::size_t i, double delta) { lw_[i] += delta; }
+
+  /// Rescale so the largest log-weight is 0. Probabilities are invariant;
+  /// this only guards against drift over long horizons. The cumulative
+  /// shift is remembered so the *absolute* scale (weight 1 == absolute
+  /// log-weight 0) can still be referenced when new arms appear.
+  void normalise() {
+    if (lw_.empty()) return;
+    const double m = max_log_weight();
+    offset_ += m;
+    for (auto& v : lw_) v -= m;
+  }
+
+  /// The table-relative log-weight corresponding to an absolute weight of 1
+  /// (i.e. a brand-new EXP3 arm). After heavy learning this is very
+  /// negative: a fresh arm is tiny next to the accumulated favourites,
+  /// exactly as in textbook EXP3 with unnormalised weights.
+  double relative_of_unit_weight() const { return -offset_; }
+
+  double offset() const { return offset_; }
+  /// Carry the absolute frame over when rebuilding a table after a network
+  /// set change (relative log-weights copied verbatim keep their meaning).
+  void set_offset(double offset) { offset_ = offset; }
+
+  /// EXP3 probabilities: p_i = (1 - gamma) * softmax_i + gamma / k.
+  std::vector<double> probabilities(double gamma) const {
+    assert(!lw_.empty());
+    const double k = static_cast<double>(lw_.size());
+    const double m = max_log_weight();
+    double z = 0.0;
+    std::vector<double> p(lw_.size());
+    for (std::size_t i = 0; i < lw_.size(); ++i) {
+      p[i] = std::exp(lw_[i] - m);
+      z += p[i];
+    }
+    for (auto& v : p) v = (1.0 - gamma) * (v / z) + gamma / k;
+    return p;
+  }
+
+ private:
+  std::vector<double> lw_;
+  double offset_ = 0.0;  // total normalisation shift applied so far
+};
+
+/// The paper's exploration-rate schedule gamma = b^{-1/3} (per §V, after
+/// Maghsudi & Stanczak), clamped into (0, 1].
+inline double gamma_schedule(long step) {
+  assert(step >= 1);
+  return std::min(1.0, std::pow(static_cast<double>(step), -1.0 / 3.0));
+}
+
+}  // namespace smartexp3::core

@@ -1,0 +1,132 @@
+#include "exp/aggregate.hpp"
+
+#include "stats/summary.hpp"
+
+namespace smartexp3::exp {
+
+namespace {
+
+std::vector<double> pooled_switches(const std::vector<metrics::RunResult>& runs,
+                                    bool persistent_only) {
+  std::vector<double> xs;
+  for (const auto& run : runs) {
+    for (std::size_t i = 0; i < run.switches.size(); ++i) {
+      if (persistent_only && !run.persistent[i]) continue;
+      xs.push_back(static_cast<double>(run.switches[i]));
+    }
+  }
+  return xs;
+}
+
+}  // namespace
+
+SwitchSummary switch_summary(const std::vector<metrics::RunResult>& runs,
+                             bool persistent_only) {
+  const auto xs = pooled_switches(runs, persistent_only);
+  return {stats::mean(xs), stats::stddev(xs)};
+}
+
+double mean_of_run_median_download_mb(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> medians;
+  for (const auto& run : runs) medians.push_back(stats::median(run.downloads_mb));
+  return stats::mean(medians);
+}
+
+double mean_of_run_download_stddev_mb(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> sds;
+  for (const auto& run : runs) sds.push_back(stats::stddev(run.downloads_mb));
+  return stats::mean(sds);
+}
+
+double mean_unused_mb(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> xs;
+  for (const auto& run : runs) xs.push_back(run.unused_mb);
+  return stats::mean(xs);
+}
+
+StabilitySummary stability_summary(const std::vector<metrics::RunResult>& runs) {
+  StabilitySummary s;
+  if (runs.empty()) return s;
+  std::vector<double> stable_slots;
+  int stable = 0;
+  int at_nash = 0;
+  int at_eps = 0;
+  for (const auto& run : runs) {
+    if (run.stability.stable) {
+      ++stable;
+      stable_slots.push_back(static_cast<double>(run.stability.stable_slot));
+      if (run.stability.at_nash) ++at_nash;
+      if (run.stability.at_eps_nash) ++at_eps;
+    }
+  }
+  const auto n = static_cast<double>(runs.size());
+  s.stable_fraction = stable / n;
+  s.stable_at_nash_fraction = at_nash / n;
+  s.stable_at_eps_fraction = at_eps / n;
+  s.median_stable_slot = stable_slots.empty() ? -1.0 : stats::median(stable_slots);
+  return s;
+}
+
+std::vector<double> mean_distance_series(const std::vector<metrics::RunResult>& runs,
+                                         std::size_t group) {
+  stats::SeriesAccumulator acc;
+  for (const auto& run : runs) {
+    if (group < run.group_distance.size()) acc.add(run.group_distance[group]);
+  }
+  return acc.mean();
+}
+
+std::vector<double> mean_def4_series(const std::vector<metrics::RunResult>& runs) {
+  stats::SeriesAccumulator acc;
+  for (const auto& run : runs) {
+    if (!run.def4.empty()) acc.add(run.def4);
+  }
+  return acc.mean();
+}
+
+double mean_at_nash_fraction(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> xs;
+  for (const auto& run : runs) xs.push_back(run.at_nash_fraction);
+  return stats::mean(xs);
+}
+
+double mean_eps_fraction(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> xs;
+  for (const auto& run : runs) xs.push_back(run.eps_fraction);
+  return stats::mean(xs);
+}
+
+double mean_resets_per_device(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> xs;
+  for (const auto& run : runs) {
+    for (const int r : run.resets) xs.push_back(static_cast<double>(r));
+  }
+  return stats::mean(xs);
+}
+
+double median_total_download_mb(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> xs;
+  for (const auto& run : runs) xs.push_back(run.total_download_mb);
+  return stats::median(xs);
+}
+
+double median_total_switching_cost_mb(const std::vector<metrics::RunResult>& runs) {
+  std::vector<double> xs;
+  for (const auto& run : runs) {
+    double total = 0.0;
+    for (const double c : run.switching_cost_mb) total += c;
+    xs.push_back(total);
+  }
+  return stats::median(xs);
+}
+
+std::vector<double> downsample(const std::vector<double>& series, int stride) {
+  std::vector<double> out;
+  if (stride <= 0) stride = 1;
+  for (std::size_t i = 0; i < series.size(); i += static_cast<std::size_t>(stride)) {
+    out.push_back(series[i]);
+  }
+  return out;
+}
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,61 @@
+// Cross-run aggregation: turns a vector of RunResults into the statistics
+// the paper's tables and figures report.
+#pragma once
+
+#include <vector>
+
+#include "metrics/recorder.hpp"
+
+namespace smartexp3::exp {
+
+/// Mean and standard deviation of per-device switch counts, pooled over all
+/// runs (paper Fig 2 reports per-device averages with std-dev error bars).
+/// `persistent_only` restricts to devices present for the entire run
+/// (paper Fig 10).
+struct SwitchSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+SwitchSummary switch_summary(const std::vector<metrics::RunResult>& runs,
+                             bool persistent_only = false);
+
+/// Mean over runs of the per-run *median* per-device cumulative download
+/// (paper Table V, in MB).
+double mean_of_run_median_download_mb(const std::vector<metrics::RunResult>& runs);
+
+/// Mean over runs of the per-run std-dev of per-device downloads (paper
+/// Fig 5 fairness metric, MB).
+double mean_of_run_download_stddev_mb(const std::vector<metrics::RunResult>& runs);
+
+/// Mean unused capacity per run, MB (paper §VI-A "unutilized resources").
+double mean_unused_mb(const std::vector<metrics::RunResult>& runs);
+
+/// Stability aggregation (paper Fig 3 + Table IV).
+struct StabilitySummary {
+  double stable_fraction = 0.0;      ///< share of runs reaching a stable state
+  double stable_at_nash_fraction = 0.0;
+  double stable_at_eps_fraction = 0.0;  ///< stable at an ε-equilibrium (ε = 7.5 %)
+  double median_stable_slot = 0.0;   ///< over stable runs only; -1 if none
+};
+StabilitySummary stability_summary(const std::vector<metrics::RunResult>& runs);
+
+/// Element-wise mean of a per-slot series across runs. `group` selects a
+/// distance group (Fig 9); the default group 0 is "all devices".
+std::vector<double> mean_distance_series(const std::vector<metrics::RunResult>& runs,
+                                         std::size_t group = 0);
+std::vector<double> mean_def4_series(const std::vector<metrics::RunResult>& runs);
+
+/// Mean per-run totals.
+double mean_at_nash_fraction(const std::vector<metrics::RunResult>& runs);
+double mean_eps_fraction(const std::vector<metrics::RunResult>& runs);
+double mean_resets_per_device(const std::vector<metrics::RunResult>& runs);
+
+/// Median over runs of per-run total download / switching cost (paper
+/// Table VI, single-device trace runs).
+double median_total_download_mb(const std::vector<metrics::RunResult>& runs);
+double median_total_switching_cost_mb(const std::vector<metrics::RunResult>& runs);
+
+/// Downsample a series by keeping every `stride`-th point (for printing).
+std::vector<double> downsample(const std::vector<double>& series, int stride);
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,64 @@
+// A fully self-contained description of one experiment: world, networks,
+// devices (with their policies by name), scenario events, sharing/delay
+// models and recorder options. ExperimentConfig values are cheap to copy, so
+// the multi-run executor can stamp out per-run worlds with per-run seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/smart_exp3.hpp"
+#include "metrics/recorder.hpp"
+#include "netsim/bandwidth_model.hpp"
+#include "netsim/network.hpp"
+#include "netsim/scenario.hpp"
+#include "netsim/world.hpp"
+
+namespace smartexp3::exp {
+
+enum class ShareKind { kEqual, kNoisy };
+enum class DelayKind { kDistribution, kZero, kFixed };
+
+struct ExperimentConfig {
+  std::string name;
+  netsim::WorldConfig world;
+  std::vector<netsim::Network> networks;
+  std::vector<netsim::DeviceSpec> devices;
+  netsim::Scenario scenario;
+
+  ShareKind share = ShareKind::kEqual;
+  netsim::NoisyShareModel::Params noisy;
+
+  DelayKind delay = DelayKind::kDistribution;
+  double fixed_delay_wifi_s = 2.0;
+  double fixed_delay_cellular_s = 5.0;
+
+  core::SmartExp3Tunables smart;
+  metrics::RecorderOptions recorder;
+
+  std::uint64_t base_seed = 42;
+
+  /// Per-network base capacities in id order (used by the centralized
+  /// coordinator and the Nash machinery).
+  std::vector<double> capacities() const {
+    std::vector<double> caps;
+    caps.reserve(networks.size());
+    for (const auto& n : networks) caps.push_back(n.base_capacity_mbps);
+    return caps;
+  }
+
+  double aggregate_capacity() const {
+    double total = 0.0;
+    for (const auto& n : networks) total += n.base_capacity_mbps;
+    return total;
+  }
+
+  /// Set every device's policy.
+  ExperimentConfig& with_policy(const std::string& policy_name) {
+    for (auto& d : devices) d.policy_name = policy_name;
+    return *this;
+  }
+};
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,71 @@
+#include "exp/csv_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace smartexp3::exp {
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv_export: cannot open " + path);
+  return out;
+}
+}  // namespace
+
+void write_series_csv(const std::string& path, const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& series) {
+  if (names.size() != series.size()) {
+    throw std::invalid_argument("write_series_csv: names/series size mismatch");
+  }
+  std::size_t slots = 0;
+  for (const auto& s : series) {
+    if (slots == 0) slots = s.size();
+    if (s.size() != slots) {
+      throw std::invalid_argument("write_series_csv: ragged series");
+    }
+  }
+  auto out = open_or_throw(path);
+  out << "slot";
+  for (const auto& name : names) out << ',' << name;
+  out << '\n';
+  for (std::size_t t = 0; t < slots; ++t) {
+    out << t;
+    for (const auto& s : series) out << ',' << s[t];
+    out << '\n';
+  }
+}
+
+void write_runs_csv(const std::string& path,
+                    const std::vector<metrics::RunResult>& runs) {
+  auto out = open_or_throw(path);
+  out << "run,device,download_mb,switching_cost_mb,switches,resets,switch_backs,"
+         "persistent\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const auto& run = runs[r];
+    for (std::size_t d = 0; d < run.downloads_mb.size(); ++d) {
+      out << r << ',' << d << ',' << run.downloads_mb[d] << ','
+          << run.switching_cost_mb[d] << ',' << run.switches[d] << ','
+          << run.resets[d] << ',' << run.switch_backs[d] << ','
+          << (run.persistent[d] ? 1 : 0) << '\n';
+    }
+  }
+}
+
+void write_selections_csv(const std::string& path, const metrics::RunResult& run) {
+  if (run.selections.empty()) {
+    throw std::invalid_argument(
+        "write_selections_csv: run has no selection timeline (enable "
+        "RecorderOptions::track_selections)");
+  }
+  auto out = open_or_throw(path);
+  out << "device,slot,network,rate_mbps\n";
+  for (std::size_t d = 0; d < run.selections.size(); ++d) {
+    for (std::size_t t = 0; t < run.selections[d].size(); ++t) {
+      out << d << ',' << t << ',' << run.selections[d][t] << ',' << run.rates[d][t]
+          << '\n';
+    }
+  }
+}
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,28 @@
+// CSV export of experiment results, so figures can be re-plotted with any
+// external tool (gnuplot, matplotlib, ...). Everything the bench binaries
+// print can also be written to disk through these helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/recorder.hpp"
+
+namespace smartexp3::exp {
+
+/// Write one or more equally long per-slot series as columns:
+/// slot,<name1>,<name2>,... Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on ragged input.
+void write_series_csv(const std::string& path, const std::vector<std::string>& names,
+                      const std::vector<std::vector<double>>& series);
+
+/// Write per-run per-device scalar results: run,device,download_mb,
+/// switching_cost_mb,switches,resets,switch_backs,persistent.
+void write_runs_csv(const std::string& path,
+                    const std::vector<metrics::RunResult>& runs);
+
+/// Write one run's per-device selection timeline: device,slot,network,
+/// rate_mbps (requires RecorderOptions::track_selections).
+void write_selections_csv(const std::string& path, const metrics::RunResult& run);
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,89 @@
+#include "exp/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+namespace smartexp3::exp {
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void print_heading(const std::string& title) {
+  std::cout << '\n' << "== " << title << " ==\n";
+}
+
+void print_table(const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << "  " << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    std::cout << '\n';
+  };
+  print_row(columns);
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 2;
+  std::cout << "  " << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+  for (const auto& row : rows) print_row(row);
+}
+
+void print_series_csv(const std::string& name, const std::vector<double>& series,
+                      int stride, int first_slot) {
+  if (stride <= 0) stride = 1;
+  std::cout << "# series: " << name << " (every " << stride << " slots)\n";
+  for (std::size_t i = 0; i < series.size(); i += static_cast<std::size_t>(stride)) {
+    std::cout << name << ',' << (first_slot + static_cast<int>(i)) << ','
+              << fmt(series[i], 3) << '\n';
+  }
+}
+
+std::string sparkline(const std::vector<double>& series, int width) {
+  static const char* kLevels[] = {" ", "_", ".", "-", "=", "+", "*", "#"};
+  if (series.empty() || width <= 0) return {};
+  // Clip at the 95th percentile so a single early spike (e.g. the first
+  // exploration slots of a distance series) does not flatten the rest.
+  std::vector<double> sorted = series;
+  std::sort(sorted.begin(), sorted.end());
+  const double lo = sorted.front();
+  const double hi = sorted[static_cast<std::size_t>(0.95 * (sorted.size() - 1))];
+  const double span = hi - lo;
+  std::string out;
+  for (int c = 0; c < width; ++c) {
+    // Average the bucket of samples this column represents.
+    const std::size_t from = static_cast<std::size_t>(
+        static_cast<double>(c) / width * static_cast<double>(series.size()));
+    const std::size_t to = std::max<std::size_t>(
+        from + 1, static_cast<std::size_t>(static_cast<double>(c + 1) / width *
+                                           static_cast<double>(series.size())));
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = from; i < to && i < series.size(); ++i, ++n) sum += series[i];
+    const double v = n > 0 ? sum / static_cast<double>(n) : lo;
+    const int level =
+        span <= 0.0 ? 0
+                    : std::clamp(static_cast<int>((v - lo) / span * 7.999), 0, 7);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+void print_paper_vs_measured(const std::string& what, const std::string& paper,
+                             const std::string& measured) {
+  std::cout << "  [paper-vs-measured] " << what << ": paper=" << paper
+            << " measured=" << measured << '\n';
+}
+
+}  // namespace smartexp3::exp

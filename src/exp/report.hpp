@@ -1,0 +1,34 @@
+// Plain-text rendering of the paper's tables and figures: aligned tables,
+// downsampled series, ASCII sparklines, and "paper vs measured" rows so the
+// reproduction can be eyeballed directly from bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smartexp3::exp {
+
+/// Fixed-precision number formatting ("3.54", "65", ...).
+std::string fmt(double value, int precision = 2);
+
+/// Print a prominent section heading.
+void print_heading(const std::string& title);
+
+/// Print an aligned table. `rows[i].size()` must equal `columns.size()`.
+void print_table(const std::vector<std::string>& columns,
+                 const std::vector<std::vector<std::string>>& rows);
+
+/// Print a per-slot series as "slot,value" CSV lines prefixed with its name,
+/// downsampled by `stride`.
+void print_series_csv(const std::string& name, const std::vector<double>& series,
+                      int stride = 1, int first_slot = 0);
+
+/// One-line ASCII sparkline of a series (useful for eyeballing figure
+/// shapes in terminal output). `width` output characters.
+std::string sparkline(const std::vector<double>& series, int width = 60);
+
+/// Print a "paper reported X, we measured Y" comparison row.
+void print_paper_vs_measured(const std::string& what, const std::string& paper,
+                             const std::string& measured);
+
+}  // namespace smartexp3::exp

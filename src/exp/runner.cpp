@@ -1,0 +1,105 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "core/factory.hpp"
+
+namespace smartexp3::exp {
+
+std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
+                                           std::uint64_t seed) {
+  auto named_factory = core::make_named_policy_factory(config.capacities(), config.smart);
+  netsim::PolicyFactory factory =
+      [named_factory](const netsim::DeviceSpec& spec,
+                      std::uint64_t device_seed) -> std::unique_ptr<core::Policy> {
+    if (!core::is_valid_policy_name(spec.policy_name)) {
+      throw std::invalid_argument("unknown policy name '" + spec.policy_name + "'");
+    }
+    return named_factory(spec.id, spec.policy_name, device_seed);
+  };
+
+  auto world = std::make_unique<netsim::World>(config.world, config.networks,
+                                               config.devices, config.scenario,
+                                               std::move(factory), seed);
+
+  switch (config.share) {
+    case ShareKind::kEqual:
+      world->set_bandwidth_model(netsim::make_equal_share());
+      break;
+    case ShareKind::kNoisy: {
+      auto params = config.noisy;
+      params.seed = seed ^ 0xa0761d6478bd642fULL;  // per-run device multipliers
+      world->set_bandwidth_model(netsim::make_noisy_share(params));
+      break;
+    }
+  }
+
+  switch (config.delay) {
+    case DelayKind::kDistribution:
+      world->set_delay_model(netsim::make_default_delay_model());
+      break;
+    case DelayKind::kZero:
+      world->set_delay_model(std::make_unique<netsim::ZeroDelayModel>());
+      break;
+    case DelayKind::kFixed:
+      world->set_delay_model(std::make_unique<netsim::FixedDelayModel>(
+          config.fixed_delay_wifi_s, config.fixed_delay_cellular_s));
+      break;
+  }
+
+  return world;
+}
+
+metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
+  auto world = build_world(config, seed);
+  metrics::RunRecorder recorder(config.recorder);
+  world->set_observer(&recorder);
+  world->run();
+  return recorder.take_result();
+}
+
+std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
+                                         int threads) {
+  if (runs <= 0) return {};
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  threads = std::min(threads, runs);
+
+  std::vector<metrics::RunResult> results(static_cast<std::size_t>(runs));
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  std::atomic<bool> failed{false};
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const int r = next.fetch_add(1);
+        if (r >= runs || failed.load()) return;
+        try {
+          results[static_cast<std::size_t>(r)] =
+              run_once(config, config.base_seed + static_cast<std::uint64_t>(r));
+        } catch (...) {
+          failed.store(true);
+          throw;  // surfaces as std::terminate: a config bug, not a data point
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  return results;
+}
+
+int repro_runs(int fallback) {
+  if (const char* env = std::getenv("REPRO_RUNS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,33 @@
+// The multi-run executor: builds a World from an ExperimentConfig, runs it
+// under a RunRecorder, and repeats across seeds — in parallel, since runs
+// are fully independent (each gets its own world, policies and RNG streams).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "metrics/recorder.hpp"
+
+namespace smartexp3::exp {
+
+/// Construct a ready-to-run world for this config and seed (exposed so tests
+/// and examples can drive worlds slot by slot).
+std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
+                                           std::uint64_t seed);
+
+/// One run with the config's recorder options; seed defaults to base_seed.
+metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed);
+
+/// `runs` independent runs seeded base_seed + 0..runs-1, executed on
+/// `threads` worker threads (0 = hardware concurrency). Results are ordered
+/// by run index regardless of scheduling.
+std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
+                                         int threads = 0);
+
+/// Number of runs per experiment data point: the REPRO_RUNS environment
+/// variable if set, otherwise `fallback` (benches default to 60 to keep the
+/// full suite fast; the paper used 500).
+int repro_runs(int fallback = 60);
+
+}  // namespace smartexp3::exp

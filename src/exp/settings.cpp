@@ -1,0 +1,220 @@
+#include "exp/settings.hpp"
+
+#include <stdexcept>
+
+namespace smartexp3::exp {
+
+namespace {
+
+std::vector<netsim::DeviceSpec> make_devices(int n, const std::string& policy) {
+  std::vector<netsim::DeviceSpec> devices;
+  devices.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    netsim::DeviceSpec d;
+    d.id = i + 1;  // paper numbers devices from 1
+    d.policy_name = policy;
+    devices.push_back(d);
+  }
+  return devices;
+}
+
+/// The paper's 33 Mbps aggregate split 4 / 7 / 22 (setting 1). Network 2
+/// (22 Mbps) plays the cellular role; the others are WiFi APs.
+std::vector<netsim::Network> setting1_networks() {
+  return {netsim::make_wifi(0, 4.0), netsim::make_wifi(1, 7.0),
+          netsim::make_cellular(2, 22.0)};
+}
+
+std::vector<netsim::Network> setting2_networks() {
+  return {netsim::make_wifi(0, 11.0), netsim::make_wifi(1, 11.0),
+          netsim::make_cellular(2, 11.0)};
+}
+
+}  // namespace
+
+ExperimentConfig static_setting1(const std::string& policy, int n_devices, Slot horizon) {
+  ExperimentConfig cfg;
+  cfg.name = "static-setting-1";
+  cfg.world.horizon = horizon;
+  cfg.networks = setting1_networks();
+  cfg.devices = make_devices(n_devices, policy);
+  return cfg;
+}
+
+ExperimentConfig static_setting2(const std::string& policy, int n_devices, Slot horizon) {
+  ExperimentConfig cfg;
+  cfg.name = "static-setting-2";
+  cfg.world.horizon = horizon;
+  cfg.networks = setting2_networks();
+  cfg.devices = make_devices(n_devices, policy);
+  return cfg;
+}
+
+ExperimentConfig scalability_setting(const std::string& policy, int k, int n, Slot horizon) {
+  if (k < 1) throw std::invalid_argument("scalability_setting: k must be >= 1");
+  ExperimentConfig cfg;
+  cfg.name = "scalability-k" + std::to_string(k) + "-n" + std::to_string(n);
+  cfg.world.horizon = horizon;
+  // The paper does not list the sweep's capacities, but its k=3 / n=20 data
+  // point (~250 slots) matches Table IV's *setting 2* value (244.5), so the
+  // sweep evidently used uniform-rate networks; we use 11 Mbps each, the
+  // setting-2 rate. (With setting-1-style skewed rates the sweep would
+  // additionally measure the small-network stranding effect the paper
+  // studies separately.)
+  if (k > 7) throw std::invalid_argument("scalability_setting: k must be <= 7");
+  for (int i = 0; i < k; ++i) {
+    cfg.networks.push_back(i == 2 ? netsim::make_cellular(i, 11.0)
+                                  : netsim::make_wifi(i, 11.0));
+  }
+  cfg.devices = make_devices(n, policy);
+  return cfg;
+}
+
+ExperimentConfig dynamic_join_setting(const std::string& policy) {
+  ExperimentConfig cfg = static_setting1(policy);
+  cfg.name = "dynamic-join";
+  // Devices 12..20 join at the start of slot 400 (paper t=401, 1-based) and
+  // leave after slot 799.
+  for (auto& d : cfg.devices) {
+    if (d.id >= 12) {
+      d.join_slot = 400;
+      d.leave_slot = 800;
+    }
+  }
+  return cfg;
+}
+
+ExperimentConfig dynamic_leave_setting(const std::string& policy) {
+  ExperimentConfig cfg = static_setting1(policy);
+  cfg.name = "dynamic-leave";
+  // Devices 5..20 leave after slot 599 (paper: 16 devices at end of t=600).
+  for (auto& d : cfg.devices) {
+    if (d.id >= 5) d.leave_slot = 600;
+  }
+  return cfg;
+}
+
+std::vector<std::vector<DeviceId>> mobility_groups() {
+  std::vector<std::vector<DeviceId>> groups(4);
+  for (DeviceId id = 1; id <= 8; ++id) groups[0].push_back(id);    // movers
+  for (DeviceId id = 9; id <= 10; ++id) groups[1].push_back(id);   // food court
+  for (DeviceId id = 11; id <= 15; ++id) groups[2].push_back(id);  // study area
+  for (DeviceId id = 16; id <= 20; ++id) groups[3].push_back(id);  // bus stop
+  return groups;
+}
+
+ExperimentConfig mobility_setting(const std::string& policy) {
+  ExperimentConfig cfg;
+  cfg.name = "mobility-setting-3";
+  cfg.world.horizon = 1200;
+  // Areas: 0 = food court, 1 = study area, 2 = bus stop (paper Fig 1).
+  // Network 0 is the cellular macro cell covering everything; the paper's
+  // coverage map is reconstructed in DESIGN.md.
+  cfg.networks = {
+      netsim::make_cellular(0, 16.0, {}, "cellular"),
+      netsim::make_wifi(1, 14.0, {0}, "wlan-2"),
+      netsim::make_wifi(2, 22.0, {0, 1}, "wlan-3"),
+      netsim::make_wifi(3, 7.0, {1}, "wlan-4"),
+      netsim::make_wifi(4, 4.0, {2}, "wlan-5"),
+  };
+  cfg.devices = make_devices(20, policy);
+  for (auto& d : cfg.devices) {
+    if (d.id <= 10) {
+      d.area = 0;
+    } else if (d.id <= 15) {
+      d.area = 1;
+    } else {
+      d.area = 2;
+    }
+  }
+  // Devices 1..8 move food court -> study area at slot 400 and on to the
+  // bus stop at slot 800.
+  for (DeviceId id = 1; id <= 8; ++id) {
+    cfg.scenario.move(400, id, 1);
+    cfg.scenario.move(800, id, 2);
+  }
+  cfg.recorder.groups = mobility_groups();
+  return cfg;
+}
+
+ExperimentConfig greedy_mix_setting(int n_smart) {
+  if (n_smart < 0 || n_smart > 20) {
+    throw std::invalid_argument("greedy_mix_setting: n_smart must be in [0, 20]");
+  }
+  ExperimentConfig cfg = static_setting1("greedy");
+  cfg.name = "greedy-mix-" + std::to_string(n_smart);
+  for (auto& d : cfg.devices) {
+    if (d.id <= n_smart) d.policy_name = "smart_exp3";
+  }
+  return cfg;
+}
+
+ExperimentConfig trace_setting(const trace::TracePair& pair, const std::string& policy) {
+  if (!pair.consistent() || pair.slots() == 0) {
+    throw std::invalid_argument("trace_setting: inconsistent trace pair");
+  }
+  ExperimentConfig cfg;
+  cfg.name = "trace-" + pair.label;
+  cfg.world.horizon = static_cast<Slot>(pair.slots());
+  auto wifi = netsim::make_wifi(0, 0.0, {}, "wifi-trace");
+  wifi.trace = pair.wifi_mbps;
+  auto cell = netsim::make_cellular(1, 0.0, {}, "cellular-trace");
+  cell.trace = pair.cellular_mbps;
+  cfg.networks = {std::move(wifi), std::move(cell)};
+  cfg.devices = make_devices(1, policy);
+  cfg.recorder.track_selections = true;
+  cfg.recorder.track_distance = false;  // single device: congestion metrics moot
+  return cfg;
+}
+
+ExperimentConfig controlled_setting(const std::vector<std::string>& policies, Slot horizon) {
+  if (policies.empty()) throw std::invalid_argument("controlled_setting: no policies");
+  ExperimentConfig cfg;
+  cfg.name = "controlled";
+  cfg.world.horizon = horizon;
+  cfg.networks = setting1_networks();
+  cfg.devices = make_devices(14, policies.front());
+  if (policies.size() > 1) {
+    if (policies.size() != cfg.devices.size()) {
+      throw std::invalid_argument("controlled_setting: need 1 or 14 policy names");
+    }
+    for (std::size_t i = 0; i < cfg.devices.size(); ++i) {
+      cfg.devices[i].policy_name = policies[i];
+    }
+  }
+  cfg.share = ShareKind::kNoisy;
+  cfg.recorder.track_def4 = true;
+  cfg.recorder.track_distance = false;  // Definition 3 assumes clean equal shares
+  return cfg;
+}
+
+ExperimentConfig controlled_dynamic_setting(const std::string& policy) {
+  ExperimentConfig cfg = controlled_setting({policy});
+  cfg.name = "controlled-dynamic";
+  // 9 devices leave after slot 239 (paper: end of t=240, i.e. 1 hour in).
+  for (auto& d : cfg.devices) {
+    if (d.id >= 6) d.leave_slot = 240;
+  }
+  return cfg;
+}
+
+ExperimentConfig channel_selection_setting(const std::string& policy, int n_aps,
+                                           Slot horizon) {
+  if (n_aps < 1) throw std::invalid_argument("channel_selection_setting: n_aps >= 1");
+  ExperimentConfig cfg;
+  cfg.name = "channel-selection";
+  cfg.world.horizon = horizon;
+  // Three non-overlapping channels with equal usable airtime (54 Mbps PHY).
+  cfg.networks = {netsim::make_wifi(0, 54.0, {}, "channel-1"),
+                  netsim::make_wifi(1, 54.0, {}, "channel-6"),
+                  netsim::make_wifi(2, 54.0, {}, "channel-11")};
+  cfg.devices = make_devices(n_aps, policy);
+  // Re-tuning a radio is quick compared to a network re-association, but
+  // not free: a fixed fraction of a second of lost airtime.
+  cfg.delay = DelayKind::kFixed;
+  cfg.fixed_delay_wifi_s = 0.25;
+  cfg.fixed_delay_cellular_s = 0.25;
+  return cfg;
+}
+
+}  // namespace smartexp3::exp

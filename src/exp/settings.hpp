@@ -1,0 +1,70 @@
+// Canonical experiment settings from the paper's evaluation (§VI, §VII),
+// expressed as ExperimentConfig builders. Every bench binary starts from one
+// of these; tests use them to pin the reproduction scenarios down.
+#pragma once
+
+#include "exp/config.hpp"
+#include "trace/trace.hpp"
+
+namespace smartexp3::exp {
+
+/// §VI-A setting 1: 20 devices, 3 networks with non-uniform rates
+/// 4 / 7 / 22 Mbps (unique Nash equilibrium), 1200 slots of 15 s.
+ExperimentConfig static_setting1(const std::string& policy, int n_devices = 20,
+                                 Slot horizon = 1200);
+
+/// §VI-A setting 2: 20 devices, 3 uniform 11 Mbps networks (three equivalent
+/// Nash equilibria), 1200 slots.
+ExperimentConfig static_setting2(const std::string& policy, int n_devices = 20,
+                                 Slot horizon = 1200);
+
+/// §VI-A scalability sweep (Fig 6): `k` networks and `n` devices, 8640
+/// slots (36 simulated hours). Network capacities follow the paper's
+/// non-uniform flavour; see DESIGN.md for the k=5 / k=7 reconstruction.
+ExperimentConfig scalability_setting(const std::string& policy, int k, int n,
+                                     Slot horizon = 8640);
+
+/// §VI-A dynamic setting 1 (Fig 7): 11 persistent devices; 9 devices join at
+/// the start of slot 400 (paper's t=401) and leave after slot 799.
+ExperimentConfig dynamic_join_setting(const std::string& policy);
+
+/// §VI-A dynamic setting 2 (Fig 8): 20 devices; 16 leave after slot 599,
+/// freeing most of the capacity.
+ExperimentConfig dynamic_leave_setting(const std::string& policy);
+
+/// Device-id groups for the mobility setting (Fig 9): {1..8} movers,
+/// {9,10} food court, {11..15} study area, {16..20} bus stop.
+std::vector<std::vector<DeviceId>> mobility_groups();
+
+/// §VI-A setting 3 (Fig 9): three service areas, five networks (16, 14, 22,
+/// 7, 4 Mbps; network 0 is cellular covering all areas), 8 devices migrating
+/// across all three areas at slots 400 and 800.
+ExperimentConfig mobility_setting(const std::string& policy);
+
+/// §VI-A robustness scenarios (Fig 11): `n_smart` devices run Smart EXP3 and
+/// the remaining `20 - n_smart` run Greedy, on setting-1 networks.
+ExperimentConfig greedy_mix_setting(int n_smart);
+
+/// §VI-B trace-driven: a single device choosing between a traced WiFi and a
+/// traced cellular network.
+ExperimentConfig trace_setting(const trace::TracePair& pair, const std::string& policy);
+
+/// §VII-A controlled experiments: 14 devices on 4 / 7 / 22 Mbps networks
+/// with noisy heterogeneous sharing, 480 slots (2 hours). `policies` is
+/// either one name for all devices or one name per device.
+ExperimentConfig controlled_setting(const std::vector<std::string>& policies,
+                                    Slot horizon = 480);
+
+/// §VII-A dynamic variant (Fig 14): 9 of the 14 devices leave after slot 239.
+ExperimentConfig controlled_dynamic_setting(const std::string& policy);
+
+/// Paper §IX future work: WiFi *channel* selection as the same congestion
+/// game — `n_aps` co-located access points pick among the three
+/// non-overlapping 2.4 GHz channels (1 / 6 / 11). Per-channel airtime is
+/// shared equally among the APs on it; re-tuning a radio costs a small but
+/// non-negligible delay (the paper's motivation for applying Smart EXP3
+/// here).
+ExperimentConfig channel_selection_setting(const std::string& policy, int n_aps = 12,
+                                           Slot horizon = 600);
+
+}  // namespace smartexp3::exp

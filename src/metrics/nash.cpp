@@ -1,0 +1,117 @@
+#include "metrics/nash.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace smartexp3::metrics {
+
+std::vector<int> water_fill_allocation(const std::vector<double>& capacities, int n_devices) {
+  if (capacities.empty()) throw std::invalid_argument("water_fill: no networks");
+  std::vector<int> counts(capacities.size(), 0);
+  for (int d = 0; d < n_devices; ++d) {
+    std::size_t best = 0;
+    double best_share = -1.0;
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+      const double share = capacities[i] / static_cast<double>(counts[i] + 1);
+      if (share > best_share + 1e-12) {
+        best_share = share;
+        best = i;
+      }
+    }
+    ++counts[best];
+  }
+  return counts;
+}
+
+bool is_nash(const std::vector<double>& capacities, const std::vector<int>& counts,
+             double tolerance) {
+  assert(capacities.size() == counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double own = capacities[i] / static_cast<double>(counts[i]);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      if (j == i) continue;
+      const double other = capacities[j] / static_cast<double>(counts[j] + 1);
+      if (other > own * (1.0 + tolerance) + tolerance) return false;
+    }
+  }
+  return true;
+}
+
+bool is_epsilon_nash(const std::vector<double>& capacities, const std::vector<int>& counts,
+                     double eps_percent) {
+  assert(capacities.size() == counts.size());
+  const double slack = 1.0 + eps_percent / 100.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double own = capacities[i] / static_cast<double>(counts[i]);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      if (j == i) continue;
+      const double other = capacities[j] / static_cast<double>(counts[j] + 1);
+      if (other > own * slack) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> allocation_gains(const std::vector<double>& capacities,
+                                     const std::vector<int>& counts) {
+  assert(capacities.size() == counts.size());
+  std::vector<double> gains;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double share = capacities[i] / std::max(counts[i], 1);
+    for (int d = 0; d < counts[i]; ++d) gains.push_back(share);
+  }
+  return gains;
+}
+
+double distance_to_nash(const std::vector<double>& capacities,
+                        const std::vector<int>& counts,
+                        const std::vector<int>& device_network,
+                        const std::vector<double>& device_gain,
+                        const std::vector<std::vector<int>>& visible,
+                        double min_gain) {
+  assert(device_network.size() == device_gain.size());
+  double worst = 0.0;
+  for (std::size_t j = 0; j < device_network.size(); ++j) {
+    const int cur = device_network[j];
+    if (cur < 0) continue;
+    const double g = std::max(device_gain[j], min_gain);
+    auto consider = [&](int i) {
+      if (i == cur) return;
+      const double would = capacities[static_cast<std::size_t>(i)] /
+                           static_cast<double>(counts[static_cast<std::size_t>(i)] + 1);
+      const double pct = (would - g) / g * 100.0;
+      worst = std::max(worst, pct);
+    };
+    if (!visible.empty()) {
+      for (const int i : visible[j]) consider(i);
+    } else {
+      for (std::size_t i = 0; i < capacities.size(); ++i) consider(static_cast<int>(i));
+    }
+  }
+  return worst;
+}
+
+double distance_from_average_rate(double aggregate_capacity_mbps,
+                                  const std::vector<double>& device_gain) {
+  if (device_gain.empty() || aggregate_capacity_mbps <= 0.0) return 0.0;
+  const double g_avg = aggregate_capacity_mbps / static_cast<double>(device_gain.size());
+  double total = 0.0;
+  for (const double g : device_gain) {
+    total += std::max(g_avg - g, 0.0) * 100.0 / g_avg;
+  }
+  return total / static_cast<double>(device_gain.size());
+}
+
+double optimal_distance_from_average_rate(const std::vector<double>& capacities,
+                                          int n_devices) {
+  if (n_devices <= 0) return 0.0;
+  const auto counts = water_fill_allocation(capacities, n_devices);
+  double aggregate = 0.0;
+  for (const double c : capacities) aggregate += c;
+  return distance_from_average_rate(aggregate, allocation_gains(capacities, counts));
+}
+
+}  // namespace smartexp3::metrics

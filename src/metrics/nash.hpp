@@ -1,0 +1,69 @@
+// Nash-equilibrium machinery for the singleton congestion game with
+// equal-share payoffs U_i(n) = b_i / n.
+//
+// Provides: computing an equilibrium allocation (water-filling best-response
+// insertion, which is exact for this game), verifying whether an arbitrary
+// allocation is a (pure) Nash equilibrium, and the paper's Definition 3
+// "distance to Nash equilibrium" metric together with its ε-equilibrium
+// interpretation and the Definition 4 "distance from average bit rate
+// available" metric used in the real-world experiments.
+#pragma once
+
+#include <vector>
+
+namespace smartexp3::metrics {
+
+/// Compute an equilibrium allocation of `n_devices` over networks with the
+/// given capacities (Mbps): repeatedly assign the next device to the network
+/// offering the best post-join share b_i / (n_i + 1). Ties break toward the
+/// lower index, making the result deterministic. Returns per-network device
+/// counts.
+std::vector<int> water_fill_allocation(const std::vector<double>& capacities, int n_devices);
+
+/// Whether `counts` is a pure Nash equilibrium: no occupied network's share
+/// can be improved by a unilateral move, i.e. for all i with n_i > 0 and all
+/// j != i: b_i / n_i >= b_j / (n_j + 1) (up to a relative tolerance).
+bool is_nash(const std::vector<double>& capacities, const std::vector<int>& counts,
+             double tolerance = 1e-9);
+
+/// Whether `counts` is an epsilon-equilibrium in the paper's sense: no
+/// device can improve its share by more than eps_percent (default 7.5, the
+/// paper's shading) through a unilateral move.
+bool is_epsilon_nash(const std::vector<double>& capacities, const std::vector<int>& counts,
+                     double eps_percent = 7.5);
+
+/// Per-device gain vector implied by an allocation under equal sharing;
+/// devices on network i observe capacities[i] / counts[i].
+std::vector<double> allocation_gains(const std::vector<double>& capacities,
+                                     const std::vector<int>& counts);
+
+/// Paper Definition 3 — distance to Nash equilibrium, computed as the
+/// maximum percentage gain increase any device could obtain by a unilateral
+/// deviation. Zero exactly at a Nash equilibrium, and the state is at
+/// ε-equilibrium iff the distance is <= ε (in percent).
+///
+/// `device_network[j]` is the network index of device j; `device_gain[j]` is
+/// the bit rate (Mbps) it observed; `counts` are current per-network device
+/// counts. `visible[j]` optionally restricts device j's deviations (empty =
+/// all networks). Gains below `min_gain` are clamped to avoid division by
+/// zero when a trace yields a dead network.
+double distance_to_nash(const std::vector<double>& capacities,
+                        const std::vector<int>& counts,
+                        const std::vector<int>& device_network,
+                        const std::vector<double>& device_gain,
+                        const std::vector<std::vector<int>>& visible = {},
+                        double min_gain = 1e-6);
+
+/// Paper Definition 4 — distance from average bit rate available: the mean
+/// over devices of max(g_avg - g_j, 0) / g_avg * 100, where g_avg is the
+/// aggregate capacity divided by the number of devices.
+double distance_from_average_rate(double aggregate_capacity_mbps,
+                                  const std::vector<double>& device_gain);
+
+/// The floor of Definition 4 at equilibrium ("Optimal" line of Figs 13-15):
+/// the distance evaluated on the equal-share gains of the water-filled
+/// equilibrium allocation.
+double optimal_distance_from_average_rate(const std::vector<double>& capacities,
+                                          int n_devices);
+
+}  // namespace smartexp3::metrics

@@ -1,0 +1,213 @@
+#include "metrics/recorder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/nash.hpp"
+
+namespace smartexp3::metrics {
+
+RunRecorder::RunRecorder(RecorderOptions options) : options_(std::move(options)) {}
+
+void RunRecorder::ensure_initialised(const netsim::World& world) {
+  if (initialised_) return;
+  initialised_ = true;
+
+  const auto& devices = world.devices();
+  const auto& networks = world.networks();
+
+  // Map the configured groups (device ids) onto device indices; default is a
+  // single group covering everyone.
+  if (options_.groups.empty()) {
+    group_index_.emplace_back();
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      group_index_.front().push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const auto& group : options_.groups) {
+      std::vector<int> idx;
+      for (const DeviceId id : group) {
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+          if (devices[i].spec.id == id) idx.push_back(static_cast<int>(i));
+        }
+      }
+      group_index_.push_back(std::move(idx));
+    }
+  }
+  result_.group_distance.assign(group_index_.size(), {});
+
+  restricted_visibility_ =
+      std::any_of(networks.begin(), networks.end(),
+                  [](const netsim::Network& n) { return !n.areas.empty(); });
+  area_cache_.assign(devices.size(), -1);
+  visible_cache_.assign(devices.size(), {});
+
+  if (options_.track_stability) locked_.assign(devices.size(), {});
+  if (options_.track_selections) {
+    result_.selections.assign(devices.size(), {});
+    result_.rates.assign(devices.size(), {});
+  }
+}
+
+void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
+  ensure_initialised(world);
+  const auto& devices = world.devices();
+  const auto& networks = world.networks();
+  const auto& counts = world.counts();
+  ++slots_seen_;
+
+  std::vector<double> capacities(networks.size());
+  for (std::size_t i = 0; i < networks.size(); ++i) capacities[i] = networks[i].capacity(t);
+
+  // Refresh per-device visibility (only when areas are in play).
+  if (restricted_visibility_) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (!devices[i].active) continue;
+      if (area_cache_[i] != devices[i].area) {
+        area_cache_[i] = devices[i].area;
+        visible_cache_[i].clear();
+        for (std::size_t n = 0; n < networks.size(); ++n) {
+          if (networks[n].covers(devices[i].area)) {
+            visible_cache_[i].push_back(static_cast<int>(n));
+          }
+        }
+      }
+    }
+  }
+
+  // Distance to NE (Definition 3), per group.
+  if (options_.track_distance) {
+    for (std::size_t g = 0; g < group_index_.size(); ++g) {
+      std::vector<int> nets;
+      std::vector<double> gains;
+      std::vector<std::vector<int>> visible;
+      for (const int i : group_index_[g]) {
+        const auto& d = devices[static_cast<std::size_t>(i)];
+        if (!d.active) continue;
+        nets.push_back(d.current);
+        gains.push_back(d.last_rate_mbps);
+        if (restricted_visibility_) visible.push_back(visible_cache_[static_cast<std::size_t>(i)]);
+      }
+      const double dist =
+          nets.empty() ? 0.0
+                       : distance_to_nash(capacities, counts, nets, gains, visible);
+      result_.group_distance[g].push_back(dist);
+    }
+  }
+
+  // Allocation-quality fractions, over all active devices.
+  {
+    std::vector<int> nets;
+    std::vector<double> gains;
+    std::vector<std::vector<int>> visible;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const auto& d = devices[i];
+      if (!d.active) continue;
+      nets.push_back(d.current);
+      gains.push_back(d.last_rate_mbps);
+      if (restricted_visibility_) visible.push_back(visible_cache_[i]);
+    }
+    if (!nets.empty()) {
+      if (is_nash(capacities, counts)) ++at_nash_slots_;
+      const double dist = distance_to_nash(capacities, counts, nets, gains, visible);
+      if (dist <= options_.epsilon) ++eps_slots_;
+    }
+  }
+
+  // Definition 4 (controlled experiments): average % shortfall from the
+  // per-device fair share of the aggregate capacity.
+  if (options_.track_def4) {
+    double aggregate = 0.0;
+    for (const double c : capacities) aggregate += c;
+    std::vector<double> gains;
+    for (const auto& d : devices) {
+      if (d.active) gains.push_back(d.last_rate_mbps);
+    }
+    result_.def4.push_back(distance_from_average_rate(aggregate, gains));
+
+    // Per-group curves (Fig 15): same global fair share g_avg, shortfalls
+    // averaged within each group only.
+    if (!options_.groups.empty()) {
+      if (result_.group_def4.empty()) result_.group_def4.assign(group_index_.size(), {});
+      const int n_active = world.active_device_count();
+      const double g_avg = n_active > 0 ? aggregate / n_active : 0.0;
+      for (std::size_t g = 0; g < group_index_.size(); ++g) {
+        double total = 0.0;
+        int n = 0;
+        for (const int i : group_index_[g]) {
+          const auto& d = devices[static_cast<std::size_t>(i)];
+          if (!d.active) continue;
+          if (g_avg > 0.0) {
+            total += std::max(g_avg - d.last_rate_mbps, 0.0) * 100.0 / g_avg;
+          }
+          ++n;
+        }
+        result_.group_def4[g].push_back(n > 0 ? total / n : 0.0);
+      }
+    }
+  }
+
+  if (options_.track_stability) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const auto& d = devices[i];
+      int lock = -1;
+      if (d.active) {
+        const auto probs = d.policy->probabilities();
+        const auto& nets = d.policy->networks();
+        std::vector<int> ids(nets.begin(), nets.end());
+        lock = locked_network(probs, ids);
+      }
+      locked_[i].push_back(lock);
+    }
+  }
+
+  if (options_.track_selections) {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const auto& d = devices[i];
+      result_.selections[i].push_back(d.active ? d.current : -1);
+      result_.rates[i].push_back(d.active ? d.last_rate_mbps : 0.0);
+    }
+  }
+
+  result_.unused_mb += mbps_seconds_to_mb(world.unused_capacity_mbps(t),
+                                          world.config().slot_seconds);
+}
+
+void RunRecorder::on_run_end(const netsim::World& world) {
+  ensure_initialised(world);
+  const auto& devices = world.devices();
+  const auto horizon = world.config().horizon;
+
+  result_.downloads_mb.clear();
+  result_.switching_cost_mb.clear();
+  result_.switches.clear();
+  result_.resets.clear();
+  result_.switch_backs.clear();
+  result_.persistent.clear();
+  for (const auto& d : devices) {
+    result_.downloads_mb.push_back(d.download_mb);
+    result_.switching_cost_mb.push_back(d.delay_loss_mb);
+    result_.switches.push_back(d.switches);
+    const auto stats = d.policy->stats();
+    result_.resets.push_back(stats.resets);
+    result_.switch_backs.push_back(stats.switch_backs);
+    result_.persistent.push_back(d.spec.join_slot == 0 &&
+                                 (d.spec.leave_slot < 0 || d.spec.leave_slot >= horizon));
+    result_.total_download_mb += d.download_mb;
+  }
+
+  if (slots_seen_ > 0) {
+    result_.at_nash_fraction = static_cast<double>(at_nash_slots_) / slots_seen_;
+    result_.eps_fraction = static_cast<double>(eps_slots_) / slots_seen_;
+  }
+
+  if (options_.track_stability) {
+    std::vector<double> capacities(world.networks().size());
+    for (std::size_t i = 0; i < capacities.size(); ++i) {
+      capacities[i] = world.networks()[i].capacity(horizon - 1);
+    }
+    result_.stability = detect_stable_state(locked_, capacities);
+  }
+}
+
+}  // namespace smartexp3::metrics

@@ -1,0 +1,83 @@
+// RunRecorder: the WorldObserver that turns a simulation run into the
+// metrics the paper reports — distance-to-NE series (Definition 3), time at
+// (ε-)equilibrium, Definition 4 distances, stable-state detection inputs
+// (Definition 2), per-device downloads and switch counts, unutilized
+// resources, and optional per-slot selection timelines (Figure 12).
+#pragma once
+
+#include <vector>
+
+#include "metrics/stability.hpp"
+#include "netsim/world.hpp"
+
+namespace smartexp3::metrics {
+
+struct RecorderOptions {
+  bool track_distance = true;      ///< Definition 3 series, per group
+  bool track_stability = false;    ///< Definition 2 inputs (per-slot probabilities)
+  bool track_def4 = false;         ///< Definition 4 series (controlled experiments)
+  bool track_selections = false;   ///< per-device per-slot network + rate (Fig 12)
+  /// Device groups for per-group distance series (paper Fig 9). Empty =
+  /// one group containing every device.
+  std::vector<std::vector<DeviceId>> groups;
+  double epsilon = 7.5;            ///< ε (percent) for the ε-equilibrium shading
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  // Per-slot series.
+  std::vector<std::vector<double>> group_distance;  ///< [group][slot]
+  std::vector<double> def4;                         ///< [slot]
+  /// Definition 4 restricted to each device group (only filled when both
+  /// track_def4 and groups are set — paper Fig 15's per-policy curves).
+  std::vector<std::vector<double>> group_def4;      ///< [group][slot]
+  // Allocation-quality fractions over the horizon.
+  double at_nash_fraction = 0.0;
+  double eps_fraction = 0.0;
+  // Definition 2.
+  StabilityResult stability;
+  // Per-device accounting, indexed like World::devices().
+  std::vector<double> downloads_mb;
+  std::vector<double> switching_cost_mb;  ///< download lost to association delay
+  std::vector<int> switches;
+  std::vector<int> resets;
+  std::vector<int> switch_backs;
+  std::vector<bool> persistent;  ///< device was present the entire run
+  // Aggregates.
+  double total_download_mb = 0.0;
+  double unused_mb = 0.0;  ///< capacity of empty networks, integrated
+  // Optional timelines.
+  std::vector<std::vector<int>> selections;   ///< [device][slot] net id / -1
+  std::vector<std::vector<double>> rates;     ///< [device][slot] Mbps
+
+  const std::vector<double>& distance() const { return group_distance.front(); }
+};
+
+class RunRecorder final : public netsim::WorldObserver {
+ public:
+  explicit RunRecorder(RecorderOptions options = {});
+
+  void on_slot_end(Slot t, const netsim::World& world) override;
+  void on_run_end(const netsim::World& world) override;
+
+  /// Valid after on_run_end (i.e. after World::run()).
+  const RunResult& result() const { return result_; }
+  RunResult take_result() { return std::move(result_); }
+
+ private:
+  void ensure_initialised(const netsim::World& world);
+
+  RecorderOptions options_;
+  RunResult result_;
+  bool initialised_ = false;
+  long slots_seen_ = 0;
+  long at_nash_slots_ = 0;
+  long eps_slots_ = 0;
+  std::vector<std::vector<int>> group_index_;           // device indices per group
+  std::vector<std::vector<int>> locked_;                // [device][slot]
+  std::vector<int> area_cache_;                         // last known device areas
+  std::vector<std::vector<int>> visible_cache_;         // per device network indices
+  bool restricted_visibility_ = false;
+};
+
+}  // namespace smartexp3::metrics

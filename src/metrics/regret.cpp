@@ -1,0 +1,75 @@
+#include "metrics/regret.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace smartexp3::metrics {
+
+double theorem2_switch_bound(int k, double beta, long horizon) {
+  return theorem2_switch_bound(k, beta, horizon, static_cast<double>(horizon), 1.0);
+}
+
+double theorem2_switch_bound(int k, double beta, long horizon, double tau, double td) {
+  if (k <= 0 || beta <= 0.0 || horizon <= 0 || tau <= 0.0 || td <= 0.0) {
+    throw std::invalid_argument("theorem2_switch_bound: invalid parameters");
+  }
+  const double periods = static_cast<double>(horizon) / tau;
+  return periods * 3.0 * k * std::log(tau / td + 1.0) / std::log(1.0 + beta);
+}
+
+double theorem3_regret_bound(double g_max, int k, double gamma, double beta,
+                             int longest_block, double mean_delay_slots,
+                             double mean_gain, long horizon) {
+  if (k <= 0 || gamma <= 0.0 || gamma > 1.0 || beta <= 0.0) {
+    throw std::invalid_argument("theorem3_regret_bound: invalid parameters");
+  }
+  const double e_minus_2 = std::exp(1.0) - 2.0;
+  const double exploration_term =
+      (1.0 + gamma * longest_block * e_minus_2) * g_max + k * std::log(k) / gamma;
+  const double switching_term =
+      mean_delay_slots * mean_gain * theorem2_switch_bound(k, beta, horizon);
+  return exploration_term + switching_term;
+}
+
+int longest_constant_run(const std::vector<int>& xs) {
+  int best = 0;
+  int run = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    run = (i > 0 && xs[i] == xs[i - 1]) ? run + 1 : 1;
+    best = std::max(best, run);
+  }
+  return best;
+}
+
+WeakRegret measure_weak_regret(const std::vector<std::vector<double>>& per_arm_gains,
+                               const std::vector<int>& selections,
+                               double delay_loss_gain_slots) {
+  WeakRegret out;
+  if (per_arm_gains.empty()) return out;
+  const std::size_t horizon = selections.size();
+
+  for (std::size_t arm = 0; arm < per_arm_gains.size(); ++arm) {
+    assert(per_arm_gains[arm].size() >= horizon);
+    double total = 0.0;
+    for (std::size_t t = 0; t < horizon; ++t) total += per_arm_gains[arm][t];
+    if (total > out.g_max) {
+      out.g_max = total;
+      out.best_arm = static_cast<int>(arm);
+    }
+  }
+
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const int arm = selections[t];
+    if (arm < 0) continue;
+    out.g_alg += per_arm_gains[static_cast<std::size_t>(arm)][t];
+    if (t > 0 && selections[t - 1] >= 0 && selections[t - 1] != arm) ++out.switches;
+  }
+
+  out.delay_loss = delay_loss_gain_slots;
+  out.regret = out.g_max - (out.g_alg - out.delay_loss);
+  out.longest_block = longest_constant_run(selections);
+  return out;
+}
+
+}  // namespace smartexp3::metrics

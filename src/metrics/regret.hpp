@@ -1,0 +1,55 @@
+// Weak-regret accounting and the paper's analytic bounds (Theorems 2 & 3).
+//
+// Weak regret (paper Definition 1) is the cumulative goodput of always
+// playing the best network in hindsight minus the algorithm's, where the
+// algorithm additionally pays its switching delays. All quantities here are
+// expressed in scaled gain units (per-slot gains in [0, 1], as fed to the
+// policies), which is the unit the theorems are stated in.
+#pragma once
+
+#include <vector>
+
+namespace smartexp3::metrics {
+
+/// Theorem 2 (no-reset form, tau = T, t_d = 1): upper bound on the expected
+/// number of network switches, 3 k log(T + 1) / log(1 + beta).
+double theorem2_switch_bound(int k, double beta, long horizon);
+
+/// Theorem 2, general form: (T / tau) * 3 k log(tau / t_d + 1) / log(1+beta).
+double theorem2_switch_bound(int k, double beta, long horizon, double tau, double td);
+
+/// Theorem 3 (no-reset form): upper bound on expected weak regret,
+///   (1 + gamma l (e-2)) Gmax + k ln k / gamma
+///     + mu_d mu_g 3 k log(T + 1) / log(1 + beta)
+/// with Gmax the best arm's cumulative gain, l the largest block length,
+/// mu_d the mean switching delay in *slots* and mu_g the mean per-slot gain.
+double theorem3_regret_bound(double g_max, int k, double gamma, double beta,
+                             int longest_block, double mean_delay_slots,
+                             double mean_gain, long horizon);
+
+/// Measured weak regret of one single-device run against an exogenous
+/// environment (e.g. a trace world).
+struct WeakRegret {
+  double g_max = 0.0;        ///< best fixed arm's cumulative gain
+  double g_alg = 0.0;        ///< algorithm's cumulative gain (ignoring delay)
+  double delay_loss = 0.0;   ///< gain-slots lost re-associating
+  double regret = 0.0;       ///< g_max - (g_alg - delay_loss)
+  int best_arm = -1;
+  int switches = 0;
+  int longest_block = 0;     ///< longest run of identical selections
+};
+
+/// `per_arm_gains[i][t]` is the scaled gain arm i would have produced at
+/// slot t; `selections[t]` is the arm the algorithm held (index into
+/// per_arm_gains); `delay_loss_gain_slots` converts the run's association
+/// delays into gain units (delay_seconds / slot_seconds * gain at that
+/// slot, pre-summed by the caller).
+WeakRegret measure_weak_regret(const std::vector<std::vector<double>>& per_arm_gains,
+                               const std::vector<int>& selections,
+                               double delay_loss_gain_slots);
+
+/// Longest run of identical values (used as the empirical largest block
+/// length l in the Theorem 3 bound).
+int longest_constant_run(const std::vector<int>& xs);
+
+}  // namespace smartexp3::metrics

@@ -1,0 +1,53 @@
+#include "metrics/stability.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/nash.hpp"
+
+namespace smartexp3::metrics {
+
+int locked_network(const std::vector<double>& probabilities, const std::vector<int>& nets,
+                   double threshold) {
+  assert(probabilities.size() == nets.size());
+  if (probabilities.empty()) return -1;
+  const auto it = std::max_element(probabilities.begin(), probabilities.end());
+  if (*it < threshold) return -1;
+  return nets[static_cast<std::size_t>(it - probabilities.begin())];
+}
+
+StabilityResult detect_stable_state(const std::vector<std::vector<int>>& locked,
+                                    const std::vector<double>& capacities) {
+  StabilityResult result;
+  if (locked.empty() || locked.front().empty()) return result;
+  const std::size_t horizon = locked.front().size();
+
+  int stable_slot = 0;
+  for (const auto& row : locked) {
+    assert(row.size() == horizon);
+    const int final_net = row.back();
+    if (final_net < 0) return result;  // this device never settled
+    // Earliest suffix over which the device holds final_net.
+    int device_start = static_cast<int>(horizon) - 1;
+    while (device_start > 0 && row[static_cast<std::size_t>(device_start - 1)] == final_net) {
+      --device_start;
+    }
+    stable_slot = std::max(stable_slot, device_start);
+  }
+
+  result.stable = true;
+  result.stable_slot = stable_slot;
+
+  std::vector<int> counts(capacities.size(), 0);
+  for (const auto& row : locked) {
+    const int net = row.back();
+    if (net >= 0 && static_cast<std::size_t>(net) < counts.size()) {
+      ++counts[static_cast<std::size_t>(net)];
+    }
+  }
+  result.at_nash = is_nash(capacities, counts);
+  result.at_eps_nash = is_epsilon_nash(capacities, counts);
+  return result;
+}
+
+}  // namespace smartexp3::metrics

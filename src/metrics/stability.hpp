@@ -1,0 +1,35 @@
+// Stable-state detection (paper Definition 2).
+//
+// An algorithm has reached a stable state at slot t0 when every device keeps
+// some fixed network at selection probability >= 0.75 from t0 through the
+// end of the run. The run is "stable at Nash equilibrium" when the
+// allocation implied by those locked networks is a pure Nash equilibrium.
+#pragma once
+
+#include <vector>
+
+namespace smartexp3::metrics {
+
+/// Probability threshold of Definition 2.
+inline constexpr double kStableProbability = 0.75;
+
+struct StabilityResult {
+  bool stable = false;
+  int stable_slot = -1;       ///< earliest t0 satisfying Definition 2
+  bool at_nash = false;       ///< locked allocation is a pure NE
+  bool at_eps_nash = false;   ///< ... or at least an ε-equilibrium (ε = 7.5 %)
+};
+
+/// `locked[d][t]` is the network id device d holds with probability >= 0.75
+/// at slot t, or -1 when no network meets the threshold. All rows must have
+/// equal length (the horizon). `capacities[i]` is the capacity of network id
+/// i (used for the NE classification).
+StabilityResult detect_stable_state(const std::vector<std::vector<int>>& locked,
+                                    const std::vector<double>& capacities);
+
+/// Helper: the locked value for one mixed strategy (argmax probability if it
+/// clears the threshold, else -1). `nets[i]` maps strategy index -> network.
+int locked_network(const std::vector<double>& probabilities, const std::vector<int>& nets,
+                   double threshold = kStableProbability);
+
+}  // namespace smartexp3::metrics

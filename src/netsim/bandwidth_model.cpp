@@ -1,0 +1,53 @@
+#include "netsim/bandwidth_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartexp3::netsim {
+
+void NoisyShareModel::begin_slot(Slot, stats::Rng& rng) {
+  // Advance every known network's AR(1) noise and roll for dips. Networks
+  // appear in the map lazily on first rate() call; their process starts at
+  // the stationary mean (1.0), which is the correct prior.
+  const double rho = params_.noise_rho;
+  const double innovation_sigma =
+      params_.noise_sigma * std::sqrt(std::max(1.0 - rho * rho, 0.0));
+  for (auto& [id, state] : noise_) {
+    state.value = 1.0 + rho * (state.value - 1.0) + rng.normal(0.0, innovation_sigma);
+    state.value = std::clamp(state.value, 0.2, 2.0);
+    state.dipped = state.dipped ? rng.chance(params_.dip_persistence)
+                                : rng.chance(params_.dip_probability);
+  }
+}
+
+double NoisyShareModel::device_multiplier(DeviceId device) {
+  auto it = multipliers_.find(device);
+  if (it != multipliers_.end()) return it->second;
+  // LogNormal(mu, sigma) normalised so the multiplier's mean is 1.
+  stats::LogNormal ln{-0.5 * params_.device_sigma * params_.device_sigma,
+                      params_.device_sigma};
+  const double m = ln.sample(device_rng_);
+  multipliers_.emplace(device, m);
+  return m;
+}
+
+double NoisyShareModel::rate(const Network& net, int n_devices, DeviceId device, Slot t,
+                             stats::Rng&) {
+  auto [it, inserted] = noise_.try_emplace(net.id);
+  const NetNoise& state = it->second;
+  double r = net.capacity(t) / std::max(n_devices, 1);
+  r *= device_multiplier(device);
+  r *= state.value;
+  if (state.dipped) r *= params_.dip_depth;
+  return std::max(r, 0.0);
+}
+
+std::unique_ptr<BandwidthModel> make_equal_share() {
+  return std::make_unique<EqualShareModel>();
+}
+
+std::unique_ptr<BandwidthModel> make_noisy_share(NoisyShareModel::Params p) {
+  return std::make_unique<NoisyShareModel>(p);
+}
+
+}  // namespace smartexp3::netsim

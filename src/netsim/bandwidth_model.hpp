@@ -1,0 +1,100 @@
+// Bandwidth-sharing models: how a network's capacity is divided among the
+// devices associated with it in a slot.
+//
+// The paper's simulations assume a network's bandwidth is shared equally
+// among its clients (EqualShareModel). The controlled experiments (§VII-A)
+// show that real devices do *not* get equal shares and that observed rates
+// fluctuate; NoisyShareModel reproduces those effects: a fixed per-device
+// share multiplier (distance from AP, antenna quality), AR(1) per-network
+// rate noise (interference), and occasional deep throughput dips.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "netsim/network.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::netsim {
+
+/// Strategy interface for per-device observed bit rates.
+class BandwidthModel {
+ public:
+  virtual ~BandwidthModel() = default;
+
+  /// Called once at the start of every slot, before any rate() calls, so the
+  /// model can advance time-correlated noise processes.
+  virtual void begin_slot(Slot t, stats::Rng& rng) = 0;
+
+  /// Observed bit rate (Mbps) for `device` on `net` when `n_devices` devices
+  /// (including this one) share it during slot `t`. `n_devices >= 1`.
+  virtual double rate(const Network& net, int n_devices, DeviceId device, Slot t,
+                      stats::Rng& rng) = 0;
+
+  /// Hypothetical fair-share rate used for full-information feedback and for
+  /// distance-to-equilibrium accounting (deliberately noise-free).
+  double fair_share(const Network& net, int n_devices, Slot t) const {
+    return n_devices > 0 ? net.capacity(t) / n_devices : net.capacity(t);
+  }
+};
+
+/// Ideal equal sharing: rate = capacity / n.
+class EqualShareModel final : public BandwidthModel {
+ public:
+  void begin_slot(Slot, stats::Rng&) override {}
+  double rate(const Network& net, int n_devices, DeviceId, Slot t, stats::Rng&) override {
+    return net.capacity(t) / n_devices;
+  }
+};
+
+/// Noisy sharing for the controlled-experiment substrate.
+///
+/// rate = capacity/n * device_multiplier * network_noise(t) * dip(t),
+/// where device_multiplier ~ LogNormal (drawn once per device, normalised to
+/// mean ~1), network_noise is an AR(1) process around 1 with the given
+/// stationary std-dev, and dip(t) multiplies the rate by `dip_depth` during
+/// dip episodes. Episodes start with probability `dip_probability` per
+/// network per slot and persist with probability `dip_persistence` per slot
+/// (geometric duration), modelling interference bursts that last minutes —
+/// long enough to punish lock-in policies, exactly what the paper's
+/// controlled experiments exhibit (§VII-A: "bit rates observed by some of
+/// the devices go down for some reason").
+class NoisyShareModel final : public BandwidthModel {
+ public:
+  struct Params {
+    double device_sigma = 0.20;    ///< log-std of per-device multiplier
+    double noise_rho = 0.90;       ///< AR(1) coefficient (slow quality drift)
+    double noise_sigma = 0.10;     ///< stationary std of network noise
+    double dip_probability = 0.01; ///< per network-slot chance a dip starts
+    double dip_persistence = 0.85; ///< per-slot chance an ongoing dip continues
+    double dip_depth = 0.35;       ///< multiplier during a dip
+    std::uint64_t seed = 1;        ///< seed for per-device multipliers
+  };
+
+  NoisyShareModel() : NoisyShareModel(Params{}) {}
+  explicit NoisyShareModel(Params p) : params_(p), device_rng_(p.seed) {}
+
+  void begin_slot(Slot t, stats::Rng& rng) override;
+  double rate(const Network& net, int n_devices, DeviceId device, Slot t,
+              stats::Rng& rng) override;
+
+  /// The fixed multiplier assigned to a device (exposed for tests).
+  double device_multiplier(DeviceId device);
+
+ private:
+  struct NetNoise {
+    double value = 1.0;
+    bool dipped = false;
+  };
+
+  Params params_;
+  stats::Rng device_rng_;
+  std::unordered_map<DeviceId, double> multipliers_;
+  std::unordered_map<NetworkId, NetNoise> noise_;
+};
+
+std::unique_ptr<BandwidthModel> make_equal_share();
+std::unique_ptr<BandwidthModel> make_noisy_share(NoisyShareModel::Params p);
+
+}  // namespace smartexp3::netsim

@@ -1,0 +1,15 @@
+#include "netsim/delay_model.hpp"
+
+namespace smartexp3::netsim {
+
+double DistributionDelayModel::sample(const Network& to, stats::Rng& rng) const {
+  const double raw = to.type == NetworkType::kWifi ? params_.wifi.sample(rng)
+                                                   : params_.cellular.sample(rng);
+  return stats::clamp_delay(raw, params_.max_delay_s);
+}
+
+std::unique_ptr<DelayModel> make_default_delay_model() {
+  return std::make_unique<DistributionDelayModel>();
+}
+
+}  // namespace smartexp3::netsim

@@ -1,0 +1,53 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+
+namespace smartexp3::netsim {
+
+std::string to_string(NetworkType t) {
+  return t == NetworkType::kWifi ? "wifi" : "cellular";
+}
+
+double Network::capacity(Slot t) const {
+  if (trace.empty()) return base_capacity_mbps;
+  const auto idx = static_cast<std::size_t>(std::clamp<Slot>(t, 0, static_cast<Slot>(trace.size()) - 1));
+  return trace[idx];
+}
+
+bool Network::covers(int area) const {
+  if (areas.empty()) return true;
+  return std::find(areas.begin(), areas.end(), area) != areas.end();
+}
+
+Network make_wifi(NetworkId id, double capacity_mbps, std::vector<int> areas,
+                  std::string label) {
+  Network n;
+  n.id = id;
+  n.type = NetworkType::kWifi;
+  n.base_capacity_mbps = capacity_mbps;
+  n.areas = std::move(areas);
+  n.label = label.empty() ? "wifi-" + std::to_string(id) : std::move(label);
+  return n;
+}
+
+Network make_cellular(NetworkId id, double capacity_mbps, std::vector<int> areas,
+                      std::string label) {
+  Network n;
+  n.id = id;
+  n.type = NetworkType::kCellular;
+  n.base_capacity_mbps = capacity_mbps;
+  n.areas = std::move(areas);
+  n.label = label.empty() ? "cell-" + std::to_string(id) : std::move(label);
+  return n;
+}
+
+std::vector<NetworkId> visible_networks(const std::vector<Network>& networks, int area) {
+  std::vector<NetworkId> out;
+  out.reserve(networks.size());
+  for (const auto& n : networks) {
+    if (n.covers(area)) out.push_back(n.id);
+  }
+  return out;
+}
+
+}  // namespace smartexp3::netsim

@@ -1,0 +1,48 @@
+// Wireless networks: capacity (possibly trace-driven), technology type
+// (which determines the switching-delay distribution) and coverage areas
+// (the service-area model of the paper's Figure 1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/types.hpp"
+
+namespace smartexp3::netsim {
+
+enum class NetworkType { kWifi, kCellular };
+
+std::string to_string(NetworkType t);
+
+/// A wireless network in the simulated world.
+///
+/// Capacity is `base_capacity_mbps` unless a per-slot `trace` is attached,
+/// in which case the trace value for the slot is used (the last trace value
+/// persists past the end of the trace). Coverage is expressed as a list of
+/// service-area ids; an empty list means the network covers every area
+/// (e.g. a cellular macro cell).
+struct Network {
+  NetworkId id = 0;
+  NetworkType type = NetworkType::kWifi;
+  double base_capacity_mbps = 0.0;
+  std::vector<int> areas;        ///< covered areas; empty = everywhere
+  std::vector<double> trace;     ///< optional per-slot capacity (Mbps)
+  std::string label;             ///< human-readable name for reports
+
+  /// Capacity at slot `t` in Mbps.
+  double capacity(Slot t) const;
+
+  /// Whether the network is usable from service area `area`.
+  bool covers(int area) const;
+};
+
+/// Convenience constructors.
+Network make_wifi(NetworkId id, double capacity_mbps, std::vector<int> areas = {},
+                  std::string label = {});
+Network make_cellular(NetworkId id, double capacity_mbps, std::vector<int> areas = {},
+                      std::string label = {});
+
+/// Ids of the networks visible from `area`, in table order.
+std::vector<NetworkId> visible_networks(const std::vector<Network>& networks, int area);
+
+}  // namespace smartexp3::netsim

@@ -1,0 +1,14 @@
+#include "netsim/scenario.hpp"
+
+#include <algorithm>
+
+namespace smartexp3::netsim {
+
+void Scenario::normalise() {
+  std::stable_sort(moves.begin(), moves.end(),
+                   [](const MoveEvent& a, const MoveEvent& b) { return a.slot < b.slot; });
+  std::stable_sort(capacity_changes.begin(), capacity_changes.end(),
+                   [](const CapacityEvent& a, const CapacityEvent& b) { return a.slot < b.slot; });
+}
+
+}  // namespace smartexp3::netsim

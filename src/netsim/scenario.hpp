@@ -1,0 +1,50 @@
+// Scenario events: scripted changes to the world during a run.
+//
+// Device arrivals and departures are expressed on the DeviceSpec itself
+// (join_slot / leave_slot); Scenario carries everything else — device
+// movement between service areas (paper §VI-A setting 3) and scripted
+// capacity changes.
+#pragma once
+
+#include <vector>
+
+#include "netsim/types.hpp"
+
+namespace smartexp3::netsim {
+
+/// Move a device to another service area at the *start* of `slot`.
+struct MoveEvent {
+  Slot slot = 0;
+  DeviceId device = 0;
+  int new_area = 0;
+};
+
+/// Change a network's base capacity at the start of `slot` (not used by the
+/// paper's headline experiments but exercised by tests and the ablations).
+struct CapacityEvent {
+  Slot slot = 0;
+  NetworkId network = 0;
+  double new_capacity_mbps = 0.0;
+};
+
+struct Scenario {
+  std::vector<MoveEvent> moves;
+  std::vector<CapacityEvent> capacity_changes;
+
+  Scenario& move(Slot slot, DeviceId device, int new_area) {
+    moves.push_back({slot, device, new_area});
+    return *this;
+  }
+
+  Scenario& set_capacity(Slot slot, NetworkId network, double mbps) {
+    capacity_changes.push_back({slot, network, mbps});
+    return *this;
+  }
+
+  bool empty() const { return moves.empty() && capacity_changes.empty(); }
+
+  /// Sort events chronologically. Called once by the world before a run.
+  void normalise();
+};
+
+}  // namespace smartexp3::netsim

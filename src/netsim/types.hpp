@@ -1,0 +1,27 @@
+// Fundamental identifiers and constants shared across the simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace smartexp3 {
+
+/// Identifier of a wireless network (index into the world's network table).
+using NetworkId = int;
+/// Identifier of a mobile device.
+using DeviceId = int;
+/// Time-slot index (slots are kSlotSeconds long; the paper uses 15 s).
+using Slot = int;
+
+/// Sentinel: device not (yet) associated with any network.
+inline constexpr NetworkId kNoNetwork = -1;
+
+/// Default slot duration, seconds (paper §V: longer than the maximum
+/// switching delay observed in their real-world experiments).
+inline constexpr double kDefaultSlotSeconds = 15.0;
+
+/// Megabits-per-second times seconds, converted to megabytes.
+inline constexpr double mbps_seconds_to_mb(double mbps, double seconds) {
+  return mbps * seconds / 8.0;
+}
+
+}  // namespace smartexp3

@@ -1,0 +1,212 @@
+#include "netsim/world.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace smartexp3::netsim {
+
+World::World(WorldConfig config, std::vector<Network> networks,
+             std::vector<DeviceSpec> devices, Scenario scenario, PolicyFactory factory,
+             std::uint64_t seed)
+    : config_(config),
+      networks_(std::move(networks)),
+      scenario_(std::move(scenario)),
+      rng_(seed) {
+  if (networks_.empty()) throw std::invalid_argument("World: no networks");
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    if (networks_[i].id != static_cast<NetworkId>(i)) {
+      throw std::invalid_argument("World: network ids must be 0..k-1 in table order");
+    }
+  }
+  scenario_.normalise();
+
+  gain_scale_ = config_.gain_scale_mbps;
+  if (gain_scale_ <= 0.0) {
+    for (const auto& n : networks_) {
+      gain_scale_ = std::max(gain_scale_, n.base_capacity_mbps);
+      for (const double c : n.trace) gain_scale_ = std::max(gain_scale_, c);
+    }
+  }
+  if (gain_scale_ <= 0.0) gain_scale_ = 1.0;
+
+  devices_.reserve(devices.size());
+  for (auto& spec : devices) {
+    DeviceState d;
+    d.spec = spec;
+    d.area = spec.area;
+    // Per-device seed: decorrelated from the world stream and from other
+    // devices, but fully determined by (seed, device id).
+    const std::uint64_t device_seed =
+        seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(spec.id + 1));
+    d.policy = factory(spec, device_seed);
+    if (!d.policy) throw std::invalid_argument("World: factory returned null policy");
+    devices_.push_back(std::move(d));
+  }
+
+  bandwidth_ = make_equal_share();
+  delay_ = make_default_delay_model();
+  counts_.assign(networks_.size(), 0);
+  pending_.assign(devices_.size(), kNoNetwork);
+}
+
+void World::set_bandwidth_model(std::unique_ptr<BandwidthModel> model) {
+  assert(model);
+  bandwidth_ = std::move(model);
+}
+
+void World::set_delay_model(std::unique_ptr<DelayModel> model) {
+  assert(model);
+  delay_ = std::move(model);
+}
+
+int World::active_device_count() const {
+  int n = 0;
+  for (const auto& d : devices_) n += d.active ? 1 : 0;
+  return n;
+}
+
+double World::unused_capacity_mbps(Slot t) const {
+  double unused = 0.0;
+  for (std::size_t i = 0; i < networks_.size(); ++i) {
+    if (counts_[i] == 0) unused += networks_[i].capacity(t);
+  }
+  return unused;
+}
+
+std::vector<NetworkId> World::visible_for(const DeviceState& d) const {
+  return visible_networks(networks_, d.area);
+}
+
+void World::join_device(DeviceState& d, Slot) {
+  d.active = true;
+  d.current = kNoNetwork;
+  d.policy->set_networks(visible_for(d));
+}
+
+void World::leave_device(DeviceState& d, Slot t) {
+  d.active = false;
+  d.current = kNoNetwork;
+  d.policy->on_leave(t);
+}
+
+void World::apply_events(Slot t) {
+  // Scripted capacity changes.
+  while (next_capacity_ < scenario_.capacity_changes.size() &&
+         scenario_.capacity_changes[next_capacity_].slot <= t) {
+    const auto& ev = scenario_.capacity_changes[next_capacity_++];
+    if (ev.slot == t) {
+      auto& net = networks_.at(static_cast<std::size_t>(ev.network));
+      net.base_capacity_mbps = ev.new_capacity_mbps;
+      if (!net.trace.empty()) net.trace.clear();  // scripted change overrides trace
+    }
+  }
+
+  // Joins / leaves from the device specs.
+  for (auto& d : devices_) {
+    if (!d.active && d.spec.join_slot == t) join_device(d, t);
+    if (d.active && d.spec.leave_slot >= 0 && d.spec.leave_slot == t) leave_device(d, t);
+  }
+
+  // Moves between service areas: the policy learns about it through a
+  // change in its visible-network set.
+  while (next_move_ < scenario_.moves.size() && scenario_.moves[next_move_].slot <= t) {
+    const auto& ev = scenario_.moves[next_move_++];
+    if (ev.slot != t) continue;
+    for (auto& d : devices_) {
+      if (d.spec.id != ev.device) continue;
+      if (d.area == ev.new_area) break;
+      d.area = ev.new_area;
+      if (d.active) {
+        const auto visible = visible_for(d);
+        // If the device's current network no longer covers it, it is
+        // disconnected before the policy re-plans.
+        if (d.current != kNoNetwork &&
+            std::find(visible.begin(), visible.end(), d.current) == visible.end()) {
+          d.current = kNoNetwork;
+        }
+        d.policy->set_networks(visible);
+      }
+      break;
+    }
+  }
+}
+
+void World::step() {
+  if (done()) return;
+  const Slot t = now_;
+  apply_events(t);
+  bandwidth_->begin_slot(t, rng_);
+
+  // Phase 1: all devices pick simultaneously (clients are time-synchronised
+  // in the paper's simulation setup).
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& d = devices_[i];
+    pending_[i] = kNoNetwork;
+    if (!d.active) continue;
+    const NetworkId want = d.policy->choose(t);
+    const auto& nets = d.policy->networks();
+    assert(std::find(nets.begin(), nets.end(), want) != nets.end());
+    (void)nets;
+    pending_[i] = want;
+  }
+
+  // Phase 2: congestion.
+  std::fill(counts_.begin(), counts_.end(), 0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (pending_[i] != kNoNetwork) ++counts_[static_cast<std::size_t>(pending_[i])];
+  }
+
+  // Phase 3: outcomes and feedback.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& d = devices_[i];
+    if (!d.active) continue;
+    const NetworkId chosen = pending_[i];
+    const auto& net = networks_[static_cast<std::size_t>(chosen)];
+    const int n_on_net = counts_[static_cast<std::size_t>(chosen)];
+    const bool switched = d.current != kNoNetwork && d.current != chosen;
+
+    core::SlotFeedback fb;
+    fb.switched = switched;
+    fb.delay_s = switched ? std::min(delay_->sample(net, rng_), config_.slot_seconds)
+                          : 0.0;
+    fb.bit_rate_mbps = bandwidth_->rate(net, n_on_net, d.spec.id, t, rng_);
+    fb.gain = std::clamp(fb.bit_rate_mbps / gain_scale_, 0.0, 1.0);
+    fb.goodput_mb =
+        mbps_seconds_to_mb(fb.bit_rate_mbps, config_.slot_seconds - fb.delay_s);
+
+    // Full-information feedback: what the device would have observed on each
+    // visible network this slot (fair-share counterfactual: joining a
+    // network it is not on adds itself to that network's load).
+    const auto& nets = d.policy->networks();
+    fb.all_rates_mbps.resize(nets.size());
+    fb.all_gains.resize(nets.size());
+    for (std::size_t j = 0; j < nets.size(); ++j) {
+      const auto& other = networks_[static_cast<std::size_t>(nets[j])];
+      const int load = counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
+      fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
+      fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
+    }
+
+    d.policy->observe(t, fb);
+
+    d.last_rate_mbps = fb.bit_rate_mbps;
+    d.last_gain = fb.gain;
+    d.last_switched = switched;
+    d.download_mb += fb.goodput_mb;
+    d.delay_loss_mb += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
+    d.switches += switched ? 1 : 0;
+    d.slots_active += 1;
+    d.current = chosen;
+  }
+
+  if (observer_ != nullptr) observer_->on_slot_end(t, *this);
+  ++now_;
+}
+
+void World::run() {
+  while (!done()) step();
+  if (observer_ != nullptr) observer_->on_run_end(*this);
+}
+
+}  // namespace smartexp3::netsim

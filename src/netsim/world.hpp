@@ -1,0 +1,126 @@
+// The time-slotted congestion-game world: the simulation substrate every
+// experiment in the paper runs on.
+//
+// Each slot the world (1) applies scenario events (joins, leaves, moves,
+// capacity changes), (2) asks every active device's policy for a network,
+// (3) computes per-network congestion and per-device observed rates through
+// the bandwidth model, (4) charges switching delay through the delay model,
+// and (5) feeds the outcome back to the policies and to an optional
+// observer (the metrics recorder).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "netsim/bandwidth_model.hpp"
+#include "netsim/delay_model.hpp"
+#include "netsim/network.hpp"
+#include "netsim/scenario.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::netsim {
+
+/// Static description of one device participating in a run.
+struct DeviceSpec {
+  DeviceId id = 0;
+  int area = 0;
+  Slot join_slot = 0;
+  Slot leave_slot = -1;  ///< -1 = stays until the end
+  std::string policy_name;  ///< consumed by the policy factory
+};
+
+/// Live per-device state during a run (read-only to observers).
+struct DeviceState {
+  DeviceSpec spec;
+  std::unique_ptr<core::Policy> policy;
+  bool active = false;
+  int area = 0;
+  NetworkId current = kNoNetwork;
+  // Per-slot outcome of the most recent slot (valid while active).
+  double last_rate_mbps = 0.0;
+  double last_gain = 0.0;
+  bool last_switched = false;
+  // Cumulative accounting.
+  double download_mb = 0.0;
+  double delay_loss_mb = 0.0;  ///< download foregone while re-associating
+  int switches = 0;
+  int slots_active = 0;
+};
+
+struct WorldConfig {
+  double slot_seconds = kDefaultSlotSeconds;
+  /// Bit rates are divided by this to obtain gains in [0,1]. Defaults to the
+  /// maximum single-network capacity when <= 0.
+  double gain_scale_mbps = 0.0;
+  Slot horizon = 1200;  ///< 5 simulated hours of 15 s slots, as in §VI-A
+};
+
+class World;
+
+/// Observer hook for metrics collection. Called after each slot completes.
+class WorldObserver {
+ public:
+  virtual ~WorldObserver() = default;
+  virtual void on_slot_end(Slot t, const World& world) = 0;
+  /// Called once after the final slot.
+  virtual void on_run_end(const World& /*world*/) {}
+};
+
+/// Creates the policy for a device. Receives the spec and a per-device seed.
+using PolicyFactory =
+    std::function<std::unique_ptr<core::Policy>(const DeviceSpec&, std::uint64_t seed)>;
+
+class World {
+ public:
+  World(WorldConfig config, std::vector<Network> networks, std::vector<DeviceSpec> devices,
+        Scenario scenario, PolicyFactory factory, std::uint64_t seed);
+
+  void set_bandwidth_model(std::unique_ptr<BandwidthModel> model);
+  void set_delay_model(std::unique_ptr<DelayModel> model);
+  void set_observer(WorldObserver* observer) { observer_ = observer; }
+
+  /// Run the full horizon. May only be called once per World.
+  void run();
+
+  /// Run a prefix of the horizon (for incremental inspection in tests).
+  void step();  ///< advance exactly one slot
+  Slot now() const { return now_; }
+  bool done() const { return now_ >= config_.horizon; }
+
+  // ---- accessors for observers, metrics and reports ----
+  const WorldConfig& config() const { return config_; }
+  const std::vector<Network>& networks() const { return networks_; }
+  const std::vector<DeviceState>& devices() const { return devices_; }
+  /// Devices currently in the service area.
+  int active_device_count() const;
+  /// Number of devices on each network this slot (indexed by NetworkId).
+  const std::vector<int>& counts() const { return counts_; }
+  /// Capacity (Mbps) unused this slot because no device selected the network.
+  double unused_capacity_mbps(Slot t) const;
+  double gain_scale() const { return gain_scale_; }
+
+ private:
+  void apply_events(Slot t);
+  void join_device(DeviceState& d, Slot t);
+  void leave_device(DeviceState& d, Slot t);
+  std::vector<NetworkId> visible_for(const DeviceState& d) const;
+
+  WorldConfig config_;
+  std::vector<Network> networks_;
+  std::vector<DeviceState> devices_;
+  Scenario scenario_;
+  std::size_t next_move_ = 0;
+  std::size_t next_capacity_ = 0;
+  std::unique_ptr<BandwidthModel> bandwidth_;
+  std::unique_ptr<DelayModel> delay_;
+  WorldObserver* observer_ = nullptr;
+  stats::Rng rng_;
+  double gain_scale_ = 1.0;
+  Slot now_ = 0;
+  std::vector<int> counts_;
+  std::vector<NetworkId> pending_;  // per device index: choice this slot
+};
+
+}  // namespace smartexp3::netsim

@@ -1,0 +1,61 @@
+#include "stats/distributions.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace smartexp3::stats {
+
+double JohnsonSU::sample(Rng& rng) const {
+  assert(delta > 0.0 && lambda > 0.0);
+  const double z = rng.normal();
+  return xi + lambda * std::sinh((z - gamma) / delta);
+}
+
+double JohnsonSU::mean() const {
+  // E[X] = xi - lambda * exp(1/(2 delta^2)) * sinh(gamma / delta)
+  return xi - lambda * std::exp(0.5 / (delta * delta)) * std::sinh(gamma / delta);
+}
+
+double sample_gamma(Rng& rng, double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  // Marsaglia & Tsang (2000). For shape < 1, boost via U^(1/shape).
+  if (shape < 1.0) {
+    const double u = std::max(rng.uniform(), 1e-300);
+    return sample_gamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = rng.normal();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    const double u = rng.uniform();
+    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v * scale;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double StudentT::sample(Rng& rng) const {
+  assert(nu > 0.0 && scale > 0.0);
+  const double z = rng.normal();
+  // chi^2(nu) == Gamma(nu/2, 2)
+  const double v = sample_gamma(rng, nu / 2.0, 2.0);
+  return loc + scale * z / std::sqrt(std::max(v / nu, 1e-12));
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(rng.normal(mu, sigma));
+}
+
+double LogNormal::mean() const { return std::exp(mu + 0.5 * sigma * sigma); }
+
+double clamp_delay(double raw, double max_delay) {
+  if (raw < 0.0) return 0.0;
+  if (raw > max_delay) return max_delay;
+  return raw;
+}
+
+}  // namespace smartexp3::stats

@@ -1,0 +1,57 @@
+// Continuous distributions used by the simulation substrate.
+//
+// The paper models WiFi switching delay with a Johnson-SU distribution and
+// cellular switching delay with a Student-t distribution (each the best fit
+// to 500 measured delay values; the fitted parameters were not published).
+// We implement both samplers from scratch and expose parameter structs so the
+// delay models in netsim/ can be calibrated; see DESIGN.md §3 for the
+// calibration used in the reproduction.
+#pragma once
+
+#include "stats/rng.hpp"
+
+namespace smartexp3::stats {
+
+/// Johnson SU distribution: x = xi + lambda * sinh((z - gamma) / delta),
+/// z ~ N(0,1). Unbounded, skewed family often fit to network delays.
+struct JohnsonSU {
+  double gamma = 0.0;   ///< shape (skew): negative skews right
+  double delta = 1.0;   ///< shape (tail weight), must be > 0
+  double xi = 0.0;      ///< location
+  double lambda = 1.0;  ///< scale, must be > 0
+
+  double sample(Rng& rng) const;
+  /// Mean of the distribution (closed form).
+  double mean() const;
+};
+
+/// Student-t distribution with location/scale, sampled as
+/// x = loc + scale * Z / sqrt(V / nu) with Z ~ N(0,1), V ~ chi^2(nu).
+struct StudentT {
+  double nu = 4.0;     ///< degrees of freedom, must be > 0
+  double loc = 0.0;    ///< location
+  double scale = 1.0;  ///< scale, must be > 0
+
+  double sample(Rng& rng) const;
+};
+
+/// Log-normal: exp(N(mu, sigma)). Used for per-device share heterogeneity in
+/// the controlled-experiment substrate.
+struct LogNormal {
+  double mu = 0.0;
+  double sigma = 0.25;
+
+  double sample(Rng& rng) const;
+  double mean() const;
+};
+
+/// Gamma(shape k, scale theta) sampler (Marsaglia–Tsang); used to build the
+/// chi-square draws inside StudentT and available to workload generators.
+double sample_gamma(Rng& rng, double shape, double scale);
+
+/// Clamp helper for delay draws: delays must be non-negative and strictly
+/// below the slot duration (the paper chose 15 s slots specifically to
+/// exceed the maximum observed switching delay).
+double clamp_delay(double raw, double max_delay);
+
+}  // namespace smartexp3::stats

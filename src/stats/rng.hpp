@@ -1,0 +1,157 @@
+// Deterministic, fast pseudo-random number generation for the simulator.
+//
+// All randomness in the library flows through stats::Rng so that every
+// simulation run is reproducible from a single 64-bit seed. The generator is
+// xoshiro256++ (Blackman & Vigna), seeded via SplitMix64 so that nearby seeds
+// (base_seed + run_index) produce decorrelated streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <cassert>
+#include <vector>
+
+namespace smartexp3::stats {
+
+/// xoshiro256++ pseudo-random generator with convenience draws.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions if ever needed; the library's own samplers in
+/// distributions.hpp only use the methods below.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialise the full 256-bit state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // SplitMix64 step: guarantees a well-mixed, non-zero state.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, 1). 53-bit resolution.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  std::uint64_t below(std::uint64_t n) {
+    assert(n > 0);
+    __uint128_t m = static_cast<__uint128_t>(next()) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int int_in(int lo, int hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Fair coin flip.
+  bool coin() { return (next() & 1ULL) != 0; }
+
+  /// Standard normal via Box–Muller (cached second value).
+  double normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -mean * std::log(u);
+  }
+
+  /// Sample an index from a discrete probability distribution. The
+  /// distribution need not be perfectly normalised; any residual mass maps
+  /// to the last index. Empty input is a precondition violation.
+  template <typename Container>
+  std::size_t sample_discrete(const Container& probs) {
+    assert(!probs.empty());
+    double u = uniform();
+    std::size_t i = 0;
+    for (const double p : probs) {
+      u -= p;
+      if (u < 0.0) return i;
+      ++i;
+    }
+    return probs.size() - 1;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child generator (e.g. one per device).
+  Rng split() { return Rng{next() ^ 0xd1b54a32d192ed03ULL}; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace smartexp3::stats

@@ -1,0 +1,101 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace smartexp3::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  if (lo == hi) return xs[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double min_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double s = 0.0;
+  double ss = 0.0;
+  for (const double x : xs) {
+    s += x;
+    ss += x * x;
+  }
+  if (ss <= 0.0) return 1.0;
+  return (s * s) / (static_cast<double>(xs.size()) * ss);
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SeriesAccumulator::add(const std::vector<double>& series) {
+  if (runs_ == 0) {
+    sum_ = series;
+  } else {
+    if (series.size() != sum_.size()) {
+      throw std::invalid_argument("SeriesAccumulator: mismatched series length");
+    }
+    for (std::size_t i = 0; i < series.size(); ++i) sum_[i] += series[i];
+  }
+  ++runs_;
+}
+
+std::vector<double> SeriesAccumulator::mean() const {
+  std::vector<double> out(sum_.size(), 0.0);
+  if (runs_ == 0) return out;
+  for (std::size_t i = 0; i < sum_.size(); ++i) {
+    out[i] = sum_[i] / static_cast<double>(runs_);
+  }
+  return out;
+}
+
+}  // namespace smartexp3::stats

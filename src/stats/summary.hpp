@@ -1,0 +1,62 @@
+// Summary statistics used when aggregating simulation runs into the numbers
+// the paper reports (means, medians, standard deviations, percentiles, and
+// the Jain fairness index).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace smartexp3::stats {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of the two middle order statistics for even n);
+/// 0 for an empty sample. Does not modify the input.
+double median(std::vector<double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]; 0 for an empty sample.
+double percentile(std::vector<double> xs, double p);
+
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+
+/// Jain fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 for an
+/// empty sample by convention (nothing to be unfair about).
+double jain_index(const std::vector<double>& xs);
+
+/// Incremental mean/variance accumulator (Welford). Useful when a metric is
+/// produced one run at a time and the full sample need not be retained.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< sample variance (n-1)
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Element-wise accumulator over equal-length series (e.g. distance-to-NE
+/// per slot averaged across runs).
+class SeriesAccumulator {
+ public:
+  /// Add one run's series. All series added must have identical length.
+  void add(const std::vector<double>& series);
+  std::vector<double> mean() const;
+  std::size_t runs() const { return runs_; }
+  bool empty() const { return runs_ == 0; }
+
+ private:
+  std::vector<double> sum_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace smartexp3::stats

@@ -1,0 +1,98 @@
+#include "trace/synth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace smartexp3::trace {
+
+namespace {
+
+/// One piecewise-constant regime: a target mean that holds until `until`
+/// (exclusive, as a fraction of the horizon).
+struct Segment {
+  double until_fraction;
+  double mean_mbps;
+};
+
+/// AR(1) noise around a scripted mean schedule. Scripted segments (rather
+/// than random regime switching) pin down the qualitative structure of each
+/// of the paper's four collected pairs — in particular the greedy-trap shape
+/// of trace 3, where the early leader collapses mid-trace.
+std::vector<double> generate(const std::vector<Segment>& schedule, int slots,
+                             double rho, double sigma, double floor_mbps,
+                             double cap_mbps, stats::Rng& rng) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(slots));
+  double level = schedule.front().mean_mbps;
+  for (int t = 0; t < slots; ++t) {
+    const double f = static_cast<double>(t) / static_cast<double>(slots);
+    double target = schedule.back().mean_mbps;
+    for (const auto& seg : schedule) {
+      if (f < seg.until_fraction) {
+        target = seg.mean_mbps;
+        break;
+      }
+    }
+    level = target + rho * (level - target) + rng.normal(0.0, sigma);
+    out.push_back(std::clamp(level, floor_mbps, cap_mbps));
+  }
+  return out;
+}
+
+}  // namespace
+
+TracePair synthetic_pair(int index, SynthOptions options) {
+  stats::Rng rng(options.seed ^ (0x517cc1b727220a95ULL * static_cast<std::uint64_t>(index)));
+  TracePair pair;
+  pair.label = "synthetic-trace-" + std::to_string(index);
+  const int n = options.slots;
+
+  switch (index) {
+    case 1:
+      // Cellular mostly ahead, but it fades well below WiFi mid-trace: the
+      // fade is long and deep enough that Greedy's running average finally
+      // capitulates to WiFi — right before cellular recovers, which Greedy
+      // then misses (its frozen cellular average sits below WiFi's). A
+      // policy that keeps probing rides the better network in every phase.
+      pair.cellular_mbps =
+          generate({{0.3, 4.8}, {0.8, 1.2}, {1.0, 5.5}}, n, 0.6, 0.4, 0.3, 6.5, rng);
+      pair.wifi_mbps = generate({{1.0, 3.0}}, n, 0.6, 0.3, 0.3, 6.5, rng);
+      break;
+    case 2:
+      // Cellular strictly dominant throughout (paper: "cellular network is
+      // always better than WiFi in trace 2") — Greedy's best case.
+      pair.cellular_mbps = generate({{0.5, 5.6}, {1.0, 5.0}}, n, 0.6, 0.25, 4.3, 6.5, rng);
+      pair.wifi_mbps = generate({{0.4, 2.2}, {1.0, 2.6}}, n, 0.6, 0.25, 0.3, 3.6, rng);
+      break;
+    case 3:
+      // The greedy trap: cellular opens strong (greedy locks in), then
+      // collapses for most of the trace while WiFi improves, recovering only
+      // at the very end. Heaviest fluctuation of the four.
+      pair.cellular_mbps =
+          generate({{0.25, 5.2}, {0.85, 1.1}, {1.0, 3.5}}, n, 0.55, 0.5, 0.2, 6.5, rng);
+      pair.wifi_mbps = generate({{0.25, 2.9}, {1.0, 3.9}}, n, 0.55, 0.45, 0.3, 6.5, rng);
+      break;
+    case 4:
+      // Comparable means with a regular alternation of the leader.
+      pair.cellular_mbps =
+          generate({{0.25, 4.7}, {0.5, 2.9}, {0.75, 4.7}, {1.0, 2.9}}, n, 0.6, 0.35,
+                   0.3, 6.5, rng);
+      pair.wifi_mbps =
+          generate({{0.25, 3.0}, {0.5, 4.4}, {0.75, 3.0}, {1.0, 4.4}}, n, 0.6, 0.35,
+                   0.3, 6.5, rng);
+      break;
+    default:
+      throw std::invalid_argument("synthetic_pair: index must be 1..4");
+  }
+  return pair;
+}
+
+std::vector<TracePair> all_synthetic_pairs(SynthOptions options) {
+  std::vector<TracePair> pairs;
+  for (int i = 1; i <= 4; ++i) pairs.push_back(synthetic_pair(i, options));
+  return pairs;
+}
+
+}  // namespace smartexp3::trace

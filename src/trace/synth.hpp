@@ -1,0 +1,33 @@
+// Synthetic WiFi/cellular trace pairs calibrated to the qualitative regimes
+// of the paper's four collected trace pairs (§VI-B):
+//
+//   pair 1: both fluctuate, cellular usually (but not always) ahead —
+//           several lead changes;
+//   pair 2: cellular strictly dominant throughout (the regime where Greedy
+//           matches Smart EXP3);
+//   pair 3: heavy fluctuation with deep cellular fades — the most
+//           adversarial pair, frequent lead changes;
+//   pair 4: comparable means with regular crossovers.
+//
+// Rates follow an AR(1) process around regime means, with regimes switching
+// via a Markov chain; everything is reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace smartexp3::trace {
+
+struct SynthOptions {
+  int slots = 100;          ///< 25 minutes of 15 s slots, as in the paper
+  std::uint64_t seed = 7;
+};
+
+/// Generate synthetic trace pair `index` (1..4). Throws on other indices.
+TracePair synthetic_pair(int index, SynthOptions options = {});
+
+/// All four pairs.
+std::vector<TracePair> all_synthetic_pairs(SynthOptions options = {});
+
+}  // namespace smartexp3::trace

@@ -1,0 +1,68 @@
+#include "trace/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace smartexp3::trace {
+
+void save_csv(const TracePair& pair, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  out << "slot,wifi_mbps,cellular_mbps\n";
+  for (std::size_t i = 0; i < pair.slots(); ++i) {
+    out << i << ',' << pair.wifi_mbps[i] << ',' << pair.cellular_mbps[i] << '\n';
+  }
+}
+
+TracePair load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+  TracePair pair;
+  pair.label = path;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("load_csv: empty file " + path);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    double values[3] = {0.0, 0.0, 0.0};
+    for (int i = 0; i < 3; ++i) {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error("load_csv: malformed row in " + path + ": " + line);
+      }
+      try {
+        values[i] = std::stod(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("load_csv: non-numeric cell in " + path + ": " + cell);
+      }
+    }
+    pair.wifi_mbps.push_back(values[1]);
+    pair.cellular_mbps.push_back(values[2]);
+  }
+  return pair;
+}
+
+TraceSummary summarise(const TracePair& pair) {
+  TraceSummary s;
+  if (pair.slots() == 0 || !pair.consistent()) return s;
+  int dominant = 0;
+  int last_leader = 0;  // +1 cellular, -1 wifi, 0 tie
+  for (std::size_t i = 0; i < pair.slots(); ++i) {
+    s.wifi_mean += pair.wifi_mbps[i];
+    s.cellular_mean += pair.cellular_mbps[i];
+    const int leader = pair.cellular_mbps[i] > pair.wifi_mbps[i]
+                           ? 1
+                           : (pair.cellular_mbps[i] < pair.wifi_mbps[i] ? -1 : 0);
+    if (leader == 1) ++dominant;
+    if (leader != 0 && last_leader != 0 && leader != last_leader) ++s.crossovers;
+    if (leader != 0) last_leader = leader;
+  }
+  const auto n = static_cast<double>(pair.slots());
+  s.wifi_mean /= n;
+  s.cellular_mean /= n;
+  s.cellular_dominance = dominant / n;
+  return s;
+}
+
+}  // namespace smartexp3::trace

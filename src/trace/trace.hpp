@@ -1,0 +1,41 @@
+// Network throughput traces: a per-slot bit-rate series for one network,
+// plus CSV I/O so collected traces can be replayed. The paper's §VI-B
+// evaluates on four simultaneously collected (WiFi, cellular) trace pairs;
+// synth.hpp generates calibrated synthetic stand-ins (see DESIGN.md §3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smartexp3::trace {
+
+/// A pair of simultaneously collected per-slot bit rates (Mbps).
+struct TracePair {
+  std::string label;
+  std::vector<double> wifi_mbps;
+  std::vector<double> cellular_mbps;
+
+  std::size_t slots() const { return wifi_mbps.size(); }
+  bool consistent() const { return wifi_mbps.size() == cellular_mbps.size(); }
+};
+
+/// Write a trace pair as CSV with header "slot,wifi_mbps,cellular_mbps".
+void save_csv(const TracePair& pair, const std::string& path);
+
+/// Load a trace pair from the CSV format written by save_csv. Throws
+/// std::runtime_error on malformed input.
+TracePair load_csv(const std::string& path);
+
+/// Summary statistics used in reports.
+struct TraceSummary {
+  double wifi_mean = 0.0;
+  double cellular_mean = 0.0;
+  /// Fraction of slots where cellular strictly beats WiFi.
+  double cellular_dominance = 0.0;
+  /// Number of lead changes (which network is better flips).
+  int crossovers = 0;
+};
+
+TraceSummary summarise(const TracePair& pair);
+
+}  // namespace smartexp3::trace

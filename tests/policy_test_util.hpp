@@ -1,0 +1,45 @@
+// Shared helpers for driving policies by hand in unit tests.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace smartexp3::testing {
+
+/// Feedback with a given scaled gain (and matching bit rate for a 1 Mbps
+/// gain scale).
+inline core::SlotFeedback feedback(double gain) {
+  core::SlotFeedback fb;
+  fb.gain = gain;
+  fb.bit_rate_mbps = gain;
+  return fb;
+}
+
+/// Full-information feedback with per-network scaled gains.
+inline core::SlotFeedback full_feedback(std::vector<double> gains, std::size_t chosen) {
+  core::SlotFeedback fb;
+  fb.all_gains = std::move(gains);
+  fb.all_rates_mbps = fb.all_gains;
+  fb.gain = fb.all_gains.at(chosen);
+  fb.bit_rate_mbps = fb.gain;
+  return fb;
+}
+
+/// Drive a policy for `slots` slots where network `good` always yields gain
+/// `high` and every other network yields `low`. Returns how often each
+/// network was chosen.
+inline std::vector<int> drive_two_level(core::Policy& policy, int slots, NetworkId good,
+                                        double high, double low) {
+  std::vector<int> counts(policy.networks().size(), 0);
+  for (int t = 0; t < slots; ++t) {
+    const NetworkId chosen = policy.choose(t);
+    for (std::size_t i = 0; i < policy.networks().size(); ++i) {
+      if (policy.networks()[i] == chosen) ++counts[i];
+    }
+    policy.observe(t, feedback(chosen == good ? high : low));
+  }
+  return counts;
+}
+
+}  // namespace smartexp3::testing

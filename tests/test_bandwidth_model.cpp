@@ -1,0 +1,113 @@
+#include "netsim/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartexp3::netsim {
+namespace {
+
+TEST(EqualShare, DividesCapacity) {
+  EqualShareModel model;
+  stats::Rng rng(1);
+  const auto net = make_wifi(0, 22.0);
+  EXPECT_DOUBLE_EQ(model.rate(net, 1, 0, 0, rng), 22.0);
+  EXPECT_DOUBLE_EQ(model.rate(net, 11, 0, 0, rng), 2.0);
+}
+
+TEST(EqualShare, FairShareMatchesRate) {
+  EqualShareModel model;
+  const auto net = make_wifi(0, 10.0);
+  EXPECT_DOUBLE_EQ(model.fair_share(net, 4, 0), 2.5);
+  EXPECT_DOUBLE_EQ(model.fair_share(net, 0, 0), 10.0);
+}
+
+TEST(EqualShare, TraceDrivenCapacityFlowsThrough) {
+  EqualShareModel model;
+  stats::Rng rng(1);
+  auto net = make_wifi(0, 5.0);
+  net.trace = {4.0, 8.0};
+  EXPECT_DOUBLE_EQ(model.rate(net, 2, 0, 0, rng), 2.0);
+  EXPECT_DOUBLE_EQ(model.rate(net, 2, 0, 1, rng), 4.0);
+}
+
+TEST(NoisyShare, DeviceMultipliersPersistAndAverageToOne) {
+  NoisyShareModel::Params p;
+  p.device_sigma = 0.2;
+  p.seed = 9;
+  NoisyShareModel model(p);
+  // Multiplier for a device is fixed across queries.
+  const double m0 = model.device_multiplier(0);
+  EXPECT_DOUBLE_EQ(model.device_multiplier(0), m0);
+  // Across many devices, multipliers are mean ~1 (normalised lognormal).
+  double sum = 0.0;
+  const int n = 20000;
+  for (int d = 0; d < n; ++d) sum += model.device_multiplier(d);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(NoisyShare, RatesFluctuateAroundFairShare) {
+  NoisyShareModel model;
+  stats::Rng rng(5);
+  const auto net = make_wifi(0, 20.0);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int t = 0; t < n; ++t) {
+    model.begin_slot(t, rng);
+    const double r = model.rate(net, 4, 1, t, rng);
+    ASSERT_GE(r, 0.0);
+    sum += r;
+  }
+  // Mean close to the 5 Mbps fair share (dip episodes pull it down a bit).
+  EXPECT_NEAR(sum / n, 4.8, 0.6);
+}
+
+TEST(NoisyShare, NoiseIsTimeCorrelated) {
+  NoisyShareModel::Params p;
+  p.noise_rho = 0.95;
+  p.noise_sigma = 0.2;
+  p.dip_probability = 0.0;
+  p.device_sigma = 0.0;
+  NoisyShareModel model(p);
+  stats::Rng rng(6);
+  const auto net = make_wifi(0, 10.0);
+  // Lag-1 autocorrelation of the observed rate should be clearly positive.
+  std::vector<double> rates;
+  for (int t = 0; t < 5000; ++t) {
+    model.begin_slot(t, rng);
+    rates.push_back(model.rate(net, 1, 0, t, rng));
+  }
+  double mean = 0.0;
+  for (const double r : rates) mean += r;
+  mean /= static_cast<double>(rates.size());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i + 1 < rates.size(); ++i) {
+    num += (rates[i] - mean) * (rates[i + 1] - mean);
+    den += (rates[i] - mean) * (rates[i] - mean);
+  }
+  EXPECT_GT(num / den, 0.6);
+}
+
+TEST(NoisyShare, DipsReduceRate) {
+  NoisyShareModel::Params p;
+  p.dip_probability = 1.0;   // a dip starts immediately...
+  p.dip_persistence = 1.0;   // ...and never ends
+  p.dip_depth = 0.3;
+  p.noise_sigma = 0.0;
+  p.device_sigma = 0.0;
+  NoisyShareModel model(p);
+  stats::Rng rng(7);
+  const auto net = make_wifi(0, 10.0);
+  model.begin_slot(0, rng);  // arms the dip for slot 1's state
+  model.rate(net, 1, 0, 0, rng);  // materialise the network state
+  model.begin_slot(1, rng);
+  EXPECT_NEAR(model.rate(net, 1, 0, 1, rng), 3.0, 1e-9);
+}
+
+TEST(NoisyShare, FairShareIsNoiseFree) {
+  NoisyShareModel model;
+  const auto net = make_wifi(0, 12.0);
+  EXPECT_DOUBLE_EQ(model.fair_share(net, 3, 0), 4.0);
+}
+
+}  // namespace
+}  // namespace smartexp3::netsim

@@ -1,0 +1,142 @@
+// Fixed Random and Full Information baselines.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fixed_random.hpp"
+#include "core/full_information.hpp"
+#include "policy_test_util.hpp"
+
+namespace smartexp3::core {
+namespace {
+
+using testing::feedback;
+using testing::full_feedback;
+
+TEST(FixedRandom, PicksOnceAndNeverMoves) {
+  FixedRandomPolicy policy(1);
+  policy.set_networks({0, 1, 2});
+  const NetworkId first = policy.choose(0);
+  for (int t = 1; t < 500; ++t) {
+    ASSERT_EQ(policy.choose(t), first);
+    policy.observe(t, feedback(0.1));
+  }
+}
+
+TEST(FixedRandom, DifferentSeedsPickDifferentNetworks) {
+  std::set<NetworkId> picks;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    FixedRandomPolicy policy(seed);
+    policy.set_networks({0, 1, 2});
+    picks.insert(policy.choose(0));
+  }
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(FixedRandom, RedrawsOnlyWhenItsNetworkDisappears) {
+  FixedRandomPolicy policy(2);
+  policy.set_networks({0, 1, 2});
+  const NetworkId first = policy.choose(0);
+  // Keep {first, one other}: removing an unrelated network must not
+  // dislodge the pick.
+  std::vector<NetworkId> keep = {first};
+  for (const NetworkId id : {0, 1, 2}) {
+    if (id != first && keep.size() < 2) keep.push_back(id);
+  }
+  std::sort(keep.begin(), keep.end());
+  policy.set_networks(keep);
+  EXPECT_EQ(policy.choose(1), first);
+  // Now remove its own network: it must re-draw a valid one.
+  std::vector<NetworkId> others;
+  for (const NetworkId id : keep) {
+    if (id != first) others.push_back(id);
+  }
+  policy.set_networks(others);
+  const NetworkId redrawn = policy.choose(2);
+  EXPECT_NE(redrawn, first);
+  EXPECT_EQ(redrawn, others.front());
+}
+
+TEST(FixedRandom, ProbabilitiesOneHotAfterPick) {
+  FixedRandomPolicy policy(3);
+  policy.set_networks({0, 1});
+  const NetworkId pick = policy.choose(0);
+  const auto p = policy.probabilities();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p[i], policy.networks()[i] == pick ? 1.0 : 0.0);
+  }
+}
+
+TEST(FullInformation, LearnsFromUnchosenArms) {
+  FullInformationPolicy policy(4);
+  policy.set_networks({0, 1, 2});
+  // Arm 2 is the best, but feed full information regardless of the choice;
+  // the policy must concentrate on arm 2 even if it rarely picks it early.
+  for (int t = 0; t < 800; ++t) {
+    const NetworkId c = policy.choose(t);
+    std::size_t chosen_idx = 0;
+    for (std::size_t i = 0; i < policy.networks().size(); ++i) {
+      if (policy.networks()[i] == c) chosen_idx = i;
+    }
+    policy.observe(t, full_feedback({0.2, 0.4, 0.9}, chosen_idx));
+  }
+  const auto p = policy.probabilities();
+  EXPECT_GT(p[2], 0.8);
+}
+
+TEST(FullInformation, UniformWhenAllArmsEqual) {
+  FullInformationPolicy policy(5);
+  policy.set_networks({0, 1, 2});
+  for (int t = 0; t < 200; ++t) {
+    const NetworkId c = policy.choose(t);
+    std::size_t idx = static_cast<std::size_t>(c);
+    policy.observe(t, full_feedback({0.5, 0.5, 0.5}, idx));
+  }
+  const auto p = policy.probabilities();
+  for (const double v : p) EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+}
+
+TEST(FullInformation, IgnoresMissingFeedback) {
+  FullInformationPolicy policy(6);
+  policy.set_networks({0, 1});
+  const auto before = policy.probabilities();
+  policy.choose(0);
+  policy.observe(0, feedback(0.9));  // bandit-style feedback: no all_gains
+  const auto after = policy.probabilities();
+  EXPECT_EQ(before, after);
+}
+
+TEST(FullInformation, SwitchesOftenByDesign) {
+  // Weight-proportional sampling never locks in while gains stay equal —
+  // in the congestion game, equilibrium shares are near-equal, which is why
+  // the paper's Fig 2 shows Full Information switching constantly.
+  FullInformationPolicy policy(7);
+  policy.set_networks({0, 1});
+  int switches = 0;
+  NetworkId prev = kNoNetwork;
+  for (int t = 0; t < 1000; ++t) {
+    const NetworkId c = policy.choose(t);
+    if (prev != kNoNetwork && c != prev) ++switches;
+    prev = c;
+    policy.observe(t, full_feedback({0.5, 0.5}, static_cast<std::size_t>(c)));
+  }
+  EXPECT_GT(switches, 300);
+}
+
+TEST(FullInformation, NetworkSetChangeKeepsSimplex) {
+  FullInformationPolicy policy(8);
+  policy.set_networks({0, 1});
+  for (int t = 0; t < 50; ++t) {
+    const NetworkId c = policy.choose(t);
+    policy.observe(t, full_feedback({0.3, 0.7}, static_cast<std::size_t>(c)));
+  }
+  policy.set_networks({0, 1, 2});
+  const auto p = policy.probabilities();
+  double sum = 0.0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(p.size(), 3u);
+}
+
+}  // namespace
+}  // namespace smartexp3::core

@@ -1,0 +1,117 @@
+#include "core/centralized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/nash.hpp"
+
+namespace smartexp3::core {
+namespace {
+
+TEST(Coordinator, AllocationIsNash) {
+  CentralizedCoordinator coord({4.0, 7.0, 22.0});
+  for (DeviceId id = 0; id < 20; ++id) coord.register_device(id);
+  std::vector<int> counts(3, 0);
+  for (DeviceId id = 0; id < 20; ++id) ++counts[static_cast<std::size_t>(coord.assignment(id))];
+  EXPECT_TRUE(metrics::is_nash({4.0, 7.0, 22.0}, counts));
+  // Setting 1's unique equilibrium is (2, 4, 14).
+  EXPECT_EQ(counts, (std::vector<int>{2, 4, 14}));
+}
+
+TEST(Coordinator, StableUnderRepeatedQueries) {
+  CentralizedCoordinator coord({4.0, 7.0, 22.0});
+  for (DeviceId id = 0; id < 10; ++id) coord.register_device(id);
+  std::vector<NetworkId> first;
+  for (DeviceId id = 0; id < 10; ++id) first.push_back(coord.assignment(id));
+  for (int round = 0; round < 5; ++round) {
+    for (DeviceId id = 0; id < 10; ++id) {
+      ASSERT_EQ(coord.assignment(id), first[static_cast<std::size_t>(id)]);
+    }
+  }
+}
+
+TEST(Coordinator, MinimalMovesOnDeparture) {
+  CentralizedCoordinator coord({10.0, 10.0});
+  for (DeviceId id = 0; id < 4; ++id) coord.register_device(id);
+  std::vector<NetworkId> before;
+  for (DeviceId id = 0; id < 4; ++id) before.push_back(coord.assignment(id));
+  // One device leaves; the equilibrium (2,1) or (1,2) leaves everyone else
+  // in place — at most the leaver's slot is vacated.
+  coord.deregister_device(3);
+  int moved = 0;
+  for (DeviceId id = 0; id < 3; ++id) {
+    if (coord.assignment(id) != before[static_cast<std::size_t>(id)]) ++moved;
+  }
+  EXPECT_EQ(moved, 0);
+}
+
+TEST(Coordinator, RebalancesOnArrivals) {
+  CentralizedCoordinator coord({4.0, 7.0, 22.0});
+  for (DeviceId id = 0; id < 4; ++id) coord.register_device(id);
+  // 4 devices: equilibrium is (0, 1, 3).
+  std::vector<int> counts(3, 0);
+  for (DeviceId id = 0; id < 4; ++id) ++counts[static_cast<std::size_t>(coord.assignment(id))];
+  EXPECT_EQ(counts, (std::vector<int>{0, 1, 3}));
+  for (DeviceId id = 4; id < 20; ++id) coord.register_device(id);
+  counts.assign(3, 0);
+  for (DeviceId id = 0; id < 20; ++id) ++counts[static_cast<std::size_t>(coord.assignment(id))];
+  EXPECT_EQ(counts, (std::vector<int>{2, 4, 14}));
+}
+
+TEST(Coordinator, ThrowsForUnknownDevice) {
+  CentralizedCoordinator coord({5.0});
+  coord.register_device(1);
+  EXPECT_THROW(coord.assignment(2), std::logic_error);
+}
+
+TEST(CentralizedPolicy, RegistersOnSetNetworksAndReleasesOnLeave) {
+  auto coord = std::make_shared<CentralizedCoordinator>(std::vector<double>{6.0, 6.0});
+  CentralizedPolicy a(0, coord);
+  CentralizedPolicy b(1, coord);
+  a.set_networks({0, 1});
+  b.set_networks({0, 1});
+  EXPECT_EQ(coord->device_count(), 2);
+  // Two devices over two equal networks: one each.
+  EXPECT_NE(a.choose(0), b.choose(0));
+  a.on_leave(1);
+  EXPECT_EQ(coord->device_count(), 1);
+}
+
+TEST(CentralizedPolicy, DestructorDeregisters) {
+  auto coord = std::make_shared<CentralizedCoordinator>(std::vector<double>{6.0});
+  {
+    CentralizedPolicy p(7, coord);
+    p.set_networks({0});
+    EXPECT_EQ(coord->device_count(), 1);
+  }
+  EXPECT_EQ(coord->device_count(), 0);
+}
+
+TEST(CentralizedPolicy, ProbabilitiesOneHot) {
+  auto coord = std::make_shared<CentralizedCoordinator>(std::vector<double>{4.0, 9.0});
+  CentralizedPolicy p(0, coord);
+  p.set_networks({0, 1});
+  const NetworkId assigned = p.choose(0);
+  const auto probs = p.probabilities();
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(probs[i], p.networks()[i] == assigned ? 1.0 : 0.0);
+  }
+}
+
+TEST(CentralizedPolicy, ZeroSwitchesInStaticWorld) {
+  auto coord = std::make_shared<CentralizedCoordinator>(std::vector<double>{4.0, 7.0, 22.0});
+  std::vector<std::unique_ptr<CentralizedPolicy>> policies;
+  for (DeviceId id = 0; id < 12; ++id) {
+    policies.push_back(std::make_unique<CentralizedPolicy>(id, coord));
+    policies.back()->set_networks({0, 1, 2});
+  }
+  std::vector<NetworkId> first;
+  for (auto& p : policies) first.push_back(p->choose(0));
+  for (int t = 1; t < 100; ++t) {
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      ASSERT_EQ(policies[i]->choose(t), first[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartexp3::core

@@ -1,0 +1,80 @@
+#include "exp/csv_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::filesystem::path tmp(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(CsvExport, SeriesColumns) {
+  const auto path = tmp("smartexp3_series.csv");
+  write_series_csv(path.string(), {"a", "b"}, {{1.0, 2.0}, {3.0, 4.0}});
+  const auto content = slurp(path);
+  EXPECT_NE(content.find("slot,a,b"), std::string::npos);
+  EXPECT_NE(content.find("0,1,3"), std::string::npos);
+  EXPECT_NE(content.find("1,2,4"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvExport, SeriesRejectsRaggedInput) {
+  const auto path = tmp("smartexp3_ragged.csv");
+  EXPECT_THROW(write_series_csv(path.string(), {"a", "b"}, {{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_series_csv(path.string(), {"a"}, {{1.0}, {2.0}}),
+               std::invalid_argument);
+}
+
+TEST(CsvExport, SeriesRejectsUnwritablePath) {
+  EXPECT_THROW(write_series_csv("/nonexistent/dir/x.csv", {"a"}, {{1.0}}),
+               std::runtime_error);
+}
+
+TEST(CsvExport, RunsRoundTripShape) {
+  auto cfg = static_setting1("greedy", /*n_devices=*/4, /*horizon=*/30);
+  cfg.delay = DelayKind::kZero;
+  const auto runs = run_many(cfg, 3);
+  const auto path = tmp("smartexp3_runs.csv");
+  write_runs_csv(path.string(), runs);
+  const auto content = slurp(path);
+  // Header + 3 runs x 4 devices = 13 lines.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 13);
+  EXPECT_NE(content.find("run,device,download_mb"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvExport, SelectionsRequireTimeline) {
+  auto cfg = static_setting1("greedy", 2, 10);
+  cfg.delay = DelayKind::kZero;
+  const auto run = run_once(cfg, 1);
+  EXPECT_THROW(write_selections_csv(tmp("x.csv").string(), run),
+               std::invalid_argument);
+
+  cfg.recorder.track_selections = true;
+  const auto tracked = run_once(cfg, 1);
+  const auto path = tmp("smartexp3_sel.csv");
+  write_selections_csv(path.string(), tracked);
+  const auto content = slurp(path);
+  // Header + 2 devices x 10 slots.
+  EXPECT_EQ(std::count(content.begin(), content.end(), '\n'), 21);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

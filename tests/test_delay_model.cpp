@@ -1,0 +1,73 @@
+#include "netsim/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartexp3::netsim {
+namespace {
+
+TEST(ZeroDelay, AlwaysZero) {
+  ZeroDelayModel model;
+  stats::Rng rng(1);
+  const auto wifi = make_wifi(0, 10.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(model.sample(wifi, rng), 0.0);
+  }
+}
+
+TEST(FixedDelay, PerTechnology) {
+  FixedDelayModel model(2.0, 5.0);
+  stats::Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.sample(make_wifi(0, 10.0), rng), 2.0);
+  EXPECT_DOUBLE_EQ(model.sample(make_cellular(1, 10.0), rng), 5.0);
+}
+
+TEST(DistributionDelay, BoundedBelowSlot) {
+  DistributionDelayModel model;
+  stats::Rng rng(2);
+  const auto wifi = make_wifi(0, 10.0);
+  const auto cell = make_cellular(1, 10.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double dw = model.sample(wifi, rng);
+    const double dc = model.sample(cell, rng);
+    ASSERT_GE(dw, 0.0);
+    ASSERT_GE(dc, 0.0);
+    // The paper chose 15 s slots to exceed the worst observed delay.
+    ASSERT_LT(dw, kDefaultSlotSeconds);
+    ASSERT_LT(dc, kDefaultSlotSeconds);
+  }
+}
+
+TEST(DistributionDelay, CellularSlowerThanWifiOnAverage) {
+  DistributionDelayModel model;
+  stats::Rng rng(3);
+  const auto wifi = make_wifi(0, 10.0);
+  const auto cell = make_cellular(1, 10.0);
+  double wifi_sum = 0.0;
+  double cell_sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    wifi_sum += model.sample(wifi, rng);
+    cell_sum += model.sample(cell, rng);
+  }
+  EXPECT_GT(cell_sum / n, 1.5 * (wifi_sum / n));
+}
+
+TEST(DistributionDelay, CustomParamsHonoured) {
+  DistributionDelayModel::Params p;
+  p.max_delay_s = 1.0;
+  DistributionDelayModel model(p);
+  stats::Rng rng(4);
+  const auto cell = make_cellular(0, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LE(model.sample(cell, rng), 1.0);
+  }
+}
+
+TEST(DefaultDelayModel, IsDistributionBased) {
+  const auto model = make_default_delay_model();
+  ASSERT_NE(model, nullptr);
+  EXPECT_NE(dynamic_cast<DistributionDelayModel*>(model.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace smartexp3::netsim

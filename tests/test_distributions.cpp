@@ -1,0 +1,153 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace smartexp3::stats {
+namespace {
+
+TEST(JohnsonSU, EmpiricalMeanMatchesClosedForm) {
+  JohnsonSU d{-2.0, 2.0, 0.5, 1.0};
+  Rng rng(1);
+  double sum = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.02);
+}
+
+TEST(JohnsonSU, StandardParamsGiveSinhNormal) {
+  // gamma=0, delta=1, xi=0, lambda=1: X = sinh(Z), symmetric around 0.
+  JohnsonSU d{0.0, 1.0, 0.0, 1.0};
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(d.mean(), 0.0, 1e-12);
+}
+
+TEST(JohnsonSU, NegativeGammaSkewsRight) {
+  JohnsonSU d{-2.0, 2.0, 0.0, 1.0};
+  EXPECT_GT(d.mean(), 0.0);
+}
+
+TEST(StudentT, LocationRecovered) {
+  StudentT d{5.0, 7.0, 1.0};
+  Rng rng(3);
+  std::vector<double> xs;
+  const int n = 200000;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(d.sample(rng));
+  // Mean of t with nu > 1 equals loc; use median too (robust to tails).
+  EXPECT_NEAR(mean(xs), 7.0, 0.05);
+  EXPECT_NEAR(median(xs), 7.0, 0.05);
+}
+
+TEST(StudentT, HeavierTailsThanNormal) {
+  StudentT t{3.0, 0.0, 1.0};
+  Rng rng(4);
+  int t_extreme = 0;
+  int z_extreme = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(t.sample(rng)) > 4.0) ++t_extreme;
+    if (std::abs(rng.normal()) > 4.0) ++z_extreme;
+  }
+  EXPECT_GT(t_extreme, 10 * (z_extreme + 1));
+}
+
+TEST(StudentT, ScaleStretches) {
+  StudentT narrow{8.0, 0.0, 0.5};
+  StudentT wide{8.0, 0.0, 2.0};
+  Rng rng(5);
+  double ss_narrow = 0.0;
+  double ss_wide = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double a = narrow.sample(rng);
+    const double b = wide.sample(rng);
+    ss_narrow += a * a;
+    ss_wide += b * b;
+  }
+  EXPECT_GT(ss_wide, 8.0 * ss_narrow);
+}
+
+TEST(LogNormal, MeanMatchesClosedForm) {
+  LogNormal d{0.3, 0.4};
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, d.mean(), 0.01 * d.mean());
+}
+
+TEST(LogNormal, AlwaysPositive) {
+  LogNormal d{-1.0, 1.0};
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(d.sample(rng), 0.0);
+  }
+}
+
+TEST(Gamma, MeanIsShapeTimesScale) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += sample_gamma(rng, 2.5, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Gamma, ShapeBelowOneSupported) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sample_gamma(rng, 0.5, 3.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(ClampDelay, Clamps) {
+  EXPECT_DOUBLE_EQ(clamp_delay(-1.0, 14.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp_delay(3.0, 14.0), 3.0);
+  EXPECT_DOUBLE_EQ(clamp_delay(99.0, 14.0), 14.0);
+}
+
+// The calibration promise in DESIGN.md: WiFi delays mean ~1.9 s, cellular
+// ~5 s, all below the 15 s slot.
+TEST(DelayCalibration, WifiJohnsonSUInRange) {
+  JohnsonSU wifi{-2.0, 2.0, 0.5, 1.0};
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double d = clamp_delay(wifi.sample(rng), 14.0);
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, 14.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 1.9, 0.3);
+}
+
+TEST(DelayCalibration, CellularStudentTInRange) {
+  StudentT cell{4.0, 5.0, 1.2};
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double d = clamp_delay(cell.sample(rng), 14.0);
+    ASSERT_GE(d, 0.0);
+    ASSERT_LE(d, 14.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.4);
+}
+
+}  // namespace
+}  // namespace smartexp3::stats

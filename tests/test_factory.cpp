@@ -1,0 +1,81 @@
+#include "core/factory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartexp3::core {
+namespace {
+
+TEST(Factory, AllNamesConstruct) {
+  auto factory = make_named_policy_factory({4.0, 7.0, 22.0});
+  for (const auto& name : policy_names()) {
+    auto policy = factory(/*id=*/1, name, /*seed=*/42);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+    policy->set_networks({0, 1, 2});
+    const NetworkId c = policy->choose(0);
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 2);
+  }
+}
+
+TEST(Factory, UnknownNameThrows) {
+  EXPECT_THROW(make_policy("thompson", 1), std::invalid_argument);
+  EXPECT_THROW(make_policy("", 1), std::invalid_argument);
+}
+
+TEST(Factory, ExtensionPoliciesConstruct) {
+  for (const auto& name : extension_policy_names()) {
+    EXPECT_TRUE(is_valid_policy_name(name));
+    auto policy = make_policy(name, 3);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), name);
+  }
+  // Extensions are not part of the paper's nine.
+  EXPECT_EQ(policy_names().size(), 9u);
+}
+
+TEST(Factory, CentralizedRequiresCoordinator) {
+  EXPECT_THROW(make_policy("centralized", 1), std::invalid_argument);
+}
+
+TEST(Factory, ValidatesNames) {
+  EXPECT_TRUE(is_valid_policy_name("smart_exp3"));
+  EXPECT_TRUE(is_valid_policy_name("centralized"));
+  EXPECT_FALSE(is_valid_policy_name("smartexp3"));
+  EXPECT_FALSE(is_valid_policy_name("thompson"));
+}
+
+TEST(Factory, CentralizedDevicesShareOneCoordinator) {
+  auto factory = make_named_policy_factory({10.0, 10.0});
+  auto a = factory(0, "centralized", 1);
+  auto b = factory(1, "centralized", 2);
+  a->set_networks({0, 1});
+  b->set_networks({0, 1});
+  // Shared coordinator balances them onto different networks.
+  EXPECT_NE(a->choose(0), b->choose(0));
+}
+
+TEST(Factory, SmartTunablesPropagate) {
+  SmartExp3Tunables t;
+  t.beta = 0.5;
+  auto policy = make_policy("smart_exp3", 1, t);
+  auto* smart = dynamic_cast<SmartExp3*>(policy.get());
+  ASSERT_NE(smart, nullptr);
+  EXPECT_DOUBLE_EQ(smart->options().beta, 0.5);
+  EXPECT_TRUE(smart->options().reset);
+}
+
+TEST(Factory, NoResetNameForcesResetOff) {
+  SmartExp3Tunables t;  // reset defaults to on
+  auto policy = make_policy("smart_exp3_noreset", 1, t);
+  auto* smart = dynamic_cast<SmartExp3*>(policy.get());
+  ASSERT_NE(smart, nullptr);
+  EXPECT_FALSE(smart->options().reset);
+}
+
+TEST(Factory, NineAlgorithms) {
+  EXPECT_EQ(policy_names().size(), 9u);
+}
+
+}  // namespace
+}  // namespace smartexp3::core

@@ -1,0 +1,127 @@
+#include "core/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy_test_util.hpp"
+
+namespace smartexp3::core {
+namespace {
+
+using testing::drive_two_level;
+using testing::feedback;
+
+TEST(Greedy, ExploresEachNetworkExactlyOnce) {
+  GreedyPolicy policy(1);
+  policy.set_networks({0, 1, 2, 3});
+  std::set<NetworkId> seen;
+  for (int t = 0; t < 4; ++t) {
+    const NetworkId c = policy.choose(t);
+    EXPECT_TRUE(seen.insert(c).second) << "revisited during exploration";
+    policy.observe(t, feedback(0.5));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Greedy, ExplorationOrderDiffersAcrossSeeds) {
+  std::set<NetworkId> firsts;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    GreedyPolicy policy(seed);
+    policy.set_networks({0, 1, 2, 3});
+    firsts.insert(policy.choose(0));
+  }
+  EXPECT_GT(firsts.size(), 1u);
+}
+
+TEST(Greedy, SticksWithHighestAverage) {
+  GreedyPolicy policy(2);
+  policy.set_networks({0, 1, 2});
+  const auto counts = drive_two_level(policy, 300, 1, 0.9, 0.1);
+  // After the 3 exploration slots it should select network 1 every time.
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[1], 298);
+}
+
+TEST(Greedy, LockInDespiteDecline) {
+  // The paper's criticism: greedy can get stuck — once an arm's average
+  // dominates, a (moderate) decline does not dislodge it quickly.
+  GreedyPolicy policy(3);
+  policy.set_networks({0, 1});
+  int t = 0;
+  for (; t < 100; ++t) {
+    const NetworkId c = policy.choose(t);
+    policy.observe(t, feedback(c == 0 ? 0.9 : 0.5));
+  }
+  // Arm 0's quality drops to 0.4 (< arm 1's 0.5). Its long history keeps its
+  // average above 0.5 for a long time.
+  int stuck = 0;
+  for (; t < 200; ++t) {
+    const NetworkId c = policy.choose(t);
+    if (c == 0) ++stuck;
+    policy.observe(t, feedback(c == 0 ? 0.4 : 0.5));
+  }
+  EXPECT_GT(stuck, 90);
+}
+
+TEST(Greedy, AverageGainBookkeeping) {
+  GreedyPolicy policy(4);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 50, 0, 0.8, 0.3);
+  EXPECT_NEAR(policy.average_gain(0), 0.8, 1e-9);
+  EXPECT_NEAR(policy.average_gain(1), 0.3, 1e-9);
+}
+
+TEST(Greedy, TieBreaksNotAlwaysFirst) {
+  // With identical arms, the tie-break must not systematically pick arm 0.
+  std::set<NetworkId> picks;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    GreedyPolicy policy(seed);
+    policy.set_networks({0, 1, 2});
+    drive_two_level(policy, 3, 0, 0.5, 0.5);  // equal gains everywhere
+    picks.insert(policy.choose(3));
+  }
+  EXPECT_GT(picks.size(), 1u);
+}
+
+TEST(Greedy, NewNetworkGetsExplored) {
+  GreedyPolicy policy(5);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 50, 0, 0.9, 0.1);
+  policy.set_networks({0, 1, 2});
+  bool visited = false;
+  for (int t = 50; t < 55 && !visited; ++t) {
+    const NetworkId c = policy.choose(t);
+    visited = c == 2;
+    policy.observe(t, feedback(0.95));
+  }
+  EXPECT_TRUE(visited);
+}
+
+TEST(Greedy, RemovedNetworkStatsDropped) {
+  GreedyPolicy policy(6);
+  policy.set_networks({0, 1, 2});
+  drive_two_level(policy, 60, 2, 0.9, 0.1);
+  policy.set_networks({0, 1});
+  const auto counts = drive_two_level(policy, 60, 0, 0.7, 0.2);
+  // Network 2 is gone; it must settle on 0 now.
+  EXPECT_GT(counts[0], 50);
+}
+
+TEST(Greedy, ProbabilitiesOneHotAfterExploration) {
+  GreedyPolicy policy(7);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 20, 1, 0.9, 0.1);
+  const auto p = policy.probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+}
+
+TEST(Greedy, RejectsEmptyNetworkSet) {
+  GreedyPolicy policy(8);
+  EXPECT_THROW(policy.set_networks({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smartexp3::core

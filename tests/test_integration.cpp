@@ -1,0 +1,204 @@
+// Integration tests: reduced-scale versions of the paper's headline
+// experiments, checking the qualitative claims end to end (orderings and
+// crossovers, not absolute numbers — those are the benches' job).
+#include <gtest/gtest.h>
+
+#include "exp/aggregate.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+#include "stats/summary.hpp"
+#include "trace/synth.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+std::vector<metrics::RunResult> quick_runs(ExperimentConfig cfg, int runs,
+                                           std::uint64_t seed = 1000) {
+  cfg.base_seed = seed;
+  return run_many(cfg, runs);
+}
+
+TEST(Integration, BlockPoliciesSwitchFarLessThanExp3) {
+  // Paper Fig 2: block-based algorithms cut switching by ~80 %.
+  auto exp3 = quick_runs(static_setting1("exp3", 20, 600), 10);
+  auto smart = quick_runs(static_setting1("smart_exp3", 20, 600), 10);
+  auto block = quick_runs(static_setting1("block_exp3", 20, 600), 10);
+  const double s_exp3 = switch_summary(exp3).mean;
+  const double s_smart = switch_summary(smart).mean;
+  const double s_block = switch_summary(block).mean;
+  EXPECT_GT(s_exp3, 4.0 * s_smart);
+  EXPECT_GT(s_exp3, 4.0 * s_block);
+}
+
+TEST(Integration, GreedySwitchesLeast) {
+  auto greedy = quick_runs(static_setting1("greedy", 20, 600), 10);
+  auto smart = quick_runs(static_setting1("smart_exp3", 20, 600), 10);
+  EXPECT_LT(switch_summary(greedy).mean, switch_summary(smart).mean);
+}
+
+TEST(Integration, SmartExp3ApproachesEquilibriumInSetting1) {
+  // Paper Fig 4a: Smart EXP3 spends most of the time at/near NE.
+  auto runs = quick_runs(static_setting1("smart_exp3"), 10);
+  EXPECT_GT(mean_eps_fraction(runs), 0.4);
+  const auto series = mean_distance_series(runs);
+  // Distance at the end is far below the early-exploration level.
+  const double early = stats::mean({series.begin() + 5, series.begin() + 50});
+  const double late = stats::mean({series.end() - 100, series.end()});
+  EXPECT_LT(late, early * 0.5);
+  EXPECT_LT(late, 25.0);
+}
+
+TEST(Integration, Exp3FailsToStabilizeWhereSmartNoResetDoes) {
+  // Paper Fig 3 + Table IV: Smart EXP3 w/o Reset stabilizes at NE in nearly
+  // every run; EXP3 essentially never does within the horizon.
+  auto cfg_smart = static_setting1("smart_exp3_noreset");
+  cfg_smart.recorder.track_stability = true;
+  auto cfg_exp3 = static_setting1("exp3");
+  cfg_exp3.recorder.track_stability = true;
+  const auto smart = stability_summary(quick_runs(cfg_smart, 10));
+  const auto exp3 = stability_summary(quick_runs(cfg_exp3, 10));
+  EXPECT_GE(smart.stable_at_nash_fraction, 0.8);
+  EXPECT_LE(exp3.stable_fraction, 0.2);
+}
+
+TEST(Integration, HybridStabilizesFasterThanBlock) {
+  // Paper Table IV ordering: Block > Hybrid > Smart w/o Reset in time to
+  // stabilize. Comparing medians over matched seeds.
+  auto cfg_block = static_setting1("block_exp3");
+  cfg_block.recorder.track_stability = true;
+  auto cfg_hybrid = static_setting1("hybrid_block_exp3");
+  cfg_hybrid.recorder.track_stability = true;
+  auto cfg_nr = static_setting1("smart_exp3_noreset");
+  cfg_nr.recorder.track_stability = true;
+  const auto block = stability_summary(quick_runs(cfg_block, 12));
+  const auto hybrid = stability_summary(quick_runs(cfg_hybrid, 12));
+  const auto nr = stability_summary(quick_runs(cfg_nr, 12));
+  // Smart w/o Reset must both stabilize more often and earlier than Block.
+  EXPECT_GT(nr.stable_at_nash_fraction, block.stable_at_nash_fraction);
+  if (block.median_stable_slot > 0 && nr.median_stable_slot > 0) {
+    EXPECT_LT(nr.median_stable_slot, block.median_stable_slot);
+  }
+  EXPECT_GE(hybrid.stable_fraction, block.stable_fraction);
+}
+
+TEST(Integration, GreedyStrandsTheSmallNetworkInSetting1) {
+  // Paper "unutilized resources": Greedy tends to abandon the 4 Mbps
+  // network; learning policies do not.
+  auto greedy = quick_runs(static_setting1("greedy"), 10);
+  auto smart = quick_runs(static_setting1("smart_exp3"), 10);
+  EXPECT_GT(mean_unused_mb(greedy), 5.0 * std::max(mean_unused_mb(smart), 1.0));
+}
+
+TEST(Integration, SmartFairerThanGreedy) {
+  // Paper Fig 5: Smart EXP3's download std-dev is far below Greedy's.
+  auto greedy = quick_runs(static_setting1("greedy"), 10);
+  auto smart = quick_runs(static_setting1("smart_exp3"), 10);
+  EXPECT_LT(mean_of_run_download_stddev_mb(smart),
+            0.6 * mean_of_run_download_stddev_mb(greedy));
+}
+
+TEST(Integration, OnlyResettingSmartRecoversFreedResources) {
+  // Paper Fig 8: 16 of 20 devices leave at t=600. Smart EXP3 (with reset)
+  // must end much closer to equilibrium than Greedy.
+  auto smart = quick_runs(dynamic_leave_setting("smart_exp3"), 8);
+  auto greedy = quick_runs(dynamic_leave_setting("greedy"), 8);
+  auto tail = [](const std::vector<double>& s) {
+    return stats::mean({s.end() - 150, s.end()});
+  };
+  const double smart_tail = tail(mean_distance_series(smart));
+  const double greedy_tail = tail(mean_distance_series(greedy));
+  EXPECT_LT(smart_tail, 0.6 * greedy_tail);
+}
+
+TEST(Integration, SmartAdaptsWhenDevicesJoin) {
+  // Paper Fig 7: the join at t=400 spikes the distance, then Smart EXP3
+  // re-converges while the devices are present.
+  auto runs = quick_runs(dynamic_join_setting("smart_exp3"), 8);
+  const auto series = mean_distance_series(runs);
+  const double before = stats::mean({series.begin() + 300, series.begin() + 400});
+  const double spike = stats::mean({series.begin() + 400, series.begin() + 430});
+  const double settled = stats::mean({series.begin() + 700, series.begin() + 800});
+  EXPECT_GT(spike, before);
+  EXPECT_LT(settled, spike);
+}
+
+TEST(Integration, MobilityScenarioRunsAndMoversAdapt) {
+  // Paper Fig 9: all four device groups keep finite distance and the run
+  // completes with the movers having switched networks at area changes.
+  auto cfg = mobility_setting("smart_exp3");
+  const auto runs = quick_runs(cfg, 6);
+  ASSERT_EQ(runs.front().group_distance.size(), 4u);
+  for (const auto& run : runs) {
+    for (const auto& series : run.group_distance) {
+      EXPECT_EQ(series.size(), 1200u);
+    }
+  }
+  // Movers (group 0 = ids 1..8) must have switched at least twice (two
+  // forced area changes).
+  for (const auto& run : runs) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_GE(run.switches[static_cast<std::size_t>(i)], 2) << i;
+    }
+  }
+}
+
+TEST(Integration, SmartRobustAgainstGreedyMajority) {
+  // Paper Fig 11 scenario 3: one Smart device among 19 Greedy ones still
+  // does fine (its download is not starved relative to the fair share).
+  auto cfg = greedy_mix_setting(1);
+  const auto runs = quick_runs(cfg, 8);
+  const double fair_mb = 33.0 * 1200 * 15.0 / 8.0 / 20.0;  // equal split
+  std::vector<double> smart_downloads;
+  for (const auto& run : runs) smart_downloads.push_back(run.downloads_mb[0]);
+  EXPECT_GT(stats::mean(smart_downloads), 0.6 * fair_mb);
+}
+
+TEST(Integration, TraceCrossoverFavoursSmartDominanceFavoursGreedy) {
+  // Paper Table VI: Smart wins on crossover traces (1, 3), Greedy ties or
+  // slightly wins when cellular dominates (2).
+  const auto pair3 = trace::synthetic_pair(3);
+  const auto pair2 = trace::synthetic_pair(2);
+  const auto smart3 = quick_runs(trace_setting(pair3, "smart_exp3"), 20);
+  const auto greedy3 = quick_runs(trace_setting(pair3, "greedy"), 20);
+  EXPECT_GT(median_total_download_mb(smart3), median_total_download_mb(greedy3));
+
+  const auto smart2 = quick_runs(trace_setting(pair2, "smart_exp3"), 20);
+  const auto greedy2 = quick_runs(trace_setting(pair2, "greedy"), 20);
+  // Greedy is at least competitive under dominance (within 10 %).
+  EXPECT_GT(median_total_download_mb(greedy2),
+            0.9 * median_total_download_mb(smart2));
+}
+
+TEST(Integration, TraceSwitchingCostSmartHigherButBounded) {
+  // Paper Table VI: Smart pays an order of magnitude more switching cost
+  // than Greedy but it stays small relative to the download.
+  const auto pair1 = trace::synthetic_pair(1);
+  const auto smart = quick_runs(trace_setting(pair1, "smart_exp3"), 20);
+  const auto greedy = quick_runs(trace_setting(pair1, "greedy"), 20);
+  const double smart_cost = median_total_switching_cost_mb(smart);
+  const double greedy_cost = median_total_switching_cost_mb(greedy);
+  EXPECT_GT(smart_cost, greedy_cost);
+  EXPECT_LT(smart_cost, 0.2 * median_total_download_mb(smart));
+}
+
+TEST(Integration, ControlledNoisySettingSmartBeatsGreedyOnDef4) {
+  // Paper Fig 13: in the noisy testbed stand-in, Smart EXP3's distance from
+  // the average available rate ends below Greedy's.
+  auto smart = quick_runs(controlled_setting({"smart_exp3"}), 8);
+  auto greedy = quick_runs(controlled_setting({"greedy"}), 8);
+  auto tail = [](const std::vector<double>& s) {
+    return stats::mean({s.end() - 120, s.end()});
+  };
+  EXPECT_LT(tail(mean_def4_series(smart)), tail(mean_def4_series(greedy)));
+}
+
+TEST(Integration, CentralizedMatchesWaterFillThroughout) {
+  auto runs = quick_runs(static_setting1("centralized", 20, 200), 3);
+  for (const auto& run : runs) {
+    EXPECT_DOUBLE_EQ(run.at_nash_fraction, 1.0);
+    for (const int s : run.switches) EXPECT_EQ(s, 0);
+  }
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

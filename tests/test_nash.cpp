@@ -1,0 +1,142 @@
+#include "metrics/nash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smartexp3::metrics {
+namespace {
+
+TEST(WaterFill, Setting1UniqueEquilibrium) {
+  // Paper setting 1: 4/7/22 Mbps, 20 devices -> (2, 4, 14).
+  EXPECT_EQ(water_fill_allocation({4, 7, 22}, 20), (std::vector<int>{2, 4, 14}));
+}
+
+TEST(WaterFill, Setting2UniformSplit) {
+  const auto counts = water_fill_allocation({11, 11, 11}, 20);
+  int total = 0;
+  for (const int c : counts) {
+    total += c;
+    EXPECT_GE(c, 6);
+    EXPECT_LE(c, 7);
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST(WaterFill, ZeroDevices) {
+  EXPECT_EQ(water_fill_allocation({5, 5}, 0), (std::vector<int>{0, 0}));
+}
+
+TEST(WaterFill, SingleNetworkTakesAll) {
+  EXPECT_EQ(water_fill_allocation({3}, 7), (std::vector<int>{7}));
+}
+
+TEST(WaterFill, ThrowsOnNoNetworks) {
+  EXPECT_THROW(water_fill_allocation({}, 3), std::invalid_argument);
+}
+
+TEST(IsNash, AcceptsEquilibria) {
+  EXPECT_TRUE(is_nash({4, 7, 22}, {2, 4, 14}));
+  EXPECT_TRUE(is_nash({11, 11, 11}, {7, 7, 6}));
+  EXPECT_TRUE(is_nash({11, 11, 11}, {6, 7, 7}));  // any permutation works
+}
+
+TEST(IsNash, RejectsNonEquilibria) {
+  EXPECT_FALSE(is_nash({4, 7, 22}, {10, 5, 5}));
+  EXPECT_FALSE(is_nash({11, 11, 11}, {20, 0, 0}));
+  EXPECT_FALSE(is_nash({4, 7, 22}, {0, 0, 20}));
+}
+
+TEST(IsNash, EmptyNetworksAreNeverProfitlessDeviationTargets) {
+  // 1 device on the 22 network, others empty: moving to 4 or 7 gives less.
+  EXPECT_TRUE(is_nash({4, 7, 22}, {0, 0, 1}));
+  // 1 device on the 4 network: moving to 22 gives 22 > 4 -> not NE.
+  EXPECT_FALSE(is_nash({4, 7, 22}, {1, 0, 0}));
+}
+
+TEST(AllocationGains, ExpandsPerDevice) {
+  const auto gains = allocation_gains({4, 22}, {1, 2});
+  ASSERT_EQ(gains.size(), 3u);
+  EXPECT_DOUBLE_EQ(gains[0], 4.0);
+  EXPECT_DOUBLE_EQ(gains[1], 11.0);
+  EXPECT_DOUBLE_EQ(gains[2], 11.0);
+}
+
+TEST(DistanceToNash, PaperWorkedExample) {
+  // Paper §VI-A: three devices observe 1, 1, 4 Mbps; at NE each would see
+  // 2 Mbps; distance = 100 %. Networks here: 2 Mbps and 4 Mbps; devices A,B
+  // on network 0 (1 each), device C on network 1 (4).
+  const std::vector<double> caps = {2.0, 4.0};
+  const std::vector<int> counts = {2, 1};
+  const std::vector<int> nets = {0, 0, 1};
+  const std::vector<double> gains = {1.0, 1.0, 4.0};
+  EXPECT_NEAR(distance_to_nash(caps, counts, nets, gains), 100.0, 1e-9);
+}
+
+TEST(DistanceToNash, ZeroAtEquilibrium) {
+  const std::vector<double> caps = {4, 7, 22};
+  const std::vector<int> counts = {2, 4, 14};
+  std::vector<int> nets;
+  std::vector<double> gains;
+  for (int i = 0; i < 2; ++i) { nets.push_back(0); gains.push_back(2.0); }
+  for (int i = 0; i < 4; ++i) { nets.push_back(1); gains.push_back(1.75); }
+  for (int i = 0; i < 14; ++i) { nets.push_back(2); gains.push_back(22.0 / 14.0); }
+  EXPECT_NEAR(distance_to_nash(caps, counts, nets, gains), 0.0, 1e-9);
+}
+
+TEST(DistanceToNash, RespectsVisibilityRestrictions) {
+  // The juicy deviation is to network 1, but device 0 cannot see it.
+  const std::vector<double> caps = {2.0, 50.0};
+  const std::vector<int> counts = {1, 0};
+  const std::vector<int> nets = {0};
+  const std::vector<double> gains = {2.0};
+  EXPECT_GT(distance_to_nash(caps, counts, nets, gains), 1000.0);
+  const std::vector<std::vector<int>> visible = {{0}};
+  EXPECT_NEAR(distance_to_nash(caps, counts, nets, gains, visible), 0.0, 1e-9);
+}
+
+TEST(DistanceToNash, InactiveDevicesSkipped) {
+  const std::vector<double> caps = {5.0, 5.0};
+  const std::vector<int> counts = {1, 0};
+  const std::vector<int> nets = {0, -1};  // second device disconnected
+  const std::vector<double> gains = {5.0, 0.0};
+  EXPECT_NEAR(distance_to_nash(caps, counts, nets, gains), 0.0, 1e-9);
+}
+
+TEST(DistanceToNash, GuardsAgainstZeroGain) {
+  const std::vector<double> caps = {1.0, 1.0};
+  const std::vector<int> counts = {1, 0};
+  const std::vector<int> nets = {0};
+  const std::vector<double> gains = {0.0};  // dead trace slot
+  const double d = distance_to_nash(caps, counts, nets, gains);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(Def4Distance, ZeroWhenEveryoneAtOrAboveAverage) {
+  // Aggregate 12, 3 devices -> g_avg = 4.
+  EXPECT_DOUBLE_EQ(distance_from_average_rate(12.0, {4.0, 5.0, 6.0}), 0.0);
+}
+
+TEST(Def4Distance, AveragesShortfalls) {
+  // g_avg = 4; shortfalls: 50 %, 0 %, 0 % -> mean 16.67 %.
+  EXPECT_NEAR(distance_from_average_rate(12.0, {2.0, 4.0, 6.0}), 50.0 / 3.0, 1e-9);
+}
+
+TEST(Def4Distance, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(distance_from_average_rate(12.0, {}), 0.0);
+}
+
+TEST(Def4Optimal, NonZeroForUnequalNetworks) {
+  // Paper Figs 13-15 show a non-zero "Optimal" floor: at NE on 4/7/22 with
+  // 14 devices, some devices sit below the global average.
+  const double opt = optimal_distance_from_average_rate({4, 7, 22}, 14);
+  EXPECT_GT(opt, 0.0);
+  EXPECT_LT(opt, 30.0);
+}
+
+TEST(Def4Optimal, ZeroForPerfectlySymmetricCase) {
+  EXPECT_NEAR(optimal_distance_from_average_rate({10, 10}, 2), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace smartexp3::metrics

@@ -1,0 +1,65 @@
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartexp3::netsim {
+namespace {
+
+TEST(Network, StaticCapacity) {
+  const auto n = make_wifi(0, 11.0);
+  EXPECT_DOUBLE_EQ(n.capacity(0), 11.0);
+  EXPECT_DOUBLE_EQ(n.capacity(1000), 11.0);
+  EXPECT_EQ(n.type, NetworkType::kWifi);
+}
+
+TEST(Network, TraceDrivenCapacity) {
+  auto n = make_cellular(1, 5.0);
+  n.trace = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(n.capacity(0), 1.0);
+  EXPECT_DOUBLE_EQ(n.capacity(2), 3.0);
+  // Past the end of the trace, the last value persists.
+  EXPECT_DOUBLE_EQ(n.capacity(50), 3.0);
+  // Negative slots clamp to the first value (defensive).
+  EXPECT_DOUBLE_EQ(n.capacity(-1), 1.0);
+}
+
+TEST(Network, EmptyAreasCoverEverything) {
+  const auto n = make_cellular(0, 10.0);
+  EXPECT_TRUE(n.covers(0));
+  EXPECT_TRUE(n.covers(17));
+}
+
+TEST(Network, RestrictedCoverage) {
+  const auto n = make_wifi(0, 10.0, {1, 2});
+  EXPECT_FALSE(n.covers(0));
+  EXPECT_TRUE(n.covers(1));
+  EXPECT_TRUE(n.covers(2));
+  EXPECT_FALSE(n.covers(3));
+}
+
+TEST(Network, DefaultLabels) {
+  EXPECT_EQ(make_wifi(3, 1.0).label, "wifi-3");
+  EXPECT_EQ(make_cellular(4, 1.0).label, "cell-4");
+  EXPECT_EQ(make_wifi(3, 1.0, {}, "ap-lobby").label, "ap-lobby");
+}
+
+TEST(VisibleNetworks, FiltersByArea) {
+  const std::vector<Network> nets = {
+      make_cellular(0, 16.0),          // everywhere
+      make_wifi(1, 14.0, {0}),         // food court
+      make_wifi(2, 22.0, {0, 1}),      // food court + study area
+      make_wifi(3, 7.0, {1}),          // study area
+      make_wifi(4, 4.0, {2}),          // bus stop
+  };
+  EXPECT_EQ(visible_networks(nets, 0), (std::vector<NetworkId>{0, 1, 2}));
+  EXPECT_EQ(visible_networks(nets, 1), (std::vector<NetworkId>{0, 2, 3}));
+  EXPECT_EQ(visible_networks(nets, 2), (std::vector<NetworkId>{0, 4}));
+}
+
+TEST(NetworkTypeNames, Stringify) {
+  EXPECT_EQ(to_string(NetworkType::kWifi), "wifi");
+  EXPECT_EQ(to_string(NetworkType::kCellular), "cellular");
+}
+
+}  // namespace
+}  // namespace smartexp3::netsim

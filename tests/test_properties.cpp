@@ -1,0 +1,258 @@
+// Property-based suites (parameterised gtest): invariants that must hold for
+// every policy, seed, and parameter combination — probability simplexes,
+// valid choices, determinism, goodput conservation, and the Theorem 2
+// switch bound for Smart EXP3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/factory.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+#include "policy_test_util.hpp"
+
+namespace smartexp3 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-policy invariants, swept over all nine algorithms x several seeds.
+// ---------------------------------------------------------------------------
+
+struct PolicyCase {
+  std::string name;
+  std::uint64_t seed;
+};
+
+class PolicyInvariants : public ::testing::TestWithParam<PolicyCase> {
+ protected:
+  std::unique_ptr<core::Policy> make() const {
+    auto factory = core::make_named_policy_factory({4.0, 7.0, 22.0});
+    return factory(/*id=*/0, GetParam().name, GetParam().seed);
+  }
+};
+
+TEST_P(PolicyInvariants, ChoicesAlwaysValidAndProbabilitiesSimplex) {
+  auto policy = make();
+  policy->set_networks({0, 1, 2});
+  stats::Rng gains(GetParam().seed ^ 0xabcdef);
+  for (int t = 0; t < 400; ++t) {
+    const NetworkId c = policy->choose(t);
+    ASSERT_GE(c, 0);
+    ASSERT_LE(c, 2);
+    const auto p = policy->probabilities();
+    ASSERT_EQ(p.size(), 3u);
+    double sum = 0.0;
+    for (const double v : p) {
+      ASSERT_GE(v, -1e-12);
+      ASSERT_LE(v, 1.0 + 1e-9);
+      ASSERT_TRUE(std::isfinite(v));
+      sum += v;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-6);
+    core::SlotFeedback fb;
+    fb.gain = gains.uniform();
+    fb.bit_rate_mbps = fb.gain * 22.0;
+    fb.all_gains = {gains.uniform(), gains.uniform(), gains.uniform()};
+    fb.all_rates_mbps = fb.all_gains;
+    policy->observe(t, fb);
+  }
+}
+
+TEST_P(PolicyInvariants, DeterministicReplay) {
+  auto a = make();
+  auto b = make();
+  a->set_networks({0, 1, 2});
+  b->set_networks({0, 1, 2});
+  stats::Rng ga(42);
+  stats::Rng gb(42);
+  for (int t = 0; t < 300; ++t) {
+    const NetworkId ca = a->choose(t);
+    const NetworkId cb = b->choose(t);
+    ASSERT_EQ(ca, cb) << "diverged at slot " << t;
+    core::SlotFeedback fa;
+    fa.gain = ga.uniform();
+    fa.all_gains = {ga.uniform(), ga.uniform(), ga.uniform()};
+    core::SlotFeedback fbk;
+    fbk.gain = gb.uniform();
+    fbk.all_gains = {gb.uniform(), gb.uniform(), gb.uniform()};
+    a->observe(t, fa);
+    b->observe(t, fbk);
+  }
+}
+
+TEST_P(PolicyInvariants, SurvivesNetworkSetChanges) {
+  if (GetParam().name == "centralized") {
+    GTEST_SKIP() << "centralized assumes full visibility (static settings only)";
+  }
+  auto policy = make();
+  policy->set_networks({0, 1});
+  stats::Rng gains(7);
+  auto drive = [&](int from, int to) {
+    for (int t = from; t < to; ++t) {
+      const NetworkId c = policy->choose(t);
+      const auto& nets = policy->networks();
+      ASSERT_TRUE(std::find(nets.begin(), nets.end(), c) != nets.end());
+      core::SlotFeedback fb;
+      fb.gain = gains.uniform();
+      fb.all_gains.assign(nets.size(), 0.5);
+      policy->observe(t, fb);
+    }
+  };
+  drive(0, 100);
+  policy->set_networks({0, 1, 2});  // discovery
+  drive(100, 200);
+  policy->set_networks({1, 2});  // loss of network 0
+  drive(200, 300);
+  policy->set_networks({1});  // down to a single network
+  drive(300, 350);
+  const auto p = policy->probabilities();
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+}
+
+std::vector<PolicyCase> all_policy_cases() {
+  std::vector<PolicyCase> cases;
+  for (const auto& name : core::policy_names()) {
+    for (const std::uint64_t seed : {1ULL, 17ULL, 923ULL}) {
+      cases.push_back({name, seed});
+    }
+  }
+  // The extension baselines must honour the same interface contract.
+  for (const auto& name : core::extension_policy_names()) {
+    for (const std::uint64_t seed : {1ULL, 17ULL, 923ULL}) {
+      cases.push_back({name, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         ::testing::ValuesIn(all_policy_cases()),
+                         [](const ::testing::TestParamInfo<PolicyCase>& info) {
+                           return info.param.name + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+// ---------------------------------------------------------------------------
+// Theorem 2: E[S(T)] < 3 k log(T + 1) / log(1 + beta) for Smart EXP3 without
+// reset (tau = T, t_d = 1). Swept over beta, k and horizon.
+// ---------------------------------------------------------------------------
+
+struct BoundCase {
+  double beta;
+  int k;
+  int horizon;
+};
+
+class SwitchBound : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(SwitchBound, SmartExp3NoResetRespectsTheorem2) {
+  const auto [beta, k, horizon] = GetParam();
+  core::SmartExp3Tunables t = core::smart_exp3_no_reset();
+  t.beta = beta;
+  const double bound = 3.0 * k * std::log(static_cast<double>(horizon) + 1.0) /
+                       std::log(1.0 + beta);
+  for (const std::uint64_t seed : {3ULL, 31ULL, 314ULL}) {
+    core::SmartExp3 policy(seed, t);
+    std::vector<NetworkId> nets;
+    for (int i = 0; i < k; ++i) nets.push_back(i);
+    policy.set_networks(nets);
+    stats::Rng gains(seed ^ 0x5ca1ab1e);
+    int switches = 0;
+    NetworkId prev = kNoNetwork;
+    for (int slot = 0; slot < horizon; ++slot) {
+      const NetworkId c = policy.choose(slot);
+      if (prev != kNoNetwork && c != prev) ++switches;
+      prev = c;
+      core::SlotFeedback fb;
+      // Adversarially noisy gains keep the policy exploring.
+      fb.gain = gains.uniform();
+      policy.observe(slot, fb);
+    }
+    EXPECT_LT(switches, bound) << "beta=" << beta << " k=" << k << " T=" << horizon
+                               << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SwitchBound,
+    ::testing::Values(BoundCase{0.1, 2, 500}, BoundCase{0.1, 3, 1200},
+                      BoundCase{0.1, 5, 1200}, BoundCase{0.3, 3, 1200},
+                      BoundCase{0.5, 3, 2000}, BoundCase{1.0, 4, 2000},
+                      BoundCase{0.05, 3, 800}),
+    [](const ::testing::TestParamInfo<BoundCase>& info) {
+      return "beta" + std::to_string(static_cast<int>(info.param.beta * 100)) + "_k" +
+             std::to_string(info.param.k) + "_T" + std::to_string(info.param.horizon);
+    });
+
+// ---------------------------------------------------------------------------
+// World-level conservation and sanity, swept over policies and device counts.
+// ---------------------------------------------------------------------------
+
+struct WorldCase {
+  std::string policy;
+  int devices;
+};
+
+class WorldConservation : public ::testing::TestWithParam<WorldCase> {};
+
+TEST_P(WorldConservation, OfferedCapacityFullyAccounted) {
+  auto cfg = exp::static_setting1(GetParam().policy, GetParam().devices,
+                                  /*horizon=*/120);
+  cfg.delay = exp::DelayKind::kZero;
+  const auto run = exp::run_once(cfg, 99);
+  const double offered =
+      cfg.aggregate_capacity() * cfg.world.horizon * cfg.world.slot_seconds / 8.0;
+  EXPECT_NEAR(run.total_download_mb + run.unused_mb, offered, 1e-6);
+}
+
+TEST_P(WorldConservation, DelaysOnlyEverReduceGoodput) {
+  auto zero = exp::static_setting1(GetParam().policy, GetParam().devices, 120);
+  zero.delay = exp::DelayKind::kZero;
+  auto delayed = zero;
+  delayed.delay = exp::DelayKind::kFixed;
+  delayed.fixed_delay_wifi_s = 5.0;
+  delayed.fixed_delay_cellular_s = 10.0;
+  const auto a = exp::run_once(zero, 123);
+  const auto b = exp::run_once(delayed, 123);
+  // Same seed => same decision sequence for every policy (delays do not
+  // feed back into gains), so the delayed run downloads no more.
+  EXPECT_LE(b.total_download_mb, a.total_download_mb + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorldConservation,
+    ::testing::Values(WorldCase{"smart_exp3", 5}, WorldCase{"smart_exp3", 20},
+                      WorldCase{"exp3", 20}, WorldCase{"greedy", 20},
+                      WorldCase{"block_exp3", 10}, WorldCase{"full_information", 10},
+                      WorldCase{"centralized", 20}, WorldCase{"fixed_random", 20},
+                      WorldCase{"hybrid_block_exp3", 20},
+                      WorldCase{"smart_exp3_noreset", 20}),
+    [](const ::testing::TestParamInfo<WorldCase>& info) {
+      return info.param.policy + "_n" + std::to_string(info.param.devices);
+    });
+
+// ---------------------------------------------------------------------------
+// Gamma schedule properties.
+// ---------------------------------------------------------------------------
+
+TEST(GammaSchedule, MonotoneDecreasingInUnitInterval) {
+  double prev = 1.1;
+  for (long b = 1; b < 10000; b = b * 3 / 2 + 1) {
+    const double g = core::gamma_schedule(b);
+    ASSERT_GT(g, 0.0);
+    ASSERT_LE(g, 1.0);
+    ASSERT_LE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(GammaSchedule, MatchesPaperFormula) {
+  EXPECT_DOUBLE_EQ(core::gamma_schedule(1), 1.0);
+  EXPECT_NEAR(core::gamma_schedule(8), 0.5, 1e-12);
+  EXPECT_NEAR(core::gamma_schedule(27), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(core::gamma_schedule(1000), 0.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace smartexp3

@@ -1,0 +1,122 @@
+#include "metrics/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+
+namespace smartexp3::metrics {
+namespace {
+
+exp::ExperimentConfig small_config(const std::string& policy) {
+  auto cfg = exp::static_setting1(policy, /*n_devices=*/6, /*horizon=*/100);
+  cfg.delay = exp::DelayKind::kZero;
+  return cfg;
+}
+
+TEST(Recorder, DistanceSeriesHasHorizonLength) {
+  auto cfg = small_config("greedy");
+  const auto run = exp::run_once(cfg, 1);
+  ASSERT_EQ(run.group_distance.size(), 1u);
+  EXPECT_EQ(run.distance().size(), 100u);
+  for (const double d : run.distance()) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_TRUE(std::isfinite(d));
+  }
+}
+
+TEST(Recorder, CentralizedIsAlwaysAtNash) {
+  auto cfg = small_config("centralized");
+  const auto run = exp::run_once(cfg, 2);
+  EXPECT_DOUBLE_EQ(run.at_nash_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(run.eps_fraction, 1.0);
+  for (const double d : run.distance()) EXPECT_NEAR(d, 0.0, 1e-9);
+  for (const int s : run.switches) EXPECT_EQ(s, 0);
+}
+
+TEST(Recorder, DownloadsMatchDeviceCount) {
+  auto cfg = small_config("smart_exp3");
+  const auto run = exp::run_once(cfg, 3);
+  EXPECT_EQ(run.downloads_mb.size(), 6u);
+  EXPECT_EQ(run.switches.size(), 6u);
+  EXPECT_EQ(run.resets.size(), 6u);
+  double total = 0.0;
+  for (const double d : run.downloads_mb) total += d;
+  EXPECT_NEAR(total, run.total_download_mb, 1e-6);
+}
+
+TEST(Recorder, ConservationDownloadPlusLossPlusUnusedEqualsOffered) {
+  // With zero delays and equal share, download + unused must equal the
+  // total capacity offered over the run.
+  auto cfg = small_config("fixed_random");
+  const auto run = exp::run_once(cfg, 4);
+  const double offered =
+      cfg.aggregate_capacity() * cfg.world.horizon * cfg.world.slot_seconds / 8.0;
+  double downloaded = run.total_download_mb;
+  EXPECT_NEAR(downloaded + run.unused_mb, offered, 1e-6);
+}
+
+TEST(Recorder, StabilityTrackedWhenEnabled) {
+  auto cfg = small_config("greedy");
+  cfg.recorder.track_stability = true;
+  const auto run = exp::run_once(cfg, 5);
+  // Greedy locks in by construction (one-hot probabilities after explore).
+  EXPECT_TRUE(run.stability.stable);
+  EXPECT_GE(run.stability.stable_slot, 0);
+}
+
+TEST(Recorder, Def4SeriesWhenEnabled) {
+  auto cfg = small_config("greedy");
+  cfg.recorder.track_def4 = true;
+  const auto run = exp::run_once(cfg, 6);
+  EXPECT_EQ(run.def4.size(), 100u);
+  for (const double d : run.def4) {
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 100.0);
+  }
+}
+
+TEST(Recorder, SelectionsTimelineWhenEnabled) {
+  auto cfg = small_config("exp3");
+  cfg.recorder.track_selections = true;
+  const auto run = exp::run_once(cfg, 7);
+  ASSERT_EQ(run.selections.size(), 6u);
+  for (const auto& timeline : run.selections) {
+    ASSERT_EQ(timeline.size(), 100u);
+    for (const int net : timeline) {
+      EXPECT_GE(net, 0);
+      EXPECT_LE(net, 2);
+    }
+  }
+}
+
+TEST(Recorder, GroupsSplitDistance) {
+  auto cfg = small_config("greedy");
+  cfg.recorder.groups = {{1, 2, 3}, {4, 5, 6}};
+  const auto run = exp::run_once(cfg, 8);
+  ASSERT_EQ(run.group_distance.size(), 2u);
+  EXPECT_EQ(run.group_distance[0].size(), 100u);
+  EXPECT_EQ(run.group_distance[1].size(), 100u);
+}
+
+TEST(Recorder, PersistentFlagsReflectSchedules) {
+  auto cfg = small_config("greedy");
+  cfg.devices[2].join_slot = 10;
+  cfg.devices[4].leave_slot = 50;
+  const auto run = exp::run_once(cfg, 9);
+  EXPECT_TRUE(run.persistent[0]);
+  EXPECT_FALSE(run.persistent[2]);
+  EXPECT_FALSE(run.persistent[4]);
+}
+
+TEST(Recorder, SwitchingCostPositiveWhenDelaysOn) {
+  auto cfg = small_config("exp3");
+  cfg.delay = exp::DelayKind::kDistribution;
+  const auto run = exp::run_once(cfg, 10);
+  double cost = 0.0;
+  for (const double c : run.switching_cost_mb) cost += c;
+  EXPECT_GT(cost, 0.0);  // EXP3 switches constantly
+}
+
+}  // namespace
+}  // namespace smartexp3::metrics

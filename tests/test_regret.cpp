@@ -1,0 +1,117 @@
+#include "metrics/regret.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smartexp3::metrics {
+namespace {
+
+TEST(Theorem2Bound, MatchesClosedForm) {
+  // 3k log(T+1) / log(1+beta) with k=3, beta=0.1, T=1200.
+  const double expected = 3.0 * 3.0 * std::log(1201.0) / std::log(1.1);
+  EXPECT_NEAR(theorem2_switch_bound(3, 0.1, 1200), expected, 1e-9);
+}
+
+TEST(Theorem2Bound, GeneralFormReducesToSimple) {
+  EXPECT_NEAR(theorem2_switch_bound(3, 0.1, 1200),
+              theorem2_switch_bound(3, 0.1, 1200, 1200.0, 1.0), 1e-9);
+}
+
+TEST(Theorem2Bound, MonotonicityTrends) {
+  // More networks => larger bound; larger beta => smaller bound; longer T
+  // => larger bound (logarithmically).
+  EXPECT_LT(theorem2_switch_bound(3, 0.1, 1200), theorem2_switch_bound(5, 0.1, 1200));
+  EXPECT_GT(theorem2_switch_bound(3, 0.1, 1200), theorem2_switch_bound(3, 0.5, 1200));
+  EXPECT_LT(theorem2_switch_bound(3, 0.1, 600), theorem2_switch_bound(3, 0.1, 2400));
+  // Logarithmic growth: quadrupling T far less than quadruples the bound.
+  EXPECT_LT(theorem2_switch_bound(3, 0.1, 2400),
+            2.0 * theorem2_switch_bound(3, 0.1, 600));
+}
+
+TEST(Theorem2Bound, ShorterResetPeriodsRaiseTheBound) {
+  // T/tau periods of 3k log(tau/td + 1): more periods, more switches.
+  EXPECT_GT(theorem2_switch_bound(3, 0.1, 1200, 300.0, 1.0),
+            theorem2_switch_bound(3, 0.1, 1200, 1200.0, 1.0));
+}
+
+TEST(Theorem2Bound, RejectsInvalidParameters) {
+  EXPECT_THROW(theorem2_switch_bound(0, 0.1, 100), std::invalid_argument);
+  EXPECT_THROW(theorem2_switch_bound(3, 0.0, 100), std::invalid_argument);
+  EXPECT_THROW(theorem2_switch_bound(3, 0.1, 0), std::invalid_argument);
+}
+
+TEST(Theorem3Bound, ComponentsBehave) {
+  const double base = theorem3_regret_bound(100.0, 3, 0.5, 0.1, 4, 0.3, 0.5, 1200);
+  // Larger best-arm gain => larger bound (first term scales with Gmax).
+  EXPECT_LT(base, theorem3_regret_bound(200.0, 3, 0.5, 0.1, 4, 0.3, 0.5, 1200));
+  // Longer blocks => larger bound.
+  EXPECT_LT(base, theorem3_regret_bound(100.0, 3, 0.5, 0.1, 40, 0.3, 0.5, 1200));
+  // Higher mean delay => larger bound (switching term).
+  EXPECT_LT(base, theorem3_regret_bound(100.0, 3, 0.5, 0.1, 4, 0.9, 0.5, 1200));
+}
+
+TEST(Theorem3Bound, GammaTradeoff) {
+  // Tiny gamma blows up the k ln k / gamma term.
+  EXPECT_GT(theorem3_regret_bound(100.0, 3, 0.01, 0.1, 4, 0.3, 0.5, 1200),
+            theorem3_regret_bound(100.0, 3, 0.5, 0.1, 4, 0.3, 0.5, 1200));
+  EXPECT_THROW(theorem3_regret_bound(100.0, 3, 0.0, 0.1, 4, 0.3, 0.5, 1200),
+               std::invalid_argument);
+  EXPECT_THROW(theorem3_regret_bound(100.0, 3, 1.5, 0.1, 4, 0.3, 0.5, 1200),
+               std::invalid_argument);
+}
+
+TEST(LongestConstantRun, Basics) {
+  EXPECT_EQ(longest_constant_run({}), 0);
+  EXPECT_EQ(longest_constant_run({5}), 1);
+  EXPECT_EQ(longest_constant_run({1, 1, 1}), 3);
+  EXPECT_EQ(longest_constant_run({1, 2, 2, 3, 3, 3, 1}), 3);
+  EXPECT_EQ(longest_constant_run({1, 2, 1, 2}), 1);
+}
+
+TEST(MeasureWeakRegret, BestArmIdentified) {
+  const std::vector<std::vector<double>> gains = {{0.2, 0.2, 0.2}, {0.9, 0.9, 0.9}};
+  const auto wr = measure_weak_regret(gains, {0, 0, 0}, 0.0);
+  EXPECT_EQ(wr.best_arm, 1);
+  EXPECT_NEAR(wr.g_max, 2.7, 1e-12);
+  EXPECT_NEAR(wr.g_alg, 0.6, 1e-12);
+  EXPECT_NEAR(wr.regret, 2.1, 1e-12);
+}
+
+TEST(MeasureWeakRegret, ZeroWhenPlayingTheBestArm) {
+  const std::vector<std::vector<double>> gains = {{0.2, 0.2}, {0.9, 0.9}};
+  const auto wr = measure_weak_regret(gains, {1, 1}, 0.0);
+  EXPECT_NEAR(wr.regret, 0.0, 1e-12);
+  EXPECT_EQ(wr.switches, 0);
+}
+
+TEST(MeasureWeakRegret, CanBeNegativeAgainstNonstationaryArms) {
+  // Tracking the momentary best beats any fixed arm.
+  const std::vector<std::vector<double>> gains = {{0.9, 0.1}, {0.1, 0.9}};
+  const auto wr = measure_weak_regret(gains, {0, 1}, 0.0);
+  EXPECT_LT(wr.regret, 0.0);
+  EXPECT_EQ(wr.switches, 1);
+}
+
+TEST(MeasureWeakRegret, DelayLossAddsToRegret) {
+  const std::vector<std::vector<double>> gains = {{0.5, 0.5}};
+  const auto without = measure_weak_regret(gains, {0, 0}, 0.0);
+  const auto with = measure_weak_regret(gains, {0, 0}, 0.25);
+  EXPECT_NEAR(with.regret - without.regret, 0.25, 1e-12);
+}
+
+TEST(MeasureWeakRegret, SkipsDisconnectedSlots) {
+  const std::vector<std::vector<double>> gains = {{0.5, 0.5, 0.5}};
+  const auto wr = measure_weak_regret(gains, {-1, 0, 0}, 0.0);
+  EXPECT_NEAR(wr.g_alg, 1.0, 1e-12);
+  EXPECT_EQ(wr.switches, 0);
+}
+
+TEST(MeasureWeakRegret, LongestBlockReported) {
+  const std::vector<std::vector<double>> gains = {{0.5, 0.5, 0.5, 0.5}, {0.5, 0.5, 0.5, 0.5}};
+  const auto wr = measure_weak_regret(gains, {0, 1, 1, 1}, 0.0);
+  EXPECT_EQ(wr.longest_block, 3);
+}
+
+}  // namespace
+}  // namespace smartexp3::metrics

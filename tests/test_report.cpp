@@ -1,0 +1,84 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace smartexp3::exp {
+namespace {
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(fmt(0.0), "0.00");
+}
+
+TEST(Sparkline, EmptyAndDegenerate) {
+  EXPECT_EQ(sparkline({}, 10), "");
+  EXPECT_EQ(sparkline({1.0, 2.0}, 0), "");
+  // Constant series renders at the lowest level, full width.
+  const auto s = sparkline(std::vector<double>(100, 5.0), 20);
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(Sparkline, WidthRespected) {
+  std::vector<double> series;
+  for (int i = 0; i < 500; ++i) series.push_back(static_cast<double>(i));
+  EXPECT_EQ(sparkline(series, 64).size(), 64u);
+  EXPECT_EQ(sparkline(series, 7).size(), 7u);
+}
+
+TEST(Sparkline, MonotoneSeriesRisesThroughLevels) {
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) series.push_back(static_cast<double>(i));
+  const auto s = sparkline(series, 10);
+  // First char must be a low level, last a high one.
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '#');
+}
+
+TEST(Sparkline, OutlierClippedAtP95) {
+  // One huge spike must not flatten the rest of the series.
+  std::vector<double> series(100, 0.0);
+  for (int i = 50; i < 100; ++i) series[static_cast<std::size_t>(i)] = 10.0;
+  series[0] = 1e9;
+  const auto s = sparkline(series, 10);
+  // The second half must render at a visibly higher level than the first.
+  EXPECT_NE(s[8], s[3]);
+}
+
+TEST(PrintTable, AlignsAndSeparates) {
+  std::ostringstream captured;
+  auto* old = std::cout.rdbuf(captured.rdbuf());
+  print_table({"name", "value"}, {{"short", "1"}, {"much-longer-name", "22"}});
+  std::cout.rdbuf(old);
+  const std::string out = captured.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(PrintSeriesCsv, StrideAndOffset) {
+  std::ostringstream captured;
+  auto* old = std::cout.rdbuf(captured.rdbuf());
+  print_series_csv("s", {1.0, 2.0, 3.0, 4.0, 5.0}, /*stride=*/2, /*first_slot=*/10);
+  std::cout.rdbuf(old);
+  const std::string out = captured.str();
+  EXPECT_NE(out.find("s,10,1.000"), std::string::npos);
+  EXPECT_NE(out.find("s,12,3.000"), std::string::npos);
+  EXPECT_NE(out.find("s,14,5.000"), std::string::npos);
+  EXPECT_EQ(out.find("s,11,"), std::string::npos);
+}
+
+TEST(PaperVsMeasured, Renders) {
+  std::ostringstream captured;
+  auto* old = std::cout.rdbuf(captured.rdbuf());
+  print_paper_vs_measured("metric", "1.0", "1.1");
+  std::cout.rdbuf(old);
+  EXPECT_NE(captured.str().find("paper=1.0"), std::string::npos);
+  EXPECT_NE(captured.str().find("measured=1.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

@@ -1,0 +1,152 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "exp/aggregate.hpp"
+#include "exp/settings.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+ExperimentConfig tiny(const std::string& policy) {
+  auto cfg = static_setting1(policy, /*n_devices=*/5, /*horizon=*/60);
+  cfg.delay = DelayKind::kZero;
+  return cfg;
+}
+
+TEST(Runner, RunOnceIsDeterministicPerSeed) {
+  const auto cfg = tiny("smart_exp3");
+  const auto a = run_once(cfg, 7);
+  const auto b = run_once(cfg, 7);
+  EXPECT_EQ(a.downloads_mb, b.downloads_mb);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.distance(), b.distance());
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  const auto cfg = tiny("smart_exp3");
+  const auto a = run_once(cfg, 7);
+  const auto b = run_once(cfg, 8);
+  EXPECT_NE(a.downloads_mb, b.downloads_mb);
+}
+
+TEST(Runner, RunManyMatchesRunOnceSeeding) {
+  auto cfg = tiny("exp3");
+  cfg.base_seed = 100;
+  const auto many = run_many(cfg, 4, /*threads=*/2);
+  ASSERT_EQ(many.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    const auto solo = run_once(cfg, 100 + static_cast<std::uint64_t>(r));
+    EXPECT_EQ(many[static_cast<std::size_t>(r)].downloads_mb, solo.downloads_mb) << r;
+  }
+}
+
+TEST(Runner, ThreadCountDoesNotChangeResults) {
+  auto cfg = tiny("smart_exp3");
+  const auto seq = run_many(cfg, 6, /*threads=*/1);
+  const auto par = run_many(cfg, 6, /*threads=*/6);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(seq[i].downloads_mb, par[i].downloads_mb) << i;
+    EXPECT_EQ(seq[i].switches, par[i].switches) << i;
+  }
+}
+
+TEST(Runner, ZeroRunsIsEmpty) {
+  EXPECT_TRUE(run_many(tiny("greedy"), 0).empty());
+}
+
+TEST(Runner, InvalidPolicyNameThrows) {
+  auto cfg = tiny("no_such_policy");
+  EXPECT_THROW(run_once(cfg, 1), std::invalid_argument);
+}
+
+TEST(Runner, ReproRunsEnvOverride) {
+  ::setenv("REPRO_RUNS", "123", 1);
+  EXPECT_EQ(repro_runs(60), 123);
+  ::setenv("REPRO_RUNS", "0", 1);
+  EXPECT_EQ(repro_runs(60), 60);  // non-positive ignored
+  ::setenv("REPRO_RUNS", "garbage", 1);
+  EXPECT_EQ(repro_runs(60), 60);
+  ::unsetenv("REPRO_RUNS");
+  EXPECT_EQ(repro_runs(60), 60);
+}
+
+TEST(Aggregate, SwitchSummaryPoolsDevices) {
+  metrics::RunResult a;
+  a.switches = {1, 3};
+  a.persistent = {true, true};
+  metrics::RunResult b;
+  b.switches = {5, 7};
+  b.persistent = {true, false};
+  const auto all = switch_summary({a, b});
+  EXPECT_DOUBLE_EQ(all.mean, 4.0);
+  const auto persist = switch_summary({a, b}, /*persistent_only=*/true);
+  EXPECT_DOUBLE_EQ(persist.mean, 3.0);
+}
+
+TEST(Aggregate, MedianDownloadOfRunMedians) {
+  metrics::RunResult a;
+  a.downloads_mb = {1.0, 2.0, 3.0};  // median 2
+  metrics::RunResult b;
+  b.downloads_mb = {10.0, 20.0, 30.0};  // median 20
+  EXPECT_DOUBLE_EQ(mean_of_run_median_download_mb({a, b}), 11.0);
+}
+
+TEST(Aggregate, StabilitySummary) {
+  metrics::RunResult stable_ne;
+  stable_ne.stability = {true, 100, true};
+  metrics::RunResult stable_other;
+  stable_other.stability = {true, 300, false};
+  metrics::RunResult unstable;
+  unstable.stability = {false, -1, false};
+  const auto s = stability_summary({stable_ne, stable_other, unstable});
+  EXPECT_NEAR(s.stable_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.stable_at_nash_fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.median_stable_slot, 200.0);
+}
+
+TEST(Aggregate, StabilitySummaryNoStableRuns) {
+  metrics::RunResult unstable;
+  unstable.stability = {false, -1, false};
+  const auto s = stability_summary({unstable});
+  EXPECT_DOUBLE_EQ(s.stable_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.median_stable_slot, -1.0);
+}
+
+TEST(Aggregate, MeanDistanceSeriesAcrossRuns) {
+  metrics::RunResult a;
+  a.group_distance = {{10.0, 20.0}};
+  metrics::RunResult b;
+  b.group_distance = {{30.0, 40.0}};
+  const auto m = mean_distance_series({a, b});
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m[0], 20.0);
+  EXPECT_DOUBLE_EQ(m[1], 30.0);
+}
+
+TEST(Aggregate, DownsampleStride) {
+  const std::vector<double> xs = {0, 1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(downsample(xs, 3), (std::vector<double>{0, 3, 6}));
+  EXPECT_EQ(downsample(xs, 1), xs);
+  EXPECT_EQ(downsample(xs, 0), xs);  // defensive: stride 0 treated as 1
+}
+
+TEST(Aggregate, MedianTotalsForTraceRuns) {
+  metrics::RunResult a;
+  a.total_download_mb = 700.0;
+  a.switching_cost_mb = {30.0, 10.0};
+  metrics::RunResult b;
+  b.total_download_mb = 800.0;
+  b.switching_cost_mb = {20.0};
+  metrics::RunResult c;
+  c.total_download_mb = 900.0;
+  c.switching_cost_mb = {50.0};
+  EXPECT_DOUBLE_EQ(median_total_download_mb({a, b, c}), 800.0);
+  EXPECT_DOUBLE_EQ(median_total_switching_cost_mb({a, b, c}), 40.0);
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

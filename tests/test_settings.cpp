@@ -1,0 +1,167 @@
+#include "exp/settings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/aggregate.hpp"
+#include "exp/runner.hpp"
+#include "trace/synth.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+TEST(Settings, Setting1Shape) {
+  const auto cfg = static_setting1("smart_exp3");
+  EXPECT_EQ(cfg.networks.size(), 3u);
+  EXPECT_EQ(cfg.devices.size(), 20u);
+  EXPECT_EQ(cfg.world.horizon, 1200);
+  EXPECT_DOUBLE_EQ(cfg.aggregate_capacity(), 33.0);
+  EXPECT_EQ(cfg.capacities(), (std::vector<double>{4.0, 7.0, 22.0}));
+  for (const auto& d : cfg.devices) EXPECT_EQ(d.policy_name, "smart_exp3");
+}
+
+TEST(Settings, Setting2UniformRates) {
+  const auto cfg = static_setting2("exp3");
+  EXPECT_EQ(cfg.capacities(), (std::vector<double>{11.0, 11.0, 11.0}));
+  EXPECT_DOUBLE_EQ(cfg.aggregate_capacity(), 33.0);
+}
+
+TEST(Settings, DynamicJoinSchedule) {
+  const auto cfg = dynamic_join_setting("smart_exp3");
+  int transient = 0;
+  for (const auto& d : cfg.devices) {
+    if (d.join_slot == 400) {
+      ++transient;
+      EXPECT_EQ(d.leave_slot, 800);
+    } else {
+      EXPECT_EQ(d.join_slot, 0);
+      EXPECT_EQ(d.leave_slot, -1);
+    }
+  }
+  EXPECT_EQ(transient, 9);
+}
+
+TEST(Settings, DynamicLeaveSchedule) {
+  const auto cfg = dynamic_leave_setting("greedy");
+  int leavers = 0;
+  for (const auto& d : cfg.devices) leavers += d.leave_slot == 600 ? 1 : 0;
+  EXPECT_EQ(leavers, 16);
+}
+
+TEST(Settings, MobilityAreasAndMoves) {
+  const auto cfg = mobility_setting("smart_exp3");
+  EXPECT_EQ(cfg.networks.size(), 5u);
+  EXPECT_EQ(cfg.devices.size(), 20u);
+  EXPECT_EQ(cfg.scenario.moves.size(), 16u);  // 8 movers x 2 moves
+  // Network 0 is the cellular macro cell covering everything.
+  EXPECT_TRUE(cfg.networks[0].areas.empty());
+  EXPECT_EQ(cfg.networks[0].type, netsim::NetworkType::kCellular);
+  // Groups: movers + 3 stationary clusters.
+  EXPECT_EQ(cfg.recorder.groups.size(), 4u);
+  EXPECT_EQ(cfg.recorder.groups[0].size(), 8u);
+}
+
+TEST(Settings, MobilityEveryAreaHasAtLeastTwoNetworks) {
+  const auto cfg = mobility_setting("smart_exp3");
+  for (int area = 0; area < 3; ++area) {
+    EXPECT_GE(netsim::visible_networks(cfg.networks, area).size(), 2u) << area;
+  }
+}
+
+TEST(Settings, GreedyMixCounts) {
+  const auto cfg = greedy_mix_setting(10);
+  int smart = 0;
+  int greedy = 0;
+  for (const auto& d : cfg.devices) {
+    smart += d.policy_name == "smart_exp3" ? 1 : 0;
+    greedy += d.policy_name == "greedy" ? 1 : 0;
+  }
+  EXPECT_EQ(smart, 10);
+  EXPECT_EQ(greedy, 10);
+  EXPECT_THROW(greedy_mix_setting(25), std::invalid_argument);
+}
+
+TEST(Settings, ScalabilityShapes) {
+  for (const int k : {3, 5, 7}) {
+    const auto cfg = scalability_setting("smart_exp3_noreset", k, 20);
+    EXPECT_EQ(cfg.networks.size(), static_cast<std::size_t>(k));
+    EXPECT_EQ(cfg.world.horizon, 8640);
+  }
+  for (const int n : {20, 40, 80}) {
+    const auto cfg = scalability_setting("smart_exp3_noreset", 3, n);
+    EXPECT_EQ(cfg.devices.size(), static_cast<std::size_t>(n));
+  }
+  EXPECT_THROW(scalability_setting("smart_exp3", 8, 20), std::invalid_argument);
+}
+
+TEST(Settings, TraceSettingWiresTraces) {
+  const auto pair = trace::synthetic_pair(1);
+  const auto cfg = trace_setting(pair, "smart_exp3");
+  EXPECT_EQ(cfg.devices.size(), 1u);
+  EXPECT_EQ(cfg.networks.size(), 2u);
+  EXPECT_EQ(cfg.world.horizon, 100);
+  EXPECT_EQ(cfg.networks[0].trace, pair.wifi_mbps);
+  EXPECT_EQ(cfg.networks[1].trace, pair.cellular_mbps);
+  EXPECT_TRUE(cfg.recorder.track_selections);
+}
+
+TEST(Settings, TraceSettingRejectsBadPairs) {
+  trace::TracePair bad;
+  bad.wifi_mbps = {1.0, 2.0};
+  bad.cellular_mbps = {1.0};
+  EXPECT_THROW(trace_setting(bad, "greedy"), std::invalid_argument);
+}
+
+TEST(Settings, ControlledSettingNoisyShare) {
+  const auto cfg = controlled_setting({"smart_exp3"});
+  EXPECT_EQ(cfg.devices.size(), 14u);
+  EXPECT_EQ(cfg.world.horizon, 480);
+  EXPECT_EQ(cfg.share, ShareKind::kNoisy);
+  EXPECT_TRUE(cfg.recorder.track_def4);
+}
+
+TEST(Settings, ControlledSettingPerDevicePolicies) {
+  std::vector<std::string> mix(14, "greedy");
+  for (int i = 0; i < 7; ++i) mix[static_cast<std::size_t>(i)] = "smart_exp3";
+  const auto cfg = controlled_setting(mix);
+  int smart = 0;
+  for (const auto& d : cfg.devices) smart += d.policy_name == "smart_exp3" ? 1 : 0;
+  EXPECT_EQ(smart, 7);
+  EXPECT_THROW(controlled_setting({"a", "b"}), std::invalid_argument);
+}
+
+TEST(Settings, ControlledDynamicLeavers) {
+  const auto cfg = controlled_dynamic_setting("greedy");
+  int leavers = 0;
+  for (const auto& d : cfg.devices) leavers += d.leave_slot == 240 ? 1 : 0;
+  EXPECT_EQ(leavers, 9);
+}
+
+TEST(Settings, ChannelSelectionShape) {
+  const auto cfg = channel_selection_setting("smart_exp3");
+  EXPECT_EQ(cfg.networks.size(), 3u);
+  for (const auto& net : cfg.networks) {
+    EXPECT_DOUBLE_EQ(net.base_capacity_mbps, 54.0);
+    EXPECT_EQ(net.type, netsim::NetworkType::kWifi);
+  }
+  EXPECT_EQ(cfg.devices.size(), 12u);
+  EXPECT_EQ(cfg.delay, DelayKind::kFixed);
+  EXPECT_DOUBLE_EQ(cfg.fixed_delay_wifi_s, 0.25);
+  EXPECT_THROW(channel_selection_setting("smart_exp3", 0), std::invalid_argument);
+}
+
+TEST(Settings, ChannelSelectionEquilibriumIsEvenSplit) {
+  // 12 APs over 3 equal channels: smart devices should spread 4/4/4 most of
+  // the time.
+  auto cfg = channel_selection_setting("smart_exp3");
+  const auto runs = run_many(cfg, 6);
+  EXPECT_GT(mean_eps_fraction(runs), 0.3);
+}
+
+TEST(Settings, WithPolicyOverridesAll) {
+  auto cfg = static_setting1("exp3");
+  cfg.with_policy("greedy");
+  for (const auto& d : cfg.devices) EXPECT_EQ(d.policy_name, "greedy");
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

@@ -1,0 +1,250 @@
+#include "core/smart_exp3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy_test_util.hpp"
+
+namespace smartexp3::core {
+namespace {
+
+using testing::drive_two_level;
+using testing::feedback;
+
+TEST(SmartExp3, NameReflectsVariant) {
+  EXPECT_EQ(SmartExp3(1).name(), "smart_exp3");
+  EXPECT_EQ(SmartExp3(1, smart_exp3_no_reset()).name(), "smart_exp3_noreset");
+}
+
+TEST(SmartExp3, AllMechanismsEnabledByDefault) {
+  SmartExp3 policy(1);
+  EXPECT_TRUE(policy.options().explore_first);
+  EXPECT_TRUE(policy.options().greedy);
+  EXPECT_TRUE(policy.options().switch_back);
+  EXPECT_TRUE(policy.options().reset);
+}
+
+TEST(SmartExp3, ExploresAllNetworksInFirstKBlocks) {
+  SmartExp3 policy(2);
+  policy.set_networks({0, 1, 2, 3, 4});
+  std::set<NetworkId> seen;
+  int t = 0;
+  while (policy.blocks_started() < 5) {
+    const NetworkId c = policy.choose(t);
+    seen.insert(c);
+    policy.observe(t++, feedback(0.5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SmartExp3, SwitchBackReturnsToPreviousNetworkAfterBadFirstSlot) {
+  SmartExp3Tunables t;
+  t.enable_reset = false;
+  t.enable_greedy = false;     // deterministic selection path for the test
+  t.enable_explore_first = false;
+  SmartExp3 policy(3, t);
+  policy.set_networks({0, 1});
+
+  // Hand-feed: network 0 is great (gain 0.9), network 1 terrible (0.05).
+  // Whenever the policy tries network 1, its first slot is bad and the
+  // switch-back mechanism must return it to network 0 on the next slot.
+  int slot = 0;
+  int bad_visits = 0;
+  int switch_back_follows = 0;
+  NetworkId prev = kNoNetwork;
+  bool prev_was_bad_first_slot = false;
+  for (; slot < 4000; ++slot) {
+    const NetworkId c = policy.choose(slot);
+    if (prev_was_bad_first_slot) {
+      // Previous slot was the first slot of a block on the bad network
+      // after being on the good one: the paper requires returning.
+      if (c == 0) ++switch_back_follows;
+      prev_was_bad_first_slot = false;
+    }
+    if (c == 1 && prev == 0) {
+      ++bad_visits;
+      prev_was_bad_first_slot = true;
+    }
+    prev = c;
+    policy.observe(slot, feedback(c == 0 ? 0.9 : 0.05));
+  }
+  ASSERT_GT(bad_visits, 0);
+  EXPECT_GT(policy.stats().switch_backs, 0);
+  // The vast majority of bad excursions must be cut short: after the bad
+  // first slot the device is back on network 0. (A few excursions are
+  // exempt — the first one lacks history, and the no-ping-pong rule blocks
+  // a switch-back right after a switch-back block.)
+  EXPECT_GE(switch_back_follows + 4, bad_visits - bad_visits / 4);
+}
+
+TEST(SmartExp3, NoTwoConsecutiveSwitchBacks) {
+  SmartExp3 policy(4, smart_exp3_no_reset());
+  policy.set_networks({0, 1, 2});
+  // Adversarial gains: everything looks bad, tempting endless switch-backs.
+  stats::Rng rng(9);
+  int t = 0;
+  int last_sb = -10;
+  int prev_stats = 0;
+  for (; t < 3000; ++t) {
+    policy.choose(t);
+    const int sb = policy.stats().switch_backs;
+    if (sb > prev_stats) {
+      // A switch-back block just started: it cannot have started in the
+      // immediately preceding block boundary too (ping-pong guard). We
+      // can't observe block boundaries directly, but consecutive slots
+      // starting switch-backs would mean consecutive blocks did.
+      EXPECT_GT(t - last_sb, 1);
+      last_sb = t;
+      prev_stats = sb;
+    }
+    policy.observe(t, feedback(rng.uniform() * 0.2));
+  }
+}
+
+TEST(SmartExp3, PeriodicResetFiresInStaticWorld) {
+  SmartExp3 policy(5);
+  policy.set_networks({0, 1, 2});
+  // Strongly favour one arm so p_{i+} >= 0.75 and block lengths grow to 40:
+  // the periodic reset must eventually fire.
+  drive_two_level(policy, 20000, 0, 0.95, 0.05);
+  EXPECT_GE(policy.stats().resets, 1);
+}
+
+TEST(SmartExp3, NoResetVariantNeverResets) {
+  SmartExp3 policy(6, smart_exp3_no_reset());
+  policy.set_networks({0, 1, 2});
+  drive_two_level(policy, 20000, 0, 0.95, 0.05);
+  EXPECT_EQ(policy.stats().resets, 0);
+}
+
+TEST(SmartExp3, GainDropTriggersReset) {
+  SmartExp3Tunables t;
+  t.enable_switch_back = false;  // isolate the drop detector
+  t.enable_greedy = false;
+  SmartExp3 policy(7, t);
+  policy.set_networks({0, 1});
+  // Phase 1: stable high gain on arm 0.
+  int slot = 0;
+  for (; slot < 400; ++slot) {
+    const NetworkId c = policy.choose(slot);
+    policy.observe(slot, feedback(c == 0 ? 0.9 : 0.1));
+  }
+  const int resets_before = policy.stats().resets;
+  // Phase 2: arm 0's gain collapses by 50 % — far beyond the 15 % threshold,
+  // for many consecutive slots.
+  for (; slot < 600; ++slot) {
+    const NetworkId c = policy.choose(slot);
+    policy.observe(slot, feedback(c == 0 ? 0.45 : 0.1));
+  }
+  EXPECT_GT(policy.stats().resets, resets_before);
+}
+
+TEST(SmartExp3, SmallFluctuationsDoNotTriggerDropReset) {
+  SmartExp3Tunables t;
+  t.enable_switch_back = false;
+  t.enable_greedy = false;
+  t.reset_block_len = 1000000;  // disable the periodic reset for isolation
+  SmartExp3 policy(8, t);
+  policy.set_networks({0, 1});
+  stats::Rng noise(3);
+  for (int slot = 0; slot < 2000; ++slot) {
+    const NetworkId c = policy.choose(slot);
+    // +-10 % noise stays inside the 15 % guard band.
+    const double base = c == 0 ? 0.8 : 0.2;
+    policy.observe(slot, feedback(base * (1.0 + 0.1 * (noise.uniform() * 2.0 - 1.0))));
+  }
+  EXPECT_EQ(policy.stats().resets, 0);
+}
+
+TEST(SmartExp3, ResetRetainsWeights) {
+  SmartExp3 policy(9);
+  policy.set_networks({0, 1, 2});
+  drive_two_level(policy, 2000, 1, 0.9, 0.1);
+  policy.force_reset();
+  // Weights survive: after re-exploration the favourite should quickly be
+  // arm 1 again (its weight was never cleared).
+  const auto counts = drive_two_level(policy, 500, 1, 0.9, 0.1);
+  EXPECT_GT(counts[1], counts[0]);
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(SmartExp3, ResetForcesFullReExploration) {
+  SmartExp3 policy(10);
+  policy.set_networks({0, 1, 2, 3});
+  drive_two_level(policy, 1000, 0, 0.9, 0.1);
+  policy.force_reset();
+  std::set<NetworkId> seen;
+  int t = 1000;
+  const long start_blocks = policy.blocks_started();
+  while (policy.blocks_started() < start_blocks + 4) {
+    seen.insert(policy.choose(t));
+    policy.observe(t++, feedback(0.5));
+  }
+  EXPECT_EQ(seen.size(), 4u);  // every network explored again
+}
+
+TEST(SmartExp3, NewNetworkTriggersResetAndExploration) {
+  SmartExp3 policy(11);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 1500, 0, 0.9, 0.1);
+  const int resets_before = policy.stats().resets;
+  policy.set_networks({0, 1, 2});
+  EXPECT_GT(policy.stats().resets, resets_before);
+  // The new network must be visited soon (it has max weight + forced
+  // exploration).
+  bool visited = false;
+  for (int t = 0; t < 50 && !visited; ++t) {
+    const NetworkId c = policy.choose(1500 + t);
+    visited = (c == 2);
+    policy.observe(1500 + t, feedback(0.5));
+  }
+  EXPECT_TRUE(visited);
+}
+
+TEST(SmartExp3, NoResetVariantStillHandlesNewNetworks) {
+  SmartExp3 policy(12, smart_exp3_no_reset());
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 1000, 0, 0.9, 0.1);
+  policy.set_networks({0, 1, 2});
+  EXPECT_EQ(policy.stats().resets, 0);
+  // Newcomer still gets explored thanks to the max-weight rule + queue.
+  bool visited = false;
+  for (int t = 0; t < 200 && !visited; ++t) {
+    const NetworkId c = policy.choose(1000 + t);
+    visited = (c == 2);
+    policy.observe(1000 + t, feedback(0.5));
+  }
+  EXPECT_TRUE(visited);
+}
+
+TEST(SmartExp3, DisappearingFavouriteTriggersReset) {
+  SmartExp3 policy(13);
+  policy.set_networks({0, 1, 2});
+  drive_two_level(policy, 3000, 2, 0.95, 0.05);
+  const int resets_before = policy.stats().resets;
+  policy.set_networks({0, 1});  // the favourite vanishes
+  EXPECT_GT(policy.stats().resets, resets_before);
+}
+
+TEST(SmartExp3, StatsCountersAreConsistent) {
+  SmartExp3 policy(14);
+  policy.set_networks({0, 1, 2});
+  drive_two_level(policy, 5000, 1, 0.8, 0.2);
+  const auto s = policy.stats();
+  EXPECT_GT(s.blocks_started, 0);
+  EXPECT_GE(s.greedy_selections, 0);
+  EXPECT_GE(s.switch_backs, 0);
+  EXPECT_LE(s.switch_backs, s.blocks_started);
+  EXPECT_LE(s.greedy_selections, s.blocks_started);
+}
+
+TEST(SmartExp3, ConvergesToBestArmDespiteMechanisms) {
+  SmartExp3 policy(15, smart_exp3_no_reset());
+  policy.set_networks({0, 1, 2});
+  const auto counts = drive_two_level(policy, 4000, 2, 0.9, 0.1);
+  EXPECT_GT(counts[2], 2500);
+}
+
+}  // namespace
+}  // namespace smartexp3::core

@@ -1,0 +1,95 @@
+#include "metrics/stability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartexp3::metrics {
+namespace {
+
+TEST(LockedNetwork, ThresholdRespected) {
+  EXPECT_EQ(locked_network({0.8, 0.1, 0.1}, {5, 6, 7}), 5);
+  EXPECT_EQ(locked_network({0.5, 0.4, 0.1}, {5, 6, 7}), -1);
+  EXPECT_EQ(locked_network({0.0, 0.76, 0.24}, {5, 6, 7}), 6);
+}
+
+TEST(LockedNetwork, EmptyIsUnlocked) {
+  EXPECT_EQ(locked_network({}, {}), -1);
+}
+
+TEST(LockedNetwork, CustomThreshold) {
+  EXPECT_EQ(locked_network({0.6, 0.4}, {1, 2}, 0.5), 1);
+}
+
+TEST(DetectStableState, SimpleStableRun) {
+  // Two devices, both locked on their networks from slot 2.
+  const std::vector<std::vector<int>> locked = {
+      {-1, -1, 0, 0, 0},
+      {1, 1, 1, 1, 1},
+  };
+  const auto r = detect_stable_state(locked, {10.0, 10.0});
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.stable_slot, 2);
+  EXPECT_TRUE(r.at_nash);  // (1,1) over equal networks is NE
+}
+
+TEST(DetectStableState, UnstableWhenAnyDeviceUnlockedAtEnd) {
+  const std::vector<std::vector<int>> locked = {
+      {0, 0, 0, 0, 0},
+      {1, 1, 1, 1, -1},
+  };
+  const auto r = detect_stable_state(locked, {10.0, 10.0});
+  EXPECT_FALSE(r.stable);
+  EXPECT_EQ(r.stable_slot, -1);
+}
+
+TEST(DetectStableState, LateFlipMovesStableSlot) {
+  const std::vector<std::vector<int>> locked = {
+      {0, 0, 1, 1, 1},  // flips at slot 2
+      {1, 1, 1, 0, 0},  // flips at slot 3
+  };
+  const auto r = detect_stable_state(locked, {10.0, 10.0});
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.stable_slot, 3);
+}
+
+TEST(DetectStableState, StableAtNonNashState) {
+  // Both devices locked on network 0 while network 1 (equal capacity) is
+  // empty: stable but not an equilibrium.
+  const std::vector<std::vector<int>> locked = {
+      {0, 0, 0},
+      {0, 0, 0},
+  };
+  const auto r = detect_stable_state(locked, {10.0, 10.0});
+  EXPECT_TRUE(r.stable);
+  EXPECT_FALSE(r.at_nash);
+}
+
+TEST(DetectStableState, Setting1Equilibrium) {
+  // 20 devices locked in the (2,4,14) split of setting 1.
+  std::vector<std::vector<int>> locked;
+  for (int i = 0; i < 2; ++i) locked.push_back(std::vector<int>(10, 0));
+  for (int i = 0; i < 4; ++i) locked.push_back(std::vector<int>(10, 1));
+  for (int i = 0; i < 14; ++i) locked.push_back(std::vector<int>(10, 2));
+  const auto r = detect_stable_state(locked, {4.0, 7.0, 22.0});
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.stable_slot, 0);
+  EXPECT_TRUE(r.at_nash);
+}
+
+TEST(DetectStableState, EmptyInputsNotStable) {
+  EXPECT_FALSE(detect_stable_state({}, {1.0}).stable);
+  EXPECT_FALSE(detect_stable_state({{}}, {1.0}).stable);
+}
+
+TEST(DetectStableState, WholeRunLockedButChangedNetworkCountsFromFlip) {
+  // Device locked throughout but on different networks early vs late: the
+  // stable point is the *last* change.
+  const std::vector<std::vector<int>> locked = {
+      {0, 0, 0, 1, 1, 1, 1, 1, 1, 1},
+  };
+  const auto r = detect_stable_state(locked, {5.0, 5.0});
+  EXPECT_TRUE(r.stable);
+  EXPECT_EQ(r.stable_slot, 3);
+}
+
+}  // namespace
+}  // namespace smartexp3::metrics

@@ -1,0 +1,112 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smartexp3::stats {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stddev, KnownValues) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({4.0}), 0.0);
+  // Sample std-dev of {2,4,4,4,5,5,7,9} = sqrt(32/7).
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Median, UnsortedInputLeftIntact) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  auto copy = xs;
+  EXPECT_DOUBLE_EQ(median(copy), 5.0);
+}
+
+TEST(Percentile, Interpolation) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_NEAR(percentile(xs, 25), 17.5, 1e-12);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 105), 2.0);
+}
+
+TEST(MinMax, Basics) {
+  EXPECT_DOUBLE_EQ(min_of({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(max_of({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(min_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(max_of({}), 0.0);
+}
+
+TEST(Jain, PerfectFairnessIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(Jain, WorstCaseIsOneOverN) {
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(Jain, EmptyAndZeroConventions) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(RunningStat, MatchesBatchStatistics) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStat rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(SeriesAccumulator, ElementwiseMean) {
+  SeriesAccumulator acc;
+  acc.add({1.0, 2.0, 3.0});
+  acc.add({3.0, 2.0, 1.0});
+  const auto m = acc.mean();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 2.0);
+  EXPECT_DOUBLE_EQ(m[2], 2.0);
+  EXPECT_EQ(acc.runs(), 2u);
+}
+
+TEST(SeriesAccumulator, RejectsMismatchedLength) {
+  SeriesAccumulator acc;
+  acc.add({1.0, 2.0});
+  EXPECT_THROW(acc.add({1.0, 2.0, 3.0}), std::invalid_argument);
+}
+
+TEST(SeriesAccumulator, EmptyMeanIsEmpty) {
+  SeriesAccumulator acc;
+  EXPECT_TRUE(acc.mean().empty());
+  EXPECT_TRUE(acc.empty());
+}
+
+}  // namespace
+}  // namespace smartexp3::stats

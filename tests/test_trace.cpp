@@ -1,0 +1,134 @@
+#include "trace/synth.hpp"
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace smartexp3::trace {
+namespace {
+
+TEST(Synth, FourPairsWithExpectedLength) {
+  const auto pairs = all_synthetic_pairs();
+  ASSERT_EQ(pairs.size(), 4u);
+  for (const auto& p : pairs) {
+    EXPECT_TRUE(p.consistent());
+    EXPECT_EQ(p.slots(), 100u);
+  }
+}
+
+TEST(Synth, DeterministicFromSeed) {
+  const auto a = synthetic_pair(1);
+  const auto b = synthetic_pair(1);
+  EXPECT_EQ(a.wifi_mbps, b.wifi_mbps);
+  EXPECT_EQ(a.cellular_mbps, b.cellular_mbps);
+  SynthOptions other;
+  other.seed = 99;
+  const auto c = synthetic_pair(1, other);
+  EXPECT_NE(a.wifi_mbps, c.wifi_mbps);
+}
+
+TEST(Synth, RatesWithinPhysicalBounds) {
+  for (const auto& p : all_synthetic_pairs()) {
+    for (const double r : p.wifi_mbps) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LE(r, 6.5);
+    }
+    for (const double r : p.cellular_mbps) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LE(r, 6.5);
+    }
+  }
+}
+
+TEST(Synth, Pair2CellularStrictlyDominant) {
+  // The paper's trace 2 regime: cellular always better than WiFi.
+  const auto p = synthetic_pair(2);
+  const auto s = summarise(p);
+  EXPECT_DOUBLE_EQ(s.cellular_dominance, 1.0);
+  EXPECT_EQ(s.crossovers, 0);
+}
+
+TEST(Synth, Pairs134HaveCrossovers) {
+  for (const int idx : {1, 3, 4}) {
+    const auto s = summarise(synthetic_pair(idx));
+    EXPECT_GT(s.crossovers, 0) << "pair " << idx;
+    EXPECT_LT(s.cellular_dominance, 1.0) << "pair " << idx;
+    EXPECT_GT(s.cellular_dominance, 0.0) << "pair " << idx;
+  }
+}
+
+TEST(Synth, Pair3MostVolatile) {
+  const auto s3 = summarise(synthetic_pair(3));
+  const auto s2 = summarise(synthetic_pair(2));
+  EXPECT_GT(s3.crossovers, s2.crossovers);
+}
+
+TEST(Synth, InvalidIndexThrows) {
+  EXPECT_THROW(synthetic_pair(0), std::invalid_argument);
+  EXPECT_THROW(synthetic_pair(5), std::invalid_argument);
+}
+
+TEST(TraceCsv, RoundTrip) {
+  const auto original = synthetic_pair(4);
+  const auto path = std::filesystem::temp_directory_path() / "smartexp3_trace_test.csv";
+  save_csv(original, path.string());
+  const auto loaded = load_csv(path.string());
+  ASSERT_EQ(loaded.slots(), original.slots());
+  for (std::size_t i = 0; i < original.slots(); ++i) {
+    EXPECT_NEAR(loaded.wifi_mbps[i], original.wifi_mbps[i], 1e-4);
+    EXPECT_NEAR(loaded.cellular_mbps[i], original.cellular_mbps[i], 1e-4);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceCsv, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_csv("/nonexistent/path/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceCsv, LoadRejectsMalformedRows) {
+  const auto path = std::filesystem::temp_directory_path() / "smartexp3_bad_trace.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("slot,wifi_mbps,cellular_mbps\n0,1.5\n", f);  // missing column
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_csv(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceCsv, LoadRejectsNonNumeric) {
+  const auto path = std::filesystem::temp_directory_path() / "smartexp3_nan_trace.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("slot,wifi_mbps,cellular_mbps\n0,abc,2.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_csv(path.string()), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Summarise, HandlesEmptyAndInconsistent) {
+  TracePair empty;
+  const auto s = summarise(empty);
+  EXPECT_DOUBLE_EQ(s.wifi_mean, 0.0);
+  TracePair bad;
+  bad.wifi_mbps = {1.0};
+  const auto s2 = summarise(bad);
+  EXPECT_DOUBLE_EQ(s2.cellular_mean, 0.0);
+}
+
+TEST(Summarise, CountsCrossoversExactly) {
+  TracePair p;
+  p.wifi_mbps = {1, 1, 1, 1};
+  p.cellular_mbps = {2, 0.5, 2, 2};  // leads: C, W, C, C -> 2 crossovers
+  const auto s = summarise(p);
+  EXPECT_EQ(s.crossovers, 2);
+  EXPECT_DOUBLE_EQ(s.cellular_dominance, 0.75);
+}
+
+}  // namespace
+}  // namespace smartexp3::trace

@@ -1,0 +1,99 @@
+#include "core/ucb1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy_test_util.hpp"
+
+namespace smartexp3::core {
+namespace {
+
+using testing::drive_two_level;
+using testing::feedback;
+
+TEST(Ucb1, PullsEveryArmOnceFirst) {
+  Ucb1Policy policy(1);
+  policy.set_networks({0, 1, 2, 3});
+  std::set<NetworkId> seen;
+  for (int t = 0; t < 4; ++t) {
+    const NetworkId c = policy.choose(t);
+    EXPECT_TRUE(seen.insert(c).second);
+    policy.observe(t, feedback(0.5));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Ucb1, ConvergesOnStationaryArms) {
+  // In its home turf — i.i.d.-style rewards — UCB1 must concentrate.
+  Ucb1Policy policy(2);
+  policy.set_networks({0, 1, 2});
+  const auto counts = drive_two_level(policy, 3000, 1, 0.9, 0.1);
+  EXPECT_GT(counts[1], 2500);
+}
+
+TEST(Ucb1, UcbValuesShrinkWithPulls) {
+  Ucb1Policy policy(3);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 10, 0, 0.5, 0.5);
+  const double early = policy.ucb(0);
+  drive_two_level(policy, 1000, 0, 0.5, 0.5);
+  EXPECT_LT(policy.ucb(0), early);
+}
+
+TEST(Ucb1, UnpulledArmIsInfinitelyOptimistic) {
+  Ucb1Policy policy(4);
+  policy.set_networks({0, 1});
+  policy.choose(0);
+  policy.observe(0, feedback(1.0));
+  // One arm pulled, the other not: the unpulled one must be chosen next.
+  bool has_infinite = std::isinf(policy.ucb(0)) || std::isinf(policy.ucb(1));
+  EXPECT_TRUE(has_infinite);
+}
+
+TEST(Ucb1, NewNetworkExploredImmediately) {
+  Ucb1Policy policy(5);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 200, 0, 0.9, 0.1);
+  policy.set_networks({0, 1, 2});
+  EXPECT_EQ(policy.choose(200), 2);  // infinite optimism for the newcomer
+}
+
+TEST(Ucb1, ProbabilitiesOneHot) {
+  Ucb1Policy policy(6);
+  policy.set_networks({0, 1});
+  drive_two_level(policy, 100, 1, 0.9, 0.1);
+  const auto p = policy.probabilities();
+  EXPECT_DOUBLE_EQ(p[0] + p[1], 1.0);
+  EXPECT_TRUE(p[0] == 1.0 || p[1] == 1.0);
+}
+
+TEST(Ucb1, RejectsBadParameters) {
+  EXPECT_THROW(Ucb1Policy(1, Ucb1Policy::Options{0.0}), std::invalid_argument);
+  Ucb1Policy ok(1);
+  EXPECT_THROW(ok.set_networks({}), std::invalid_argument);
+}
+
+TEST(Ucb1, SlowToReactToDistributionShift) {
+  // The motivating failure mode: after a long good history, UCB1's mean for
+  // the stale arm decays only at rate 1/n — far slower than Smart EXP3's
+  // drop detector.
+  Ucb1Policy policy(7);
+  policy.set_networks({0, 1});
+  int t = 0;
+  for (; t < 1000; ++t) {
+    const NetworkId c = policy.choose(t);
+    policy.observe(t, feedback(c == 0 ? 0.9 : 0.4));
+  }
+  // Arm 0 collapses to 0.1; arm 1 stays 0.4.
+  int stuck = 0;
+  for (; t < 1200; ++t) {
+    const NetworkId c = policy.choose(t);
+    if (c == 0) ++stuck;
+    policy.observe(t, feedback(c == 0 ? 0.1 : 0.4));
+  }
+  EXPECT_GT(stuck, 150);  // still mostly on the stale favourite
+}
+
+}  // namespace
+}  // namespace smartexp3::core

@@ -1,0 +1,130 @@
+#include "core/utility_shaping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exp3.hpp"
+#include "core/greedy.hpp"
+#include "policy_test_util.hpp"
+
+namespace smartexp3::core {
+namespace {
+
+std::unique_ptr<Policy> wrapped_exp3(UtilityWeights weights,
+                                     std::unordered_map<NetworkId, NetworkCosts> costs,
+                                     std::uint64_t seed = 3) {
+  return make_utility_shaped(std::make_unique<Exp3>(seed), weights, std::move(costs),
+                             /*gain_scale_mbps=*/22.0);
+}
+
+TEST(UtilityShaping, NoCostsIsIdentity) {
+  auto plain = std::make_unique<Exp3>(1);
+  auto shaped = wrapped_exp3(UtilityWeights{}, {}, 1);
+  plain->set_networks({0, 1});
+  shaped->set_networks({0, 1});
+  for (int t = 0; t < 500; ++t) {
+    const NetworkId a = plain->choose(t);
+    const NetworkId b = shaped->choose(t);
+    ASSERT_EQ(a, b) << t;
+    auto fb = testing::feedback(a == 0 ? 0.8 : 0.2);
+    plain->observe(t, fb);
+    shaped->observe(t, fb);
+  }
+}
+
+TEST(UtilityShaping, ShapeDiscountsMonetaryCost) {
+  std::unordered_map<NetworkId, NetworkCosts> costs;
+  costs[1] = {0.02, 0.0};  // 0.02 / MB on network 1
+  UtilityWeights w;
+  w.cost = 1.0;
+  UtilityShapedPolicy p(std::make_unique<Exp3>(2), w, costs, 22.0);
+  // gain 1.0 on the metered network: 41.25 MB this slot -> cost 0.825.
+  EXPECT_NEAR(p.shape(1, 1.0), 1.0 - 0.825, 1e-9);
+  // the free network is untouched.
+  EXPECT_DOUBLE_EQ(p.shape(0, 1.0), 1.0);
+}
+
+TEST(UtilityShaping, ShapeDiscountsEnergy) {
+  std::unordered_map<NetworkId, NetworkCosts> costs;
+  costs[0] = {0.0, 0.3};
+  UtilityWeights w;
+  w.energy = 0.5;
+  UtilityShapedPolicy p(std::make_unique<Exp3>(2), w, costs, 22.0);
+  EXPECT_NEAR(p.shape(0, 0.5), 0.5 - 0.15, 1e-9);
+}
+
+TEST(UtilityShaping, UtilityClampedToUnitInterval) {
+  std::unordered_map<NetworkId, NetworkCosts> costs;
+  costs[0] = {10.0, 0.0};  // absurdly expensive
+  UtilityWeights w;
+  w.cost = 1.0;
+  UtilityShapedPolicy p(std::make_unique<Exp3>(2), w, costs, 22.0);
+  EXPECT_DOUBLE_EQ(p.shape(0, 1.0), 0.0);
+  w.rate = 5.0;
+  UtilityShapedPolicy q(std::make_unique<Exp3>(2), w, {}, 22.0);
+  EXPECT_DOUBLE_EQ(q.shape(0, 0.9), 1.0);  // clamped above
+}
+
+TEST(UtilityShaping, CostAwareLearnerAvoidsMeteredNetwork) {
+  // Free 6 Mbps WiFi vs metered 22 Mbps cellular: throughput says cellular,
+  // utility says WiFi.
+  std::unordered_map<NetworkId, NetworkCosts> costs;
+  costs[1] = {0.02, 0.1};
+  UtilityWeights aware;
+  aware.cost = 1.0;
+  aware.energy = 1.0;
+  auto run = [&](UtilityWeights weights) {
+    auto policy = wrapped_exp3(weights, costs, 5);
+    policy->set_networks({0, 1});
+    int cellular = 0;
+    for (int t = 0; t < 3000; ++t) {
+      const NetworkId c = policy->choose(t);
+      cellular += c == 1 ? 1 : 0;
+      auto fb = testing::feedback((c == 0 ? 6.0 : 22.0) / 22.0);
+      policy->observe(t, fb);
+    }
+    return cellular;
+  };
+  const int unaware_cellular = run(UtilityWeights{});
+  const int aware_cellular = run(aware);
+  EXPECT_GT(unaware_cellular, 2000);
+  EXPECT_LT(aware_cellular, 1000);
+}
+
+TEST(UtilityShaping, FullInformationFeedbackShapedPerNetwork) {
+  std::unordered_map<NetworkId, NetworkCosts> costs;
+  costs[1] = {0.0, 0.5};
+  UtilityWeights w;
+  w.energy = 1.0;
+  auto policy = wrapped_exp3(w, costs, 6);
+  policy->set_networks({0, 1});
+  // Feed full-information feedback; only network 1's entries are shaped, so
+  // the learner should end up preferring network 0 despite equal raw gains.
+  for (int t = 0; t < 1000; ++t) {
+    const NetworkId c = policy->choose(t);
+    auto fb = testing::full_feedback({0.6, 0.6}, static_cast<std::size_t>(c));
+    policy->observe(t, fb);
+  }
+  const auto p = policy->probabilities();
+  EXPECT_GT(p[0], p[1]);
+}
+
+TEST(UtilityShaping, DelegationPreservesInterface) {
+  auto policy = make_utility_shaped(std::make_unique<GreedyPolicy>(7),
+                                    UtilityWeights{}, {}, 22.0);
+  policy->set_networks({3, 5, 9});
+  EXPECT_EQ(policy->networks(), (std::vector<NetworkId>{3, 5, 9}));
+  EXPECT_EQ(policy->name(), "utility_shaped(greedy)");
+  const NetworkId c = policy->choose(0);
+  EXPECT_TRUE(c == 3 || c == 5 || c == 9);
+  EXPECT_EQ(policy->probabilities().size(), 3u);
+  EXPECT_EQ(policy->stats().resets, 0);
+}
+
+TEST(UtilityShaping, RejectsBadConstruction) {
+  EXPECT_THROW(UtilityShapedPolicy(nullptr, {}, {}, 22.0), std::invalid_argument);
+  EXPECT_THROW(UtilityShapedPolicy(std::make_unique<Exp3>(1), {}, {}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smartexp3::core

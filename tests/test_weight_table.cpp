@@ -1,0 +1,100 @@
+#include "core/weight_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smartexp3::core {
+namespace {
+
+TEST(WeightTable, UniformAfterReset) {
+  WeightTable w;
+  w.reset(4);
+  const auto p = w.probabilities(0.0);
+  for (const double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(WeightTable, ExplorationMixing) {
+  WeightTable w;
+  w.reset(2);
+  w.bump(0, 10.0);  // arm 0 dominates
+  const auto p = w.probabilities(0.5);
+  // p_1 >= gamma/k = 0.25 regardless of weights.
+  EXPECT_GE(p[1], 0.25 - 1e-12);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  // gamma = 1: fully uniform.
+  const auto u = w.probabilities(1.0);
+  EXPECT_NEAR(u[0], 0.5, 1e-12);
+}
+
+TEST(WeightTable, BumpMatchesMultiplicativeUpdate) {
+  // exp-weights: p ∝ exp(lw). After bump(i, d), odds multiply by e^d.
+  WeightTable w;
+  w.reset(2);
+  w.bump(0, std::log(3.0));
+  const auto p = w.probabilities(0.0);
+  EXPECT_NEAR(p[0] / p[1], 3.0, 1e-9);
+}
+
+TEST(WeightTable, NormaliseLeavesProbabilitiesInvariant) {
+  WeightTable w;
+  w.reset(3);
+  w.bump(0, 5.0);
+  w.bump(2, 2.0);
+  const auto before = w.probabilities(0.3);
+  w.normalise();
+  const auto after = w.probabilities(0.3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(before[i], after[i], 1e-12);
+  EXPECT_DOUBLE_EQ(w.max_log_weight(), 0.0);
+}
+
+TEST(WeightTable, OffsetTracksAbsoluteScale) {
+  WeightTable w;
+  w.reset(2);
+  EXPECT_DOUBLE_EQ(w.relative_of_unit_weight(), 0.0);
+  w.bump(0, 100.0);
+  w.normalise();
+  // Absolute weight 1 is now 100 log-units below the (normalised) max.
+  EXPECT_NEAR(w.relative_of_unit_weight(), -100.0, 1e-12);
+  w.bump(1, 40.0);
+  w.normalise();  // max unchanged (arm 0 still at 0 > 40-100)
+  EXPECT_NEAR(w.relative_of_unit_weight(), -100.0, 1e-12);
+}
+
+TEST(WeightTable, OffsetCarriedAcrossRebuild) {
+  WeightTable w;
+  w.reset(2);
+  w.bump(0, 50.0);
+  w.normalise();
+  WeightTable next;
+  next.set_offset(w.offset());
+  next.push_back(w.log_weight(0));
+  next.push_back(w.log_weight(1));
+  next.push_back(next.relative_of_unit_weight());  // a brand-new arm
+  const auto p = next.probabilities(0.0);
+  EXPECT_GT(p[0], 0.99);
+  EXPECT_LT(p[2], 1e-15);  // new arm negligible next to trained favourite
+}
+
+TEST(WeightTable, SurvivesExtremeUpdatesWithoutOverflow) {
+  WeightTable w;
+  w.reset(2);
+  for (int i = 0; i < 10000; ++i) {
+    w.bump(0, 500.0);  // raw weights would overflow instantly
+    w.normalise();
+  }
+  const auto p = w.probabilities(0.1);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_TRUE(std::isfinite(p[1]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+  EXPECT_GE(p[1], 0.05 - 1e-12);  // exploration floor intact
+}
+
+TEST(GammaScheduleTable, EdgeValues) {
+  EXPECT_DOUBLE_EQ(gamma_schedule(1), 1.0);
+  EXPECT_GT(gamma_schedule(1000000), 0.0);
+  EXPECT_LT(gamma_schedule(1000000), 0.011);
+}
+
+}  // namespace
+}  // namespace smartexp3::core

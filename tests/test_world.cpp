@@ -1,0 +1,237 @@
+#include "netsim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fixed_random.hpp"
+#include "core/greedy.hpp"
+
+namespace smartexp3::netsim {
+namespace {
+
+PolicyFactory fixed_factory() {
+  return [](const DeviceSpec&, std::uint64_t seed) {
+    return std::make_unique<core::FixedRandomPolicy>(seed);
+  };
+}
+
+PolicyFactory greedy_factory() {
+  return [](const DeviceSpec&, std::uint64_t seed) {
+    return std::make_unique<core::GreedyPolicy>(seed);
+  };
+}
+
+std::vector<DeviceSpec> n_devices(int n) {
+  std::vector<DeviceSpec> out;
+  for (int i = 0; i < n; ++i) {
+    DeviceSpec d;
+    d.id = i;
+    out.push_back(d);
+  }
+  return out;
+}
+
+TEST(World, EqualShareCongestion) {
+  WorldConfig cfg;
+  cfg.horizon = 5;
+  // Single network: every device must share it equally.
+  World world(cfg, {make_wifi(0, 12.0)}, n_devices(4), {}, fixed_factory(), 1);
+  world.set_delay_model(std::make_unique<ZeroDelayModel>());
+  world.run();
+  for (const auto& d : world.devices()) {
+    EXPECT_DOUBLE_EQ(d.last_rate_mbps, 3.0);
+    // 5 slots * 3 Mbps * 15 s / 8 = 28.125 MB.
+    EXPECT_NEAR(d.download_mb, 28.125, 1e-9);
+    EXPECT_EQ(d.switches, 0);
+  }
+}
+
+TEST(World, GainScaleDefaultsToMaxCapacity) {
+  WorldConfig cfg;
+  cfg.horizon = 1;
+  World world(cfg, {make_wifi(0, 4.0), make_wifi(1, 22.0)}, n_devices(1), {},
+              fixed_factory(), 1);
+  EXPECT_DOUBLE_EQ(world.gain_scale(), 22.0);
+}
+
+TEST(World, ExplicitGainScaleHonoured) {
+  WorldConfig cfg;
+  cfg.horizon = 1;
+  cfg.gain_scale_mbps = 50.0;
+  World world(cfg, {make_wifi(0, 4.0)}, n_devices(1), {}, fixed_factory(), 1);
+  EXPECT_DOUBLE_EQ(world.gain_scale(), 50.0);
+}
+
+TEST(World, RejectsBadNetworkIds) {
+  WorldConfig cfg;
+  auto net = make_wifi(5, 1.0);  // id mismatch with table position
+  EXPECT_THROW(World(cfg, {net}, n_devices(1), {}, fixed_factory(), 1),
+               std::invalid_argument);
+}
+
+TEST(World, RejectsEmptyNetworkTable) {
+  WorldConfig cfg;
+  EXPECT_THROW(World(cfg, {}, n_devices(1), {}, fixed_factory(), 1),
+               std::invalid_argument);
+}
+
+TEST(World, JoinAndLeaveSchedules) {
+  WorldConfig cfg;
+  cfg.horizon = 10;
+  auto devices = n_devices(2);
+  devices[1].join_slot = 3;
+  devices[1].leave_slot = 7;
+  World world(cfg, {make_wifi(0, 8.0)}, devices, {}, fixed_factory(), 1);
+  world.set_delay_model(std::make_unique<ZeroDelayModel>());
+
+  std::vector<int> active_counts;
+  while (!world.done()) {
+    world.step();
+    active_counts.push_back(world.active_device_count());
+  }
+  const std::vector<int> expected = {1, 1, 1, 2, 2, 2, 2, 1, 1, 1};
+  EXPECT_EQ(active_counts, expected);
+  // Device 1 was active slots 3..6 -> 4 slots at 4 Mbps shared = 4 Mbps each.
+  EXPECT_EQ(world.devices()[1].slots_active, 4);
+  EXPECT_NEAR(world.devices()[1].download_mb, 4 * mbps_seconds_to_mb(4.0, 15.0), 1e-9);
+}
+
+TEST(World, MoveEventChangesVisibleNetworks) {
+  WorldConfig cfg;
+  cfg.horizon = 6;
+  const std::vector<Network> nets = {
+      make_cellular(0, 10.0),      // everywhere
+      make_wifi(1, 20.0, {0}),     // area 0 only
+      make_wifi(2, 20.0, {1}),     // area 1 only
+  };
+  auto devices = n_devices(1);
+  devices[0].area = 0;
+  Scenario scenario;
+  scenario.move(3, /*device=*/0, /*new_area=*/1);
+  World world(cfg, nets, devices, scenario, greedy_factory(), 2);
+  world.set_delay_model(std::make_unique<ZeroDelayModel>());
+
+  std::vector<NetworkId> chosen;
+  while (!world.done()) {
+    world.step();
+    chosen.push_back(world.devices()[0].current);
+  }
+  // Before the move only networks {0,1} are choosable; after only {0,2}.
+  for (int t = 0; t < 3; ++t) EXPECT_NE(chosen[static_cast<std::size_t>(t)], 2);
+  for (int t = 3; t < 6; ++t) EXPECT_NE(chosen[static_cast<std::size_t>(t)], 1);
+}
+
+TEST(World, CapacityEventApplies) {
+  WorldConfig cfg;
+  cfg.horizon = 4;
+  Scenario scenario;
+  scenario.set_capacity(2, /*network=*/0, /*mbps=*/2.0);
+  World world(cfg, {make_wifi(0, 8.0)}, n_devices(1), scenario, fixed_factory(), 3);
+  world.set_delay_model(std::make_unique<ZeroDelayModel>());
+  std::vector<double> rates;
+  while (!world.done()) {
+    world.step();
+    rates.push_back(world.devices()[0].last_rate_mbps);
+  }
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+  EXPECT_DOUBLE_EQ(rates[2], 2.0);
+  EXPECT_DOUBLE_EQ(rates[3], 2.0);
+}
+
+TEST(World, SwitchAccountingAndDelayLoss) {
+  WorldConfig cfg;
+  cfg.horizon = 10;
+  // A single greedy device over a 6 and a 3 Mbps network: it explores both
+  // in a random order and then settles on the 6 Mbps one. Depending on the
+  // exploration order that is 1 switch (3 -> 6) or 2 (6 -> 3 -> 6).
+  World world(cfg, {make_wifi(0, 6.0), make_wifi(1, 3.0)}, n_devices(1), {},
+              greedy_factory(), 4);
+  world.set_delay_model(std::make_unique<FixedDelayModel>(3.0, 3.0));
+  world.run();
+  const auto& d = world.devices()[0];
+  EXPECT_EQ(d.current, 0);  // settled on the better network
+  ASSERT_TRUE(d.switches == 1 || d.switches == 2);
+  const double loss_to_6 = mbps_seconds_to_mb(6.0, 3.0);
+  const double loss_to_3 = mbps_seconds_to_mb(3.0, 3.0);
+  const double expected_loss = d.switches == 1 ? loss_to_6 : loss_to_3 + loss_to_6;
+  EXPECT_NEAR(d.delay_loss_mb, expected_loss, 1e-9);
+  // Slots on each network: either 1 on the 3 (explored first) or 1 on the 3
+  // and the rest on the 6 — reconstruct gross download from the path.
+  const double slots_on_3 = 1.0;
+  const double gross = slots_on_3 * mbps_seconds_to_mb(3.0, 15.0) +
+                       (10.0 - slots_on_3) * mbps_seconds_to_mb(6.0, 15.0);
+  EXPECT_NEAR(d.download_mb, gross - d.delay_loss_mb, 1e-9);
+}
+
+TEST(World, NoDelayChargedOnFirstAssociation) {
+  WorldConfig cfg;
+  cfg.horizon = 1;
+  World world(cfg, {make_wifi(0, 6.0)}, n_devices(1), {}, fixed_factory(), 5);
+  world.set_delay_model(std::make_unique<FixedDelayModel>(5.0, 5.0));
+  world.run();
+  EXPECT_EQ(world.devices()[0].switches, 0);
+  EXPECT_DOUBLE_EQ(world.devices()[0].delay_loss_mb, 0.0);
+}
+
+TEST(World, UnusedCapacityTracksEmptyNetworks) {
+  WorldConfig cfg;
+  cfg.horizon = 3;
+  World world(cfg, {make_wifi(0, 6.0), make_wifi(1, 9.0)}, n_devices(1), {},
+              fixed_factory(), 6);
+  world.set_delay_model(std::make_unique<ZeroDelayModel>());
+  world.run();
+  // One network is always occupied, the other always empty.
+  const double unused = world.unused_capacity_mbps(2);
+  EXPECT_TRUE(unused == 6.0 || unused == 9.0);
+}
+
+TEST(World, CountsSumToActiveDevices) {
+  WorldConfig cfg;
+  cfg.horizon = 20;
+  World world(cfg, {make_wifi(0, 5.0), make_wifi(1, 5.0)}, n_devices(7), {},
+              greedy_factory(), 7);
+  world.set_delay_model(std::make_unique<ZeroDelayModel>());
+  while (!world.done()) {
+    world.step();
+    int total = 0;
+    for (const int c : world.counts()) total += c;
+    ASSERT_EQ(total, world.active_device_count());
+  }
+}
+
+TEST(World, DeterministicAcrossIdenticalSeeds) {
+  auto run = [](std::uint64_t seed) {
+    WorldConfig cfg;
+    cfg.horizon = 50;
+    World world(cfg, {make_wifi(0, 4.0), make_wifi(1, 9.0)}, n_devices(5), {},
+                greedy_factory(), seed);
+    world.run();
+    std::vector<double> downloads;
+    for (const auto& d : world.devices()) downloads.push_back(d.download_mb);
+    return downloads;
+  };
+  EXPECT_EQ(run(11), run(11));
+  EXPECT_NE(run(11), run(12));
+}
+
+class CountingObserver : public WorldObserver {
+ public:
+  int slots = 0;
+  int run_ends = 0;
+  void on_slot_end(Slot, const World&) override { ++slots; }
+  void on_run_end(const World&) override { ++run_ends; }
+};
+
+TEST(World, ObserverSeesEverySlotAndRunEnd) {
+  WorldConfig cfg;
+  cfg.horizon = 13;
+  World world(cfg, {make_wifi(0, 4.0)}, n_devices(2), {}, fixed_factory(), 8);
+  CountingObserver obs;
+  world.set_observer(&obs);
+  world.run();
+  EXPECT_EQ(obs.slots, 13);
+  EXPECT_EQ(obs.run_ends, 1);
+}
+
+}  // namespace
+}  // namespace smartexp3::netsim

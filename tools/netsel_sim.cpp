@@ -1,0 +1,202 @@
+// netsel_sim — command-line driver for the Smart EXP3 network-selection
+// simulator.
+//
+// Usage:
+//   netsel_sim [--setting NAME] [--policy NAME] [--runs N] [--devices N]
+//              [--horizon SLOTS] [--seed S] [--threads N] [--csv PATH]
+//              [--stability] [--quiet]
+//
+//   --setting   one of: setting1 (default), setting2, join, leave, mobility,
+//               controlled, channel, trace1..trace4
+//   --policy    any of the nine algorithms (default smart_exp3); ignored
+//               device-mix settings keep their own mixes
+//   --runs      number of runs (default 20)
+//   --devices   override the device count (static settings only)
+//   --horizon   override the horizon in 15 s slots
+//   --seed      base seed (default 42)
+//   --threads   worker threads (default: hardware concurrency)
+//   --csv PATH  write the mean distance-to-NE series as CSV
+//   --stability also run the Definition 2 stable-state detector
+//   --quiet     summary line only
+//
+// Examples:
+//   netsel_sim --setting setting1 --policy smart_exp3 --runs 100
+//   netsel_sim --setting leave --policy greedy --csv /tmp/leave.csv
+//   netsel_sim --setting trace3 --policy smart_exp3 --runs 200
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/factory.hpp"
+#include "exp/aggregate.hpp"
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+#include "stats/summary.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace smartexp3;
+
+struct Args {
+  std::string setting = "setting1";
+  std::string policy = "smart_exp3";
+  int runs = 20;
+  int devices = -1;
+  int horizon = -1;
+  std::uint64_t seed = 42;
+  int threads = 0;
+  std::string csv;
+  bool stability = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "netsel_sim: " << message << "\n"
+            << "run with --help for usage\n";
+  std::exit(2);
+}
+
+void print_help() {
+  std::cout <<
+      "netsel_sim — Smart EXP3 network-selection simulator\n\n"
+      "  --setting NAME   setting1|setting2|join|leave|mobility|controlled|\n"
+      "                   channel|trace1..trace4 (default setting1)\n"
+      "  --policy NAME    ";
+  for (const auto& n : core::policy_names()) std::cout << n << ' ';
+  std::cout << "\n"
+      "  --runs N         independent runs (default 20)\n"
+      "  --devices N      device count override (static settings)\n"
+      "  --horizon SLOTS  horizon override (15 s slots)\n"
+      "  --seed S         base seed (default 42)\n"
+      "  --threads N      worker threads (default: all cores)\n"
+      "  --csv PATH       dump mean distance-to-NE series as CSV\n"
+      "  --stability      run the stable-state detector too\n"
+      "  --quiet          one summary line only\n";
+}
+
+Args parse(int argc, char** argv) {
+  Args args;
+  std::map<std::string, std::string*> str_opts = {{"--setting", &args.setting},
+                                                  {"--policy", &args.policy},
+                                                  {"--csv", &args.csv}};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      std::exit(0);
+    }
+    if (arg == "--stability") {
+      args.stability = true;
+      continue;
+    }
+    if (arg == "--quiet") {
+      args.quiet = true;
+      continue;
+    }
+    auto need_value = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) usage_error(std::string(name) + " needs a value");
+      return argv[++i];
+    };
+    if (auto it = str_opts.find(arg); it != str_opts.end()) {
+      *it->second = need_value(arg.c_str());
+    } else if (arg == "--runs") {
+      args.runs = std::stoi(need_value("--runs"));
+    } else if (arg == "--devices") {
+      args.devices = std::stoi(need_value("--devices"));
+    } else if (arg == "--horizon") {
+      args.horizon = std::stoi(need_value("--horizon"));
+    } else if (arg == "--seed") {
+      args.seed = std::stoull(need_value("--seed"));
+    } else if (arg == "--threads") {
+      args.threads = std::stoi(need_value("--threads"));
+    } else {
+      usage_error("unknown option '" + arg + "'");
+    }
+  }
+  if (args.runs <= 0) usage_error("--runs must be positive");
+  if (!core::is_valid_policy_name(args.policy)) {
+    usage_error("unknown policy '" + args.policy + "'");
+  }
+  return args;
+}
+
+exp::ExperimentConfig build_config(const Args& args) {
+  const int n = args.devices > 0 ? args.devices : 20;
+  if (args.setting == "setting1") return exp::static_setting1(args.policy, n);
+  if (args.setting == "setting2") return exp::static_setting2(args.policy, n);
+  if (args.setting == "join") return exp::dynamic_join_setting(args.policy);
+  if (args.setting == "leave") return exp::dynamic_leave_setting(args.policy);
+  if (args.setting == "mobility") return exp::mobility_setting(args.policy);
+  if (args.setting == "controlled") return exp::controlled_setting({args.policy});
+  if (args.setting == "channel") return exp::channel_selection_setting(args.policy);
+  if (args.setting.rfind("trace", 0) == 0 && args.setting.size() == 6) {
+    const int idx = args.setting[5] - '0';
+    return exp::trace_setting(trace::synthetic_pair(idx), args.policy);
+  }
+  usage_error("unknown setting '" + args.setting + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  auto cfg = build_config(args);
+  if (args.horizon > 0) cfg.world.horizon = args.horizon;
+  cfg.base_seed = args.seed;
+  if (args.stability) cfg.recorder.track_stability = true;
+
+  const auto results = exp::run_many(cfg, args.runs, args.threads);
+
+  const auto switches = exp::switch_summary(results);
+  const double median_dl = exp::mean_of_run_median_download_mb(results);
+  const double eps = 100.0 * exp::mean_eps_fraction(results);
+
+  if (args.quiet) {
+    std::cout << cfg.name << ',' << args.policy << ',' << args.runs << ','
+              << exp::fmt(switches.mean, 1) << ',' << exp::fmt(median_dl, 1) << ','
+              << exp::fmt(eps, 1) << '\n';
+  } else {
+    exp::print_heading(cfg.name + " — " + args.policy + " (" +
+                       std::to_string(args.runs) + " runs)");
+    std::cout << "devices                : " << cfg.devices.size() << '\n'
+              << "horizon                : " << cfg.world.horizon << " slots\n"
+              << "switches per device    : " << exp::fmt(switches.mean, 1) << " (sd "
+              << exp::fmt(switches.stddev, 1) << ")\n"
+              << "median download        : " << exp::fmt(median_dl, 1) << " MB\n"
+              << "fairness (sd of DL)    : "
+              << exp::fmt(exp::mean_of_run_download_stddev_mb(results), 1) << " MB\n"
+              << "% slots at eps-eq      : " << exp::fmt(eps, 1) << " %\n"
+              << "resets per device      : "
+              << exp::fmt(exp::mean_resets_per_device(results), 2) << '\n';
+    if (!results.front().group_distance.empty() &&
+        !results.front().group_distance.front().empty()) {
+      const auto series = exp::mean_distance_series(results);
+      std::cout << "distance to NE         : [" << exp::sparkline(series, 50) << "] "
+                << exp::fmt(series.back(), 1) << " % at end\n";
+    }
+    if (args.stability) {
+      const auto s = exp::stability_summary(results);
+      std::cout << "stable runs            : " << exp::fmt(100.0 * s.stable_fraction, 1)
+                << " % (" << exp::fmt(100.0 * s.stable_at_nash_fraction, 1)
+                << " % at NE), median slot "
+                << exp::fmt(s.median_stable_slot, 0) << '\n';
+    }
+  }
+
+  if (!args.csv.empty()) {
+    const auto series = exp::mean_distance_series(results);
+    std::ofstream out(args.csv);
+    if (!out) {
+      std::cerr << "netsel_sim: cannot write " << args.csv << '\n';
+      return 1;
+    }
+    out << "slot,distance_pct\n";
+    for (std::size_t i = 0; i < series.size(); ++i) out << i << ',' << series[i] << '\n';
+    if (!args.quiet) std::cout << "wrote " << args.csv << '\n';
+  }
+  return 0;
+}
