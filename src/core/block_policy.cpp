@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 namespace smartexp3::core {
@@ -28,10 +27,24 @@ BlockPolicy::BlockPolicy(std::uint64_t seed, BlockPolicyOptions options, std::st
   if (options_.switch_back_window < 1) {
     throw std::invalid_argument("BlockPolicy: switch_back_window must be >= 1");
   }
+  // At the paper's beta = 0.1 a block of index 256 already spans ~4e10
+  // slots, so real runs stay far below the cap; block_length_of() falls back
+  // to direct computation beyond it rather than growing the memo.
+  block_len_cache_.reserve(kBlockLenCacheCap);
 }
 
 int BlockPolicy::block_length_of(std::size_t i) const {
-  return block_length(options_.beta, x_[i]);
+  // Memoized: lengths depend only on (beta, x) and beta is fixed per policy.
+  // The memo is capped at its reserved capacity so it never reallocates; a
+  // tiny beta can push x past the cap (lengths stay small for a long time),
+  // in which case we just recompute — same value, no cache growth.
+  const int x = x_[i];
+  if (x >= static_cast<int>(kBlockLenCacheCap)) return block_length(options_.beta, x);
+  while (static_cast<int>(block_len_cache_.size()) <= x) {
+    block_len_cache_.push_back(
+        block_length(options_.beta, static_cast<int>(block_len_cache_.size())));
+  }
+  return block_len_cache_[static_cast<std::size_t>(x)];
 }
 
 double BlockPolicy::average_gain(std::size_t i) const {
@@ -45,6 +58,9 @@ void BlockPolicy::initialise(const std::vector<NetworkId>& available) {
   gain_sum_.assign(nets_.size(), 0.0);
   gain_count_.assign(nets_.size(), 0);
   slots_on_.assign(nets_.size(), 0);
+  slots_on_imax_ = 0;
+  cur_window_.reset(static_cast<std::size_t>(options_.switch_back_window));
+  prev_window_.reset(static_cast<std::size_t>(options_.switch_back_window));
   probs_.assign(nets_.size(), 1.0 / static_cast<double>(nets_.size()));
   explore_queue_.clear();
   if (options_.explore_first) {
@@ -134,11 +150,13 @@ void BlockPolicy::apply_network_change(const std::vector<NetworkId>& available) 
   gain_sum_ = std::move(next_gain_sum);
   gain_count_ = std::move(next_gain_count);
   slots_on_ = std::move(next_slots_on);
+  slots_on_imax_ = static_cast<std::size_t>(
+      std::max_element(slots_on_.begin(), slots_on_.end()) - slots_on_.begin());
   explore_queue_ = std::move(next_explore);
   // Recompute the mixed strategy immediately: an in-flight block may keep
   // running, and observers (the stability detector) read probabilities
   // between block boundaries.
-  probs_ = weights_.probabilities(gamma_);
+  weights_.probabilities_into(gamma_, probs_);
 
   // Any in-flight block refers to old indices; drop it without a weight
   // update (the paper "resets the block" when the connected network is gone;
@@ -162,7 +180,7 @@ void BlockPolicy::apply_network_change(const std::vector<NetworkId>& available) 
 void BlockPolicy::refresh_probabilities() {
   gamma_ = options_.fixed_gamma > 0.0 ? std::min(options_.fixed_gamma, 1.0)
                                       : gamma_schedule(block_index_);
-  probs_ = weights_.probabilities(gamma_);
+  weights_.probabilities_into(gamma_, probs_);
 }
 
 std::size_t BlockPolicy::argmax_probability() const {
@@ -234,12 +252,12 @@ void BlockPolicy::start_block() {
     cur_ = explore_queue_[pick];
     cur_p_ = 1.0 / static_cast<double>(explore_queue_.size());
     explore_queue_.erase(explore_queue_.begin() + static_cast<std::ptrdiff_t>(pick));
-  } else if (greedy_gate_open() && rng_.coin()) {
+  } else if (const bool gate_open = greedy_gate_open(); gate_open && rng_.coin()) {
     // Greedy selection: the network with the highest average observed gain.
     cur_ = static_cast<int>(argmax_average_gain());
     cur_p_ = 0.5;
     ++stats_.greedy_selections;
-  } else if (greedy_gate_open()) {
+  } else if (gate_open) {
     // The coin said "random": sample the EXP3 distribution, but the overall
     // selection probability is halved by the coin flip.
     const std::size_t idx = rng_.sample_discrete(probs_);
@@ -271,13 +289,10 @@ bool BlockPolicy::should_switch_back(double first_slot_gain) const {
   if (prev_window_.empty()) return false;
   // Stale previous network index after an environment change is cleared in
   // apply_network_change, so prev_ is trustworthy here.
-  const double avg = std::accumulate(prev_window_.begin(), prev_window_.end(), 0.0) /
-                     static_cast<double>(prev_window_.size());
+  const double avg = prev_window_.sum() / static_cast<double>(prev_window_.size());
   if (first_slot_gain < avg) return true;
   if (first_slot_gain < prev_window_.back()) return true;
-  std::size_t higher = 0;
-  for (const double g : prev_window_) higher += g > first_slot_gain ? 1 : 0;
-  return 2 * higher > prev_window_.size();
+  return 2 * prev_window_.count_greater(first_slot_gain) > prev_window_.size();
 }
 
 void BlockPolicy::finalise_block() {
@@ -303,6 +318,7 @@ void BlockPolicy::minimal_reset() {
   std::fill(gain_sum_.begin(), gain_sum_.end(), 0.0);
   std::fill(gain_count_.begin(), gain_count_.end(), 0);
   std::fill(slots_on_.begin(), slots_on_.end(), 0);
+  slots_on_imax_ = 0;
   explore_queue_.clear();
   for (std::size_t i = 0; i < k(); ++i) explore_queue_.push_back(static_cast<int>(i));
   consecutive_drop_slots_ = 0;
@@ -324,10 +340,7 @@ void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
   const auto cur = static_cast<std::size_t>(cur_);
 
   cur_gain_sum_ += g;
-  cur_window_.push_back(g);
-  if (cur_window_.size() > static_cast<std::size_t>(options_.switch_back_window)) {
-    cur_window_.erase(cur_window_.begin());
-  }
+  cur_window_.push(g);
   ++cur_pos_;
 
   // Greedy statistics (exclude nothing; the paper estimates each network's
@@ -335,13 +348,20 @@ void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
   gain_sum_[cur] += g;
   gain_count_[cur] += 1;
   slots_on_[cur] += 1;
+  // Maintain the first argmax of slots_on_ incrementally: only slots_on_[cur]
+  // grew, so the argmax can only move to cur — either it strictly exceeds the
+  // old maximum or it ties it from a lower index (max_element's first-match
+  // rule). Saves the O(networks) scan the seed paid every slot.
+  if (slots_on_[cur] > slots_on_[slots_on_imax_] ||
+      (slots_on_[cur] == slots_on_[slots_on_imax_] && cur < slots_on_imax_)) {
+    slots_on_imax_ = cur;
+  }
 
   // Gain-drop reset (paper §V): a >= 15 % drop on the most-used network,
   // sustained for more than drop_slots consecutive slots, signals a real
   // change in the environment rather than noise.
   if (options_.reset) {
-    const std::size_t imax = static_cast<std::size_t>(
-        std::max_element(slots_on_.begin(), slots_on_.end()) - slots_on_.begin());
+    const std::size_t imax = slots_on_imax_;
     if (cur == imax && gain_count_[cur] > 1) {
       const double avg = average_gain(cur);
       if (avg > 0.0 && g < (1.0 - options_.drop_fraction) * avg) {

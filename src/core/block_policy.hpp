@@ -41,6 +41,61 @@ struct BlockPolicyOptions {
   double fixed_gamma = -1.0;
 };
 
+/// Fixed-capacity sliding window over the most recent slot gains of a block.
+/// A ring buffer: push() in steady state neither allocates nor shifts
+/// elements (the previous std::vector form paid an O(window) erase-front
+/// every slot). Iteration order (sum, count_greater) is oldest-to-newest,
+/// matching the accumulate order of the vector it replaced bit-for-bit.
+class GainWindow {
+ public:
+  void reset(std::size_t capacity) {
+    buf_.assign(capacity, 0.0);
+    head_ = 0;
+    count_ = 0;
+  }
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push(double g) {
+    if (count_ < buf_.size()) {
+      buf_[wrap(head_ + count_)] = g;
+      ++count_;
+    } else {
+      buf_[head_] = g;
+      head_ = wrap(head_ + 1);
+    }
+  }
+
+  /// Most recently pushed gain. Precondition: !empty().
+  double back() const { return buf_[wrap(head_ + count_ - 1)]; }
+
+  /// Sum in insertion (oldest-first) order.
+  double sum() const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < count_; ++i) s += buf_[wrap(head_ + i)];
+    return s;
+  }
+
+  std::size_t count_greater(double g) const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < count_; ++i) n += buf_[wrap(head_ + i)] > g ? 1 : 0;
+    return n;
+  }
+
+ private:
+  // Conditional wrap instead of %: indices never exceed 2 * capacity, and a
+  // runtime modulo is a hardware divide on the per-slot path.
+  std::size_t wrap(std::size_t i) const { return i >= buf_.size() ? i - buf_.size() : i; }
+
+  std::vector<double> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
 class BlockPolicy : public Policy {
  public:
   BlockPolicy(std::uint64_t seed, BlockPolicyOptions options, std::string name);
@@ -90,6 +145,11 @@ class BlockPolicy : public Policy {
   std::vector<double> gain_sum_;       // greedy statistics: sum of slot gains
   std::vector<long> gain_count_;       // ... and slot counts
   std::vector<long> slots_on_;         // total slots per network (for i_max)
+  std::size_t slots_on_imax_ = 0;      // first argmax of slots_on_, incremental
+  // Memo of ceil((1+beta)^x) by x, capped so it never reallocates; larger x
+  // (reachable only with a tiny beta) is computed directly.
+  static constexpr std::size_t kBlockLenCacheCap = 512;
+  mutable std::vector<int> block_len_cache_;
 
   long block_index_ = 0;               // b in Algorithm 1 (monotone)
   double gamma_ = 1.0;                 // gamma of the current block
@@ -102,12 +162,12 @@ class BlockPolicy : public Policy {
   double cur_gain_sum_ = 0.0;
   double cur_p_ = 1.0;                 // probability of the selection (p(b))
   bool cur_is_switch_back_ = false;
-  std::vector<double> cur_window_;     // last <= switch_back_window slot gains
+  GainWindow cur_window_;              // last <= switch_back_window slot gains
 
   // Previous block (for switch-back decisions).
   int prev_ = -1;
   bool prev_was_switch_back_ = false;
-  std::vector<double> prev_window_;
+  GainWindow prev_window_;
 
   int pending_switch_back_to_ = -1;    // set when a block is aborted
 

@@ -47,10 +47,10 @@ void Exp3::set_networks(const std::vector<NetworkId>& available) {
 NetworkId Exp3::choose(Slot) {
   assert(!nets_.empty());
   gamma_used_ = current_gamma();
-  const auto probs = weights_.probabilities(gamma_used_);
-  const std::size_t idx = rng_.sample_discrete(probs);
+  weights_.probabilities_into(gamma_used_, probs_scratch_);
+  const std::size_t idx = rng_.sample_discrete(probs_scratch_);
   chosen_ = static_cast<int>(idx);
-  p_chosen_ = probs[idx];
+  p_chosen_ = probs_scratch_[idx];
   ++selections_;
   return nets_[idx];
 }

@@ -42,9 +42,9 @@ NetworkId FullInformationPolicy::choose(Slot) {
   assert(!nets_.empty());
   // Pure weight-proportional sampling: full feedback needs no forced
   // exploration (gamma = 0 in the mixing formula).
-  const auto probs = weights_.probabilities(0.0);
+  weights_.probabilities_into(0.0, probs_scratch_);
   ++selections_;
-  return nets_[rng_.sample_discrete(probs)];
+  return nets_[rng_.sample_discrete(probs_scratch_)];
 }
 
 void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {

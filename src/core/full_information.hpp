@@ -27,6 +27,11 @@ class FullInformationPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot t, const SlotFeedback& fb) override;
+  /// The whole point of this baseline: it consumes the counterfactual
+  /// vectors, so the world must compute them for its devices.
+  FeedbackNeeds feedback_needs() const override {
+    return FeedbackNeeds::kFullInformation;
+  }
   std::vector<double> probabilities() const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "full_information"; }
@@ -39,6 +44,7 @@ class FullInformationPolicy final : public Policy {
   std::vector<NetworkId> nets_;
   WeightTable weights_;
   long selections_ = 0;
+  std::vector<double> probs_scratch_;  // reused by choose(); no per-slot alloc
 };
 
 }  // namespace smartexp3::core

@@ -72,7 +72,8 @@ NetworkId GreedyPolicy::choose(Slot) {
   }
   // Argmax with random tie-breaking.
   double best = -1.0;
-  std::vector<std::size_t> ties;
+  auto& ties = ties_scratch_;
+  ties.clear();
   for (std::size_t i = 0; i < nets_.size(); ++i) {
     const double avg = average_gain(i);
     if (avg > best + 1e-12) {

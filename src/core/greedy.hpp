@@ -31,6 +31,7 @@ class GreedyPolicy final : public Policy {
   std::vector<long> gain_count_;
   std::vector<int> explore_queue_;  // indices not yet visited (random order)
   int chosen_ = -1;
+  std::vector<std::size_t> ties_scratch_;  // reused by choose(); no per-slot alloc
 };
 
 }  // namespace smartexp3::core

@@ -32,11 +32,22 @@ struct SlotFeedback {
   double goodput_mb = 0.0;
   /// Full-information feedback: for every *visible* network (in the order of
   /// Policy::networks()) the rate the device would have observed there this
-  /// slot. Only the FullInformation baseline consumes this; bandit policies
-  /// must ignore it.
+  /// slot. The world only computes and fills this for policies whose
+  /// feedback_needs() is kFullInformation; bandit policies receive it empty.
   std::vector<double> all_rates_mbps;
   /// Scaled version of all_rates_mbps (same indexing), in [0, 1].
   std::vector<double> all_gains;
+};
+
+/// What slot feedback a policy consumes. The world uses this to skip the
+/// O(visible networks) full-information counterfactual (a fair-share pass
+/// per device-slot) for the bandit policies, which never read it.
+enum class FeedbackNeeds {
+  /// Only the fields about the chosen network (gain, bit rate, delay,
+  /// goodput). `all_rates_mbps` / `all_gains` arrive empty.
+  kBandit,
+  /// Additionally the per-network counterfactual vectors.
+  kFullInformation,
 };
 
 /// Counters a policy maintains about its own mechanisms, used by the
@@ -64,6 +75,11 @@ class Policy {
   /// Feedback for slot `t` (the slot chosen by the immediately preceding
   /// choose() call).
   virtual void observe(Slot t, const SlotFeedback& fb) = 0;
+
+  /// Which feedback fields observe() consumes. The world only fills the
+  /// counterfactual vectors for kFullInformation policies; everyone else
+  /// receives them empty. Must be constant over the policy's lifetime.
+  virtual FeedbackNeeds feedback_needs() const { return FeedbackNeeds::kBandit; }
 
   /// Current mixed strategy over networks(), aligned index-for-index.
   /// Deterministic policies return a one-hot vector. Used by the

@@ -54,7 +54,8 @@ double Ucb1Policy::ucb(std::size_t i) const {
 
 std::size_t Ucb1Policy::best_ucb_index() {
   double best = -std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> ties;
+  auto& ties = ties_scratch_;
+  ties.clear();
   for (std::size_t i = 0; i < nets_.size(); ++i) {
     const double v = ucb(i);
     if (v > best) {

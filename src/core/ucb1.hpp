@@ -44,6 +44,7 @@ class Ucb1Policy final : public Policy {
   std::vector<long> pulls_;
   long total_pulls_ = 0;
   int chosen_ = -1;
+  std::vector<std::size_t> ties_scratch_;  // reused by choose(); no per-slot alloc
 };
 
 }  // namespace smartexp3::core

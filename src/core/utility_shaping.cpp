@@ -55,6 +55,10 @@ void UtilityShapedPolicy::observe(Slot t, const SlotFeedback& fb) {
   inner_->observe(t, shaped);
 }
 
+FeedbackNeeds UtilityShapedPolicy::feedback_needs() const {
+  return inner_->feedback_needs();
+}
+
 std::vector<double> UtilityShapedPolicy::probabilities() const {
   return inner_->probabilities();
 }

@@ -44,6 +44,9 @@ class UtilityShapedPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot t, const SlotFeedback& fb) override;
+  /// Shaping is transparent to the feedback model: the wrapper needs exactly
+  /// what the wrapped policy needs.
+  FeedbackNeeds feedback_needs() const override;
   std::vector<double> probabilities() const override;
   const std::vector<NetworkId>& networks() const override;
   void on_leave(Slot t) override;

@@ -60,18 +60,27 @@ class WeightTable {
   /// set change (relative log-weights copied verbatim keep their meaning).
   void set_offset(double offset) { offset_ = offset; }
 
-  /// EXP3 probabilities: p_i = (1 - gamma) * softmax_i + gamma / k.
-  std::vector<double> probabilities(double gamma) const {
+  /// EXP3 probabilities: p_i = (1 - gamma) * softmax_i + gamma / k, written
+  /// into `p` (resized to size()). The hot-path form: callers that keep `p`
+  /// as reusable scratch allocate nothing once its capacity has grown to the
+  /// table size.
+  void probabilities_into(double gamma, std::vector<double>& p) const {
     assert(!lw_.empty());
     const double k = static_cast<double>(lw_.size());
     const double m = max_log_weight();
     double z = 0.0;
-    std::vector<double> p(lw_.size());
+    p.resize(lw_.size());
     for (std::size_t i = 0; i < lw_.size(); ++i) {
       p[i] = std::exp(lw_[i] - m);
       z += p[i];
     }
     for (auto& v : p) v = (1.0 - gamma) * (v / z) + gamma / k;
+  }
+
+  /// Allocating convenience wrapper around probabilities_into().
+  std::vector<double> probabilities(double gamma) const {
+    std::vector<double> p;
+    probabilities_into(gamma, p);
     return p;
   }
 
@@ -81,9 +90,22 @@ class WeightTable {
 };
 
 /// The paper's exploration-rate schedule gamma = b^{-1/3} (per §V, after
-/// Maghsudi & Stanczak), clamped into (0, 1].
+/// Maghsudi & Stanczak), clamped into (0, 1]. EXP3 evaluates this once per
+/// slot and every device walks the same schedule, so the first values are
+/// memoized (std::pow is ~1/8th of EXP3's per-slot budget). The table holds
+/// the exact std::pow results — identical bits to the uncached path.
 inline double gamma_schedule(long step) {
   assert(step >= 1);
+  constexpr long kTableSize = 16384;  // covers the paper's longest horizon (8640)
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kTableSize);
+    for (long i = 0; i < kTableSize; ++i) {
+      t[static_cast<std::size_t>(i)] =
+          std::min(1.0, std::pow(static_cast<double>(i + 1), -1.0 / 3.0));
+    }
+    return t;
+  }();
+  if (step <= kTableSize) return table[static_cast<std::size_t>(step - 1)];
   return std::min(1.0, std::pow(static_cast<double>(step), -1.0 / 3.0));
 }
 

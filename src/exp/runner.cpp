@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -75,6 +77,8 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(threads));
   std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   for (int w = 0; w < threads; ++w) {
     workers.emplace_back([&] {
       for (;;) {
@@ -84,13 +88,21 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
           results[static_cast<std::size_t>(r)] =
               run_once(config, config.base_seed + static_cast<std::uint64_t>(r));
         } catch (...) {
+          // Capture the first failure and stop handing out work; the
+          // exception is rethrown on the joining thread instead of
+          // terminating the process from a worker.
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
           failed.store(true);
-          throw;  // surfaces as std::terminate: a config bug, not a data point
+          return;
         }
       }
     });
   }
   for (auto& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

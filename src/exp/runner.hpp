@@ -21,7 +21,9 @@ metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed);
 
 /// `runs` independent runs seeded base_seed + 0..runs-1, executed on
 /// `threads` worker threads (0 = hardware concurrency). Results are ordered
-/// by run index regardless of scheduling.
+/// by run index regardless of scheduling. If a run throws (a config bug, not
+/// a data point), the remaining work is cancelled and the first exception is
+/// rethrown from this call on the joining thread.
 std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
                                          int threads = 0);
 

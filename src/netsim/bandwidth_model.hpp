@@ -32,6 +32,13 @@ class BandwidthModel {
   virtual double rate(const Network& net, int n_devices, DeviceId device, Slot t,
                       stats::Rng& rng) = 0;
 
+  /// True when rate() depends only on (net, n_devices, t) — neither on the
+  /// device nor on the rng stream. The world then evaluates each network's
+  /// rate once per slot and shares the value across its devices instead of
+  /// paying a virtual call per device-slot. Models with per-device
+  /// multipliers or per-call draws must return false.
+  virtual bool device_invariant_rate() const { return false; }
+
   /// Hypothetical fair-share rate used for full-information feedback and for
   /// distance-to-equilibrium accounting (deliberately noise-free).
   double fair_share(const Network& net, int n_devices, Slot t) const {
@@ -46,6 +53,7 @@ class EqualShareModel final : public BandwidthModel {
   double rate(const Network& net, int n_devices, DeviceId, Slot t, stats::Rng&) override {
     return net.capacity(t) / n_devices;
   }
+  bool device_invariant_rate() const override { return true; }
 };
 
 /// Noisy sharing for the controlled-experiment substrate.

@@ -43,11 +43,17 @@ Network make_cellular(NetworkId id, double capacity_mbps, std::vector<int> areas
 
 std::vector<NetworkId> visible_networks(const std::vector<Network>& networks, int area) {
   std::vector<NetworkId> out;
+  visible_networks_into(networks, area, out);
+  return out;
+}
+
+void visible_networks_into(const std::vector<Network>& networks, int area,
+                           std::vector<NetworkId>& out) {
+  out.clear();
   out.reserve(networks.size());
   for (const auto& n : networks) {
     if (n.covers(area)) out.push_back(n.id);
   }
-  return out;
 }
 
 }  // namespace smartexp3::netsim

@@ -45,4 +45,10 @@ Network make_cellular(NetworkId id, double capacity_mbps, std::vector<int> areas
 /// Ids of the networks visible from `area`, in table order.
 std::vector<NetworkId> visible_networks(const std::vector<Network>& networks, int area);
 
+/// In-place variant: fills `out` (cleared first) without allocating once its
+/// capacity has grown to the network count. Used by the world's per-area
+/// visibility cache.
+void visible_networks_into(const std::vector<Network>& networks, int area,
+                           std::vector<NetworkId>& out);
+
 }  // namespace smartexp3::netsim

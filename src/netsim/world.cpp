@@ -41,29 +41,40 @@ World::World(WorldConfig config, std::vector<Network> networks,
         seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(spec.id + 1));
     d.policy = factory(spec, device_seed);
     if (!d.policy) throw std::invalid_argument("World: factory returned null policy");
+    d.wants_full_info =
+        d.policy->feedback_needs() == core::FeedbackNeeds::kFullInformation;
     devices_.push_back(std::move(d));
   }
 
-  bandwidth_ = make_equal_share();
+  set_bandwidth_model(make_equal_share());
   delay_ = make_default_delay_model();
   counts_.assign(networks_.size(), 0);
   pending_.assign(devices_.size(), kNoNetwork);
+  rate_cache_.assign(networks_.size(), 0.0);
+  gain_cache_.assign(networks_.size(), 0.0);
+  goodput_cache_.assign(networks_.size(), 0.0);
+
+  // Collect the slots on which the per-device join/leave scan can possibly
+  // do anything (negative join/leave slots never fire: slots are >= 0).
+  for (const auto& d : devices_) {
+    if (d.spec.join_slot >= 0) join_leave_slots_.push_back(d.spec.join_slot);
+    if (d.spec.leave_slot >= 0) join_leave_slots_.push_back(d.spec.leave_slot);
+  }
+  std::sort(join_leave_slots_.begin(), join_leave_slots_.end());
+  join_leave_slots_.erase(
+      std::unique(join_leave_slots_.begin(), join_leave_slots_.end()),
+      join_leave_slots_.end());
 }
 
 void World::set_bandwidth_model(std::unique_ptr<BandwidthModel> model) {
   assert(model);
   bandwidth_ = std::move(model);
+  shared_rates_ = bandwidth_->device_invariant_rate();
 }
 
 void World::set_delay_model(std::unique_ptr<DelayModel> model) {
   assert(model);
   delay_ = std::move(model);
-}
-
-int World::active_device_count() const {
-  int n = 0;
-  for (const auto& d : devices_) n += d.active ? 1 : 0;
-  return n;
 }
 
 double World::unused_capacity_mbps(Slot t) const {
@@ -74,17 +85,26 @@ double World::unused_capacity_mbps(Slot t) const {
   return unused;
 }
 
-std::vector<NetworkId> World::visible_for(const DeviceState& d) const {
-  return visible_networks(networks_, d.area);
+const std::vector<NetworkId>& World::visible_for(const DeviceState& d) const {
+  // Linear scan: worlds have a handful of service areas, and coverage is
+  // immutable after construction, so each area is computed exactly once.
+  for (const auto& [area, ids] : visible_cache_) {
+    if (area == d.area) return ids;
+  }
+  auto& entry = visible_cache_.emplace_back(d.area, std::vector<NetworkId>{});
+  visible_networks_into(networks_, d.area, entry.second);
+  return entry.second;
 }
 
 void World::join_device(DeviceState& d, Slot) {
+  if (!d.active) ++active_count_;
   d.active = true;
   d.current = kNoNetwork;
   d.policy->set_networks(visible_for(d));
 }
 
 void World::leave_device(DeviceState& d, Slot t) {
+  if (d.active) --active_count_;
   d.active = false;
   d.current = kNoNetwork;
   d.policy->on_leave(t);
@@ -102,10 +122,20 @@ void World::apply_events(Slot t) {
     }
   }
 
-  // Joins / leaves from the device specs.
-  for (auto& d : devices_) {
-    if (!d.active && d.spec.join_slot == t) join_device(d, t);
-    if (d.active && d.spec.leave_slot >= 0 && d.spec.leave_slot == t) leave_device(d, t);
+  // Joins / leaves from the device specs. The per-device scan only runs on
+  // slots where one is actually scheduled (observability unchanged: on any
+  // other slot the scan would be a no-op).
+  bool join_leave_scheduled = false;
+  while (next_join_leave_ < join_leave_slots_.size() &&
+         join_leave_slots_[next_join_leave_] <= t) {
+    join_leave_scheduled |= join_leave_slots_[next_join_leave_] == t;
+    ++next_join_leave_;
+  }
+  if (join_leave_scheduled) {
+    for (auto& d : devices_) {
+      if (!d.active && d.spec.join_slot == t) join_device(d, t);
+      if (d.active && d.spec.leave_slot >= 0 && d.spec.leave_slot == t) leave_device(d, t);
+    }
   }
 
   // Moves between service areas: the policy learns about it through a
@@ -118,7 +148,7 @@ void World::apply_events(Slot t) {
       if (d.area == ev.new_area) break;
       d.area = ev.new_area;
       if (d.active) {
-        const auto visible = visible_for(d);
+        const auto& visible = visible_for(d);
         // If the device's current network no longer covers it, it is
         // disconnected before the policy re-plans.
         if (d.current != kNoNetwork &&
@@ -157,35 +187,71 @@ void World::step() {
     if (pending_[i] != kNoNetwork) ++counts_[static_cast<std::size_t>(pending_[i])];
   }
 
-  // Phase 3: outcomes and feedback.
+  // Phase 3: outcomes and feedback. For device-invariant bandwidth models
+  // (equal share) every device on a network observes the same rate — and
+  // hence the same gain and, when it did not switch, the same full-slot
+  // goodput — so each occupied network's values are computed once per slot
+  // instead of once per device-slot. Bit-identical: the exact divisions and
+  // multiplications the per-device path would perform.
+  if (shared_rates_) {
+    for (std::size_t j = 0; j < networks_.size(); ++j) {
+      if (counts_[j] > 0) {
+        rate_cache_[j] = bandwidth_->rate(networks_[j], counts_[j], 0, t, rng_);
+        gain_cache_[j] = std::clamp(rate_cache_[j] / gain_scale_, 0.0, 1.0);
+        goodput_cache_[j] = mbps_seconds_to_mb(rate_cache_[j], config_.slot_seconds);
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     auto& d = devices_[i];
     if (!d.active) continue;
     const NetworkId chosen = pending_[i];
-    const auto& net = networks_[static_cast<std::size_t>(chosen)];
-    const int n_on_net = counts_[static_cast<std::size_t>(chosen)];
+    const auto c = static_cast<std::size_t>(chosen);
     const bool switched = d.current != kNoNetwork && d.current != chosen;
 
-    core::SlotFeedback fb;
+    // The feedback struct is per-device scratch: reusing it keeps the
+    // counterfactual vectors' capacity, so steady-state slots are
+    // allocation-free.
+    core::SlotFeedback& fb = d.feedback;
     fb.switched = switched;
-    fb.delay_s = switched ? std::min(delay_->sample(net, rng_), config_.slot_seconds)
-                          : 0.0;
-    fb.bit_rate_mbps = bandwidth_->rate(net, n_on_net, d.spec.id, t, rng_);
-    fb.gain = std::clamp(fb.bit_rate_mbps / gain_scale_, 0.0, 1.0);
-    fb.goodput_mb =
-        mbps_seconds_to_mb(fb.bit_rate_mbps, config_.slot_seconds - fb.delay_s);
+    fb.delay_s = switched
+                     ? std::min(delay_->sample(networks_[c], rng_), config_.slot_seconds)
+                     : 0.0;
+    if (shared_rates_) {
+      fb.bit_rate_mbps = rate_cache_[c];
+      fb.gain = gain_cache_[c];
+      // A delay-free slot's goodput is the cached full-slot value
+      // (slot_seconds - 0.0 is exactly slot_seconds).
+      fb.goodput_mb = switched ? mbps_seconds_to_mb(fb.bit_rate_mbps,
+                                                    config_.slot_seconds - fb.delay_s)
+                               : goodput_cache_[c];
+    } else {
+      fb.bit_rate_mbps = bandwidth_->rate(networks_[c], counts_[c], d.spec.id, t, rng_);
+      fb.gain = std::clamp(fb.bit_rate_mbps / gain_scale_, 0.0, 1.0);
+      fb.goodput_mb =
+          mbps_seconds_to_mb(fb.bit_rate_mbps, config_.slot_seconds - fb.delay_s);
+    }
 
-    // Full-information feedback: what the device would have observed on each
-    // visible network this slot (fair-share counterfactual: joining a
-    // network it is not on adds itself to that network's load).
-    const auto& nets = d.policy->networks();
-    fb.all_rates_mbps.resize(nets.size());
-    fb.all_gains.resize(nets.size());
-    for (std::size_t j = 0; j < nets.size(); ++j) {
-      const auto& other = networks_[static_cast<std::size_t>(nets[j])];
-      const int load = counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
-      fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
-      fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
+    if (d.wants_full_info) {
+      // Full-information feedback: what the device would have observed on
+      // each visible network this slot (fair-share counterfactual: joining a
+      // network it is not on adds itself to that network's load). Only
+      // computed for policies that consume it — an O(devices x networks)
+      // pass the bandit policies skip entirely.
+      const auto& nets = d.policy->networks();
+      fb.all_rates_mbps.resize(nets.size());
+      fb.all_gains.resize(nets.size());
+      for (std::size_t j = 0; j < nets.size(); ++j) {
+        const auto& other = networks_[static_cast<std::size_t>(nets[j])];
+        const int load =
+            counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
+        fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
+        fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
+      }
+    } else {
+      fb.all_rates_mbps.clear();
+      fb.all_gains.clear();
     }
 
     d.policy->observe(t, fb);
@@ -194,7 +260,8 @@ void World::step() {
     d.last_gain = fb.gain;
     d.last_switched = switched;
     d.download_mb += fb.goodput_mb;
-    d.delay_loss_mb += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
+    // delay_s is exactly 0 without a switch, so the loss term would add 0.0.
+    if (switched) d.delay_loss_mb += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
     d.switches += switched ? 1 : 0;
     d.slots_active += 1;
     d.current = chosen;

@@ -47,6 +47,11 @@ struct DeviceState {
   double delay_loss_mb = 0.0;  ///< download foregone while re-associating
   int switches = 0;
   int slots_active = 0;
+  // Engine scratch: the feedback struct is persistent so its vectors keep
+  // their capacity across slots (no per-device-slot allocation), and the
+  // policy's feedback capability is resolved once at construction.
+  core::SlotFeedback feedback;
+  bool wants_full_info = false;
 };
 
 struct WorldConfig {
@@ -93,8 +98,9 @@ class World {
   const WorldConfig& config() const { return config_; }
   const std::vector<Network>& networks() const { return networks_; }
   const std::vector<DeviceState>& devices() const { return devices_; }
-  /// Devices currently in the service area.
-  int active_device_count() const;
+  /// Devices currently in the service area. O(1): maintained incrementally
+  /// on joins and leaves (observers call this every slot).
+  int active_device_count() const { return active_count_; }
   /// Number of devices on each network this slot (indexed by NetworkId).
   const std::vector<int>& counts() const { return counts_; }
   /// Capacity (Mbps) unused this slot because no device selected the network.
@@ -105,7 +111,7 @@ class World {
   void apply_events(Slot t);
   void join_device(DeviceState& d, Slot t);
   void leave_device(DeviceState& d, Slot t);
-  std::vector<NetworkId> visible_for(const DeviceState& d) const;
+  const std::vector<NetworkId>& visible_for(const DeviceState& d) const;
 
   WorldConfig config_;
   std::vector<Network> networks_;
@@ -119,8 +125,23 @@ class World {
   stats::Rng rng_;
   double gain_scale_ = 1.0;
   Slot now_ = 0;
+  int active_count_ = 0;            // maintained by join_device / leave_device
   std::vector<int> counts_;
   std::vector<NetworkId> pending_;  // per device index: choice this slot
+  bool shared_rates_ = false;       // bandwidth model is device-invariant
+  // Per-network per-slot caches (shared_rates_ only): every device on a
+  // network observes the same rate, gain and full-slot goodput, so each is
+  // computed once per slot instead of once per device-slot.
+  std::vector<double> rate_cache_;
+  std::vector<double> gain_cache_;
+  std::vector<double> goodput_cache_;  // goodput of a delay-free slot
+  // Slots on which any device joins or leaves (sorted): the O(devices) scan
+  // in apply_events only runs on these.
+  std::vector<Slot> join_leave_slots_;
+  std::size_t next_join_leave_ = 0;
+  // Coverage never changes after construction, so the visible set of each
+  // service area is computed once and handed out by reference.
+  mutable std::vector<std::pair<int, std::vector<NetworkId>>> visible_cache_;
 };
 
 }  // namespace smartexp3::netsim

@@ -1,0 +1,56 @@
+// The golden-trajectory scenario: a deliberately messy mixed-policy,
+// dynamic-join/leave, multi-area run used to pin the simulation engine down
+// bit-for-bit across refactors.
+//
+// The per-device download/switch values this scenario produces under
+// kGoldenSeed were captured from the seed implementation (pre
+// allocation-free refactor) by tools/golden_capture.cpp; the golden test
+// asserts the engine still reproduces them exactly. Regenerate with:
+//   cmake --build build --target golden_capture && ./build/tools/golden_capture
+#pragma once
+
+#include "exp/config.hpp"
+
+namespace smartexp3::testing {
+
+inline constexpr std::uint64_t kGoldenSeed = 20260731ULL;
+
+/// Exercises every engine path the refactor touches: all nine factory
+/// policies except centralized (whose coordinator ignores service areas),
+/// restricted visibility, joins, leaves, moves and a capacity change.
+inline exp::ExperimentConfig golden_config() {
+  using namespace smartexp3::netsim;
+  exp::ExperimentConfig cfg;
+  cfg.name = "golden";
+  cfg.world.horizon = 200;
+  cfg.base_seed = kGoldenSeed;
+
+  // Area 0 sees networks {0, 1, 2}; area 1 sees {0, 2, 3}.
+  cfg.networks.push_back(make_cellular(0, 10.0));
+  cfg.networks.push_back(make_wifi(1, 22.0, {0}));
+  cfg.networks.push_back(make_wifi(2, 7.0, {0, 1}));
+  cfg.networks.push_back(make_wifi(3, 4.0, {1}));
+
+  const char* policies[10] = {
+      "exp3",        "block_exp3",   "hybrid_block_exp3", "smart_exp3_noreset",
+      "smart_exp3",  "greedy",       "full_information",  "ucb1",
+      "fixed_random", "smart_exp3"};
+  for (int i = 0; i < 10; ++i) {
+    DeviceSpec d;
+    d.id = i;
+    d.area = i < 5 ? 0 : 1;
+    d.policy_name = policies[i];
+    if (i == 7 || i == 8) d.join_slot = 40;
+    if (i == 7 || i == 8) d.leave_slot = 160;
+    if (i == 9) d.leave_slot = 100;
+    cfg.devices.push_back(d);
+  }
+
+  cfg.scenario.move(60, /*device=*/0, /*new_area=*/1)
+      .move(120, /*device=*/5, /*new_area=*/0)
+      .move(150, /*device=*/0, /*new_area=*/0);
+  cfg.scenario.set_capacity(100, /*network=*/1, /*mbps=*/11.0);
+  return cfg;
+}
+
+}  // namespace smartexp3::testing

@@ -1,0 +1,135 @@
+// Feedback capability gating (Policy::feedback_needs).
+//
+// The world computes the O(visible networks) fair-share counterfactual only
+// for policies that declare kFullInformation; bandit policies must receive
+// the counterfactual vectors *empty* every slot. The companion guarantee —
+// that gating changes no trajectory — is pinned down by
+// test_golden_trajectory.cpp, whose golden run mixes full_information and
+// Smart EXP3 devices.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/exp3.hpp"
+#include "core/factory.hpp"
+#include "core/full_information.hpp"
+#include "core/greedy.hpp"
+#include "core/ucb1.hpp"
+#include "core/utility_shaping.hpp"
+#include "netsim/world.hpp"
+
+namespace smartexp3 {
+namespace {
+
+/// Records what the world put into every SlotFeedback it delivers.
+class ProbePolicy final : public core::Policy {
+ public:
+  ProbePolicy(core::FeedbackNeeds needs, NetworkId pick) : needs_(needs), pick_(pick) {}
+
+  void set_networks(const std::vector<NetworkId>& available) override {
+    nets_ = available;
+  }
+  NetworkId choose(Slot) override { return pick_; }
+  void observe(Slot, const core::SlotFeedback& fb) override {
+    ++observations;
+    counterfactual_sizes.push_back(fb.all_gains.size());
+    if (fb.all_rates_mbps.size() != fb.all_gains.size()) mismatched_sizes = true;
+    // For the equal-share model the chosen network's counterfactual rate is
+    // by definition the rate the device actually observed.
+    for (std::size_t j = 0; j < nets_.size() && j < fb.all_rates_mbps.size(); ++j) {
+      if (nets_[j] == pick_ && fb.all_rates_mbps[j] != fb.bit_rate_mbps) {
+        chosen_rate_mismatch = true;
+      }
+    }
+  }
+  core::FeedbackNeeds feedback_needs() const override { return needs_; }
+  std::vector<double> probabilities() const override {
+    return std::vector<double>(nets_.size(), 1.0 / nets_.size());
+  }
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "probe"; }
+
+  int observations = 0;
+  std::vector<std::size_t> counterfactual_sizes;
+  bool mismatched_sizes = false;
+  bool chosen_rate_mismatch = false;
+
+ private:
+  core::FeedbackNeeds needs_;
+  NetworkId pick_;
+  std::vector<NetworkId> nets_;
+};
+
+netsim::World probe_world(ProbePolicy*& bandit, ProbePolicy*& full_info, Slot horizon) {
+  netsim::WorldConfig cfg;
+  cfg.horizon = horizon;
+  std::vector<netsim::DeviceSpec> specs(2);
+  specs[0].id = 0;
+  specs[1].id = 1;
+  std::vector<ProbePolicy**> out = {&bandit, &full_info};
+  netsim::PolicyFactory factory = [&out](const netsim::DeviceSpec& spec,
+                                         std::uint64_t) -> std::unique_ptr<core::Policy> {
+    auto needs = spec.id == 0 ? core::FeedbackNeeds::kBandit
+                              : core::FeedbackNeeds::kFullInformation;
+    auto p = std::make_unique<ProbePolicy>(needs, /*pick=*/spec.id);
+    *out[static_cast<std::size_t>(spec.id)] = p.get();
+    return p;
+  };
+  return netsim::World(cfg, {netsim::make_wifi(0, 12.0), netsim::make_wifi(1, 6.0),
+                             netsim::make_wifi(2, 3.0)},
+                       std::move(specs), {}, std::move(factory), /*seed=*/99);
+}
+
+TEST(FeedbackGating, BanditPoliciesReceiveEmptyCounterfactuals) {
+  ProbePolicy* bandit = nullptr;
+  ProbePolicy* full_info = nullptr;
+  auto world = probe_world(bandit, full_info, /*horizon=*/50);
+  world.run();
+
+  ASSERT_NE(bandit, nullptr);
+  ASSERT_EQ(bandit->observations, 50);
+  for (const std::size_t size : bandit->counterfactual_sizes) EXPECT_EQ(size, 0u);
+  EXPECT_FALSE(bandit->mismatched_sizes);
+}
+
+TEST(FeedbackGating, FullInformationPoliciesReceiveFilledCounterfactuals) {
+  ProbePolicy* bandit = nullptr;
+  ProbePolicy* full_info = nullptr;
+  auto world = probe_world(bandit, full_info, /*horizon=*/50);
+  world.run();
+
+  ASSERT_NE(full_info, nullptr);
+  ASSERT_EQ(full_info->observations, 50);
+  for (const std::size_t size : full_info->counterfactual_sizes) EXPECT_EQ(size, 3u);
+  EXPECT_FALSE(full_info->mismatched_sizes);
+  EXPECT_FALSE(full_info->chosen_rate_mismatch);
+}
+
+TEST(FeedbackGating, PolicyCapabilitiesAreDeclaredCorrectly) {
+  using core::FeedbackNeeds;
+  // The only consumer of the counterfactual among the shipped policies.
+  EXPECT_EQ(core::FullInformationPolicy(1).feedback_needs(),
+            FeedbackNeeds::kFullInformation);
+  // Everything else learns from bandit feedback (the Policy default).
+  EXPECT_EQ(core::Exp3(1).feedback_needs(), FeedbackNeeds::kBandit);
+  EXPECT_EQ(core::GreedyPolicy(1).feedback_needs(), FeedbackNeeds::kBandit);
+  EXPECT_EQ(core::Ucb1Policy(1).feedback_needs(), FeedbackNeeds::kBandit);
+  for (const char* name : {"exp3", "block_exp3", "hybrid_block_exp3", "smart_exp3",
+                           "smart_exp3_noreset", "greedy", "fixed_random", "ucb1"}) {
+    EXPECT_EQ(core::make_policy(name, 1)->feedback_needs(), FeedbackNeeds::kBandit)
+        << name;
+  }
+}
+
+TEST(FeedbackGating, UtilityShapingDelegatesToInnerPolicy) {
+  using core::FeedbackNeeds;
+  auto shaped_full = core::make_utility_shaped(
+      std::make_unique<core::FullInformationPolicy>(1), {}, {}, /*gain_scale=*/22.0);
+  EXPECT_EQ(shaped_full->feedback_needs(), FeedbackNeeds::kFullInformation);
+  auto shaped_bandit = core::make_utility_shaped(std::make_unique<core::Exp3>(1), {},
+                                                 {}, /*gain_scale=*/22.0);
+  EXPECT_EQ(shaped_bandit->feedback_needs(), FeedbackNeeds::kBandit);
+}
+
+}  // namespace
+}  // namespace smartexp3

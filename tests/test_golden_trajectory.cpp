@@ -1,0 +1,78 @@
+// Golden-trajectory determinism test.
+//
+// The constants below were captured from the seed implementation (before the
+// allocation-free hot-path refactor) by tools/golden_capture.cpp. The
+// refactor — scratch-buffer probabilities, persistent SlotFeedback, the
+// feedback-capability gate, the per-area visibility cache and the shared
+// per-network rate cache — is required to be a pure optimisation: the same
+// seed must produce bit-identical per-device downloads, switch counts and
+// active-slot counts. EXPECT_EQ on doubles is deliberate; "close" is a bug.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+#include "golden_scenario.hpp"
+
+namespace smartexp3 {
+namespace {
+
+// golden values for seed 20260731 (regenerate with tools/golden_capture)
+const double kExpectedDownloadsMb[] = {
+    1258.0481779552008,  // device 0 (exp3)
+    1256.7224329593078,  // device 1 (block_exp3)
+    1494.818844595314,   // device 2 (hybrid_block_exp3)
+    1902.743630771404,   // device 3 (smart_exp3_noreset)
+    1810.1885888437248,  // device 4 (smart_exp3)
+    1648.2941533440573,  // device 5 (greedy)
+    1061.7593916594737,  // device 6 (full_information)
+    523.78754870231637,  // device 7 (ucb1)
+    863.84375,           // device 8 (fixed_random)
+    604.26339551130093,  // device 9 (smart_exp3)
+};
+const int kExpectedSwitches[] = {113, 30, 23, 13, 26, 8, 134, 116, 0, 17};
+const int kExpectedSlotsActive[] = {200, 200, 200, 200, 200, 200, 200, 120, 120, 100};
+
+TEST(GoldenTrajectory, BitIdenticalToSeedImplementation) {
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  world->run();
+
+  const auto& devices = world->devices();
+  ASSERT_EQ(devices.size(), 10u);
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    SCOPED_TRACE("device " + std::to_string(i) + " (" +
+                 devices[i].spec.policy_name + ")");
+    EXPECT_EQ(devices[i].download_mb, kExpectedDownloadsMb[i]);
+    EXPECT_EQ(devices[i].switches, kExpectedSwitches[i]);
+    EXPECT_EQ(devices[i].slots_active, kExpectedSlotsActive[i]);
+  }
+}
+
+TEST(GoldenTrajectory, RepeatedRunsAreIdentical) {
+  const auto cfg = testing::golden_config();
+  auto a = exp::build_world(cfg, cfg.base_seed + 7);
+  auto b = exp::build_world(cfg, cfg.base_seed + 7);
+  a->run();
+  b->run();
+  for (std::size_t i = 0; i < a->devices().size(); ++i) {
+    EXPECT_EQ(a->devices()[i].download_mb, b->devices()[i].download_mb);
+    EXPECT_EQ(a->devices()[i].switches, b->devices()[i].switches);
+    EXPECT_EQ(a->devices()[i].current, b->devices()[i].current);
+  }
+}
+
+TEST(GoldenTrajectory, ActiveDeviceCountTracksJoinsAndLeaves) {
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  // The incremental counter must agree with a fresh scan at every slot,
+  // across the scenario's joins (slot 40) and leaves (slots 100 and 160).
+  while (!world->done()) {
+    world->step();
+    int scanned = 0;
+    for (const auto& d : world->devices()) scanned += d.active ? 1 : 0;
+    ASSERT_EQ(world->active_device_count(), scanned) << "slot " << world->now();
+  }
+  EXPECT_EQ(world->active_device_count(), 7);  // devices 7, 8 and 9 left for good
+}
+
+}  // namespace
+}  // namespace smartexp3

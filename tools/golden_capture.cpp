@@ -1,0 +1,34 @@
+// Regenerates the golden-trajectory constants asserted by
+// tests/test_golden_trajectory.cpp: runs the golden scenario and prints the
+// per-device downloads (exact, 17 significant digits round-trips a double)
+// and switch counts as ready-to-paste C++ initialisers.
+//
+// Only run this when the simulated trajectory is *supposed* to change (e.g.
+// a deliberate model fix); for pure refactors the existing constants must
+// keep passing untouched.
+#include <cinttypes>
+#include <cstdio>
+
+#include "../tests/golden_scenario.hpp"
+#include "exp/runner.hpp"
+
+int main() {
+  using namespace smartexp3;
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  world->run();
+
+  std::printf("// golden values for seed %" PRIu64 " (paste into test_golden_trajectory.cpp)\n",
+              cfg.base_seed);
+  std::printf("const double kExpectedDownloadsMb[] = {\n");
+  for (const auto& d : world->devices()) {
+    std::printf("    %.17g,  // device %d (%s)\n", d.download_mb, d.spec.id,
+                d.spec.policy_name.c_str());
+  }
+  std::printf("};\nconst int kExpectedSwitches[] = {");
+  for (const auto& d : world->devices()) std::printf("%d, ", d.switches);
+  std::printf("};\nconst int kExpectedSlotsActive[] = {");
+  for (const auto& d : world->devices()) std::printf("%d, ", d.slots_active);
+  std::printf("};\n");
+  return 0;
+}
