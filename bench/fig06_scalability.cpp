@@ -13,6 +13,10 @@ int main() {
 
   // The 36-hour horizon makes this the slowest figure; default to fewer runs.
   const int runs = exp::repro_runs(30);
+  // WORLD_THREADS>1 parallelises the slot phases inside each world (the
+  // trajectory is unchanged); run_many then scales its run-level fan-out
+  // down to compensate.
+  const int world_threads = exp::world_threads();
   print_run_banner("Figure 6 (scalability of Smart EXP3 w/o Reset)", runs);
   Stopwatch sw;
 
@@ -20,6 +24,7 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   for (const int k : {3, 5, 7}) {
     auto cfg = exp::scalability_setting("smart_exp3_noreset", k, 20);
+    cfg.world.threads = world_threads;
     cfg.recorder.track_distance = false;  // keep the long runs lean
     cfg.recorder.track_stability = true;
     const auto s = exp::stability_summary(exp::run_many(cfg, runs));
@@ -35,6 +40,7 @@ int main() {
   rows.clear();
   for (const int n : {20, 40, 80}) {
     auto cfg = exp::scalability_setting("smart_exp3_noreset", 3, n);
+    cfg.world.threads = world_threads;
     cfg.recorder.track_distance = false;
     cfg.recorder.track_stability = true;
     const auto s = exp::stability_summary(exp::run_many(cfg, runs));

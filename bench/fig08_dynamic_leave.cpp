@@ -23,6 +23,8 @@ int main() {
   std::vector<double> tails;
   for (const auto& algo : algos) {
     auto cfg = exp::dynamic_leave_setting(algo);
+    // Device-parallel slot phases inside each world; trajectory unchanged.
+    cfg.world.threads = exp::world_threads();
     const auto results = exp::run_many(cfg, runs);
     const auto series = exp::mean_distance_series(results);
     csv_names.push_back(algo);

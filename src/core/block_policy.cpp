@@ -392,9 +392,12 @@ void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
   if (cur_pos_ >= cur_len_) finalise_block();
 }
 
-std::vector<double> BlockPolicy::probabilities() const {
-  if (nets_.empty()) return {};
-  return probs_;
+void BlockPolicy::probabilities_into(std::vector<double>& out) const {
+  if (nets_.empty()) {
+    out.clear();
+    return;
+  }
+  out.assign(probs_.begin(), probs_.end());
 }
 
 }  // namespace smartexp3::core

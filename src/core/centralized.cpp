@@ -86,15 +86,14 @@ void CentralizedPolicy::on_leave(Slot) {
   }
 }
 
-std::vector<double> CentralizedPolicy::probabilities() const {
-  std::vector<double> p(nets_.size(), 0.0);
-  if (!registered_) return p;
+void CentralizedPolicy::probabilities_into(std::vector<double>& out) const {
+  out.assign(nets_.size(), 0.0);
+  if (!registered_) return;
   // The coordinator's assignment is deterministic: one-hot.
   const NetworkId net = coordinator_->assignment(id_);
   for (std::size_t i = 0; i < nets_.size(); ++i) {
-    if (nets_[i] == net) p[i] = 1.0;
+    if (nets_[i] == net) out[i] = 1.0;
   }
-  return p;
 }
 
 }  // namespace smartexp3::core

@@ -47,7 +47,10 @@ class CentralizedPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot, const SlotFeedback&) override {}
-  std::vector<double> probabilities() const override;
+  /// Every centralized device of a world shares one coordinator, whose lazy
+  /// rebalance mutates on choose(): the world must not fan these out.
+  bool shares_state_across_devices() const override { return true; }
+  void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   void on_leave(Slot t) override;
   std::string name() const override { return "centralized"; }

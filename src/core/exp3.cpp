@@ -66,9 +66,12 @@ void Exp3::observe(Slot, const SlotFeedback& fb) {
   chosen_ = -1;
 }
 
-std::vector<double> Exp3::probabilities() const {
-  if (nets_.empty()) return {};
-  return weights_.probabilities(current_gamma());
+void Exp3::probabilities_into(std::vector<double>& out) const {
+  if (nets_.empty()) {
+    out.clear();
+    return;
+  }
+  weights_.probabilities_into(current_gamma(), out);
 }
 
 }  // namespace smartexp3::core

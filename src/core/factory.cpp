@@ -34,6 +34,12 @@ bool is_valid_policy_name(const std::string& name) {
   return std::find(ext.begin(), ext.end(), name) != ext.end();
 }
 
+bool policy_shares_state_across_devices(const std::string& name) {
+  // Only the centralized baseline couples devices (one shared coordinator
+  // per world); every other factory policy is fully device-local.
+  return name == "centralized";
+}
+
 std::unique_ptr<Policy> make_policy(const std::string& name, std::uint64_t seed,
                                     const SmartExp3Tunables& smart) {
   if (name == "exp3") return std::make_unique<Exp3>(seed);

@@ -30,6 +30,13 @@ const std::vector<std::string>& extension_policy_names();
 /// Accepts both paper and extension names.
 bool is_valid_policy_name(const std::string& name);
 
+/// Whether a factory policy with this name shares state across the devices
+/// of a world (Policy::shares_state_across_devices): such a world declines
+/// device-parallel stepping, which run_many consults when it balances
+/// run-level fan-out against per-world lanes. Lives here, next to the
+/// name -> policy mapping, so the two stay in sync.
+bool policy_shares_state_across_devices(const std::string& name);
+
 /// Create a non-centralized policy by name. Throws std::invalid_argument on
 /// unknown names and on "centralized" (which needs a coordinator).
 std::unique_ptr<Policy> make_policy(const std::string& name, std::uint64_t seed,

@@ -23,16 +23,16 @@ NetworkId FixedRandomPolicy::choose(Slot) {
   return picked_;
 }
 
-std::vector<double> FixedRandomPolicy::probabilities() const {
-  std::vector<double> p(nets_.size(), 0.0);
+void FixedRandomPolicy::probabilities_into(std::vector<double>& out) const {
+  out.assign(nets_.size(), 0.0);
   if (picked_ == kNoNetwork) {
-    std::fill(p.begin(), p.end(), nets_.empty() ? 0.0 : 1.0 / static_cast<double>(nets_.size()));
-    return p;
+    std::fill(out.begin(), out.end(),
+              nets_.empty() ? 0.0 : 1.0 / static_cast<double>(nets_.size()));
+    return;
   }
   for (std::size_t i = 0; i < nets_.size(); ++i) {
-    if (nets_[i] == picked_) p[i] = 1.0;
+    if (nets_[i] == picked_) out[i] = 1.0;
   }
-  return p;
 }
 
 }  // namespace smartexp3::core

@@ -14,7 +14,7 @@ class FixedRandomPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot /*t*/, const SlotFeedback& /*fb*/) override {}
-  std::vector<double> probabilities() const override;
+  void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "fixed_random"; }
 

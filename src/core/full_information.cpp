@@ -58,9 +58,12 @@ void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {
   weights_.normalise();
 }
 
-std::vector<double> FullInformationPolicy::probabilities() const {
-  if (nets_.empty()) return {};
-  return weights_.probabilities(0.0);
+void FullInformationPolicy::probabilities_into(std::vector<double>& out) const {
+  if (nets_.empty()) {
+    out.clear();
+    return;
+  }
+  weights_.probabilities_into(0.0, out);
 }
 
 }  // namespace smartexp3::core

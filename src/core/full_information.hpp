@@ -32,7 +32,7 @@ class FullInformationPolicy final : public Policy {
   FeedbackNeeds feedback_needs() const override {
     return FeedbackNeeds::kFullInformation;
   }
-  std::vector<double> probabilities() const override;
+  void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "full_information"; }
 

@@ -96,17 +96,16 @@ void GreedyPolicy::observe(Slot, const SlotFeedback& fb) {
   chosen_ = -1;
 }
 
-std::vector<double> GreedyPolicy::probabilities() const {
-  std::vector<double> p(nets_.size(), 0.0);
-  if (nets_.empty()) return p;
+void GreedyPolicy::probabilities_into(std::vector<double>& out) const {
+  out.assign(nets_.size(), 0.0);
+  if (nets_.empty()) return;
   if (!explore_queue_.empty()) {
     // Still exploring: effectively uniform over the unexplored set.
-    for (const int i : explore_queue_) p[static_cast<std::size_t>(i)] =
+    for (const int i : explore_queue_) out[static_cast<std::size_t>(i)] =
         1.0 / static_cast<double>(explore_queue_.size());
-    return p;
+    return;
   }
-  p[best_index()] = 1.0;
-  return p;
+  out[best_index()] = 1.0;
 }
 
 }  // namespace smartexp3::core

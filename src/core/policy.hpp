@@ -81,10 +81,26 @@ class Policy {
   /// receives them empty. Must be constant over the policy's lifetime.
   virtual FeedbackNeeds feedback_needs() const { return FeedbackNeeds::kBandit; }
 
-  /// Current mixed strategy over networks(), aligned index-for-index.
-  /// Deterministic policies return a one-hot vector. Used by the
-  /// stability detector (paper Definition 2).
-  virtual std::vector<double> probabilities() const = 0;
+  /// True when choose()/observe() touch state shared with other devices'
+  /// policies (the centralized coordinator). The world runs its
+  /// device-parallel phases serially whenever any device's policy reports
+  /// this — shared state has no per-device isolation to exploit. Must be
+  /// constant over the policy's lifetime.
+  virtual bool shares_state_across_devices() const { return false; }
+
+  /// Write the current mixed strategy over networks() into `out`, resized
+  /// and aligned index-for-index. Deterministic policies produce a one-hot
+  /// vector. Used by the stability detector (paper Definition 2), which
+  /// calls it every device-slot: implementations must not allocate once
+  /// out's capacity has reached networks().size().
+  virtual void probabilities_into(std::vector<double>& out) const = 0;
+
+  /// Allocating convenience wrapper around probabilities_into().
+  std::vector<double> probabilities() const {
+    std::vector<double> p;
+    probabilities_into(p);
+    return p;
+  }
 
   /// Currently visible networks, aligned with probabilities().
   virtual const std::vector<NetworkId>& networks() const = 0;

@@ -83,10 +83,10 @@ void Ucb1Policy::observe(Slot, const SlotFeedback& fb) {
   chosen_ = -1;
 }
 
-std::vector<double> Ucb1Policy::probabilities() const {
+void Ucb1Policy::probabilities_into(std::vector<double>& out) const {
   // UCB1 is deterministic up to tie-breaks: one-hot on the argmax UCB.
-  std::vector<double> p(nets_.size(), 0.0);
-  if (nets_.empty()) return p;
+  out.assign(nets_.size(), 0.0);
+  if (nets_.empty()) return;
   std::size_t best = 0;
   double best_v = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < nets_.size(); ++i) {
@@ -96,8 +96,7 @@ std::vector<double> Ucb1Policy::probabilities() const {
       best = i;
     }
   }
-  p[best] = 1.0;
-  return p;
+  out[best] = 1.0;
 }
 
 }  // namespace smartexp3::core

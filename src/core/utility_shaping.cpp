@@ -59,8 +59,12 @@ FeedbackNeeds UtilityShapedPolicy::feedback_needs() const {
   return inner_->feedback_needs();
 }
 
-std::vector<double> UtilityShapedPolicy::probabilities() const {
-  return inner_->probabilities();
+bool UtilityShapedPolicy::shares_state_across_devices() const {
+  return inner_->shares_state_across_devices();
+}
+
+void UtilityShapedPolicy::probabilities_into(std::vector<double>& out) const {
+  inner_->probabilities_into(out);
 }
 
 const std::vector<NetworkId>& UtilityShapedPolicy::networks() const {

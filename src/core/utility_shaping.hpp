@@ -47,7 +47,8 @@ class UtilityShapedPolicy final : public Policy {
   /// Shaping is transparent to the feedback model: the wrapper needs exactly
   /// what the wrapped policy needs.
   FeedbackNeeds feedback_needs() const override;
-  std::vector<double> probabilities() const override;
+  bool shares_state_across_devices() const override;
+  void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override;
   void on_leave(Slot t) override;
   PolicyStats stats() const override;

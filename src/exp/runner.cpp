@@ -69,6 +69,21 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 4;
+    // Each run may itself fan its slot phases out over config.world.threads
+    // lanes; divide the default run-level parallelism so the two knobs
+    // compose without oversubscribing the machine. Worlds containing a
+    // shared-state policy decline to fan out, so their runs stay full-width.
+    bool world_fans_out = true;
+    for (const auto& d : config.devices) {
+      if (core::policy_shares_state_across_devices(d.policy_name)) {
+        world_fans_out = false;
+        break;
+      }
+    }
+    if (world_fans_out) {
+      const int lanes = netsim::StepExecutor::resolve(config.world.threads);
+      threads = std::max(1, threads / lanes);
+    }
   }
   threads = std::min(threads, runs);
 
@@ -110,6 +125,19 @@ int repro_runs(int fallback) {
   if (const char* env = std::getenv("REPRO_RUNS")) {
     const int v = std::atoi(env);
     if (v > 0) return v;
+  }
+  return fallback;
+}
+
+int world_threads(int fallback) {
+  if (const char* env = std::getenv("WORLD_THREADS")) {
+    // Strict parse: a malformed value must fall back to serial, not resolve
+    // to atoi's 0 ("all cores"). An explicit "0" does mean all cores.
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0 && v <= 1 << 16) {
+      return static_cast<int>(v);
+    }
   }
   return fallback;
 }

@@ -32,4 +32,11 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
 /// full suite fast; the paper used 500).
 int repro_runs(int fallback = 60);
 
+/// Lanes for the device-parallel phases inside each world (WorldConfig
+/// threads): the WORLD_THREADS environment variable if set, otherwise
+/// `fallback`. 0 means hardware concurrency; the simulated trajectory is
+/// identical for every value. Benches apply this to their configs so a
+/// single big world can use the whole machine.
+int world_threads(int fallback = 1);
+
 }  // namespace smartexp3::exp

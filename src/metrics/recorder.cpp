@@ -47,6 +47,52 @@ void RunRecorder::ensure_initialised(const netsim::World& world) {
     result_.selections.assign(devices.size(), {});
     result_.rates.assign(devices.size(), {});
   }
+
+  // Reserve every per-slot series to the horizon and size the scratch
+  // buffers once, so on_slot_end never touches the heap after this point.
+  const auto horizon = static_cast<std::size_t>(world.config().horizon);
+  for (auto& series : result_.group_distance) series.reserve(horizon);
+  if (options_.track_def4) {
+    result_.def4.reserve(horizon);
+    if (!options_.groups.empty()) {
+      result_.group_def4.assign(group_index_.size(), {});
+      for (auto& series : result_.group_def4) series.reserve(horizon);
+    }
+  }
+  for (auto& row : locked_) row.reserve(horizon);
+  for (auto& row : result_.selections) row.reserve(horizon);
+  for (auto& row : result_.rates) row.reserve(horizon);
+  capacities_scratch_.resize(networks.size());
+  nets_scratch_.reserve(devices.size());
+  gains_scratch_.reserve(devices.size());
+  visible_scratch_.resize(devices.size());
+  probs_scratch_.reserve(networks.size());
+  ids_scratch_.reserve(networks.size());
+}
+
+std::size_t RunRecorder::collect_active(const netsim::World& world,
+                                        const std::vector<int>* indices) {
+  const auto& devices = world.devices();
+  nets_scratch_.clear();
+  gains_scratch_.clear();
+  std::size_t rows = 0;
+  auto add = [&](std::size_t i) {
+    const auto& d = devices[i];
+    if (!d.active) return;
+    nets_scratch_.push_back(d.current);
+    gains_scratch_.push_back(d.last_rate_mbps);
+    if (restricted_visibility_) {
+      auto& row = visible_scratch_[rows];
+      row.assign(visible_cache_[i].begin(), visible_cache_[i].end());
+    }
+    ++rows;
+  };
+  if (indices != nullptr) {
+    for (const int i : *indices) add(static_cast<std::size_t>(i));
+  } else {
+    for (std::size_t i = 0; i < devices.size(); ++i) add(i);
+  }
+  return rows;
 }
 
 void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
@@ -56,7 +102,7 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
   const auto& counts = world.counts();
   ++slots_seen_;
 
-  std::vector<double> capacities(networks.size());
+  auto& capacities = capacities_scratch_;
   for (std::size_t i = 0; i < networks.size(); ++i) capacities[i] = networks[i].capacity(t);
 
   // Refresh per-device visibility (only when areas are in play).
@@ -75,60 +121,39 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
     }
   }
 
-  // Distance to NE (Definition 3), per group.
+  // Distance to NE (Definition 3), per group. Rows beyond the collected
+  // count in visible_scratch_ are stale but never read: distance_to_nash
+  // only indexes one visibility row per collected device.
+  const auto& visible = restricted_visibility_ ? visible_scratch_ : empty_visible_;
   if (options_.track_distance) {
     for (std::size_t g = 0; g < group_index_.size(); ++g) {
-      std::vector<int> nets;
-      std::vector<double> gains;
-      std::vector<std::vector<int>> visible;
-      for (const int i : group_index_[g]) {
-        const auto& d = devices[static_cast<std::size_t>(i)];
-        if (!d.active) continue;
-        nets.push_back(d.current);
-        gains.push_back(d.last_rate_mbps);
-        if (restricted_visibility_) visible.push_back(visible_cache_[static_cast<std::size_t>(i)]);
-      }
-      const double dist =
-          nets.empty() ? 0.0
-                       : distance_to_nash(capacities, counts, nets, gains, visible);
+      const std::size_t rows = collect_active(world, &group_index_[g]);
+      const double dist = rows == 0 ? 0.0
+                                    : distance_to_nash(capacities, counts, nets_scratch_,
+                                                       gains_scratch_, visible);
       result_.group_distance[g].push_back(dist);
     }
   }
 
   // Allocation-quality fractions, over all active devices.
-  {
-    std::vector<int> nets;
-    std::vector<double> gains;
-    std::vector<std::vector<int>> visible;
-    for (std::size_t i = 0; i < devices.size(); ++i) {
-      const auto& d = devices[i];
-      if (!d.active) continue;
-      nets.push_back(d.current);
-      gains.push_back(d.last_rate_mbps);
-      if (restricted_visibility_) visible.push_back(visible_cache_[i]);
-    }
-    if (!nets.empty()) {
-      if (is_nash(capacities, counts)) ++at_nash_slots_;
-      const double dist = distance_to_nash(capacities, counts, nets, gains, visible);
-      if (dist <= options_.epsilon) ++eps_slots_;
-    }
+  if (collect_active(world, nullptr) > 0) {
+    if (is_nash(capacities, counts)) ++at_nash_slots_;
+    const double dist =
+        distance_to_nash(capacities, counts, nets_scratch_, gains_scratch_, visible);
+    if (dist <= options_.epsilon) ++eps_slots_;
   }
 
   // Definition 4 (controlled experiments): average % shortfall from the
-  // per-device fair share of the aggregate capacity.
+  // per-device fair share of the aggregate capacity. gains_scratch_ still
+  // holds every active device's rate from the global collect above.
   if (options_.track_def4) {
     double aggregate = 0.0;
     for (const double c : capacities) aggregate += c;
-    std::vector<double> gains;
-    for (const auto& d : devices) {
-      if (d.active) gains.push_back(d.last_rate_mbps);
-    }
-    result_.def4.push_back(distance_from_average_rate(aggregate, gains));
+    result_.def4.push_back(distance_from_average_rate(aggregate, gains_scratch_));
 
     // Per-group curves (Fig 15): same global fair share g_avg, shortfalls
     // averaged within each group only.
     if (!options_.groups.empty()) {
-      if (result_.group_def4.empty()) result_.group_def4.assign(group_index_.size(), {});
       const int n_active = world.active_device_count();
       const double g_avg = n_active > 0 ? aggregate / n_active : 0.0;
       for (std::size_t g = 0; g < group_index_.size(); ++g) {
@@ -152,10 +177,10 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
       const auto& d = devices[i];
       int lock = -1;
       if (d.active) {
-        const auto probs = d.policy->probabilities();
+        d.policy->probabilities_into(probs_scratch_);
         const auto& nets = d.policy->networks();
-        std::vector<int> ids(nets.begin(), nets.end());
-        lock = locked_network(probs, ids);
+        ids_scratch_.assign(nets.begin(), nets.end());
+        lock = locked_network(probs_scratch_, ids_scratch_);
       }
       locked_[i].push_back(lock);
     }

@@ -66,6 +66,9 @@ class RunRecorder final : public netsim::WorldObserver {
 
  private:
   void ensure_initialised(const netsim::World& world);
+  /// Fill the scratch rows (nets/gains/visible) with the active devices among
+  /// `indices` (null = all devices). Returns the number of rows written.
+  std::size_t collect_active(const netsim::World& world, const std::vector<int>* indices);
 
   RecorderOptions options_;
   RunResult result_;
@@ -78,6 +81,17 @@ class RunRecorder final : public netsim::WorldObserver {
   std::vector<int> area_cache_;                         // last known device areas
   std::vector<std::vector<int>> visible_cache_;         // per device network indices
   bool restricted_visibility_ = false;
+  // Per-slot scratch, sized once in ensure_initialised: on_slot_end runs
+  // every slot of every run, so its steady state must stay off the heap
+  // (asserted by the recorder allocation test). Series vectors are likewise
+  // reserved to the horizon up front.
+  std::vector<double> capacities_scratch_;   // per-network capacity this slot
+  std::vector<int> nets_scratch_;            // active devices' current networks
+  std::vector<double> gains_scratch_;        // active devices' observed rates
+  std::vector<std::vector<int>> visible_scratch_;  // active devices' visibility rows
+  std::vector<std::vector<int>> empty_visible_;    // unrestricted-visibility stand-in
+  std::vector<double> probs_scratch_;        // one policy's mixed strategy
+  std::vector<int> ids_scratch_;             // one policy's network ids
 };
 
 }  // namespace smartexp3::metrics

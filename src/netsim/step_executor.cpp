@@ -1,0 +1,129 @@
+#include "netsim/step_executor.hpp"
+
+namespace smartexp3::netsim {
+
+namespace {
+
+/// Spin briefly, then hand the core away. The spin budget covers the common
+/// multicore case (phases are microseconds apart); the yield fallback keeps
+/// oversubscribed and single-core machines from livelocking on the barrier.
+inline void relax(int& spins) {
+  constexpr int kSpinBudget = 4096;
+  if (spins < kSpinBudget) {
+    ++spins;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  } else {
+    ++spins;
+    std::this_thread::yield();
+  }
+}
+
+/// Spin+yield iterations a worker burns before parking on the condition
+/// variable. Long enough that the inter-phase gaps of a busy slot never
+/// park (microseconds), short enough that a world sitting in serial code
+/// (recorder-heavy observers, or simply idle between slots) frees its lanes.
+constexpr int kParkBudget = 64 * 1024;
+
+}  // namespace
+
+int StepExecutor::resolve(int threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+StepExecutor::StepExecutor(int threads) : threads_(resolve(threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int lane = 1; lane < threads_; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+StepExecutor::~StepExecutor() {
+  stop_.store(true, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);  // wake spinners
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();  // wake parked workers
+  for (auto& w : workers_) w.join();
+}
+
+void StepExecutor::worker_loop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (spins < kParkBudget) {
+        relax(spins);
+      } else {
+        // Park until the next dispatch. The dispatcher bumps epoch_ first
+        // and then locks/notifies, so the predicate can never be missed.
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen;
+        });
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+
+    const auto n = n_;
+    const auto t = static_cast<std::size_t>(threads_);
+    const auto w = static_cast<std::size_t>(lane);
+    const std::size_t begin = n * w / t;
+    const std::size_t end = n * (w + 1) / t;
+    try {
+      if (begin < end) (*body_)(begin, end);
+    } catch (...) {
+      // Never let an exception escape the thread (std::terminate); hand the
+      // first one to the caller, who rethrows after the barrier.
+      const std::lock_guard<std::mutex> lock(error_mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void StepExecutor::run(std::size_t n, const RangeBody& body) {
+  if (threads_ == 1 || n == 0) {
+    if (n > 0) body(0, n);
+    return;
+  }
+  n_ = n;
+  body_ = &body;
+  error_ = nullptr;
+  const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_release) + 1;
+  // Wake any parked workers. The empty critical section orders the epoch
+  // bump before the notify relative to a worker between its predicate check
+  // and its wait; with nobody parked this costs an uncontended lock.
+  {
+    const std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();
+
+  // The caller is lane 0. If its range throws, the barrier below must still
+  // complete before the exception leaves run() — the workers hold references
+  // into this call's state.
+  std::exception_ptr caller_error;
+  const auto t = static_cast<std::size_t>(threads_);
+  const std::size_t end = n / t;
+  try {
+    if (end > 0) body(0, end);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  const std::uint64_t target = epoch * static_cast<std::uint64_t>(threads_ - 1);
+  int spins = 0;
+  while (done_.load(std::memory_order_acquire) < target) relax(spins);
+  body_ = nullptr;
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace smartexp3::netsim

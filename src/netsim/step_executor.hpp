@@ -1,0 +1,80 @@
+// StepExecutor: the device-parallel phase runner behind World::step.
+//
+// A slot's work decomposes into per-device tasks that are independent within
+// a phase (see world.hpp for the phase structure). StepExecutor owns a
+// persistent pool of worker threads and fans a phase body out over a static,
+// deterministic partition of the device index range: device i is always
+// processed inside range floor(n*w/T)..floor(n*(w+1)/T) for worker w of T.
+// Which thread runs a device never affects the trajectory — every per-device
+// task reads shared slot state and writes only device-local state — so the
+// partition only has to be fixed, not clever.
+//
+// Dispatch is epoch-based: the caller publishes the phase body, bumps the
+// epoch (release), runs its own range, then waits for the workers'
+// completion counter (acquire). Workers spin briefly and then yield, so an
+// oversubscribed machine (threads > cores) degrades gracefully instead of
+// burning the timeslice of the thread doing real work.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smartexp3::netsim {
+
+class StepExecutor {
+ public:
+  /// A phase body: process devices in [begin, end).
+  using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// `threads` is the total parallelism including the calling thread;
+  /// 0 resolves to std::thread::hardware_concurrency(). One worker thread is
+  /// spawned per extra lane, so threads == 1 spawns none.
+  explicit StepExecutor(int threads);
+  ~StepExecutor();
+
+  StepExecutor(const StepExecutor&) = delete;
+  StepExecutor& operator=(const StepExecutor&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  /// Run body over [0, n): worker w handles [n*w/T, n*(w+1)/T). Returns once
+  /// every range has completed (a full phase barrier). Not reentrant. If any
+  /// range throws, the barrier still completes and the first exception is
+  /// rethrown here, on the calling thread — a throwing phase body must never
+  /// std::terminate the process from a worker.
+  void run(std::size_t n, const RangeBody& body);
+
+  /// Resolve a user-facing thread-count knob: 0 = hardware concurrency,
+  /// anything below 1 clamps to 1.
+  static int resolve(int threads);
+
+ private:
+  void worker_loop(int lane);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  // Dispatch state. `epoch_` counts run() calls; its release store publishes
+  // `n_` and `body_` to the workers, whose release increments of `done_`
+  // publish their writes back to the caller.
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<bool> stop_{false};
+  std::size_t n_ = 0;
+  const RangeBody* body_ = nullptr;
+  // First exception thrown by any range this run(); rethrown on the caller.
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  // Workers that exhaust their spin+yield budget park here until the next
+  // dispatch, so an idle or serial-phase-bound world does not burn cores
+  // other runs could use.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace smartexp3::netsim

@@ -30,6 +30,7 @@ World::World(WorldConfig config, std::vector<Network> networks,
   }
   if (gain_scale_ <= 0.0) gain_scale_ = 1.0;
 
+  bool device_local_policies = true;
   devices_.reserve(devices.size());
   for (auto& spec : devices) {
     DeviceState d;
@@ -43,8 +44,26 @@ World::World(WorldConfig config, std::vector<Network> networks,
     if (!d.policy) throw std::invalid_argument("World: factory returned null policy");
     d.wants_full_info =
         d.policy->feedback_needs() == core::FeedbackNeeds::kFullInformation;
+    device_local_policies &= !d.policy->shares_state_across_devices();
+    // The delay stream is salted so it never collides with the policy's
+    // stream derived from the same device_seed.
+    d.delay_rng.reseed(device_seed ^ 0x94d049bb133111ebULL);
     devices_.push_back(std::move(d));
   }
+
+  // The executor only exists when it can actually fan out: >1 lane and no
+  // policy with cross-device shared state (the centralized coordinator's
+  // lazy rebalance must stay single-threaded).
+  const int threads = StepExecutor::resolve(config_.threads);
+  if (threads > 1 && device_local_policies) {
+    executor_ = std::make_unique<StepExecutor>(threads);
+  }
+  choose_body_ = [this](std::size_t begin, std::size_t end) {
+    choose_range(now_, begin, end);
+  };
+  feedback_body_ = [this](std::size_t begin, std::size_t end) {
+    feedback_range(now_, begin, end);
+  };
 
   set_bandwidth_model(make_equal_share());
   delay_ = make_default_delay_model();
@@ -162,15 +181,12 @@ void World::apply_events(Slot t) {
   }
 }
 
-void World::step() {
-  if (done()) return;
-  const Slot t = now_;
-  apply_events(t);
-  bandwidth_->begin_slot(t, rng_);
-
-  // Phase 1: all devices pick simultaneously (clients are time-synchronised
-  // in the paper's simulation setup).
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
+// Choose phase body: all devices pick simultaneously (clients are
+// time-synchronised in the paper's simulation setup). Device-local by
+// construction — each policy owns its RNG and state — so disjoint ranges can
+// run on different threads.
+void World::choose_range(Slot t, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
     auto& d = devices_[i];
     pending_[i] = kNoNetwork;
     if (!d.active) continue;
@@ -180,19 +196,33 @@ void World::step() {
     (void)nets;
     pending_[i] = want;
   }
+}
 
-  // Phase 2: congestion.
+void World::phase_choose() {
+  if (executor_) {
+    executor_->run(devices_.size(), choose_body_);
+  } else {
+    choose_range(now_, 0, devices_.size());
+  }
+}
+
+// Counts phase: the only cross-device reduction of a slot, run serially in
+// fixed device order (occupancy) and fixed network order (shared caches), so
+// its results never depend on thread count or scheduling. It is also the
+// barrier between the choose and feedback phases.
+void World::phase_counts() {
+  const Slot t = now_;
   std::fill(counts_.begin(), counts_.end(), 0);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (pending_[i] != kNoNetwork) ++counts_[static_cast<std::size_t>(pending_[i])];
   }
 
-  // Phase 3: outcomes and feedback. For device-invariant bandwidth models
-  // (equal share) every device on a network observes the same rate — and
-  // hence the same gain and, when it did not switch, the same full-slot
-  // goodput — so each occupied network's values are computed once per slot
-  // instead of once per device-slot. Bit-identical: the exact divisions and
-  // multiplications the per-device path would perform.
+  // For device-invariant bandwidth models (equal share) every device on a
+  // network observes the same rate — and hence the same gain and, when it
+  // did not switch, the same full-slot goodput — so each occupied network's
+  // values are computed once per slot instead of once per device-slot.
+  // Bit-identical: the exact divisions and multiplications the per-device
+  // path would perform.
   if (shared_rates_) {
     for (std::size_t j = 0; j < networks_.size(); ++j) {
       if (counts_[j] > 0) {
@@ -202,8 +232,14 @@ void World::step() {
       }
     }
   }
+}
 
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
+// Feedback phase body: per-device outcomes and policy observation. Reads
+// shared slot state (counts, caches, networks) and writes only device-local
+// state; switching delay comes from the device's own RNG stream, so disjoint
+// ranges can run on different threads without perturbing the trajectory.
+void World::feedback_range(Slot t, std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
     auto& d = devices_[i];
     if (!d.active) continue;
     const NetworkId chosen = pending_[i];
@@ -215,9 +251,10 @@ void World::step() {
     // allocation-free.
     core::SlotFeedback& fb = d.feedback;
     fb.switched = switched;
-    fb.delay_s = switched
-                     ? std::min(delay_->sample(networks_[c], rng_), config_.slot_seconds)
-                     : 0.0;
+    fb.delay_s =
+        switched
+            ? std::min(delay_->sample(networks_[c], d.delay_rng), config_.slot_seconds)
+            : 0.0;
     if (shared_rates_) {
       fb.bit_rate_mbps = rate_cache_[c];
       fb.gain = gain_cache_[c];
@@ -266,7 +303,29 @@ void World::step() {
     d.slots_active += 1;
     d.current = chosen;
   }
+}
 
+void World::phase_feedback() {
+  // Non-invariant bandwidth models (noisy share) mutate lazy per-device /
+  // per-network state inside rate() and may draw from the world stream, so
+  // their feedback phase stays serial; the trajectory is identical either
+  // way because parallel feedback is only ever used when it reads the same
+  // per-network caches the serial path would.
+  if (executor_ && shared_rates_) {
+    executor_->run(devices_.size(), feedback_body_);
+  } else {
+    feedback_range(now_, 0, devices_.size());
+  }
+}
+
+void World::step() {
+  if (done()) return;
+  const Slot t = now_;
+  apply_events(t);
+  bandwidth_->begin_slot(t, rng_);
+  phase_choose();
+  phase_counts();
+  phase_feedback();
   if (observer_ != nullptr) observer_->on_slot_end(t, *this);
   ++now_;
 }

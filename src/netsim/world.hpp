@@ -1,12 +1,30 @@
 // The time-slotted congestion-game world: the simulation substrate every
 // experiment in the paper runs on.
 //
-// Each slot the world (1) applies scenario events (joins, leaves, moves,
-// capacity changes), (2) asks every active device's policy for a network,
-// (3) computes per-network congestion and per-device observed rates through
-// the bandwidth model, (4) charges switching delay through the delay model,
-// and (5) feeds the outcome back to the policies and to an optional
-// observer (the metrics recorder).
+// Each slot runs three explicit phases with a barrier between them:
+//
+//   choose   — every active device's policy picks a network (clients are
+//              time-synchronised in the paper's setup, so all picks are
+//              simultaneous). Device-local: policies draw from their own
+//              per-device RNG streams.
+//   counts   — per-network reduction over the picks: occupancy, and (for
+//              device-invariant bandwidth models) the shared per-network
+//              rate / gain / full-slot goodput, in fixed network order.
+//   feedback — per-device outcomes: switching delay (drawn from the
+//              device's own delay RNG stream), goodput accounting, and the
+//              policy's observe() with capability-gated counterfactuals.
+//
+// Before the phases the world applies scenario events (joins, leaves,
+// moves, capacity changes) and advances the bandwidth model's noise
+// processes; after them it notifies the optional observer (the metrics
+// recorder).
+//
+// Because the choose and feedback phases only read shared slot state and
+// write device-local state, a StepExecutor can fan them out across threads
+// with a static device partition. The trajectory is bit-identical for every
+// thread count: all per-device randomness comes from per-device streams
+// seeded by (world seed, device id), and every cross-device reduction runs
+// serially in fixed order. See README "Three-phase slot model".
 #pragma once
 
 #include <functional>
@@ -18,6 +36,7 @@
 #include "netsim/delay_model.hpp"
 #include "netsim/network.hpp"
 #include "netsim/scenario.hpp"
+#include "netsim/step_executor.hpp"
 #include "stats/rng.hpp"
 
 namespace smartexp3::netsim {
@@ -52,6 +71,10 @@ struct DeviceState {
   // policy's feedback capability is resolved once at construction.
   core::SlotFeedback feedback;
   bool wants_full_info = false;
+  // Per-device switching-delay stream, seeded from (world seed, device id).
+  // Keeping delay draws out of the world stream is what makes the feedback
+  // phase device-parallel without changing the trajectory.
+  stats::Rng delay_rng;
 };
 
 struct WorldConfig {
@@ -60,6 +83,10 @@ struct WorldConfig {
   /// maximum single-network capacity when <= 0.
   double gain_scale_mbps = 0.0;
   Slot horizon = 1200;  ///< 5 simulated hours of 15 s slots, as in §VI-A
+  /// Lanes for the device-parallel choose and feedback phases: 1 = serial
+  /// (default), 0 = hardware concurrency. Purely an execution knob — the
+  /// simulated trajectory is bit-identical for every value.
+  int threads = 1;
 };
 
 class World;
@@ -81,6 +108,12 @@ class World {
  public:
   World(WorldConfig config, std::vector<Network> networks, std::vector<DeviceSpec> devices,
         Scenario scenario, PolicyFactory factory, std::uint64_t seed);
+
+  // Not movable: the stored phase bodies capture `this` (and the executor's
+  // workers would outlive a moved-from shell). Prvalue returns still work
+  // through guaranteed elision.
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
 
   void set_bandwidth_model(std::unique_ptr<BandwidthModel> model);
   void set_delay_model(std::unique_ptr<DelayModel> model);
@@ -106,12 +139,26 @@ class World {
   /// Capacity (Mbps) unused this slot because no device selected the network.
   double unused_capacity_mbps(Slot t) const;
   double gain_scale() const { return gain_scale_; }
+  /// Lanes actually used by the phase executor (1 when running serially,
+  /// e.g. because a shared-state policy such as centralized is present).
+  int thread_count() const { return executor_ ? executor_->thread_count() : 1; }
 
  private:
   void apply_events(Slot t);
   void join_device(DeviceState& d, Slot t);
   void leave_device(DeviceState& d, Slot t);
   const std::vector<NetworkId>& visible_for(const DeviceState& d) const;
+
+  // The three slot phases (see the header comment), all operating on the
+  // current slot now_. Each *_range body processes the device index range
+  // [begin, end) and is safe to run concurrently on disjoint ranges;
+  // phase_counts is a serial fixed-order reduction and doubles as the
+  // barrier between choose and feedback.
+  void phase_choose();
+  void phase_counts();
+  void phase_feedback();
+  void choose_range(Slot t, std::size_t begin, std::size_t end);
+  void feedback_range(Slot t, std::size_t begin, std::size_t end);
 
   WorldConfig config_;
   std::vector<Network> networks_;
@@ -142,6 +189,12 @@ class World {
   // Coverage never changes after construction, so the visible set of each
   // service area is computed once and handed out by reference.
   mutable std::vector<std::pair<int, std::vector<NetworkId>>> visible_cache_;
+  // Device-parallel phase runner; null when config_.threads resolves to 1 or
+  // a policy shares state across devices (centralized coordinator). The
+  // phase bodies are built once so the hot loop constructs no std::function.
+  std::unique_ptr<StepExecutor> executor_;
+  StepExecutor::RangeBody choose_body_;
+  StepExecutor::RangeBody feedback_body_;
 };
 
 }  // namespace smartexp3::netsim

@@ -1,0 +1,41 @@
+#include "alloc_counter.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_count{0};
+}  // namespace
+
+// Replaces the global (non-aligned) new/delete pairs for the whole binary.
+// Linked into both the test binary (steady-state allocation guards) and
+// bench/perf_engine (throughput + allocation report), so the two always
+// count allocations identically.
+void* operator new(std::size_t n) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace smartexp3::testing {
+
+void start_alloc_counting() {
+  g_count.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t stop_alloc_counting() {
+  g_counting.store(false, std::memory_order_relaxed);
+  return g_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace smartexp3::testing

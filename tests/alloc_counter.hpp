@@ -1,0 +1,20 @@
+// Binary-wide heap-allocation counter for the steady-state allocation
+// tests (hot path and recorder) and for bench/perf_engine. The replacement
+// operator new in alloc_counter.cpp counts every allocation made while
+// counting is enabled; with counting off the overhead is one relaxed atomic
+// load per allocation.
+//
+// Only meaningful on a single thread: enable counting around a serial
+// measurement window (gtest itself allocates, so keep the window tight and
+// assertion-free).
+#pragma once
+
+#include <cstdint>
+
+namespace smartexp3::testing {
+
+/// Enable/disable counting (also resets the counter on enable).
+void start_alloc_counting();
+std::uint64_t stop_alloc_counting();  ///< returns allocations in the window
+
+}  // namespace smartexp3::testing

@@ -3,9 +3,10 @@
 // bit-for-bit across refactors.
 //
 // The per-device download/switch values this scenario produces under
-// kGoldenSeed were captured from the seed implementation (pre
-// allocation-free refactor) by tools/golden_capture.cpp; the golden test
-// asserts the engine still reproduces them exactly. Regenerate with:
+// kGoldenSeed were captured by tools/golden_capture.cpp (last bumped
+// deliberately when switching-delay draws moved onto per-device RNG
+// streams for the explicit-phase refactor); the golden test asserts the
+// engine still reproduces them exactly. Regenerate with:
 //   cmake --build build --target golden_capture && ./build/tools/golden_capture
 #pragma once
 

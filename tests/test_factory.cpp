@@ -18,6 +18,21 @@ TEST(Factory, AllNamesConstruct) {
   }
 }
 
+TEST(Factory, SharedStatePredicateMatchesPolicyCapability) {
+  // run_many balances its fan-out using the by-name predicate; the world
+  // gates its executor on the virtual. They must never drift.
+  auto factory = make_named_policy_factory({4.0, 7.0, 22.0});
+  auto names = policy_names();
+  for (const auto& n : extension_policy_names()) names.push_back(n);
+  for (const auto& name : names) {
+    auto policy = factory(/*id=*/1, name, /*seed=*/42);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy_shares_state_across_devices(name),
+              policy->shares_state_across_devices())
+        << name;
+  }
+}
+
 TEST(Factory, UnknownNameThrows) {
   EXPECT_THROW(make_policy("thompson", 1), std::invalid_argument);
   EXPECT_THROW(make_policy("", 1), std::invalid_argument);

@@ -43,8 +43,8 @@ class ProbePolicy final : public core::Policy {
     }
   }
   core::FeedbackNeeds feedback_needs() const override { return needs_; }
-  std::vector<double> probabilities() const override {
-    return std::vector<double>(nets_.size(), 1.0 / nets_.size());
+  void probabilities_into(std::vector<double>& out) const override {
+    out.assign(nets_.size(), 1.0 / nets_.size());
   }
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "probe"; }

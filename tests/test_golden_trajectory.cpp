@@ -1,42 +1,44 @@
 // Golden-trajectory determinism test.
 //
-// The constants below were captured from the seed implementation (before the
-// allocation-free hot-path refactor) by tools/golden_capture.cpp. The
-// refactor — scratch-buffer probabilities, persistent SlotFeedback, the
-// feedback-capability gate, the per-area visibility cache and the shared
-// per-network rate cache — is required to be a pure optimisation: the same
-// seed must produce bit-identical per-device downloads, switch counts and
-// active-slot counts. EXPECT_EQ on doubles is deliberate; "close" is a bug.
+// The constants below were captured by tools/golden_capture.cpp after the
+// explicit-phase refactor moved switching-delay draws from the world stream
+// onto per-device RNG streams (a deliberate, documented trajectory bump:
+// every per-device random quantity now comes from a stream seeded by (world
+// seed, device id), which is what makes the feedback phase device-parallel).
+// Switch counts and active-slot counts are identical to the pre-refactor
+// pins — delay draws never feed back into the policies' gains — only the
+// download totals moved. Any engine change from here on is again required to
+// be a pure optimisation: the same seed must produce bit-identical
+// per-device downloads, switch counts and active-slot counts, with the
+// recorder attached or not and at every thread count. EXPECT_EQ on doubles
+// is deliberate; "close" is a bug.
 #include <gtest/gtest.h>
 
 #include "exp/runner.hpp"
 #include "golden_scenario.hpp"
+#include "metrics/recorder.hpp"
 
 namespace smartexp3 {
 namespace {
 
 // golden values for seed 20260731 (regenerate with tools/golden_capture)
 const double kExpectedDownloadsMb[] = {
-    1258.0481779552008,  // device 0 (exp3)
-    1256.7224329593078,  // device 1 (block_exp3)
-    1494.818844595314,   // device 2 (hybrid_block_exp3)
-    1902.743630771404,   // device 3 (smart_exp3_noreset)
-    1810.1885888437248,  // device 4 (smart_exp3)
-    1648.2941533440573,  // device 5 (greedy)
-    1061.7593916594737,  // device 6 (full_information)
-    523.78754870231637,  // device 7 (ucb1)
+    1262.7521157711049,  // device 0 (exp3)
+    1255.2297958406525,  // device 1 (block_exp3)
+    1497.4978578560786,  // device 2 (hybrid_block_exp3)
+    1898.6918447711739,  // device 3 (smart_exp3_noreset)
+    1809.9262197896578,  // device 4 (smart_exp3)
+    1650.4965491099788,  // device 5 (greedy)
+    1059.2225862847383,  // device 6 (full_information)
+    515.42324897780395,  // device 7 (ucb1)
     863.84375,           // device 8 (fixed_random)
-    604.26339551130093,  // device 9 (smart_exp3)
+    608.16988272476488,  // device 9 (smart_exp3)
 };
 const int kExpectedSwitches[] = {113, 30, 23, 13, 26, 8, 134, 116, 0, 17};
 const int kExpectedSlotsActive[] = {200, 200, 200, 200, 200, 200, 200, 120, 120, 100};
 
-TEST(GoldenTrajectory, BitIdenticalToSeedImplementation) {
-  const auto cfg = testing::golden_config();
-  auto world = exp::build_world(cfg, cfg.base_seed);
-  world->run();
-
-  const auto& devices = world->devices();
+void expect_pinned_trajectory(const netsim::World& world) {
+  const auto& devices = world.devices();
   ASSERT_EQ(devices.size(), 10u);
   for (std::size_t i = 0; i < devices.size(); ++i) {
     SCOPED_TRACE("device " + std::to_string(i) + " (" +
@@ -45,6 +47,55 @@ TEST(GoldenTrajectory, BitIdenticalToSeedImplementation) {
     EXPECT_EQ(devices[i].switches, kExpectedSwitches[i]);
     EXPECT_EQ(devices[i].slots_active, kExpectedSlotsActive[i]);
   }
+}
+
+TEST(GoldenTrajectory, BitIdenticalToPinnedTrajectory) {
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  world->run();
+  expect_pinned_trajectory(*world);
+}
+
+// The recorder is a pure observer: attaching it (with every tracking option
+// on) must not perturb the simulated model in any way.
+TEST(GoldenTrajectory, RecorderAttachedDoesNotPerturbTrajectory) {
+  auto cfg = testing::golden_config();
+  cfg.recorder.track_distance = true;
+  cfg.recorder.track_stability = true;
+  cfg.recorder.track_def4 = true;
+  cfg.recorder.track_selections = true;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  metrics::RunRecorder recorder(cfg.recorder);
+  world->set_observer(&recorder);
+  world->run();
+  expect_pinned_trajectory(*world);
+}
+
+// The StepExecutor is purely an execution knob: device-parallel stepping
+// must reproduce the pinned trajectory bit for bit at any thread count,
+// including more threads than cores.
+TEST(GoldenTrajectory, DeviceParallelSteppingDoesNotPerturbTrajectory) {
+  for (const int threads : {2, 4, 7}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    auto cfg = testing::golden_config();
+    cfg.world.threads = threads;
+    auto world = exp::build_world(cfg, cfg.base_seed);
+    world->run();
+    expect_pinned_trajectory(*world);
+  }
+}
+
+// Both knobs at once: the recorder observing a device-parallel world.
+TEST(GoldenTrajectory, RecorderOnParallelWorldDoesNotPerturbTrajectory) {
+  auto cfg = testing::golden_config();
+  cfg.world.threads = 4;
+  cfg.recorder.track_distance = true;
+  cfg.recorder.track_stability = true;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  metrics::RunRecorder recorder(cfg.recorder);
+  world->set_observer(&recorder);
+  world->run();
+  expect_pinned_trajectory(*world);
 }
 
 TEST(GoldenTrajectory, RepeatedRunsAreIdentical) {

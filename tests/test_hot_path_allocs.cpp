@@ -1,0 +1,42 @@
+// Steady-state allocation guard, promoted from bench/perf_engine into ctest:
+// after warm-up, stepping a world must not touch the heap at all — for any
+// policy. A regression here silently costs the multiple-x throughput the
+// allocation-free hot-path refactor bought, so it fails the suite instead of
+// only showing up in BENCH_engine.json.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "alloc_counter.hpp"
+#include "core/factory.hpp"
+#include "exp/runner.hpp"
+#include "exp/settings.hpp"
+
+namespace smartexp3 {
+namespace {
+
+constexpr Slot kWarmupSlots = 300;
+constexpr Slot kMeasureSlots = 200;
+
+std::uint64_t steady_state_allocs(const std::string& policy) {
+  // The fig06 scalability flavour perf_engine measures, scaled down.
+  auto cfg = exp::scalability_setting(policy, /*k=*/3, /*n=*/20,
+                                      kWarmupSlots + kMeasureSlots);
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  for (Slot t = 0; t < kWarmupSlots; ++t) world->step();
+  testing::start_alloc_counting();
+  for (Slot t = 0; t < kMeasureSlots; ++t) world->step();
+  return testing::stop_alloc_counting();
+}
+
+TEST(HotPathAllocs, EveryPolicyIsAllocationFreeInSteadyState) {
+  auto policies = core::policy_names();
+  for (const auto& n : core::extension_policy_names()) policies.push_back(n);
+  for (const auto& policy : policies) {
+    SCOPED_TRACE("policy " + policy);
+    EXPECT_EQ(steady_state_allocs(policy), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace smartexp3

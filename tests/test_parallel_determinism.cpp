@@ -1,0 +1,202 @@
+// Device-parallel stepping determinism.
+//
+// The StepExecutor must be invisible to the simulated model: for every
+// policy and every thread count, the parallel trajectory — per-slot network
+// choices, downloads, switch counts, delay losses — must be bit-identical
+// to the serial one. This holds by construction (per-device RNG streams,
+// fixed-order reductions, device-local phase bodies) and is pinned here on
+// the golden scenario (restricted visibility, moves, a capacity change) and
+// on a dynamic join/leave scenario.
+//
+// Thread counts deliberately include more lanes than the machine has cores
+// and a count (7) that does not divide the device count evenly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "exp/runner.hpp"
+#include "golden_scenario.hpp"
+
+namespace smartexp3 {
+namespace {
+
+/// Records the full per-slot choice trajectory and per-device end state.
+struct TrajectoryProbe final : netsim::WorldObserver {
+  std::vector<std::vector<NetworkId>> choices;  // [slot][device], kNoNetwork = inactive
+  void on_slot_end(Slot, const netsim::World& world) override {
+    choices.emplace_back();
+    choices.back().reserve(world.devices().size());
+    for (const auto& d : world.devices()) {
+      choices.back().push_back(d.active ? d.current : kNoNetwork);
+    }
+  }
+};
+
+struct Trajectory {
+  std::vector<std::vector<NetworkId>> choices;
+  std::vector<double> downloads_mb;
+  std::vector<double> delay_loss_mb;
+  std::vector<int> switches;
+};
+
+Trajectory run_trajectory(exp::ExperimentConfig cfg, int threads) {
+  cfg.world.threads = threads;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  TrajectoryProbe probe;
+  world->set_observer(&probe);
+  world->run();
+  Trajectory out;
+  out.choices = std::move(probe.choices);
+  for (const auto& d : world->devices()) {
+    out.downloads_mb.push_back(d.download_mb);
+    out.delay_loss_mb.push_back(d.delay_loss_mb);
+    out.switches.push_back(d.switches);
+  }
+  return out;
+}
+
+void expect_identical(const Trajectory& serial, const Trajectory& parallel) {
+  ASSERT_EQ(serial.choices.size(), parallel.choices.size());
+  for (std::size_t t = 0; t < serial.choices.size(); ++t) {
+    ASSERT_EQ(serial.choices[t], parallel.choices[t]) << "slot " << t;
+  }
+  ASSERT_EQ(serial.downloads_mb.size(), parallel.downloads_mb.size());
+  for (std::size_t i = 0; i < serial.downloads_mb.size(); ++i) {
+    SCOPED_TRACE("device " + std::to_string(i));
+    // Bit-identical, not just close: EXPECT_EQ on doubles is deliberate.
+    EXPECT_EQ(serial.downloads_mb[i], parallel.downloads_mb[i]);
+    EXPECT_EQ(serial.delay_loss_mb[i], parallel.delay_loss_mb[i]);
+    EXPECT_EQ(serial.switches[i], parallel.switches[i]);
+  }
+}
+
+/// A compact dynamic scenario: 12 devices on 3 fully visible networks;
+/// devices 8..11 join at slot 60, devices 4..7 leave at slot 180.
+exp::ExperimentConfig dynamic_join_leave_config(const std::string& policy) {
+  using namespace smartexp3::netsim;
+  exp::ExperimentConfig cfg;
+  cfg.name = "parallel-determinism-dynamic";
+  cfg.world.horizon = 240;
+  cfg.base_seed = 8899;
+  cfg.networks.push_back(make_cellular(0, 11.0));
+  cfg.networks.push_back(make_wifi(1, 22.0));
+  cfg.networks.push_back(make_wifi(2, 7.0));
+  for (int i = 0; i < 12; ++i) {
+    DeviceSpec d;
+    d.id = i;
+    d.policy_name = policy;
+    if (i >= 8) d.join_slot = 60;
+    if (i >= 4 && i < 8) d.leave_slot = 180;
+    cfg.devices.push_back(d);
+  }
+  return cfg;
+}
+
+std::vector<std::string> all_policies() {
+  auto names = core::policy_names();
+  for (const auto& n : core::extension_policy_names()) names.push_back(n);
+  return names;
+}
+
+TEST(ParallelDeterminism, GoldenScenarioBitIdenticalAtAllThreadCounts) {
+  // The golden scenario's mixed-policy device set already covers every
+  // factory policy except centralized (whose coordinator ignores the
+  // scenario's service areas).
+  const auto cfg = testing::golden_config();
+  const auto serial = run_trajectory(cfg, /*threads=*/1);
+  for (const int threads : {2, 4, 7}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    expect_identical(serial, run_trajectory(cfg, threads));
+  }
+}
+
+TEST(ParallelDeterminism, PerPolicyGoldenScenarioBitIdentical) {
+  // Homogeneous worlds: all ten golden-scenario devices running the same
+  // policy, per policy, on the full golden event script.
+  for (const auto& policy : all_policies()) {
+    if (policy == "centralized") continue;  // restricted visibility unsupported
+    SCOPED_TRACE("policy " + policy);
+    auto cfg = testing::golden_config();
+    cfg.with_policy(policy);
+    const auto serial = run_trajectory(cfg, 1);
+    for (const int threads : {2, 4, 7}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      expect_identical(serial, run_trajectory(cfg, threads));
+    }
+  }
+}
+
+TEST(ParallelDeterminism, PerPolicyDynamicJoinLeaveBitIdentical) {
+  // Full visibility, so the centralized baseline participates too: its
+  // shared coordinator makes the world decline to fan out (thread_count()
+  // stays 1), and the knob must still change nothing.
+  for (const auto& policy : all_policies()) {
+    SCOPED_TRACE("policy " + policy);
+    const auto cfg = dynamic_join_leave_config(policy);
+    const auto serial = run_trajectory(cfg, 1);
+    for (const int threads : {2, 4, 7}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      expect_identical(serial, run_trajectory(cfg, threads));
+    }
+  }
+}
+
+/// Minimal policy that throws from observe() at a given slot — stands in for
+/// any failure inside a parallel phase body (bad_alloc, invariant check).
+class ThrowingPolicy final : public core::Policy {
+ public:
+  explicit ThrowingPolicy(Slot throw_at) : throw_at_(throw_at) {}
+  void set_networks(const std::vector<NetworkId>& available) override {
+    nets_ = available;
+  }
+  NetworkId choose(Slot) override { return nets_.front(); }
+  void observe(Slot t, const core::SlotFeedback&) override {
+    if (t >= throw_at_) throw std::runtime_error("policy failure");
+  }
+  void probabilities_into(std::vector<double>& out) const override {
+    out.assign(nets_.size(), 1.0 / static_cast<double>(nets_.size()));
+  }
+  const std::vector<NetworkId>& networks() const override { return nets_; }
+  std::string name() const override { return "throwing"; }
+
+ private:
+  Slot throw_at_;
+  std::vector<NetworkId> nets_;
+};
+
+TEST(ParallelDeterminism, WorkerExceptionPropagatesToCaller) {
+  // A phase body throwing on a worker lane must surface as an ordinary
+  // exception on the stepping thread, never std::terminate.
+  using namespace smartexp3::netsim;
+  WorldConfig wc;
+  wc.horizon = 20;
+  wc.threads = 4;
+  std::vector<DeviceSpec> specs(8);
+  for (int i = 0; i < 8; ++i) specs[i].id = i;
+  PolicyFactory factory = [](const DeviceSpec&,
+                             std::uint64_t) -> std::unique_ptr<core::Policy> {
+    return std::make_unique<ThrowingPolicy>(/*throw_at=*/10);
+  };
+  World world(wc, {make_wifi(0, 10.0), make_wifi(1, 5.0)}, std::move(specs), {},
+              std::move(factory), 1);
+  ASSERT_EQ(world.thread_count(), 4);
+  EXPECT_THROW(world.run(), std::runtime_error);
+}
+
+TEST(ParallelDeterminism, SharedStatePoliciesForceSerialExecution) {
+  const auto cfg = dynamic_join_leave_config("centralized");
+  auto cfg_parallel = cfg;
+  cfg_parallel.world.threads = 4;
+  auto world = exp::build_world(cfg_parallel, cfg.base_seed);
+  EXPECT_EQ(world->thread_count(), 1);
+
+  auto cfg_exp3 = dynamic_join_leave_config("exp3");
+  cfg_exp3.world.threads = 4;
+  auto parallel_world = exp::build_world(cfg_exp3, cfg_exp3.base_seed);
+  EXPECT_EQ(parallel_world->thread_count(), 4);
+}
+
+}  // namespace
+}  // namespace smartexp3

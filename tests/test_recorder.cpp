@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "alloc_counter.hpp"
 #include "exp/runner.hpp"
 #include "exp/settings.hpp"
 
@@ -116,6 +117,26 @@ TEST(Recorder, SwitchingCostPositiveWhenDelaysOn) {
   double cost = 0.0;
   for (const double c : run.switching_cost_mb) cost += c;
   EXPECT_GT(cost, 0.0);  // EXP3 switches constantly
+}
+
+TEST(Recorder, SteadyStateIsAllocationFreePerSlot) {
+  // With every tracking option on (including per-group series), observed
+  // slots must not touch the heap after the first one: the series are
+  // reserved to the horizon and the per-slot gather runs in scratch
+  // buffers. A regression makes recorder-on runs allocation-bound again.
+  auto cfg = exp::static_setting1("smart_exp3", /*n_devices=*/8, /*horizon=*/300);
+  cfg.recorder.track_distance = true;
+  cfg.recorder.track_stability = true;
+  cfg.recorder.track_def4 = true;
+  cfg.recorder.track_selections = true;
+  cfg.recorder.groups = {{1, 2, 3, 4}, {5, 6, 7, 8}};
+  auto world = exp::build_world(cfg, 11);
+  RunRecorder recorder(cfg.recorder);
+  world->set_observer(&recorder);
+  for (Slot t = 0; t < 100; ++t) world->step();  // warm-up (recorder initialises)
+  smartexp3::testing::start_alloc_counting();
+  for (Slot t = 0; t < 150; ++t) world->step();
+  EXPECT_EQ(smartexp3::testing::stop_alloc_counting(), 0u);
 }
 
 }  // namespace
