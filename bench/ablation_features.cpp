@@ -35,7 +35,8 @@ int main() {
     // The policy *name* pins the reset toggle (the factory guarantees
     // "smart_exp3" resets and "smart_exp3_noreset" does not); the remaining
     // toggles flow through the tunables.
-    auto cfg = exp::static_setting1(v.reset ? "smart_exp3" : "smart_exp3_noreset");
+    auto cfg = exp::make_setting(
+        "setting1", {.policy = v.reset ? "smart_exp3" : "smart_exp3_noreset"});
     cfg.smart.enable_explore_first = v.explore;
     cfg.smart.enable_greedy = v.greedy;
     cfg.smart.enable_switch_back = v.switch_back;

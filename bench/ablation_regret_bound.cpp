@@ -40,8 +40,10 @@ int main() {
     for (const int horizon : {100, 400, 1600}) {
       trace::SynthOptions opts;
       opts.slots = horizon;
+      // The same pair the registry's trace4 builds at this length; kept
+      // locally for the regret computation's per-arm gain matrix.
       const auto pair = trace::synthetic_pair(4, opts);  // alternating leader
-      auto cfg = exp::trace_setting(pair, policy);
+      auto cfg = exp::make_setting("trace4", {.policy = policy, .trace_slots = horizon});
 
       // The world's gain scale: max rate across both traces (the world
       // computes the same value internally).

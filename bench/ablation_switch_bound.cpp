@@ -28,7 +28,10 @@ int main() {
 
   std::vector<std::vector<std::string>> rows;
   for (const auto& c : cases) {
-    auto cfg = exp::scalability_setting("smart_exp3_noreset", c.k, 20, c.horizon);
+    auto cfg = exp::make_setting("scalability", {.policy = "smart_exp3_noreset",
+                                                 .devices = 20,
+                                                 .horizon = c.horizon,
+                                                 .networks = c.k});
     cfg.smart.beta = c.beta;
     cfg.recorder.track_distance = false;
     const auto s = exp::switch_summary(exp::run_many(cfg, runs));

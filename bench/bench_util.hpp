@@ -15,9 +15,9 @@
 
 #include "exp/aggregate.hpp"
 #include "exp/csv_export.hpp"
+#include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
 
 namespace smartexp3::bench {
 

@@ -20,7 +20,7 @@ int main() {
   exp::print_heading("Static setting 1 — 20 devices");
   std::vector<std::vector<std::string>> rows;
   for (const auto& algo : algos) {
-    auto cfg = exp::static_setting1(algo);
+    auto cfg = exp::make_setting("setting1", {.policy = algo});
     const auto results = exp::run_many(cfg, runs);
     const auto series = exp::mean_distance_series(results);
     double tail = 0.0;
@@ -39,7 +39,7 @@ int main() {
   exp::print_heading("Departure shock (16 of 20 leave at t=600)");
   rows.clear();
   for (const auto& algo : algos) {
-    auto cfg = exp::dynamic_leave_setting(algo);
+    auto cfg = exp::make_setting("leave", {.policy = algo});
     const auto results = exp::run_many(cfg, runs);
     const auto series = exp::mean_distance_series(results);
     double tail = 0.0;

@@ -30,11 +30,11 @@ int main() {
     exp::SwitchSummary s1;
     exp::SwitchSummary s2;
     {
-      auto cfg = exp::static_setting1(p.policy);
+      auto cfg = exp::make_setting("setting1", {.policy = p.policy});
       s1 = exp::switch_summary(exp::run_many(cfg, runs));
     }
     {
-      auto cfg = exp::static_setting2(p.policy);
+      auto cfg = exp::make_setting("setting2", {.policy = p.policy});
       s2 = exp::switch_summary(exp::run_many(cfg, runs));
     }
     rows.push_back({label_of(p.policy), exp::fmt(s1.mean, 1),

@@ -22,7 +22,8 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   for (const auto& algo : algos) {
     for (const int setting : {1, 2}) {
-      auto cfg = setting == 1 ? exp::static_setting1(algo) : exp::static_setting2(algo);
+      auto cfg = exp::make_setting(setting == 1 ? "setting1" : "setting2",
+                                   {.policy = algo});
       cfg.recorder.track_stability = true;
       const auto s = exp::stability_summary(exp::run_many(cfg, runs));
       rows.push_back({label_of(algo), std::to_string(setting),

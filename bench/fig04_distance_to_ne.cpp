@@ -23,7 +23,8 @@ int main() {
     std::vector<std::string> csv_names;
     std::vector<std::vector<double>> csv_series;
     for (const auto& algo : all_algorithms()) {
-      auto cfg = setting == 1 ? exp::static_setting1(algo) : exp::static_setting2(algo);
+      auto cfg = exp::make_setting(setting == 1 ? "setting1" : "setting2",
+                                   {.policy = algo});
       const auto results = exp::run_many(cfg, runs);
       const auto series = exp::mean_distance_series(results);
       csv_names.push_back(algo);

@@ -35,8 +35,8 @@ int main() {
   for (const auto& p : paper) {
     double sd[2] = {0, 0};
     for (const int setting : {1, 2}) {
-      auto cfg = setting == 1 ? exp::static_setting1(p.policy)
-                              : exp::static_setting2(p.policy);
+      auto cfg = exp::make_setting(setting == 1 ? "setting1" : "setting2",
+                                   {.policy = p.policy});
       const auto results = exp::run_many(cfg, runs);
       sd[setting - 1] = exp::mean_of_run_download_stddev_mb(results);
       if (setting == 1 && std::string(p.policy) == "greedy") {

@@ -23,7 +23,7 @@ int main() {
   exp::print_heading("Figure 6 (left) — networks sweep, 20 devices");
   std::vector<std::vector<std::string>> rows;
   for (const int k : {3, 5, 7}) {
-    auto cfg = exp::scalability_setting("smart_exp3_noreset", k, 20);
+    auto cfg = exp::make_setting("scalability", {.devices = 20, .networks = k});
     cfg.world.threads = world_threads;
     cfg.recorder.track_distance = false;  // keep the long runs lean
     cfg.recorder.track_stability = true;
@@ -39,7 +39,7 @@ int main() {
   exp::print_heading("Figure 6 (right) — devices sweep, 3 networks");
   rows.clear();
   for (const int n : {20, 40, 80}) {
-    auto cfg = exp::scalability_setting("smart_exp3_noreset", 3, n);
+    auto cfg = exp::make_setting("scalability", {.devices = n, .networks = 3});
     cfg.world.threads = world_threads;
     cfg.recorder.track_distance = false;
     cfg.recorder.track_stability = true;

@@ -21,7 +21,7 @@ int main() {
   std::vector<std::string> csv_names;
   std::vector<std::vector<double>> csv_series;
   for (const auto& algo : algos) {
-    auto cfg = exp::dynamic_join_setting(algo);
+    auto cfg = exp::make_setting("join", {.policy = algo});
     // Device-parallel slot phases inside each world; trajectory unchanged.
     cfg.world.threads = exp::world_threads();
     const auto results = exp::run_many(cfg, runs);

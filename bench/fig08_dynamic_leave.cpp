@@ -22,7 +22,7 @@ int main() {
   std::vector<std::vector<double>> csv_series;
   std::vector<double> tails;
   for (const auto& algo : algos) {
-    auto cfg = exp::dynamic_leave_setting(algo);
+    auto cfg = exp::make_setting("leave", {.policy = algo});
     // Device-parallel slot phases inside each world; trajectory unchanged.
     cfg.world.threads = exp::world_threads();
     const auto results = exp::run_many(cfg, runs);

@@ -21,7 +21,7 @@ int main() {
                                           "greedy"};
 
   for (const auto& algo : algos) {
-    auto cfg = exp::mobility_setting(algo);
+    auto cfg = exp::make_setting("mobility", {.policy = algo});
     const auto results = exp::run_many(cfg, runs);
     exp::print_heading("Figure 9 — " + label_of(algo));
     std::vector<std::vector<std::string>> rows;

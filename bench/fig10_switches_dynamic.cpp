@@ -35,15 +35,13 @@ int main() {
                     exp::fmt(paper_value, 0)});
   };
 
-  add_row("static setting 1", exp::static_setting1("smart_exp3"), 65, false, false);
-  add_row("static setting 2", exp::static_setting2("smart_exp3"), 66, false, false);
-  add_row("dynamic join (11 devices)", exp::dynamic_join_setting("smart_exp3"), 65,
-          false, false);
-  add_row("dynamic leave (4 devices)", exp::dynamic_leave_setting("smart_exp3"), 64,
-          false, false);
-  add_row("setting 3 (8 moving devices)", exp::mobility_setting("smart_exp3"), 102,
+  add_row("static setting 1", exp::make_setting("setting1"), 65, false, false);
+  add_row("static setting 2", exp::make_setting("setting2"), 66, false, false);
+  add_row("dynamic join (11 devices)", exp::make_setting("join"), 65, false, false);
+  add_row("dynamic leave (4 devices)", exp::make_setting("leave"), 64, false, false);
+  add_row("setting 3 (8 moving devices)", exp::make_setting("mobility"), 102,
           true, false);
-  add_row("setting 3 (other 12 devices)", exp::mobility_setting("smart_exp3"), 68,
+  add_row("setting 3 (other 12 devices)", exp::make_setting("mobility"), 68,
           false, true);
 
   exp::print_heading("Figure 10 — mean switches of devices present throughout");

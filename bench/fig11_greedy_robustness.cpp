@@ -26,7 +26,7 @@ int main() {
       {"scenario 3: 1 Smart + 19 Greedy", 1}};
 
   for (const auto& sc : scenarios) {
-    auto cfg = exp::greedy_mix_setting(sc.n_smart);
+    auto cfg = exp::make_setting("greedy_mix", {.n_smart = sc.n_smart});
     // Group 0 = Smart devices (ids 1..n_smart), group 1 = Greedy devices.
     std::vector<DeviceId> smart_ids;
     std::vector<DeviceId> greedy_ids;

@@ -29,7 +29,7 @@ int main() {
   std::vector<std::string> csv_names;
   std::vector<std::vector<double>> csv_series;
   for (const auto* policy : {"smart_exp3", "greedy"}) {
-    auto cfg = exp::controlled_setting({policy});
+    auto cfg = exp::make_setting("controlled", {.policy = policy});
     const auto results = exp::run_many(cfg, runs);
     const auto series = exp::mean_def4_series(results);
     csv_names.push_back(policy);

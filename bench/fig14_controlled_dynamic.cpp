@@ -22,7 +22,7 @@ int main() {
   double tails[2] = {0, 0};
   int p = 0;
   for (const auto* policy : {"smart_exp3", "greedy"}) {
-    auto cfg = exp::controlled_dynamic_setting(policy);
+    auto cfg = exp::make_setting("controlled_dynamic", {.policy = policy});
     const auto results = exp::run_many(cfg, runs);
     const auto series = exp::mean_def4_series(results);
     auto window_mean = [&](std::size_t a, std::size_t b) {

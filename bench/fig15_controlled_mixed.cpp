@@ -21,7 +21,7 @@ int main() {
   std::vector<DeviceId> smart_ids;
   std::vector<DeviceId> greedy_ids;
   for (int i = 0; i < 7; ++i) policies[static_cast<std::size_t>(i)] = "smart_exp3";
-  auto cfg = exp::controlled_setting(policies);
+  auto cfg = exp::make_setting("controlled", {.policy_mix = policies});
   for (const auto& d : cfg.devices) {
     (d.policy_name == "smart_exp3" ? smart_ids : greedy_ids).push_back(d.id);
   }

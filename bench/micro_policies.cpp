@@ -4,8 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "core/factory.hpp"
+#include "exp/registry.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
 #include "metrics/nash.hpp"
 
 namespace {
@@ -32,7 +32,7 @@ void BM_PolicyStep(benchmark::State& state, const std::string& name) {
 }
 
 void BM_WorldSlot20Devices(benchmark::State& state) {
-  auto cfg = exp::static_setting1("smart_exp3");
+  auto cfg = exp::make_setting("setting1");
   cfg.world.horizon = 1 << 30;  // never finish inside the benchmark
   auto world = exp::build_world(cfg, 1);
   for (auto _ : state) {
@@ -42,7 +42,7 @@ void BM_WorldSlot20Devices(benchmark::State& state) {
 }
 
 void BM_FullRunSetting1(benchmark::State& state) {
-  const auto cfg = exp::static_setting1("smart_exp3");
+  const auto cfg = exp::make_setting("setting1");
   std::uint64_t seed = 0;
   for (auto _ : state) {
     const auto result = exp::run_once(cfg, ++seed);

@@ -29,8 +29,8 @@ int main() {
     double measured[2] = {0, 0};
     double stable_pct[2] = {0, 0};
     for (const int setting : {1, 2}) {
-      auto cfg = setting == 1 ? exp::static_setting1(p.policy)
-                              : exp::static_setting2(p.policy);
+      auto cfg = exp::make_setting(setting == 1 ? "setting1" : "setting2",
+                                   {.policy = p.policy});
       cfg.recorder.track_stability = true;
       const auto s = exp::stability_summary(exp::run_many(cfg, runs));
       measured[setting - 1] = s.median_stable_slot;

@@ -31,8 +31,8 @@ int main() {
   for (const auto& p : paper) {
     double gb[2] = {0, 0};
     for (const int setting : {1, 2}) {
-      auto cfg = setting == 1 ? exp::static_setting1(p.policy)
-                              : exp::static_setting2(p.policy);
+      auto cfg = exp::make_setting(setting == 1 ? "setting1" : "setting2",
+                                   {.policy = p.policy});
       const auto results = exp::run_many(cfg, runs);
       gb[setting - 1] = exp::mean_of_run_median_download_mb(results) / 1024.0;
     }

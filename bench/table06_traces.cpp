@@ -36,7 +36,7 @@ int main() {
     double cost[2];
     int p = 0;
     for (const auto* policy : {"smart_exp3", "greedy"}) {
-      auto cfg = exp::trace_setting(pair, policy);
+      auto cfg = exp::make_setting("trace" + std::to_string(idx), {.policy = policy});
       const auto results = exp::run_many(cfg, runs);
       dl[p] = exp::median_total_download_mb(results);
       cost[p] = exp::median_total_switching_cost_mb(results);

@@ -6,9 +6,9 @@
 #include <iostream>
 
 #include "exp/aggregate.hpp"
+#include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
 #include "stats/summary.hpp"
 
 int main() {
@@ -20,7 +20,7 @@ int main() {
       "local coverage. Devices 1-8 walk food court -> study area (slot 400)\n"
       "-> bus stop (slot 800). Every device runs Smart EXP3.\n";
 
-  auto cfg = exp::mobility_setting("smart_exp3");
+  auto cfg = exp::make_setting("mobility");
   const int runs = 20;
   const auto results = exp::run_many(cfg, runs);
 

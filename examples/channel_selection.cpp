@@ -10,9 +10,9 @@
 #include "core/exp3.hpp"
 #include "core/utility_shaping.hpp"
 #include "exp/aggregate.hpp"
+#include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
 
 int main() {
   using namespace smartexp3;
@@ -20,7 +20,7 @@ int main() {
   exp::print_heading("Channel selection — 12 APs, channels 1/6/11");
   std::vector<std::vector<std::string>> rows;
   for (const auto* policy : {"smart_exp3", "greedy", "exp3"}) {
-    auto cfg = exp::channel_selection_setting(policy);
+    auto cfg = exp::make_setting("channel", {.policy = policy});
     const auto results = exp::run_many(cfg, 30);
     const auto series = exp::mean_distance_series(results);
     double tail = 0.0;

@@ -5,15 +5,17 @@
 #include <iostream>
 
 #include "exp/aggregate.hpp"
+#include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
 
 int main() {
   using namespace smartexp3;
 
-  // 1. Describe the experiment: paper §VI-A setting 1, everyone on Smart EXP3.
-  exp::ExperimentConfig config = exp::static_setting1("smart_exp3");
+  // 1. Describe the experiment: paper §VI-A setting 1, everyone on Smart
+  //    EXP3 (the setting's default policy). `netsel_sim --list` enumerates
+  //    every canonical setting the registry can build.
+  exp::ExperimentConfig config = exp::make_setting("setting1");
   config.recorder.track_stability = true;
 
   // 2. Run it (one run here; exp::run_many parallelises across seeds).

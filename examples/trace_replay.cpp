@@ -12,8 +12,36 @@
 
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
+#include "exp/spec_io.hpp"
 #include "trace/synth.hpp"
+
+namespace {
+
+using namespace smartexp3;
+
+/// A single device choosing between the traced WiFi and cellular networks —
+/// built directly from the public config API, the same way a user would wire
+/// their own collected traces into an experiment.
+exp::ExperimentConfig replay_config(const trace::TracePair& pair,
+                                    const std::string& policy) {
+  exp::ExperimentConfig cfg;
+  cfg.name = "trace-replay-" + pair.label;
+  cfg.world.horizon = static_cast<Slot>(pair.slots());
+  auto wifi = netsim::make_wifi(0, 0.0, {}, "wifi-trace");
+  wifi.trace = pair.wifi_mbps;
+  auto cell = netsim::make_cellular(1, 0.0, {}, "cellular-trace");
+  cell.trace = pair.cellular_mbps;
+  cfg.networks = {std::move(wifi), std::move(cell)};
+  netsim::DeviceSpec device;
+  device.id = 1;
+  device.policy_name = policy;
+  cfg.devices = {device};
+  cfg.recorder.track_selections = true;
+  cfg.recorder.track_distance = false;  // single device: congestion moot
+  return cfg;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace smartexp3;
@@ -38,7 +66,7 @@ int main(int argc, char** argv) {
 
   exp::print_heading("Replaying through Smart EXP3 and Greedy");
   for (const auto* policy : {"smart_exp3", "greedy"}) {
-    auto cfg = exp::trace_setting(pair, policy);
+    auto cfg = replay_config(pair, policy);
     const auto run = exp::run_once(cfg, 42);
     std::string ride;
     for (const int net : run.selections[0]) ride += net == 1 ? 'C' : 'w';
@@ -50,5 +78,15 @@ int main(int argc, char** argv) {
 
   std::cout << "\nwifi trace:     [" << exp::sparkline(pair.wifi_mbps, 60) << "]\n";
   std::cout << "cellular trace: [" << exp::sparkline(pair.cellular_mbps, 60) << "]\n";
+
+  // The whole experiment — traces included — serializes to a ScenarioSpec,
+  // so the exact replay can be re-run or edited without this program:
+  //   netsel_sim --spec <file>
+  const auto spec_path =
+      std::filesystem::temp_directory_path() / "smartexp3_trace_replay.json";
+  exp::save_spec_file(replay_config(pair, "smart_exp3"), spec_path.string());
+  std::cout << "\nSaved the experiment as a ScenarioSpec: " << spec_path.string()
+            << "\nRe-run it any time with: netsel_sim --spec " << spec_path.string()
+            << '\n';
   return 0;
 }

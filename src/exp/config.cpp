@@ -1,0 +1,175 @@
+#include "exp/config.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "core/factory.hpp"
+
+namespace smartexp3::exp {
+
+namespace {
+
+std::string device_label(std::size_t index, const netsim::DeviceSpec& d) {
+  return "devices[" + std::to_string(index) + "] (id " + std::to_string(d.id) + ")";
+}
+
+bool fraction_in_unit(double v) { return v >= 0.0 && v <= 1.0; }
+
+}  // namespace
+
+std::vector<double> ExperimentConfig::capacities() const {
+  std::vector<double> caps;
+  capacities_into(caps);
+  return caps;
+}
+
+void ExperimentConfig::capacities_into(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(networks.size());
+  for (const auto& n : networks) out.push_back(n.base_capacity_mbps);
+}
+
+std::vector<std::string> ExperimentConfig::validate() const {
+  std::vector<std::string> errors;
+  auto fail = [&errors](std::string message) { errors.push_back(std::move(message)); };
+
+  // ---- world ----
+  if (world.horizon <= 0) {
+    fail("world.horizon must be positive, got " + std::to_string(world.horizon));
+  }
+  if (world.slot_seconds <= 0.0) {
+    fail("world.slot_seconds must be positive, got " +
+         std::to_string(world.slot_seconds));
+  }
+  if (world.threads < 0) {
+    fail("world.threads must be >= 0 (0 = hardware concurrency), got " +
+         std::to_string(world.threads));
+  }
+
+  // ---- networks ----
+  if (networks.empty()) {
+    fail("no networks: a world needs at least one network to select from");
+  }
+  bool ids_contiguous = true;
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    const auto& n = networks[i];
+    if (n.id != static_cast<NetworkId>(i)) {
+      ids_contiguous = false;
+      fail("networks[" + std::to_string(i) + "] has id " + std::to_string(n.id) +
+           "; network ids must be 0..k-1 in table order");
+    }
+    if (n.base_capacity_mbps < 0.0) {
+      fail("networks[" + std::to_string(i) + "] has negative capacity " +
+           std::to_string(n.base_capacity_mbps) + " Mbps");
+    }
+    for (std::size_t t = 0; t < n.trace.size(); ++t) {
+      if (n.trace[t] < 0.0) {
+        fail("networks[" + std::to_string(i) + "].trace[" + std::to_string(t) +
+             "] is negative (" + std::to_string(n.trace[t]) + " Mbps)");
+        break;  // one message per trace is enough to act on
+      }
+    }
+  }
+  // An area is reachable when at least one network covers it (a network with
+  // an empty area list covers everywhere). A device placed or moved into an
+  // uncovered area would have no networks to choose from.
+  auto area_covered = [this](int area) {
+    return std::any_of(networks.begin(), networks.end(),
+                       [area](const netsim::Network& n) { return n.covers(area); });
+  };
+
+  // ---- devices ----
+  std::unordered_set<DeviceId> seen_ids;
+  std::unordered_set<DeviceId> duplicate_ids;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto& d = devices[i];
+    if (!seen_ids.insert(d.id).second && duplicate_ids.insert(d.id).second) {
+      fail("duplicate device id " + std::to_string(d.id) +
+           ": device ids must be unique");
+    }
+    if (!core::is_valid_policy_name(d.policy_name)) {
+      fail(device_label(i, d) + " has unknown policy '" + d.policy_name + "'");
+    }
+    if (d.join_slot < 0) {
+      fail(device_label(i, d) + " has negative join_slot " +
+           std::to_string(d.join_slot));
+    }
+    if (d.leave_slot != -1 && d.leave_slot < d.join_slot) {
+      fail(device_label(i, d) + " leaves at slot " + std::to_string(d.leave_slot) +
+           " before joining at slot " + std::to_string(d.join_slot) +
+           " (use -1 for 'stays until the end')");
+    }
+    if (!networks.empty() && !area_covered(d.area)) {
+      fail(device_label(i, d) + " starts in area " + std::to_string(d.area) +
+           ", which no network covers");
+    }
+  }
+
+  // ---- scenario events ----
+  for (std::size_t i = 0; i < scenario.moves.size(); ++i) {
+    const auto& ev = scenario.moves[i];
+    if (seen_ids.find(ev.device) == seen_ids.end()) {
+      fail("scenario.moves[" + std::to_string(i) + "] moves unknown device id " +
+           std::to_string(ev.device));
+    }
+    if (!networks.empty() && !area_covered(ev.new_area)) {
+      fail("scenario.moves[" + std::to_string(i) + "] moves device " +
+           std::to_string(ev.device) + " to area " + std::to_string(ev.new_area) +
+           ", which no network covers");
+    }
+  }
+  for (std::size_t i = 0; i < scenario.capacity_changes.size(); ++i) {
+    const auto& ev = scenario.capacity_changes[i];
+    if (ids_contiguous && (ev.network < 0 ||
+                           ev.network >= static_cast<NetworkId>(networks.size()))) {
+      fail("scenario.capacity_changes[" + std::to_string(i) +
+           "] targets unknown network id " + std::to_string(ev.network));
+    }
+    if (ev.new_capacity_mbps < 0.0) {
+      fail("scenario.capacity_changes[" + std::to_string(i) +
+           "] sets a negative capacity (" + std::to_string(ev.new_capacity_mbps) +
+           " Mbps)");
+    }
+  }
+
+  // ---- models ----
+  if (noisy.device_sigma < 0.0 || noisy.noise_sigma < 0.0) {
+    fail("noisy share sigmas must be >= 0");
+  }
+  if (!fraction_in_unit(noisy.noise_rho) || !fraction_in_unit(noisy.dip_probability) ||
+      !fraction_in_unit(noisy.dip_persistence) || !fraction_in_unit(noisy.dip_depth)) {
+    fail("noisy share rho/dip parameters must lie in [0, 1]");
+  }
+  if (delay == DelayKind::kFixed &&
+      (fixed_delay_wifi_s < 0.0 || fixed_delay_cellular_s < 0.0)) {
+    fail("fixed switching delays must be >= 0 seconds");
+  }
+
+  // ---- recorder ----
+  if (recorder.epsilon < 0.0) {
+    fail("recorder.epsilon must be >= 0 percent, got " +
+         std::to_string(recorder.epsilon));
+  }
+  for (std::size_t g = 0; g < recorder.groups.size(); ++g) {
+    for (const DeviceId id : recorder.groups[g]) {
+      if (seen_ids.find(id) == seen_ids.end()) {
+        fail("recorder.groups[" + std::to_string(g) +
+             "] references unknown device id " + std::to_string(id));
+      }
+    }
+  }
+
+  return errors;
+}
+
+void ExperimentConfig::validate_or_throw() const {
+  const auto errors = validate();
+  if (errors.empty()) return;
+  std::string message = "invalid experiment config '" + name + "':";
+  for (const auto& e : errors) message += "\n  - " + e;
+  throw std::invalid_argument(message);
+}
+
+}  // namespace smartexp3::exp

@@ -1,7 +1,10 @@
-// A fully self-contained description of one experiment: world, networks,
-// devices (with their policies by name), scenario events, sharing/delay
-// models and recorder options. ExperimentConfig values are cheap to copy, so
-// the multi-run executor can stamp out per-run worlds with per-run seeds.
+// A fully self-contained, value-typed description of one experiment: world,
+// networks, devices (with their policies by name), scenario events,
+// sharing/delay models and recorder options. ExperimentConfig values are
+// cheap to copy, so the multi-run executor can stamp out per-run worlds with
+// per-run seeds — and they round-trip losslessly through the ScenarioSpec
+// text format (exp/spec_io.hpp), so any experiment can be exported, edited
+// and re-run without recompiling.
 #pragma once
 
 #include <cstdint>
@@ -40,13 +43,15 @@ struct ExperimentConfig {
   std::uint64_t base_seed = 42;
 
   /// Per-network base capacities in id order (used by the centralized
-  /// coordinator and the Nash machinery).
-  std::vector<double> capacities() const {
-    std::vector<double> caps;
-    caps.reserve(networks.size());
-    for (const auto& n : networks) caps.push_back(n.base_capacity_mbps);
-    return caps;
-  }
+  /// coordinator and the Nash machinery). Allocates a fresh vector; hot
+  /// callers use capacities_into and the multi-run executor computes the
+  /// vector once per run_many call, not per run.
+  std::vector<double> capacities() const;
+
+  /// Allocation-free variant: fills `out` (cleared first) with the
+  /// per-network base capacities; no allocation once `out` has capacity for
+  /// the network count.
+  void capacities_into(std::vector<double>& out) const;
 
   double aggregate_capacity() const {
     double total = 0.0;
@@ -59,6 +64,19 @@ struct ExperimentConfig {
     for (auto& d : devices) d.policy_name = policy_name;
     return *this;
   }
+
+  /// Check the config for mistakes a World would either reject with a less
+  /// helpful message or silently mis-simulate: non-contiguous network ids,
+  /// empty networks, negative capacities, duplicate device ids, unknown
+  /// policy names, leave-before-join schedules, moves or initial placements
+  /// into areas no network covers, events referencing unknown devices or
+  /// networks, and out-of-range model parameters. Returns one actionable
+  /// message per problem; empty means the config is sound.
+  std::vector<std::string> validate() const;
+
+  /// Throw std::invalid_argument with every validate() message if the
+  /// config is unsound. Called by exp::build_world and the netsel_sim CLI.
+  void validate_or_throw() const;
 };
 
 }  // namespace smartexp3::exp

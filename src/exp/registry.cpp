@@ -1,0 +1,244 @@
+#include "exp/registry.hpp"
+
+#include <stdexcept>
+
+#include "core/factory.hpp"
+#include "exp/settings.hpp"
+#include "trace/synth.hpp"
+
+namespace smartexp3::exp {
+
+namespace {
+
+[[noreturn]] void unknown_setting(const std::string& name) {
+  std::string message = "unknown setting '" + name + "'; known settings:";
+  for (const auto& info : setting_catalog()) message += " " + info.name;
+  throw std::invalid_argument(message);
+}
+
+[[noreturn]] void reject_override(const std::string& setting, const std::string& param,
+                                  const std::string& why) {
+  throw std::invalid_argument("setting '" + setting + "' does not accept the " +
+                              param + " override: " + why);
+}
+
+/// Guard rail: every override the caller set must be consumed by the
+/// setting's builder, otherwise the run would silently differ from what the
+/// caller asked for.
+struct OverrideGuard {
+  const std::string& name;
+  const SettingParams& params;
+
+  void no_policy() const {
+    if (!params.policy.empty()) {
+      reject_override(name, "policy", "its device-policy mix is the scenario");
+    }
+  }
+  void no_devices() const {
+    if (params.devices != -1) {
+      reject_override(name, "devices", "its device schedule is the scenario");
+    }
+  }
+  void no_networks() const {
+    if (params.networks != -1) {
+      reject_override(name, "networks", "its network set is fixed by the paper");
+    }
+  }
+  void no_n_smart() const {
+    if (params.n_smart != -1) {
+      reject_override(name, "n_smart", "only greedy_mix takes a smart-device count");
+    }
+  }
+  void no_policy_mix() const {
+    if (!params.policy_mix.empty()) {
+      reject_override(name, "policy_mix", "only controlled takes per-device policies");
+    }
+  }
+  void no_trace_slots() const {
+    if (params.trace_slots != -1) {
+      reject_override(name, "trace_slots", "only trace1..trace4 are trace-driven");
+    }
+  }
+};
+
+std::string policy_or(const SettingParams& params, const std::string& fallback) {
+  return params.policy.empty() ? fallback : params.policy;
+}
+
+int devices_or(const SettingParams& params, int fallback) {
+  if (params.devices != -1 && params.devices < 1) {
+    throw std::invalid_argument("devices override must be >= 1, got " +
+                                std::to_string(params.devices));
+  }
+  return params.devices == -1 ? fallback : params.devices;
+}
+
+int trace_index(const std::string& name) {
+  // "trace1".."trace4"; callers have already matched the prefix and length.
+  return name[5] - '0';
+}
+
+}  // namespace
+
+const std::vector<SettingInfo>& setting_catalog() {
+  static const std::vector<SettingInfo> catalog = {
+      {"setting1",
+       "§VI-A static setting 1: 4/7/22 Mbps, unique NE (policy, devices, horizon)",
+       "smart_exp3"},
+      {"setting2",
+       "§VI-A static setting 2: 11/11/11 Mbps, three NEs (policy, devices, horizon)",
+       "smart_exp3"},
+      {"scalability",
+       "§VI-A Fig 6 sweep point: k uniform networks, n devices, 36 h "
+       "(policy, devices, networks, horizon)",
+       "smart_exp3_noreset"},
+      {"join",
+       "§VI-A Fig 7: 9 devices join at slot 400, leave after 799 (policy, horizon)",
+       "smart_exp3"},
+      {"leave",
+       "§VI-A Fig 8: 16 of 20 devices leave after slot 599 (policy, horizon)",
+       "smart_exp3"},
+      {"mobility",
+       "§VI-A Fig 9 setting 3: 3 areas, 5 networks, 8 movers (policy, horizon)",
+       "smart_exp3"},
+      {"greedy_mix",
+       "§VI-A Fig 11: n_smart Smart EXP3 devices vs 20-n_smart Greedy "
+       "(n_smart, horizon)",
+       "smart_exp3+greedy mix"},
+      {"controlled",
+       "§VII-A: 14 devices, noisy heterogeneous sharing, 2 h "
+       "(policy or policy_mix, horizon)",
+       "smart_exp3"},
+      {"controlled_dynamic",
+       "§VII-A Fig 14: 9 of the 14 controlled devices leave after slot 239 "
+       "(policy, horizon)",
+       "smart_exp3"},
+      {"channel",
+       "§IX extension: 12 APs picking among 3 WiFi channels (policy, devices, horizon)",
+       "smart_exp3"},
+      {"trace1",
+       "§VI-B trace pair 1: fluctuating, cellular usually ahead (policy, trace_slots, horizon)",
+       "smart_exp3"},
+      {"trace2",
+       "§VI-B trace pair 2: cellular strictly dominant (policy, trace_slots, horizon)",
+       "smart_exp3"},
+      {"trace3",
+       "§VI-B trace pair 3: deep cellular fades, most adversarial (policy, trace_slots, horizon)",
+       "smart_exp3"},
+      {"trace4",
+       "§VI-B trace pair 4: comparable means, regular crossovers (policy, trace_slots, horizon)",
+       "smart_exp3"},
+  };
+  return catalog;
+}
+
+std::vector<std::string> setting_names() {
+  std::vector<std::string> names;
+  names.reserve(setting_catalog().size());
+  for (const auto& info : setting_catalog()) names.push_back(info.name);
+  return names;
+}
+
+bool is_valid_setting_name(const std::string& name) {
+  for (const auto& info : setting_catalog()) {
+    if (info.name == name) return true;
+  }
+  return false;
+}
+
+ExperimentConfig make_setting(const std::string& name, const SettingParams& params) {
+  if (!is_valid_setting_name(name)) unknown_setting(name);
+  if (!params.policy.empty() && !core::is_valid_policy_name(params.policy)) {
+    throw std::invalid_argument("unknown policy '" + params.policy + "'");
+  }
+  for (const auto& p : params.policy_mix) {
+    if (!core::is_valid_policy_name(p)) {
+      throw std::invalid_argument("unknown policy '" + p + "' in policy_mix");
+    }
+  }
+  if (params.horizon != -1 && params.horizon < 1) {
+    throw std::invalid_argument("horizon override must be >= 1, got " +
+                                std::to_string(params.horizon));
+  }
+  const OverrideGuard guard{name, params};
+  if (name.rfind("trace", 0) != 0) guard.no_trace_slots();
+
+  ExperimentConfig cfg;
+  if (name == "setting1" || name == "setting2") {
+    guard.no_networks();
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    const std::string policy = policy_or(params, "smart_exp3");
+    const int n = devices_or(params, 20);
+    cfg = name == "setting1" ? static_setting1(policy, n) : static_setting2(policy, n);
+  } else if (name == "scalability") {
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    cfg = scalability_setting(policy_or(params, "smart_exp3_noreset"),
+                              params.networks == -1 ? 3 : params.networks,
+                              devices_or(params, 20));
+  } else if (name == "join" || name == "leave") {
+    guard.no_devices();
+    guard.no_networks();
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    const std::string policy = policy_or(params, "smart_exp3");
+    cfg = name == "join" ? dynamic_join_setting(policy) : dynamic_leave_setting(policy);
+  } else if (name == "mobility") {
+    guard.no_devices();
+    guard.no_networks();
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    cfg = mobility_setting(policy_or(params, "smart_exp3"));
+  } else if (name == "greedy_mix") {
+    guard.no_policy();
+    guard.no_devices();
+    guard.no_networks();
+    guard.no_policy_mix();
+    cfg = greedy_mix_setting(params.n_smart == -1 ? 10 : params.n_smart);
+  } else if (name == "controlled") {
+    guard.no_devices();
+    guard.no_networks();
+    guard.no_n_smart();
+    if (!params.policy_mix.empty()) {
+      if (!params.policy.empty()) {
+        reject_override(name, "policy", "policy and policy_mix are mutually exclusive");
+      }
+      cfg = controlled_setting(params.policy_mix);
+    } else {
+      cfg = controlled_setting({policy_or(params, "smart_exp3")});
+    }
+  } else if (name == "controlled_dynamic") {
+    guard.no_devices();
+    guard.no_networks();
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    cfg = controlled_dynamic_setting(policy_or(params, "smart_exp3"));
+  } else if (name == "channel") {
+    guard.no_networks();
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    cfg = channel_selection_setting(policy_or(params, "smart_exp3"),
+                                    devices_or(params, 12));
+  } else {  // trace1..trace4
+    guard.no_devices();
+    guard.no_networks();
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    trace::SynthOptions opts;
+    if (params.trace_slots != -1) {
+      if (params.trace_slots < 1) {
+        throw std::invalid_argument("trace_slots override must be >= 1, got " +
+                                    std::to_string(params.trace_slots));
+      }
+      opts.slots = params.trace_slots;
+    }
+    cfg = trace_setting(trace::synthetic_pair(trace_index(name), opts),
+                        policy_or(params, "smart_exp3"));
+  }
+
+  if (params.horizon != -1) cfg.world.horizon = params.horizon;
+  return cfg;
+}
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,62 @@
+// The setting registry: every canonical scenario of the paper's evaluation
+// (plus the channel-selection extension) behind one name-based doorway with
+// typed parameter overrides.
+//
+// This is the single public entry point for obtaining canonical
+// ExperimentConfigs — the CLI (`netsel_sim --setting`), every bench binary
+// and the examples all resolve settings here. The raw C++ builders in
+// exp/settings.hpp are an implementation detail of this registry (and of the
+// white-box tests that pin their shapes).
+//
+//   auto cfg = exp::make_setting("setting1");                      // defaults
+//   auto cfg = exp::make_setting("scalability", {.policy = "exp3",
+//                                                .devices = 40,
+//                                                .networks = 5});
+//
+// Unsupported overrides are errors, not silent no-ops: asking for
+// `.devices` on a setting whose device count is part of the scenario throws
+// with a message naming the setting and the offending parameter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/config.hpp"
+
+namespace smartexp3::exp {
+
+/// Typed overrides accepted by make_setting. Fields left at their defaults
+/// keep the setting's canonical value; which fields a given setting honours
+/// is listed in its catalog summary (and enforced — see above).
+struct SettingParams {
+  std::string policy;                   ///< "" = the setting's default policy
+  int devices = -1;                     ///< device count (static/scalability/channel)
+  Slot horizon = -1;                    ///< horizon override in slots (any setting)
+  int networks = -1;                    ///< number of networks k (scalability)
+  int n_smart = -1;                     ///< smart-device count (greedy_mix)
+  int trace_slots = -1;                 ///< synthetic trace length (trace1..4)
+  std::vector<std::string> policy_mix;  ///< per-device policies (controlled)
+};
+
+/// One registry entry, as enumerated by `netsel_sim --list`.
+struct SettingInfo {
+  std::string name;            ///< canonical name ("setting1", "trace3", ...)
+  std::string summary;         ///< one-line description incl. accepted overrides
+  std::string default_policy;  ///< policy used when SettingParams::policy is ""
+};
+
+/// The full catalog, in the paper's presentation order.
+const std::vector<SettingInfo>& setting_catalog();
+
+/// Just the canonical names, in catalog order.
+std::vector<std::string> setting_names();
+
+bool is_valid_setting_name(const std::string& name);
+
+/// Build the named setting with the given overrides. Throws
+/// std::invalid_argument on unknown names, on overrides the setting does not
+/// accept, and on out-of-range override values.
+ExperimentConfig make_setting(const std::string& name,
+                              const SettingParams& params = {});
+
+}  // namespace smartexp3::exp

@@ -1,8 +1,10 @@
 #include "exp/runner.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <exception>
+#include <iostream>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -11,9 +13,16 @@
 
 namespace smartexp3::exp {
 
-std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
-                                           std::uint64_t seed) {
-  auto named_factory = core::make_named_policy_factory(config.capacities(), config.smart);
+namespace {
+
+/// World construction shared by the validated public entry points. Takes the
+/// per-network capacities precomputed by the caller so run_many builds the
+/// vector once per call instead of once per run (the centralized
+/// coordinator still copies it — it owns its snapshot).
+std::unique_ptr<netsim::World> build_world_impl(const ExperimentConfig& config,
+                                                std::uint64_t seed,
+                                                const std::vector<double>& capacities) {
+  auto named_factory = core::make_named_policy_factory(capacities, config.smart);
   netsim::PolicyFactory factory =
       [named_factory](const netsim::DeviceSpec& spec,
                       std::uint64_t device_seed) -> std::unique_ptr<core::Policy> {
@@ -55,17 +64,70 @@ std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
   return world;
 }
 
-metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
-  auto world = build_world(config, seed);
+metrics::RunResult run_once_impl(const ExperimentConfig& config, std::uint64_t seed,
+                                 const std::vector<double>& capacities) {
+  auto world = build_world_impl(config, seed, capacities);
   metrics::RunRecorder recorder(config.recorder);
   world->set_observer(&recorder);
   world->run();
   return recorder.take_result();
 }
 
+/// Strict env-var integer parsing shared by repro_runs / world_threads:
+/// garbage and out-of-range values used to flow through atoi/silent
+/// fallbacks; now they warn once per variable per process and recover.
+/// Values above `max` clamp to it; values below `min` clamp to it when
+/// `clamp_low` (a too-small run count still means "as few as possible") and
+/// fall back otherwise (a negative thread count has no nearest meaning —
+/// clamping it to 0 would silently request every core); unparsable text
+/// always falls back.
+int env_int_clamped(const char* name, int fallback, long min, long max,
+                    bool clamp_low, bool* warned_once) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(env, &end, 10);
+  const bool parsed = end != env && *end == '\0' && errno != ERANGE;
+  long result;
+  if (!parsed) {
+    result = fallback;
+  } else if (v < min) {
+    result = clamp_low ? min : fallback;
+  } else if (v > max) {
+    result = max;
+  } else {
+    result = v;
+  }
+  if ((!parsed || result != v) && !*warned_once) {
+    *warned_once = true;
+    std::cerr << "warning: " << name << "='" << env << "' is "
+              << (parsed ? "out of range" : "not an integer") << "; using "
+              << result << '\n';
+  }
+  return static_cast<int>(result);
+}
+
+}  // namespace
+
+std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
+                                           std::uint64_t seed) {
+  config.validate_or_throw();
+  return build_world_impl(config, seed, config.capacities());
+}
+
+metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) {
+  config.validate_or_throw();
+  return run_once_impl(config, seed, config.capacities());
+}
+
 std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
                                          int threads) {
   if (runs <= 0) return {};
+  // Validate and derive the shared per-run inputs once, up front: the
+  // workers below stamp out worlds from the same (now known-sound) config.
+  config.validate_or_throw();
+  const std::vector<double> capacities = config.capacities();
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 4;
@@ -100,8 +162,8 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
         const int r = next.fetch_add(1);
         if (r >= runs || failed.load()) return;
         try {
-          results[static_cast<std::size_t>(r)] =
-              run_once(config, config.base_seed + static_cast<std::uint64_t>(r));
+          results[static_cast<std::size_t>(r)] = run_once_impl(
+              config, config.base_seed + static_cast<std::uint64_t>(r), capacities);
         } catch (...) {
           // Capture the first failure and stop handing out work; the
           // exception is rethrown on the joining thread instead of
@@ -122,24 +184,16 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
 }
 
 int repro_runs(int fallback) {
-  if (const char* env = std::getenv("REPRO_RUNS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return fallback;
+  static bool warned = false;
+  return env_int_clamped("REPRO_RUNS", fallback, 1, 1'000'000, /*clamp_low=*/true,
+                         &warned);
 }
 
 int world_threads(int fallback) {
-  if (const char* env = std::getenv("WORLD_THREADS")) {
-    // Strict parse: a malformed value must fall back to serial, not resolve
-    // to atoi's 0 ("all cores"). An explicit "0" does mean all cores.
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 0 && v <= 1 << 16) {
-      return static_cast<int>(v);
-    }
-  }
-  return fallback;
+  // 0 is meaningful ("all cores"); negatives and garbage are not.
+  static bool warned = false;
+  return env_int_clamped("WORLD_THREADS", fallback, 0, 1 << 16, /*clamp_low=*/false,
+                         &warned);
 }
 
 }  // namespace smartexp3::exp

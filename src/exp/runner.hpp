@@ -12,7 +12,9 @@
 namespace smartexp3::exp {
 
 /// Construct a ready-to-run world for this config and seed (exposed so tests
-/// and examples can drive worlds slot by slot).
+/// and examples can drive worlds slot by slot). Runs
+/// ExperimentConfig::validate first and throws std::invalid_argument with
+/// every problem found.
 std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
                                            std::uint64_t seed);
 
@@ -29,14 +31,17 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
 
 /// Number of runs per experiment data point: the REPRO_RUNS environment
 /// variable if set, otherwise `fallback` (benches default to 60 to keep the
-/// full suite fast; the paper used 500).
+/// full suite fast; the paper used 500). Malformed or out-of-range values
+/// warn once on stderr and are clamped into [1, 1e6] (unparsable text keeps
+/// the fallback).
 int repro_runs(int fallback = 60);
 
 /// Lanes for the device-parallel phases inside each world (WorldConfig
 /// threads): the WORLD_THREADS environment variable if set, otherwise
 /// `fallback`. 0 means hardware concurrency; the simulated trajectory is
 /// identical for every value. Benches apply this to their configs so a
-/// single big world can use the whole machine.
+/// single big world can use the whole machine. Malformed or negative values
+/// warn once on stderr and keep the fallback.
 int world_threads(int fallback = 1);
 
 }  // namespace smartexp3::exp

@@ -1,6 +1,11 @@
 // Canonical experiment settings from the paper's evaluation (§VI, §VII),
-// expressed as ExperimentConfig builders. Every bench binary starts from one
-// of these; tests use them to pin the reproduction scenarios down.
+// expressed as ExperimentConfig builders.
+//
+// These builders are the implementation behind the setting registry
+// (exp/registry.hpp) — benches, examples and the netsel_sim CLI obtain
+// configs through `exp::make_setting(name, params)`, never by calling these
+// directly. The white-box tests in tests/test_settings.cpp keep pinning the
+// builder shapes here.
 #pragma once
 
 #include "exp/config.hpp"

@@ -1,0 +1,829 @@
+#include "exp/spec_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace smartexp3::exp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Shortest decimal form that parses back to exactly the same double — the
+/// property the round-trip determinism tests rely on.
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) {
+    throw std::runtime_error("ScenarioSpec cannot represent non-finite number");
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Emits the spec with two-space indentation and deterministic key order.
+class SpecWriter {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void open_object() { punctuate(); out_ += '{'; ++depth_; fresh_ = true; }
+  void close_object() { --depth_; newline(); out_ += '}'; fresh_ = false; }
+  void open_array(const std::string& key) { open_key(key); out_ += '['; ++depth_; fresh_ = true; }
+  void close_array() { --depth_; newline(); out_ += ']'; fresh_ = false; }
+
+  void open_key(const std::string& key) {
+    punctuate();
+    out_ += quote(key);
+    out_ += ": ";
+  }
+  void open_object_for(const std::string& key) { open_key(key); out_ += '{'; ++depth_; fresh_ = true; }
+
+  void field(const std::string& key, const std::string& value) { open_key(key); out_ += quote(value); }
+  // Without this overload string literals would convert to bool, not string.
+  void field(const std::string& key, const char* value) { field(key, std::string(value)); }
+  void field(const std::string& key, double value) { open_key(key); out_ += fmt_double(value); }
+  void field(const std::string& key, int value) { open_key(key); out_ += std::to_string(value); }
+  void field(const std::string& key, std::uint64_t value) { open_key(key); out_ += std::to_string(value); }
+  void field(const std::string& key, bool value) { open_key(key); out_ += value ? "true" : "false"; }
+
+  /// Scalar arrays are emitted on one line ("[4, 7, 22]") — they are the
+  /// bulk of a spec with traces and this keeps the files skimmable.
+  void inline_array(const std::string& key, const std::vector<int>& values) {
+    open_key(key);
+    append_inline(values, [](int v) { return std::to_string(v); });
+  }
+  void inline_array(const std::string& key, const std::vector<double>& values) {
+    open_key(key);
+    append_inline(values, fmt_double);
+  }
+  void inline_array_element(const std::vector<int>& values) {
+    punctuate();
+    append_inline(values, [](int v) { return std::to_string(v); });
+  }
+
+ private:
+  template <typename T, typename Format>
+  void append_inline(const std::vector<T>& values, Format format) {
+    out_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out_ += ", ";
+      out_ += format(values[i]);
+    }
+    out_ += ']';
+  }
+
+  void newline() {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+  }
+  void punctuate() {
+    if (depth_ == 0) return;  // the root value itself
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+    newline();
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool fresh_ = true;  // no element written yet at this depth
+};
+
+/// One run of consecutive-id devices with identical policy/area/schedule —
+/// the unit the "device_groups" section serializes. Grouping is purely a
+/// compression of the device table; parsing expands it back losslessly.
+struct DeviceGroup {
+  netsim::DeviceSpec first;
+  int count = 1;
+};
+
+bool same_group(const netsim::DeviceSpec& a, const netsim::DeviceSpec& b, int offset) {
+  return b.id == a.id + offset && b.policy_name == a.policy_name &&
+         b.area == a.area && b.join_slot == a.join_slot && b.leave_slot == a.leave_slot;
+}
+
+std::vector<DeviceGroup> group_devices(const std::vector<netsim::DeviceSpec>& devices) {
+  std::vector<DeviceGroup> groups;
+  for (const auto& d : devices) {
+    if (!groups.empty() && same_group(groups.back().first, d, groups.back().count)) {
+      ++groups.back().count;
+    } else {
+      groups.push_back({d, 1});
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::string to_spec_text(const ExperimentConfig& config) {
+  SpecWriter w;
+  w.open_object();
+  w.field("spec_version", kSpecVersion);
+  w.field("name", config.name);
+  w.field("base_seed", config.base_seed);
+
+  w.open_object_for("world");
+  w.field("slot_seconds", config.world.slot_seconds);
+  w.field("gain_scale_mbps", config.world.gain_scale_mbps);
+  w.field("horizon", config.world.horizon);
+  w.field("threads", config.world.threads);
+  w.close_object();
+
+  w.open_array("networks");
+  for (const auto& n : config.networks) {
+    w.open_object();
+    w.field("id", n.id);
+    w.field("type", n.type == netsim::NetworkType::kWifi ? "wifi" : "cellular");
+    w.field("capacity_mbps", n.base_capacity_mbps);
+    if (!n.label.empty()) w.field("label", n.label);
+    if (!n.areas.empty()) w.inline_array("areas", n.areas);
+    if (!n.trace.empty()) w.inline_array("trace", n.trace);
+    w.close_object();
+  }
+  w.close_array();
+
+  w.open_array("device_groups");
+  for (const auto& g : group_devices(config.devices)) {
+    w.open_object();
+    w.field("first_id", g.first.id);
+    w.field("count", g.count);
+    w.field("policy", g.first.policy_name);
+    if (g.first.area != 0) w.field("area", g.first.area);
+    if (g.first.join_slot != 0) w.field("join_slot", g.first.join_slot);
+    if (g.first.leave_slot != -1) w.field("leave_slot", g.first.leave_slot);
+    w.close_object();
+  }
+  w.close_array();
+
+  if (!config.scenario.moves.empty()) {
+    w.open_array("moves");
+    for (const auto& ev : config.scenario.moves) {
+      w.open_object();
+      w.field("slot", ev.slot);
+      w.field("device", ev.device);
+      w.field("area", ev.new_area);
+      w.close_object();
+    }
+    w.close_array();
+  }
+  if (!config.scenario.capacity_changes.empty()) {
+    w.open_array("capacity_changes");
+    for (const auto& ev : config.scenario.capacity_changes) {
+      w.open_object();
+      w.field("slot", ev.slot);
+      w.field("network", ev.network);
+      w.field("capacity_mbps", ev.new_capacity_mbps);
+      w.close_object();
+    }
+    w.close_array();
+  }
+
+  w.open_object_for("share");
+  if (config.share == ShareKind::kEqual) {
+    w.field("kind", "equal");
+  } else {
+    w.field("kind", "noisy");
+    w.field("device_sigma", config.noisy.device_sigma);
+    w.field("noise_rho", config.noisy.noise_rho);
+    w.field("noise_sigma", config.noisy.noise_sigma);
+    w.field("dip_probability", config.noisy.dip_probability);
+    w.field("dip_persistence", config.noisy.dip_persistence);
+    w.field("dip_depth", config.noisy.dip_depth);
+    w.field("seed", config.noisy.seed);
+  }
+  w.close_object();
+
+  w.open_object_for("delay");
+  switch (config.delay) {
+    case DelayKind::kDistribution: w.field("kind", "distribution"); break;
+    case DelayKind::kZero: w.field("kind", "zero"); break;
+    case DelayKind::kFixed:
+      w.field("kind", "fixed");
+      w.field("wifi_s", config.fixed_delay_wifi_s);
+      w.field("cellular_s", config.fixed_delay_cellular_s);
+      break;
+  }
+  w.close_object();
+
+  w.open_object_for("smart");
+  w.field("beta", config.smart.beta);
+  w.field("enable_reset", config.smart.enable_reset);
+  w.field("enable_switch_back", config.smart.enable_switch_back);
+  w.field("enable_greedy", config.smart.enable_greedy);
+  w.field("enable_explore_first", config.smart.enable_explore_first);
+  w.field("reset_prob_threshold", config.smart.reset_prob_threshold);
+  w.field("reset_block_len", config.smart.reset_block_len);
+  w.field("drop_fraction", config.smart.drop_fraction);
+  w.field("drop_slots", config.smart.drop_slots);
+  w.field("switch_back_window", config.smart.switch_back_window);
+  w.close_object();
+
+  w.open_object_for("recorder");
+  w.field("track_distance", config.recorder.track_distance);
+  w.field("track_stability", config.recorder.track_stability);
+  w.field("track_def4", config.recorder.track_def4);
+  w.field("track_selections", config.recorder.track_selections);
+  w.field("epsilon", config.recorder.epsilon);
+  if (!config.recorder.groups.empty()) {
+    w.open_array("groups");
+    for (const auto& group : config.recorder.groups) w.inline_array_element(group);
+    w.close_array();
+  }
+  w.close_object();
+
+  w.close_object();
+  std::string text = w.take();
+  text += '\n';
+  return text;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing: a strict JSON-subset recursive-descent parser with line numbers
+// ---------------------------------------------------------------------------
+
+struct Value {
+  enum class Type { kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kBool;
+  int line = 1;  // 1-based line where the value starts, for error messages
+
+  bool boolean = false;
+  double number = 0.0;
+  bool integral = false;   // the literal had no fraction/exponent part
+  bool negative = false;   // literal began with '-'
+  std::uint64_t magnitude = 0;  // |value| when integral (saturated on overflow)
+  bool magnitude_exact = false;
+
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the spec object");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw SpecError("spec parse error at line " + std::to_string(line_) + ": " + what);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input (truncated spec?)");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') ++line_;
+    return c;
+  }
+  void expect(char c) {
+    const char got = take();
+    if (got != c) {
+      fail(std::string("expected '") + c + "', found '" + got + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+      if (c == '\n') ++line_;
+    }
+  }
+
+  Value parse_value() {
+    skip_ws();
+    Value v;
+    v.line = line_;
+    const char c = peek();
+    if (c == '{') { parse_object(v); return v; }
+    if (c == '[') { parse_array(v); return v; }
+    if (c == '"') { v.type = Value::Type::kString; v.str = parse_string(); return v; }
+    if (c == 't' || c == 'f') { parse_bool(v); return v; }
+    if (c == '-' || (c >= '0' && c <= '9')) { parse_number(v); return v; }
+    if (c == 'n') fail("null is not used by the spec format");
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  void parse_object(Value& v) {
+    v.type = Value::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { take(); return; }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      for (const auto& [existing, unused] : v.object) {
+        if (existing == key) fail("duplicate key '" + key + "' in object");
+      }
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  void parse_array(Value& v) {
+    v.type = Value::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { take(); return; }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') { out += c; continue; }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          if (code >= 0xd800 && code <= 0xdfff) fail("surrogate escapes are not supported");
+          // Encode the code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  void parse_bool(Value& v) {
+    v.type = Value::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected 'true' or 'false'");
+    }
+  }
+
+  void parse_number(Value& v) {
+    v.type = Value::Type::kNumber;
+    const std::size_t start = pos_;
+    if (peek() == '-') { v.negative = true; take(); }
+    if (!(peek() >= '0' && peek() <= '9')) fail("malformed number");
+    if (peek() == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      fail("malformed number: leading zeros are not allowed");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    const std::size_t int_end = pos_;
+    v.integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      v.integral = false;
+      ++pos_;
+      if (!(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        fail("malformed number: digits must follow '.'");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      v.integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        fail("malformed number: digits must follow the exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), v.number);
+    if (result.ec != std::errc() || result.ptr != token.data() + token.size()) {
+      fail("malformed number '" + token + "'");
+    }
+    if (v.integral) {
+      const std::size_t mag_start = start + (v.negative ? 1 : 0);
+      const auto mag = std::from_chars(text_.data() + mag_start,
+                                       text_.data() + int_end, v.magnitude);
+      v.magnitude_exact = mag.ec == std::errc();
+      if (!v.magnitude_exact) v.magnitude = std::numeric_limits<std::uint64_t>::max();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Conversion: JSON values -> ExperimentConfig, with strict key checking
+// ---------------------------------------------------------------------------
+
+[[noreturn]] void fail_at(const Value& v, const std::string& path,
+                          const std::string& what) {
+  throw SpecError("spec error at " + path + " (line " + std::to_string(v.line) +
+                  "): " + what);
+}
+
+const char* type_name(Value::Type t) {
+  switch (t) {
+    case Value::Type::kBool: return "boolean";
+    case Value::Type::kNumber: return "number";
+    case Value::Type::kString: return "string";
+    case Value::Type::kArray: return "array";
+    case Value::Type::kObject: return "object";
+  }
+  return "value";
+}
+
+void require_type(const Value& v, Value::Type t, const std::string& path) {
+  if (v.type != t) {
+    fail_at(v, path, std::string("expected ") + type_name(t) + ", found " +
+                         type_name(v.type));
+  }
+}
+
+bool as_bool(const Value& v, const std::string& path) {
+  require_type(v, Value::Type::kBool, path);
+  return v.boolean;
+}
+
+double as_double(const Value& v, const std::string& path) {
+  require_type(v, Value::Type::kNumber, path);
+  return v.number;
+}
+
+const std::string& as_string(const Value& v, const std::string& path) {
+  require_type(v, Value::Type::kString, path);
+  return v.str;
+}
+
+long long as_integer(const Value& v, const std::string& path, long long min,
+                     long long max) {
+  require_type(v, Value::Type::kNumber, path);
+  if (!v.integral) fail_at(v, path, "expected an integer, found a fraction");
+  if (!v.magnitude_exact ||
+      v.magnitude > static_cast<std::uint64_t>(std::numeric_limits<long long>::max())) {
+    fail_at(v, path, "integer is too large");
+  }
+  const long long value = v.negative ? -static_cast<long long>(v.magnitude)
+                                     : static_cast<long long>(v.magnitude);
+  if (value < min || value > max) {
+    fail_at(v, path, "value " + std::to_string(value) + " is outside [" +
+                         std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return value;
+}
+
+int as_int(const Value& v, const std::string& path,
+           int min = std::numeric_limits<int>::min(),
+           int max = std::numeric_limits<int>::max()) {
+  return static_cast<int>(as_integer(v, path, min, max));
+}
+
+std::uint64_t as_uint64(const Value& v, const std::string& path) {
+  require_type(v, Value::Type::kNumber, path);
+  if (!v.integral) fail_at(v, path, "expected an integer, found a fraction");
+  if (v.negative) fail_at(v, path, "expected a non-negative integer");
+  if (!v.magnitude_exact) fail_at(v, path, "integer is too large");
+  return v.magnitude;
+}
+
+/// Strict object access: every key the spec carries must be consumed, so a
+/// typo'd or unsupported key is an error instead of a silent no-op.
+class ObjectReader {
+ public:
+  ObjectReader(const Value& v, std::string path) : value_(v), path_(std::move(path)) {
+    require_type(v, Value::Type::kObject, path_);
+    consumed_.assign(v.object.size(), false);
+  }
+
+  /// The member value, or nullptr when absent (caller keeps the default).
+  const Value* find(const char* key) {
+    for (std::size_t i = 0; i < value_.object.size(); ++i) {
+      if (value_.object[i].first == key) {
+        if (consumed_[i]) fail_at(value_.object[i].second, member_path(key), "duplicate key");
+        consumed_[i] = true;
+        return &value_.object[i].second;
+      }
+    }
+    return nullptr;
+  }
+
+  const Value& require(const char* key) {
+    const Value* v = find(key);
+    if (v == nullptr) fail_at(value_, path_, std::string("missing required key '") + key + "'");
+    return *v;
+  }
+
+  std::string member_path(const char* key) const { return path_ + "." + key; }
+
+  /// Call after reading every supported key: any key left over is unknown.
+  void finish() const {
+    for (std::size_t i = 0; i < value_.object.size(); ++i) {
+      if (!consumed_[i]) {
+        fail_at(value_.object[i].second, path_,
+                "unknown key '" + value_.object[i].first + "'");
+      }
+    }
+  }
+
+ private:
+  const Value& value_;
+  std::string path_;
+  std::vector<bool> consumed_;
+};
+
+void read_world(const Value& v, netsim::WorldConfig& world, const std::string& path) {
+  ObjectReader r(v, path);
+  if (const Value* m = r.find("slot_seconds")) world.slot_seconds = as_double(*m, r.member_path("slot_seconds"));
+  if (const Value* m = r.find("gain_scale_mbps")) world.gain_scale_mbps = as_double(*m, r.member_path("gain_scale_mbps"));
+  if (const Value* m = r.find("horizon")) world.horizon = as_int(*m, r.member_path("horizon"));
+  if (const Value* m = r.find("threads")) world.threads = as_int(*m, r.member_path("threads"));
+  r.finish();
+}
+
+netsim::Network read_network(const Value& v, const std::string& path) {
+  ObjectReader r(v, path);
+  netsim::Network n;
+  n.id = as_int(r.require("id"), r.member_path("id"));
+  const Value& type_value = r.require("type");
+  const std::string& type = as_string(type_value, r.member_path("type"));
+  if (type == "wifi") {
+    n.type = netsim::NetworkType::kWifi;
+  } else if (type == "cellular") {
+    n.type = netsim::NetworkType::kCellular;
+  } else {
+    fail_at(type_value, r.member_path("type"),
+            "expected \"wifi\" or \"cellular\", found \"" + type + "\"");
+  }
+  n.base_capacity_mbps = as_double(r.require("capacity_mbps"), r.member_path("capacity_mbps"));
+  if (const Value* m = r.find("label")) n.label = as_string(*m, r.member_path("label"));
+  if (const Value* m = r.find("areas")) {
+    require_type(*m, Value::Type::kArray, r.member_path("areas"));
+    for (std::size_t i = 0; i < m->array.size(); ++i) {
+      n.areas.push_back(as_int(m->array[i], r.member_path("areas") + "[" + std::to_string(i) + "]"));
+    }
+  }
+  if (const Value* m = r.find("trace")) {
+    require_type(*m, Value::Type::kArray, r.member_path("trace"));
+    n.trace.reserve(m->array.size());
+    for (std::size_t i = 0; i < m->array.size(); ++i) {
+      n.trace.push_back(as_double(m->array[i], r.member_path("trace") + "[" + std::to_string(i) + "]"));
+    }
+  }
+  r.finish();
+  return n;
+}
+
+void read_device_group(const Value& v, std::vector<netsim::DeviceSpec>& devices,
+                       const std::string& path) {
+  ObjectReader r(v, path);
+  netsim::DeviceSpec spec;
+  spec.id = as_int(r.require("first_id"), r.member_path("first_id"));
+  const int count = as_int(r.require("count"), r.member_path("count"), 1, 1 << 24);
+  spec.policy_name = as_string(r.require("policy"), r.member_path("policy"));
+  if (const Value* m = r.find("area")) spec.area = as_int(*m, r.member_path("area"));
+  if (const Value* m = r.find("join_slot")) spec.join_slot = as_int(*m, r.member_path("join_slot"));
+  if (const Value* m = r.find("leave_slot")) spec.leave_slot = as_int(*m, r.member_path("leave_slot"));
+  r.finish();
+  devices.reserve(devices.size() + static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    devices.push_back(spec);
+    ++spec.id;
+  }
+}
+
+void read_share(const Value& v, ExperimentConfig& cfg, const std::string& path) {
+  ObjectReader r(v, path);
+  const std::string& kind = as_string(r.require("kind"), r.member_path("kind"));
+  if (kind == "equal") {
+    cfg.share = ShareKind::kEqual;
+  } else if (kind == "noisy") {
+    cfg.share = ShareKind::kNoisy;
+    if (const Value* m = r.find("device_sigma")) cfg.noisy.device_sigma = as_double(*m, r.member_path("device_sigma"));
+    if (const Value* m = r.find("noise_rho")) cfg.noisy.noise_rho = as_double(*m, r.member_path("noise_rho"));
+    if (const Value* m = r.find("noise_sigma")) cfg.noisy.noise_sigma = as_double(*m, r.member_path("noise_sigma"));
+    if (const Value* m = r.find("dip_probability")) cfg.noisy.dip_probability = as_double(*m, r.member_path("dip_probability"));
+    if (const Value* m = r.find("dip_persistence")) cfg.noisy.dip_persistence = as_double(*m, r.member_path("dip_persistence"));
+    if (const Value* m = r.find("dip_depth")) cfg.noisy.dip_depth = as_double(*m, r.member_path("dip_depth"));
+    if (const Value* m = r.find("seed")) cfg.noisy.seed = as_uint64(*m, r.member_path("seed"));
+  } else {
+    fail_at(v, r.member_path("kind"),
+            "expected \"equal\" or \"noisy\", found \"" + kind + "\"");
+  }
+  r.finish();
+}
+
+void read_delay(const Value& v, ExperimentConfig& cfg, const std::string& path) {
+  ObjectReader r(v, path);
+  const std::string& kind = as_string(r.require("kind"), r.member_path("kind"));
+  if (kind == "distribution") {
+    cfg.delay = DelayKind::kDistribution;
+  } else if (kind == "zero") {
+    cfg.delay = DelayKind::kZero;
+  } else if (kind == "fixed") {
+    cfg.delay = DelayKind::kFixed;
+    if (const Value* m = r.find("wifi_s")) cfg.fixed_delay_wifi_s = as_double(*m, r.member_path("wifi_s"));
+    if (const Value* m = r.find("cellular_s")) cfg.fixed_delay_cellular_s = as_double(*m, r.member_path("cellular_s"));
+  } else {
+    fail_at(v, r.member_path("kind"),
+            "expected \"distribution\", \"zero\" or \"fixed\", found \"" + kind + "\"");
+  }
+  r.finish();
+}
+
+void read_smart(const Value& v, core::SmartExp3Tunables& smart, const std::string& path) {
+  ObjectReader r(v, path);
+  if (const Value* m = r.find("beta")) smart.beta = as_double(*m, r.member_path("beta"));
+  if (const Value* m = r.find("enable_reset")) smart.enable_reset = as_bool(*m, r.member_path("enable_reset"));
+  if (const Value* m = r.find("enable_switch_back")) smart.enable_switch_back = as_bool(*m, r.member_path("enable_switch_back"));
+  if (const Value* m = r.find("enable_greedy")) smart.enable_greedy = as_bool(*m, r.member_path("enable_greedy"));
+  if (const Value* m = r.find("enable_explore_first")) smart.enable_explore_first = as_bool(*m, r.member_path("enable_explore_first"));
+  if (const Value* m = r.find("reset_prob_threshold")) smart.reset_prob_threshold = as_double(*m, r.member_path("reset_prob_threshold"));
+  if (const Value* m = r.find("reset_block_len")) smart.reset_block_len = as_int(*m, r.member_path("reset_block_len"));
+  if (const Value* m = r.find("drop_fraction")) smart.drop_fraction = as_double(*m, r.member_path("drop_fraction"));
+  if (const Value* m = r.find("drop_slots")) smart.drop_slots = as_int(*m, r.member_path("drop_slots"));
+  if (const Value* m = r.find("switch_back_window")) smart.switch_back_window = as_int(*m, r.member_path("switch_back_window"));
+  r.finish();
+}
+
+void read_recorder(const Value& v, metrics::RecorderOptions& rec, const std::string& path) {
+  ObjectReader r(v, path);
+  if (const Value* m = r.find("track_distance")) rec.track_distance = as_bool(*m, r.member_path("track_distance"));
+  if (const Value* m = r.find("track_stability")) rec.track_stability = as_bool(*m, r.member_path("track_stability"));
+  if (const Value* m = r.find("track_def4")) rec.track_def4 = as_bool(*m, r.member_path("track_def4"));
+  if (const Value* m = r.find("track_selections")) rec.track_selections = as_bool(*m, r.member_path("track_selections"));
+  if (const Value* m = r.find("epsilon")) rec.epsilon = as_double(*m, r.member_path("epsilon"));
+  if (const Value* m = r.find("groups")) {
+    require_type(*m, Value::Type::kArray, r.member_path("groups"));
+    for (std::size_t g = 0; g < m->array.size(); ++g) {
+      const std::string gpath = r.member_path("groups") + "[" + std::to_string(g) + "]";
+      require_type(m->array[g], Value::Type::kArray, gpath);
+      std::vector<DeviceId> ids;
+      for (std::size_t i = 0; i < m->array[g].array.size(); ++i) {
+        ids.push_back(as_int(m->array[g].array[i], gpath + "[" + std::to_string(i) + "]"));
+      }
+      rec.groups.push_back(std::move(ids));
+    }
+  }
+  r.finish();
+}
+
+}  // namespace
+
+ExperimentConfig parse_spec_text(const std::string& text) {
+  const Value root = JsonParser(text).parse();
+  ObjectReader r(root, "spec");
+
+  if (const Value* m = r.find("spec_version")) {
+    const int version = as_int(*m, r.member_path("spec_version"));
+    if (version != kSpecVersion) {
+      fail_at(*m, r.member_path("spec_version"),
+              "unsupported version " + std::to_string(version) + " (this build reads " +
+                  std::to_string(kSpecVersion) + ")");
+    }
+  }
+
+  ExperimentConfig cfg;
+  if (const Value* m = r.find("name")) cfg.name = as_string(*m, r.member_path("name"));
+  if (const Value* m = r.find("base_seed")) cfg.base_seed = as_uint64(*m, r.member_path("base_seed"));
+  if (const Value* m = r.find("world")) read_world(*m, cfg.world, r.member_path("world"));
+
+  {
+    const Value& nets = r.require("networks");
+    require_type(nets, Value::Type::kArray, r.member_path("networks"));
+    for (std::size_t i = 0; i < nets.array.size(); ++i) {
+      cfg.networks.push_back(
+          read_network(nets.array[i], r.member_path("networks") + "[" + std::to_string(i) + "]"));
+    }
+  }
+  {
+    const Value& groups = r.require("device_groups");
+    require_type(groups, Value::Type::kArray, r.member_path("device_groups"));
+    for (std::size_t i = 0; i < groups.array.size(); ++i) {
+      read_device_group(groups.array[i], cfg.devices,
+                        r.member_path("device_groups") + "[" + std::to_string(i) + "]");
+    }
+  }
+  if (const Value* m = r.find("moves")) {
+    require_type(*m, Value::Type::kArray, r.member_path("moves"));
+    for (std::size_t i = 0; i < m->array.size(); ++i) {
+      const std::string path = r.member_path("moves") + "[" + std::to_string(i) + "]";
+      ObjectReader ev(m->array[i], path);
+      cfg.scenario.move(as_int(ev.require("slot"), ev.member_path("slot")),
+                        as_int(ev.require("device"), ev.member_path("device")),
+                        as_int(ev.require("area"), ev.member_path("area")));
+      ev.finish();
+    }
+  }
+  if (const Value* m = r.find("capacity_changes")) {
+    require_type(*m, Value::Type::kArray, r.member_path("capacity_changes"));
+    for (std::size_t i = 0; i < m->array.size(); ++i) {
+      const std::string path = r.member_path("capacity_changes") + "[" + std::to_string(i) + "]";
+      ObjectReader ev(m->array[i], path);
+      cfg.scenario.set_capacity(as_int(ev.require("slot"), ev.member_path("slot")),
+                                as_int(ev.require("network"), ev.member_path("network")),
+                                as_double(ev.require("capacity_mbps"), ev.member_path("capacity_mbps")));
+      ev.finish();
+    }
+  }
+  if (const Value* m = r.find("share")) read_share(*m, cfg, r.member_path("share"));
+  if (const Value* m = r.find("delay")) read_delay(*m, cfg, r.member_path("delay"));
+  if (const Value* m = r.find("smart")) read_smart(*m, cfg.smart, r.member_path("smart"));
+  if (const Value* m = r.find("recorder")) read_recorder(*m, cfg.recorder, r.member_path("recorder"));
+  r.finish();
+  return cfg;
+}
+
+ExperimentConfig load_spec_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SpecError("cannot read spec file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec_text(buffer.str());
+}
+
+void save_spec_file(const ExperimentConfig& config, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write spec file '" + path + "'");
+  out << to_spec_text(config);
+  if (!out) throw std::runtime_error("failed writing spec file '" + path + "'");
+}
+
+}  // namespace smartexp3::exp

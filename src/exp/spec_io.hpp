@@ -1,0 +1,59 @@
+// ScenarioSpec I/O: a serializable text form of ExperimentConfig.
+//
+// The format is a strict JSON subset (objects, arrays, strings, numbers,
+// booleans; UTF-8 passthrough in strings; no comments), written and parsed
+// entirely in-repo — no third-party dependency. A spec covers everything an
+// ExperimentConfig holds: world parameters, networks (including coverage
+// areas and capacity traces), device groups (count + policy + area +
+// join/leave), scenario events (moves, capacity changes), the share/delay
+// model kinds and parameters, Smart EXP3 tunables, recorder options and the
+// base seed. Round-trip is lossless: parse(write(cfg)) simulates the exact
+// same trajectory as cfg for any seed (doubles are printed in shortest
+// round-trip form), which tests/test_spec_io.cpp pins for the canonical
+// settings.
+//
+// The parser is strict and actionable: unknown keys, type mismatches,
+// out-of-range numbers and truncated input all raise SpecError naming the
+// offending key path and the line number. Missing optional keys fall back
+// to the ExperimentConfig defaults, so hand-written specs can stay terse
+// even though the writer always emits every section.
+//
+// Typical workflow (see README "ScenarioSpec files"):
+//   netsel_sim --dump-spec setting1 > s.json   # export a canonical setting
+//   $EDITOR s.json                             # tweak devices, traces, ...
+//   netsel_sim --spec s.json                   # run the edited scenario
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "exp/config.hpp"
+
+namespace smartexp3::exp {
+
+/// Raised on malformed spec text: syntax errors, unknown keys, type or
+/// range mismatches. The message carries the key path and line number.
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Current format version; written as "spec_version" and checked on parse.
+inline constexpr int kSpecVersion = 1;
+
+/// Serialize a config as ScenarioSpec text (pretty-printed, deterministic:
+/// equal configs produce byte-identical text).
+std::string to_spec_text(const ExperimentConfig& config);
+
+/// Parse ScenarioSpec text. Throws SpecError on malformed input. The result
+/// is parsed, not validated — callers run it through build_world (which
+/// calls ExperimentConfig::validate) or validate_or_throw themselves.
+ExperimentConfig parse_spec_text(const std::string& text);
+
+/// File convenience wrappers. load_spec_file throws SpecError when the file
+/// cannot be read; save_spec_file throws std::runtime_error when it cannot
+/// be written.
+ExperimentConfig load_spec_file(const std::string& path);
+void save_spec_file(const ExperimentConfig& config, const std::string& path);
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,144 @@
+// Setting-registry tests: every canonical name resolves, typed overrides
+// apply, and overrides a setting cannot honour are rejected loudly instead
+// of silently ignored.
+#include "exp/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/settings.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+TEST(Registry, CatalogCoversThePaper) {
+  const auto names = setting_names();
+  const std::vector<std::string> expected = {
+      "setting1", "setting2",  "scalability",        "join",    "leave",
+      "mobility", "greedy_mix", "controlled",        "controlled_dynamic",
+      "channel",  "trace1",    "trace2",             "trace3",  "trace4"};
+  EXPECT_EQ(names, expected);
+  for (const auto& name : names) EXPECT_TRUE(is_valid_setting_name(name)) << name;
+  EXPECT_FALSE(is_valid_setting_name("setting3"));
+  for (const auto& info : setting_catalog()) {
+    EXPECT_FALSE(info.summary.empty()) << info.name;
+    EXPECT_FALSE(info.default_policy.empty()) << info.name;
+  }
+}
+
+TEST(Registry, EverySettingBuildsAValidConfig) {
+  for (const auto& info : setting_catalog()) {
+    const auto cfg = make_setting(info.name);
+    EXPECT_TRUE(cfg.validate().empty()) << info.name;
+    EXPECT_FALSE(cfg.devices.empty()) << info.name;
+  }
+}
+
+TEST(Registry, MatchesTheBuilders) {
+  // The registry is a doorway, not a reinterpretation: default builds must
+  // equal the direct builder calls field for field (spot-checked via the
+  // shapes the settings tests pin).
+  const auto reg = make_setting("setting1");
+  const auto direct = static_setting1("smart_exp3");
+  EXPECT_EQ(reg.name, direct.name);
+  EXPECT_EQ(reg.devices.size(), direct.devices.size());
+  EXPECT_EQ(reg.capacities(), direct.capacities());
+  EXPECT_EQ(reg.world.horizon, direct.world.horizon);
+
+  const auto mob = make_setting("mobility");
+  const auto mob_direct = mobility_setting("smart_exp3");
+  EXPECT_EQ(mob.scenario.moves.size(), mob_direct.scenario.moves.size());
+  EXPECT_EQ(mob.recorder.groups, mob_direct.recorder.groups);
+}
+
+TEST(Registry, PolicyOverride) {
+  const auto cfg = make_setting("setting2", {.policy = "greedy"});
+  for (const auto& d : cfg.devices) EXPECT_EQ(d.policy_name, "greedy");
+  // Default policies: smart_exp3 everywhere except the scalability sweep.
+  EXPECT_EQ(make_setting("setting1").devices.front().policy_name, "smart_exp3");
+  EXPECT_EQ(make_setting("scalability").devices.front().policy_name,
+            "smart_exp3_noreset");
+}
+
+TEST(Registry, DeviceAndHorizonOverrides) {
+  const auto cfg = make_setting("setting1", {.devices = 7, .horizon = 99});
+  EXPECT_EQ(cfg.devices.size(), 7u);
+  EXPECT_EQ(cfg.world.horizon, 99);
+  EXPECT_EQ(make_setting("channel", {.devices = 6}).devices.size(), 6u);
+}
+
+TEST(Registry, ScalabilityNetworksOverride) {
+  const auto cfg = make_setting("scalability", {.devices = 40, .networks = 5});
+  EXPECT_EQ(cfg.networks.size(), 5u);
+  EXPECT_EQ(cfg.devices.size(), 40u);
+  EXPECT_EQ(cfg.world.horizon, 8640);
+}
+
+TEST(Registry, GreedyMixOverride) {
+  const auto cfg = make_setting("greedy_mix", {.n_smart = 15});
+  int smart = 0;
+  for (const auto& d : cfg.devices) smart += d.policy_name == "smart_exp3" ? 1 : 0;
+  EXPECT_EQ(smart, 15);
+  // Default mix is 10/10.
+  const auto def = make_setting("greedy_mix");
+  smart = 0;
+  for (const auto& d : def.devices) smart += d.policy_name == "smart_exp3" ? 1 : 0;
+  EXPECT_EQ(smart, 10);
+}
+
+TEST(Registry, ControlledPolicyMix) {
+  std::vector<std::string> mix(14, "greedy");
+  mix[0] = "smart_exp3";
+  const auto cfg = make_setting("controlled", {.policy_mix = mix});
+  EXPECT_EQ(cfg.devices.front().policy_name, "smart_exp3");
+  EXPECT_EQ(cfg.devices.back().policy_name, "greedy");
+  EXPECT_EQ(cfg.share, ShareKind::kNoisy);
+}
+
+TEST(Registry, TraceSlotsOverride) {
+  const auto cfg = make_setting("trace4", {.trace_slots = 400});
+  EXPECT_EQ(cfg.world.horizon, 400);
+  EXPECT_EQ(cfg.networks.front().trace.size(), 400u);
+}
+
+TEST(Registry, RejectsUnknownNames) {
+  EXPECT_THROW(make_setting("setting3"), std::invalid_argument);
+  try {
+    make_setting("nope");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    // The message lists the known names so the caller can fix the typo.
+    EXPECT_NE(std::string(e.what()).find("known settings"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("mobility"), std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsUnsupportedOverrides) {
+  EXPECT_THROW(make_setting("join", {.devices = 5}), std::invalid_argument);
+  EXPECT_THROW(make_setting("mobility", {.devices = 5}), std::invalid_argument);
+  EXPECT_THROW(make_setting("setting1", {.networks = 5}), std::invalid_argument);
+  EXPECT_THROW(make_setting("setting1", {.n_smart = 5}), std::invalid_argument);
+  EXPECT_THROW(make_setting("greedy_mix", {.policy = "exp3"}), std::invalid_argument);
+  EXPECT_THROW(make_setting("setting1", {.trace_slots = 50}), std::invalid_argument);
+  EXPECT_THROW(make_setting("setting1", {.policy_mix = {"greedy"}}),
+               std::invalid_argument);
+  try {
+    make_setting("leave", {.devices = 5});
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("does not accept"), std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsBadOverrideValues) {
+  EXPECT_THROW(make_setting("setting1", {.policy = "skynet"}), std::invalid_argument);
+  EXPECT_THROW(make_setting("setting1", {.devices = 0}), std::invalid_argument);
+  EXPECT_THROW(make_setting("setting1", {.horizon = 0}), std::invalid_argument);
+  EXPECT_THROW(make_setting("trace1", {.trace_slots = 0}), std::invalid_argument);
+  EXPECT_THROW(make_setting("scalability", {.networks = 9}), std::invalid_argument);
+  std::vector<std::string> mix(14, "greedy");
+  EXPECT_THROW(make_setting("controlled", {.policy = "exp3", .policy_mix = mix}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

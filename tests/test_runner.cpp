@@ -66,12 +66,39 @@ TEST(Runner, InvalidPolicyNameThrows) {
 TEST(Runner, ReproRunsEnvOverride) {
   ::setenv("REPRO_RUNS", "123", 1);
   EXPECT_EQ(repro_runs(60), 123);
+  // Out-of-range values clamp (with a one-time stderr warning) instead of
+  // flowing through unchecked; unparsable text keeps the fallback.
   ::setenv("REPRO_RUNS", "0", 1);
-  EXPECT_EQ(repro_runs(60), 60);  // non-positive ignored
+  EXPECT_EQ(repro_runs(60), 1);
+  ::setenv("REPRO_RUNS", "-7", 1);
+  EXPECT_EQ(repro_runs(60), 1);
+  ::setenv("REPRO_RUNS", "99999999999", 1);
+  EXPECT_EQ(repro_runs(60), 1'000'000);
   ::setenv("REPRO_RUNS", "garbage", 1);
+  EXPECT_EQ(repro_runs(60), 60);
+  ::setenv("REPRO_RUNS", "12x", 1);
+  EXPECT_EQ(repro_runs(60), 60);
+  ::setenv("REPRO_RUNS", "", 1);
   EXPECT_EQ(repro_runs(60), 60);
   ::unsetenv("REPRO_RUNS");
   EXPECT_EQ(repro_runs(60), 60);
+}
+
+TEST(Runner, WorldThreadsEnvOverride) {
+  ::setenv("WORLD_THREADS", "4", 1);
+  EXPECT_EQ(world_threads(1), 4);
+  ::setenv("WORLD_THREADS", "0", 1);
+  EXPECT_EQ(world_threads(1), 0);  // explicit 0 = all cores
+  // A negative lane count has no nearest meaning — clamping it to 0 would
+  // silently request every core, so it keeps the fallback (with a warning).
+  ::setenv("WORLD_THREADS", "-3", 1);
+  EXPECT_EQ(world_threads(1), 1);
+  ::setenv("WORLD_THREADS", "garbage", 1);
+  EXPECT_EQ(world_threads(1), 1);
+  ::setenv("WORLD_THREADS", "1000000000", 1);
+  EXPECT_EQ(world_threads(1), 1 << 16);
+  ::unsetenv("WORLD_THREADS");
+  EXPECT_EQ(world_threads(3), 3);
 }
 
 TEST(Aggregate, SwitchSummaryPoolsDevices) {

@@ -1,0 +1,234 @@
+// ScenarioSpec round-trip and parser tests.
+//
+// The round-trip contract is the strong one: for canonical settings (and the
+// deliberately messy golden scenario), builder config -> spec text -> parsed
+// config must simulate the exact same trajectory under the same seed — every
+// per-slot series, download and switch count bit-identical. Plus the parser
+// error paths: truncated input, unknown keys, type mismatches, bad enums.
+#include "exp/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "golden_scenario.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+void expect_identical_results(const metrics::RunResult& a, const metrics::RunResult& b) {
+  EXPECT_EQ(a.group_distance, b.group_distance);
+  EXPECT_EQ(a.def4, b.def4);
+  EXPECT_EQ(a.group_def4, b.group_def4);
+  EXPECT_EQ(a.at_nash_fraction, b.at_nash_fraction);
+  EXPECT_EQ(a.eps_fraction, b.eps_fraction);
+  EXPECT_EQ(a.stability.stable, b.stability.stable);
+  EXPECT_EQ(a.stability.stable_slot, b.stability.stable_slot);
+  EXPECT_EQ(a.stability.at_nash, b.stability.at_nash);
+  EXPECT_EQ(a.stability.at_eps_nash, b.stability.at_eps_nash);
+  EXPECT_EQ(a.downloads_mb, b.downloads_mb);
+  EXPECT_EQ(a.switching_cost_mb, b.switching_cost_mb);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.resets, b.resets);
+  EXPECT_EQ(a.switch_backs, b.switch_backs);
+  EXPECT_EQ(a.persistent, b.persistent);
+  EXPECT_EQ(a.total_download_mb, b.total_download_mb);
+  EXPECT_EQ(a.unused_mb, b.unused_mb);
+  EXPECT_EQ(a.selections, b.selections);
+  EXPECT_EQ(a.rates, b.rates);
+}
+
+/// The round-trip determinism pin: write, parse, and run both configs under
+/// the same seed; the trajectories must be bit-identical.
+void expect_round_trip_determinism(const ExperimentConfig& cfg, std::uint64_t seed) {
+  const std::string text = to_spec_text(cfg);
+  const ExperimentConfig parsed = parse_spec_text(text);
+  expect_identical_results(run_once(cfg, seed), run_once(parsed, seed));
+  // The writer is deterministic and the parse is lossless, so a second
+  // round trip must reproduce the text byte for byte.
+  EXPECT_EQ(to_spec_text(parsed), text);
+}
+
+TEST(SpecRoundTrip, Setting1) {
+  auto cfg = make_setting("setting1", {.horizon = 150});
+  cfg.recorder.track_stability = true;
+  expect_round_trip_determinism(cfg, 42);
+}
+
+TEST(SpecRoundTrip, MobilityWithGroupsAndCoverage) {
+  // Mobility carries coverage areas, move events and recorder groups.
+  expect_round_trip_determinism(make_setting("mobility"), 7);
+}
+
+TEST(SpecRoundTrip, ControlledNoisyShare) {
+  // Controlled carries the noisy-share parameters and Definition 4 tracking.
+  expect_round_trip_determinism(make_setting("controlled", {.horizon = 120}), 99);
+}
+
+TEST(SpecRoundTrip, TraceNetworks) {
+  // Traces serialize per-slot capacities; selections/rates timelines on.
+  expect_round_trip_determinism(make_setting("trace3"), 3);
+}
+
+TEST(SpecRoundTrip, ChannelFixedDelay) {
+  expect_round_trip_determinism(make_setting("channel", {.horizon = 150}), 5);
+}
+
+TEST(SpecRoundTrip, GoldenScenario) {
+  // The deliberately messy engine pin: mixed policies, joins, leaves, moves,
+  // a capacity change and restricted visibility — all through the text form.
+  expect_round_trip_determinism(testing::golden_config(), testing::kGoldenSeed);
+}
+
+TEST(SpecRoundTrip, EveryRegistrySettingParses) {
+  for (const auto& info : setting_catalog()) {
+    const auto cfg = make_setting(info.name);
+    const auto parsed = parse_spec_text(to_spec_text(cfg));
+    EXPECT_EQ(parsed.name, cfg.name) << info.name;
+    EXPECT_EQ(parsed.devices.size(), cfg.devices.size()) << info.name;
+    EXPECT_EQ(parsed.networks.size(), cfg.networks.size()) << info.name;
+    EXPECT_TRUE(parsed.validate().empty()) << info.name;
+  }
+}
+
+TEST(SpecRoundTrip, DeviceGroupingIsLossless) {
+  // The golden scenario's device table has mid-run attribute changes and
+  // 0-based ids; grouping must reproduce it spec-for-spec.
+  const auto cfg = testing::golden_config();
+  const auto parsed = parse_spec_text(to_spec_text(cfg));
+  ASSERT_EQ(parsed.devices.size(), cfg.devices.size());
+  for (std::size_t i = 0; i < cfg.devices.size(); ++i) {
+    EXPECT_EQ(parsed.devices[i].id, cfg.devices[i].id);
+    EXPECT_EQ(parsed.devices[i].area, cfg.devices[i].area);
+    EXPECT_EQ(parsed.devices[i].join_slot, cfg.devices[i].join_slot);
+    EXPECT_EQ(parsed.devices[i].leave_slot, cfg.devices[i].leave_slot);
+    EXPECT_EQ(parsed.devices[i].policy_name, cfg.devices[i].policy_name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser error paths
+// ---------------------------------------------------------------------------
+
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    parse_spec_text(text);
+    FAIL() << "expected SpecError containing '" << needle << "'";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(SpecParser, TruncatedFile) {
+  const std::string full = to_spec_text(make_setting("setting1"));
+  expect_parse_error(full.substr(0, full.size() / 2), "truncated");
+  expect_parse_error("{\"name\": \"x\"", "truncated");
+  expect_parse_error("", "truncated");
+}
+
+TEST(SpecParser, UnknownKey) {
+  expect_parse_error(R"({"networks": [], "device_groups": [], "horizonn": 10})",
+                     "unknown key 'horizonn'");
+  expect_parse_error(
+      R"({"networks": [], "device_groups": [], "world": {"horizont": 10}})",
+      "unknown key 'horizont'");
+  expect_parse_error(
+      R"({"networks": [{"id": 0, "type": "wifi", "capacity_mbps": 1, "mbps": 2}],
+          "device_groups": []})",
+      "unknown key 'mbps'");
+}
+
+TEST(SpecParser, TypeMismatch) {
+  expect_parse_error(
+      R"({"networks": [], "device_groups": [], "world": {"horizon": "long"}})",
+      "expected number, found string");
+  expect_parse_error(
+      R"({"networks": [], "device_groups": [], "world": {"horizon": 1.5}})",
+      "expected an integer");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "name": 3})",
+                     "expected string, found number");
+  expect_parse_error(R"({"networks": {}, "device_groups": []})",
+                     "expected array, found object");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "base_seed": -4})",
+                     "non-negative");
+}
+
+TEST(SpecParser, BadEnumValues) {
+  expect_parse_error(
+      R"({"networks": [{"id": 0, "type": "wimax", "capacity_mbps": 1}],
+          "device_groups": []})",
+      "expected \"wifi\" or \"cellular\"");
+  expect_parse_error(
+      R"({"networks": [], "device_groups": [], "share": {"kind": "lossy"}})",
+      "expected \"equal\" or \"noisy\"");
+  expect_parse_error(
+      R"({"networks": [], "device_groups": [], "delay": {"kind": "random"}})",
+      "expected \"distribution\", \"zero\" or \"fixed\"");
+}
+
+TEST(SpecParser, MissingRequiredKeys) {
+  expect_parse_error(R"({"device_groups": []})", "missing required key 'networks'");
+  expect_parse_error(R"({"networks": []})", "missing required key 'device_groups'");
+  expect_parse_error(
+      R"({"networks": [], "device_groups": [{"count": 1, "policy": "greedy"}]})",
+      "missing required key 'first_id'");
+}
+
+TEST(SpecParser, StructuralErrors) {
+  expect_parse_error("{\"networks\": [], \"device_groups\": []} trailing",
+                     "trailing content");
+  expect_parse_error(R"({"networks": [], "networks": []})", "duplicate key");
+  expect_parse_error(R"({"networks": [] "device_groups": []})", "expected ','");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "base_seed": 012})",
+                     "leading zeros");
+  expect_parse_error(R"({"spec_version": 99, "networks": [], "device_groups": []})",
+                     "unsupported version");
+}
+
+TEST(SpecParser, DeviceGroupCountMustBePositive) {
+  expect_parse_error(
+      R"({"networks": [],
+          "device_groups": [{"first_id": 1, "count": 0, "policy": "greedy"}]})",
+      "outside");
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers) {
+  // The unknown key sits on line 3; the message must say so.
+  const std::string text =
+      "{\n  \"networks\": [],\n  \"device_groups\": [],\n  \"bogus\": 1\n}\n";
+  try {
+    parse_spec_text(text);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(SpecParser, MinimalSpecGetsDefaults) {
+  // Hand-written specs may omit every optional section.
+  const auto cfg = parse_spec_text(
+      R"({"networks": [{"id": 0, "type": "wifi", "capacity_mbps": 10}],
+          "device_groups": [{"first_id": 1, "count": 3, "policy": "greedy"}]})");
+  EXPECT_EQ(cfg.world.horizon, 1200);
+  EXPECT_EQ(cfg.base_seed, 42u);
+  EXPECT_EQ(cfg.share, ShareKind::kEqual);
+  EXPECT_EQ(cfg.delay, DelayKind::kDistribution);
+  ASSERT_EQ(cfg.devices.size(), 3u);
+  EXPECT_EQ(cfg.devices[0].id, 1);
+  EXPECT_EQ(cfg.devices[2].id, 3);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(SpecFiles, SaveAndLoad) {
+  const auto cfg = make_setting("setting2");
+  const std::string path = ::testing::TempDir() + "spec_io_roundtrip.json";
+  save_spec_file(cfg, path);
+  const auto loaded = load_spec_file(path);
+  EXPECT_EQ(to_spec_text(loaded), to_spec_text(cfg));
+  EXPECT_THROW(load_spec_file(path + ".does-not-exist"), SpecError);
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

@@ -1,0 +1,198 @@
+// ExperimentConfig::validate tests: each class of config mistake produces an
+// actionable message, build_world refuses unsound configs, and every
+// canonical setting passes clean.
+#include <gtest/gtest.h>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "golden_scenario.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig cfg;
+  cfg.name = "validate-fixture";
+  cfg.world.horizon = 10;
+  cfg.networks = {netsim::make_wifi(0, 5.0), netsim::make_cellular(1, 10.0)};
+  for (int i = 1; i <= 3; ++i) {
+    netsim::DeviceSpec d;
+    d.id = i;
+    d.policy_name = "greedy";
+    cfg.devices.push_back(d);
+  }
+  return cfg;
+}
+
+/// The config must fail validation with a message containing `needle`.
+void expect_rejected(const ExperimentConfig& cfg, const std::string& needle) {
+  const auto errors = cfg.validate();
+  ASSERT_FALSE(errors.empty()) << "expected a validation error for: " << needle;
+  bool found = false;
+  for (const auto& e : errors) found |= e.find(needle) != std::string::npos;
+  EXPECT_TRUE(found) << "no error mentions '" << needle << "'; got: " << errors.front();
+  EXPECT_THROW(cfg.validate_or_throw(), std::invalid_argument);
+}
+
+TEST(Validate, CleanConfigPasses) {
+  EXPECT_TRUE(small_config().validate().empty());
+  EXPECT_NO_THROW(small_config().validate_or_throw());
+  EXPECT_TRUE(testing::golden_config().validate().empty());
+}
+
+TEST(Validate, DuplicateDeviceIds) {
+  auto cfg = small_config();
+  cfg.devices[2].id = cfg.devices[0].id;
+  expect_rejected(cfg, "duplicate device id 1");
+}
+
+TEST(Validate, LeaveBeforeJoin) {
+  auto cfg = small_config();
+  cfg.devices[1].join_slot = 5;
+  cfg.devices[1].leave_slot = 3;
+  expect_rejected(cfg, "leaves at slot 3 before joining at slot 5");
+  // -1 means "stays forever" and must stay legal.
+  cfg.devices[1].leave_slot = -1;
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(Validate, NegativeJoinSlot) {
+  auto cfg = small_config();
+  cfg.devices[0].join_slot = -2;
+  expect_rejected(cfg, "negative join_slot");
+}
+
+TEST(Validate, EmptyNetworks) {
+  auto cfg = small_config();
+  cfg.networks.clear();
+  expect_rejected(cfg, "no networks");
+}
+
+TEST(Validate, NegativeCapacity) {
+  auto cfg = small_config();
+  cfg.networks[1].base_capacity_mbps = -3.0;
+  expect_rejected(cfg, "negative capacity");
+  cfg = small_config();
+  cfg.networks[0].trace = {1.0, -2.0};
+  expect_rejected(cfg, "trace[1] is negative");
+}
+
+TEST(Validate, NonContiguousNetworkIds) {
+  auto cfg = small_config();
+  cfg.networks[1].id = 5;
+  expect_rejected(cfg, "ids must be 0..k-1");
+}
+
+TEST(Validate, UnknownPolicyName) {
+  auto cfg = small_config();
+  cfg.devices[1].policy_name = "skynet";
+  expect_rejected(cfg, "unknown policy 'skynet'");
+}
+
+TEST(Validate, MoveToUncoveredArea) {
+  auto cfg = small_config();
+  // Restrict coverage so area 7 is genuinely nonexistent.
+  cfg.networks[0].areas = {0};
+  cfg.networks[1].areas = {0, 1};
+  cfg.scenario.move(3, /*device=*/2, /*new_area=*/7);
+  expect_rejected(cfg, "area 7, which no network covers");
+}
+
+TEST(Validate, MoveOfUnknownDevice) {
+  auto cfg = small_config();
+  cfg.scenario.move(3, /*device=*/99, /*new_area=*/0);
+  expect_rejected(cfg, "unknown device id 99");
+}
+
+TEST(Validate, InitialAreaWithoutCoverage) {
+  auto cfg = small_config();
+  cfg.networks[0].areas = {0};
+  cfg.networks[1].areas = {0};
+  cfg.devices[2].area = 4;
+  expect_rejected(cfg, "starts in area 4");
+}
+
+TEST(Validate, CapacityChangeTargets) {
+  auto cfg = small_config();
+  cfg.scenario.set_capacity(2, /*network=*/9, 5.0);
+  expect_rejected(cfg, "unknown network id 9");
+  cfg = small_config();
+  cfg.scenario.set_capacity(2, /*network=*/0, -5.0);
+  expect_rejected(cfg, "negative capacity");
+}
+
+TEST(Validate, UnrelatedErrorsDoNotSuppressEventChecks) {
+  // A bad horizon must not hide the bogus capacity-change target: the user
+  // should see every problem in one pass.
+  auto cfg = small_config();
+  cfg.world.horizon = 0;
+  cfg.scenario.set_capacity(2, /*network=*/99, 5.0);
+  const auto errors = cfg.validate();
+  bool horizon = false;
+  bool network = false;
+  for (const auto& e : errors) {
+    horizon |= e.find("horizon") != std::string::npos;
+    network |= e.find("unknown network id 99") != std::string::npos;
+  }
+  EXPECT_TRUE(horizon);
+  EXPECT_TRUE(network);
+}
+
+TEST(Validate, WorldParameters) {
+  auto cfg = small_config();
+  cfg.world.horizon = 0;
+  expect_rejected(cfg, "horizon must be positive");
+  cfg = small_config();
+  cfg.world.slot_seconds = -1.0;
+  expect_rejected(cfg, "slot_seconds must be positive");
+  cfg = small_config();
+  cfg.world.threads = -2;
+  expect_rejected(cfg, "threads must be >= 0");
+}
+
+TEST(Validate, ModelParameters) {
+  auto cfg = small_config();
+  cfg.noisy.dip_probability = 1.5;
+  expect_rejected(cfg, "[0, 1]");
+  cfg = small_config();
+  cfg.delay = DelayKind::kFixed;
+  cfg.fixed_delay_wifi_s = -0.5;
+  expect_rejected(cfg, "fixed switching delays");
+}
+
+TEST(Validate, RecorderGroups) {
+  auto cfg = small_config();
+  cfg.recorder.groups = {{1, 2}, {42}};
+  expect_rejected(cfg, "recorder.groups[1]");
+  cfg = small_config();
+  cfg.recorder.epsilon = -1.0;
+  expect_rejected(cfg, "epsilon");
+}
+
+TEST(Validate, BuildWorldRefusesUnsoundConfigs) {
+  auto cfg = small_config();
+  cfg.devices[1].id = cfg.devices[0].id;
+  EXPECT_THROW(build_world(cfg, 1), std::invalid_argument);
+  EXPECT_THROW(run_once(cfg, 1), std::invalid_argument);
+  EXPECT_THROW(run_many(cfg, 2), std::invalid_argument);
+  // The thrown message aggregates every problem, prefixed by the config name.
+  cfg.networks[0].base_capacity_mbps = -1.0;
+  try {
+    build_world(cfg, 1);
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("validate-fixture"), std::string::npos);
+    EXPECT_NE(what.find("duplicate device id"), std::string::npos);
+    EXPECT_NE(what.find("negative capacity"), std::string::npos);
+  }
+}
+
+TEST(Validate, EveryRegistrySettingIsSound) {
+  for (const auto& info : setting_catalog()) {
+    EXPECT_TRUE(make_setting(info.name).validate().empty()) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

@@ -1,40 +1,55 @@
 // netsel_sim — command-line driver for the Smart EXP3 network-selection
-// simulator.
+// simulator. Fully data-driven: canonical settings resolve through the
+// setting registry (exp/registry.hpp), and any experiment can be exported
+// as a ScenarioSpec file, edited, and re-run without recompiling
+// (exp/spec_io.hpp).
 //
 // Usage:
-//   netsel_sim [--setting NAME] [--policy NAME] [--runs N] [--devices N]
-//              [--horizon SLOTS] [--seed S] [--threads N] [--csv PATH]
-//              [--stability] [--quiet]
+//   netsel_sim [--setting NAME | --spec FILE] [overrides] [output options]
+//   netsel_sim --dump-spec NAME [overrides]      # print the resolved spec
+//   netsel_sim --list                            # settings and policies
 //
-//   --setting   one of: setting1 (default), setting2, join, leave, mobility,
-//               controlled, channel, trace1..trace4
-//   --policy    any of the nine algorithms (default smart_exp3); ignored
-//               device-mix settings keep their own mixes
-//   --runs      number of runs (default 20)
-//   --devices   override the device count (static settings only)
-//   --horizon   override the horizon in 15 s slots
-//   --seed      base seed (default 42)
-//   --threads   worker threads (default: hardware concurrency)
-//   --csv PATH  write the mean distance-to-NE series as CSV
-//   --stability also run the Definition 2 stable-state detector
-//   --quiet     summary line only
+//   --setting NAME   registry setting (default setting1); --list enumerates
+//   --spec FILE      run a ScenarioSpec file instead of a registry setting
+//   --dump-spec NAME print setting NAME (with overrides applied) as a
+//                    ScenarioSpec and exit
+//   --list           list registry settings and factory policies, then exit
+//
+// Overrides (rejected with an explanation when a setting does not take them):
+//   --policy NAME    policy for every device (setting default otherwise)
+//   --devices N      device count (static / scalability / channel settings)
+//   --networks K     network count (scalability setting)
+//   --smart N        Smart EXP3 device count (greedy_mix setting)
+//   --horizon SLOTS  horizon override in 15 s slots (any setting or spec)
+//   --seed S         base seed (default: the setting's or spec's own seed)
+//
+// Output options:
+//   --runs N         independent runs (default 20)
+//   --threads N      worker threads (default: hardware concurrency)
+//   --csv PATH       write the mean distance-to-NE series as CSV
+//   --stability      also run the Definition 2 stable-state detector
+//   --quiet          summary line only
 //
 // Examples:
 //   netsel_sim --setting setting1 --policy smart_exp3 --runs 100
-//   netsel_sim --setting leave --policy greedy --csv /tmp/leave.csv
-//   netsel_sim --setting trace3 --policy smart_exp3 --runs 200
+//   netsel_sim --setting greedy_mix --smart 15 --quiet
+//   netsel_sim --dump-spec setting1 > s.json
+//   netsel_sim --spec s.json --runs 20
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "core/factory.hpp"
 #include "exp/aggregate.hpp"
+#include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/runner.hpp"
-#include "exp/settings.hpp"
+#include "exp/spec_io.hpp"
 #include "stats/summary.hpp"
-#include "trace/synth.hpp"
 
 namespace {
 
@@ -42,11 +57,19 @@ using namespace smartexp3;
 
 struct Args {
   std::string setting = "setting1";
-  std::string policy = "smart_exp3";
+  bool setting_set = false;
+  std::string spec_file;
+  std::string dump_spec;
+  bool list = false;
+  std::string policy;  // empty = setting/spec default
   int runs = 20;
   int devices = -1;
+  int networks = -1;
+  int n_smart = -1;
   int horizon = -1;
-  std::uint64_t seed = 42;
+  bool horizon_set = false;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
   int threads = 0;
   std::string csv;
   bool stability = false;
@@ -62,24 +85,73 @@ struct Args {
 void print_help() {
   std::cout <<
       "netsel_sim — Smart EXP3 network-selection simulator\n\n"
-      "  --setting NAME   setting1|setting2|join|leave|mobility|controlled|\n"
-      "                   channel|trace1..trace4 (default setting1)\n"
+      "modes:\n"
+      "  --setting NAME   run a registry setting (default setting1)\n"
+      "  --spec FILE      run a ScenarioSpec file\n"
+      "  --dump-spec NAME print the resolved spec for a setting and exit\n"
+      "  --list           list registry settings and policies, then exit\n\n"
+      "overrides:\n"
       "  --policy NAME    ";
   for (const auto& n : core::policy_names()) std::cout << n << ' ';
   std::cout << "\n"
-      "  --runs N         independent runs (default 20)\n"
-      "  --devices N      device count override (static settings)\n"
+      "  --devices N      device count (static/scalability/channel settings)\n"
+      "  --networks K     network count (scalability setting)\n"
+      "  --smart N        Smart EXP3 device count (greedy_mix setting)\n"
       "  --horizon SLOTS  horizon override (15 s slots)\n"
-      "  --seed S         base seed (default 42)\n"
+      "  --seed S         base seed override\n\n"
+      "output:\n"
+      "  --runs N         independent runs (default 20)\n"
       "  --threads N      worker threads (default: all cores)\n"
       "  --csv PATH       dump mean distance-to-NE series as CSV\n"
       "  --stability      run the stable-state detector too\n"
       "  --quiet          one summary line only\n";
 }
 
+void print_list() {
+  std::cout << "settings (netsel_sim --setting NAME, overrides in parentheses):\n";
+  for (const auto& info : exp::setting_catalog()) {
+    std::cout << "  " << info.name;
+    for (std::size_t i = info.name.size(); i < 20; ++i) std::cout << ' ';
+    std::cout << info.summary << '\n';
+  }
+  std::cout << "\npolicies (--policy NAME):\n ";
+  for (const auto& n : core::policy_names()) std::cout << ' ' << n;
+  std::cout << "\n  extensions:";
+  for (const auto& n : core::extension_policy_names()) std::cout << ' ' << n;
+  std::cout << '\n';
+}
+
+/// Strict numeric option parsing: stoi/stoull would throw (and terminate the
+/// process) on garbage; every malformed or out-of-int-range value must exit
+/// 2 with a message instead of truncating or aborting.
+int parse_int_arg(const char* name, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    usage_error(std::string(name) + " needs an integer, got '" + value + "'");
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_uint_arg(const char* name, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      value.find('-') != std::string::npos) {
+    usage_error(std::string(name) + " needs a non-negative integer, got '" + value +
+                "'");
+  }
+  return v;
+}
+
 Args parse(int argc, char** argv) {
   Args args;
   std::map<std::string, std::string*> str_opts = {{"--setting", &args.setting},
+                                                  {"--spec", &args.spec_file},
+                                                  {"--dump-spec", &args.dump_spec},
                                                   {"--policy", &args.policy},
                                                   {"--csv", &args.csv}};
   for (int i = 1; i < argc; ++i) {
@@ -87,6 +159,10 @@ Args parse(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_help();
       std::exit(0);
+    }
+    if (arg == "--list") {
+      args.list = true;
+      continue;
     }
     if (arg == "--stability") {
       args.stability = true;
@@ -102,65 +178,104 @@ Args parse(int argc, char** argv) {
     };
     if (auto it = str_opts.find(arg); it != str_opts.end()) {
       *it->second = need_value(arg.c_str());
+      if (arg == "--setting") args.setting_set = true;
     } else if (arg == "--runs") {
-      args.runs = std::stoi(need_value("--runs"));
+      args.runs = parse_int_arg("--runs", need_value("--runs"));
     } else if (arg == "--devices") {
-      args.devices = std::stoi(need_value("--devices"));
+      args.devices = parse_int_arg("--devices", need_value("--devices"));
+    } else if (arg == "--networks") {
+      args.networks = parse_int_arg("--networks", need_value("--networks"));
+    } else if (arg == "--smart") {
+      args.n_smart = parse_int_arg("--smart", need_value("--smart"));
     } else if (arg == "--horizon") {
-      args.horizon = std::stoi(need_value("--horizon"));
+      args.horizon = parse_int_arg("--horizon", need_value("--horizon"));
+      args.horizon_set = true;
     } else if (arg == "--seed") {
-      args.seed = std::stoull(need_value("--seed"));
+      args.seed = parse_uint_arg("--seed", need_value("--seed"));
+      args.seed_set = true;
     } else if (arg == "--threads") {
-      args.threads = std::stoi(need_value("--threads"));
+      args.threads = parse_int_arg("--threads", need_value("--threads"));
     } else {
       usage_error("unknown option '" + arg + "'");
     }
   }
   if (args.runs <= 0) usage_error("--runs must be positive");
-  if (!core::is_valid_policy_name(args.policy)) {
+  if (args.horizon_set && args.horizon < 1) {
+    usage_error("--horizon must be >= 1, got " + std::to_string(args.horizon));
+  }
+  if (!args.spec_file.empty() && !args.dump_spec.empty()) {
+    usage_error("--spec and --dump-spec are mutually exclusive");
+  }
+  if (!args.spec_file.empty() && args.setting_set) {
+    usage_error("--setting and --spec are mutually exclusive");
+  }
+  if (!args.policy.empty() && !core::is_valid_policy_name(args.policy)) {
     usage_error("unknown policy '" + args.policy + "'");
   }
   return args;
 }
 
+/// Resolve the experiment the arguments describe: a ScenarioSpec file, or a
+/// registry setting with the typed overrides.
 exp::ExperimentConfig build_config(const Args& args) {
-  const int n = args.devices > 0 ? args.devices : 20;
-  if (args.setting == "setting1") return exp::static_setting1(args.policy, n);
-  if (args.setting == "setting2") return exp::static_setting2(args.policy, n);
-  if (args.setting == "join") return exp::dynamic_join_setting(args.policy);
-  if (args.setting == "leave") return exp::dynamic_leave_setting(args.policy);
-  if (args.setting == "mobility") return exp::mobility_setting(args.policy);
-  if (args.setting == "controlled") return exp::controlled_setting({args.policy});
-  if (args.setting == "channel") return exp::channel_selection_setting(args.policy);
-  if (args.setting.rfind("trace", 0) == 0 && args.setting.size() == 6) {
-    const int idx = args.setting[5] - '0';
-    return exp::trace_setting(trace::synthetic_pair(idx), args.policy);
+  if (!args.spec_file.empty()) {
+    auto cfg = exp::load_spec_file(args.spec_file);
+    // Overrides that make sense on an arbitrary spec; structural ones
+    // (--devices and friends) belong in the file itself.
+    if (args.devices != -1 || args.networks != -1 || args.n_smart != -1) {
+      usage_error("--devices/--networks/--smart do not apply to --spec runs; "
+                  "edit the spec file instead");
+    }
+    if (!args.policy.empty()) cfg.with_policy(args.policy);
+    if (args.horizon_set) cfg.world.horizon = args.horizon;
+    return cfg;
   }
-  usage_error("unknown setting '" + args.setting + "'");
+  exp::SettingParams params;
+  params.policy = args.policy;
+  params.devices = args.devices;
+  params.networks = args.networks;
+  params.n_smart = args.n_smart;
+  params.horizon = args.horizon_set ? args.horizon : -1;
+  const std::string& name = args.dump_spec.empty() ? args.setting : args.dump_spec;
+  return exp::make_setting(name, params);
 }
 
-}  // namespace
+/// The policy label reported in summaries, derived from the config itself so
+/// registry runs and --spec re-runs of the same experiment print identical
+/// lines.
+std::string policy_label(const exp::ExperimentConfig& cfg) {
+  if (cfg.devices.empty()) return "none";
+  const std::string& first = cfg.devices.front().policy_name;
+  for (const auto& d : cfg.devices) {
+    if (d.policy_name != first) return "mixed";
+  }
+  return first;
+}
 
-int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
-
+int run(const Args& args) {
   auto cfg = build_config(args);
-  if (args.horizon > 0) cfg.world.horizon = args.horizon;
-  cfg.base_seed = args.seed;
+  if (args.seed_set) cfg.base_seed = args.seed;
   if (args.stability) cfg.recorder.track_stability = true;
+  cfg.validate_or_throw();
+
+  if (!args.dump_spec.empty()) {
+    std::cout << exp::to_spec_text(cfg);
+    return 0;
+  }
 
   const auto results = exp::run_many(cfg, args.runs, args.threads);
 
   const auto switches = exp::switch_summary(results);
   const double median_dl = exp::mean_of_run_median_download_mb(results);
   const double eps = 100.0 * exp::mean_eps_fraction(results);
+  const std::string policy = policy_label(cfg);
 
   if (args.quiet) {
-    std::cout << cfg.name << ',' << args.policy << ',' << args.runs << ','
+    std::cout << cfg.name << ',' << policy << ',' << args.runs << ','
               << exp::fmt(switches.mean, 1) << ',' << exp::fmt(median_dl, 1) << ','
               << exp::fmt(eps, 1) << '\n';
   } else {
-    exp::print_heading(cfg.name + " — " + args.policy + " (" +
+    exp::print_heading(cfg.name + " — " + policy + " (" +
                        std::to_string(args.runs) + " runs)");
     std::cout << "devices                : " << cfg.devices.size() << '\n'
               << "horizon                : " << cfg.world.horizon << " slots\n"
@@ -199,4 +314,20 @@ int main(int argc, char** argv) {
     if (!args.quiet) std::cout << "wrote " << args.csv << '\n';
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.list) {
+    print_list();
+    return 0;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "netsel_sim: " << e.what() << '\n';
+    return 2;
+  }
 }
