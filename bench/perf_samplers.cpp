@@ -1,0 +1,128 @@
+// Random-variate layer throughput: ns/sample for every sampler on the
+// simulation hot path, plus the one-time cost of building the Student-t
+// inverse-CDF table.
+//
+// The switching-delay draws are the interesting rows: after the inverse-CDF
+// rebuild, a WiFi delay is one uniform through Johnson-SU's closed-form
+// quantile function and a cellular delay is one uniform through the
+// prebuilt monotone-cubic table — fixed cost, no rejection loops, no
+// allocation (the allocation counter shim pins the latter). The generic
+// rejection-based Student-t sampler is measured alongside as the reference
+// the table replaced on the hot path.
+//
+// Output: a table on stdout and BENCH_samplers.json in the working
+// directory. REPRO_RUNS controls repetitions per sampler (smoke: 2).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "alloc_counter.hpp"
+#include "exp/runner.hpp"
+#include "netsim/delay_model.hpp"
+#include "stats/distributions.hpp"
+#include "stats/icdf.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+constexpr int kSamples = 4000000;
+
+struct SamplerPerf {
+  std::string name;
+  double best_ns_per_sample = 1e300;
+  std::uint64_t allocs = ~0ULL;
+};
+
+template <typename Body>
+SamplerPerf measure(const std::string& name, int runs, Body&& body) {
+  SamplerPerf out;
+  out.name = name;
+  volatile double sink = 0.0;
+  for (int r = 0; r < runs; ++r) {
+    smartexp3::stats::Rng rng(0x5eedULL + static_cast<std::uint64_t>(r));
+    smartexp3::testing::start_alloc_counting();
+    const auto start = Clock::now();
+    for (int i = 0; i < kSamples; ++i) sink = sink + body(rng);
+    const auto stop = Clock::now();
+    const std::uint64_t allocs = smartexp3::testing::stop_alloc_counting();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() / kSamples;
+    if (ns < out.best_ns_per_sample) out.best_ns_per_sample = ns;
+    if (allocs < out.allocs) out.allocs = allocs;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace smartexp3;
+  const int runs = exp::repro_runs(5);
+
+  // Build cost of the per-parameter-set table (the only non-fixed-cost part
+  // of the layer, paid once at DistributionDelayModel construction).
+  const auto build_start = Clock::now();
+  netsim::DistributionDelayModel model;
+  const auto build_stop = Clock::now();
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(build_stop - build_start).count();
+
+  const auto wifi = netsim::make_wifi(0, 10.0);
+  const auto cell = netsim::make_cellular(1, 10.0);
+  const stats::StudentT cellular = model.params().cellular;
+
+  std::printf("# random-variate layer, %d samples/run, best of %d runs\n", kSamples,
+              runs);
+  std::printf("# student-t icdf table build: %.2f ms (once per parameter set)\n\n",
+              build_ms);
+  std::printf("%-34s %14s %10s\n", "sampler", "ns/sample", "allocs");
+
+  std::vector<SamplerPerf> results;
+  const auto record = [&](SamplerPerf p) {
+    std::printf("%-34s %14.1f %10llu\n", p.name.c_str(), p.best_ns_per_sample,
+                static_cast<unsigned long long>(p.allocs));
+    results.push_back(std::move(p));
+  };
+
+  record(measure("uniform (baseline)", runs,
+                 [](stats::Rng& rng) { return rng.uniform(); }));
+  record(measure("normal (inverse-cdf)", runs,
+                 [](stats::Rng& rng) { return rng.normal(); }));
+  record(measure("delay wifi (johnson-su closed form)", runs,
+                 [&](stats::Rng& rng) { return model.sample(wifi, rng); }));
+  record(measure("delay cellular (student-t table)", runs,
+                 [&](stats::Rng& rng) { return model.sample(cell, rng); }));
+  record(measure("student-t (generic rejection)", runs,
+                 [&](stats::Rng& rng) { return cellular.sample(rng); }));
+  record(measure("gamma shape 2.0 (marsaglia-tsang)", runs, [](stats::Rng& rng) {
+    return stats::sample_gamma(rng, 2.0, 2.0);
+  }));
+  record(measure("gamma shape 0.5 (iterative boost)", runs, [](stats::Rng& rng) {
+    return stats::sample_gamma(rng, 0.5, 2.0);
+  }));
+
+  std::FILE* f = std::fopen("BENCH_samplers.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_samplers: cannot write BENCH_samplers.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"config\": {\"samples\": %d, \"runs\": %d},\n"
+               "  \"table_build_ms\": %.3f,\n  \"samplers\": [\n",
+               kSamples, runs, build_ms);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& p = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_sample\": %.2f, \"allocs\": %llu}%s\n",
+                 p.name.c_str(), p.best_ns_per_sample,
+                 static_cast<unsigned long long>(p.allocs),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\n[json] wrote BENCH_samplers.json\n");
+  return 0;
+}

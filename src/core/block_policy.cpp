@@ -302,7 +302,7 @@ void BlockPolicy::finalise_block() {
   // exp(gamma * ghat / k).
   const double ghat = cur_gain_sum_ / std::max(cur_p_, 1e-12);
   weights_.bump(static_cast<std::size_t>(cur_), gamma_ * ghat / static_cast<double>(k()));
-  weights_.normalise();
+  weights_.maybe_normalise();
 
   prev_ = cur_;
   prev_was_switch_back_ = cur_is_switch_back_;

@@ -47,10 +47,11 @@ void Exp3::set_networks(const std::vector<NetworkId>& available) {
 NetworkId Exp3::choose(Slot) {
   assert(!nets_.empty());
   gamma_used_ = current_gamma();
-  weights_.probabilities_into(gamma_used_, probs_scratch_);
-  const std::size_t idx = rng_.sample_discrete(probs_scratch_);
+  // Fused probabilities + draw: same per-arm probability arithmetic and the
+  // same single uniform as probabilities_into + sample_discrete, without
+  // materialising the distribution.
+  const std::size_t idx = weights_.sample(gamma_used_, rng_, p_chosen_);
   chosen_ = static_cast<int>(idx);
-  p_chosen_ = probs_scratch_[idx];
   ++selections_;
   return nets_[idx];
 }
@@ -62,7 +63,7 @@ void Exp3::observe(Slot, const SlotFeedback& fb) {
   const double ghat = fb.gain / std::max(p_chosen_, 1e-12);
   weights_.bump(static_cast<std::size_t>(chosen_),
                 gamma_used_ * ghat / static_cast<double>(nets_.size()));
-  weights_.normalise();
+  weights_.maybe_normalise();
   chosen_ = -1;
 }
 

@@ -39,7 +39,6 @@ class Exp3 final : public Policy {
   int chosen_ = -1;       // index of the arm picked this slot
   double p_chosen_ = 1.0; // probability with which it was picked
   double gamma_used_ = 1.0;
-  std::vector<double> probs_scratch_;  // reused by choose(); no per-slot alloc
 };
 
 }  // namespace smartexp3::core

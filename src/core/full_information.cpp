@@ -41,10 +41,10 @@ void FullInformationPolicy::set_networks(const std::vector<NetworkId>& available
 NetworkId FullInformationPolicy::choose(Slot) {
   assert(!nets_.empty());
   // Pure weight-proportional sampling: full feedback needs no forced
-  // exploration (gamma = 0 in the mixing formula).
-  weights_.probabilities_into(0.0, probs_scratch_);
+  // exploration (gamma = 0 in the mixing formula). Fused draw, one uniform.
+  double p_chosen = 0.0;
   ++selections_;
-  return nets_[rng_.sample_discrete(probs_scratch_)];
+  return nets_[weights_.sample(0.0, rng_, p_chosen)];
 }
 
 void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {
@@ -55,7 +55,7 @@ void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {
     const double loss = 1.0 - std::clamp(fb.all_gains[i], 0.0, 1.0);
     weights_.bump(i, -eta * loss);
   }
-  weights_.normalise();
+  weights_.maybe_normalise();
 }
 
 void FullInformationPolicy::probabilities_into(std::vector<double>& out) const {

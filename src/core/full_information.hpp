@@ -44,7 +44,6 @@ class FullInformationPolicy final : public Policy {
   std::vector<NetworkId> nets_;
   WeightTable weights_;
   long selections_ = 0;
-  std::vector<double> probs_scratch_;  // reused by choose(); no per-slot alloc
 };
 
 }  // namespace smartexp3::core

@@ -2,17 +2,31 @@
 //
 // EXP3's weight update w_i <- w_i * exp(gamma * ghat / k) overflows double
 // precision quickly once block-level gains appear (ghat can be hundreds), so
-// weights are kept in log space and probabilities are computed with the
-// usual max-subtraction softmax. All update rules in the paper are exactly
-// preserved: multiplying weights is adding log-weights, and the probability
-// p_i = (1-gamma) * w_i / sum_j w_j + gamma / k is invariant under the
-// normalisation (subtracting the max log-weight) applied after each update.
+// the source of truth is kept in log space. All update rules in the paper
+// are exactly preserved: multiplying weights is adding log-weights, and the
+// probability p_i = (1-gamma) * w_i / sum_j w_j + gamma / k is invariant
+// under the normalisation (subtracting the max log-weight) applied after
+// each update.
+//
+// Hot-path layout: alongside the log-weights the table maintains the linear
+// weights w_i ~= exp(lw_i) incrementally — bump() multiplies the one touched
+// weight by exp(delta) (this is literally the textbook EXP3 update) and
+// normalise() rescales so the leader is exactly 1.0, with no exp at all. A
+// slot of EXP3 therefore costs one exp (in the bump) instead of one per arm
+// (in the softmax), and sampling reads the linear weights directly. If the
+// incremental cache ever degenerates (an update so large that even the
+// cached weight over/underflows), every read and normalise() falls back to
+// the exact log-space softmax and the cache is rebuilt from the
+// log-weights, so extreme updates behave exactly as before.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <vector>
+
+#include "stats/rng.hpp"
 
 namespace smartexp3::core {
 
@@ -20,15 +34,23 @@ class WeightTable {
  public:
   void reset(std::size_t k) {
     lw_.assign(k, 0.0);
+    w_.assign(k, 1.0);
     offset_ = 0.0;
+    drifted_ = false;
   }
 
   std::size_t size() const { return lw_.size(); }
   bool empty() const { return lw_.empty(); }
 
   double log_weight(std::size_t i) const { return lw_[i]; }
-  void set_log_weight(std::size_t i, double v) { lw_[i] = v; }
-  void push_back(double lw) { lw_.push_back(lw); }
+  void set_log_weight(std::size_t i, double v) {
+    lw_[i] = v;
+    w_[i] = std::exp(v);
+  }
+  void push_back(double lw) {
+    lw_.push_back(lw);
+    w_.push_back(std::exp(lw));
+  }
 
   double max_log_weight() const {
     assert(!lw_.empty());
@@ -36,7 +58,28 @@ class WeightTable {
   }
 
   /// Multiplicative update: w_i *= exp(delta).
-  void bump(std::size_t i, double delta) { lw_[i] += delta; }
+  void bump(std::size_t i, double delta) {
+    lw_[i] += delta;
+    const double next = w_[i] * std::exp(delta);
+    // Re-anchor on the log-weight when the incremental product leaves the
+    // representable range (underflowed-to-zero weights must be able to come
+    // back, and infinities must not linger).
+    w_[i] = next > 0.0 && std::isfinite(next) ? flush_subnormal(next)
+                                              : flush_subnormal(std::exp(lw_[i]));
+    drifted_ |= lw_[i] > kDriftLimit || lw_[i] < -kDriftLimit;
+  }
+
+  /// Hot-path normalisation: a no-op until some log-weight has drifted far
+  /// enough (|lw| > 600) that another slot of updates could push the linear
+  /// cache out of double range; then a full normalise(). Probabilities are
+  /// invariant either way — p_i = (1-gamma) w_i / z + gamma/k does not care
+  /// about a common scale — so per-slot policies get normalisation safety
+  /// at the cost of one flag test. Rebuild paths (set_networks) keep using
+  /// the unconditional normalise(), whose max-log-weight == 0 postcondition
+  /// the absolute-offset bookkeeping relies on.
+  void maybe_normalise() {
+    if (drifted_) normalise();
+  }
 
   /// Rescale so the largest log-weight is 0. Probabilities are invariant;
   /// this only guards against drift over long horizons. The cumulative
@@ -44,9 +87,21 @@ class WeightTable {
   /// log-weight 0) can still be referenced when new arms appear.
   void normalise() {
     if (lw_.empty()) return;
-    const double m = max_log_weight();
+    std::size_t leader = 0;
+    for (std::size_t i = 1; i < lw_.size(); ++i) {
+      if (lw_[i] > lw_[leader]) leader = i;
+    }
+    const double m = lw_[leader];
     offset_ += m;
     for (auto& v : lw_) v -= m;
+    const double s = 1.0 / w_[leader];
+    if (s > 0.0 && std::isfinite(s)) {
+      for (auto& v : w_) v = flush_subnormal(v * s);
+      w_[leader] = 1.0;
+    } else {
+      rebuild_cache();
+    }
+    drifted_ = false;
   }
 
   /// The table-relative log-weight corresponding to an absolute weight of 1
@@ -67,14 +122,74 @@ class WeightTable {
   void probabilities_into(double gamma, std::vector<double>& p) const {
     assert(!lw_.empty());
     const double k = static_cast<double>(lw_.size());
-    const double m = max_log_weight();
-    double z = 0.0;
     p.resize(lw_.size());
+    double z = 0.0;
+    for (const double w : w_) z += w;
+    if (z > 0.0 && std::isfinite(z)) {
+      const double inv_z = 1.0 / z;
+      for (std::size_t i = 0; i < w_.size(); ++i) {
+        p[i] = (1.0 - gamma) * (w_[i] * inv_z) + gamma / k;
+      }
+      return;
+    }
+    // Degenerate cache: exact log-space softmax with max-subtraction.
+    const double m = max_log_weight();
+    z = 0.0;
     for (std::size_t i = 0; i < lw_.size(); ++i) {
       p[i] = std::exp(lw_[i] - m);
       z += p[i];
     }
     for (auto& v : p) v = (1.0 - gamma) * (v / z) + gamma / k;
+  }
+
+  /// Draw an index from the EXP3 distribution without materialising the
+  /// probability vector: one uniform, a sum and a scan over the linear
+  /// weights. Same per-arm probabilities and residual-mass-to-last-arm
+  /// convention as probabilities_into() + Rng::sample_discrete, but NOT
+  /// bit-for-bit the same index stream: the branchless cumulative compare
+  /// below rounds its partial sums differently from sample_discrete's
+  /// sequential subtraction, so rare draws near a cell edge can land one
+  /// arm over. Swapping one form for the other is a golden-trajectory
+  /// change. The chosen arm's probability is returned through `p_chosen`.
+  std::size_t sample(double gamma, stats::Rng& rng, double& p_chosen) const {
+    assert(!lw_.empty());
+    const double k = static_cast<double>(lw_.size());
+    double z = 0.0;
+    for (const double w : w_) z += w;
+    if (!(z > 0.0 && std::isfinite(z))) {
+      // Degenerate cache (cold): exact log-space pass, two exps per arm.
+      const double m = max_log_weight();
+      z = 0.0;
+      for (const double lw : lw_) z += std::exp(lw - m);
+      double u = rng.uniform();
+      for (std::size_t i = 0; i + 1 < lw_.size(); ++i) {
+        const double p = (1.0 - gamma) * (std::exp(lw_[i] - m) / z) + gamma / k;
+        u -= p;
+        if (u < 0.0) {
+          p_chosen = p;
+          return i;
+        }
+      }
+      p_chosen = (1.0 - gamma) * (std::exp(lw_.back() - m) / z) + gamma / k;
+      return lw_.size() - 1;
+    }
+    // Branchless inversion: the exit point of a cumulative scan is uniform
+    // over the arms, so its branch mispredicts almost every draw; counting
+    // threshold crossings instead keeps the pipeline full. Equivalent to
+    // the sequential-subtraction scan up to fp rounding of the partial
+    // sums; residual mass beyond the final cumulative goes to the last arm.
+    const double inv_z = 1.0 / z;
+    const double c = 1.0 - gamma;
+    const double floor = gamma / k;
+    const double u = rng.uniform();
+    double cum = 0.0;
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i + 1 < w_.size(); ++i) {
+      cum += c * (w_[i] * inv_z) + floor;
+      idx += u >= cum ? 1u : 0u;
+    }
+    p_chosen = c * (w_[idx] * inv_z) + floor;
+    return idx;
   }
 
   /// Allocating convenience wrapper around probabilities_into().
@@ -85,8 +200,32 @@ class WeightTable {
   }
 
  private:
+  /// Arms whose linear weight has decayed into the subnormal range are
+  /// flushed to exactly 0 in the cache: their softmax share is < 1e-307 of
+  /// the leader's (invisible at double precision in any probability), and
+  /// subnormal multiplies/adds stall the hot loop with microcode assists.
+  /// The log-weight keeps the exact value, so a later upward bump restores
+  /// the arm through the exp(lw) re-anchor in bump().
+  static double flush_subnormal(double w) {
+    return w < 2.2250738585072014e-308 ? 0.0 : w;  // DBL_MIN
+  }
+
+  void rebuild_cache() {
+    w_.resize(lw_.size());
+    for (std::size_t i = 0; i < lw_.size(); ++i) {
+      w_[i] = flush_subnormal(std::exp(lw_[i]));
+    }
+  }
+
+  // A bump can add a few hundred log-units at most (block-level ghat), so
+  // re-anchoring once any |lw| passes 600 keeps exp(lw) and the incremental
+  // products representable with a whole slot of headroom below DBL_MAX.
+  static constexpr double kDriftLimit = 600.0;
+
   std::vector<double> lw_;
-  double offset_ = 0.0;  // total normalisation shift applied so far
+  std::vector<double> w_;  // linear cache, w_[i] ~= exp(lw_[i])
+  double offset_ = 0.0;    // total normalisation shift applied so far
+  bool drifted_ = false;   // some |lw| exceeds kDriftLimit since last normalise
 };
 
 /// The paper's exploration-rate schedule gamma = b^{-1/3} (per §V, after

@@ -24,8 +24,8 @@ ExperimentConfig static_setting2(const std::string& policy, int n_devices = 20,
                                  Slot horizon = 1200);
 
 /// §VI-A scalability sweep (Fig 6): `k` networks and `n` devices, 8640
-/// slots (36 simulated hours). Network capacities follow the paper's
-/// non-uniform flavour; see DESIGN.md for the k=5 / k=7 reconstruction.
+/// slots (36 simulated hours). Networks are uniform 11 Mbps (the setting-2
+/// rate); see DESIGN.md §2 for the k=5 / k=7 reconstruction rationale.
 ExperimentConfig scalability_setting(const std::string& policy, int k, int n,
                                      Slot horizon = 8640);
 

@@ -1,15 +1,48 @@
 #include "netsim/delay_model.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace smartexp3::netsim {
 
+DistributionDelayModel::DistributionDelayModel(Params p)
+    : params_(p),
+      // Built once per parameter set, here and only here: a tail-aware
+      // inverse-CDF table over the numerically integrated Student-t density.
+      // The coverage bounds sit past the quantiles at the table's tail_eps
+      // (Student-t tails decay like x^-nu, so the u-quantile grows like
+      // u^(-1/nu)); everything beyond them lands outside [0, max_delay_s]
+      // and is removed by clamp_delay anyway, so edge-clamping the table
+      // there does not perturb the clamped delay distribution.
+      cellular_icdf_([&p] {
+        const stats::IcdfTable::BuildOptions opts{};
+        const double reach =
+            p.cellular.scale *
+            std::max(4.0 * std::pow(1.0 / opts.tail_eps, 1.0 / p.cellular.nu), 50.0);
+        return stats::IcdfTable::from_pdf(
+            [t = p.cellular, ln = p.cellular.log_norm()](double x) {
+              return t.pdf(x, ln);
+            },
+            p.cellular.loc - reach, p.cellular.loc + reach, p.cellular.loc,
+            p.cellular.scale, opts);
+      }()) {}
+
 double DistributionDelayModel::sample(const Network& to, stats::Rng& rng) const {
-  const double raw = to.type == NetworkType::kWifi ? params_.wifi.sample(rng)
-                                                   : params_.cellular.sample(rng);
+  // One uniform -> one delay, for both technologies: Johnson-SU through its
+  // closed-form quantile function, Student-t through the prebuilt table.
+  const double raw = to.type == NetworkType::kWifi
+                         ? params_.wifi.sample(rng)
+                         : cellular_icdf_.sample(rng);
   return stats::clamp_delay(raw, params_.max_delay_s);
 }
 
 std::unique_ptr<DelayModel> make_default_delay_model() {
-  return std::make_unique<DistributionDelayModel>();
+  // The default-parameter table is integrated once per process; each world
+  // gets a copy (two ~1k-double vectors) instead of redoing the numeric CDF
+  // integration per World construction. Magic-static init keeps this safe
+  // under run_many's worker threads.
+  static const DistributionDelayModel prototype;
+  return std::make_unique<DistributionDelayModel>(prototype);
 }
 
 }  // namespace smartexp3::netsim

@@ -12,6 +12,7 @@
 
 #include "netsim/network.hpp"
 #include "stats/distributions.hpp"
+#include "stats/icdf_table.hpp"
 #include "stats/rng.hpp"
 
 namespace smartexp3::netsim {
@@ -47,6 +48,13 @@ class FixedDelayModel final : public DelayModel {
 
 /// The paper's model: Johnson-SU for WiFi, Student-t for cellular, both
 /// clamped to [0, max_delay_s).
+///
+/// Sampling is fixed-cost inverse-CDF (DESIGN.md §3): WiFi uses Johnson-SU's
+/// closed-form quantile function, cellular a per-parameter-set IcdfTable
+/// built once here at construction (the only place the table allocates).
+/// Every delay draw therefore consumes exactly one 64-bit RNG output — the
+/// contract the per-(seed, device-id) delay streams rely on — and never
+/// enters a rejection loop; pinned by tests/test_sampling_equivalence.cpp.
 class DistributionDelayModel final : public DelayModel {
  public:
   struct Params {
@@ -56,14 +64,17 @@ class DistributionDelayModel final : public DelayModel {
   };
 
   DistributionDelayModel() : DistributionDelayModel(Params{}) {}
-  explicit DistributionDelayModel(Params p) : params_(p) {}
+  explicit DistributionDelayModel(Params p);
 
   double sample(const Network& to, stats::Rng& rng) const override;
 
   const Params& params() const { return params_; }
+  /// The cellular inverse-CDF table (exposed for the equivalence tests).
+  const stats::IcdfTable& cellular_icdf() const { return cellular_icdf_; }
 
  private:
   Params params_;
+  stats::IcdfTable cellular_icdf_;
 };
 
 std::unique_ptr<DelayModel> make_default_delay_model();

@@ -44,6 +44,7 @@ World::World(WorldConfig config, std::vector<Network> networks,
     if (!d.policy) throw std::invalid_argument("World: factory returned null policy");
     d.wants_full_info =
         d.policy->feedback_needs() == core::FeedbackNeeds::kFullInformation;
+    any_full_info_ |= d.wants_full_info;
     device_local_policies &= !d.policy->shares_state_across_devices();
     // The delay stream is salted so it never collides with the policy's
     // stream derived from the same device_seed.
@@ -72,6 +73,10 @@ World::World(WorldConfig config, std::vector<Network> networks,
   rate_cache_.assign(networks_.size(), 0.0);
   gain_cache_.assign(networks_.size(), 0.0);
   goodput_cache_.assign(networks_.size(), 0.0);
+  fair_rate_cache_.assign(networks_.size(), 0.0);
+  fair_gain_cache_.assign(networks_.size(), 0.0);
+  fair_join_rate_cache_.assign(networks_.size(), 0.0);
+  fair_join_gain_cache_.assign(networks_.size(), 0.0);
 
   // Collect the slots on which the per-device join/leave scan can possibly
   // do anything (negative join/leave slots never fire: slots are >= 0).
@@ -231,6 +236,21 @@ void World::phase_counts() {
         goodput_cache_[j] = mbps_seconds_to_mb(rate_cache_[j], config_.slot_seconds);
       }
     }
+    // Fair-share counterfactuals for full-information feedback: network j's
+    // fair share at its occupancy (read by the device occupying it) and at
+    // occupancy + 1 (read by devices contemplating a join). Bit-identical
+    // to the per-device calls these replace — same arguments, same
+    // division, same clamp — just evaluated once per slot.
+    if (any_full_info_) {
+      for (std::size_t j = 0; j < networks_.size(); ++j) {
+        fair_rate_cache_[j] = bandwidth_->fair_share(networks_[j], counts_[j], t);
+        fair_gain_cache_[j] = std::clamp(fair_rate_cache_[j] / gain_scale_, 0.0, 1.0);
+        fair_join_rate_cache_[j] =
+            bandwidth_->fair_share(networks_[j], counts_[j] + 1, t);
+        fair_join_gain_cache_[j] =
+            std::clamp(fair_join_rate_cache_[j] / gain_scale_, 0.0, 1.0);
+      }
+    }
   }
 }
 
@@ -238,6 +258,10 @@ void World::phase_counts() {
 // shared slot state (counts, caches, networks) and writes only device-local
 // state; switching delay comes from the device's own RNG stream, so disjoint
 // ranges can run on different threads without perturbing the trajectory.
+// The delay models sample by inverse CDF — exactly one 64-bit RNG output
+// per draw, no rejection loops — so a device's delay stream position is a
+// pure function of how many switches it has made, independent of the
+// sampled values themselves (DESIGN.md §3).
 void World::feedback_range(Slot t, std::size_t begin, std::size_t end) {
   for (std::size_t i = begin; i < end; ++i) {
     auto& d = devices_[i];
@@ -279,12 +303,23 @@ void World::feedback_range(Slot t, std::size_t begin, std::size_t end) {
       const auto& nets = d.policy->networks();
       fb.all_rates_mbps.resize(nets.size());
       fb.all_gains.resize(nets.size());
-      for (std::size_t j = 0; j < nets.size(); ++j) {
-        const auto& other = networks_[static_cast<std::size_t>(nets[j])];
-        const int load =
-            counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
-        fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
-        fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
+      if (shared_rates_) {
+        // Read the per-slot fair-share caches computed in phase_counts.
+        for (std::size_t j = 0; j < nets.size(); ++j) {
+          const auto n = static_cast<std::size_t>(nets[j]);
+          const bool occupying = nets[j] == chosen;
+          fb.all_rates_mbps[j] =
+              occupying ? fair_rate_cache_[n] : fair_join_rate_cache_[n];
+          fb.all_gains[j] = occupying ? fair_gain_cache_[n] : fair_join_gain_cache_[n];
+        }
+      } else {
+        for (std::size_t j = 0; j < nets.size(); ++j) {
+          const auto& other = networks_[static_cast<std::size_t>(nets[j])];
+          const int load =
+              counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
+          fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
+          fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
+        }
       }
     } else {
       fb.all_rates_mbps.clear();

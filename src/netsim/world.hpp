@@ -182,6 +182,17 @@ class World {
   std::vector<double> rate_cache_;
   std::vector<double> gain_cache_;
   std::vector<double> goodput_cache_;  // goodput of a delay-free slot
+  // Full-information counterfactual caches (shared_rates_ worlds containing
+  // at least one full-info device): the fair-share rate/gain on network j at
+  // its current occupancy (what a device already there observes) and at
+  // occupancy + 1 (what a device joining it would observe). The exact
+  // divisions/clamps the per-device path would perform, hoisted to once per
+  // slot; a full-info device's counterfactual loop then only reads.
+  bool any_full_info_ = false;
+  std::vector<double> fair_rate_cache_;
+  std::vector<double> fair_gain_cache_;
+  std::vector<double> fair_join_rate_cache_;
+  std::vector<double> fair_join_gain_cache_;
   // Slots on which any device joins or leaves (sorted): the O(devices) scan
   // in apply_events only runs on these.
   std::vector<Slot> join_leave_slots_;

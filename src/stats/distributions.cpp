@@ -3,12 +3,20 @@
 #include <cassert>
 #include <cmath>
 
+#include "stats/icdf.hpp"
+
 namespace smartexp3::stats {
 
-double JohnsonSU::sample(Rng& rng) const {
+double JohnsonSU::sample(Rng& rng) const { return icdf(rng.uniform()); }
+
+double JohnsonSU::icdf(double u) const {
   assert(delta > 0.0 && lambda > 0.0);
-  const double z = rng.normal();
-  return xi + lambda * std::sinh((z - gamma) / delta);
+  const double z = norm_ppf(u);
+  return xi + lambda * fast_sinh((z - gamma) / delta);
+}
+
+double JohnsonSU::cdf(double x) const {
+  return norm_cdf(gamma + delta * std::asinh((x - xi) / lambda));
 }
 
 double JohnsonSU::mean() const {
@@ -16,12 +24,23 @@ double JohnsonSU::mean() const {
   return xi - lambda * std::exp(0.5 / (delta * delta)) * std::sinh(gamma / delta);
 }
 
+double JohnsonSU::variance() const {
+  // Var[X] = lambda^2 / 2 * (w - 1) * (w * cosh(2 gamma / delta) + 1),
+  // with w = exp(1 / delta^2).
+  const double w = std::exp(1.0 / (delta * delta));
+  return 0.5 * lambda * lambda * (w - 1.0) *
+         (w * std::cosh(2.0 * gamma / delta) + 1.0);
+}
+
 double sample_gamma(Rng& rng, double shape, double scale) {
   assert(shape > 0.0 && scale > 0.0);
-  // Marsaglia & Tsang (2000). For shape < 1, boost via U^(1/shape).
+  // Marsaglia & Tsang (2000). For shape < 1, boost a Gamma(shape + 1) draw
+  // by U^(1/shape); the boost is folded in at the end rather than recursing.
+  double boost = 1.0;
   if (shape < 1.0) {
     const double u = std::max(rng.uniform(), 1e-300);
-    return sample_gamma(rng, shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+    boost = std::pow(u, 1.0 / shape);
+    shape += 1.0;
   }
   const double d = shape - 1.0 / 3.0;
   const double c = 1.0 / std::sqrt(9.0 * d);
@@ -31,11 +50,64 @@ double sample_gamma(Rng& rng, double shape, double scale) {
     if (v <= 0.0) continue;
     v = v * v * v;
     const double u = rng.uniform();
-    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v * scale;
+    if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v * scale * boost;
     if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
-      return d * v * scale;
+      return d * v * scale * boost;
     }
   }
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta function (modified Lentz).
+double beta_cont_frac(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-15;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  assert(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the expansion that converges fast for the given x.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cont_frac(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b;
 }
 
 double StudentT::sample(Rng& rng) const {
@@ -44,6 +116,26 @@ double StudentT::sample(Rng& rng) const {
   // chi^2(nu) == Gamma(nu/2, 2)
   const double v = sample_gamma(rng, nu / 2.0, 2.0);
   return loc + scale * z / std::sqrt(std::max(v / nu, 1e-12));
+}
+
+double StudentT::log_norm() const {
+  assert(nu > 0.0);
+  return std::lgamma(0.5 * (nu + 1.0)) - std::lgamma(0.5 * nu) -
+         0.5 * std::log(nu * 3.14159265358979323846);
+}
+
+double StudentT::pdf(double x) const { return pdf(x, log_norm()); }
+
+double StudentT::pdf(double x, double ln_norm) const {
+  assert(nu > 0.0 && scale > 0.0);
+  const double y = (x - loc) / scale;
+  return std::exp(ln_norm - 0.5 * (nu + 1.0) * std::log1p(y * y / nu)) / scale;
+}
+
+double StudentT::cdf(double x) const {
+  const double y = (x - loc) / scale;
+  const double ib = incomplete_beta(0.5 * nu, 0.5, nu / (nu + y * y));
+  return y > 0.0 ? 1.0 - 0.5 * ib : 0.5 * ib;
 }
 
 double LogNormal::sample(Rng& rng) const {

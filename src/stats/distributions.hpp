@@ -5,7 +5,8 @@
 // to 500 measured delay values; the fitted parameters were not published).
 // We implement both samplers from scratch and expose parameter structs so the
 // delay models in netsim/ can be calibrated; see DESIGN.md §3 for the
-// calibration used in the reproduction.
+// calibration used in the reproduction and for the fixed-cost inverse-CDF
+// sampling scheme (one uniform draw per variate on the hot paths).
 #pragma once
 
 #include "stats/rng.hpp"
@@ -20,19 +21,39 @@ struct JohnsonSU {
   double xi = 0.0;      ///< location
   double lambda = 1.0;  ///< scale, must be > 0
 
+  /// One variate from one uniform draw: the closed-form quantile function
+  /// xi + lambda * sinh((Phi^-1(u) - gamma) / delta).
   double sample(Rng& rng) const;
+  /// Quantile function (exact up to norm_ppf accuracy).
+  double icdf(double u) const;
+  /// CDF: Phi(gamma + delta * asinh((x - xi) / lambda)).
+  double cdf(double x) const;
   /// Mean of the distribution (closed form).
   double mean() const;
+  /// Variance of the distribution (closed form).
+  double variance() const;
 };
 
-/// Student-t distribution with location/scale, sampled as
-/// x = loc + scale * Z / sqrt(V / nu) with Z ~ N(0,1), V ~ chi^2(nu).
+/// Student-t distribution with location/scale. The generic sampler draws
+/// x = loc + scale * Z / sqrt(V / nu) with Z ~ N(0,1), V ~ chi^2(nu); hot
+/// paths should prefer an IcdfTable built from pdf() (see
+/// netsim::DistributionDelayModel), which needs one uniform per variate.
 struct StudentT {
   double nu = 4.0;     ///< degrees of freedom, must be > 0
   double loc = 0.0;    ///< location
   double scale = 1.0;  ///< scale, must be > 0
 
   double sample(Rng& rng) const;
+  /// Density (exact closed form; used to build inverse-CDF tables).
+  double pdf(double x) const;
+  /// Log of the density's normalisation constant (depends only on nu and
+  /// scale-free): hoist it via the two-argument pdf overload when
+  /// evaluating the density many times, as the table builder does.
+  double log_norm() const;
+  double pdf(double x, double ln_norm) const;
+  /// CDF via the regularised incomplete beta function (exact closed form;
+  /// the independent reference the table-driven sampler is tested against).
+  double cdf(double x) const;
 };
 
 /// Log-normal: exp(N(mu, sigma)). Used for per-device share heterogeneity in
@@ -47,7 +68,12 @@ struct LogNormal {
 
 /// Gamma(shape k, scale theta) sampler (Marsaglia–Tsang); used to build the
 /// chi-square draws inside StudentT and available to workload generators.
+/// The shape < 1 boost is applied iteratively (no recursion).
 double sample_gamma(Rng& rng, double shape, double scale);
+
+/// Regularised incomplete beta function I_x(a, b) (continued fraction),
+/// exposed for tests; powers StudentT::cdf.
+double incomplete_beta(double a, double b, double x);
 
 /// Clamp helper for delay draws: delays must be non-negative and strictly
 /// below the slot duration (the paper chose 15 s slots specifically to

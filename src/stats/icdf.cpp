@@ -1,0 +1,69 @@
+#include "stats/icdf.hpp"
+
+#include <cmath>
+
+namespace smartexp3::stats {
+
+namespace {
+
+// Wichura (1988), Algorithm AS 241, PPND16 coefficient sets. Three rational
+// approximations of degree 7/7: one for the central region |u - 0.5| <=
+// 0.425 and two for the tails in r = sqrt(-log(min(u, 1-u))).
+constexpr double kA[8] = {
+    3.3871328727963666080e+0, 1.3314166789178437745e+2, 1.9715909503065514427e+3,
+    1.3731693765509461125e+4, 4.5921953931549871457e+4, 6.7265770927008700853e+4,
+    3.3430575583588128105e+4, 2.5090809287301226727e+3};
+constexpr double kB[8] = {
+    1.0,                      4.2313330701600911252e+1, 6.8718700749205790830e+2,
+    5.3941960214247511077e+3, 2.1213794301586595867e+4, 3.9307895800092710610e+4,
+    2.8729085735721942674e+4, 5.2264952788528545610e+3};
+constexpr double kC[8] = {
+    1.42343711074968357734e+0, 4.63033784615654529590e+0, 5.76949722146069140550e+0,
+    3.64784832476320460504e+0, 1.27045825245236838258e+0, 2.41780725177450611770e-1,
+    2.27238449892691845833e-2, 7.74545014278341407640e-4};
+constexpr double kD[8] = {
+    1.0,                       2.05319162663775882187e+0, 1.67638483018380384940e+0,
+    6.89767334985100004550e-1, 1.48103976427480074590e-1, 1.51986665636164571966e-2,
+    5.47593808499534494600e-4, 1.05075007164441684324e-9};
+constexpr double kE[8] = {
+    6.65790464350110377720e+0, 5.46378491116411436990e+0, 1.78482653991729133580e+0,
+    2.96560571828504891230e-1, 2.65321895265761230930e-2, 1.24266094738807843860e-3,
+    2.71155556874348757815e-5, 2.01033439929228813265e-7};
+constexpr double kF[8] = {
+    1.0,                       5.99832206555887937690e-1, 1.36929880922735805310e-1,
+    1.48753612908506148525e-2, 7.86869131145613259100e-4, 1.84631831751005468180e-5,
+    1.42151175831644588870e-7, 2.04426310338993978564e-15};
+
+inline double rational(const double (&p)[8], const double (&q)[8], double r) {
+  const double num = ((((((p[7] * r + p[6]) * r + p[5]) * r + p[4]) * r + p[3]) * r +
+                       p[2]) * r + p[1]) * r + p[0];
+  const double den = ((((((q[7] * r + q[6]) * r + q[5]) * r + q[4]) * r + q[3]) * r +
+                       q[2]) * r + q[1]) * r + q[0];
+  return num / den;
+}
+
+}  // namespace
+
+double norm_ppf(double u) {
+  // Clamp into the open interval: a 53-bit uniform() can be exactly 0, and
+  // callers may pass 1.0; both must map to finite quantiles (+-8.13 / +8.21).
+  constexpr double kLo = 0x1.0p-54;
+  if (!(u > kLo)) u = kLo;                 // also catches NaN
+  if (u > 1.0 - 0x1.0p-53) u = 1.0 - 0x1.0p-53;
+
+  const double q = u - 0.5;
+  if (std::abs(q) <= 0.425) {
+    const double r = 0.180625 - q * q;
+    return q * rational(kA, kB, r);
+  }
+  double r = q < 0.0 ? u : 1.0 - u;
+  r = std::sqrt(-std::log(r));
+  const double x = r <= 5.0 ? rational(kC, kD, r - 1.6) : rational(kE, kF, r - 5.0);
+  return q < 0.0 ? -x : x;
+}
+
+double norm_cdf(double x) {
+  return 0.5 * std::erfc(-x * 0.70710678118654752440);  // 1/sqrt(2)
+}
+
+}  // namespace smartexp3::stats

@@ -1,0 +1,38 @@
+// Inverse normal CDF (probit) and normal CDF.
+//
+// norm_ppf is the engine of the fixed-cost sampling layer (DESIGN.md §3):
+// every normal variate in the library is produced as norm_ppf(u) from a
+// single uniform draw, so each variate consumes exactly one 64-bit RNG
+// output. That one-draw contract is what makes per-(seed, device-id) RNG
+// streams advance in lockstep with the number of samples taken — no
+// data-dependent rejection loops, no cached half-samples — and it is pinned
+// by tests/test_sampling_equivalence.cpp.
+#pragma once
+
+#include <cmath>
+
+namespace smartexp3::stats {
+
+/// Inverse of the standard normal CDF (Wichura's AS241 / PPND16 rational
+/// approximation, relative error < 1e-15 across (0, 1)).
+///
+/// Total on doubles: u is clamped into [2^-54, 1 - 2^-53] first, so the
+/// 0.0 a 53-bit uniform can produce maps to a finite quantile (~ -8.13)
+/// instead of -infinity. Monotone non-decreasing in u.
+double norm_ppf(double u);
+
+/// Standard normal CDF Phi(x), via erfc (full double accuracy).
+double norm_cdf(double x);
+
+/// sinh via a single exp: 0.5 * (e - 1/e) with e = e^w, plus a Taylor
+/// branch for |w| < 1e-5 where that difference would cancel. Accurate to a
+/// few ulp everywhere (the Taylor remainder is O(w^5) ~ 1e-25 relative at
+/// the crossover) and noticeably faster than std::sinh / the expm1
+/// formulation on common libms, which matters on the Johnson-SU delay path.
+inline double fast_sinh(double w) {
+  if (w < 1e-5 && w > -1e-5) return w * (1.0 + w * w * (1.0 / 6.0));
+  const double e = std::exp(w);
+  return 0.5 * (e - 1.0 / e);
+}
+
+}  // namespace smartexp3::stats

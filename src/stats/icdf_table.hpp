@@ -1,0 +1,70 @@
+// Table-driven inverse-CDF sampling for distributions with no cheap closed
+// form (DESIGN.md §3).
+//
+// An IcdfTable approximates a distribution's quantile function x = F^{-1}(u)
+// with a monotone cubic Hermite interpolant whose knots are uniform in
+// v = logit(u). The logit stretch is what makes the grid tail-aware: equal
+// steps in v pack knots into the regions where the quantile function is
+// steep (u -> 0 and u -> 1), exactly where a uniform-in-u grid loses
+// accuracy. Uniform knots in v also make lookup O(1) — index arithmetic, no
+// binary search — so sampling is a fixed-cost pipeline:
+//
+//   u -> v = logit(u) -> cell index -> Hermite evaluation
+//
+// consuming exactly one 64-bit RNG output per variate and never touching the
+// heap. Construction (the numeric CDF + knot inversion) happens once per
+// parameter set; the Fritsch-Carlson slope limiter guarantees the
+// interpolant is monotone, so the sampler is a genuine quantile function.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace smartexp3::stats {
+
+class IcdfTable {
+ public:
+  struct BuildOptions {
+    int knots = 1025;          ///< coarse interpolation knots (>= 4)
+    int fine_points = 65537;   ///< numeric-CDF integration grid (>= 16)
+    double tail_eps = 1e-7;    ///< knot coverage: u in [tail_eps, 1 - tail_eps]
+  };
+
+  /// Build from an (unnormalised is fine) density on [x_lo, x_hi]. The
+  /// density is integrated on an asinh-stretched fine grid centred on
+  /// `center` with characteristic width `scale` — dense near the mode,
+  /// logarithmically sparse in the far tails — then the cumulative is
+  /// inverted at the logit-spaced knots. Mass outside [x_lo, x_hi] is
+  /// treated as zero, so pick bounds past the quantiles at tail_eps.
+  static IcdfTable from_pdf(const std::function<double(double)>& pdf, double x_lo,
+                            double x_hi, double center, double scale,
+                            BuildOptions opts);
+  static IcdfTable from_pdf(const std::function<double(double)>& pdf, double x_lo,
+                            double x_hi, double center, double scale) {
+    return from_pdf(pdf, x_lo, x_hi, center, scale, BuildOptions{});
+  }
+
+  /// Approximate quantile function. Monotone in u; u outside
+  /// [tail_eps, 1 - tail_eps] clamps to the edge knots.
+  double operator()(double u) const;
+
+  /// One variate = one uniform = one 64-bit RNG output. Allocation-free.
+  double sample(Rng& rng) const { return (*this)(rng.uniform()); }
+
+  /// Quantile at the lowest / highest covered u (the clamp values).
+  double min_value() const { return x_.front(); }
+  double max_value() const { return x_.back(); }
+
+ private:
+  IcdfTable() = default;
+
+  double v_lo_ = 0.0;   ///< logit(tail_eps)
+  double v_hi_ = 0.0;   ///< logit(1 - tail_eps)
+  double inv_dv_ = 0.0; ///< cells / logit unit
+  std::vector<double> x_;  ///< quantile values at the knots
+  std::vector<double> m_;  ///< dx/dv knot slopes (Fritsch-Carlson limited)
+};
+
+}  // namespace smartexp3::stats

@@ -12,6 +12,8 @@
 #include <cassert>
 #include <vector>
 
+#include "stats/icdf.hpp"
+
 namespace smartexp3::stats {
 
 /// xoshiro256++ pseudo-random generator with convenience draws.
@@ -26,6 +28,9 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
   /// Re-initialise the full 256-bit state from a 64-bit seed via SplitMix64.
+  /// The 256-bit xoshiro state is the generator's *only* state (no cached
+  /// derived samples), so reseeding fully determines all subsequent output —
+  /// pinned by Rng.ReseedFullyDeterminesSubsequentOutput.
   void reseed(std::uint64_t seed) {
     std::uint64_t x = seed;
     for (auto& word : state_) {
@@ -79,21 +84,11 @@ class Rng {
   /// Fair coin flip.
   bool coin() { return (next() & 1ULL) != 0; }
 
-  /// Standard normal via Box–Muller (cached second value).
-  double normal() {
-    if (has_cached_) {
-      has_cached_ = false;
-      return cached_;
-    }
-    double u1 = uniform();
-    while (u1 <= 0.0) u1 = uniform();
-    const double u2 = uniform();
-    const double r = std::sqrt(-2.0 * std::log(u1));
-    const double theta = 2.0 * 3.14159265358979323846 * u2;
-    cached_ = r * std::sin(theta);
-    has_cached_ = true;
-    return r * std::cos(theta);
-  }
+  /// Standard normal via the inverse-CDF map of a single uniform (Wichura
+  /// AS241): every variate consumes exactly one 64-bit RNG output and the
+  /// generator carries no derived state (the previous Box–Muller kept a
+  /// cached half-sample that survived reseed()).
+  double normal() { return norm_ppf(uniform()); }
 
   double normal(double mean, double stddev) { return mean + stddev * normal(); }
 
@@ -150,8 +145,6 @@ class Rng {
   }
 
   std::array<std::uint64_t, 4> state_{};
-  double cached_ = 0.0;
-  bool has_cached_ = false;
 };
 
 }  // namespace smartexp3::stats

@@ -4,9 +4,10 @@
 //
 // The per-device download/switch values this scenario produces under
 // kGoldenSeed were captured by tools/golden_capture.cpp (last bumped
-// deliberately when switching-delay draws moved onto per-device RNG
-// streams for the explicit-phase refactor); the golden test asserts the
-// engine still reproduces them exactly. Regenerate with:
+// deliberately when the random-variate layer moved to one-uniform
+// inverse-CDF sampling; before that, when switching-delay draws moved onto
+// per-device RNG streams); the golden test asserts the engine still
+// reproduces them exactly. Regenerate with:
 //   cmake --build build --target golden_capture && ./build/tools/golden_capture
 #pragma once
 

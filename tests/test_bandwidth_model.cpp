@@ -45,7 +45,12 @@ TEST(NoisyShare, DeviceMultipliersPersistAndAverageToOne) {
 }
 
 TEST(NoisyShare, RatesFluctuateAroundFairShare) {
-  NoisyShareModel model;
+  // device_sigma = 0 keeps the long-run mean out of the hands of the single
+  // per-device multiplier draw (one LogNormal variate that scales every
+  // rate); what remains is the mean-1 AR(1) slot noise plus dip episodes.
+  NoisyShareModel::Params params;
+  params.device_sigma = 0.0;
+  NoisyShareModel model(params);
   stats::Rng rng(5);
   const auto net = make_wifi(0, 20.0);
   double sum = 0.0;

@@ -1,17 +1,19 @@
 // Golden-trajectory determinism test.
 //
 // The constants below were captured by tools/golden_capture.cpp after the
-// explicit-phase refactor moved switching-delay draws from the world stream
-// onto per-device RNG streams (a deliberate, documented trajectory bump:
-// every per-device random quantity now comes from a stream seeded by (world
-// seed, device id), which is what makes the feedback phase device-parallel).
-// Switch counts and active-slot counts are identical to the pre-refactor
-// pins — delay draws never feed back into the policies' gains — only the
-// download totals moved. Any engine change from here on is again required to
-// be a pure optimisation: the same seed must produce bit-identical
-// per-device downloads, switch counts and active-slot counts, with the
-// recorder attached or not and at every thread count. EXPECT_EQ on doubles
-// is deliberate; "close" is a bug.
+// random-variate layer moved to fixed-cost inverse-CDF sampling (a
+// deliberate, documented trajectory bump — the second, after the PR 2 move
+// to per-device delay streams): normals now come from Wichura's AS241
+// probit of a single uniform, Johnson-SU delays from the closed-form
+// quantile function and Student-t delays from a prebuilt monotone-cubic
+// inverse-CDF table, so every delay draw consumes exactly one 64-bit RNG
+// output. Switch counts and active-slot counts are identical to the PR 2
+// pins — delay draws never feed back into the policies' gains, and the
+// policies draw no normals — only the download totals moved. Any engine
+// change from here on is again required to be a pure optimisation: the same
+// seed must produce bit-identical per-device downloads, switch counts and
+// active-slot counts, with the recorder attached or not and at every thread
+// count. EXPECT_EQ on doubles is deliberate; "close" is a bug.
 #include <gtest/gtest.h>
 
 #include "exp/runner.hpp"
@@ -23,16 +25,16 @@ namespace {
 
 // golden values for seed 20260731 (regenerate with tools/golden_capture)
 const double kExpectedDownloadsMb[] = {
-    1262.7521157711049,  // device 0 (exp3)
-    1255.2297958406525,  // device 1 (block_exp3)
-    1497.4978578560786,  // device 2 (hybrid_block_exp3)
-    1898.6918447711739,  // device 3 (smart_exp3_noreset)
-    1809.9262197896578,  // device 4 (smart_exp3)
-    1650.4965491099788,  // device 5 (greedy)
-    1059.2225862847383,  // device 6 (full_information)
-    515.42324897780395,  // device 7 (ucb1)
+    1277.3479156089365,  // device 0 (exp3)
+    1252.8768675072538,  // device 1 (block_exp3)
+    1496.8199647856557,  // device 2 (hybrid_block_exp3)
+    1897.2063360532732,  // device 3 (smart_exp3_noreset)
+    1809.3317101630428,  // device 4 (smart_exp3)
+    1648.547775689862,   // device 5 (greedy)
+    1067.7834028817138,  // device 6 (full_information)
+    517.58860008288605,  // device 7 (ucb1)
     863.84375,           // device 8 (fixed_random)
-    608.16988272476488,  // device 9 (smart_exp3)
+    604.52321955728485,  // device 9 (smart_exp3)
 };
 const int kExpectedSwitches[] = {113, 30, 23, 13, 26, 8, 134, 116, 0, 17};
 const int kExpectedSlotsActive[] = {200, 200, 200, 200, 200, 200, 200, 120, 120, 100};

@@ -81,6 +81,39 @@ TEST(Rng, IntInInclusiveBounds) {
   EXPECT_EQ(seen.size(), 5u);
 }
 
+TEST(Rng, ReseedFullyDeterminesSubsequentOutput) {
+  // Regression: the Box–Muller normal() kept a cached half-sample that
+  // survived reseed(), so a reseeded generator could emit one stale normal
+  // before rejoining the fresh stream. reseed() must clear *all* derived
+  // state: after reseed(s), every draw — raw or derived — must match a
+  // freshly constructed Rng(s), regardless of what was drawn before.
+  Rng reseeded(7);
+  for (int i = 0; i < 3; ++i) (void)reseeded.normal();  // odd draw history
+  (void)reseeded.uniform();
+  reseeded.reseed(7);
+  Rng fresh(7);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(reseeded.normal(), fresh.normal()) << "draw " << i;
+  }
+  reseeded.reseed(7);
+  fresh.reseed(7);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(reseeded(), fresh()) << "draw " << i;
+  }
+}
+
+TEST(Rng, NormalConsumesExactlyOneOutput) {
+  // The inverse-CDF normal is a pure map of a single 64-bit output: the
+  // stream position after n normals equals the position after n raw draws.
+  Rng a(11);
+  Rng b(11);
+  for (int i = 0; i < 1000; ++i) (void)a.normal();
+  for (int i = 0; i < 1000; ++i) (void)b();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
 TEST(Rng, NormalMoments) {
   Rng rng(99);
   double sum = 0.0;
