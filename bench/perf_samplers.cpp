@@ -110,7 +110,8 @@ int main() {
     return 1;
   }
   std::fprintf(f,
-               "{\n  \"config\": {\"samples\": %d, \"runs\": %d},\n"
+               "{\n  \"schema_version\": 2,\n"
+               "  \"config\": {\"samples\": %d, \"runs\": %d},\n"
                "  \"table_build_ms\": %.3f,\n  \"samplers\": [\n",
                kSamples, runs, build_ms);
   for (std::size_t i = 0; i < results.size(); ++i) {

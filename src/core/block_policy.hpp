@@ -103,6 +103,11 @@ class BlockPolicy : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot t, const SlotFeedback& fb) override;
+  /// Block policies amortise their EXP3 work over whole blocks; the reset
+  /// variant pays extra per-slot drop tracking. No batch override: a few ns
+  /// of per-slot work gains nothing from SoA packing (see Policy::
+  /// uses_batch_dispatch).
+  double step_cost_hint() const override { return options_.reset ? 1.8 : 1.0; }
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   PolicyStats stats() const override { return stats_; }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "stats/vexp.hpp"
+
 namespace smartexp3::core {
 
 Exp3::Exp3(std::uint64_t seed) : Exp3(seed, Options{}) {}
@@ -59,12 +61,48 @@ NetworkId Exp3::choose(Slot) {
 void Exp3::observe(Slot, const SlotFeedback& fb) {
   if (chosen_ < 0) return;  // network set changed between choose and observe
   // Importance-weighted gain estimate and multiplicative update (paper
-  // Algorithm 1 lines 11-12 with block length 1).
-  const double ghat = fb.gain / std::max(p_chosen_, 1e-12);
-  weights_.bump(static_cast<std::size_t>(chosen_),
-                gamma_used_ * ghat / static_cast<double>(nets_.size()));
+  // Algorithm 1 lines 11-12 with block length 1). The multiplicative factor
+  // goes through the vexp kernel so the scalar and batched paths produce the
+  // same bits (observe_batch runs the identical per-element kernel over the
+  // group's packed deltas).
+  const double delta = update_delta(fb);
+  weights_.bump_with_factor(static_cast<std::size_t>(chosen_), delta,
+                            stats::vexp_one(delta));
   weights_.maybe_normalise();
   chosen_ = -1;
+}
+
+void Exp3::choose_batch(Slot t, Policy* const* policies, std::size_t n,
+                        NetworkId* out, BatchScratch&) {
+  // Exp3 is final: the casted call devirtualizes into a tight group loop.
+  for (std::size_t j = 0; j < n; ++j) {
+    out[j] = static_cast<Exp3*>(policies[j])->choose(t);
+  }
+}
+
+void Exp3::observe_batch(Slot, Policy* const* policies,
+                         const SlotFeedback* const* feedbacks, std::size_t n,
+                         BatchScratch& scratch) {
+  // SoA pass 1: every device's update delta (pure arithmetic, no exp).
+  // Devices whose network set changed mid-slot (chosen_ < 0) contribute a
+  // dummy 0 so the packed buffer stays index-aligned with the group.
+  scratch.a.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& p = *static_cast<Exp3*>(policies[j]);
+    scratch.a[j] = p.chosen_ < 0 ? 0.0 : p.update_delta(*feedbacks[j]);
+  }
+  // One vectorized exp sweep across the whole group...
+  scratch.b.resize(n);
+  stats::vexp(scratch.a.data(), scratch.b.data(), n);
+  // ...and pass 2 applies the precomputed factors.
+  for (std::size_t j = 0; j < n; ++j) {
+    auto& p = *static_cast<Exp3*>(policies[j]);
+    if (p.chosen_ < 0) continue;
+    p.weights_.bump_with_factor(static_cast<std::size_t>(p.chosen_), scratch.a[j],
+                                scratch.b[j]);
+    p.weights_.maybe_normalise();
+    p.chosen_ = -1;
+  }
 }
 
 void Exp3::probabilities_into(std::vector<double>& out) const {

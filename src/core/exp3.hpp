@@ -3,6 +3,8 @@
 // baseline the paper improves upon.
 #pragma once
 
+#include <algorithm>
+
 #include "core/policy.hpp"
 #include "core/weight_table.hpp"
 #include "stats/rng.hpp"
@@ -23,6 +25,17 @@ class Exp3 final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot t, const SlotFeedback& fb) override;
+  /// Monomorphic group loops; observe_batch packs every device's single
+  /// weight-update delta into one stats::vexp sweep (bit-identical to the
+  /// scalar observe(), which routes the same delta through vexp_one).
+  void choose_batch(Slot t, Policy* const* policies, std::size_t n, NetworkId* out,
+                    BatchScratch& scratch) override;
+  void observe_batch(Slot t, Policy* const* policies,
+                     const SlotFeedback* const* feedbacks, std::size_t n,
+                     BatchScratch& scratch) override;
+  /// ~2.5x a greedy device per slot (one weight-table draw + one exp'd bump).
+  double step_cost_hint() const override { return 2.6; }
+  bool uses_batch_dispatch() const override { return true; }
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "exp3"; }
@@ -31,6 +44,14 @@ class Exp3 final : public Policy {
   double current_gamma() const;
 
  private:
+  /// The importance-weighted log-weight delta for the slot that chosen_ /
+  /// p_chosen_ / gamma_used_ describe. Shared by the scalar and batched
+  /// update paths so they stay bit-identical by construction.
+  double update_delta(const SlotFeedback& fb) const {
+    const double ghat = fb.gain / std::max(p_chosen_, 1e-12);
+    return gamma_used_ * ghat / static_cast<double>(nets_.size());
+  }
+
   Options options_;
   stats::Rng rng_;
   std::vector<NetworkId> nets_;

@@ -14,6 +14,8 @@ class FixedRandomPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot /*t*/, const SlotFeedback& /*fb*/) override {}
+  /// Sticks to one network: no learning state at all.
+  double step_cost_hint() const override { return 0.5; }
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "fixed_random"; }

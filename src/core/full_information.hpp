@@ -27,6 +27,20 @@ class FullInformationPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot t, const SlotFeedback& fb) override;
+  /// Monomorphic group loops; observe_batch packs the whole group's per-arm
+  /// loss deltas (n devices x k arms) into one stats::vexp sweep — the
+  /// per-arm exp loop is the policy's hot spot, and batching it across
+  /// devices is what makes it vectorize. Bit-identical to the scalar
+  /// observe(), which runs the same kernel over its own k arms.
+  void choose_batch(Slot t, Policy* const* policies, std::size_t n, NetworkId* out,
+                    BatchScratch& scratch) override;
+  void observe_batch(Slot t, Policy* const* policies,
+                     const SlotFeedback* const* feedbacks, std::size_t n,
+                     BatchScratch& scratch) override;
+  /// The heaviest per-slot policy: a weight-table draw plus one exp'd bump
+  /// per *arm* (and the world computes its counterfactual feedback on top).
+  double step_cost_hint() const override { return 3.9; }
+  bool uses_batch_dispatch() const override { return true; }
   /// The whole point of this baseline: it consumes the counterfactual
   /// vectors, so the world must compute them for its devices.
   FeedbackNeeds feedback_needs() const override {
@@ -38,12 +52,30 @@ class FullInformationPolicy final : public Policy {
 
  private:
   double current_eta() const;
+  /// Whether this slot's feedback can feed the weight update. The single
+  /// source of truth for the batch path's skip decision: pack_deltas and
+  /// observe_batch's apply pass both consult it, so they cannot drift
+  /// apart about which devices contributed a packed slice.
+  bool can_pack(const SlotFeedback& fb) const {
+    return fb.all_gains.size() == nets_.size();
+  }
+  /// Write the slot's per-arm log-weight deltas -eta * loss_i into
+  /// deltas[0..k): the packing step shared by the scalar and batched
+  /// observe paths. Returns false when the feedback does not match the
+  /// current network set (the slot is skipped).
+  bool pack_deltas(const SlotFeedback& fb, double* deltas);
+  /// Apply a precomputed exp sweep: w_i *= factors[i] with delta deltas[i].
+  void apply_factors(const double* deltas, const double* factors);
 
   Options options_;
   stats::Rng rng_;
   std::vector<NetworkId> nets_;
   WeightTable weights_;
   long selections_ = 0;
+  // Scalar-path scratch for the vexp sweep (batch calls pack into the
+  // engine-owned lane scratch instead). Sized once per network set.
+  std::vector<double> delta_scratch_;
+  std::vector<double> factor_scratch_;
 };
 
 }  // namespace smartexp3::core

@@ -7,6 +7,7 @@
 // is exactly the bandit feedback model of the paper (§II-B).
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,18 @@ struct PolicyStats {
   int resets = 0;
 };
 
+/// Reusable scratch handed to the batch entry points below. Owned by the
+/// engine (one per execution lane), never shared between concurrent batch
+/// calls; a policy's batch override may use the buffers freely for SoA
+/// packing (e.g. gathering every device's weight-update deltas for one
+/// stats::vexp sweep). Capacity persists across slots, so steady-state batch
+/// calls are allocation-free once the buffers have grown to the largest
+/// chunk handled by the lane.
+struct BatchScratch {
+  std::vector<double> a;
+  std::vector<double> b;
+};
+
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -75,6 +88,49 @@ class Policy {
   /// Feedback for slot `t` (the slot chosen by the immediately preceding
   /// choose() call).
   virtual void observe(Slot t, const SlotFeedback& fb) = 0;
+
+  // ---- batched execution (policy-group hot path) ----
+  //
+  // The world groups devices by concrete policy type and drives each group
+  // through these two entry points, called on one member of the group with
+  // the whole group's policy pointers. Every pointer in `policies` refers to
+  // an object of the receiver's dynamic type, so a final class may
+  // static_cast and run a tight monomorphic loop (one virtual dispatch per
+  // chunk instead of one per device) and may pack per-device state into
+  // `scratch` for SIMD kernels. Overrides MUST be observably equivalent to
+  // the scalar defaults below — the engine's batch and scalar paths are
+  // pinned bit-identical against each other (tests/test_batch_vs_scalar.cpp).
+
+  /// out[j] = policies[j]->choose(t) for j in [0, n).
+  virtual void choose_batch(Slot t, Policy* const* policies, std::size_t n,
+                            NetworkId* out, BatchScratch& /*scratch*/) {
+    for (std::size_t j = 0; j < n; ++j) out[j] = policies[j]->choose(t);
+  }
+
+  /// policies[j]->observe(t, *feedbacks[j]) for j in [0, n).
+  virtual void observe_batch(Slot t, Policy* const* policies,
+                             const SlotFeedback* const* feedbacks, std::size_t n,
+                             BatchScratch& /*scratch*/) {
+    for (std::size_t j = 0; j < n; ++j) policies[j]->observe(t, *feedbacks[j]);
+  }
+
+  /// True when this type's batch overrides beat per-device dispatch (they
+  /// pack cross-device state for SIMD kernels, as the EXP3-family weight
+  /// updates do). The engine only pays the batch call's gather/scatter
+  /// around groups that opt in; everyone else runs direct per-device calls
+  /// inside the same chunked partition, which profiling shows is faster for
+  /// policies whose per-slot work is a few nanoseconds. Must be constant
+  /// over the policy's lifetime.
+  virtual bool uses_batch_dispatch() const { return false; }
+
+  /// Static relative cost of stepping one device of this policy for one slot
+  /// (choose + observe), in arbitrary units where a simple bookkeeping
+  /// policy is ~1. Consumed by the world's cost-model chunked partition so
+  /// expensive devices (full information is ~4x a greedy device) spread
+  /// across executor lanes instead of piling onto one. Purely an execution
+  /// hint: it must be constant over the policy's lifetime and never affects
+  /// the trajectory.
+  virtual double step_cost_hint() const { return 1.0; }
 
   /// Which feedback fields observe() consumes. The world only fills the
   /// counterfactual vectors for kFullInformation policies; everyone else
@@ -102,7 +158,11 @@ class Policy {
     return p;
   }
 
-  /// Currently visible networks, aligned with probabilities().
+  /// Currently visible networks, aligned with probabilities(). The returned
+  /// reference must denote a vector *object* that is stable for the
+  /// policy's lifetime — only its contents may change across
+  /// set_networks() — because the engine caches the address per device to
+  /// avoid a virtual call per device-slot.
   virtual const std::vector<NetworkId>& networks() const = 0;
 
   /// Called when the device leaves the service area (used by the

@@ -63,6 +63,10 @@ bool UtilityShapedPolicy::shares_state_across_devices() const {
   return inner_->shares_state_across_devices();
 }
 
+double UtilityShapedPolicy::step_cost_hint() const {
+  return inner_->step_cost_hint();
+}
+
 void UtilityShapedPolicy::probabilities_into(std::vector<double>& out) const {
   inner_->probabilities_into(out);
 }

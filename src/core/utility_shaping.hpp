@@ -48,6 +48,8 @@ class UtilityShapedPolicy final : public Policy {
   /// what the wrapped policy needs.
   FeedbackNeeds feedback_needs() const override;
   bool shares_state_across_devices() const override;
+  /// Shaping adds O(1) per slot on top of whatever the inner policy costs.
+  double step_cost_hint() const override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override;
   void on_leave(Slot t) override;

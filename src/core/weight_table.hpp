@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "stats/rng.hpp"
+#include "stats/vexp.hpp"
 
 namespace smartexp3::core {
 
@@ -58,9 +59,20 @@ class WeightTable {
   }
 
   /// Multiplicative update: w_i *= exp(delta).
-  void bump(std::size_t i, double delta) {
+  void bump(std::size_t i, double delta) { bump_with_factor(i, delta, std::exp(delta)); }
+
+  /// The batched-update form of bump(): the caller supplies factor =
+  /// exp-kernel(delta), typically one element of a stats::vexp sweep packed
+  /// across a whole policy group. The log-weight bookkeeping is unchanged —
+  /// lw_ accumulates the exact delta — only the linear cache multiplies by
+  /// the caller's factor, so scalar and batched callers agree bit-for-bit as
+  /// long as they use the same exp kernel for the factor. The degenerate
+  /// re-anchor below deliberately stays on std::exp (the scalar-exact path):
+  /// it must reproduce the same bits from lw_ no matter which kernel
+  /// produced the incremental factors that drifted out of range.
+  void bump_with_factor(std::size_t i, double delta, double factor) {
     lw_[i] += delta;
-    const double next = w_[i] * std::exp(delta);
+    const double next = w_[i] * factor;
     // Re-anchor on the log-weight when the incremental product leaves the
     // representable range (underflowed-to-zero weights must be able to come
     // back, and infinities must not linger).
@@ -132,13 +144,18 @@ class WeightTable {
       }
       return;
     }
-    // Degenerate cache: exact log-space softmax with max-subtraction.
+    // Degenerate cache: log-space softmax with max-subtraction, batched
+    // through the kernel API's scalar-exact path (p doubles as the argument
+    // buffer; in-place is allowed). This output *can* feed a choice — the
+    // block policies sample from probabilities_into()'s vector — so per the
+    // vexp exactness contract the bits must stay std::exp's; the path is a
+    // cold fallback, so there is nothing for the fast kernel to win here
+    // anyway.
     const double m = max_log_weight();
+    for (std::size_t i = 0; i < lw_.size(); ++i) p[i] = lw_[i] - m;
+    stats::vexp_exact(p.data(), p.data(), p.size());
     z = 0.0;
-    for (std::size_t i = 0; i < lw_.size(); ++i) {
-      p[i] = std::exp(lw_[i] - m);
-      z += p[i];
-    }
+    for (const double v : p) z += v;
     for (auto& v : p) v = (1.0 - gamma) * (v / z) + gamma / k;
   }
 
@@ -179,11 +196,24 @@ class WeightTable {
     // the sequential-subtraction scan up to fp rounding of the partial
     // sums; residual mass beyond the final cumulative goes to the last arm.
     const double inv_z = 1.0 / z;
-    const double c = 1.0 - gamma;
-    const double floor = gamma / k;
     const double u = rng.uniform();
     double cum = 0.0;
     std::size_t idx = 0;
+    if (gamma == 0.0) {
+      // Pure weight-proportional draw (the full-information forecaster's
+      // every slot): c == 1.0 and floor == 0.0, and multiplying by 1.0 /
+      // adding +0.0 are exact identities on the non-negative terms here, so
+      // this branch is bit-identical to the general form below — minus two
+      // FLOPs per arm on a hot path.
+      for (std::size_t i = 0; i + 1 < w_.size(); ++i) {
+        cum += w_[i] * inv_z;
+        idx += u >= cum ? 1u : 0u;
+      }
+      p_chosen = w_[idx] * inv_z;
+      return idx;
+    }
+    const double c = 1.0 - gamma;
+    const double floor = gamma / k;
     for (std::size_t i = 0; i + 1 < w_.size(); ++i) {
       cum += c * (w_[i] * inv_z) + floor;
       idx += u >= cum ? 1u : 0u;

@@ -190,10 +190,16 @@ int repro_runs(int fallback) {
 }
 
 int world_threads(int fallback) {
-  // 0 is meaningful ("all cores"); negatives and garbage are not.
+  // 0 is meaningful ("all cores"); negatives and garbage are not. Lane
+  // counts beyond the machine's cores only oversubscribe the barrier (the
+  // trajectory is thread-count-invariant anyway), so they clamp to
+  // hardware_concurrency with the one-time warning instead of silently
+  // running slower than serial.
   static bool warned = false;
-  return env_int_clamped("WORLD_THREADS", fallback, 0, 1 << 16, /*clamp_low=*/false,
-                         &warned);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const long max_lanes = hw > 0 ? static_cast<long>(hw) : 1L;
+  return env_int_clamped("WORLD_THREADS", fallback, 0, max_lanes,
+                         /*clamp_low=*/false, &warned);
 }
 
 }  // namespace smartexp3::exp

@@ -1,23 +1,49 @@
 #include "netsim/bandwidth_model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace smartexp3::netsim {
 
 void NoisyShareModel::begin_slot(Slot, stats::Rng& rng) {
-  // Advance every known network's AR(1) noise and roll for dips. Networks
-  // appear in the map lazily on first rate() call; their process starts at
-  // the stationary mean (1.0), which is the correct prior.
+  // Advance every live network's AR(1) noise and roll for dips, in network
+  // id order (deterministic and documented — the previous lazy map walked
+  // its own bucket order). A network becomes live the slot it is first seen
+  // (prepare_slot in world use, first rate() standalone); its process
+  // starts at the stationary mean (1.0), which is the correct prior.
   const double rho = params_.noise_rho;
   const double innovation_sigma =
       params_.noise_sigma * std::sqrt(std::max(1.0 - rho * rho, 0.0));
-  for (auto& [id, state] : noise_) {
+  for (auto& state : noise_) {
+    if (!state.live) continue;
     state.value = 1.0 + rho * (state.value - 1.0) + rng.normal(0.0, innovation_sigma);
     state.value = std::clamp(state.value, 0.2, 2.0);
     state.dipped = state.dipped ? rng.chance(params_.dip_persistence)
                                 : rng.chance(params_.dip_probability);
   }
+}
+
+NoisyShareModel::NetNoise& NoisyShareModel::noise_slot(NetworkId id) {
+  // Network ids are 0..k-1 in world use (validated at construction); a
+  // negative id here is a caller bug, mapped to slot 0 rather than a
+  // 2^64-element resize.
+  assert(id >= 0);
+  const auto idx = id >= 0 ? static_cast<std::size_t>(id) : 0;
+  if (idx >= noise_.size()) noise_.resize(idx + 1);
+  NetNoise& state = noise_[idx];
+  state.live = true;
+  return state;
+}
+
+void NoisyShareModel::prepare_slot(const std::vector<Network>& networks,
+                                   const std::vector<DeviceId>& devices) {
+  for (const auto& net : networks) noise_slot(net.id);
+  // First-touch order matters: the multiplier a device receives is "next
+  // draw from the model's device stream", so materialising in the world's
+  // fixed device order reproduces the draws the serial feedback loop's
+  // lazy first rate() calls would have made, bit for bit.
+  for (const DeviceId id : devices) device_multiplier(id);
 }
 
 double NoisyShareModel::device_multiplier(DeviceId device) {
@@ -33,8 +59,12 @@ double NoisyShareModel::device_multiplier(DeviceId device) {
 
 double NoisyShareModel::rate(const Network& net, int n_devices, DeviceId device, Slot t,
                              stats::Rng&) {
-  auto [it, inserted] = noise_.try_emplace(net.id);
-  const NetNoise& state = it->second;
+  // Pure read once prepare_slot has materialised this network and device
+  // (the world guarantees it before any parallel rate() call); the lazy
+  // noise_slot fallback only runs in serial standalone use.
+  const auto idx = static_cast<std::size_t>(net.id);
+  const NetNoise& state =
+      idx < noise_.size() && noise_[idx].live ? noise_[idx] : noise_slot(net.id);
   double r = net.capacity(t) / std::max(n_devices, 1);
   r *= device_multiplier(device);
   r *= state.value;

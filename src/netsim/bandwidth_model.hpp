@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "netsim/network.hpp"
 #include "stats/distributions.hpp"
@@ -26,6 +27,25 @@ class BandwidthModel {
   /// Called once at the start of every slot, before any rate() calls, so the
   /// model can advance time-correlated noise processes.
   virtual void begin_slot(Slot t, stats::Rng& rng) = 0;
+
+  /// Called by the world after begin_slot(), while execution is still
+  /// serial, for models that are not device-invariant — on the first slot
+  /// and again whenever the active device set (or the model binding)
+  /// changed: `devices` holds the ids of every active device in fixed
+  /// device order. A model with lazy per-device or per-network state
+  /// materialises it here — in exactly the order the serial rate() calls
+  /// would have first touched it — after which rate() must behave as a pure
+  /// read if parallel_rate_safe() returns true. Must be idempotent.
+  /// Default: no-op.
+  virtual void prepare_slot(const std::vector<Network>& /*networks*/,
+                            const std::vector<DeviceId>& /*devices*/) {}
+
+  /// True when rate() is safe to call concurrently from the device-parallel
+  /// feedback phase: after prepare_slot() it mutates no model state and
+  /// draws nothing from the rng argument. Device-invariant models never
+  /// reach this (the world reads its per-network caches instead); models
+  /// with materialised per-device state (noisy share) opt in by overriding.
+  virtual bool parallel_rate_safe() const { return false; }
 
   /// Observed bit rate (Mbps) for `device` on `net` when `n_devices` devices
   /// (including this one) share it during slot `t`. `n_devices >= 1`.
@@ -84,6 +104,15 @@ class NoisyShareModel final : public BandwidthModel {
   explicit NoisyShareModel(Params p) : params_(p), device_rng_(p.seed) {}
 
   void begin_slot(Slot t, stats::Rng& rng) override;
+  /// Materialises the per-device multipliers of any not-yet-seen device (in
+  /// the given fixed order, so the draws match the serial first-touch order
+  /// bit for bit) and the noise slot of every network, after which rate()
+  /// is a pure read for the rest of the slot.
+  void prepare_slot(const std::vector<Network>& networks,
+                    const std::vector<DeviceId>& devices) override;
+  /// rate() only reads materialised state (and never touches the rng), so
+  /// the world may fan the feedback phase out for this model too.
+  bool parallel_rate_safe() const override { return true; }
   double rate(const Network& net, int n_devices, DeviceId device, Slot t,
               stats::Rng& rng) override;
 
@@ -94,12 +123,20 @@ class NoisyShareModel final : public BandwidthModel {
   struct NetNoise {
     double value = 1.0;
     bool dipped = false;
+    /// The AR(1) process only advances for networks that have been seen —
+    /// a network starts at the stationary mean (1.0) the slot it first
+    /// appears, exactly as the previous lazy-map behaviour.
+    bool live = false;
   };
+
+  NetNoise& noise_slot(NetworkId id);
 
   Params params_;
   stats::Rng device_rng_;
   std::unordered_map<DeviceId, double> multipliers_;
-  std::unordered_map<NetworkId, NetNoise> noise_;
+  // Indexed by NetworkId (world networks are 0..k-1); grows on demand so
+  // standalone model use (unit tests) needs no prepare_slot call.
+  std::vector<NetNoise> noise_;
 };
 
 std::unique_ptr<BandwidthModel> make_equal_share();

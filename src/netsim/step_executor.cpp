@@ -72,13 +72,25 @@ void StepExecutor::worker_loop(int lane) {
     if (stop_.load(std::memory_order_acquire)) return;
     seen = epoch_.load(std::memory_order_acquire);
 
-    const auto n = n_;
     const auto t = static_cast<std::size_t>(threads_);
     const auto w = static_cast<std::size_t>(lane);
-    const std::size_t begin = n * w / t;
-    const std::size_t end = n * (w + 1) / t;
+    std::size_t begin;
+    std::size_t end;
+    if (bounds_ != nullptr) {
+      begin = bounds_[w];
+      end = bounds_[w + 1];
+    } else {
+      begin = n_ * w / t;
+      end = n_ * (w + 1) / t;
+    }
     try {
-      if (begin < end) (*body_)(begin, end);
+      if (begin < end) {
+        if (lane_body_ != nullptr) {
+          (*lane_body_)(lane, begin, end);
+        } else {
+          (*body_)(begin, end);
+        }
+      }
     } catch (...) {
       // Never let an exception escape the thread (std::terminate); hand the
       // first one to the caller, who rethrows after the barrier.
@@ -96,6 +108,25 @@ void StepExecutor::run(std::size_t n, const RangeBody& body) {
   }
   n_ = n;
   body_ = &body;
+  dispatch_and_wait([&](std::size_t begin, std::size_t end) { body(begin, end); },
+                    /*caller_begin=*/0,
+                    /*caller_end=*/n / static_cast<std::size_t>(threads_));
+}
+
+void StepExecutor::run_partitioned(const std::size_t* bounds, const LaneBody& body) {
+  if (threads_ == 1) {
+    if (bounds[0] < bounds[1]) body(0, bounds[0], bounds[1]);
+    return;
+  }
+  bounds_ = bounds;
+  lane_body_ = &body;
+  dispatch_and_wait([&](std::size_t begin, std::size_t end) { body(0, begin, end); },
+                    bounds[0], bounds[1]);
+}
+
+template <typename CallerBody>
+void StepExecutor::dispatch_and_wait(CallerBody&& caller_body, std::size_t caller_begin,
+                                     std::size_t caller_end) {
   error_ = nullptr;
   const std::uint64_t epoch = epoch_.fetch_add(1, std::memory_order_release) + 1;
   // Wake any parked workers. The empty critical section orders the epoch
@@ -107,13 +138,11 @@ void StepExecutor::run(std::size_t n, const RangeBody& body) {
   sleep_cv_.notify_all();
 
   // The caller is lane 0. If its range throws, the barrier below must still
-  // complete before the exception leaves run() — the workers hold references
-  // into this call's state.
+  // complete before the exception leaves — the workers hold references into
+  // this call's state.
   std::exception_ptr caller_error;
-  const auto t = static_cast<std::size_t>(threads_);
-  const std::size_t end = n / t;
   try {
-    if (end > 0) body(0, end);
+    if (caller_begin < caller_end) caller_body(caller_begin, caller_end);
   } catch (...) {
     caller_error = std::current_exception();
   }
@@ -121,7 +150,12 @@ void StepExecutor::run(std::size_t n, const RangeBody& body) {
   const std::uint64_t target = epoch * static_cast<std::uint64_t>(threads_ - 1);
   int spins = 0;
   while (done_.load(std::memory_order_acquire) < target) relax(spins);
+  // Clear every dispatch field (even on the throwing paths) so a stale
+  // pointer can never leak into the next dispatch's mode selection.
+  n_ = 0;
   body_ = nullptr;
+  bounds_ = nullptr;
+  lane_body_ = nullptr;
   if (caller_error) std::rethrow_exception(caller_error);
   if (error_) std::rethrow_exception(error_);
 }

@@ -32,6 +32,11 @@ class StepExecutor {
   /// A phase body: process devices in [begin, end).
   using RangeBody = std::function<void(std::size_t begin, std::size_t end)>;
 
+  /// A lane-aware phase body: process work items in [begin, end) on `lane`
+  /// (0 = the calling thread). The lane index lets the caller hand each
+  /// concurrent body invocation its own scratch arena.
+  using LaneBody = std::function<void(int lane, std::size_t begin, std::size_t end)>;
+
   /// `threads` is the total parallelism including the calling thread;
   /// 0 resolves to std::thread::hardware_concurrency(). One worker thread is
   /// spawned per extra lane, so threads == 1 spawns none.
@@ -50,12 +55,25 @@ class StepExecutor {
   /// std::terminate the process from a worker.
   void run(std::size_t n, const RangeBody& body);
 
+  /// Run body over a caller-supplied partition: worker w handles work items
+  /// [bounds[w], bounds[w+1]). `bounds` must have thread_count() + 1
+  /// monotone entries and stay alive for the duration of the call. This is
+  /// how the world's cost-model chunk partition reaches the lanes: the
+  /// caller balances the boundaries by per-item cost instead of item count.
+  /// Same barrier / exception contract as run().
+  void run_partitioned(const std::size_t* bounds, const LaneBody& body);
+
   /// Resolve a user-facing thread-count knob: 0 = hardware concurrency,
   /// anything below 1 clamps to 1.
   static int resolve(int threads);
 
  private:
   void worker_loop(int lane);
+  /// Shared dispatch: publish the current epoch, run the caller's own range
+  /// (lane 0), spin out the barrier and rethrow the first failure.
+  template <typename CallerBody>
+  void dispatch_and_wait(CallerBody&& caller_body, std::size_t caller_begin,
+                         std::size_t caller_end);
 
   int threads_ = 1;
   std::vector<std::thread> workers_;
@@ -67,6 +85,10 @@ class StepExecutor {
   std::atomic<bool> stop_{false};
   std::size_t n_ = 0;
   const RangeBody* body_ = nullptr;
+  // Partitioned dispatch state (run_partitioned): when bounds_ is set the
+  // workers take their range from it instead of the even n*w/T split.
+  const std::size_t* bounds_ = nullptr;
+  const LaneBody* lane_body_ = nullptr;
   // First exception thrown by any range this run(); rethrown on the caller.
   std::mutex error_mutex_;
   std::exception_ptr error_;

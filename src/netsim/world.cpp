@@ -49,6 +49,7 @@ World::World(WorldConfig config, std::vector<Network> networks,
     // The delay stream is salted so it never collides with the policy's
     // stream derived from the same device_seed.
     d.delay_rng.reseed(device_seed ^ 0x94d049bb133111ebULL);
+    d.policy_nets = &d.policy->networks();
     devices_.push_back(std::move(d));
   }
 
@@ -64,6 +65,19 @@ World::World(WorldConfig config, std::vector<Network> networks,
   };
   feedback_body_ = [this](std::size_t begin, std::size_t end) {
     feedback_range(now_, begin, end);
+  };
+  // Policy batching needs per-device policy isolation for the same reason
+  // the executor does: the group loops assume a member's calls only touch
+  // that member's state. Shared-state worlds keep the scalar reference path
+  // in plain device-index order.
+  use_batching_ = config_.policy_batching && device_local_policies;
+  lane_scratch_.resize(static_cast<std::size_t>(
+      executor_ ? executor_->thread_count() : 1));
+  choose_chunks_body_ = [this](int lane, std::size_t begin, std::size_t end) {
+    choose_chunks(now_, lane, begin, end);
+  };
+  feedback_chunks_body_ = [this](int lane, std::size_t begin, std::size_t end) {
+    feedback_chunks(now_, lane, begin, end);
   };
 
   set_bandwidth_model(make_equal_share());
@@ -94,6 +108,7 @@ void World::set_bandwidth_model(std::unique_ptr<BandwidthModel> model) {
   assert(model);
   bandwidth_ = std::move(model);
   shared_rates_ = bandwidth_->device_invariant_rate();
+  bandwidth_prepare_stale_ = true;
 }
 
 void World::set_delay_model(std::unique_ptr<DelayModel> model) {
@@ -125,6 +140,8 @@ void World::join_device(DeviceState& d, Slot) {
   d.active = true;
   d.current = kNoNetwork;
   d.policy->set_networks(visible_for(d));
+  groups_dirty_ = true;
+  bandwidth_prepare_stale_ = true;
 }
 
 void World::leave_device(DeviceState& d, Slot t) {
@@ -132,6 +149,88 @@ void World::leave_device(DeviceState& d, Slot t) {
   d.active = false;
   d.current = kNoNetwork;
   d.policy->on_leave(t);
+  // The batched choose path only visits active devices, so the departed
+  // device's stale pick must be cleared here for the counts reduction.
+  pending_[static_cast<std::size_t>(&d - devices_.data())] = kNoNetwork;
+  groups_dirty_ = true;
+}
+
+// Rebuild the policy groups, the cost-bounded chunk list and the per-lane
+// chunk bounds. Runs on join/leave slots only; every piece of the result is
+// a pure function of (active devices, policy types, cost hints, lane
+// count), so the trajectory never depends on when or how often it runs.
+void World::rebuild_policy_groups() {
+  for (auto& g : groups_) {
+    g.members.clear();
+    g.policies.clear();
+    g.costs.clear();
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& d = devices_[i];
+    if (!d.active) continue;
+    core::Policy& p = *d.policy;
+    const std::type_index type(typeid(p));
+    PolicyGroup* group = nullptr;
+    // Linear scan: worlds hold a handful of distinct policy types. Groups
+    // are created in first-seen device order and never erased, so group
+    // order is stable across rebuilds.
+    for (auto& cand : groups_) {
+      if (cand.type == type) {
+        group = &cand;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups_.push_back(PolicyGroup{type, p.uses_batch_dispatch(), {}, {}, {}});
+      group = &groups_.back();
+    }
+    group->members.push_back(i);
+    group->policies.push_back(d.policy.get());
+    group->costs.push_back(p.step_cost_hint());
+  }
+
+  any_batched_ = false;
+  for (const auto& g : groups_) any_batched_ |= g.batched && !g.members.empty();
+
+  // Chunks: contiguous member spans with summed cost near the budget.
+  // Boundaries are independent of the thread count by construction.
+  chunks_.clear();
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    const auto& g = groups_[gi];
+    std::size_t begin = 0;
+    while (begin < g.members.size()) {
+      double cost = g.costs[begin];
+      std::size_t end = begin + 1;
+      while (end < g.members.size() && cost + g.costs[end] <= kChunkCostBudget) {
+        cost += g.costs[end];
+        ++end;
+      }
+      chunks_.push_back({static_cast<std::uint32_t>(gi),
+                         static_cast<std::uint32_t>(begin),
+                         static_cast<std::uint32_t>(end), cost});
+      begin = end;
+    }
+  }
+
+  // Lane bounds: split the chunk list into contiguous ranges whose summed
+  // costs are as even as the chunk granularity allows (each chunk goes to
+  // the lane whose cost quantile its midpoint falls into).
+  const auto lanes = static_cast<std::size_t>(executor_ ? executor_->thread_count() : 1);
+  lane_bounds_.assign(lanes + 1, chunks_.size());
+  lane_bounds_[0] = 0;
+  double total = 0.0;
+  for (const auto& c : chunks_) total += c.cost;
+  double cum = 0.0;
+  std::size_t ci = 0;
+  for (std::size_t w = 1; w < lanes; ++w) {
+    const double target = total * static_cast<double>(w) / static_cast<double>(lanes);
+    while (ci < chunks_.size() && cum + chunks_[ci].cost * 0.5 <= target) {
+      cum += chunks_[ci].cost;
+      ++ci;
+    }
+    lane_bounds_[w] = ci;
+  }
+  groups_dirty_ = false;
 }
 
 void World::apply_events(Slot t) {
@@ -196,14 +295,63 @@ void World::choose_range(Slot t, std::size_t begin, std::size_t end) {
     pending_[i] = kNoNetwork;
     if (!d.active) continue;
     const NetworkId want = d.policy->choose(t);
+#ifndef NDEBUG
     const auto& nets = d.policy->networks();
     assert(std::find(nets.begin(), nets.end(), want) != nets.end());
-    (void)nets;
+#endif
     pending_[i] = want;
   }
 }
 
+// Batched choose body: one virtual dispatch per chunk, then a tight
+// monomorphic loop inside the policy's choose_batch override. The scatter
+// back into pending_ keeps the counts phase oblivious to batching.
+void World::choose_chunks(Slot t, int lane, std::size_t begin, std::size_t end) {
+  LaneScratch& ls = lane_scratch_[static_cast<std::size_t>(lane)];
+  for (std::size_t c = begin; c < end; ++c) {
+    const PolicyChunk& ch = chunks_[c];
+    PolicyGroup& g = groups_[ch.group];
+    const std::size_t n = ch.end - ch.begin;
+    if (g.batched) {
+      ls.choices.resize(n);
+      g.policies[ch.begin]->choose_batch(t, g.policies.data() + ch.begin, n,
+                                         ls.choices.data(), ls.batch);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = g.members[ch.begin + j];
+        const NetworkId want = ls.choices[j];
+#ifndef NDEBUG
+        // Debug-only: the virtual networks() call must not run in release
+        // builds (it alone is measurable on the per-device hot path).
+        const auto& nets = devices_[i].policy->networks();
+        assert(std::find(nets.begin(), nets.end(), want) != nets.end());
+#endif
+        pending_[i] = want;
+      }
+    } else {
+      // Direct dispatch: for policies without SoA kernels the gather/scatter
+      // of the batch call costs more than the virtual calls it saves.
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = g.members[ch.begin + j];
+        const NetworkId want = g.policies[ch.begin + j]->choose(t);
+#ifndef NDEBUG
+        const auto& nets = devices_[i].policy->networks();
+        assert(std::find(nets.begin(), nets.end(), want) != nets.end());
+#endif
+        pending_[i] = want;
+      }
+    }
+  }
+}
+
 void World::phase_choose() {
+  if (use_chunked_phases()) {
+    if (executor_) {
+      executor_->run_partitioned(lane_bounds_.data(), choose_chunks_body_);
+    } else {
+      choose_chunks(now_, 0, 0, chunks_.size());
+    }
+    return;
+  }
   if (executor_) {
     executor_->run(devices_.size(), choose_body_);
   } else {
@@ -262,91 +410,146 @@ void World::phase_counts() {
 // per draw, no rejection loops — so a device's delay stream position is a
 // pure function of how many switches it has made, independent of the
 // sampled values themselves (DESIGN.md §3).
+// Force-inlined into both feedback bodies: this is the engine's per-device
+// hot loop, and an out-of-line call here costs several percent of engine
+// throughput for the cheap policies.
+__attribute__((always_inline)) inline void World::fill_device_feedback(
+    Slot t, std::size_t i) {
+  auto& d = devices_[i];
+  const NetworkId chosen = pending_[i];
+  const auto c = static_cast<std::size_t>(chosen);
+  const bool switched = d.current != kNoNetwork && d.current != chosen;
+
+  // The feedback struct is per-device scratch: reusing it keeps the
+  // counterfactual vectors' capacity, so steady-state slots are
+  // allocation-free.
+  core::SlotFeedback& fb = d.feedback;
+  fb.switched = switched;
+  fb.delay_s =
+      switched
+          ? std::min(delay_->sample(networks_[c], d.delay_rng), config_.slot_seconds)
+          : 0.0;
+  if (shared_rates_) {
+    fb.bit_rate_mbps = rate_cache_[c];
+    fb.gain = gain_cache_[c];
+    // A delay-free slot's goodput is the cached full-slot value
+    // (slot_seconds - 0.0 is exactly slot_seconds).
+    fb.goodput_mb = switched ? mbps_seconds_to_mb(fb.bit_rate_mbps,
+                                                  config_.slot_seconds - fb.delay_s)
+                             : goodput_cache_[c];
+  } else {
+    fb.bit_rate_mbps = bandwidth_->rate(networks_[c], counts_[c], d.spec.id, t, rng_);
+    fb.gain = std::clamp(fb.bit_rate_mbps / gain_scale_, 0.0, 1.0);
+    fb.goodput_mb =
+        mbps_seconds_to_mb(fb.bit_rate_mbps, config_.slot_seconds - fb.delay_s);
+  }
+
+  if (d.wants_full_info) {
+    // Full-information feedback: what the device would have observed on
+    // each visible network this slot (fair-share counterfactual: joining a
+    // network it is not on adds itself to that network's load). Only
+    // computed for policies that consume it — an O(devices x networks)
+    // pass the bandit policies skip entirely.
+    const auto& nets = *d.policy_nets;
+    fb.all_rates_mbps.resize(nets.size());
+    fb.all_gains.resize(nets.size());
+    if (shared_rates_) {
+      // Read the per-slot fair-share caches computed in phase_counts.
+      for (std::size_t j = 0; j < nets.size(); ++j) {
+        const auto n = static_cast<std::size_t>(nets[j]);
+        const bool occupying = nets[j] == chosen;
+        fb.all_rates_mbps[j] =
+            occupying ? fair_rate_cache_[n] : fair_join_rate_cache_[n];
+        fb.all_gains[j] = occupying ? fair_gain_cache_[n] : fair_join_gain_cache_[n];
+      }
+    } else {
+      for (std::size_t j = 0; j < nets.size(); ++j) {
+        const auto& other = networks_[static_cast<std::size_t>(nets[j])];
+        const int load =
+            counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
+        fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
+        fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
+      }
+    }
+  } else {
+    fb.all_rates_mbps.clear();
+    fb.all_gains.clear();
+  }
+
+  d.last_rate_mbps = fb.bit_rate_mbps;
+  d.last_gain = fb.gain;
+  d.last_switched = switched;
+  d.download_mb += fb.goodput_mb;
+  // delay_s is exactly 0 without a switch, so the loss term would add 0.0.
+  if (switched) d.delay_loss_mb += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
+  d.switches += switched ? 1 : 0;
+  d.slots_active += 1;
+  d.current = chosen;
+}
+
 void World::feedback_range(Slot t, std::size_t begin, std::size_t end) {
   for (std::size_t i = begin; i < end; ++i) {
     auto& d = devices_[i];
     if (!d.active) continue;
-    const NetworkId chosen = pending_[i];
-    const auto c = static_cast<std::size_t>(chosen);
-    const bool switched = d.current != kNoNetwork && d.current != chosen;
+    fill_device_feedback(t, i);
+    d.policy->observe(t, d.feedback);
+  }
+}
 
-    // The feedback struct is per-device scratch: reusing it keeps the
-    // counterfactual vectors' capacity, so steady-state slots are
-    // allocation-free.
-    core::SlotFeedback& fb = d.feedback;
-    fb.switched = switched;
-    fb.delay_s =
-        switched
-            ? std::min(delay_->sample(networks_[c], d.delay_rng), config_.slot_seconds)
-            : 0.0;
-    if (shared_rates_) {
-      fb.bit_rate_mbps = rate_cache_[c];
-      fb.gain = gain_cache_[c];
-      // A delay-free slot's goodput is the cached full-slot value
-      // (slot_seconds - 0.0 is exactly slot_seconds).
-      fb.goodput_mb = switched ? mbps_seconds_to_mb(fb.bit_rate_mbps,
-                                                    config_.slot_seconds - fb.delay_s)
-                               : goodput_cache_[c];
-    } else {
-      fb.bit_rate_mbps = bandwidth_->rate(networks_[c], counts_[c], d.spec.id, t, rng_);
-      fb.gain = std::clamp(fb.bit_rate_mbps / gain_scale_, 0.0, 1.0);
-      fb.goodput_mb =
-          mbps_seconds_to_mb(fb.bit_rate_mbps, config_.slot_seconds - fb.delay_s);
-    }
-
-    if (d.wants_full_info) {
-      // Full-information feedback: what the device would have observed on
-      // each visible network this slot (fair-share counterfactual: joining a
-      // network it is not on adds itself to that network's load). Only
-      // computed for policies that consume it — an O(devices x networks)
-      // pass the bandit policies skip entirely.
-      const auto& nets = d.policy->networks();
-      fb.all_rates_mbps.resize(nets.size());
-      fb.all_gains.resize(nets.size());
-      if (shared_rates_) {
-        // Read the per-slot fair-share caches computed in phase_counts.
-        for (std::size_t j = 0; j < nets.size(); ++j) {
-          const auto n = static_cast<std::size_t>(nets[j]);
-          const bool occupying = nets[j] == chosen;
-          fb.all_rates_mbps[j] =
-              occupying ? fair_rate_cache_[n] : fair_join_rate_cache_[n];
-          fb.all_gains[j] = occupying ? fair_gain_cache_[n] : fair_join_gain_cache_[n];
-        }
-      } else {
-        for (std::size_t j = 0; j < nets.size(); ++j) {
-          const auto& other = networks_[static_cast<std::size_t>(nets[j])];
-          const int load =
-              counts_[static_cast<std::size_t>(nets[j])] + (nets[j] == chosen ? 0 : 1);
-          fb.all_rates_mbps[j] = bandwidth_->fair_share(other, load, t);
-          fb.all_gains[j] = std::clamp(fb.all_rates_mbps[j] / gain_scale_, 0.0, 1.0);
-        }
+// Batched feedback body: the engine half runs per device as before, then
+// the whole chunk's observations go through one observe_batch dispatch —
+// which is where the EXP3-family policies pack their weight-update deltas
+// for a single vexp sweep.
+void World::feedback_chunks(Slot t, int lane, std::size_t begin, std::size_t end) {
+  LaneScratch& ls = lane_scratch_[static_cast<std::size_t>(lane)];
+  for (std::size_t c = begin; c < end; ++c) {
+    const PolicyChunk& ch = chunks_[c];
+    PolicyGroup& g = groups_[ch.group];
+    const std::size_t n = ch.end - ch.begin;
+    if (g.batched) {
+      ls.feedbacks.resize(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = g.members[ch.begin + j];
+        fill_device_feedback(t, i);
+        ls.feedbacks[j] = &devices_[i].feedback;
       }
+      g.policies[ch.begin]->observe_batch(t, g.policies.data() + ch.begin,
+                                          ls.feedbacks.data(), n, ls.batch);
     } else {
-      fb.all_rates_mbps.clear();
-      fb.all_gains.clear();
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t i = g.members[ch.begin + j];
+        fill_device_feedback(t, i);
+        g.policies[ch.begin + j]->observe(t, devices_[i].feedback);
+      }
     }
-
-    d.policy->observe(t, fb);
-
-    d.last_rate_mbps = fb.bit_rate_mbps;
-    d.last_gain = fb.gain;
-    d.last_switched = switched;
-    d.download_mb += fb.goodput_mb;
-    // delay_s is exactly 0 without a switch, so the loss term would add 0.0.
-    if (switched) d.delay_loss_mb += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
-    d.switches += switched ? 1 : 0;
-    d.slots_active += 1;
-    d.current = chosen;
   }
 }
 
 void World::phase_feedback() {
-  // Non-invariant bandwidth models (noisy share) mutate lazy per-device /
-  // per-network state inside rate() and may draw from the world stream, so
-  // their feedback phase stays serial; the trajectory is identical either
-  // way because parallel feedback is only ever used when it reads the same
-  // per-network caches the serial path would.
-  if (executor_ && shared_rates_) {
+  // Bandwidth models whose rate() is not a pure read must keep the feedback
+  // phase serial. Device-invariant models qualify through the per-network
+  // caches; others (noisy share) qualify once prepare_slot() has
+  // materialised their lazy per-device / per-network state, which they
+  // advertise via parallel_rate_safe(). The trajectory is identical either
+  // way — rate() reads the same materialised state in the same per-device
+  // places the serial path would.
+  // The chunked body visits devices in group order, not index order, which
+  // is only trajectory-neutral when rate() never consumes the shared world
+  // rng during the phase: device-invariant models never call it per device
+  // (cached in phase_counts) and prepare_slot-materialised models promise a
+  // pure read via parallel_rate_safe(). Any other model keeps the scalar
+  // body, whose rng consumption order is the fixed device order.
+  const bool parallel_ok = feedback_parallel();
+  const bool rate_order_free = shared_rates_ || bandwidth_->parallel_rate_safe();
+  if (use_chunked_phases() && rate_order_free) {
+    if (parallel_ok) {
+      executor_->run_partitioned(lane_bounds_.data(), feedback_chunks_body_);
+    } else {
+      feedback_chunks(now_, 0, 0, chunks_.size());
+    }
+    return;
+  }
+  if (parallel_ok) {
     executor_->run(devices_.size(), feedback_body_);
   } else {
     feedback_range(now_, 0, devices_.size());
@@ -357,7 +560,22 @@ void World::step() {
   if (done()) return;
   const Slot t = now_;
   apply_events(t);
+  if (use_batching_ && groups_dirty_) rebuild_policy_groups();
   bandwidth_->begin_slot(t, rng_);
+  if (!shared_rates_ && bandwidth_prepare_stale_) {
+    // Give non-device-invariant models the chance to materialise their lazy
+    // per-device / per-network state while still serial (the ids arrive in
+    // fixed device order, reproducing the serial path's first-touch order),
+    // so the feedback phase can fan out for them too. Materialisation is
+    // idempotent, so it only needs to run again when the active set (or the
+    // model) changed.
+    active_ids_scratch_.clear();
+    for (const auto& d : devices_) {
+      if (d.active) active_ids_scratch_.push_back(d.spec.id);
+    }
+    bandwidth_->prepare_slot(networks_, active_ids_scratch_);
+    bandwidth_prepare_stale_ = false;
+  }
   phase_choose();
   phase_counts();
   phase_feedback();

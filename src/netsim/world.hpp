@@ -29,6 +29,7 @@
 
 #include <functional>
 #include <memory>
+#include <typeindex>
 #include <vector>
 
 #include "core/policy.hpp"
@@ -71,6 +72,10 @@ struct DeviceState {
   // policy's feedback capability is resolved once at construction.
   core::SlotFeedback feedback;
   bool wants_full_info = false;
+  // Cached result of policy->networks(): the returned vector *object* is
+  // stable for the policy's lifetime (only its contents change), so the
+  // per-device-slot virtual call is paid once at world construction.
+  const std::vector<NetworkId>* policy_nets = nullptr;
   // Per-device switching-delay stream, seeded from (world seed, device id).
   // Keeping delay draws out of the world stream is what makes the feedback
   // phase device-parallel without changing the trajectory.
@@ -87,6 +92,14 @@ struct WorldConfig {
   /// (default), 0 = hardware concurrency. Purely an execution knob — the
   /// simulated trajectory is bit-identical for every value.
   int threads = 1;
+  /// Group devices by concrete policy type and run the choose / feedback
+  /// phases through the batch API (Policy::choose_batch / observe_batch)
+  /// over a cost-model chunked partition. false selects the per-device
+  /// virtual-dispatch reference path. Purely an execution knob — the
+  /// trajectory is bit-identical either way (pinned by
+  /// tests/test_batch_vs_scalar.cpp) — so it is not part of the ScenarioSpec
+  /// format. Worlds with a shared-state policy ignore it (scalar path).
+  bool policy_batching = true;
 };
 
 class World;
@@ -142,6 +155,12 @@ class World {
   /// Lanes actually used by the phase executor (1 when running serially,
   /// e.g. because a shared-state policy such as centralized is present).
   int thread_count() const { return executor_ ? executor_->thread_count() : 1; }
+  /// Whether the feedback phase fans out over the executor lanes: requires
+  /// a bandwidth model whose rate() is a pure read during the phase (device
+  /// invariant, or materialised via prepare_slot + parallel_rate_safe).
+  bool feedback_parallel() const {
+    return executor_ != nullptr && (shared_rates_ || bandwidth_->parallel_rate_safe());
+  }
 
  private:
   void apply_events(Slot t);
@@ -153,12 +172,22 @@ class World {
   // current slot now_. Each *_range body processes the device index range
   // [begin, end) and is safe to run concurrently on disjoint ranges;
   // phase_counts is a serial fixed-order reduction and doubles as the
-  // barrier between choose and feedback.
+  // barrier between choose and feedback. The *_range bodies are the scalar
+  // reference path (per-device virtual dispatch); the *_chunks bodies are
+  // the policy-batched path over the chunk list below. Both produce
+  // bit-identical trajectories (tests/test_batch_vs_scalar.cpp).
   void phase_choose();
   void phase_counts();
   void phase_feedback();
   void choose_range(Slot t, std::size_t begin, std::size_t end);
   void feedback_range(Slot t, std::size_t begin, std::size_t end);
+  void choose_chunks(Slot t, int lane, std::size_t begin, std::size_t end);
+  void feedback_chunks(Slot t, int lane, std::size_t begin, std::size_t end);
+  /// The engine half of a device's feedback: switching delay, rates/gains,
+  /// goodput and cumulative accounting — everything except the policy's
+  /// observe(). Shared by the scalar and batched feedback bodies.
+  void fill_device_feedback(Slot t, std::size_t i);
+  void rebuild_policy_groups();
 
   WorldConfig config_;
   std::vector<Network> networks_;
@@ -206,6 +235,60 @@ class World {
   std::unique_ptr<StepExecutor> executor_;
   StepExecutor::RangeBody choose_body_;
   StepExecutor::RangeBody feedback_body_;
+
+  // ---- policy-batched execution (DESIGN.md §4) ----
+  // Active devices grouped by concrete policy type: each group's spans run
+  // through the batch API in one virtual dispatch per chunk, with members in
+  // ascending device-index order. Rebuilt on join/leave slots only.
+  struct PolicyGroup {
+    std::type_index type;
+    bool batched = false;  // type opts into batch dispatch (SoA kernels)
+    std::vector<std::size_t> members;       // device indices, ascending
+    std::vector<core::Policy*> policies;    // parallel to members
+    std::vector<double> costs;              // per-member step_cost_hint()
+  };
+  // A chunk is a contiguous member span of one group, cut so its summed cost
+  // hint stays near kChunkCostBudget. Chunk boundaries depend only on the
+  // groups (never on the thread count); the lane bounds then split the chunk
+  // list into thread_count() contiguous ranges balanced by cumulative cost,
+  // so ~4x-cost full-information devices spread across lanes instead of
+  // piling onto one.
+  struct PolicyChunk {
+    std::uint32_t group = 0;
+    std::uint32_t begin = 0;  // member sub-range [begin, end)
+    std::uint32_t end = 0;
+    double cost = 0.0;
+  };
+  // Per-lane scratch for the batched phase bodies (lane 0 = calling thread).
+  struct LaneScratch {
+    core::BatchScratch batch;
+    std::vector<NetworkId> choices;
+    std::vector<const core::SlotFeedback*> feedbacks;
+  };
+  static constexpr double kChunkCostBudget = 64.0;
+  bool use_batching_ = false;   // config flag && all policies device-local
+  bool any_batched_ = false;    // some group opted into batch dispatch
+  bool groups_dirty_ = true;
+  /// The chunk engine earns its ~1-2 ns/device bookkeeping only when a
+  /// group has SoA batch kernels to feed or there are executor lanes to
+  /// cost-balance; a serial world of direct-dispatch policies runs the
+  /// plain per-device loops instead. Same trajectory either way.
+  bool use_chunked_phases() const {
+    return use_batching_ && (any_batched_ || executor_ != nullptr);
+  }
+  std::vector<PolicyGroup> groups_;
+  std::vector<PolicyChunk> chunks_;
+  std::vector<std::size_t> lane_bounds_;  // thread_count() + 1 chunk indices
+  std::vector<LaneScratch> lane_scratch_;
+  StepExecutor::LaneBody choose_chunks_body_;
+  StepExecutor::LaneBody feedback_chunks_body_;
+  // Active device ids (fixed device order) handed to
+  // BandwidthModel::prepare_slot when the model is not device-invariant.
+  // Materialisation only has new work when the active set changed, so the
+  // call is gated on this flag (set by joins and model swaps) instead of
+  // paying an O(devices) scan plus per-device map probes every slot.
+  std::vector<DeviceId> active_ids_scratch_;
+  bool bandwidth_prepare_stale_ = true;
 };
 
 }  // namespace smartexp3::netsim

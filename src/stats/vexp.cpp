@@ -1,0 +1,138 @@
+// The vexp kernel. Compiled with -ffp-contract=off (see CMakeLists.txt) and
+// marked noinline so the arithmetic below is evaluated exactly as written,
+// once, for every caller — FMA contraction or caller-specific re-compilation
+// would make the "same bits everywhere" guarantee toolchain-dependent.
+//
+// Algorithm (the classic Cephes expl/exp scheme):
+//   k  = round(x / ln 2)                  (magic-constant round-to-nearest)
+//   r  = x - k*C1 - k*C2                  (Cody–Waite, |r| <= ln(2)/2)
+//   e^r = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2))   (rational minimax)
+//   e^x = e^r * 2^k                       (integer add into the exponent)
+// Max relative error of the rational form is ~2e-16 (about 1 ulp); the
+// end-to-end bound asserted by tests/test_vexp.cpp is 4 ulp.
+#include "stats/vexp.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace smartexp3::stats {
+
+namespace {
+
+// Cody–Waite split of ln 2: C1 holds the high bits exactly, C2 the rest.
+constexpr double kLog2E = 1.4426950408889634073599;
+constexpr double kC1 = 6.93145751953125e-1;
+constexpr double kC2 = 1.42860682030941723212e-6;
+
+// Cephes exp() minimax coefficients for |r| <= ln(2)/2.
+constexpr double kP0 = 1.26177193074810590878e-4;
+constexpr double kP1 = 3.02994407707441961300e-2;
+constexpr double kP2 = 9.99999999999999999910e-1;
+constexpr double kQ0 = 3.00198505138664455042e-6;
+constexpr double kQ1 = 2.52448340349684104192e-3;
+constexpr double kQ2 = 2.27265548208155028766e-1;
+constexpr double kQ3 = 2.00000000000000000005e0;
+
+// 1.5 * 2^52: adding and subtracting it rounds a double in [-2^51, 2^51] to
+// the nearest integer without a cvt/floor round trip (and floor() is a libm
+// call on pre-SSE4 targets, which would block vectorization).
+constexpr double kRoundMagic = 6755399441055744.0;
+
+// exp underflows to 0 below, saturates to +inf above. The thresholds are
+// conservative (inside the representable range) so the scaled result of the
+// clamped core never overflows before the select fixes it up.
+constexpr double kUnderflowX = -708.0;
+constexpr double kOverflowX = 709.0;
+
+/// The per-element core on a pre-clamped argument xc in [kUnderflowX,
+/// kOverflowX]. Pure mul/add/div plus integer exponent-field arithmetic —
+/// deliberately no int<->double conversion instruction (cvttsd2si has no
+/// packed form below AVX-512, and one scalar op in the chain un-vectorizes
+/// the whole loop): the rounded integer k is read straight out of the
+/// magic-shifted double's mantissa bits.
+inline double exp_core(double xc) {
+  const double t = xc * kLog2E + kRoundMagic;
+  const double kd = t - kRoundMagic;
+  // t = 1.5 * 2^52 + k exactly, so the mantissa field holds k relative to
+  // the magic constant's own bits (valid for |k| < 2^51, far beyond the
+  // clamp range).
+  const std::int64_t k =
+      std::bit_cast<std::int64_t>(t) - std::bit_cast<std::int64_t>(kRoundMagic);
+  const double r = (xc - kd * kC1) - kd * kC2;
+  const double rr = r * r;
+  const double p = r * ((kP0 * rr + kP1) * rr + kP2);
+  const double q = ((kQ0 * rr + kQ1) * rr + kQ2) * rr + kQ3;
+  const double m = 1.0 + 2.0 * (p / (q - p));
+  // 2^k via the exponent field. |k| <= 1023 inside the valid window, so the
+  // biased exponent stays in range for one scaling step; m is within
+  // [~0.7, ~1.5]. The shift goes through uint64 so an out-of-window k (the
+  // slow path clamps before calling, the fast path screens first) is
+  // garbage-in-garbage-out rather than UB.
+  const double two_k =
+      std::bit_cast<double>(static_cast<std::uint64_t>(k + 1023) << 52);
+  return m * two_k;
+}
+
+/// Full-range semantics: clamp into the core's valid window, then fix up
+/// true under/overflow and NaN. This form branches per element, so it is
+/// the *slow* path — but it defines the kernel's semantics; the fast path
+/// below only runs where it produces identical bits.
+inline double exp_element(double x) {
+  const double xc = x < kUnderflowX ? kUnderflowX : (x > kOverflowX ? kOverflowX : x);
+  double y = exp_core(xc);
+  y = x < kUnderflowX ? 0.0 : y;
+  y = x > kOverflowX ? HUGE_VAL : y;
+  y = x != x ? x : y;
+  return y;
+}
+
+}  // namespace
+
+// Function multiversioning widens the kernel on capable hardware (AVX2 runs
+// it 4-wide) while the portable clone keeps baseline machines working. Every
+// clone compiles the same contraction-free arithmetic — packed IEEE mul/add/
+// div round identically to their scalar forms — so the selected ISA never
+// changes the output bits. Sanitizer builds skip the clones: the ifunc
+// resolver multiversioning plants runs before the sanitizer runtime is
+// initialised and crashes at startup (observed with TSan), and sanitizer
+// runs measure correctness, not nanoseconds.
+//
+// Structure: an OR-reduction scan finds whether any element needs the edge
+// handling (under/overflow, NaN). Almost never — the packed policy deltas
+// live in [-eta, +gamma*ghat/k] — so the common case is two branch-free
+// vectorized passes; GCC's if-converter refuses the fused clamp+core loop,
+// and a rare whole-buffer scalar fallback costs nothing measurable. The
+// scan runs before anything is written, which is what makes in-place calls
+// (out == x) safe on both paths.
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC spells the sanitizers __SANITIZE_*__
+#endif
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__) || \
+    __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define SMARTEXP3_VEXP_ATTRS __attribute__((noinline))
+#else
+#define SMARTEXP3_VEXP_ATTRS __attribute__((noinline, target_clones("default", "avx2")))
+#endif
+
+SMARTEXP3_VEXP_ATTRS void vexp(const double* x, double* out, std::size_t n) {
+  int edge = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = x[i];
+    edge |= static_cast<int>(!(v > kUnderflowX)) | static_cast<int>(!(v < kOverflowX));
+  }
+  if (__builtin_expect(edge != 0, 0)) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = exp_element(x[i]);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = exp_core(x[i]);
+}
+
+__attribute__((noinline)) double vexp_one(double x) { return exp_element(x); }
+
+__attribute__((noinline)) void vexp_exact(const double* x, double* out,
+                                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::exp(x[i]);
+}
+
+}  // namespace smartexp3::stats

@@ -1,0 +1,45 @@
+// Batched exponentials for the policy hot loops.
+//
+// vexp() is a small fixed-cost exp kernel (Cody–Waite range reduction plus
+// the Cephes rational approximation, 2^k scaling by exponent-field
+// arithmetic) written as a plain elementwise loop over plain mul/add/div
+// doubles, so the compiler can auto-vectorize it 2–8 wide depending on the
+// target ISA. It exists because the EXP3-family weight updates are the last
+// per-arm exp on the engine hot path: packing a whole policy group's update
+// deltas into one buffer and running vexp over it replaces one libm call per
+// (device, arm) with a handful of vector ops.
+//
+// Exactness contract (see DESIGN.md §4):
+//   - vexp is *deterministic* — the kernel is compiled once, in its own
+//     translation unit, with FP contraction off and inlining disabled, so
+//     every caller (scalar policy path, batched policy path, tests) gets
+//     bit-identical results for the same input on every standards-conforming
+//     toolchain. Element i of the output depends only on element i of the
+//     input, never on the batch length, which is what makes the batched and
+//     scalar policy paths bit-identical to each other.
+//   - vexp is *accurate* but not bit-identical to std::exp: the relative
+//     error bound is a few ulp (pinned by tests/test_vexp.cpp). Call sites
+//     where bit-identity to std::exp matters — the WeightTable log-space
+//     re-anchor, the icdf construction paths — must use vexp_exact() or
+//     std::exp directly. Switching a trajectory-feeding call site between
+//     the two families is a deliberate golden-trajectory bump.
+#pragma once
+
+#include <cstddef>
+
+namespace smartexp3::stats {
+
+/// out[i] = exp-kernel(x[i]) for i in [0, n). In-place operation (out == x)
+/// is allowed. Handles the full double range: underflows flush to 0,
+/// overflows saturate to +inf, NaN propagates.
+void vexp(const double* x, double* out, std::size_t n);
+
+/// The one-element form of the same kernel: vexp_one(v) produces exactly the
+/// bits vexp() produces for an element of value v.
+double vexp_one(double x);
+
+/// Scalar-exact path: out[i] = std::exp(x[i]), bit-identical to libm. Used
+/// where the exp bits are contractual (and by tests as the reference).
+void vexp_exact(const double* x, double* out, std::size_t n);
+
+}  // namespace smartexp3::stats

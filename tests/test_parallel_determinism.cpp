@@ -143,6 +143,39 @@ TEST(ParallelDeterminism, PerPolicyDynamicJoinLeaveBitIdentical) {
   }
 }
 
+TEST(ParallelDeterminism, NoisyShareWorldBitIdenticalAtAllThreadCounts) {
+  // Non-device-invariant bandwidth model: NoisyShareModel's lazy per-device
+  // multipliers and per-network noise are materialised at prepare_slot()
+  // while execution is still serial, so the feedback phase may fan out for
+  // it too (the last parallel-feedback carve-out). Join/leave dynamics make
+  // the materialisation order matter: a late-joining device must draw the
+  // same multiplier the serial path's first-touch order would give it.
+  // full_information matters here: its counterfactual fair_share branch
+  // under a non-invariant model runs on worker threads for the first time.
+  for (const std::string policy : {"smart_exp3", "exp3", "full_information"}) {
+    SCOPED_TRACE("policy " + policy);
+    auto cfg = dynamic_join_leave_config(policy);
+    cfg.share = exp::ShareKind::kNoisy;
+    const auto serial = run_trajectory(cfg, /*threads=*/1);
+    for (const int threads : {2, 4, 7}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      expect_identical(serial, run_trajectory(cfg, threads));
+    }
+  }
+}
+
+TEST(ParallelDeterminism, NoisyShareFeedbackActuallyFansOut) {
+  // The feedback phase must engage the executor lanes for a noisy-share
+  // world (it used to decline parallel feedback for all non-device-
+  // invariant models).
+  auto cfg = dynamic_join_leave_config("exp3");
+  cfg.share = exp::ShareKind::kNoisy;
+  cfg.world.threads = 4;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  EXPECT_EQ(world->thread_count(), 4);
+  EXPECT_TRUE(world->feedback_parallel());
+}
+
 /// Minimal policy that throws from observe() at a given slot — stands in for
 /// any failure inside a parallel phase body (bad_alloc, invariant check).
 class ThrowingPolicy final : public core::Policy {

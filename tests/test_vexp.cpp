@@ -1,0 +1,134 @@
+// The vexp kernel's exactness contract (vexp.hpp / DESIGN.md §4):
+//   - accurate: within a few ulp of std::exp across the whole range;
+//   - monotone: non-decreasing outputs for increasing inputs, including
+//     across the Cody-Waite binade seams where range-reduction switches k;
+//   - elementwise: element i depends only on input i, so batch length and
+//     the one-element form can never disagree (this is what makes the
+//     batched and scalar policy paths bit-identical);
+//   - total: underflow flushes to 0, overflow saturates to +inf, NaN
+//     propagates, exp(0) == 1 exactly;
+//   - vexp_exact: bit-identical to std::exp (the fallback for call sites
+//     where the libm bits are contractual).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "stats/vexp.hpp"
+
+namespace smartexp3::stats {
+namespace {
+
+double ulp_distance(double a, double b) {
+  if (a == b) return 0.0;
+  const double next = std::nextafter(a, b);
+  const double step = std::abs(next - a);
+  return step > 0.0 ? std::abs(b - a) / step : std::numeric_limits<double>::infinity();
+}
+
+TEST(Vexp, AccurateToAFewUlpAcrossTheRange) {
+  // Dense uniform grid over the engine-relevant range plus random points
+  // over the full valid window.
+  Rng rng(42);
+  std::vector<double> xs;
+  for (double x = -40.0; x <= 40.0; x += 0.001953125) xs.push_back(x);  // 2^-9 steps
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.uniform(-700.0, 700.0));
+  double worst = 0.0;
+  std::vector<double> out(xs.size());
+  vexp(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double ref = std::exp(xs[i]);
+    const double ulps = ulp_distance(ref, out[i]);
+    worst = std::max(worst, ulps);
+    ASSERT_LE(ulps, 4.0) << "x = " << xs[i];
+  }
+  // Sanity: the kernel is genuinely close, not just within the loose bound.
+  EXPECT_LT(worst, 4.0);
+}
+
+TEST(Vexp, MonotoneIncludingRangeReductionSeams) {
+  // Global sweep: strictly increasing inputs must produce non-decreasing
+  // outputs. Seam stress: tight windows around k * ln(2) / 2 multiples,
+  // where the reduction constant k changes between neighbours.
+  std::vector<double> xs;
+  for (double x = -30.0; x <= 30.0; x += 0.0009765625) xs.push_back(x);
+  constexpr double kHalfLn2 = 0.34657359027997264;
+  for (int k = -40; k <= 40; ++k) {
+    const double seam = k * kHalfLn2;
+    for (int j = -50; j <= 50; ++j) xs.push_back(seam + j * 1e-13);
+  }
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out(xs.size());
+  vexp(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    ASSERT_LE(out[i - 1], out[i]) << "between x = " << xs[i - 1] << " and " << xs[i];
+  }
+}
+
+TEST(Vexp, ElementwiseIndependentOfBatchShape) {
+  Rng rng(7);
+  std::vector<double> xs(257);
+  for (auto& x : xs) x = rng.uniform(-30.0, 5.0);
+  std::vector<double> whole(xs.size());
+  vexp(xs.data(), whole.data(), xs.size());
+  // One element at a time, the scalar form, and odd split points must all
+  // reproduce the same bits.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double one = 0.0;
+    vexp(&xs[i], &one, 1);
+    ASSERT_EQ(whole[i], one) << i;
+    ASSERT_EQ(whole[i], vexp_one(xs[i])) << i;
+  }
+  std::vector<double> split(xs.size());
+  vexp(xs.data(), split.data(), 13);
+  vexp(xs.data() + 13, split.data() + 13, xs.size() - 13);
+  for (std::size_t i = 0; i < xs.size(); ++i) ASSERT_EQ(whole[i], split[i]) << i;
+}
+
+TEST(Vexp, SupportsInPlaceOperation) {
+  Rng rng(9);
+  std::vector<double> xs(64);
+  for (auto& x : xs) x = rng.uniform(-600.0, 600.0);
+  xs[5] = 1000.0;  // force the edge path too
+  std::vector<double> expected(xs.size());
+  vexp(xs.data(), expected.data(), xs.size());
+  vexp(xs.data(), xs.data(), xs.size());  // in place
+  for (std::size_t i = 0; i < xs.size(); ++i) ASSERT_EQ(expected[i], xs[i]) << i;
+}
+
+TEST(Vexp, EdgeSemantics) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double xs[] = {0.0,  -0.0, -1000.0, 1000.0, -inf, inf,
+                       nan,  -745.0, 710.0, 0x1p-60};
+  double out[10];
+  vexp(xs, out, 10);
+  EXPECT_EQ(out[0], 1.0);  // exp(0) is exactly 1
+  EXPECT_EQ(out[1], 1.0);
+  EXPECT_EQ(out[2], 0.0);  // deep underflow flushes to zero
+  EXPECT_EQ(out[3], inf);  // overflow saturates
+  EXPECT_EQ(out[4], 0.0);
+  EXPECT_EQ(out[5], inf);
+  EXPECT_TRUE(std::isnan(out[6]));
+  EXPECT_EQ(out[7], 0.0);
+  EXPECT_EQ(out[8], inf);
+  EXPECT_EQ(out[9], 1.0);  // tiny arguments round to exactly 1
+}
+
+TEST(Vexp, ExactPathMatchesStdExpBitForBit) {
+  Rng rng(11);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.uniform(-745.0, 709.0);
+  std::vector<double> out(xs.size());
+  vexp_exact(xs.data(), out.data(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(out[i], std::exp(xs[i])) << "x = " << xs[i];
+  }
+}
+
+}  // namespace
+}  // namespace smartexp3::stats

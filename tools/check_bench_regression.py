@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a fresh BENCH_engine.json against the
+committed baseline and fail on a >30% per-policy throughput regression.
+
+Raw slots/sec are not comparable across machines (the committed baseline
+comes from one box, CI runners are another, and shared runners drift run to
+run), so the check normalises by the median new/baseline ratio across
+policies first: a uniformly slower box scales every policy equally and
+passes, while one policy falling behind the others — the signature of a real
+regression in that policy's hot path — fails the job. The engine-wide
+absolute trajectory stays visible through the uploaded JSON artifacts.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 0.70]
+"""
+
+import json
+import statistics
+import sys
+
+
+def load_doc(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version", 1) < 2:
+        sys.exit(f"{path}: schema_version >= 2 required (regenerate with bench/perf_engine)")
+    table = {p["policy"]: float(p["slots_per_sec"]) for p in doc["policies"]}
+    if not table:
+        sys.exit(f"{path}: no policies")
+    return doc, table
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    threshold = 0.70
+    if "--threshold" in argv:
+        pos = argv.index("--threshold")
+        if pos + 1 >= len(argv):
+            sys.exit("--threshold needs a value\n" + __doc__)
+        try:
+            threshold = float(argv[pos + 1])
+        except ValueError:
+            sys.exit(f"--threshold: not a number: {argv[pos + 1]!r}\n" + __doc__)
+    baseline_doc, baseline = load_doc(argv[1])
+    fresh_doc, fresh = load_doc(argv[2])
+
+    # Ratios are only meaningful for the same workload: per-policy cost
+    # scales differently with device count / horizon, so a silent config
+    # drift would fabricate or mask regressions. `runs` is excluded — more
+    # repetitions of the same workload stay comparable (best-of semantics).
+    strip = lambda cfg: {k: v for k, v in cfg.items() if k != "runs"}
+    if strip(baseline_doc.get("config", {})) != strip(fresh_doc.get("config", {})):
+        sys.exit(
+            "bench config mismatch between baseline and fresh run:\n"
+            f"  baseline: {baseline_doc.get('config')}\n"
+            f"  fresh:    {fresh_doc.get('config')}\n"
+            "refresh bench/BENCH_engine.baseline.json for the new workload"
+        )
+
+    common = sorted(set(baseline) & set(fresh))
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        sys.exit(f"policies missing from fresh run: {', '.join(missing)}")
+
+    ratios = {p: fresh[p] / baseline[p] for p in common}
+    scale = statistics.median(ratios.values())
+    if scale <= 0.0:
+        sys.exit("degenerate throughput ratios")
+
+    failed = []
+    print(f"# box-speed scale (median ratio): {scale:.3f}")
+    print(f"{'policy':<22} {'baseline':>12} {'fresh':>12} {'normalised':>11}")
+    for p in common:
+        norm = ratios[p] / scale
+        flag = ""
+        if norm < threshold:
+            failed.append(p)
+            flag = f"  << REGRESSION (>{(1 - threshold) * 100:.0f}% vs peers)"
+        print(f"{p:<22} {baseline[p]:>12.0f} {fresh[p]:>12.0f} {norm:>10.3f}x{flag}")
+
+    if failed:
+        sys.exit(f"throughput regression in: {', '.join(failed)}")
+    print("OK: no per-policy regression beyond threshold")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
