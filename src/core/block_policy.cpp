@@ -1,9 +1,12 @@
 #include "core/block_policy.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 namespace smartexp3::core {
 
@@ -390,6 +393,87 @@ void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
   }
 
   if (cur_pos_ >= cur_len_) finalise_block();
+}
+
+[[gnu::cold]] void BlockPolicy::snapshot_into(StateWriter& w) const {
+  w.section(0x424c4f43u);  // "BLOC"
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  weights_.snapshot_into(w);
+  w.int_vec(x_);
+  w.f64_vec(gain_sum_);
+  w.u64(gain_count_.size());
+  for (const long v : gain_count_) w.i64(v);
+  w.u64(slots_on_.size());
+  for (const long v : slots_on_) w.i64(v);
+  w.u64(slots_on_imax_);
+  w.i64(block_index_);
+  w.f64(gamma_);
+  w.f64_vec(probs_);
+  w.i64(cur_);
+  w.i64(cur_len_);
+  w.i64(cur_pos_);
+  w.f64(cur_gain_sum_);
+  w.f64(cur_p_);
+  w.b(cur_is_switch_back_);
+  cur_window_.snapshot_into(w);
+  w.i64(prev_);
+  w.b(prev_was_switch_back_);
+  prev_window_.snapshot_into(w);
+  w.i64(pending_switch_back_to_);
+  w.int_vec(explore_queue_);
+  w.b(gate_a_failed_once_);
+  w.i64(gate_y_);
+  w.i64(consecutive_drop_slots_);
+  w.i64(stats_.blocks_started);
+  w.i64(stats_.greedy_selections);
+  w.i64(stats_.switch_backs);
+  w.i64(stats_.resets);
+}
+
+[[gnu::cold]] void BlockPolicy::restore_from(StateReader& r) {
+  r.section(0x424c4f43u, "block policy");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  nets_.resize(r.count("block policy networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  weights_.restore_from(r);
+  r.int_vec(x_, "block policy x");
+  r.f64_vec(gain_sum_, "block policy gain sums");
+  gain_count_.resize(r.count("block policy gain counts"));
+  for (long& v : gain_count_) v = static_cast<long>(r.i64());
+  slots_on_.resize(r.count("block policy slot counts"));
+  for (long& v : slots_on_) v = static_cast<long>(r.i64());
+  slots_on_imax_ = r.count("block policy slots argmax", nets_.size());
+  block_index_ = static_cast<long>(r.i64());
+  gamma_ = r.f64();
+  r.f64_vec(probs_, "block policy probabilities");
+  cur_ = static_cast<int>(r.i64());
+  cur_len_ = static_cast<int>(r.i64());
+  cur_pos_ = static_cast<int>(r.i64());
+  cur_gain_sum_ = r.f64();
+  cur_p_ = r.f64();
+  cur_is_switch_back_ = r.b();
+  cur_window_.restore_from(r);
+  prev_ = static_cast<int>(r.i64());
+  prev_was_switch_back_ = r.b();
+  prev_window_.restore_from(r);
+  pending_switch_back_to_ = static_cast<int>(r.i64());
+  r.int_vec(explore_queue_, "block policy explore queue");
+  gate_a_failed_once_ = r.b();
+  gate_y_ = static_cast<int>(r.i64());
+  consecutive_drop_slots_ = static_cast<int>(r.i64());
+  stats_.blocks_started = static_cast<int>(r.i64());
+  stats_.greedy_selections = static_cast<int>(r.i64());
+  stats_.switch_backs = static_cast<int>(r.i64());
+  stats_.resets = static_cast<int>(r.i64());
+  if (weights_.size() != nets_.size() || x_.size() != nets_.size() ||
+      gain_sum_.size() != nets_.size() || gain_count_.size() != nets_.size() ||
+      slots_on_.size() != nets_.size() || probs_.size() != nets_.size()) {
+    throw SnapshotError("block policy per-network state size mismatch");
+  }
 }
 
 void BlockPolicy::probabilities_into(std::vector<double>& out) const {

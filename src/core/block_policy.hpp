@@ -86,6 +86,24 @@ class GainWindow {
     return n;
   }
 
+  /// Checkpoint: capacity plus the live values oldest-to-newest. Restore
+  /// re-pushes them into a freshly reset buffer — every observable (back,
+  /// sum, count_greater and all subsequent pushes) depends only on the
+  /// logical sequence, not on where head_ happens to sit.
+  void snapshot_into(StateWriter& w) const {
+    w.u64(buf_.size());
+    w.u64(count_);
+    for (std::size_t i = 0; i < count_; ++i) w.f64(buf_[wrap(head_ + i)]);
+  }
+
+  void restore_from(StateReader& r) {
+    const std::size_t capacity = r.count("gain window capacity");
+    const std::size_t n = r.count("gain window size");
+    if (n > capacity) throw SnapshotError("gain window overflow");
+    reset(capacity);
+    for (std::size_t i = 0; i < n; ++i) push(r.f64());
+  }
+
  private:
   // Conditional wrap instead of %: indices never exceed 2 * capacity, and a
   // runtime modulo is a hardware divide on the per-slot path.
@@ -108,6 +126,8 @@ class BlockPolicy : public Policy {
   /// of per-slot work gains nothing from SoA packing (see Policy::
   /// uses_batch_dispatch).
   double step_cost_hint() const override { return options_.reset ? 1.8 : 1.0; }
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   PolicyStats stats() const override { return stats_; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/snapshot.hpp"
+
 #include "metrics/nash.hpp"
 
 namespace smartexp3::core {
@@ -58,6 +60,28 @@ void CentralizedCoordinator::rebalance() {
   dirty_ = false;
 }
 
+[[gnu::cold]] void CentralizedCoordinator::snapshot_into(StateWriter& w) const {
+  w.section(0x434f4f52u);  // "COOR"
+  w.u64(assignment_.size());
+  for (const auto& [id, net] : assignment_) {
+    w.i64(id);
+    w.i64(net);
+  }
+  w.b(dirty_);
+}
+
+[[gnu::cold]] void CentralizedCoordinator::restore_from(StateReader& r) {
+  r.section(0x434f4f52u, "centralized coordinator");
+  const std::size_t n = r.count("coordinator assignments");
+  assignment_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const DeviceId id = static_cast<DeviceId>(r.i64());
+    const NetworkId net = static_cast<NetworkId>(r.i64());
+    assignment_[id] = net;
+  }
+  dirty_ = r.b();
+}
+
 CentralizedPolicy::CentralizedPolicy(DeviceId id,
                                      std::shared_ptr<CentralizedCoordinator> coordinator)
     : id_(id), coordinator_(std::move(coordinator)) {
@@ -84,6 +108,24 @@ void CentralizedPolicy::on_leave(Slot) {
     coordinator_->deregister_device(id_);
     registered_ = false;
   }
+}
+
+[[gnu::cold]] void CentralizedPolicy::snapshot_into(StateWriter& w) const {
+  w.section(0x43454e54u);  // "CENT"
+  w.b(registered_);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  // The shared coordinator travels with every member: cheap, and the restore
+  // path needs no "first device" special case.
+  coordinator_->snapshot_into(w);
+}
+
+[[gnu::cold]] void CentralizedPolicy::restore_from(StateReader& r) {
+  r.section(0x43454e54u, "centralized policy");
+  registered_ = r.b();
+  nets_.resize(r.count("centralized networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  coordinator_->restore_from(r);
 }
 
 void CentralizedPolicy::probabilities_into(std::vector<double>& out) const {

@@ -31,6 +31,13 @@ class CentralizedCoordinator {
 
   int device_count() const { return static_cast<int>(assignment_.size()); }
 
+  /// Checkpoint the registration table and the laziness flag. Every sharing
+  /// device serializes the full coordinator state (it is tiny), and restore
+  /// is idempotent — the world restores devices in id order and each
+  /// overwrite writes the same content.
+  void snapshot_into(StateWriter& w) const;
+  void restore_from(StateReader& r);
+
  private:
   void rebalance();
 
@@ -50,6 +57,8 @@ class CentralizedPolicy final : public Policy {
   /// Every centralized device of a world shares one coordinator, whose lazy
   /// rebalance mutates on choose(): the world must not fan these out.
   bool shares_state_across_devices() const override { return true; }
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   void on_leave(Slot t) override;

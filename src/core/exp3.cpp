@@ -1,8 +1,11 @@
 #include "core/exp3.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 #include "stats/vexp.hpp"
 
@@ -103,6 +106,35 @@ void Exp3::observe_batch(Slot, Policy* const* policies,
     p.weights_.maybe_normalise();
     p.chosen_ = -1;
   }
+}
+
+[[gnu::cold]] void Exp3::snapshot_into(StateWriter& w) const {
+  w.section(0x45585033u);  // "EXP3"
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  weights_.snapshot_into(w);
+  w.i64(selections_);
+  w.i64(chosen_);
+  w.f64(p_chosen_);
+  w.f64(gamma_used_);
+}
+
+[[gnu::cold]] void Exp3::restore_from(StateReader& r) {
+  r.section(0x45585033u, "exp3");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  nets_.resize(r.count("exp3 networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  weights_.restore_from(r);
+  if (weights_.size() != nets_.size()) {
+    throw SnapshotError("exp3 weight table size mismatch");
+  }
+  selections_ = static_cast<long>(r.i64());
+  chosen_ = static_cast<int>(r.i64());
+  p_chosen_ = r.f64();
+  gamma_used_ = r.f64();
 }
 
 void Exp3::probabilities_into(std::vector<double>& out) const {

@@ -36,6 +36,8 @@ class Exp3 final : public Policy {
   /// ~2.5x a greedy device per slot (one weight-table draw + one exp'd bump).
   double step_cost_hint() const override { return 2.6; }
   bool uses_batch_dispatch() const override { return true; }
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "exp3"; }

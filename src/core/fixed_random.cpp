@@ -1,7 +1,10 @@
 #include "core/fixed_random.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 namespace smartexp3::core {
 
@@ -21,6 +24,24 @@ NetworkId FixedRandomPolicy::choose(Slot) {
     picked_ = nets_[static_cast<std::size_t>(rng_.below(nets_.size()))];
   }
   return picked_;
+}
+
+[[gnu::cold]] void FixedRandomPolicy::snapshot_into(StateWriter& w) const {
+  w.section(0x46495852u);  // "FIXR"
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  w.i64(picked_);
+}
+
+[[gnu::cold]] void FixedRandomPolicy::restore_from(StateReader& r) {
+  r.section(0x46495852u, "fixed random");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  nets_.resize(r.count("fixed random networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  picked_ = static_cast<NetworkId>(r.i64());
 }
 
 void FixedRandomPolicy::probabilities_into(std::vector<double>& out) const {

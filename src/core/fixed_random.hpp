@@ -16,6 +16,8 @@ class FixedRandomPolicy final : public Policy {
   void observe(Slot /*t*/, const SlotFeedback& /*fb*/) override {}
   /// Sticks to one network: no learning state at all.
   double step_cost_hint() const override { return 0.5; }
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "fixed_random"; }

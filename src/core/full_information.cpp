@@ -1,8 +1,11 @@
 #include "core/full_information.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 #include "stats/vexp.hpp"
 
@@ -123,6 +126,32 @@ void FullInformationPolicy::observe_batch(Slot, Policy* const* policies,
     p.apply_factors(scratch.a.data() + pos, scratch.b.data() + pos);
     pos += p.nets_.size();
   }
+}
+
+[[gnu::cold]] void FullInformationPolicy::snapshot_into(StateWriter& w) const {
+  w.section(0x46554c4cu);  // "FULL"
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  weights_.snapshot_into(w);
+  w.i64(selections_);
+}
+
+[[gnu::cold]] void FullInformationPolicy::restore_from(StateReader& r) {
+  r.section(0x46554c4cu, "full information");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  nets_.resize(r.count("full information networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  weights_.restore_from(r);
+  if (weights_.size() != nets_.size()) {
+    throw SnapshotError("full information weight table size mismatch");
+  }
+  selections_ = static_cast<long>(r.i64());
+  // Scalar-path scratch is derived state: size it for the restored set.
+  delta_scratch_.resize(nets_.size());
+  factor_scratch_.resize(nets_.size());
 }
 
 void FullInformationPolicy::probabilities_into(std::vector<double>& out) const {

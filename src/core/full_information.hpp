@@ -46,6 +46,8 @@ class FullInformationPolicy final : public Policy {
   FeedbackNeeds feedback_needs() const override {
     return FeedbackNeeds::kFullInformation;
   }
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "full_information"; }

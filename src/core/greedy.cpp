@@ -1,8 +1,11 @@
 #include "core/greedy.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 namespace smartexp3::core {
 
@@ -94,6 +97,35 @@ void GreedyPolicy::observe(Slot, const SlotFeedback& fb) {
   gain_sum_[static_cast<std::size_t>(chosen_)] += fb.gain;
   gain_count_[static_cast<std::size_t>(chosen_)] += 1;
   chosen_ = -1;
+}
+
+[[gnu::cold]] void GreedyPolicy::snapshot_into(StateWriter& w) const {
+  w.section(0x47524459u);  // "GRDY"
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  w.f64_vec(gain_sum_);
+  w.u64(gain_count_.size());
+  for (const long v : gain_count_) w.i64(v);
+  w.int_vec(explore_queue_);
+  w.i64(chosen_);
+}
+
+[[gnu::cold]] void GreedyPolicy::restore_from(StateReader& r) {
+  r.section(0x47524459u, "greedy");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  nets_.resize(r.count("greedy networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  r.f64_vec(gain_sum_, "greedy gain sums");
+  gain_count_.resize(r.count("greedy gain counts"));
+  for (long& v : gain_count_) v = static_cast<long>(r.i64());
+  if (gain_sum_.size() != nets_.size() || gain_count_.size() != nets_.size()) {
+    throw SnapshotError("greedy per-network state size mismatch");
+  }
+  r.int_vec(explore_queue_, "greedy explore queue");
+  chosen_ = static_cast<int>(r.i64());
 }
 
 void GreedyPolicy::probabilities_into(std::vector<double>& out) const {

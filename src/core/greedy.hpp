@@ -16,6 +16,8 @@ class GreedyPolicy final : public Policy {
   void set_networks(const std::vector<NetworkId>& available) override;
   NetworkId choose(Slot t) override;
   void observe(Slot t, const SlotFeedback& fb) override;
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "greedy"; }

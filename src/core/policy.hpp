@@ -15,6 +15,12 @@
 
 namespace smartexp3::core {
 
+// Checkpoint archive cursors (core/snapshot.hpp); the interface only passes
+// them through by reference, so a forward declaration keeps the archive
+// machinery out of every policy user's translation unit.
+class StateWriter;
+class StateReader;
+
 /// Everything a device learns about the slot that just finished.
 struct SlotFeedback {
   /// Bit rate observed on the chosen network (Mbps).
@@ -172,6 +178,19 @@ class Policy {
   virtual PolicyStats stats() const { return {}; }
 
   virtual std::string name() const = 0;
+
+  /// Append every piece of state a resumed run needs to `w` — learning
+  /// state, RNG positions, phase counters. The default is an intentional
+  /// no-op (a stateless policy has nothing to save), so minimal test stubs
+  /// keep working; every factory policy overrides both methods, and the
+  /// snapshot round-trip tests pin that a restore mid-run continues the
+  /// trajectory bit-identically. restore_from must consume exactly the
+  /// words snapshot_into wrote, on a policy constructed from the same
+  /// config (same options and device seed); it throws SnapshotError when
+  /// the stream does not match. Declared last so the checkpoint additions
+  /// sit at the tail of the vtable, after the slots the engine loop hits.
+  virtual void snapshot_into(StateWriter& /*w*/) const {}
+  virtual void restore_from(StateReader& /*r*/) {}
 };
 
 }  // namespace smartexp3::core

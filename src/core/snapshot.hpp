@@ -1,0 +1,135 @@
+// Flat binary state archive for world checkpoints.
+//
+// A snapshot is a sequence of 64-bit words: integers verbatim, doubles as
+// their IEEE-754 bit patterns (std::bit_cast, so restore is bit-exact even
+// for subnormals and non-finite values — a decimal round-trip would not be).
+// StateWriter appends, StateReader consumes in the same order; every
+// compound object brackets its words with a section tag so a reader that
+// drifts out of sync fails immediately with a SnapshotError naming the
+// section instead of silently mis-assigning state.
+//
+// The word stream deliberately carries no type metadata beyond the tags:
+// writer and reader are always the same build of the same code (the
+// checkpoint header pins kSnapshotVersion), so self-describing encodings
+// would buy nothing but size. Durability concerns — checksums, atomic
+// renames, versioning — live one layer up in exp/checkpoint.hpp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smartexp3::core {
+
+/// Raised when a snapshot word stream does not match what the restoring
+/// object expects: wrong section tag, truncated stream, or a count field
+/// inconsistent with the object being restored.
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bumped whenever the word layout of any snapshotted object changes.
+/// Checked by the checkpoint layer before any words reach a reader.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Appends state words to a growing buffer. All write methods are trivial
+/// appends; callers reserve() when the size is known.
+class StateWriter {
+ public:
+  explicit StateWriter(std::vector<std::uint64_t>& out) : out_(out) {}
+
+  void u64(std::uint64_t v) { out_.push_back(v); }
+  void i64(std::int64_t v) { out_.push_back(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { out_.push_back(std::bit_cast<std::uint64_t>(v)); }
+  void b(bool v) { out_.push_back(v ? 1u : 0u); }
+
+  /// Open a named section. Tags are small integers unique per object kind;
+  /// the matching StateReader::section call re-checks them.
+  void section(std::uint64_t tag) { out_.push_back(tag); }
+
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+  void i64_vec(const std::vector<std::int64_t>& v) {
+    u64(v.size());
+    for (const std::int64_t x : v) i64(x);
+  }
+  void int_vec(const std::vector<int>& v) {
+    u64(v.size());
+    for (const int x : v) i64(x);
+  }
+
+  std::vector<std::uint64_t>& words() { return out_; }
+
+ private:
+  std::vector<std::uint64_t>& out_;
+};
+
+/// Consumes state words in writer order. Every read checks bounds; a
+/// mismatch throws SnapshotError rather than reading garbage.
+class StateReader {
+ public:
+  explicit StateReader(const std::vector<std::uint64_t>& in) : in_(in) {}
+
+  std::uint64_t u64() {
+    if (pos_ >= in_.size()) {
+      throw SnapshotError("snapshot truncated at word " + std::to_string(pos_));
+    }
+    return in_[pos_++];
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool b() { return u64() != 0; }
+
+  /// Consume and verify a section tag written by StateWriter::section.
+  void section(std::uint64_t tag, const char* what) {
+    const std::uint64_t got = u64();
+    if (got != tag) {
+      throw SnapshotError(std::string("snapshot section mismatch for ") + what +
+                          ": expected tag " + std::to_string(tag) + ", found " +
+                          std::to_string(got));
+    }
+  }
+
+  /// Consume a count field, bounding it so corrupt streams cannot drive
+  /// multi-gigabyte allocations before the truncation check fires.
+  std::size_t count(const char* what, std::size_t max = 1u << 28) {
+    const std::uint64_t n = u64();
+    if (n > max) {
+      throw SnapshotError(std::string("snapshot count for ") + what +
+                          " out of range: " + std::to_string(n));
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  void f64_vec(std::vector<double>& v, const char* what) {
+    v.resize(count(what));
+    for (double& x : v) x = f64();
+  }
+  void i64_vec(std::vector<std::int64_t>& v, const char* what) {
+    v.resize(count(what));
+    for (std::int64_t& x : v) x = i64();
+  }
+  void int_vec(std::vector<int>& v, const char* what) {
+    v.resize(count(what));
+    for (int& x : v) {
+      const std::int64_t raw = i64();
+      x = static_cast<int>(raw);
+    }
+  }
+
+  /// True when every word has been consumed; restore entry points assert
+  /// this so a layout drift is an error, not a silent partial restore.
+  bool exhausted() const { return pos_ == in_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  const std::vector<std::uint64_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace smartexp3::core

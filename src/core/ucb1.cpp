@@ -1,9 +1,12 @@
 #include "core/ucb1.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 namespace smartexp3::core {
 
@@ -81,6 +84,35 @@ void Ucb1Policy::observe(Slot, const SlotFeedback& fb) {
   pulls_[i] += 1;
   total_pulls_ += 1;
   chosen_ = -1;
+}
+
+[[gnu::cold]] void Ucb1Policy::snapshot_into(StateWriter& w) const {
+  w.section(0x55434231u);  // "UCB1"
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  w.u64(nets_.size());
+  for (const NetworkId n : nets_) w.i64(n);
+  w.f64_vec(gain_sum_);
+  w.u64(pulls_.size());
+  for (const long v : pulls_) w.i64(v);
+  w.i64(total_pulls_);
+  w.i64(chosen_);
+}
+
+[[gnu::cold]] void Ucb1Policy::restore_from(StateReader& r) {
+  r.section(0x55434231u, "ucb1");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  nets_.resize(r.count("ucb1 networks"));
+  for (NetworkId& n : nets_) n = static_cast<NetworkId>(r.i64());
+  r.f64_vec(gain_sum_, "ucb1 gain sums");
+  pulls_.resize(r.count("ucb1 pull counts"));
+  for (long& v : pulls_) v = static_cast<long>(r.i64());
+  if (gain_sum_.size() != nets_.size() || pulls_.size() != nets_.size()) {
+    throw SnapshotError("ucb1 per-arm state size mismatch");
+  }
+  total_pulls_ = static_cast<long>(r.i64());
+  chosen_ = static_cast<int>(r.i64());
 }
 
 void Ucb1Policy::probabilities_into(std::vector<double>& out) const {

@@ -29,6 +29,8 @@ class Ucb1Policy final : public Policy {
   void observe(Slot t, const SlotFeedback& fb) override;
   /// Per-slot argmax over per-arm log/sqrt confidence radii.
   double step_cost_hint() const override { return 1.4; }
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override { return nets_; }
   std::string name() const override { return "ucb1"; }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/snapshot.hpp"
+
 #include "netsim/types.hpp"
 
 namespace smartexp3::core {
@@ -65,6 +67,18 @@ bool UtilityShapedPolicy::shares_state_across_devices() const {
 
 double UtilityShapedPolicy::step_cost_hint() const {
   return inner_->step_cost_hint();
+}
+
+[[gnu::cold]] void UtilityShapedPolicy::snapshot_into(StateWriter& w) const {
+  w.section(0x5554494cu);  // "UTIL"
+  w.i64(last_chosen_);
+  inner_->snapshot_into(w);
+}
+
+[[gnu::cold]] void UtilityShapedPolicy::restore_from(StateReader& r) {
+  r.section(0x5554494cu, "utility shaping");
+  last_chosen_ = static_cast<NetworkId>(r.i64());
+  inner_->restore_from(r);
 }
 
 void UtilityShapedPolicy::probabilities_into(std::vector<double>& out) const {

@@ -50,6 +50,10 @@ class UtilityShapedPolicy final : public Policy {
   bool shares_state_across_devices() const override;
   /// Shaping adds O(1) per slot on top of whatever the inner policy costs.
   double step_cost_hint() const override;
+  /// Delegates to the wrapped policy plus the one slot-local field the
+  /// wrapper keeps (the network whose gain the next observe() shapes).
+  void snapshot_into(StateWriter& w) const override;
+  void restore_from(StateReader& r) override;
   void probabilities_into(std::vector<double>& out) const override;
   const std::vector<NetworkId>& networks() const override;
   void on_leave(Slot t) override;

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "stats/rng.hpp"
 #include "stats/vexp.hpp"
 
@@ -227,6 +228,27 @@ class WeightTable {
     std::vector<double> p;
     probabilities_into(gamma, p);
     return p;
+  }
+
+  /// Checkpoint the table bit-exactly. The linear cache w_ is serialized
+  /// alongside lw_ on purpose: w_ is built from *incremental* products, so
+  /// rebuilding it as exp(lw_) on restore would produce subtly different
+  /// bits and fork the trajectory.
+  void snapshot_into(StateWriter& w) const {
+    w.f64_vec(lw_);
+    w.f64_vec(w_);
+    w.f64(offset_);
+    w.b(drifted_);
+  }
+
+  void restore_from(StateReader& r) {
+    r.f64_vec(lw_, "weight table log-weights");
+    r.f64_vec(w_, "weight table cache");
+    if (w_.size() != lw_.size()) {
+      throw SnapshotError("weight table cache size mismatch");
+    }
+    offset_ = r.f64();
+    drifted_ = r.b();
   }
 
  private:

@@ -1,0 +1,310 @@
+#include "exp/checkpoint.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "exp/jsonish.hpp"
+
+namespace smartexp3::exp {
+
+namespace fs = std::filesystem;
+
+std::uint64_t fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr const char* kTrailerTag = "checksum fnv1a64 ";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+std::uint64_t parse_hex16(const char* p, const char* what) {
+  std::uint64_t v = 0;
+  const auto result = std::from_chars(p, p + 16, v, 16);
+  if (result.ec != std::errc() || result.ptr != p + 16) {
+    throw CheckpointError(std::string("checkpoint ") + what + " is not 16 hex digits");
+  }
+  return v;
+}
+
+/// Snapshot words as one long hex string (16 lowercase digits per word):
+/// compact, line-oriented diff-stable, and trivially validated on the way
+/// back in.
+std::string encode_words(const std::vector<std::uint64_t>& words) {
+  std::string out;
+  out.reserve(words.size() * 16);
+  for (const std::uint64_t w : words) out += hex16(w);
+  return out;
+}
+
+std::vector<std::uint64_t> decode_words(const std::string& hex, const char* what) {
+  if (hex.size() % 16 != 0) {
+    throw CheckpointError(std::string("checkpoint ") + what +
+                          " hex payload length is not a multiple of 16");
+  }
+  std::vector<std::uint64_t> words(hex.size() / 16);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = parse_hex16(hex.data() + i * 16, what);
+  }
+  return words;
+}
+
+// Minimal strict field access over the parsed JSON object — the checkpoint
+// schema is flat and fixed, so this does not need spec_io's ObjectReader.
+const JsonValue& require_member(const JsonValue& obj, const char* key) {
+  for (const auto& [k, v] : obj.object) {
+    if (k == key) return v;
+  }
+  throw CheckpointError(std::string("checkpoint is missing key '") + key + "'");
+}
+
+const JsonValue* find_member(const JsonValue& obj, const char* key) {
+  for (const auto& [k, v] : obj.object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t member_int(const JsonValue& obj, const char* key) {
+  const JsonValue& v = require_member(obj, key);
+  if (v.type != JsonValue::Type::kNumber || !v.integral || !v.magnitude_exact) {
+    throw CheckpointError(std::string("checkpoint key '") + key +
+                          "' must be an integer");
+  }
+  const auto m = static_cast<std::int64_t>(v.magnitude);
+  return v.negative ? -m : m;
+}
+
+const std::string& member_string(const JsonValue& obj, const char* key) {
+  const JsonValue& v = require_member(obj, key);
+  if (v.type != JsonValue::Type::kString) {
+    throw CheckpointError(std::string("checkpoint key '") + key +
+                          "' must be a string");
+  }
+  return v.str;
+}
+
+std::uint64_t member_hex64(const JsonValue& obj, const char* key) {
+  const std::string& s = member_string(obj, key);
+  if (s.size() != 16) {
+    throw CheckpointError(std::string("checkpoint key '") + key +
+                          "' is not 16 hex digits");
+  }
+  return parse_hex16(s.data(), key);
+}
+
+/// File-name pattern "run<run>_slot<slot>.ckpt" -> slot, or nullopt when the
+/// name belongs to another run or is not a checkpoint at all.
+std::optional<Slot> slot_from_filename(const std::string& name, int run) {
+  const std::string prefix = "run" + std::to_string(run) + "_slot";
+  const std::string suffix = ".ckpt";
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const char* first = name.data() + prefix.size();
+  const char* last = name.data() + name.size() - suffix.size();
+  Slot slot = 0;
+  const auto result = std::from_chars(first, last, slot);
+  if (result.ec != std::errc() || result.ptr != last || slot < 0) return std::nullopt;
+  return slot;
+}
+
+/// All of `run`'s checkpoint files in `dir`, newest slot first. Filesystem
+/// errors yield an empty list (the resume path treats that as "nothing to
+/// resume from", the prune path as "nothing to prune").
+std::vector<std::pair<Slot, fs::path>> list_checkpoints(const std::string& dir, int run) {
+  std::vector<std::pair<Slot, fs::path>> found;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return found;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    if (const auto slot = slot_from_filename(entry.path().filename().string(), run)) {
+      found.emplace_back(*slot, entry.path());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+}  // namespace
+
+std::string to_checkpoint_text(const Checkpoint& c) {
+  JsonWriter w;
+  w.open_object();
+  w.field("checkpoint_version", static_cast<int>(kCheckpointVersion));
+  w.field("snapshot_version", static_cast<int>(c.snapshot_version));
+  w.field("run", c.run);
+  w.field("slot", c.slot);
+  // 64-bit identities go as fixed-width hex strings: JSON numbers above
+  // 2^53 are a portability trap, and hex matches the word payload anyway.
+  w.field("seed", hex16(c.seed));
+  w.field("spec_fingerprint", hex16(c.spec_fingerprint));
+  w.field("world", encode_words(c.world_words));
+  if (c.has_recorder) w.field("recorder", encode_words(c.recorder_words));
+  w.close_object();
+  std::string text = w.take();
+  text += '\n';
+  const std::uint64_t sum = fnv1a64(text);
+  text += kTrailerTag;
+  text += hex16(sum);
+  text += '\n';
+  return text;
+}
+
+std::string checkpoint_path(const std::string& dir, int run, Slot slot) {
+  return (fs::path(dir) / ("run" + std::to_string(run) + "_slot" +
+                           std::to_string(slot) + ".ckpt"))
+      .string();
+}
+
+Checkpoint parse_checkpoint_text(const std::string& text) {
+  const std::size_t pos = text.rfind(kTrailerTag);
+  if (pos == std::string::npos || pos == 0 || text[pos - 1] != '\n') {
+    throw CheckpointError("checkpoint is missing its checksum trailer "
+                          "(file truncated mid-write?)");
+  }
+  const std::string body = text.substr(0, pos);
+  const std::string tail = text.substr(pos + std::string(kTrailerTag).size());
+  if (tail.size() < 16 || (tail.size() > 16 && tail.substr(16) != "\n")) {
+    throw CheckpointError("checkpoint checksum trailer is malformed");
+  }
+  const std::uint64_t recorded = parse_hex16(tail.data(), "checksum");
+  const std::uint64_t computed = fnv1a64(body);
+  if (recorded != computed) {
+    throw CheckpointError("checkpoint checksum mismatch (expected " + hex16(recorded) +
+                          ", computed " + hex16(computed) +
+                          "): file is corrupt or truncated");
+  }
+
+  JsonValue root;
+  try {
+    root = parse_json(body);
+  } catch (const JsonError& e) {
+    throw CheckpointError(std::string("checkpoint body is not valid JSON: ") + e.what());
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    throw CheckpointError("checkpoint body is not a JSON object");
+  }
+
+  const auto file_version = member_int(root, "checkpoint_version");
+  if (file_version != kCheckpointVersion) {
+    throw CheckpointError("unsupported checkpoint version " +
+                          std::to_string(file_version) + " (this build reads " +
+                          std::to_string(kCheckpointVersion) + ")");
+  }
+  Checkpoint c;
+  const auto snap_version = member_int(root, "snapshot_version");
+  if (snap_version != core::kSnapshotVersion) {
+    throw CheckpointError("unsupported snapshot version " +
+                          std::to_string(snap_version) + " (this build reads " +
+                          std::to_string(core::kSnapshotVersion) + ")");
+  }
+  c.snapshot_version = static_cast<std::uint32_t>(snap_version);
+  c.run = static_cast<int>(member_int(root, "run"));
+  c.slot = static_cast<Slot>(member_int(root, "slot"));
+  if (c.run < 0 || c.slot < 0) {
+    throw CheckpointError("checkpoint run/slot must be non-negative");
+  }
+  c.seed = member_hex64(root, "seed");
+  c.spec_fingerprint = member_hex64(root, "spec_fingerprint");
+  c.world_words = decode_words(member_string(root, "world"), "world");
+  if (const JsonValue* rec = find_member(root, "recorder")) {
+    if (rec->type != JsonValue::Type::kString) {
+      throw CheckpointError("checkpoint key 'recorder' must be a string");
+    }
+    c.has_recorder = true;
+    c.recorder_words = decode_words(rec->str, "recorder");
+  }
+  return c;
+}
+
+void save_checkpoint_file(const Checkpoint& c, const std::string& path) {
+  const std::string text = to_checkpoint_text(c);
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);  // best-effort; open reports
+  }
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw CheckpointError("cannot write checkpoint file '" + tmp.string() + "'");
+    }
+    out << text;
+    out.flush();
+    if (!out) {
+      out.close();
+      fs::remove(tmp, ec);
+      throw CheckpointError("failed writing checkpoint file '" + tmp.string() + "'");
+    }
+  }
+  // Atomic publish: readers see the old checkpoint or the new one, never a
+  // torn file under the real name.
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw CheckpointError("cannot rename checkpoint into place at '" + path +
+                          "': " + ec.message());
+  }
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw CheckpointError("cannot read checkpoint file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_checkpoint_text(buffer.str());
+  } catch (const CheckpointError& e) {
+    throw CheckpointError(std::string(e.what()) + " [" + path + "]");
+  }
+}
+
+std::optional<Checkpoint> newest_valid_checkpoint(const std::string& dir, int run,
+                                                  std::uint64_t spec_fingerprint,
+                                                  std::uint64_t seed) {
+  for (const auto& [slot, path] : list_checkpoints(dir, run)) {
+    try {
+      Checkpoint c = load_checkpoint_file(path.string());
+      if (c.run != run || c.seed != seed || c.spec_fingerprint != spec_fingerprint) {
+        continue;  // someone else's checkpoint — not a fallback candidate
+      }
+      return c;
+    } catch (const CheckpointError&) {
+      continue;  // corrupt/truncated: fall back to the next-newest file
+    }
+  }
+  return std::nullopt;
+}
+
+void prune_checkpoints(const std::string& dir, int run, int keep) {
+  if (keep < 0) keep = 0;
+  const auto found = list_checkpoints(dir, run);
+  std::error_code ec;
+  for (std::size_t i = static_cast<std::size_t>(keep); i < found.size(); ++i) {
+    fs::remove(found[i].second, ec);
+  }
+}
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,97 @@
+// Durable run checkpoints: the crash-safety layer between the in-memory
+// snapshot archive (core/snapshot.hpp) and the run harness (exp/runner.hpp).
+//
+// A checkpoint file is a JSON document — versioned header, run/seed/slot
+// identity, a fingerprint of the spec it belongs to, and the world's (plus
+// optionally the recorder's) snapshot words hex-encoded — followed by one
+// trailer line:
+//
+//   checksum fnv1a64 <16 hex digits>
+//
+// over every byte of the JSON body. Writes are atomic: the file is written
+// to "<path>.tmp" and renamed into place, so a crash mid-write leaves
+// either the old checkpoint or a stray .tmp, never a torn file under the
+// real name. Loads validate the checksum and both version fields before a
+// single snapshot word reaches a reader, and the resume path
+// (newest_valid_checkpoint) degrades gracefully: a corrupt, truncated or
+// mismatched file is skipped in favour of the newest one that verifies —
+// bad input is never a crash (tests/test_checkpoint_io.cpp fuzzes this
+// with truncations and byte flips).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "netsim/types.hpp"
+
+namespace smartexp3::exp {
+
+/// Raised when a checkpoint file cannot be written, or cannot be read back
+/// as a valid checkpoint (bad checksum, wrong version, malformed JSON).
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bumped when the checkpoint file layout itself changes. The snapshot word
+/// layout is versioned separately (core::kSnapshotVersion) and also pinned
+/// in the file.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// FNV-1a over bytes: tiny, dependency-free and byte-order-independent —
+/// plenty to catch the truncation and bit-rot this layer defends against
+/// (it is an integrity check, not an authentication code).
+std::uint64_t fnv1a64(const char* data, std::size_t size);
+inline std::uint64_t fnv1a64(const std::string& s) { return fnv1a64(s.data(), s.size()); }
+
+/// One checkpoint: where a run was, and every word needed to continue it.
+struct Checkpoint {
+  std::uint32_t snapshot_version = core::kSnapshotVersion;
+  int run = 0;                         ///< run index within the batch
+  std::uint64_t seed = 0;              ///< the run's world seed
+  Slot slot = 0;                       ///< slots completed when taken
+  std::uint64_t spec_fingerprint = 0;  ///< fnv1a64 of the canonical spec text
+  std::vector<std::uint64_t> world_words;
+  bool has_recorder = false;
+  std::vector<std::uint64_t> recorder_words;
+};
+
+/// Serialize to the JSON-plus-trailer file format (deterministic text).
+std::string to_checkpoint_text(const Checkpoint& c);
+
+/// Parse and fully validate checkpoint text. Throws CheckpointError on any
+/// defect: missing/corrupt trailer, checksum mismatch, unsupported version,
+/// malformed JSON or hex. Never crashes on arbitrary bytes.
+Checkpoint parse_checkpoint_text(const std::string& text);
+
+/// Atomic durable write: text goes to "<path>.tmp", is flushed, then renamed
+/// over `path`. Creates the parent directory if needed.
+void save_checkpoint_file(const Checkpoint& c, const std::string& path);
+
+/// Load + validate one file. Throws CheckpointError (including for an
+/// unreadable path).
+Checkpoint load_checkpoint_file(const std::string& path);
+
+/// Canonical file name for (run, slot) under `dir`:
+/// "<dir>/run<run>_slot<slot>.ckpt".
+std::string checkpoint_path(const std::string& dir, int run, Slot slot);
+
+/// The newest (highest-slot) checkpoint for `run` in `dir` that loads
+/// cleanly AND matches the expected spec fingerprint and seed. Corrupt or
+/// foreign files are skipped (that is the crash-recovery contract: fall back
+/// to the newest valid one); nullopt when none qualify or the directory does
+/// not exist.
+std::optional<Checkpoint> newest_valid_checkpoint(const std::string& dir, int run,
+                                                  std::uint64_t spec_fingerprint,
+                                                  std::uint64_t seed);
+
+/// Delete all but the `keep` newest-slot checkpoint files for `run`,
+/// bounding disk use during long runs. Quietly ignores filesystem errors —
+/// retention is best-effort, never worth failing a run over.
+void prune_checkpoints(const std::string& dir, int run, int keep);
+
+}  // namespace smartexp3::exp

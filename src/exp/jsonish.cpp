@@ -1,0 +1,278 @@
+#include "exp/jsonish.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace smartexp3::exp {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) {
+    throw JsonError("cannot represent non-finite number in JSON");
+  }
+  char buf[32];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, result.ptr);
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the spec object");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("parse error at line " + std::to_string(line_) + ": " + what);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input (truncated spec?)");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') ++line_;
+    return c;
+  }
+  void expect(char c) {
+    const char got = take();
+    if (got != c) {
+      fail(std::string("expected '") + c + "', found '" + got + "'");
+    }
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+      if (c == '\n') ++line_;
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue v;
+    v.line = line_;
+    const char c = peek();
+    if (c == '{') { parse_object(v); return v; }
+    if (c == '[') { parse_array(v); return v; }
+    if (c == '"') { v.type = JsonValue::Type::kString; v.str = parse_string(); return v; }
+    if (c == 't' || c == 'f') { parse_bool(v); return v; }
+    if (c == '-' || (c >= '0' && c <= '9')) { parse_number(v); return v; }
+    if (c == 'n') {
+      if (text_.compare(pos_, 3, "nan") == 0) {
+        fail("non-finite number 'nan' is not a valid literal");
+      }
+      fail("null is not used by this format");
+    }
+    if (c == 'i' || c == 'I' || c == 'N') {
+      fail("non-finite number literals (inf, nan) are not valid");
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  /// Container nesting is bounded so a "[[[[[..." bomb fails cleanly
+  /// instead of overflowing the recursive-descent stack.
+  void enter() {
+    if (++depth_ > kMaxJsonDepth) fail("nesting too deep");
+  }
+
+  void parse_object(JsonValue& v) {
+    v.type = JsonValue::Type::kObject;
+    enter();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') { take(); --depth_; return; }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      for (const auto& [existing, unused] : v.object) {
+        if (existing == key) fail("duplicate key '" + key + "' in object");
+      }
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') { --depth_; return; }
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  void parse_array(JsonValue& v) {
+    v.type = JsonValue::Type::kArray;
+    enter();
+    expect('[');
+    skip_ws();
+    if (peek() == ']') { take(); --depth_; return; }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') { --depth_; return; }
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') { out += c; continue; }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          if (code >= 0xd800 && code <= 0xdfff) fail("surrogate escapes are not supported");
+          // Encode the code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  void parse_bool(JsonValue& v) {
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected 'true' or 'false'");
+    }
+  }
+
+  void parse_number(JsonValue& v) {
+    v.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      v.negative = true;
+      take();
+      const char after = pos_ < text_.size() ? text_[pos_] : '\0';
+      if (after == 'i' || after == 'I' || after == 'n' || after == 'N') {
+        fail("non-finite number literals (-inf, -nan) are not valid");
+      }
+    }
+    if (!(peek() >= '0' && peek() <= '9')) fail("malformed number");
+    if (peek() == '0' && pos_ + 1 < text_.size() && text_[pos_ + 1] >= '0' &&
+        text_[pos_ + 1] <= '9') {
+      fail("malformed number: leading zeros are not allowed");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    const std::size_t int_end = pos_;
+    v.integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      v.integral = false;
+      ++pos_;
+      if (!(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        fail("malformed number: digits must follow '.'");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      v.integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        fail("malformed number: digits must follow the exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), v.number);
+    if (result.ec != std::errc() || result.ptr != token.data() + token.size()) {
+      fail("malformed number '" + token + "'");
+    }
+    // A huge exponent parses to +/-inf via from_chars; the document must not
+    // smuggle a non-finite value in through overflow either.
+    if (!std::isfinite(v.number)) {
+      fail("number '" + token + "' overflows to a non-finite value");
+    }
+    if (v.integral) {
+      const std::size_t mag_start = start + (v.negative ? 1 : 0);
+      const auto mag = std::from_chars(text_.data() + mag_start,
+                                       text_.data() + int_end, v.magnitude);
+      v.magnitude_exact = mag.ec == std::errc();
+      if (!v.magnitude_exact) v.magnitude = std::numeric_limits<std::uint64_t>::max();
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
+
+}  // namespace smartexp3::exp

@@ -1,0 +1,133 @@
+// A strict JSON-subset reader/writer shared by the spec format (spec_io)
+// and the checkpoint format (checkpoint).
+//
+// The parser is deliberately strict: duplicate object keys, non-finite
+// number literals (nan/inf), raw control characters in strings, trailing
+// content and pathological nesting depth are all hard errors with 1-based
+// line numbers — a malformed file must fail loudly at load time, never
+// crash or silently mis-parse (tests/test_spec_io.cpp pins the messages).
+// The writer emits two-space-indented objects with deterministic key order
+// and shortest-round-trip doubles, so emitted text is diff- and
+// checksum-stable across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smartexp3::exp {
+
+/// Raised on malformed JSON text (parse) or unrepresentable values (write).
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Maximum container nesting the parser accepts. Real specs nest ~4 deep;
+/// the cap turns a "[[[[[..." bomb into a clean error instead of a stack
+/// overflow.
+inline constexpr int kMaxJsonDepth = 256;
+
+struct JsonValue {
+  enum class Type { kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kBool;
+  int line = 1;  // 1-based line where the value starts, for error messages
+
+  bool boolean = false;
+  double number = 0.0;
+  bool integral = false;   // the literal had no fraction/exponent part
+  bool negative = false;   // literal began with '-'
+  std::uint64_t magnitude = 0;  // |value| when integral (saturated on overflow)
+  bool magnitude_exact = false;
+
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+};
+
+/// Parse a complete document: exactly one value plus optional trailing
+/// whitespace. Throws JsonError (with "parse error at line N") on anything
+/// else.
+JsonValue parse_json(const std::string& text);
+
+/// `s` as a JSON string literal (quotes, escapes, \uXXXX for control chars).
+std::string json_quote(const std::string& s);
+
+/// Shortest decimal form that parses back to exactly the same double — the
+/// property the round-trip determinism tests rely on. Throws JsonError for
+/// non-finite values (JSON cannot represent them).
+std::string json_number(double v);
+
+/// Emits a document with two-space indentation and deterministic key order.
+/// Purely syntactic: callers sequence open/close/field calls; the writer
+/// handles commas, newlines and indentation.
+class JsonWriter {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void open_object() { punctuate(); out_ += '{'; ++depth_; fresh_ = true; }
+  void close_object() { --depth_; newline(); out_ += '}'; fresh_ = false; }
+  void open_array(const std::string& key) { open_key(key); out_ += '['; ++depth_; fresh_ = true; }
+  void close_array() { --depth_; newline(); out_ += ']'; fresh_ = false; }
+
+  void open_key(const std::string& key) {
+    punctuate();
+    out_ += json_quote(key);
+    out_ += ": ";
+  }
+  void open_object_for(const std::string& key) { open_key(key); out_ += '{'; ++depth_; fresh_ = true; }
+
+  void field(const std::string& key, const std::string& value) { open_key(key); out_ += json_quote(value); }
+  // Without this overload string literals would convert to bool, not string.
+  void field(const std::string& key, const char* value) { field(key, std::string(value)); }
+  void field(const std::string& key, double value) { open_key(key); out_ += json_number(value); }
+  void field(const std::string& key, int value) { open_key(key); out_ += std::to_string(value); }
+  void field(const std::string& key, long value) { open_key(key); out_ += std::to_string(value); }
+  void field(const std::string& key, std::uint64_t value) { open_key(key); out_ += std::to_string(value); }
+  void field(const std::string& key, bool value) { open_key(key); out_ += value ? "true" : "false"; }
+
+  /// Scalar arrays are emitted on one line ("[4, 7, 22]") — they are the
+  /// bulk of a spec with traces and this keeps the files skimmable.
+  void inline_array(const std::string& key, const std::vector<int>& values) {
+    open_key(key);
+    append_inline(values, [](int v) { return std::to_string(v); });
+  }
+  void inline_array(const std::string& key, const std::vector<double>& values) {
+    open_key(key);
+    append_inline(values, json_number);
+  }
+  void inline_array_element(const std::vector<int>& values) {
+    punctuate();
+    append_inline(values, [](int v) { return std::to_string(v); });
+  }
+
+ private:
+  template <typename T, typename Format>
+  void append_inline(const std::vector<T>& values, Format format) {
+    out_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out_ += ", ";
+      out_ += format(values[i]);
+    }
+    out_ += ']';
+  }
+
+  void newline() {
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(depth_) * 2, ' ');
+  }
+  void punctuate() {
+    if (depth_ == 0) return;  // the root value itself
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+    newline();
+  }
+
+  std::string out_;
+  int depth_ = 0;
+  bool fresh_ = true;  // no element written yet at this depth
+};
+
+}  // namespace smartexp3::exp

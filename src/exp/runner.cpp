@@ -1,7 +1,9 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -9,7 +11,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/snapshot.hpp"
+
 #include "core/factory.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/spec_io.hpp"
 
 namespace smartexp3::exp {
 
@@ -73,6 +79,118 @@ metrics::RunResult run_once_impl(const ExperimentConfig& config, std::uint64_t s
   return recorder.take_result();
 }
 
+/// True when no crash-safety feature is active, i.e. the per-slot guard loop
+/// below would be pure overhead and the plain World::run() path applies.
+bool options_inert(const RunOptions& o) {
+  return !o.checkpoint.enabled() && !o.checkpoint.resume &&
+         o.control.watchdog_seconds <= 0.0 && o.control.stop == nullptr &&
+         !o.control.fault_hook;
+}
+
+/// Snapshot world + recorder into a durable checkpoint file for (run, slot),
+/// then prune old ones. Returns the checkpointed slot.
+Slot write_checkpoint(const netsim::World& world, const metrics::RunRecorder& recorder,
+                      int run, std::uint64_t seed, std::uint64_t fingerprint,
+                      const CheckpointOptions& ck) {
+  Checkpoint c;
+  c.run = run;
+  c.seed = seed;
+  c.slot = world.now();
+  c.spec_fingerprint = fingerprint;
+  core::StateWriter w(c.world_words);
+  world.snapshot_into(w);
+  c.has_recorder = true;
+  core::StateWriter rw(c.recorder_words);
+  recorder.snapshot_into(rw);
+  save_checkpoint_file(c, checkpoint_path(ck.dir, run, c.slot));
+  prune_checkpoints(ck.dir, run, ck.keep);
+  return c.slot;
+}
+
+void restore_from_checkpoint(const Checkpoint& c, netsim::World& world,
+                             metrics::RunRecorder& recorder) {
+  core::StateReader wr(c.world_words);
+  world.restore_from(wr);
+  if (!wr.exhausted()) {
+    throw core::SnapshotError("world snapshot has trailing words (layout drift?)");
+  }
+  if (c.has_recorder) {
+    core::StateReader rr(c.recorder_words);
+    recorder.restore_from(rr, world);
+    if (!rr.exhausted()) {
+      throw core::SnapshotError("recorder snapshot has trailing words (layout drift?)");
+    }
+  }
+}
+
+/// One attempt of one run under the crash-safety options: optional resume,
+/// then a slot loop with stop / watchdog / fault-hook guards and periodic
+/// checkpoints. The loop replaces World::run(), so the recorder's
+/// end-of-run pass must be invoked explicitly.
+metrics::RunResult run_guarded_impl(const ExperimentConfig& config, std::uint64_t seed,
+                                    const std::vector<double>& capacities,
+                                    const RunOptions& options, int run_index,
+                                    std::uint64_t fingerprint) {
+  if (options_inert(options)) return run_once_impl(config, seed, capacities);
+
+  auto world = build_world_impl(config, seed, capacities);
+  metrics::RunRecorder recorder(config.recorder);
+  world->set_observer(&recorder);
+  const CheckpointOptions& ck = options.checkpoint;
+  const RunControl& ctl = options.control;
+
+  if (ck.resume && !ck.dir.empty()) {
+    if (const auto c = newest_valid_checkpoint(ck.dir, run_index, fingerprint, seed)) {
+      restore_from_checkpoint(*c, *world, recorder);
+    }
+    // No valid checkpoint is not an error: the run simply starts from slot 0
+    // (crash-before-first-checkpoint must be resumable too).
+  }
+
+  const bool watchdog = ctl.watchdog_seconds > 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  while (!world->done()) {
+    if (ctl.stop != nullptr && ctl.stop->load(std::memory_order_relaxed)) {
+      if (ck.enabled()) {
+        write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+      }
+      throw RunInterrupted("run " + std::to_string(run_index) +
+                           " interrupted at slot " + std::to_string(world->now()));
+    }
+    if (watchdog) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      if (elapsed > ctl.watchdog_seconds) {
+        throw RunTimeout("run " + std::to_string(run_index) + " exceeded its " +
+                         std::to_string(ctl.watchdog_seconds) +
+                         " s watchdog at slot " + std::to_string(world->now()));
+      }
+    }
+    if (ctl.fault_hook) ctl.fault_hook(run_index, world->now());
+    world->step();
+    // Checkpoints land on slot boundaries (now() already advanced past the
+    // completed slot). The final slot is skipped: the run is about to finish
+    // and return a result, so a checkpoint there would only cost disk.
+    if (ck.enabled() && !world->done() &&
+        world->now() % ck.every == 0) {
+      write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+    }
+  }
+  // World::run() notifies on_run_end itself; the guarded slot loop must do
+  // it here or the result would miss the end-of-run aggregates.
+  recorder.on_run_end(*world);
+  return recorder.take_result();
+}
+
+/// The spec fingerprint binding a checkpoint to its experiment: the FNV-1a
+/// of the canonical spec text (lossless round-trip, deterministic key order,
+/// shortest-form doubles — so semantically identical configs fingerprint
+/// identically across processes).
+std::uint64_t config_fingerprint(const ExperimentConfig& config) {
+  return fnv1a64(to_spec_text(config));
+}
+
 /// Strict env-var integer parsing shared by repro_runs / world_threads:
 /// garbage and out-of-range values used to flow through atoi/silent
 /// fallbacks; now they warn once per variable per process and recover.
@@ -121,13 +239,25 @@ metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed) 
   return run_once_impl(config, seed, config.capacities());
 }
 
-std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
-                                         int threads) {
-  if (runs <= 0) return {};
+metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
+                            const RunOptions& options, int run_index) {
+  config.validate_or_throw();
+  const bool durable = options.checkpoint.enabled() || options.checkpoint.resume;
+  const std::uint64_t fingerprint = durable ? config_fingerprint(config) : 0;
+  return run_guarded_impl(config, seed, config.capacities(), options, run_index,
+                          fingerprint);
+}
+
+BatchResult run_many_result(const ExperimentConfig& config, int runs, int threads,
+                            const RunOptions& options) {
+  BatchResult batch;
+  if (runs <= 0) return batch;
   // Validate and derive the shared per-run inputs once, up front: the
   // workers below stamp out worlds from the same (now known-sound) config.
   config.validate_or_throw();
   const std::vector<double> capacities = config.capacities();
+  const bool durable = options.checkpoint.enabled() || options.checkpoint.resume;
+  const std::uint64_t fingerprint = durable ? config_fingerprint(config) : 0;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 4;
@@ -149,38 +279,92 @@ std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int run
   }
   threads = std::min(threads, runs);
 
-  std::vector<metrics::RunResult> results(static_cast<std::size_t>(runs));
+  batch.results.resize(static_cast<std::size_t>(runs));
+  // vector<bool> packs bits, so concurrent per-run writes would race; the
+  // workers mark completion in a byte vector copied out after the join.
+  std::vector<unsigned char> completed(static_cast<std::size_t>(runs), 0);
+  std::vector<RunFailure> failures;
+  std::mutex failures_mutex;
   std::atomic<int> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  for (int w = 0; w < threads; ++w) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const int r = next.fetch_add(1);
-        if (r >= runs || failed.load()) return;
+  std::atomic<bool> interrupted{false};
+  const int max_attempts = std::max(1, options.control.max_attempts);
+
+  auto worker_loop = [&] {
+    for (;;) {
+      const int r = next.fetch_add(1);
+      if (r >= runs || interrupted.load()) return;
+      const std::uint64_t seed = config.base_seed + static_cast<std::uint64_t>(r);
+      // Per-run copy: retries flip `resume` on so the attempt continues from
+      // the run's newest valid checkpoint instead of replaying from slot 0.
+      RunOptions attempt_options = options;
+      for (int attempt = 1;; ++attempt) {
         try {
-          results[static_cast<std::size_t>(r)] = run_once_impl(
-              config, config.base_seed + static_cast<std::uint64_t>(r), capacities);
-        } catch (...) {
-          // Capture the first failure and stop handing out work; the
-          // exception is rethrown on the joining thread instead of
-          // terminating the process from a worker.
-          {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-          }
-          failed.store(true);
+          batch.results[static_cast<std::size_t>(r)] = run_guarded_impl(
+              config, seed, capacities, attempt_options, r, fingerprint);
+          completed[static_cast<std::size_t>(r)] = 1;
+          break;
+        } catch (const RunInterrupted&) {
+          // Cooperative stop: the run flushed its final checkpoint already;
+          // stop handing out work and let the other workers notice.
+          interrupted.store(true);
           return;
+        } catch (...) {
+          if (attempt >= max_attempts) {
+            RunFailure f;
+            f.run = r;
+            f.attempts = attempt;
+            f.exception = std::current_exception();
+            try {
+              std::rethrow_exception(f.exception);
+            } catch (const std::exception& e) {
+              f.error = e.what();
+            } catch (...) {
+              f.error = "unknown exception";
+            }
+            if (durable) {
+              if (const auto c = newest_valid_checkpoint(options.checkpoint.dir, r,
+                                                         fingerprint, seed)) {
+                f.last_checkpoint_slot = c->slot;
+              }
+            }
+            const std::lock_guard<std::mutex> lock(failures_mutex);
+            failures.push_back(std::move(f));
+            break;
+          }
+          if (options.control.backoff_seconds > 0.0) {
+            const double delay =
+                options.control.backoff_seconds * static_cast<double>(1 << (attempt - 1));
+            std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+          }
+          attempt_options.checkpoint.resume = options.checkpoint.enabled();
         }
       }
-    });
-  }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) workers.emplace_back(worker_loop);
   for (auto& t : workers) t.join();
-  if (first_error) std::rethrow_exception(first_error);
-  return results;
+
+  batch.completed.assign(completed.begin(), completed.end());
+  std::sort(failures.begin(), failures.end(),
+            [](const RunFailure& a, const RunFailure& b) { return a.run < b.run; });
+  batch.failures = std::move(failures);
+  batch.interrupted = interrupted.load();
+  return batch;
+}
+
+std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
+                                         int threads) {
+  BatchResult batch = run_many_result(config, runs, threads);
+  if (!batch.failures.empty()) {
+    // Legacy contract: surface the failure as an exception (lowest-index
+    // run, original exception object). The other runs did complete — callers
+    // that want them plus the failure report use run_many_result.
+    std::rethrow_exception(batch.failures.front().exception);
+  }
+  return std::move(batch.results);
 }
 
 int repro_runs(int fallback) {

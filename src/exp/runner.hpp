@@ -1,15 +1,95 @@
 // The multi-run executor: builds a World from an ExperimentConfig, runs it
 // under a RunRecorder, and repeats across seeds — in parallel, since runs
 // are fully independent (each gets its own world, policies and RNG streams).
+//
+// The checkpointing entry points layer crash safety on top: periodic
+// durable checkpoints (exp/checkpoint.hpp), resume-from-newest-valid,
+// per-run watchdogs, bounded retry-with-backoff, cooperative interruption
+// that flushes a final checkpoint, and a batch API that reports failures
+// alongside the completed results instead of discarding them.
 #pragma once
 
+#include <atomic>
+#include <exception>
+#include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "exp/config.hpp"
 #include "metrics/recorder.hpp"
 
 namespace smartexp3::exp {
+
+/// Periodic durable checkpoints for a run. Disabled unless both `every` and
+/// `dir` are set; a resumed run continues the original trajectory
+/// bit-identically (tests/test_run_harness.cpp).
+struct CheckpointOptions {
+  int every = 0;     ///< slots between checkpoints; 0 disables checkpointing
+  std::string dir;   ///< directory for checkpoint files (created on demand)
+  bool resume = false;  ///< start from the newest valid checkpoint, if any
+  int keep = 2;      ///< newest checkpoints retained per run (disk bound)
+  bool enabled() const { return every > 0 && !dir.empty(); }
+};
+
+/// Fault-tolerance knobs for a run or batch.
+struct RunControl {
+  /// Per-attempt wall-clock budget in seconds; 0 = no watchdog. A run that
+  /// exceeds it throws RunTimeout (and is retried like any other failure
+  /// when attempts remain).
+  double watchdog_seconds = 0.0;
+  /// Total attempts per run (first try + retries). Retries resume from the
+  /// run's newest valid checkpoint when checkpointing is enabled.
+  int max_attempts = 1;
+  /// Sleep before retry k is backoff_seconds * 2^(k-1) — bounded backoff so
+  /// a transiently sick machine gets breathing room.
+  double backoff_seconds = 0.0;
+  /// Cooperative stop (e.g. a SIGINT flag): polled every slot; when it goes
+  /// true the run flushes a final checkpoint (if enabled) and throws
+  /// RunInterrupted. Never retried.
+  const std::atomic<bool>* stop = nullptr;
+  /// Test-only fault injection: called before every slot with (run, slot);
+  /// whatever it throws is a simulated crash at exactly that point.
+  std::function<void(int run, Slot slot)> fault_hook;
+};
+
+struct RunOptions {
+  CheckpointOptions checkpoint;
+  RunControl control;
+};
+
+/// A run stopped by RunControl::stop. Carries no result — the final
+/// checkpoint (when enabled) is the hand-off to the next process.
+class RunInterrupted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A run exceeded RunControl::watchdog_seconds.
+class RunTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Why one run of a batch did not produce a result.
+struct RunFailure {
+  int run = 0;
+  int attempts = 0;            ///< attempts actually made
+  std::string error;           ///< what() of the final attempt's exception
+  std::exception_ptr exception;  ///< the final attempt's exception, rethrowable
+  Slot last_checkpoint_slot = -1;  ///< newest durable slot, -1 if none
+};
+
+/// Everything a batch produced: results for completed runs, a failure report
+/// for the rest. `results[i]` is only meaningful when `completed[i]`.
+struct BatchResult {
+  std::vector<metrics::RunResult> results;
+  std::vector<bool> completed;
+  std::vector<RunFailure> failures;  ///< ordered by run index
+  bool interrupted = false;          ///< RunControl::stop fired mid-batch
+  bool all_completed() const { return failures.empty() && !interrupted; }
+};
 
 /// Construct a ready-to-run world for this config and seed (exposed so tests
 /// and examples can drive worlds slot by slot). Runs
@@ -21,13 +101,33 @@ std::unique_ptr<netsim::World> build_world(const ExperimentConfig& config,
 /// One run with the config's recorder options; seed defaults to base_seed.
 metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed);
 
+/// One run under the crash-safety options: periodic checkpoints, optional
+/// resume, watchdog, cooperative stop and fault hook. `run_index` names the
+/// run's checkpoint files. Throws RunInterrupted / RunTimeout (or whatever
+/// the world throws); this entry point does NOT retry — retries belong to
+/// the batch layer, which knows the backoff policy.
+metrics::RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
+                            const RunOptions& options, int run_index = 0);
+
 /// `runs` independent runs seeded base_seed + 0..runs-1, executed on
 /// `threads` worker threads (0 = hardware concurrency). Results are ordered
-/// by run index regardless of scheduling. If a run throws (a config bug, not
-/// a data point), the remaining work is cancelled and the first exception is
-/// rethrown from this call on the joining thread.
+/// by run index regardless of scheduling. If any run ultimately fails, the
+/// first failure's exception is rethrown from this call on the joining
+/// thread — but unlike the pre-checkpoint behaviour the other workers finish
+/// their runs first (use run_many_result to also get the completed results
+/// and the full failure report instead of the exception).
 std::vector<metrics::RunResult> run_many(const ExperimentConfig& config, int runs,
                                          int threads = 0);
+
+/// The fault-tolerant batch executor underneath run_many: every run gets up
+/// to `options.control.max_attempts` attempts (with exponential backoff,
+/// resuming from its newest valid checkpoint when checkpointing is on), a
+/// failed run never cancels the others, and the returned BatchResult carries
+/// the completed results alongside an end-of-batch failure report. Only
+/// RunControl::stop aborts the batch early (remaining runs are neither
+/// started nor counted as failures; `interrupted` is set instead).
+BatchResult run_many_result(const ExperimentConfig& config, int runs, int threads = 0,
+                            const RunOptions& options = {});
 
 /// Number of runs per experiment data point: the REPRO_RUNS environment
 /// variable if set, otherwise `fallback` (benches default to 60 to keep the

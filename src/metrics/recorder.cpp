@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
+
+#include "core/snapshot.hpp"
 
 #include "metrics/nash.hpp"
 
@@ -196,6 +199,71 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
 
   result_.unused_mb += mbps_seconds_to_mb(world.unused_capacity_mbps(t),
                                           world.config().slot_seconds);
+}
+
+[[gnu::cold]] void RunRecorder::snapshot_into(core::StateWriter& w) const {
+  w.section(0x5245434fu);  // "RECO"
+  // A recorder that has not seen a slot yet has nothing to carry over — a
+  // fresh recorder on the restoring side already matches it.
+  w.b(initialised_);
+  if (!initialised_) return;
+  w.i64(slots_seen_);
+  w.i64(at_nash_slots_);
+  w.i64(eps_slots_);
+  w.f64(result_.unused_mb);
+  w.u64(result_.group_distance.size());
+  for (const auto& series : result_.group_distance) w.f64_vec(series);
+  w.f64_vec(result_.def4);
+  w.u64(result_.group_def4.size());
+  for (const auto& series : result_.group_def4) w.f64_vec(series);
+  w.u64(locked_.size());
+  for (const auto& row : locked_) w.int_vec(row);
+  w.u64(result_.selections.size());
+  for (const auto& row : result_.selections) w.int_vec(row);
+  w.u64(result_.rates.size());
+  for (const auto& row : result_.rates) w.f64_vec(row);
+}
+
+[[gnu::cold]] void RunRecorder::restore_from(core::StateReader& r, const netsim::World& world) {
+  r.section(0x5245434fu, "run recorder");
+  if (!r.b()) return;
+  // Size the group index, series vectors and scratch buffers from the world
+  // *before* overwriting the accumulators — restoring into unsized scratch
+  // would leave on_slot_end indexing empty rows.
+  ensure_initialised(world);
+  slots_seen_ = r.i64();
+  at_nash_slots_ = r.i64();
+  eps_slots_ = r.i64();
+  result_.unused_mb = r.f64();
+  const auto horizon = static_cast<std::size_t>(world.config().horizon);
+  auto read_f64_series = [&](std::vector<std::vector<double>>& series,
+                             const char* what) {
+    if (r.count(what) != series.size()) {
+      throw core::SnapshotError(std::string("recorder snapshot ") + what +
+                                " count mismatch");
+    }
+    for (auto& row : series) {
+      r.f64_vec(row, what);
+      row.reserve(horizon);  // keep the resumed steady state allocation-free
+    }
+  };
+  auto read_int_series = [&](std::vector<std::vector<int>>& series, const char* what) {
+    if (r.count(what) != series.size()) {
+      throw core::SnapshotError(std::string("recorder snapshot ") + what +
+                                " count mismatch");
+    }
+    for (auto& row : series) {
+      r.int_vec(row, what);
+      row.reserve(horizon);
+    }
+  };
+  read_f64_series(result_.group_distance, "recorder distance series");
+  r.f64_vec(result_.def4, "recorder def4 series");
+  result_.def4.reserve(horizon);
+  read_f64_series(result_.group_def4, "recorder group def4 series");
+  read_int_series(locked_, "recorder stability rows");
+  read_int_series(result_.selections, "recorder selection rows");
+  read_f64_series(result_.rates, "recorder rate rows");
 }
 
 void RunRecorder::on_run_end(const netsim::World& world) {

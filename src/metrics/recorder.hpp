@@ -64,6 +64,19 @@ class RunRecorder final : public netsim::WorldObserver {
   const RunResult& result() const { return result_; }
   RunResult take_result() { return std::move(result_); }
 
+  /// Checkpoint the per-slot accumulators: slot counters, every recorded
+  /// series and the unused-capacity integral. The end-of-run aggregates
+  /// (downloads, stats) are recomputed from the world by on_run_end, and the
+  /// visibility caches rebuild themselves on the next slot, so neither is
+  /// serialized.
+  void snapshot_into(core::StateWriter& w) const;
+
+  /// Restore into a recorder built with the *same* options, observing a
+  /// world restored from the matching snapshot. Sizes the scratch buffers
+  /// first (ensure_initialised), then overwrites the accumulators, so the
+  /// resumed run records a series bit-identical to an uninterrupted one.
+  void restore_from(core::StateReader& r, const netsim::World& world);
+
  private:
   void ensure_initialised(const netsim::World& world);
   /// Fill the scratch rows (nets/gains/visible) with the active devices among

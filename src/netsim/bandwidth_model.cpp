@@ -1,8 +1,13 @@
 #include "netsim/bandwidth_model.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.hpp"
 
 namespace smartexp3::netsim {
 
@@ -70,6 +75,47 @@ double NoisyShareModel::rate(const Network& net, int n_devices, DeviceId device,
   r *= state.value;
   if (state.dipped) r *= params_.dip_depth;
   return std::max(r, 0.0);
+}
+
+[[gnu::cold]] void NoisyShareModel::snapshot_into(core::StateWriter& w) const {
+  w.section(0x4e4f4953u);  // "NOIS"
+  for (const std::uint64_t word : device_rng_.state_words()) w.u64(word);
+  // unordered_map iteration order is not deterministic across builds;
+  // serialize the multipliers sorted by device id.
+  std::vector<std::pair<DeviceId, double>> sorted(multipliers_.begin(),
+                                                  multipliers_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.u64(sorted.size());
+  for (const auto& [id, m] : sorted) {
+    w.i64(id);
+    w.f64(m);
+  }
+  w.u64(noise_.size());
+  for (const NetNoise& state : noise_) {
+    w.f64(state.value);
+    w.b(state.dipped);
+    w.b(state.live);
+  }
+}
+
+[[gnu::cold]] void NoisyShareModel::restore_from(core::StateReader& r) {
+  r.section(0x4e4f4953u, "noisy share model");
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  device_rng_.set_state_words(rng_state);
+  multipliers_.clear();
+  const std::size_t n_mult = r.count("noisy share multipliers");
+  for (std::size_t i = 0; i < n_mult; ++i) {
+    const DeviceId id = static_cast<DeviceId>(r.i64());
+    const double m = r.f64();
+    multipliers_.emplace(id, m);
+  }
+  noise_.resize(r.count("noisy share networks"));
+  for (NetNoise& state : noise_) {
+    state.value = r.f64();
+    state.dipped = r.b();
+    state.live = r.b();
+  }
 }
 
 std::unique_ptr<BandwidthModel> make_equal_share() {

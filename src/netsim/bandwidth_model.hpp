@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "netsim/network.hpp"
 #include "stats/distributions.hpp"
 #include "stats/rng.hpp"
@@ -64,6 +65,12 @@ class BandwidthModel {
   double fair_share(const Network& net, int n_devices, Slot t) const {
     return n_devices > 0 ? net.capacity(t) / n_devices : net.capacity(t);
   }
+
+  /// Checkpoint support. Stateless models keep the no-op defaults; a model
+  /// with time-correlated or per-device state (noisy share) serializes it so
+  /// a resumed run continues the same noise trajectory bit-for-bit.
+  virtual void snapshot_into(core::StateWriter& /*w*/) const {}
+  virtual void restore_from(core::StateReader& /*r*/) {}
 };
 
 /// Ideal equal sharing: rate = capacity / n.
@@ -118,6 +125,9 @@ class NoisyShareModel final : public BandwidthModel {
 
   /// The fixed multiplier assigned to a device (exposed for tests).
   double device_multiplier(DeviceId device);
+
+  void snapshot_into(core::StateWriter& w) const override;
+  void restore_from(core::StateReader& r) override;
 
  private:
   struct NetNoise {

@@ -1,8 +1,11 @@
 #include "netsim/world.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <stdexcept>
+
+#include "core/snapshot.hpp"
 
 namespace smartexp3::netsim {
 
@@ -586,6 +589,100 @@ void World::step() {
 void World::run() {
   while (!done()) step();
   if (observer_ != nullptr) observer_->on_run_end(*this);
+}
+
+[[gnu::cold]] void World::snapshot_into(core::StateWriter& w) const {
+  w.section(0x57524c44u);  // "WRLD"
+  w.i64(now_);
+  for (const std::uint64_t word : rng_.state_words()) w.u64(word);
+  // Event cursors: where the next apply_events() resumes in the (normalised,
+  // hence deterministically ordered) scenario event lists.
+  w.u64(next_capacity_);
+  w.u64(next_join_leave_);
+  w.u64(next_move_);
+  // Networks can be mutated mid-run by scripted capacity changes (new base
+  // capacity, trace cleared); everything else about them is construction
+  // state the restored world already has.
+  w.u64(networks_.size());
+  for (const auto& net : networks_) {
+    w.f64(net.base_capacity_mbps);
+    w.b(net.trace.empty());
+  }
+  bandwidth_->snapshot_into(w);
+  w.u64(devices_.size());
+  for (const auto& d : devices_) {
+    w.b(d.active);
+    w.i64(d.area);
+    w.i64(d.current);
+    w.f64(d.last_rate_mbps);
+    w.f64(d.last_gain);
+    w.b(d.last_switched);
+    w.f64(d.download_mb);
+    w.f64(d.delay_loss_mb);
+    w.i64(d.switches);
+    w.i64(d.slots_active);
+    for (const std::uint64_t word : d.delay_rng.state_words()) w.u64(word);
+    d.policy->snapshot_into(w);
+  }
+}
+
+[[gnu::cold]] void World::restore_from(core::StateReader& r) {
+  r.section(0x57524c44u, "world");
+  const auto slot = static_cast<Slot>(r.i64());
+  if (slot < 0 || slot > config_.horizon) {
+    throw core::SnapshotError("world snapshot slot outside this world's horizon");
+  }
+  now_ = slot;
+  std::array<std::uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = r.u64();
+  rng_.set_state_words(rng_state);
+  next_capacity_ = r.u64();
+  next_join_leave_ = r.u64();
+  next_move_ = r.u64();
+  if (next_capacity_ > scenario_.capacity_changes.size() ||
+      next_join_leave_ > join_leave_slots_.size() || next_move_ > scenario_.moves.size()) {
+    throw core::SnapshotError("world snapshot event cursor out of range");
+  }
+  if (r.count("world networks") != networks_.size()) {
+    throw core::SnapshotError("world snapshot network count mismatch");
+  }
+  for (auto& net : networks_) {
+    net.base_capacity_mbps = r.f64();
+    if (r.b()) net.trace.clear();
+  }
+  bandwidth_->restore_from(r);
+  if (r.count("world devices") != devices_.size()) {
+    throw core::SnapshotError("world snapshot device count mismatch");
+  }
+  active_count_ = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& d = devices_[i];
+    d.active = r.b();
+    if (d.active) ++active_count_;
+    d.area = static_cast<int>(r.i64());
+    d.current = static_cast<NetworkId>(r.i64());
+    d.last_rate_mbps = r.f64();
+    d.last_gain = r.f64();
+    d.last_switched = r.b();
+    d.download_mb = r.f64();
+    d.delay_loss_mb = r.f64();
+    d.switches = static_cast<int>(r.i64());
+    d.slots_active = static_cast<int>(r.i64());
+    std::array<std::uint64_t, 4> delay_state;
+    for (auto& word : delay_state) word = r.u64();
+    d.delay_rng.set_state_words(delay_state);
+    // The policy's restore re-establishes its own network set; calling
+    // set_networks() here would run adaptation rules (weight resets, reseeds)
+    // on the checkpointed state and fork the trajectory.
+    d.policy->restore_from(r);
+    pending_[i] = kNoNetwork;
+  }
+  // Derived execution state is rebuilt lazily from the restored inputs: the
+  // policy groups on the next step, the bandwidth model's materialised
+  // per-device state on the next prepare (idempotent after restore_from),
+  // and the per-slot caches in the next counts phase.
+  groups_dirty_ = true;
+  bandwidth_prepare_stale_ = true;
 }
 
 }  // namespace smartexp3::netsim

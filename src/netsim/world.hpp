@@ -140,6 +140,20 @@ class World {
   Slot now() const { return now_; }
   bool done() const { return now_ >= config_.horizon; }
 
+  /// Checkpoint the world at a slot boundary (between step() calls):
+  /// slot index, world RNG, event cursors, mutated network capacities, the
+  /// bandwidth model's noise state and every device's accounting, delay
+  /// stream and policy state. Per-slot scratch (pending picks, counts,
+  /// rate caches) is dead at a boundary and deliberately not serialized.
+  void snapshot_into(core::StateWriter& w) const;
+
+  /// Restore a snapshot into a world built from the *same* configuration
+  /// (networks, devices, scenario, seed, models). Stepping the restored
+  /// world continues the original trajectory bit-identically — pinned by
+  /// tests/test_snapshot.cpp for every policy and thread count. Throws
+  /// core::SnapshotError when the stream does not match this world's shape.
+  void restore_from(core::StateReader& r);
+
   // ---- accessors for observers, metrics and reports ----
   const WorldConfig& config() const { return config_; }
   const std::vector<Network>& networks() const { return networks_; }

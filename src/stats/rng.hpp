@@ -127,6 +127,13 @@ class Rng {
   /// Derive an independent child generator (e.g. one per device).
   Rng split() { return Rng{next() ^ 0xd1b54a32d192ed03ULL}; }
 
+  /// The full 256-bit generator state, for checkpointing. The state words
+  /// are the generator's *only* state (no cached derived samples), so
+  /// saving and restoring them resumes the stream exactly where it left
+  /// off — pinned by the snapshot round-trip tests.
+  const std::array<std::uint64_t, 4>& state_words() const { return state_; }
+  void set_state_words(const std::array<std::uint64_t, 4>& words) { state_ = words; }
+
  private:
   static std::uint64_t rotl(std::uint64_t v, int k) {
     return (v << k) | (v >> (64 - k));

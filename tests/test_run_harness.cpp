@@ -1,0 +1,351 @@
+// The fault-tolerant run harness end to end: injected crashes at awkward
+// slots, retry-with-resume from durable checkpoints, watchdogs, cooperative
+// interruption, and the batch failure report. The core assertion throughout:
+// a killed-and-resumed run is bit-identical to one that never crashed.
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "exp/checkpoint.hpp"
+#include "exp/spec_io.hpp"
+#include "golden_scenario.hpp"
+
+namespace smartexp3::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("harness_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Full-visibility dynamic scenario (12 devices, joins at 60, leaves at
+/// 180) so every policy — including centralized — participates.
+ExperimentConfig dynamic_config(const std::string& policy) {
+  using namespace smartexp3::netsim;
+  ExperimentConfig cfg;
+  cfg.name = "harness-dynamic";
+  cfg.world.horizon = 240;
+  cfg.base_seed = 8899;
+  cfg.networks.push_back(make_cellular(0, 11.0));
+  cfg.networks.push_back(make_wifi(1, 22.0));
+  cfg.networks.push_back(make_wifi(2, 7.0));
+  for (int i = 0; i < 12; ++i) {
+    DeviceSpec d;
+    d.id = i;
+    d.policy_name = policy;
+    if (i >= 8) d.join_slot = 60;
+    if (i >= 4 && i < 8) d.leave_slot = 180;
+    cfg.devices.push_back(d);
+  }
+  return cfg;
+}
+
+std::vector<std::string> all_policies() {
+  auto names = core::policy_names();
+  for (const auto& n : core::extension_policy_names()) names.push_back(n);
+  return names;
+}
+
+void expect_results_identical(const metrics::RunResult& a,
+                              const metrics::RunResult& b) {
+  // Bit-identical doubles on purpose: resume continues the trajectory, it
+  // does not approximate it.
+  EXPECT_EQ(a.downloads_mb, b.downloads_mb);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.switching_cost_mb, b.switching_cost_mb);
+  EXPECT_EQ(a.resets, b.resets);
+  EXPECT_EQ(a.total_download_mb, b.total_download_mb);
+  EXPECT_EQ(a.unused_mb, b.unused_mb);
+  EXPECT_EQ(a.at_nash_fraction, b.at_nash_fraction);
+  EXPECT_EQ(a.eps_fraction, b.eps_fraction);
+  ASSERT_EQ(a.group_distance.size(), b.group_distance.size());
+  for (std::size_t g = 0; g < a.group_distance.size(); ++g) {
+    EXPECT_EQ(a.group_distance[g], b.group_distance[g]) << "group " << g;
+  }
+}
+
+/// One crash per run, at `kill_slots[run]`, on the first attempt only —
+/// simulates a process dying at a randomized point and being restarted.
+struct CrashOnce {
+  std::vector<Slot> kill_slots;
+  std::array<std::atomic<bool>, 16> fired{};
+
+  std::function<void(int, Slot)> hook() {
+    return [this](int run, Slot slot) {
+      if (run < static_cast<int>(kill_slots.size()) && slot == kill_slots[run] &&
+          !fired[static_cast<std::size_t>(run)].exchange(true)) {
+        throw std::runtime_error("injected crash in run " + std::to_string(run) +
+                                 " at slot " + std::to_string(slot));
+      }
+    };
+  }
+};
+
+TEST(RunHarness, KillAndResumeIsBitIdenticalForEveryPolicyAndThreadCount) {
+  // Kill slots straddle checkpoint boundaries (every 25 slots), the first
+  // checkpoint (a crash before any checkpoint restarts from slot 0), and the
+  // join/leave events at 60/180.
+  const std::vector<Slot> kill_slots = {17, 60, 123, 180};
+  const int runs = static_cast<int>(kill_slots.size());
+  for (const auto& policy : all_policies()) {
+    SCOPED_TRACE("policy " + policy);
+    const auto cfg = dynamic_config(policy);
+    const auto reference = run_many(cfg, runs, /*threads=*/1);
+    for (const int threads : {1, 2, 4, 7}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const fs::path dir =
+          scratch_dir("kill_" + policy + "_t" + std::to_string(threads));
+      CrashOnce crash{kill_slots, {}};
+      RunOptions options;
+      options.checkpoint.every = 25;
+      options.checkpoint.dir = dir.string();
+      options.control.max_attempts = 2;
+      options.control.fault_hook = crash.hook();
+
+      const auto batch = run_many_result(cfg, runs, threads, options);
+      EXPECT_TRUE(batch.all_completed());
+      ASSERT_EQ(batch.results.size(), reference.size());
+      for (int r = 0; r < runs; ++r) {
+        SCOPED_TRACE("run " + std::to_string(r));
+        EXPECT_TRUE(crash.fired[static_cast<std::size_t>(r)].load())
+            << "fault was never injected";
+        expect_results_identical(reference[static_cast<std::size_t>(r)],
+                                 batch.results[static_cast<std::size_t>(r)]);
+      }
+    }
+  }
+}
+
+TEST(RunHarness, ResumeAcrossJoinLeaveBoundariesWithRecorderSeries) {
+  // Satellite of the golden scenario: kills land exactly on and around the
+  // join (60) and leave (180) boundaries, with the recorder's optional
+  // series all enabled, across world-lane counts. The restored recorder
+  // must continue every series seamlessly.
+  auto cfg = dynamic_config("smart_exp3");
+  cfg.recorder.track_stability = true;
+  cfg.recorder.track_selections = true;
+  for (const int world_threads : {1, 2, 4, 7}) {
+    SCOPED_TRACE("world threads " + std::to_string(world_threads));
+    cfg.world.threads = world_threads;
+    const auto reference = run_many(cfg, /*runs=*/6, /*threads=*/1);
+    const fs::path dir = scratch_dir("boundary_w" + std::to_string(world_threads));
+    CrashOnce crash{{59, 60, 61, 179, 180, 181}, {}};
+    RunOptions options;
+    options.checkpoint.every = 20;  // checkpoints land on both event slots
+    options.checkpoint.dir = dir.string();
+    options.control.max_attempts = 2;
+    options.control.fault_hook = crash.hook();
+    const auto batch = run_many_result(cfg, 6, /*threads=*/2, options);
+    EXPECT_TRUE(batch.all_completed());
+    for (std::size_t r = 0; r < 6; ++r) {
+      SCOPED_TRACE("run " + std::to_string(r));
+      expect_results_identical(reference[r], batch.results[r]);
+      EXPECT_EQ(reference[r].selections, batch.results[r].selections);
+      ASSERT_EQ(reference[r].rates.size(), batch.results[r].rates.size());
+      for (std::size_t d = 0; d < reference[r].rates.size(); ++d) {
+        EXPECT_EQ(reference[r].rates[d], batch.results[r].rates[d]) << "device " << d;
+      }
+      EXPECT_EQ(reference[r].stability.stable, batch.results[r].stability.stable);
+      EXPECT_EQ(reference[r].stability.stable_slot,
+                batch.results[r].stability.stable_slot);
+    }
+  }
+}
+
+TEST(RunHarness, GoldenScenarioKillAndResumeMatchesGoldenRun) {
+  // The mixed-policy golden scenario, killed mid-run: resumed results must
+  // equal the untouched reference — i.e. crash recovery cannot shift the
+  // golden constants.
+  const auto cfg = testing::golden_config();
+  const auto reference = run_many(cfg, /*runs=*/2, /*threads=*/1);
+  const fs::path dir = scratch_dir("golden");
+  CrashOnce crash{{97, 41}, {}};
+  RunOptions options;
+  options.checkpoint.every = 30;
+  options.checkpoint.dir = dir.string();
+  options.control.max_attempts = 2;
+  options.control.fault_hook = crash.hook();
+  const auto batch = run_many_result(cfg, 2, /*threads=*/2, options);
+  EXPECT_TRUE(batch.all_completed());
+  for (std::size_t r = 0; r < 2; ++r) {
+    SCOPED_TRACE("run " + std::to_string(r));
+    expect_results_identical(reference[r], batch.results[r]);
+  }
+}
+
+TEST(RunHarness, TornCheckpointFallsBackToOlderOne) {
+  // Crash at slot 123 with checkpoints at 25..100; the newest (100) is then
+  // replaced by a torn half-written file. The retry must fall back to 75 and
+  // still reproduce the reference exactly.
+  const auto cfg = dynamic_config("exp3");
+  const auto reference = run_once(cfg, cfg.base_seed);
+  const fs::path dir = scratch_dir("torn");
+
+  std::atomic<bool> fired{false};
+  RunOptions options;
+  options.checkpoint.every = 25;
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.keep = 10;
+  options.control.max_attempts = 2;
+  options.control.fault_hook = [&](int, Slot slot) {
+    if (slot == 123 && !fired.exchange(true)) {
+      // Tear the newest checkpoint as the "crash" happens.
+      std::ofstream(checkpoint_path(dir.string(), 0, 100),
+                    std::ios::binary | std::ios::trunc)
+          << "{\"checkpoint_version\": 1, \"ru";
+      throw std::runtime_error("crash with torn checkpoint");
+    }
+  };
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  EXPECT_TRUE(fired.load());
+  ASSERT_TRUE(batch.all_completed());
+  expect_results_identical(reference, batch.results[0]);
+}
+
+TEST(RunHarness, FailedRunsDoNotDiscardCompletedResults) {
+  const auto cfg = dynamic_config("greedy");
+  const auto reference = run_many(cfg, /*runs=*/3, /*threads=*/1);
+
+  RunOptions options;
+  options.control.max_attempts = 2;
+  options.control.fault_hook = [](int run, Slot slot) {
+    if (run == 1 && slot == 50) {
+      throw std::invalid_argument("persistent failure in run 1");
+    }
+  };
+  const auto batch = run_many_result(cfg, 3, /*threads=*/2, options);
+
+  EXPECT_FALSE(batch.all_completed());
+  EXPECT_FALSE(batch.interrupted);
+  ASSERT_EQ(batch.completed.size(), 3u);
+  EXPECT_TRUE(batch.completed[0]);
+  EXPECT_FALSE(batch.completed[1]);
+  EXPECT_TRUE(batch.completed[2]);
+  expect_results_identical(reference[0], batch.results[0]);
+  expect_results_identical(reference[2], batch.results[2]);
+
+  ASSERT_EQ(batch.failures.size(), 1u);
+  const RunFailure& f = batch.failures.front();
+  EXPECT_EQ(f.run, 1);
+  EXPECT_EQ(f.attempts, 2);
+  EXPECT_NE(f.error.find("persistent failure"), std::string::npos) << f.error;
+  EXPECT_EQ(f.last_checkpoint_slot, -1);  // checkpointing was off
+  // The original exception object survives for callers that want to rethrow
+  // with its real type.
+  EXPECT_THROW(std::rethrow_exception(f.exception), std::invalid_argument);
+}
+
+TEST(RunHarness, RetryWithBackoffEventuallySucceeds) {
+  const auto cfg = dynamic_config("fixed_random");
+  const auto reference = run_once(cfg, cfg.base_seed);
+  const fs::path dir = scratch_dir("backoff");
+
+  std::atomic<int> crashes{0};
+  RunOptions options;
+  options.checkpoint.every = 40;
+  options.checkpoint.dir = dir.string();
+  options.control.max_attempts = 3;
+  options.control.backoff_seconds = 0.001;  // fast but exercises the sleep path
+  options.control.fault_hook = [&](int, Slot slot) {
+    if (slot == 90 && crashes.load() < 2) {
+      ++crashes;
+      throw std::runtime_error("transient failure");
+    }
+  };
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  EXPECT_TRUE(batch.all_completed());
+  EXPECT_EQ(crashes.load(), 2);
+  expect_results_identical(reference, batch.results[0]);
+}
+
+TEST(RunHarness, WatchdogAbortsARunawayRun) {
+  const auto cfg = dynamic_config("smart_exp3");
+  RunOptions options;
+  options.control.watchdog_seconds = 1e-9;  // expires after the first slot
+  EXPECT_THROW(run_once(cfg, cfg.base_seed, options, 0), RunTimeout);
+
+  // And through the batch layer it becomes a reported failure, not an abort.
+  const auto batch = run_many_result(cfg, 2, 1, options);
+  EXPECT_EQ(batch.failures.size(), 2u);
+  EXPECT_NE(batch.failures[0].error.find("watchdog"), std::string::npos)
+      << batch.failures[0].error;
+}
+
+TEST(RunHarness, StopFlagInterruptsFlushesAndResumes) {
+  // The SIGINT path minus the signal: a stop flag raised mid-run makes the
+  // batch wind down with a final checkpoint; a second invocation with
+  // --resume semantics finishes the job bit-identically.
+  const auto cfg = dynamic_config("smart_exp3");
+  const auto reference = run_many(cfg, /*runs=*/2, /*threads=*/1);
+  const fs::path dir = scratch_dir("stop_resume");
+
+  std::atomic<bool> stop{false};
+  RunOptions options;
+  options.checkpoint.every = 25;
+  options.checkpoint.dir = dir.string();
+  options.control.stop = &stop;
+  options.control.fault_hook = [&](int run, Slot slot) {
+    if (run == 0 && slot == 110) stop.store(true);  // "SIGINT arrives"
+  };
+  const auto first = run_many_result(cfg, 2, /*threads=*/1, options);
+  EXPECT_TRUE(first.interrupted);
+  EXPECT_TRUE(first.failures.empty());  // interruption is not a failure
+  ASSERT_EQ(first.completed.size(), 2u);
+  EXPECT_FALSE(first.completed[0]);
+  // The interrupted run flushed a final checkpoint. The hook raised the flag
+  // while slot 110 was in flight, so the stop lands at the next boundary.
+  const auto flushed = newest_valid_checkpoint(
+      dir.string(), 0, fnv1a64(to_spec_text(cfg)), cfg.base_seed);
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->slot, 111);
+
+  RunOptions resume_options;
+  resume_options.checkpoint.every = 25;
+  resume_options.checkpoint.dir = dir.string();
+  resume_options.checkpoint.resume = true;
+  const auto second = run_many_result(cfg, 2, /*threads=*/1, resume_options);
+  EXPECT_TRUE(second.all_completed());
+  for (std::size_t r = 0; r < 2; ++r) {
+    SCOPED_TRACE("run " + std::to_string(r));
+    expect_results_identical(reference[r], second.results[r]);
+  }
+}
+
+TEST(RunHarness, ResumeWithoutCheckpointsStartsFromScratch) {
+  // --resume against an empty directory is not an error: the run plays from
+  // slot 0 (crash-before-first-checkpoint must be recoverable too).
+  const auto cfg = dynamic_config("ucb1");
+  const auto reference = run_once(cfg, cfg.base_seed);
+  const fs::path dir = scratch_dir("empty_resume");
+  RunOptions options;
+  options.checkpoint.every = 50;
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.resume = true;
+  const auto result = run_once(cfg, cfg.base_seed, options, 0);
+  expect_results_identical(reference, result);
+}
+
+TEST(RunHarness, InertOptionsMatchThePlainPath) {
+  // Default-constructed RunOptions must be indistinguishable from run_once
+  // without options (it routes through the identical plain loop).
+  const auto cfg = dynamic_config("block_exp3");
+  const auto plain = run_once(cfg, cfg.base_seed);
+  const auto guarded = run_once(cfg, cfg.base_seed, RunOptions{}, 0);
+  expect_results_identical(plain, guarded);
+}
+
+}  // namespace
+}  // namespace smartexp3::exp

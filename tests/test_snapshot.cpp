@@ -1,0 +1,292 @@
+// Snapshot/restore correctness: the archive primitives, and the contract
+// that restoring a mid-run world (and recorder) into a fresh process
+// continues the original trajectory bit-identically.
+//
+// The restore targets are always built fresh from the config — the test is
+// exactly the crash-recovery situation: nothing survives from the first
+// world except the snapshot words.
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "exp/runner.hpp"
+#include "golden_scenario.hpp"
+#include "metrics/recorder.hpp"
+#include "netsim/world.hpp"
+
+namespace smartexp3 {
+namespace {
+
+TEST(StateArchive, RoundTripsEveryPrimitive) {
+  std::vector<std::uint64_t> words;
+  core::StateWriter w(words);
+  w.section(0x54455354);  // "TEST"
+  w.u64(0xdeadbeefcafef00dULL);
+  w.i64(-12345);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::denorm_min());
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  w.b(true);
+  w.b(false);
+  w.f64_vec({1.5, -2.5, 0.0});
+  w.i64_vec({-1, 0, 1});
+  w.int_vec({7, -7});
+
+  core::StateReader r(words);
+  r.section(0x54455354, "test");
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.i64(), -12345);
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+  EXPECT_TRUE(std::isnan(r.f64()));  // bit-exact even for non-finite
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  std::vector<double> fv;
+  r.f64_vec(fv, "fv");
+  EXPECT_EQ(fv, (std::vector<double>{1.5, -2.5, 0.0}));
+  std::vector<std::int64_t> iv;
+  r.i64_vec(iv, "iv");
+  EXPECT_EQ(iv, (std::vector<std::int64_t>{-1, 0, 1}));
+  std::vector<int> nv;
+  r.int_vec(nv, "nv");
+  EXPECT_EQ(nv, (std::vector<int>{7, -7}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(StateArchive, TruncatedStreamThrows) {
+  std::vector<std::uint64_t> words;
+  core::StateWriter w(words);
+  w.u64(1);
+  core::StateReader r(words);
+  r.u64();
+  EXPECT_THROW(r.u64(), core::SnapshotError);
+}
+
+TEST(StateArchive, SectionMismatchThrows) {
+  std::vector<std::uint64_t> words;
+  core::StateWriter w(words);
+  w.section(0x1111);
+  core::StateReader r(words);
+  EXPECT_THROW(r.section(0x2222, "other"), core::SnapshotError);
+}
+
+TEST(StateArchive, AbsurdCountThrowsBeforeAllocating) {
+  // A corrupt count field must fail the bound check, not attempt a
+  // multi-gigabyte resize.
+  std::vector<std::uint64_t> words = {std::uint64_t{1} << 40};
+  core::StateReader r(words);
+  std::vector<double> v;
+  EXPECT_THROW(r.f64_vec(v, "corrupt"), core::SnapshotError);
+  EXPECT_TRUE(v.empty());
+}
+
+// --- world-level round trips --------------------------------------------
+
+std::vector<std::uint64_t> snapshot_world(const netsim::World& world) {
+  std::vector<std::uint64_t> words;
+  core::StateWriter w(words);
+  world.snapshot_into(w);
+  return words;
+}
+
+void expect_same_end_state(const netsim::World& a, const netsim::World& b) {
+  ASSERT_EQ(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+    SCOPED_TRACE("device " + std::to_string(i));
+    const auto& da = a.devices()[i];
+    const auto& db = b.devices()[i];
+    EXPECT_EQ(da.active, db.active);
+    EXPECT_EQ(da.current, db.current);
+    // Bit-identical doubles, deliberately: resume must continue the exact
+    // trajectory, not a nearby one.
+    EXPECT_EQ(da.download_mb, db.download_mb);
+    EXPECT_EQ(da.delay_loss_mb, db.delay_loss_mb);
+    EXPECT_EQ(da.switches, db.switches);
+  }
+}
+
+/// Run to `cut`, snapshot, restore into a fresh world, finish both, and
+/// demand identical end states.
+void check_resume_matches(const exp::ExperimentConfig& cfg, Slot cut) {
+  auto uninterrupted = exp::build_world(cfg, cfg.base_seed);
+  while (!uninterrupted->done()) uninterrupted->step();
+
+  auto first = exp::build_world(cfg, cfg.base_seed);
+  while (first->now() < cut) first->step();
+  const auto words = snapshot_world(*first);
+
+  auto resumed = exp::build_world(cfg, cfg.base_seed);
+  core::StateReader r(words);
+  resumed->restore_from(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(resumed->now(), cut);
+  while (!resumed->done()) resumed->step();
+
+  expect_same_end_state(*uninterrupted, *resumed);
+}
+
+TEST(WorldSnapshot, GoldenScenarioResumesBitIdentically) {
+  const auto cfg = testing::golden_config();
+  // Cuts straddle the scenario's events: join@40, move@60, capacity@100,
+  // leave@100, move@120/150, leave@160.
+  for (const Slot cut : {1, 40, 60, 99, 100, 150, 199}) {
+    SCOPED_TRACE("cut " + std::to_string(cut));
+    check_resume_matches(cfg, cut);
+  }
+}
+
+TEST(WorldSnapshot, EveryPolicyResumesBitIdentically) {
+  auto names = core::policy_names();
+  for (const auto& n : core::extension_policy_names()) names.push_back(n);
+  for (const auto& policy : names) {
+    if (policy == "centralized") continue;  // restricted visibility unsupported
+    SCOPED_TRACE("policy " + policy);
+    auto cfg = testing::golden_config();
+    cfg.with_policy(policy);
+    check_resume_matches(cfg, 77);
+  }
+}
+
+exp::ExperimentConfig small_full_visibility(const std::string& policy) {
+  using namespace smartexp3::netsim;
+  exp::ExperimentConfig cfg;
+  cfg.name = "snapshot-small";
+  cfg.world.horizon = 120;
+  cfg.base_seed = 4242;
+  cfg.networks.push_back(make_cellular(0, 11.0));
+  cfg.networks.push_back(make_wifi(1, 22.0));
+  cfg.networks.push_back(make_wifi(2, 7.0));
+  for (int i = 0; i < 8; ++i) {
+    DeviceSpec d;
+    d.id = i;
+    d.policy_name = policy;
+    cfg.devices.push_back(d);
+  }
+  return cfg;
+}
+
+TEST(WorldSnapshot, CentralizedCoordinatorResumesBitIdentically) {
+  // The coordinator's shared allocation state lives behind every device's
+  // policy handle; the snapshot must capture it exactly once and the restore
+  // must rebuild the same assignment plan.
+  check_resume_matches(small_full_visibility("centralized"), 55);
+}
+
+TEST(WorldSnapshot, NoisyShareModelResumesBitIdentically) {
+  // NoisyShareModel carries its own RNG and lazily materialised per-device
+  // multipliers — all of it must survive the round trip.
+  auto cfg = small_full_visibility("smart_exp3");
+  cfg.share = exp::ShareKind::kNoisy;
+  for (const Slot cut : {3, 50, 119}) {
+    SCOPED_TRACE("cut " + std::to_string(cut));
+    check_resume_matches(cfg, cut);
+  }
+}
+
+TEST(WorldSnapshot, RestoreIntoWrongShapeThrows) {
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  while (world->now() < 10) world->step();
+  const auto words = snapshot_world(*world);
+
+  // A world with a different device count must refuse the words.
+  auto other_cfg = small_full_visibility("exp3");
+  auto other = exp::build_world(other_cfg, other_cfg.base_seed);
+  core::StateReader r(words);
+  EXPECT_THROW(other->restore_from(r), core::SnapshotError);
+}
+
+TEST(WorldSnapshot, RestoreFromEmptyStreamThrows) {
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  const std::vector<std::uint64_t> empty;
+  core::StateReader r(empty);
+  EXPECT_THROW(world->restore_from(r), core::SnapshotError);
+}
+
+// --- recorder round trip -------------------------------------------------
+
+TEST(RecorderSnapshot, MidRunRoundTripReproducesResult) {
+  auto cfg = testing::golden_config();
+  cfg.recorder.track_stability = true;
+
+  // Uninterrupted reference run.
+  auto ref_world = exp::build_world(cfg, cfg.base_seed);
+  metrics::RunRecorder ref_recorder(cfg.recorder);
+  ref_world->set_observer(&ref_recorder);
+  ref_world->run();
+  const auto expected = ref_recorder.take_result();
+
+  // Run to the cut, snapshot world + recorder.
+  constexpr Slot cut = 90;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  metrics::RunRecorder recorder(cfg.recorder);
+  world->set_observer(&recorder);
+  while (world->now() < cut) world->step();
+  std::vector<std::uint64_t> world_words;
+  core::StateWriter ww(world_words);
+  world->snapshot_into(ww);
+  std::vector<std::uint64_t> rec_words;
+  core::StateWriter rw(rec_words);
+  recorder.snapshot_into(rw);
+
+  // Fresh world + recorder; restore; finish.
+  auto resumed = exp::build_world(cfg, cfg.base_seed);
+  metrics::RunRecorder resumed_recorder(cfg.recorder);
+  resumed->set_observer(&resumed_recorder);
+  core::StateReader wr(world_words);
+  resumed->restore_from(wr);
+  ASSERT_TRUE(wr.exhausted());
+  core::StateReader rr(rec_words);
+  resumed_recorder.restore_from(rr, *resumed);
+  ASSERT_TRUE(rr.exhausted());
+  while (!resumed->done()) resumed->step();
+  resumed_recorder.on_run_end(*resumed);
+  const auto actual = resumed_recorder.take_result();
+
+  EXPECT_EQ(expected.downloads_mb, actual.downloads_mb);
+  EXPECT_EQ(expected.switches, actual.switches);
+  EXPECT_EQ(expected.resets, actual.resets);
+  EXPECT_EQ(expected.switching_cost_mb, actual.switching_cost_mb);
+  EXPECT_EQ(expected.persistent, actual.persistent);
+  EXPECT_EQ(expected.total_download_mb, actual.total_download_mb);
+  EXPECT_EQ(expected.unused_mb, actual.unused_mb);
+  EXPECT_EQ(expected.at_nash_fraction, actual.at_nash_fraction);
+  EXPECT_EQ(expected.eps_fraction, actual.eps_fraction);
+  ASSERT_EQ(expected.group_distance.size(), actual.group_distance.size());
+  for (std::size_t g = 0; g < expected.group_distance.size(); ++g) {
+    EXPECT_EQ(expected.group_distance[g], actual.group_distance[g]) << "group " << g;
+  }
+  EXPECT_EQ(expected.stability.stable, actual.stability.stable);
+  EXPECT_EQ(expected.stability.stable_slot, actual.stability.stable_slot);
+}
+
+TEST(RecorderSnapshot, UninitialisedRecorderRoundTripsAsEmpty) {
+  // A recorder that never saw a slot (crash before slot 0 completed) must
+  // still snapshot and restore cleanly.
+  metrics::RunRecorder recorder{metrics::RecorderOptions{}};
+  std::vector<std::uint64_t> words;
+  core::StateWriter w(words);
+  recorder.snapshot_into(w);
+
+  const auto cfg = testing::golden_config();
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  metrics::RunRecorder restored{metrics::RecorderOptions{}};
+  core::StateReader r(words);
+  restored.restore_from(r, *world);
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace smartexp3

@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+
+#include "exp/jsonish.hpp"
 #include "exp/registry.hpp"
 #include "exp/runner.hpp"
 #include "golden_scenario.hpp"
@@ -206,6 +210,56 @@ TEST(SpecParser, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(SpecParser, NonFiniteNumberLiteralsRejected) {
+  // IEEE non-finite spellings must not slip in as numbers — a NaN capacity
+  // would quietly poison every share computation downstream.
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": nan})",
+                     "non-finite");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": -nan})",
+                     "non-finite");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": inf})",
+                     "non-finite");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": -inf})",
+                     "non-finite");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": Infinity})",
+                     "non-finite");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": NaN})",
+                     "non-finite");
+  // Overflow is the other route to infinity; the token is named either way.
+  expect_parse_error(R"({"networks": [], "device_groups": [], "epsilon": 1e999})",
+                     "1e999");
+}
+
+TEST(SpecParser, NullIsRejectedWithAHint) {
+  expect_parse_error(R"({"networks": null, "device_groups": []})", "null");
+}
+
+TEST(SpecParser, DeepNestingFailsCleanly) {
+  // A "[[[[..." bomb must hit the depth bound, not the process stack.
+  expect_parse_error(std::string(10000, '['), "nesting too deep");
+  std::string objects;
+  for (int i = 0; i < 10000; ++i) objects += "{\"k\":";
+  expect_parse_error(objects, "nesting too deep");
+}
+
+TEST(SpecParser, BadStringEscapesRejected) {
+  expect_parse_error(R"({"networks": [], "device_groups": [], "name": "a\qb"})",
+                     "invalid escape");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "name": "a\u12g4"})",
+                     "invalid \\u escape");
+  expect_parse_error(R"({"networks": [], "device_groups": [], "name": "a\ud800b"})",
+                     "surrogate");
+  expect_parse_error("{\"networks\": [], \"device_groups\": [], \"name\": \"a\nb\"}",
+                     "raw control character");
+}
+
+TEST(SpecParser, EscapedStringsRoundTrip) {
+  auto cfg = make_setting("setting1");
+  cfg.name = "quote \" slash \\ tab \t newline \n done";
+  const auto parsed = parse_spec_text(to_spec_text(cfg));
+  EXPECT_EQ(parsed.name, cfg.name);
+}
+
 TEST(SpecParser, MinimalSpecGetsDefaults) {
   // Hand-written specs may omit every optional section.
   const auto cfg = parse_spec_text(
@@ -219,6 +273,15 @@ TEST(SpecParser, MinimalSpecGetsDefaults) {
   EXPECT_EQ(cfg.devices[0].id, 1);
   EXPECT_EQ(cfg.devices[2].id, 3);
   EXPECT_TRUE(cfg.validate().empty());
+}
+
+TEST(JsonWriterOutput, NonFiniteNumbersCannotBeWritten) {
+  // The writer refuses what the parser rejects — the format can never emit a
+  // document it could not read back.
+  EXPECT_THROW(json_number(std::numeric_limits<double>::infinity()), JsonError);
+  EXPECT_THROW(json_number(-std::numeric_limits<double>::infinity()), JsonError);
+  EXPECT_THROW(json_number(std::numeric_limits<double>::quiet_NaN()), JsonError);
+  EXPECT_EQ(json_number(2.5), "2.5");
 }
 
 TEST(SpecFiles, SaveAndLoad) {

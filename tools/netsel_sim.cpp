@@ -35,13 +35,17 @@
 //   netsel_sim --setting greedy_mix --smart 15 --quiet
 //   netsel_sim --dump-spec setting1 > s.json
 //   netsel_sim --spec s.json --runs 20
+#include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/factory.hpp"
 #include "exp/aggregate.hpp"
@@ -54,6 +58,14 @@
 namespace {
 
 using namespace smartexp3;
+
+/// SIGINT/SIGTERM set this; the run harness polls it every slot, flushes a
+/// final checkpoint (when checkpointing is on) and winds the batch down
+/// instead of dying mid-write. Plain lock-free atomic store: the only thing
+/// that is async-signal-safe here.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 
 struct Args {
   std::string setting = "setting1";
@@ -74,6 +86,9 @@ struct Args {
   std::string csv;
   bool stability = false;
   bool quiet = false;
+  int checkpoint_every = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -104,7 +119,14 @@ void print_help() {
       "  --threads N      worker threads (default: all cores)\n"
       "  --csv PATH       dump mean distance-to-NE series as CSV\n"
       "  --stability      run the stable-state detector too\n"
-      "  --quiet          one summary line only\n";
+      "  --quiet          one summary line only\n\n"
+      "crash recovery (see README \"Crash recovery\"):\n"
+      "  --checkpoint-every N  durable checkpoint every N slots per run\n"
+      "  --checkpoint-dir DIR  where checkpoint files live (required with\n"
+      "                        --checkpoint-every / --resume)\n"
+      "  --resume              continue each run from its newest valid\n"
+      "                        checkpoint; SIGINT/SIGTERM flush a final\n"
+      "                        checkpoint before exiting with status 130\n";
 }
 
 void print_list() {
@@ -153,7 +175,8 @@ Args parse(int argc, char** argv) {
                                                   {"--spec", &args.spec_file},
                                                   {"--dump-spec", &args.dump_spec},
                                                   {"--policy", &args.policy},
-                                                  {"--csv", &args.csv}};
+                                                  {"--csv", &args.csv},
+                                                  {"--checkpoint-dir", &args.checkpoint_dir}};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -170,6 +193,10 @@ Args parse(int argc, char** argv) {
     }
     if (arg == "--quiet") {
       args.quiet = true;
+      continue;
+    }
+    if (arg == "--resume") {
+      args.resume = true;
       continue;
     }
     auto need_value = [&](const char* name) -> std::string {
@@ -195,11 +222,24 @@ Args parse(int argc, char** argv) {
       args.seed_set = true;
     } else if (arg == "--threads") {
       args.threads = parse_int_arg("--threads", need_value("--threads"));
+    } else if (arg == "--checkpoint-every") {
+      args.checkpoint_every =
+          parse_int_arg("--checkpoint-every", need_value("--checkpoint-every"));
     } else {
       usage_error("unknown option '" + arg + "'");
     }
   }
   if (args.runs <= 0) usage_error("--runs must be positive");
+  if (args.checkpoint_every < 0) {
+    usage_error("--checkpoint-every must be >= 1 (0 disables checkpointing), got " +
+                std::to_string(args.checkpoint_every));
+  }
+  if (args.checkpoint_every > 0 && args.checkpoint_dir.empty()) {
+    usage_error("--checkpoint-every needs --checkpoint-dir DIR");
+  }
+  if (args.resume && args.checkpoint_dir.empty()) {
+    usage_error("--resume needs --checkpoint-dir DIR");
+  }
   if (args.horizon_set && args.horizon < 1) {
     usage_error("--horizon must be >= 1, got " + std::to_string(args.horizon));
   }
@@ -263,7 +303,41 @@ int run(const Args& args) {
     return 0;
   }
 
-  const auto results = exp::run_many(cfg, args.runs, args.threads);
+  exp::RunOptions options;
+  options.checkpoint.every = args.checkpoint_every;
+  options.checkpoint.dir = args.checkpoint_dir;
+  options.checkpoint.resume = args.resume;
+  options.control.stop = &g_stop;
+  exp::BatchResult batch = exp::run_many_result(cfg, args.runs, args.threads, options);
+
+  for (const auto& f : batch.failures) {
+    std::cerr << "netsel_sim: run " << f.run << " failed after " << f.attempts
+              << (f.attempts == 1 ? " attempt: " : " attempts: ") << f.error;
+    if (f.last_checkpoint_slot >= 0) {
+      std::cerr << " (newest checkpoint: slot " << f.last_checkpoint_slot << ")";
+    }
+    std::cerr << '\n';
+  }
+  if (batch.interrupted) {
+    std::cerr << "netsel_sim: interrupted";
+    if (options.checkpoint.enabled()) {
+      std::cerr << " — final checkpoints flushed to " << args.checkpoint_dir
+                << "; rerun with --resume to continue";
+    }
+    std::cerr << '\n';
+    return 130;
+  }
+
+  std::vector<metrics::RunResult> results;
+  results.reserve(batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.completed[i]) results.push_back(std::move(batch.results[i]));
+  }
+  if (results.empty()) {
+    std::cerr << "netsel_sim: no runs completed\n";
+    return 1;
+  }
+  const int n_ok = static_cast<int>(results.size());
 
   const auto switches = exp::switch_summary(results);
   const double median_dl = exp::mean_of_run_median_download_mb(results);
@@ -271,12 +345,12 @@ int run(const Args& args) {
   const std::string policy = policy_label(cfg);
 
   if (args.quiet) {
-    std::cout << cfg.name << ',' << policy << ',' << args.runs << ','
+    std::cout << cfg.name << ',' << policy << ',' << n_ok << ','
               << exp::fmt(switches.mean, 1) << ',' << exp::fmt(median_dl, 1) << ','
               << exp::fmt(eps, 1) << '\n';
   } else {
     exp::print_heading(cfg.name + " — " + policy + " (" +
-                       std::to_string(args.runs) + " runs)");
+                       std::to_string(n_ok) + " runs)");
     std::cout << "devices                : " << cfg.devices.size() << '\n'
               << "horizon                : " << cfg.world.horizon << " slots\n"
               << "switches per device    : " << exp::fmt(switches.mean, 1) << " (sd "
@@ -313,7 +387,7 @@ int run(const Args& args) {
     for (std::size_t i = 0; i < series.size(); ++i) out << i << ',' << series[i] << '\n';
     if (!args.quiet) std::cout << "wrote " << args.csv << '\n';
   }
-  return 0;
+  return batch.failures.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -324,6 +398,8 @@ int main(int argc, char** argv) {
     print_list();
     return 0;
   }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
   try {
     return run(args);
   } catch (const std::exception& e) {
