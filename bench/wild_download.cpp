@@ -80,7 +80,7 @@ int download_slots(const std::string& policy, std::uint64_t seed, double target_
   auto world = exp::build_world(cfg, seed ^ 0xbeef);
   while (!world->done()) {
     world->step();
-    if (world->devices()[0].download_mb >= target_mb) return world->now();
+    if (world->devices().download_mb[0] >= target_mb) return world->now();
   }
   return horizon;
 }

@@ -62,7 +62,7 @@ double race(const std::string& policy, std::uint64_t seed) {
   auto world = exp::build_world(cfg, seed * 977);
   while (!world->done()) {
     world->step();
-    if (world->devices()[0].download_mb >= 500.0) break;
+    if (world->devices().download_mb[0] >= 500.0) break;
   }
   return world->now() * 15.0 / 60.0;  // minutes
 }

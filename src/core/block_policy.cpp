@@ -279,7 +279,7 @@ void BlockPolicy::start_block() {
   cur_window_.clear();
 }
 
-NetworkId BlockPolicy::choose(Slot) {
+[[gnu::hot]] NetworkId BlockPolicy::choose(Slot) {
   assert(!nets_.empty());
   if (cur_ < 0 || cur_pos_ >= cur_len_) start_block();
   return nets_[static_cast<std::size_t>(cur_)];
@@ -337,7 +337,7 @@ void BlockPolicy::force_reset() {
   minimal_reset();
 }
 
-void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
+[[gnu::hot]] void BlockPolicy::observe(Slot, const SlotFeedback& fb) {
   if (cur_ < 0) return;  // block was dropped by an environment change
   const double g = fb.gain;
   const auto cur = static_cast<std::size_t>(cur_);

@@ -49,7 +49,7 @@ void Exp3::set_networks(const std::vector<NetworkId>& available) {
   chosen_ = -1;  // a pending observation no longer maps to a valid index
 }
 
-NetworkId Exp3::choose(Slot) {
+[[gnu::hot]] NetworkId Exp3::choose(Slot) {
   assert(!nets_.empty());
   gamma_used_ = current_gamma();
   // Fused probabilities + draw: same per-arm probability arithmetic and the
@@ -61,7 +61,7 @@ NetworkId Exp3::choose(Slot) {
   return nets_[idx];
 }
 
-void Exp3::observe(Slot, const SlotFeedback& fb) {
+[[gnu::hot]] void Exp3::observe(Slot, const SlotFeedback& fb) {
   if (chosen_ < 0) return;  // network set changed between choose and observe
   // Importance-weighted gain estimate and multiplicative update (paper
   // Algorithm 1 lines 11-12 with block length 1). The multiplicative factor

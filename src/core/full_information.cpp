@@ -47,7 +47,7 @@ void FullInformationPolicy::set_networks(const std::vector<NetworkId>& available
   factor_scratch_.resize(nets_.size());
 }
 
-NetworkId FullInformationPolicy::choose(Slot) {
+[[gnu::hot]] NetworkId FullInformationPolicy::choose(Slot) {
   assert(!nets_.empty());
   // Pure weight-proportional sampling: full feedback needs no forced
   // exploration (gamma = 0 in the mixing formula). Fused draw, one uniform.
@@ -75,7 +75,7 @@ void FullInformationPolicy::apply_factors(const double* deltas,
   weights_.maybe_normalise();
 }
 
-void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {
+[[gnu::hot]] void FullInformationPolicy::observe(Slot, const SlotFeedback& fb) {
   // Same pack -> vexp -> apply pipeline as observe_batch, over this device's
   // k arms only, so both paths produce identical bits (vexp is elementwise).
   if (!pack_deltas(fb, delta_scratch_.data())) return;

@@ -66,7 +66,7 @@ std::size_t GreedyPolicy::best_index() const {
   return best;
 }
 
-NetworkId GreedyPolicy::choose(Slot) {
+[[gnu::hot]] NetworkId GreedyPolicy::choose(Slot) {
   assert(!nets_.empty());
   if (!explore_queue_.empty()) {
     chosen_ = explore_queue_.back();
@@ -92,7 +92,7 @@ NetworkId GreedyPolicy::choose(Slot) {
   return nets_[pick];
 }
 
-void GreedyPolicy::observe(Slot, const SlotFeedback& fb) {
+[[gnu::hot]] void GreedyPolicy::observe(Slot, const SlotFeedback& fb) {
   if (chosen_ < 0) return;
   gain_sum_[static_cast<std::size_t>(chosen_)] += fb.gain;
   gain_count_[static_cast<std::size_t>(chosen_)] += 1;

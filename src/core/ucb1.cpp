@@ -71,13 +71,13 @@ std::size_t Ucb1Policy::best_ucb_index() {
   return ties[static_cast<std::size_t>(rng_.below(ties.size()))];
 }
 
-NetworkId Ucb1Policy::choose(Slot) {
+[[gnu::hot]] NetworkId Ucb1Policy::choose(Slot) {
   const std::size_t idx = best_ucb_index();
   chosen_ = static_cast<int>(idx);
   return nets_[idx];
 }
 
-void Ucb1Policy::observe(Slot, const SlotFeedback& fb) {
+[[gnu::hot]] void Ucb1Policy::observe(Slot, const SlotFeedback& fb) {
   if (chosen_ < 0) return;
   const auto i = static_cast<std::size_t>(chosen_);
   gain_sum_[i] += std::clamp(fb.gain, 0.0, 1.0);

@@ -92,6 +92,10 @@ const std::vector<SettingInfo>& setting_catalog() {
        "§VI-A Fig 6 sweep point: k uniform networks, n devices, 36 h "
        "(policy, devices, networks, horizon)",
        "smart_exp3_noreset"},
+      {"scalability_xl",
+       "beyond-paper scale-out: k uniform networks, 10^5..10^6 sharded devices "
+       "(policy, devices, networks, horizon)",
+       "smart_exp3_noreset"},
       {"join",
        "§VI-A Fig 7: 9 devices join at slot 400, leave after 799 (policy, horizon)",
        "smart_exp3"},
@@ -177,6 +181,12 @@ ExperimentConfig make_setting(const std::string& name, const SettingParams& para
     cfg = scalability_setting(policy_or(params, "smart_exp3_noreset"),
                               params.networks == -1 ? 3 : params.networks,
                               devices_or(params, 20));
+  } else if (name == "scalability_xl") {
+    guard.no_n_smart();
+    guard.no_policy_mix();
+    cfg = scalability_xl_setting(policy_or(params, "smart_exp3_noreset"),
+                                 params.networks == -1 ? 5 : params.networks,
+                                 devices_or(params, 100000));
   } else if (name == "join" || name == "leave") {
     guard.no_devices();
     guard.no_networks();

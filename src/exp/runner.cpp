@@ -386,4 +386,13 @@ int world_threads(int fallback) {
                          /*clamp_low=*/false, &warned);
 }
 
+int world_shards(int fallback) {
+  // 0 is meaningful ("auto: one shard per ~16k devices"); negatives and
+  // garbage are not. The world itself clamps explicit counts to the device
+  // count, so the only cap needed here is a sanity bound.
+  static bool warned = false;
+  return env_int_clamped("WORLD_SHARDS", fallback, 0, 1 << 20,
+                         /*clamp_low=*/false, &warned);
+}
+
 }  // namespace smartexp3::exp

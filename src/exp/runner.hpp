@@ -144,4 +144,11 @@ int repro_runs(int fallback = 60);
 /// warn once on stderr and keep the fallback.
 int world_threads(int fallback = 1);
 
+/// Shard count for the world's device pool (WorldConfig shards): the
+/// WORLD_SHARDS environment variable if set, otherwise `fallback`. 0 means
+/// auto (one shard per ~16k devices); the simulated trajectory is identical
+/// for every value. Malformed or negative values warn once on stderr and
+/// keep the fallback.
+int world_shards(int fallback = 0);
+
 }  // namespace smartexp3::exp

@@ -29,6 +29,14 @@ ExperimentConfig static_setting2(const std::string& policy, int n_devices = 20,
 ExperimentConfig scalability_setting(const std::string& policy, int k, int n,
                                      Slot horizon = 8640);
 
+/// Beyond-the-paper scalability: `k` uniform 11 Mbps networks (no k <= 7
+/// cap) and `n` devices at the 10^5..10^6 scale the sharded engine targets.
+/// The short default horizon keeps an end-to-end run affordable; the
+/// per-slot distance-to-NE series is disabled (it sorts all n rates every
+/// slot and would dominate the measurement).
+ExperimentConfig scalability_xl_setting(const std::string& policy, int k = 5,
+                                        int n = 100000, Slot horizon = 60);
+
 /// §VI-A dynamic setting 1 (Fig 7): 11 persistent devices; 9 devices join at
 /// the start of slot 400 (paper's t=401) and leave after slot 799.
 ExperimentConfig dynamic_join_setting(const std::string& policy);

@@ -31,7 +31,7 @@ void RunRecorder::ensure_initialised(const netsim::World& world) {
       std::vector<int> idx;
       for (const DeviceId id : group) {
         for (std::size_t i = 0; i < devices.size(); ++i) {
-          if (devices[i].spec.id == id) idx.push_back(static_cast<int>(i));
+          if (devices.spec[i].id == id) idx.push_back(static_cast<int>(i));
         }
       }
       group_index_.push_back(std::move(idx));
@@ -80,10 +80,9 @@ std::size_t RunRecorder::collect_active(const netsim::World& world,
   gains_scratch_.clear();
   std::size_t rows = 0;
   auto add = [&](std::size_t i) {
-    const auto& d = devices[i];
-    if (!d.active) return;
-    nets_scratch_.push_back(d.current);
-    gains_scratch_.push_back(d.last_rate_mbps);
+    if (!devices.active[i]) return;
+    nets_scratch_.push_back(devices.current[i]);
+    gains_scratch_.push_back(devices.last_rate_mbps[i]);
     if (restricted_visibility_) {
       auto& row = visible_scratch_[rows];
       row.assign(visible_cache_[i].begin(), visible_cache_[i].end());
@@ -111,12 +110,12 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
   // Refresh per-device visibility (only when areas are in play).
   if (restricted_visibility_) {
     for (std::size_t i = 0; i < devices.size(); ++i) {
-      if (!devices[i].active) continue;
-      if (area_cache_[i] != devices[i].area) {
-        area_cache_[i] = devices[i].area;
+      if (!devices.active[i]) continue;
+      if (area_cache_[i] != devices.area[i]) {
+        area_cache_[i] = devices.area[i];
         visible_cache_[i].clear();
         for (std::size_t n = 0; n < networks.size(); ++n) {
-          if (networks[n].covers(devices[i].area)) {
+          if (networks[n].covers(devices.area[i])) {
             visible_cache_[i].push_back(static_cast<int>(n));
           }
         }
@@ -162,11 +161,11 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
       for (std::size_t g = 0; g < group_index_.size(); ++g) {
         double total = 0.0;
         int n = 0;
-        for (const int i : group_index_[g]) {
-          const auto& d = devices[static_cast<std::size_t>(i)];
-          if (!d.active) continue;
+        for (const int gi : group_index_[g]) {
+          const auto i = static_cast<std::size_t>(gi);
+          if (!devices.active[i]) continue;
           if (g_avg > 0.0) {
-            total += std::max(g_avg - d.last_rate_mbps, 0.0) * 100.0 / g_avg;
+            total += std::max(g_avg - devices.last_rate_mbps[i], 0.0) * 100.0 / g_avg;
           }
           ++n;
         }
@@ -177,11 +176,10 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
 
   if (options_.track_stability) {
     for (std::size_t i = 0; i < devices.size(); ++i) {
-      const auto& d = devices[i];
       int lock = -1;
-      if (d.active) {
-        d.policy->probabilities_into(probs_scratch_);
-        const auto& nets = d.policy->networks();
+      if (devices.active[i]) {
+        devices.policy[i]->probabilities_into(probs_scratch_);
+        const auto& nets = devices.policy[i]->networks();
         ids_scratch_.assign(nets.begin(), nets.end());
         lock = locked_network(probs_scratch_, ids_scratch_);
       }
@@ -191,9 +189,8 @@ void RunRecorder::on_slot_end(Slot t, const netsim::World& world) {
 
   if (options_.track_selections) {
     for (std::size_t i = 0; i < devices.size(); ++i) {
-      const auto& d = devices[i];
-      result_.selections[i].push_back(d.active ? d.current : -1);
-      result_.rates[i].push_back(d.active ? d.last_rate_mbps : 0.0);
+      result_.selections[i].push_back(devices.active[i] ? devices.current[i] : -1);
+      result_.rates[i].push_back(devices.active[i] ? devices.last_rate_mbps[i] : 0.0);
     }
   }
 
@@ -277,16 +274,17 @@ void RunRecorder::on_run_end(const netsim::World& world) {
   result_.resets.clear();
   result_.switch_backs.clear();
   result_.persistent.clear();
-  for (const auto& d : devices) {
-    result_.downloads_mb.push_back(d.download_mb);
-    result_.switching_cost_mb.push_back(d.delay_loss_mb);
-    result_.switches.push_back(d.switches);
-    const auto stats = d.policy->stats();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    result_.downloads_mb.push_back(devices.download_mb[i]);
+    result_.switching_cost_mb.push_back(devices.delay_loss_mb[i]);
+    result_.switches.push_back(devices.switches[i]);
+    const auto stats = devices.policy[i]->stats();
     result_.resets.push_back(stats.resets);
     result_.switch_backs.push_back(stats.switch_backs);
-    result_.persistent.push_back(d.spec.join_slot == 0 &&
-                                 (d.spec.leave_slot < 0 || d.spec.leave_slot >= horizon));
-    result_.total_download_mb += d.download_mb;
+    const auto& spec = devices.spec[i];
+    result_.persistent.push_back(
+        spec.join_slot == 0 && (spec.leave_slot < 0 || spec.leave_slot >= horizon));
+    result_.total_download_mb += devices.download_mb[i];
   }
 
   if (slots_seen_ > 0) {

@@ -1,0 +1,111 @@
+// Structure-of-arrays storage for per-device simulation state.
+//
+// At fig06 scale (hundreds of devices) an array-of-structs DeviceState was
+// fine; at the 10^5–10^6 devices the scalability settings run, every phase
+// is a sweep over one or two fields of *all* devices, and AoS turns each
+// sweep into a strided walk that drags the whole ~200-byte struct through
+// the cache per field touched. DevicePool keeps each field in its own
+// contiguous array so the choose/counts/feedback sweeps, the recorder's
+// accounting scans and the snapshot walk each touch only the bytes they
+// read, and memory per device stays a small constant (enforced by
+// tests/test_memory_budget.cpp).
+//
+// Index i is the device's position in construction order everywhere — the
+// same index the world's pending_ picks, policy groups and shard ranges
+// use. The pool is append-only during World construction and fixed-size
+// afterwards; only the field values change during a run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "netsim/network.hpp"
+#include "stats/rng.hpp"
+
+namespace smartexp3::netsim {
+
+/// Static description of one device participating in a run.
+struct DeviceSpec {
+  DeviceId id = 0;
+  int area = 0;
+  Slot join_slot = 0;
+  Slot leave_slot = -1;  ///< -1 = stays until the end
+  std::string policy_name;  ///< consumed by the policy factory
+};
+
+/// Per-device state, one array per field (read-only to observers).
+struct DevicePool {
+  // ---- construction state (cold: written once, read rarely) ----
+  std::vector<DeviceSpec> spec;
+  std::vector<std::unique_ptr<core::Policy>> policy;
+  /// Cached result of policy->networks(): the returned vector *object* is
+  /// stable for the policy's lifetime (only its contents change), so the
+  /// per-device-slot virtual call is paid once at world construction.
+  std::vector<const std::vector<NetworkId>*> policy_nets;
+  /// Policy's feedback capability, resolved once at construction.
+  std::vector<std::uint8_t> wants_full_info;
+
+  // ---- live state (hot: swept every slot) ----
+  std::vector<std::uint8_t> active;
+  std::vector<int> area;
+  std::vector<NetworkId> current;
+  // Per-slot outcome of the most recent slot (valid while active).
+  std::vector<double> last_rate_mbps;
+  std::vector<double> last_gain;
+  std::vector<std::uint8_t> last_switched;
+  // Cumulative accounting.
+  std::vector<double> download_mb;
+  std::vector<double> delay_loss_mb;  ///< download foregone re-associating
+  std::vector<int> switches;
+  std::vector<int> slots_active;
+  /// Per-device switching-delay stream, seeded from (world seed, device
+  /// id). Keeping delay draws out of the world stream is what makes the
+  /// feedback phase device-parallel without changing the trajectory.
+  std::vector<stats::Rng> delay_rng;
+
+  std::size_t size() const { return spec.size(); }
+  bool empty() const { return spec.empty(); }
+
+  void reserve(std::size_t n) {
+    spec.reserve(n);
+    policy.reserve(n);
+    policy_nets.reserve(n);
+    wants_full_info.reserve(n);
+    active.reserve(n);
+    area.reserve(n);
+    current.reserve(n);
+    last_rate_mbps.reserve(n);
+    last_gain.reserve(n);
+    last_switched.reserve(n);
+    download_mb.reserve(n);
+    delay_loss_mb.reserve(n);
+    switches.reserve(n);
+    slots_active.reserve(n);
+    delay_rng.reserve(n);
+  }
+
+  /// Append one device with freshly-initialised live state.
+  void push_back(DeviceSpec s, std::unique_ptr<core::Policy> p,
+                 stats::Rng delay_stream, bool full_info) {
+    policy_nets.push_back(&p->networks());
+    policy.push_back(std::move(p));
+    wants_full_info.push_back(full_info ? 1 : 0);
+    active.push_back(0);
+    area.push_back(s.area);
+    current.push_back(kNoNetwork);
+    last_rate_mbps.push_back(0.0);
+    last_gain.push_back(0.0);
+    last_switched.push_back(0);
+    download_mb.push_back(0.0);
+    delay_loss_mb.push_back(0.0);
+    switches.push_back(0);
+    slots_active.push_back(0);
+    delay_rng.push_back(delay_stream);
+    spec.push_back(std::move(s));
+  }
+};
+
+}  // namespace smartexp3::netsim

@@ -37,6 +37,9 @@ int StepExecutor::resolve(int threads) {
 }
 
 StepExecutor::StepExecutor(int threads) : threads_(resolve(threads)) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool oversubscribed = hw > 0 && static_cast<unsigned>(threads_) > hw;
+  park_budget_ = oversubscribed ? 0 : kParkBudget;
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int lane = 1; lane < threads_; ++lane) {
     workers_.emplace_back([this, lane] { worker_loop(lane); });
@@ -58,7 +61,7 @@ void StepExecutor::worker_loop(int lane) {
   for (;;) {
     int spins = 0;
     while (epoch_.load(std::memory_order_acquire) == seen) {
-      if (spins < kParkBudget) {
+      if (spins < park_budget_) {
         relax(spins);
       } else {
         // Park until the next dispatch. The dispatcher bumps epoch_ first
@@ -109,6 +112,18 @@ void StepExecutor::run(std::size_t n, const RangeBody& body) {
   n_ = n;
   body_ = &body;
   dispatch_and_wait([&](std::size_t begin, std::size_t end) { body(begin, end); },
+                    /*caller_begin=*/0,
+                    /*caller_end=*/n / static_cast<std::size_t>(threads_));
+}
+
+void StepExecutor::run(std::size_t n, const LaneBody& body) {
+  if (threads_ == 1 || n == 0) {
+    if (n > 0) body(0, 0, n);
+    return;
+  }
+  n_ = n;
+  lane_body_ = &body;
+  dispatch_and_wait([&](std::size_t begin, std::size_t end) { body(0, begin, end); },
                     /*caller_begin=*/0,
                     /*caller_end=*/n / static_cast<std::size_t>(threads_));
 }

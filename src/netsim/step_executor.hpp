@@ -55,6 +55,11 @@ class StepExecutor {
   /// std::terminate the process from a worker.
   void run(std::size_t n, const RangeBody& body);
 
+  /// Lane-aware variant of run(): same even n*w/T split, but the body also
+  /// receives the lane index so each concurrent invocation can use its own
+  /// scratch arena (the caller is always lane 0).
+  void run(std::size_t n, const LaneBody& body);
+
   /// Run body over a caller-supplied partition: worker w handles work items
   /// [bounds[w], bounds[w+1]). `bounds` must have thread_count() + 1
   /// monotone entries and stay alive for the duration of the call. This is
@@ -76,6 +81,15 @@ class StepExecutor {
                          std::size_t caller_end);
 
   int threads_ = 1;
+  // Spin+yield iterations a worker burns before parking on the condition
+  // variable. 0 when the pool is oversubscribed (threads > hardware
+  // concurrency, detected once at construction): a spinning worker would
+  // only steal the timeslice of the lane doing real work — the mechanism
+  // behind the 50x single-core collapse the bench once recorded as
+  // "scaling" — so oversubscribed workers go straight to the parked path.
+  // Purely an execution knob: parking never changes which lane runs which
+  // range, so results are bit-identical (tests/test_parallel_determinism).
+  int park_budget_ = 0;
   std::vector<std::thread> workers_;
   // Dispatch state. `epoch_` counts run() calls; its release store publishes
   // `n_` and `body_` to the workers, whose release increments of `done_`

@@ -9,6 +9,18 @@
 
 namespace smartexp3::netsim {
 
+int World::resolve_shards(int shards, std::size_t device_count) {
+  const std::size_t n = device_count > 0 ? device_count : 1;
+  if (shards <= 0) {
+    // Auto: paper-scale worlds (hundreds of devices) keep one shard; the
+    // scalability settings split every ~16k devices, capped so shard
+    // bookkeeping stays negligible even at 10^6+ devices.
+    const std::size_t auto_shards = (n + kDevicesPerShard - 1) / kDevicesPerShard;
+    return static_cast<int>(std::min<std::size_t>(auto_shards, 64));
+  }
+  return static_cast<int>(std::min(static_cast<std::size_t>(shards), n));
+}
+
 World::World(WorldConfig config, std::vector<Network> networks,
              std::vector<DeviceSpec> devices, Scenario scenario, PolicyFactory factory,
              std::uint64_t seed)
@@ -34,26 +46,35 @@ World::World(WorldConfig config, std::vector<Network> networks,
   if (gain_scale_ <= 0.0) gain_scale_ = 1.0;
 
   bool device_local_policies = true;
-  devices_.reserve(devices.size());
+  pool_.reserve(devices.size());
   for (auto& spec : devices) {
-    DeviceState d;
-    d.spec = spec;
-    d.area = spec.area;
     // Per-device seed: decorrelated from the world stream and from other
     // devices, but fully determined by (seed, device id).
     const std::uint64_t device_seed =
         seed ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(spec.id + 1));
-    d.policy = factory(spec, device_seed);
-    if (!d.policy) throw std::invalid_argument("World: factory returned null policy");
-    d.wants_full_info =
-        d.policy->feedback_needs() == core::FeedbackNeeds::kFullInformation;
-    any_full_info_ |= d.wants_full_info;
-    device_local_policies &= !d.policy->shares_state_across_devices();
+    auto policy = factory(spec, device_seed);
+    if (!policy) throw std::invalid_argument("World: factory returned null policy");
+    const bool full_info =
+        policy->feedback_needs() == core::FeedbackNeeds::kFullInformation;
+    any_full_info_ |= full_info;
+    device_local_policies &= !policy->shares_state_across_devices();
     // The delay stream is salted so it never collides with the policy's
     // stream derived from the same device_seed.
-    d.delay_rng.reseed(device_seed ^ 0x94d049bb133111ebULL);
-    d.policy_nets = &d.policy->networks();
-    devices_.push_back(std::move(d));
+    stats::Rng delay_rng;
+    delay_rng.reseed(device_seed ^ 0x94d049bb133111ebULL);
+    pool_.push_back(std::move(spec), std::move(policy), delay_rng, full_info);
+  }
+
+  // Contiguous even device split into shards. The split is a pure function
+  // of (device count, shard count) — never of the thread count — and only
+  // affects which shard-local counter a pick is reduced into.
+  const auto shard_count =
+      static_cast<std::size_t>(resolve_shards(config_.shards, pool_.size()));
+  shards_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_[s].begin = pool_.size() * s / shard_count;
+    shards_[s].end = pool_.size() * (s + 1) / shard_count;
+    shards_[s].counts.assign(networks_.size(), 0);
   }
 
   // The executor only exists when it can actually fan out: >1 lane and no
@@ -66,8 +87,11 @@ World::World(WorldConfig config, std::vector<Network> networks,
   choose_body_ = [this](std::size_t begin, std::size_t end) {
     choose_range(now_, begin, end);
   };
-  feedback_body_ = [this](std::size_t begin, std::size_t end) {
-    feedback_range(now_, begin, end);
+  feedback_body_ = [this](int lane, std::size_t begin, std::size_t end) {
+    feedback_range(now_, lane, begin, end);
+  };
+  counts_body_ = [this](std::size_t begin, std::size_t end) {
+    reduce_shard_counts(begin, end);
   };
   // Policy batching needs per-device policy isolation for the same reason
   // the executor does: the group loops assume a member's calls only touch
@@ -86,7 +110,7 @@ World::World(WorldConfig config, std::vector<Network> networks,
   set_bandwidth_model(make_equal_share());
   delay_ = make_default_delay_model();
   counts_.assign(networks_.size(), 0);
-  pending_.assign(devices_.size(), kNoNetwork);
+  pending_.assign(pool_.size(), kNoNetwork);
   rate_cache_.assign(networks_.size(), 0.0);
   gain_cache_.assign(networks_.size(), 0.0);
   goodput_cache_.assign(networks_.size(), 0.0);
@@ -97,9 +121,9 @@ World::World(WorldConfig config, std::vector<Network> networks,
 
   // Collect the slots on which the per-device join/leave scan can possibly
   // do anything (negative join/leave slots never fire: slots are >= 0).
-  for (const auto& d : devices_) {
-    if (d.spec.join_slot >= 0) join_leave_slots_.push_back(d.spec.join_slot);
-    if (d.spec.leave_slot >= 0) join_leave_slots_.push_back(d.spec.leave_slot);
+  for (const auto& s : pool_.spec) {
+    if (s.join_slot >= 0) join_leave_slots_.push_back(s.join_slot);
+    if (s.leave_slot >= 0) join_leave_slots_.push_back(s.leave_slot);
   }
   std::sort(join_leave_slots_.begin(), join_leave_slots_.end());
   join_leave_slots_.erase(
@@ -127,91 +151,101 @@ double World::unused_capacity_mbps(Slot t) const {
   return unused;
 }
 
-const std::vector<NetworkId>& World::visible_for(const DeviceState& d) const {
+const std::vector<NetworkId>& World::visible_for(int area) const {
   // Linear scan: worlds have a handful of service areas, and coverage is
   // immutable after construction, so each area is computed exactly once.
-  for (const auto& [area, ids] : visible_cache_) {
-    if (area == d.area) return ids;
+  for (const auto& [cached_area, ids] : visible_cache_) {
+    if (cached_area == area) return ids;
   }
-  auto& entry = visible_cache_.emplace_back(d.area, std::vector<NetworkId>{});
-  visible_networks_into(networks_, d.area, entry.second);
+  auto& entry = visible_cache_.emplace_back(area, std::vector<NetworkId>{});
+  visible_networks_into(networks_, area, entry.second);
   return entry.second;
 }
 
-void World::join_device(DeviceState& d, Slot) {
-  if (!d.active) ++active_count_;
-  d.active = true;
-  d.current = kNoNetwork;
-  d.policy->set_networks(visible_for(d));
+void World::join_device(std::size_t i, Slot) {
+  if (!pool_.active[i]) ++active_count_;
+  pool_.active[i] = 1;
+  pool_.current[i] = kNoNetwork;
+  pool_.policy[i]->set_networks(visible_for(pool_.area[i]));
   groups_dirty_ = true;
   bandwidth_prepare_stale_ = true;
 }
 
-void World::leave_device(DeviceState& d, Slot t) {
-  if (d.active) --active_count_;
-  d.active = false;
-  d.current = kNoNetwork;
-  d.policy->on_leave(t);
+void World::leave_device(std::size_t i, Slot t) {
+  if (pool_.active[i]) --active_count_;
+  pool_.active[i] = 0;
+  pool_.current[i] = kNoNetwork;
+  pool_.policy[i]->on_leave(t);
   // The batched choose path only visits active devices, so the departed
   // device's stale pick must be cleared here for the counts reduction.
-  pending_[static_cast<std::size_t>(&d - devices_.data())] = kNoNetwork;
+  pending_[i] = kNoNetwork;
   groups_dirty_ = true;
 }
 
-// Rebuild the policy groups, the cost-bounded chunk list and the per-lane
-// chunk bounds. Runs on join/leave slots only; every piece of the result is
-// a pure function of (active devices, policy types, cost hints, lane
-// count), so the trajectory never depends on when or how often it runs.
+// Rebuild every shard's policy groups, the cost-bounded chunk list and the
+// per-lane chunk bounds. Runs on join/leave slots only; every piece of the
+// result is a pure function of (active devices, shard split, policy types,
+// cost hints, lane count), so the trajectory never depends on when or how
+// often it runs.
 void World::rebuild_policy_groups() {
-  for (auto& g : groups_) {
-    g.members.clear();
-    g.policies.clear();
-    g.costs.clear();
-  }
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    auto& d = devices_[i];
-    if (!d.active) continue;
-    core::Policy& p = *d.policy;
-    const std::type_index type(typeid(p));
-    PolicyGroup* group = nullptr;
-    // Linear scan: worlds hold a handful of distinct policy types. Groups
-    // are created in first-seen device order and never erased, so group
-    // order is stable across rebuilds.
-    for (auto& cand : groups_) {
-      if (cand.type == type) {
-        group = &cand;
-        break;
+  for (auto& sh : shards_) {
+    for (auto& g : sh.groups) {
+      g.members.clear();
+      g.policies.clear();
+      g.costs.clear();
+    }
+    for (std::size_t i = sh.begin; i < sh.end; ++i) {
+      if (!pool_.active[i]) continue;
+      core::Policy& p = *pool_.policy[i];
+      const std::type_index type(typeid(p));
+      PolicyGroup* group = nullptr;
+      // Linear scan: worlds hold a handful of distinct policy types. Groups
+      // are created in first-seen device order and never erased, so group
+      // order is stable across rebuilds.
+      for (auto& cand : sh.groups) {
+        if (cand.type == type) {
+          group = &cand;
+          break;
+        }
       }
+      if (group == nullptr) {
+        sh.groups.push_back(PolicyGroup{type, p.uses_batch_dispatch(), {}, {}, {}});
+        group = &sh.groups.back();
+      }
+      group->members.push_back(i);
+      group->policies.push_back(pool_.policy[i].get());
+      group->costs.push_back(p.step_cost_hint());
     }
-    if (group == nullptr) {
-      groups_.push_back(PolicyGroup{type, p.uses_batch_dispatch(), {}, {}, {}});
-      group = &groups_.back();
-    }
-    group->members.push_back(i);
-    group->policies.push_back(d.policy.get());
-    group->costs.push_back(p.step_cost_hint());
   }
 
   any_batched_ = false;
-  for (const auto& g : groups_) any_batched_ |= g.batched && !g.members.empty();
+  for (const auto& sh : shards_) {
+    for (const auto& g : sh.groups) any_batched_ |= g.batched && !g.members.empty();
+  }
 
-  // Chunks: contiguous member spans with summed cost near the budget.
-  // Boundaries are independent of the thread count by construction.
+  // Chunks: contiguous member spans with summed cost near the budget, in
+  // (shard, group, member) order. Boundaries are independent of the thread
+  // count by construction — and chunk/shard boundaries never influence the
+  // per-device math, only which lane executes it.
   chunks_.clear();
-  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-    const auto& g = groups_[gi];
-    std::size_t begin = 0;
-    while (begin < g.members.size()) {
-      double cost = g.costs[begin];
-      std::size_t end = begin + 1;
-      while (end < g.members.size() && cost + g.costs[end] <= kChunkCostBudget) {
-        cost += g.costs[end];
-        ++end;
+  for (std::size_t si = 0; si < shards_.size(); ++si) {
+    const auto& sh = shards_[si];
+    for (std::size_t gi = 0; gi < sh.groups.size(); ++gi) {
+      const auto& g = sh.groups[gi];
+      std::size_t begin = 0;
+      while (begin < g.members.size()) {
+        double cost = g.costs[begin];
+        std::size_t end = begin + 1;
+        while (end < g.members.size() && cost + g.costs[end] <= kChunkCostBudget) {
+          cost += g.costs[end];
+          ++end;
+        }
+        chunks_.push_back({static_cast<std::uint32_t>(si),
+                           static_cast<std::uint32_t>(gi),
+                           static_cast<std::uint32_t>(begin),
+                           static_cast<std::uint32_t>(end), cost});
+        begin = end;
       }
-      chunks_.push_back({static_cast<std::uint32_t>(gi),
-                         static_cast<std::uint32_t>(begin),
-                         static_cast<std::uint32_t>(end), cost});
-      begin = end;
     }
   }
 
@@ -258,9 +292,12 @@ void World::apply_events(Slot t) {
     ++next_join_leave_;
   }
   if (join_leave_scheduled) {
-    for (auto& d : devices_) {
-      if (!d.active && d.spec.join_slot == t) join_device(d, t);
-      if (d.active && d.spec.leave_slot >= 0 && d.spec.leave_slot == t) leave_device(d, t);
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (!pool_.active[i] && pool_.spec[i].join_slot == t) join_device(i, t);
+      if (pool_.active[i] && pool_.spec[i].leave_slot >= 0 &&
+          pool_.spec[i].leave_slot == t) {
+        leave_device(i, t);
+      }
     }
   }
 
@@ -269,19 +306,20 @@ void World::apply_events(Slot t) {
   while (next_move_ < scenario_.moves.size() && scenario_.moves[next_move_].slot <= t) {
     const auto& ev = scenario_.moves[next_move_++];
     if (ev.slot != t) continue;
-    for (auto& d : devices_) {
-      if (d.spec.id != ev.device) continue;
-      if (d.area == ev.new_area) break;
-      d.area = ev.new_area;
-      if (d.active) {
-        const auto& visible = visible_for(d);
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_.spec[i].id != ev.device) continue;
+      if (pool_.area[i] == ev.new_area) break;
+      pool_.area[i] = ev.new_area;
+      if (pool_.active[i]) {
+        const auto& visible = visible_for(pool_.area[i]);
         // If the device's current network no longer covers it, it is
         // disconnected before the policy re-plans.
-        if (d.current != kNoNetwork &&
-            std::find(visible.begin(), visible.end(), d.current) == visible.end()) {
-          d.current = kNoNetwork;
+        if (pool_.current[i] != kNoNetwork &&
+            std::find(visible.begin(), visible.end(), pool_.current[i]) ==
+                visible.end()) {
+          pool_.current[i] = kNoNetwork;
         }
-        d.policy->set_networks(visible);
+        pool_.policy[i]->set_networks(visible);
       }
       break;
     }
@@ -292,14 +330,17 @@ void World::apply_events(Slot t) {
 // time-synchronised in the paper's simulation setup). Device-local by
 // construction — each policy owns its RNG and state — so disjoint ranges can
 // run on different threads.
-void World::choose_range(Slot t, std::size_t begin, std::size_t end) {
+// The per-slot bodies below carry [[gnu::hot]] (and the snapshot paths
+// [[gnu::cold]]) to pin text layout under LTO: without the partition, adding
+// unrelated cold code (e.g. new snapshot overrides) reshuffles function
+// placement and moves the per-policy bench numbers by double-digit percents.
+[[gnu::hot]] void World::choose_range(Slot t, std::size_t begin, std::size_t end) {
   for (std::size_t i = begin; i < end; ++i) {
-    auto& d = devices_[i];
     pending_[i] = kNoNetwork;
-    if (!d.active) continue;
-    const NetworkId want = d.policy->choose(t);
+    if (!pool_.active[i]) continue;
+    const NetworkId want = pool_.policy[i]->choose(t);
 #ifndef NDEBUG
-    const auto& nets = d.policy->networks();
+    const auto& nets = pool_.policy[i]->networks();
     assert(std::find(nets.begin(), nets.end(), want) != nets.end());
 #endif
     pending_[i] = want;
@@ -309,11 +350,12 @@ void World::choose_range(Slot t, std::size_t begin, std::size_t end) {
 // Batched choose body: one virtual dispatch per chunk, then a tight
 // monomorphic loop inside the policy's choose_batch override. The scatter
 // back into pending_ keeps the counts phase oblivious to batching.
-void World::choose_chunks(Slot t, int lane, std::size_t begin, std::size_t end) {
+[[gnu::hot]] void World::choose_chunks(Slot t, int lane, std::size_t begin,
+                                       std::size_t end) {
   LaneScratch& ls = lane_scratch_[static_cast<std::size_t>(lane)];
   for (std::size_t c = begin; c < end; ++c) {
     const PolicyChunk& ch = chunks_[c];
-    PolicyGroup& g = groups_[ch.group];
+    PolicyGroup& g = shards_[ch.shard].groups[ch.group];
     const std::size_t n = ch.end - ch.begin;
     if (g.batched) {
       ls.choices.resize(n);
@@ -325,7 +367,7 @@ void World::choose_chunks(Slot t, int lane, std::size_t begin, std::size_t end) 
 #ifndef NDEBUG
         // Debug-only: the virtual networks() call must not run in release
         // builds (it alone is measurable on the per-device hot path).
-        const auto& nets = devices_[i].policy->networks();
+        const auto& nets = pool_.policy[i]->networks();
         assert(std::find(nets.begin(), nets.end(), want) != nets.end());
 #endif
         pending_[i] = want;
@@ -337,7 +379,7 @@ void World::choose_chunks(Slot t, int lane, std::size_t begin, std::size_t end) 
         const std::size_t i = g.members[ch.begin + j];
         const NetworkId want = g.policies[ch.begin + j]->choose(t);
 #ifndef NDEBUG
-        const auto& nets = devices_[i].policy->networks();
+        const auto& nets = pool_.policy[i]->networks();
         assert(std::find(nets.begin(), nets.end(), want) != nets.end());
 #endif
         pending_[i] = want;
@@ -356,21 +398,45 @@ void World::phase_choose() {
     return;
   }
   if (executor_) {
-    executor_->run(devices_.size(), choose_body_);
+    executor_->run(pool_.size(), choose_body_);
   } else {
-    choose_range(now_, 0, devices_.size());
+    choose_range(now_, 0, pool_.size());
   }
 }
 
-// Counts phase: the only cross-device reduction of a slot, run serially in
-// fixed device order (occupancy) and fixed network order (shared caches), so
-// its results never depend on thread count or scheduling. It is also the
-// barrier between the choose and feedback phases.
+// Shard-local half of the counts barrier: reduce each shard's pending picks
+// into its own occupancy vector. Writes are disjoint per shard, so the
+// reduction can fan out over the executor lanes.
+[[gnu::hot]] void World::reduce_shard_counts(std::size_t begin, std::size_t end) {
+  for (std::size_t s = begin; s < end; ++s) {
+    auto& sh = shards_[s];
+    std::fill(sh.counts.begin(), sh.counts.end(), 0);
+    for (std::size_t i = sh.begin; i < sh.end; ++i) {
+      if (pending_[i] != kNoNetwork) {
+        ++sh.counts[static_cast<std::size_t>(pending_[i])];
+      }
+    }
+  }
+}
+
+// Counts phase: the only cross-device coupling of a slot. Each shard
+// reduces its own range (parallelizable, disjoint writes), then the
+// shard-local sums are added in fixed shard order — the occupancy-sum
+// exchange, and the barrier between the choose and feedback phases.
+// Occupancy is integer, so the shard-summed totals equal the single-loop
+// totals exactly: the trajectory is bit-identical for every shard count.
+// The shared caches are then computed from the totals in fixed network
+// order, so their results never depend on thread count or scheduling.
 void World::phase_counts() {
   const Slot t = now_;
+  if (executor_ != nullptr && shards_.size() > 1) {
+    executor_->run(shards_.size(), counts_body_);
+  } else {
+    reduce_shard_counts(0, shards_.size());
+  }
   std::fill(counts_.begin(), counts_.end(), 0);
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    if (pending_[i] != kNoNetwork) ++counts_[static_cast<std::size_t>(pending_[i])];
+  for (const auto& sh : shards_) {
+    for (std::size_t j = 0; j < counts_.size(); ++j) counts_[j] += sh.counts[j];
   }
 
   // For device-invariant bandwidth models (equal share) every device on a
@@ -417,21 +483,17 @@ void World::phase_counts() {
 // hot loop, and an out-of-line call here costs several percent of engine
 // throughput for the cheap policies.
 __attribute__((always_inline)) inline void World::fill_device_feedback(
-    Slot t, std::size_t i) {
-  auto& d = devices_[i];
+    Slot t, std::size_t i, core::SlotFeedback& fb) {
   const NetworkId chosen = pending_[i];
   const auto c = static_cast<std::size_t>(chosen);
-  const bool switched = d.current != kNoNetwork && d.current != chosen;
+  const NetworkId prev = pool_.current[i];
+  const bool switched = prev != kNoNetwork && prev != chosen;
 
-  // The feedback struct is per-device scratch: reusing it keeps the
-  // counterfactual vectors' capacity, so steady-state slots are
-  // allocation-free.
-  core::SlotFeedback& fb = d.feedback;
   fb.switched = switched;
   fb.delay_s =
-      switched
-          ? std::min(delay_->sample(networks_[c], d.delay_rng), config_.slot_seconds)
-          : 0.0;
+      switched ? std::min(delay_->sample(networks_[c], pool_.delay_rng[i]),
+                          config_.slot_seconds)
+               : 0.0;
   if (shared_rates_) {
     fb.bit_rate_mbps = rate_cache_[c];
     fb.gain = gain_cache_[c];
@@ -441,19 +503,20 @@ __attribute__((always_inline)) inline void World::fill_device_feedback(
                                                   config_.slot_seconds - fb.delay_s)
                              : goodput_cache_[c];
   } else {
-    fb.bit_rate_mbps = bandwidth_->rate(networks_[c], counts_[c], d.spec.id, t, rng_);
+    fb.bit_rate_mbps =
+        bandwidth_->rate(networks_[c], counts_[c], pool_.spec[i].id, t, rng_);
     fb.gain = std::clamp(fb.bit_rate_mbps / gain_scale_, 0.0, 1.0);
     fb.goodput_mb =
         mbps_seconds_to_mb(fb.bit_rate_mbps, config_.slot_seconds - fb.delay_s);
   }
 
-  if (d.wants_full_info) {
+  if (pool_.wants_full_info[i]) {
     // Full-information feedback: what the device would have observed on
     // each visible network this slot (fair-share counterfactual: joining a
     // network it is not on adds itself to that network's load). Only
     // computed for policies that consume it — an O(devices x networks)
     // pass the bandit policies skip entirely.
-    const auto& nets = *d.policy_nets;
+    const auto& nets = *pool_.policy_nets[i];
     fb.all_rates_mbps.resize(nets.size());
     fb.all_gains.resize(nets.size());
     if (shared_rates_) {
@@ -479,23 +542,29 @@ __attribute__((always_inline)) inline void World::fill_device_feedback(
     fb.all_gains.clear();
   }
 
-  d.last_rate_mbps = fb.bit_rate_mbps;
-  d.last_gain = fb.gain;
-  d.last_switched = switched;
-  d.download_mb += fb.goodput_mb;
+  pool_.last_rate_mbps[i] = fb.bit_rate_mbps;
+  pool_.last_gain[i] = fb.gain;
+  pool_.last_switched[i] = switched ? 1 : 0;
+  pool_.download_mb[i] += fb.goodput_mb;
   // delay_s is exactly 0 without a switch, so the loss term would add 0.0.
-  if (switched) d.delay_loss_mb += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
-  d.switches += switched ? 1 : 0;
-  d.slots_active += 1;
-  d.current = chosen;
+  if (switched) {
+    pool_.delay_loss_mb[i] += mbps_seconds_to_mb(fb.bit_rate_mbps, fb.delay_s);
+  }
+  pool_.switches[i] += switched ? 1 : 0;
+  pool_.slots_active[i] += 1;
+  pool_.current[i] = chosen;
 }
 
-void World::feedback_range(Slot t, std::size_t begin, std::size_t end) {
+[[gnu::hot]] void World::feedback_range(Slot t, int lane, std::size_t begin,
+                                        std::size_t end) {
+  // One feedback struct per lane, reused device after device: scratch
+  // scales with the lane count, not the device count, and its vectors keep
+  // their capacity across slots (no per-device-slot allocation).
+  core::SlotFeedback& fb = lane_scratch_[static_cast<std::size_t>(lane)].fb;
   for (std::size_t i = begin; i < end; ++i) {
-    auto& d = devices_[i];
-    if (!d.active) continue;
-    fill_device_feedback(t, i);
-    d.policy->observe(t, d.feedback);
+    if (!pool_.active[i]) continue;
+    fill_device_feedback(t, i, fb);
+    pool_.policy[i]->observe(t, fb);
   }
 }
 
@@ -503,26 +572,31 @@ void World::feedback_range(Slot t, std::size_t begin, std::size_t end) {
 // the whole chunk's observations go through one observe_batch dispatch —
 // which is where the EXP3-family policies pack their weight-update deltas
 // for a single vexp sweep.
-void World::feedback_chunks(Slot t, int lane, std::size_t begin, std::size_t end) {
+[[gnu::hot]] void World::feedback_chunks(Slot t, int lane, std::size_t begin,
+                                         std::size_t end) {
   LaneScratch& ls = lane_scratch_[static_cast<std::size_t>(lane)];
   for (std::size_t c = begin; c < end; ++c) {
     const PolicyChunk& ch = chunks_[c];
-    PolicyGroup& g = groups_[ch.group];
+    PolicyGroup& g = shards_[ch.shard].groups[ch.group];
     const std::size_t n = ch.end - ch.begin;
     if (g.batched) {
+      // observe_batch consumes the whole chunk at once, so the lane keeps a
+      // feedback struct per chunk member (grown monotonically: shrinking
+      // would drop the inner vectors' capacities).
       ls.feedbacks.resize(n);
+      if (ls.fb_pool.size() < n) ls.fb_pool.resize(n);
       for (std::size_t j = 0; j < n; ++j) {
         const std::size_t i = g.members[ch.begin + j];
-        fill_device_feedback(t, i);
-        ls.feedbacks[j] = &devices_[i].feedback;
+        fill_device_feedback(t, i, ls.fb_pool[j]);
+        ls.feedbacks[j] = &ls.fb_pool[j];
       }
       g.policies[ch.begin]->observe_batch(t, g.policies.data() + ch.begin,
                                           ls.feedbacks.data(), n, ls.batch);
     } else {
       for (std::size_t j = 0; j < n; ++j) {
         const std::size_t i = g.members[ch.begin + j];
-        fill_device_feedback(t, i);
-        g.policies[ch.begin + j]->observe(t, devices_[i].feedback);
+        fill_device_feedback(t, i, ls.fb);
+        g.policies[ch.begin + j]->observe(t, ls.fb);
       }
     }
   }
@@ -553,13 +627,13 @@ void World::phase_feedback() {
     return;
   }
   if (parallel_ok) {
-    executor_->run(devices_.size(), feedback_body_);
+    executor_->run(pool_.size(), feedback_body_);
   } else {
-    feedback_range(now_, 0, devices_.size());
+    feedback_range(now_, 0, 0, pool_.size());
   }
 }
 
-void World::step() {
+[[gnu::hot]] void World::step() {
   if (done()) return;
   const Slot t = now_;
   apply_events(t);
@@ -573,8 +647,8 @@ void World::step() {
     // idempotent, so it only needs to run again when the active set (or the
     // model) changed.
     active_ids_scratch_.clear();
-    for (const auto& d : devices_) {
-      if (d.active) active_ids_scratch_.push_back(d.spec.id);
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_.active[i]) active_ids_scratch_.push_back(pool_.spec[i].id);
     }
     bandwidth_->prepare_slot(networks_, active_ids_scratch_);
     bandwidth_prepare_stale_ = false;
@@ -609,20 +683,24 @@ void World::run() {
     w.b(net.trace.empty());
   }
   bandwidth_->snapshot_into(w);
-  w.u64(devices_.size());
-  for (const auto& d : devices_) {
-    w.b(d.active);
-    w.i64(d.area);
-    w.i64(d.current);
-    w.f64(d.last_rate_mbps);
-    w.f64(d.last_gain);
-    w.b(d.last_switched);
-    w.f64(d.download_mb);
-    w.f64(d.delay_loss_mb);
-    w.i64(d.switches);
-    w.i64(d.slots_active);
-    for (const std::uint64_t word : d.delay_rng.state_words()) w.u64(word);
-    d.policy->snapshot_into(w);
+  // Devices in global index order: the stream layout never depends on the
+  // shard count (or any other execution knob), so snapshots round-trip
+  // across (shards, threads) combinations — and across the AoS layout this
+  // pool replaced.
+  w.u64(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    w.b(pool_.active[i] != 0);
+    w.i64(pool_.area[i]);
+    w.i64(pool_.current[i]);
+    w.f64(pool_.last_rate_mbps[i]);
+    w.f64(pool_.last_gain[i]);
+    w.b(pool_.last_switched[i] != 0);
+    w.f64(pool_.download_mb[i]);
+    w.f64(pool_.delay_loss_mb[i]);
+    w.i64(pool_.switches[i]);
+    w.i64(pool_.slots_active[i]);
+    for (const std::uint64_t word : pool_.delay_rng[i].state_words()) w.u64(word);
+    pool_.policy[i]->snapshot_into(w);
   }
 }
 
@@ -651,30 +729,29 @@ void World::run() {
     if (r.b()) net.trace.clear();
   }
   bandwidth_->restore_from(r);
-  if (r.count("world devices") != devices_.size()) {
+  if (r.count("world devices") != pool_.size()) {
     throw core::SnapshotError("world snapshot device count mismatch");
   }
   active_count_ = 0;
-  for (std::size_t i = 0; i < devices_.size(); ++i) {
-    auto& d = devices_[i];
-    d.active = r.b();
-    if (d.active) ++active_count_;
-    d.area = static_cast<int>(r.i64());
-    d.current = static_cast<NetworkId>(r.i64());
-    d.last_rate_mbps = r.f64();
-    d.last_gain = r.f64();
-    d.last_switched = r.b();
-    d.download_mb = r.f64();
-    d.delay_loss_mb = r.f64();
-    d.switches = static_cast<int>(r.i64());
-    d.slots_active = static_cast<int>(r.i64());
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_.active[i] = r.b() ? 1 : 0;
+    if (pool_.active[i]) ++active_count_;
+    pool_.area[i] = static_cast<int>(r.i64());
+    pool_.current[i] = static_cast<NetworkId>(r.i64());
+    pool_.last_rate_mbps[i] = r.f64();
+    pool_.last_gain[i] = r.f64();
+    pool_.last_switched[i] = r.b() ? 1 : 0;
+    pool_.download_mb[i] = r.f64();
+    pool_.delay_loss_mb[i] = r.f64();
+    pool_.switches[i] = static_cast<int>(r.i64());
+    pool_.slots_active[i] = static_cast<int>(r.i64());
     std::array<std::uint64_t, 4> delay_state;
     for (auto& word : delay_state) word = r.u64();
-    d.delay_rng.set_state_words(delay_state);
+    pool_.delay_rng[i].set_state_words(delay_state);
     // The policy's restore re-establishes its own network set; calling
     // set_networks() here would run adaptation rules (weight resets, reseeds)
     // on the checkpointed state and fork the trajectory.
-    d.policy->restore_from(r);
+    pool_.policy[i]->restore_from(r);
     pending_[i] = kNoNetwork;
   }
   // Derived execution state is rebuilt lazily from the restored inputs: the

@@ -7,9 +7,13 @@
 //              time-synchronised in the paper's setup, so all picks are
 //              simultaneous). Device-local: policies draw from their own
 //              per-device RNG streams.
-//   counts   — per-network reduction over the picks: occupancy, and (for
-//              device-invariant bandwidth models) the shared per-network
-//              rate / gain / full-slot goodput, in fixed network order.
+//   counts   — per-network reduction over the picks: each shard reduces its
+//              own device range into a shard-local occupancy vector
+//              (disjoint writes, parallelizable), then the shard sums are
+//              added in fixed shard order — the only state shards ever
+//              exchange. For device-invariant bandwidth models the shared
+//              per-network rate / gain / full-slot goodput caches are then
+//              computed once from the totals, in fixed network order.
 //   feedback — per-device outcomes: switching delay (drawn from the
 //              device's own delay RNG stream), goodput accounting, and the
 //              policy's observe() with capability-gated counterfactuals.
@@ -19,9 +23,17 @@
 // processes; after them it notifies the optional observer (the metrics
 // recorder).
 //
+// Per-device state lives in structure-of-arrays pools (device_pool.hpp),
+// and devices are split across contiguous shards that step independently
+// through the choose and feedback phases. Occupancy is integer, so the
+// shard-summed totals are exactly the single-loop totals — together with
+// the per-device RNG streams this makes the trajectory bit-identical for
+// every (shard count x thread count), pinned by
+// tests/test_sharded_determinism.cpp. See DESIGN.md §6.
+//
 // Because the choose and feedback phases only read shared slot state and
 // write device-local state, a StepExecutor can fan them out across threads
-// with a static device partition. The trajectory is bit-identical for every
+// with a static partition. The trajectory is bit-identical for every
 // thread count: all per-device randomness comes from per-device streams
 // seeded by (world seed, device id), and every cross-device reduction runs
 // serially in fixed order. See README "Three-phase slot model".
@@ -35,52 +47,13 @@
 #include "core/policy.hpp"
 #include "netsim/bandwidth_model.hpp"
 #include "netsim/delay_model.hpp"
+#include "netsim/device_pool.hpp"
 #include "netsim/network.hpp"
 #include "netsim/scenario.hpp"
 #include "netsim/step_executor.hpp"
 #include "stats/rng.hpp"
 
 namespace smartexp3::netsim {
-
-/// Static description of one device participating in a run.
-struct DeviceSpec {
-  DeviceId id = 0;
-  int area = 0;
-  Slot join_slot = 0;
-  Slot leave_slot = -1;  ///< -1 = stays until the end
-  std::string policy_name;  ///< consumed by the policy factory
-};
-
-/// Live per-device state during a run (read-only to observers).
-struct DeviceState {
-  DeviceSpec spec;
-  std::unique_ptr<core::Policy> policy;
-  bool active = false;
-  int area = 0;
-  NetworkId current = kNoNetwork;
-  // Per-slot outcome of the most recent slot (valid while active).
-  double last_rate_mbps = 0.0;
-  double last_gain = 0.0;
-  bool last_switched = false;
-  // Cumulative accounting.
-  double download_mb = 0.0;
-  double delay_loss_mb = 0.0;  ///< download foregone while re-associating
-  int switches = 0;
-  int slots_active = 0;
-  // Engine scratch: the feedback struct is persistent so its vectors keep
-  // their capacity across slots (no per-device-slot allocation), and the
-  // policy's feedback capability is resolved once at construction.
-  core::SlotFeedback feedback;
-  bool wants_full_info = false;
-  // Cached result of policy->networks(): the returned vector *object* is
-  // stable for the policy's lifetime (only its contents change), so the
-  // per-device-slot virtual call is paid once at world construction.
-  const std::vector<NetworkId>* policy_nets = nullptr;
-  // Per-device switching-delay stream, seeded from (world seed, device id).
-  // Keeping delay draws out of the world stream is what makes the feedback
-  // phase device-parallel without changing the trajectory.
-  stats::Rng delay_rng;
-};
 
 struct WorldConfig {
   double slot_seconds = kDefaultSlotSeconds;
@@ -100,6 +73,14 @@ struct WorldConfig {
   /// tests/test_batch_vs_scalar.cpp) — so it is not part of the ScenarioSpec
   /// format. Worlds with a shared-state policy ignore it (scalar path).
   bool policy_batching = true;
+  /// Contiguous device shards stepping independently between counts
+  /// barriers: 0 = auto (one shard per ~16k devices, so paper-scale worlds
+  /// keep a single shard and 10^5-device worlds split). Purely an execution
+  /// knob — occupancy sums are integers, so the trajectory is bit-identical
+  /// for every value (tests/test_sharded_determinism.cpp) and snapshots are
+  /// interchangeable across shard counts; like policy_batching it is not
+  /// part of the ScenarioSpec format.
+  int shards = 0;
 };
 
 class World;
@@ -145,19 +126,25 @@ class World {
   /// bandwidth model's noise state and every device's accounting, delay
   /// stream and policy state. Per-slot scratch (pending picks, counts,
   /// rate caches) is dead at a boundary and deliberately not serialized.
+  /// Devices are written in global index order, so the stream never depends
+  /// on the shard count: a snapshot taken at any (shards, threads) restores
+  /// into a world built with any other.
   void snapshot_into(core::StateWriter& w) const;
 
   /// Restore a snapshot into a world built from the *same* configuration
   /// (networks, devices, scenario, seed, models). Stepping the restored
   /// world continues the original trajectory bit-identically — pinned by
-  /// tests/test_snapshot.cpp for every policy and thread count. Throws
-  /// core::SnapshotError when the stream does not match this world's shape.
+  /// tests/test_snapshot.cpp for every policy, thread count and shard
+  /// count. Throws core::SnapshotError when the stream does not match this
+  /// world's shape.
   void restore_from(core::StateReader& r);
 
   // ---- accessors for observers, metrics and reports ----
   const WorldConfig& config() const { return config_; }
   const std::vector<Network>& networks() const { return networks_; }
-  const std::vector<DeviceState>& devices() const { return devices_; }
+  /// Per-device state, one array per field indexed by device position
+  /// (construction order). See device_pool.hpp.
+  const DevicePool& devices() const { return pool_; }
   /// Devices currently in the service area. O(1): maintained incrementally
   /// on joins and leaves (observers call this every slot).
   int active_device_count() const { return active_count_; }
@@ -169,6 +156,8 @@ class World {
   /// Lanes actually used by the phase executor (1 when running serially,
   /// e.g. because a shared-state policy such as centralized is present).
   int thread_count() const { return executor_ ? executor_->thread_count() : 1; }
+  /// Device shards actually in use (>= 1).
+  int shard_count() const { return static_cast<int>(shards_.size()); }
   /// Whether the feedback phase fans out over the executor lanes: requires
   /// a bandwidth model whose rate() is a pure read during the phase (device
   /// invariant, or materialised via prepare_slot + parallel_rate_safe).
@@ -176,36 +165,43 @@ class World {
     return executor_ != nullptr && (shared_rates_ || bandwidth_->parallel_rate_safe());
   }
 
+  /// Resolve the shard-count knob for a device count: 0 = auto (one shard
+  /// per ~16k devices), otherwise clamp to [1, max(devices, 1)].
+  static int resolve_shards(int shards, std::size_t device_count);
+
  private:
   void apply_events(Slot t);
-  void join_device(DeviceState& d, Slot t);
-  void leave_device(DeviceState& d, Slot t);
-  const std::vector<NetworkId>& visible_for(const DeviceState& d) const;
+  void join_device(std::size_t i, Slot t);
+  void leave_device(std::size_t i, Slot t);
+  const std::vector<NetworkId>& visible_for(int area) const;
 
   // The three slot phases (see the header comment), all operating on the
   // current slot now_. Each *_range body processes the device index range
   // [begin, end) and is safe to run concurrently on disjoint ranges;
-  // phase_counts is a serial fixed-order reduction and doubles as the
-  // barrier between choose and feedback. The *_range bodies are the scalar
-  // reference path (per-device virtual dispatch); the *_chunks bodies are
-  // the policy-batched path over the chunk list below. Both produce
-  // bit-identical trajectories (tests/test_batch_vs_scalar.cpp).
+  // phase_counts reduces per shard and then sums shard counts in fixed
+  // order — the barrier between choose and feedback. The *_range bodies are
+  // the scalar reference path (per-device virtual dispatch); the *_chunks
+  // bodies are the policy-batched path over the chunk list below. Both
+  // produce bit-identical trajectories (tests/test_batch_vs_scalar.cpp).
   void phase_choose();
   void phase_counts();
   void phase_feedback();
   void choose_range(Slot t, std::size_t begin, std::size_t end);
-  void feedback_range(Slot t, std::size_t begin, std::size_t end);
+  void feedback_range(Slot t, int lane, std::size_t begin, std::size_t end);
   void choose_chunks(Slot t, int lane, std::size_t begin, std::size_t end);
   void feedback_chunks(Slot t, int lane, std::size_t begin, std::size_t end);
+  /// Reduce shards [begin, end)'s pending picks into their shard-local
+  /// occupancy vectors (disjoint writes; safe to fan out over lanes).
+  void reduce_shard_counts(std::size_t begin, std::size_t end);
   /// The engine half of a device's feedback: switching delay, rates/gains,
   /// goodput and cumulative accounting — everything except the policy's
-  /// observe(). Shared by the scalar and batched feedback bodies.
-  void fill_device_feedback(Slot t, std::size_t i);
+  /// observe(). Writes the outcome into `fb`, the calling lane's scratch.
+  void fill_device_feedback(Slot t, std::size_t i, core::SlotFeedback& fb);
   void rebuild_policy_groups();
 
   WorldConfig config_;
   std::vector<Network> networks_;
-  std::vector<DeviceState> devices_;
+  DevicePool pool_;
   Scenario scenario_;
   std::size_t next_move_ = 0;
   std::size_t next_capacity_ = 0;
@@ -248,7 +244,8 @@ class World {
   // phase bodies are built once so the hot loop constructs no std::function.
   std::unique_ptr<StepExecutor> executor_;
   StepExecutor::RangeBody choose_body_;
-  StepExecutor::RangeBody feedback_body_;
+  StepExecutor::LaneBody feedback_body_;
+  StepExecutor::RangeBody counts_body_;  // shard-local occupancy reduction
 
   // ---- policy-batched execution (DESIGN.md §4) ----
   // Active devices grouped by concrete policy type: each group's spans run
@@ -261,25 +258,50 @@ class World {
     std::vector<core::Policy*> policies;    // parallel to members
     std::vector<double> costs;              // per-member step_cost_hint()
   };
-  // A chunk is a contiguous member span of one group, cut so its summed cost
-  // hint stays near kChunkCostBudget. Chunk boundaries depend only on the
-  // groups (never on the thread count); the lane bounds then split the chunk
-  // list into thread_count() contiguous ranges balanced by cumulative cost,
-  // so ~4x-cost full-information devices spread across lanes instead of
-  // piling onto one.
+  // ---- device shards (DESIGN.md §6) ----
+  // A shard owns the contiguous device index range [begin, end), its own
+  // policy groups (groups never cross a shard boundary) and a shard-local
+  // occupancy vector. Shards only ever exchange those occupancy sums, at
+  // the counts barrier; everything else a shard touches is device-local.
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<PolicyGroup> groups;
+    std::vector<int> counts;  // per-network occupancy of this shard's picks
+  };
+  // A chunk is a contiguous member span of one shard's group, cut so its
+  // summed cost hint stays near kChunkCostBudget. Chunk boundaries depend
+  // only on the shards and groups (never on the thread count); the lane
+  // bounds then split the global chunk list into thread_count() contiguous
+  // ranges balanced by cumulative cost, so ~4x-cost full-information
+  // devices spread across lanes instead of piling onto one.
   struct PolicyChunk {
+    std::uint32_t shard = 0;
     std::uint32_t group = 0;
     std::uint32_t begin = 0;  // member sub-range [begin, end)
     std::uint32_t end = 0;
     double cost = 0.0;
   };
-  // Per-lane scratch for the batched phase bodies (lane 0 = calling thread).
+  // Per-lane scratch for the phase bodies (lane 0 = calling thread). The
+  // feedback structs live here rather than per device: a lane only ever
+  // fills one device's feedback at a time (scalar path) or one chunk's
+  // worth (batched observe_batch), so scratch scales with lanes x chunk
+  // size instead of with the device count — at 10^6 devices the per-device
+  // structs were the dominant memory term. Vector capacities persist
+  // across slots, so steady-state slots stay allocation-free.
   struct LaneScratch {
     core::BatchScratch batch;
     std::vector<NetworkId> choices;
     std::vector<const core::SlotFeedback*> feedbacks;
+    std::vector<core::SlotFeedback> fb_pool;  // batched path, per chunk member
+    core::SlotFeedback fb;                    // scalar path, one device at a time
   };
   static constexpr double kChunkCostBudget = 64.0;
+  /// Auto shard sizing: one shard per this many devices (see
+  /// WorldConfig::shards). Chosen so the shard-local count vectors and
+  /// group arrays stay cache-resident while paper-scale worlds (hundreds
+  /// of devices) keep a single shard.
+  static constexpr std::size_t kDevicesPerShard = 16384;
   bool use_batching_ = false;   // config flag && all policies device-local
   bool any_batched_ = false;    // some group opted into batch dispatch
   bool groups_dirty_ = true;
@@ -290,7 +312,7 @@ class World {
   bool use_chunked_phases() const {
     return use_batching_ && (any_batched_ || executor_ != nullptr);
   }
-  std::vector<PolicyGroup> groups_;
+  std::vector<Shard> shards_;
   std::vector<PolicyChunk> chunks_;
   std::vector<std::size_t> lane_bounds_;  // thread_count() + 1 chunk indices
   std::vector<LaneScratch> lane_scratch_;

@@ -7,15 +7,17 @@
 namespace {
 std::atomic<bool> g_counting{false};
 std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_bytes{0};
 }  // namespace
 
 // Replaces the global (non-aligned) new/delete pairs for the whole binary.
-// Linked into both the test binary (steady-state allocation guards) and
-// bench/perf_engine (throughput + allocation report), so the two always
-// count allocations identically.
+// Linked into both the test binary (steady-state allocation guards, memory
+// budget) and bench/perf_engine (throughput + allocation report), so the two
+// always count allocations identically.
 void* operator new(std::size_t n) {
   if (g_counting.load(std::memory_order_relaxed)) {
     g_count.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(n, std::memory_order_relaxed);
   }
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc();
@@ -30,12 +32,19 @@ namespace smartexp3::testing {
 
 void start_alloc_counting() {
   g_count.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
   g_counting.store(true, std::memory_order_relaxed);
 }
 
 std::uint64_t stop_alloc_counting() {
   g_counting.store(false, std::memory_order_relaxed);
   return g_count.load(std::memory_order_relaxed);
+}
+
+AllocStats stop_alloc_counting_stats() {
+  g_counting.store(false, std::memory_order_relaxed);
+  return {g_count.load(std::memory_order_relaxed),
+          g_bytes.load(std::memory_order_relaxed)};
 }
 
 }  // namespace smartexp3::testing

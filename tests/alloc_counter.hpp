@@ -1,8 +1,9 @@
 // Binary-wide heap-allocation counter for the steady-state allocation
-// tests (hot path and recorder) and for bench/perf_engine. The replacement
-// operator new in alloc_counter.cpp counts every allocation made while
-// counting is enabled; with counting off the overhead is one relaxed atomic
-// load per allocation.
+// tests (hot path and recorder), the memory-per-device budget test and
+// bench/perf_engine. The replacement operator new in alloc_counter.cpp
+// counts every allocation (and its requested bytes) made while counting is
+// enabled; with counting off the overhead is one relaxed atomic load per
+// allocation.
 //
 // Only meaningful on a single thread: enable counting around a serial
 // measurement window (gtest itself allocates, so keep the window tight and
@@ -13,8 +14,18 @@
 
 namespace smartexp3::testing {
 
-/// Enable/disable counting (also resets the counter on enable).
+/// Allocations made while counting was enabled. `bytes` is the sum of the
+/// *requested* sizes (what the code asked for, not what malloc rounded to) —
+/// freed blocks are not subtracted, so this is cumulative churn, not live
+/// heap; for a window that only builds data structures the two coincide.
+struct AllocStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Enable/disable counting (also resets the counters on enable).
 void start_alloc_counting();
 std::uint64_t stop_alloc_counting();  ///< returns allocations in the window
+AllocStats stop_alloc_counting_stats();  ///< same, with the byte total
 
 }  // namespace smartexp3::testing

@@ -32,9 +32,10 @@ struct TrajectoryProbe final : netsim::WorldObserver {
   std::vector<std::vector<NetworkId>>* out;
   void on_slot_end(Slot, const netsim::World& world) override {
     out->emplace_back();
-    out->back().reserve(world.devices().size());
-    for (const auto& d : world.devices()) {
-      out->back().push_back(d.active ? d.current : kNoNetwork);
+    const auto& pool = world.devices();
+    out->back().reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      out->back().push_back(pool.active[i] ? pool.current[i] : kNoNetwork);
     }
   }
 };
@@ -48,11 +49,10 @@ Trajectory run_trajectory(exp::ExperimentConfig cfg, bool batching, int threads)
   probe.out = &out.choices;
   world->set_observer(&probe);
   world->run();
-  for (const auto& d : world->devices()) {
-    out.downloads_mb.push_back(d.download_mb);
-    out.delay_loss_mb.push_back(d.delay_loss_mb);
-    out.switches.push_back(d.switches);
-  }
+  const auto& pool = world->devices();
+  out.downloads_mb = pool.download_mb;
+  out.delay_loss_mb = pool.delay_loss_mb;
+  out.switches = pool.switches;
   return out;
 }
 

@@ -44,10 +44,10 @@ void expect_pinned_trajectory(const netsim::World& world) {
   ASSERT_EQ(devices.size(), 10u);
   for (std::size_t i = 0; i < devices.size(); ++i) {
     SCOPED_TRACE("device " + std::to_string(i) + " (" +
-                 devices[i].spec.policy_name + ")");
-    EXPECT_EQ(devices[i].download_mb, kExpectedDownloadsMb[i]);
-    EXPECT_EQ(devices[i].switches, kExpectedSwitches[i]);
-    EXPECT_EQ(devices[i].slots_active, kExpectedSlotsActive[i]);
+                 devices.spec[i].policy_name + ")");
+    EXPECT_EQ(devices.download_mb[i], kExpectedDownloadsMb[i]);
+    EXPECT_EQ(devices.switches[i], kExpectedSwitches[i]);
+    EXPECT_EQ(devices.slots_active[i], kExpectedSlotsActive[i]);
   }
 }
 
@@ -107,9 +107,9 @@ TEST(GoldenTrajectory, RepeatedRunsAreIdentical) {
   a->run();
   b->run();
   for (std::size_t i = 0; i < a->devices().size(); ++i) {
-    EXPECT_EQ(a->devices()[i].download_mb, b->devices()[i].download_mb);
-    EXPECT_EQ(a->devices()[i].switches, b->devices()[i].switches);
-    EXPECT_EQ(a->devices()[i].current, b->devices()[i].current);
+    EXPECT_EQ(a->devices().download_mb[i], b->devices().download_mb[i]);
+    EXPECT_EQ(a->devices().switches[i], b->devices().switches[i]);
+    EXPECT_EQ(a->devices().current[i], b->devices().current[i]);
   }
 }
 
@@ -121,7 +121,7 @@ TEST(GoldenTrajectory, ActiveDeviceCountTracksJoinsAndLeaves) {
   while (!world->done()) {
     world->step();
     int scanned = 0;
-    for (const auto& d : world->devices()) scanned += d.active ? 1 : 0;
+    for (const auto a : world->devices().active) scanned += a ? 1 : 0;
     ASSERT_EQ(world->active_device_count(), scanned) << "slot " << world->now();
   }
   EXPECT_EQ(world->active_device_count(), 7);  // devices 7, 8 and 9 left for good

@@ -27,9 +27,10 @@ struct TrajectoryProbe final : netsim::WorldObserver {
   std::vector<std::vector<NetworkId>> choices;  // [slot][device], kNoNetwork = inactive
   void on_slot_end(Slot, const netsim::World& world) override {
     choices.emplace_back();
-    choices.back().reserve(world.devices().size());
-    for (const auto& d : world.devices()) {
-      choices.back().push_back(d.active ? d.current : kNoNetwork);
+    const auto& pool = world.devices();
+    choices.back().reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      choices.back().push_back(pool.active[i] ? pool.current[i] : kNoNetwork);
     }
   }
 };
@@ -49,11 +50,10 @@ Trajectory run_trajectory(exp::ExperimentConfig cfg, int threads) {
   world->run();
   Trajectory out;
   out.choices = std::move(probe.choices);
-  for (const auto& d : world->devices()) {
-    out.downloads_mb.push_back(d.download_mb);
-    out.delay_loss_mb.push_back(d.delay_loss_mb);
-    out.switches.push_back(d.switches);
-  }
+  const auto& pool = world->devices();
+  out.downloads_mb = pool.download_mb;
+  out.delay_loss_mb = pool.delay_loss_mb;
+  out.switches = pool.switches;
   return out;
 }
 

@@ -13,9 +13,10 @@ namespace {
 TEST(Registry, CatalogCoversThePaper) {
   const auto names = setting_names();
   const std::vector<std::string> expected = {
-      "setting1", "setting2",  "scalability",        "join",    "leave",
-      "mobility", "greedy_mix", "controlled",        "controlled_dynamic",
-      "channel",  "trace1",    "trace2",             "trace3",  "trace4"};
+      "setting1",   "setting2",   "scalability", "scalability_xl",
+      "join",       "leave",      "mobility",    "greedy_mix",
+      "controlled", "controlled_dynamic",        "channel",
+      "trace1",     "trace2",     "trace3",      "trace4"};
   EXPECT_EQ(names, expected);
   for (const auto& name : names) EXPECT_TRUE(is_valid_setting_name(name)) << name;
   EXPECT_FALSE(is_valid_setting_name("setting3"));

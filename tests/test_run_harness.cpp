@@ -165,6 +165,35 @@ TEST(RunHarness, ResumeAcrossJoinLeaveBoundariesWithRecorderSeries) {
   }
 }
 
+TEST(RunHarness, ShardedWorldKillAndResumeIsBitIdentical) {
+  // The sharded engine through the whole crash-recovery stack: a multi-shard
+  // world killed at a slot boundary must resume bit-identically to an
+  // uninterrupted — and unsharded — reference, because checkpoints
+  // serialize devices in global index order: the stream knows nothing of
+  // shards. (Restoring a checkpoint into a world with a different shard
+  // count is pinned separately in test_sharded_determinism.cpp.)
+  auto cfg = dynamic_config("smart_exp3");
+  const auto reference = run_many(cfg, /*runs=*/2, /*threads=*/1);  // shards auto = 1
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    cfg.world.shards = shards;
+    const fs::path dir = scratch_dir("sharded_s" + std::to_string(shards));
+    CrashOnce crash{{75, 180}, {}};
+    RunOptions options;
+    options.checkpoint.every = 25;  // kill at 75 lands exactly on a boundary
+    options.checkpoint.dir = dir.string();
+    options.control.max_attempts = 2;
+    options.control.fault_hook = crash.hook();
+    const auto batch = run_many_result(cfg, 2, /*threads=*/2, options);
+    EXPECT_TRUE(batch.all_completed());
+    for (std::size_t r = 0; r < 2; ++r) {
+      SCOPED_TRACE("run " + std::to_string(r));
+      EXPECT_TRUE(crash.fired[r].load()) << "fault was never injected";
+      expect_results_identical(reference[r], batch.results[r]);
+    }
+  }
+}
+
 TEST(RunHarness, GoldenScenarioKillAndResumeMatchesGoldenRun) {
   // The mixed-policy golden scenario, killed mid-run: resumed results must
   // equal the untouched reference — i.e. crash recovery cannot shift the

@@ -1,0 +1,217 @@
+// Shard-count independence.
+//
+// Sharding partitions the device pool into contiguous ranges that step
+// independently and synchronize only per-network occupancy sums at the
+// counts barrier. Because every device's RNG streams are keyed by
+// (seed, device id) and the occupancy exchange adds shard-local integer
+// counts in fixed shard order, the shard count is a pure execution knob:
+// for every (shard count x thread count) the trajectory must be
+// bit-identical to the unsharded serial engine. This file pins that on the
+// golden scenario (restricted visibility, moves, a capacity change), on a
+// dynamic join/leave scenario, and on the snapshot byte stream (devices are
+// serialized in global index order, so the words must not depend on the
+// shard layout either — a checkpoint taken at one shard count restores at
+// any other).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "exp/runner.hpp"
+#include "golden_scenario.hpp"
+#include "netsim/world.hpp"
+
+namespace smartexp3 {
+namespace {
+
+struct Trajectory {
+  std::vector<std::vector<NetworkId>> choices;  // [slot][device]
+  std::vector<double> downloads_mb;
+  std::vector<double> delay_loss_mb;
+  std::vector<int> switches;
+};
+
+struct TrajectoryProbe final : netsim::WorldObserver {
+  std::vector<std::vector<NetworkId>> choices;
+  void on_slot_end(Slot, const netsim::World& world) override {
+    choices.emplace_back();
+    const auto& pool = world.devices();
+    choices.back().reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      choices.back().push_back(pool.active[i] ? pool.current[i] : kNoNetwork);
+    }
+  }
+};
+
+Trajectory run_trajectory(exp::ExperimentConfig cfg, int shards, int threads) {
+  cfg.world.shards = shards;
+  cfg.world.threads = threads;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  TrajectoryProbe probe;
+  world->set_observer(&probe);
+  world->run();
+  Trajectory out;
+  out.choices = std::move(probe.choices);
+  const auto& pool = world->devices();
+  out.downloads_mb = pool.download_mb;
+  out.delay_loss_mb = pool.delay_loss_mb;
+  out.switches = pool.switches;
+  return out;
+}
+
+void expect_identical(const Trajectory& reference, const Trajectory& other) {
+  ASSERT_EQ(reference.choices.size(), other.choices.size());
+  for (std::size_t t = 0; t < reference.choices.size(); ++t) {
+    ASSERT_EQ(reference.choices[t], other.choices[t]) << "slot " << t;
+  }
+  ASSERT_EQ(reference.downloads_mb.size(), other.downloads_mb.size());
+  for (std::size_t i = 0; i < reference.downloads_mb.size(); ++i) {
+    SCOPED_TRACE("device " + std::to_string(i));
+    // Bit-identical, not just close: EXPECT_EQ on doubles is deliberate.
+    EXPECT_EQ(reference.downloads_mb[i], other.downloads_mb[i]);
+    EXPECT_EQ(reference.delay_loss_mb[i], other.delay_loss_mb[i]);
+    EXPECT_EQ(reference.switches[i], other.switches[i]);
+  }
+}
+
+/// 12 devices on 3 fully visible networks; devices 8..11 join at slot 60,
+/// devices 4..7 leave at slot 180 — joins and leaves land inside different
+/// shards once the pool is split.
+exp::ExperimentConfig dynamic_join_leave_config(const std::string& policy) {
+  using namespace smartexp3::netsim;
+  exp::ExperimentConfig cfg;
+  cfg.name = "sharded-determinism-dynamic";
+  cfg.world.horizon = 240;
+  cfg.base_seed = 8899;
+  cfg.networks.push_back(make_cellular(0, 11.0));
+  cfg.networks.push_back(make_wifi(1, 22.0));
+  cfg.networks.push_back(make_wifi(2, 7.0));
+  for (int i = 0; i < 12; ++i) {
+    DeviceSpec d;
+    d.id = i;
+    d.policy_name = policy;
+    if (i >= 8) d.join_slot = 60;
+    if (i >= 4 && i < 8) d.leave_slot = 180;
+    cfg.devices.push_back(d);
+  }
+  return cfg;
+}
+
+TEST(ShardedDeterminism, GoldenScenarioBitIdenticalAtEveryShardByThreadCount) {
+  const auto cfg = testing::golden_config();
+  const auto reference = run_trajectory(cfg, /*shards=*/1, /*threads=*/1);
+  for (const int shards : {1, 2, 4}) {
+    for (const int threads : {1, 2, 4}) {
+      SCOPED_TRACE("shards " + std::to_string(shards) + " threads " +
+                   std::to_string(threads));
+      expect_identical(reference, run_trajectory(cfg, shards, threads));
+    }
+  }
+}
+
+TEST(ShardedDeterminism, DynamicJoinLeaveBitIdenticalAtEveryShardByThreadCount) {
+  for (const std::string policy : {"smart_exp3", "exp3", "greedy"}) {
+    SCOPED_TRACE("policy " + policy);
+    const auto cfg = dynamic_join_leave_config(policy);
+    const auto reference = run_trajectory(cfg, 1, 1);
+    for (const int shards : {2, 4}) {
+      for (const int threads : {1, 2, 4}) {
+        SCOPED_TRACE("shards " + std::to_string(shards) + " threads " +
+                     std::to_string(threads));
+        expect_identical(reference, run_trajectory(cfg, shards, threads));
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminism, NoisyShareBitIdenticalAcrossShards) {
+  // Non-device-invariant bandwidth model: the per-device noise multipliers
+  // are materialised in serial first-touch order regardless of sharding.
+  auto cfg = dynamic_join_leave_config("smart_exp3");
+  cfg.share = exp::ShareKind::kNoisy;
+  const auto reference = run_trajectory(cfg, 1, 1);
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    expect_identical(reference, run_trajectory(cfg, shards, /*threads=*/2));
+  }
+}
+
+TEST(ShardedDeterminism, ShardResolutionClampsAndAutosizes) {
+  // Explicit counts clamp to [1, devices]; 0 = auto sizes one shard per
+  // ~16k devices so paper-scale worlds keep the single-shard fast path.
+  EXPECT_EQ(netsim::World::resolve_shards(0, 10), 1);
+  EXPECT_EQ(netsim::World::resolve_shards(0, 16384), 1);
+  EXPECT_EQ(netsim::World::resolve_shards(0, 16385), 2);
+  EXPECT_EQ(netsim::World::resolve_shards(0, 100000), 7);
+  EXPECT_EQ(netsim::World::resolve_shards(4, 100000), 4);
+  EXPECT_EQ(netsim::World::resolve_shards(64, 10), 10);  // never exceed devices
+  EXPECT_EQ(netsim::World::resolve_shards(-3, 10), 1);   // negatives act as auto
+  const auto cfg = testing::golden_config();
+  auto cfg4 = cfg;
+  cfg4.world.shards = 4;
+  auto world = exp::build_world(cfg4, cfg.base_seed);
+  EXPECT_EQ(world->shard_count(), 4);
+}
+
+// --- snapshots across shard counts ---------------------------------------
+
+std::vector<std::uint64_t> words_at_cut(const exp::ExperimentConfig& base,
+                                        int shards, Slot cut) {
+  auto cfg = base;
+  cfg.world.shards = shards;
+  auto world = exp::build_world(cfg, cfg.base_seed);
+  while (world->now() < cut) world->step();
+  std::vector<std::uint64_t> words;
+  core::StateWriter w(words);
+  world->snapshot_into(w);
+  return words;
+}
+
+TEST(ShardedDeterminism, SnapshotStreamIsShardCountIndependent) {
+  // Devices are serialized in global index order, never shard order: the
+  // snapshot taken at any shard count is the same byte stream.
+  const auto cfg = testing::golden_config();
+  const auto reference = words_at_cut(cfg, 1, 77);
+  for (const int shards : {2, 4}) {
+    SCOPED_TRACE("shards " + std::to_string(shards));
+    EXPECT_EQ(reference, words_at_cut(cfg, shards, 77));
+  }
+}
+
+TEST(ShardedDeterminism, SnapshotRestoresAcrossDifferentShardCounts) {
+  // Snapshot at 2 shards, restore into a 4-shard world (and vice versa),
+  // finish, and demand the uninterrupted single-shard end state.
+  const auto base = testing::golden_config();
+  auto uninterrupted = exp::build_world(base, base.base_seed);
+  uninterrupted->run();
+
+  for (const auto [from, to] : {std::pair{2, 4}, std::pair{4, 2}, std::pair{2, 1}}) {
+    SCOPED_TRACE("shards " + std::to_string(from) + " -> " + std::to_string(to));
+    const auto words = words_at_cut(base, from, 99);
+
+    auto cfg = base;
+    cfg.world.shards = to;
+    auto resumed = exp::build_world(cfg, cfg.base_seed);
+    core::StateReader r(words);
+    resumed->restore_from(r);
+    EXPECT_TRUE(r.exhausted());
+    EXPECT_EQ(resumed->now(), 99);
+    while (!resumed->done()) resumed->step();
+
+    const auto& da = uninterrupted->devices();
+    const auto& db = resumed->devices();
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      SCOPED_TRACE("device " + std::to_string(i));
+      EXPECT_EQ(da.active[i], db.active[i]);
+      EXPECT_EQ(da.current[i], db.current[i]);
+      EXPECT_EQ(da.download_mb[i], db.download_mb[i]);
+      EXPECT_EQ(da.delay_loss_mb[i], db.delay_loss_mb[i]);
+      EXPECT_EQ(da.switches[i], db.switches[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartexp3

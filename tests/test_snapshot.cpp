@@ -102,17 +102,17 @@ std::vector<std::uint64_t> snapshot_world(const netsim::World& world) {
 
 void expect_same_end_state(const netsim::World& a, const netsim::World& b) {
   ASSERT_EQ(a.devices().size(), b.devices().size());
-  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+  const auto& da = a.devices();
+  const auto& db = b.devices();
+  for (std::size_t i = 0; i < da.size(); ++i) {
     SCOPED_TRACE("device " + std::to_string(i));
-    const auto& da = a.devices()[i];
-    const auto& db = b.devices()[i];
-    EXPECT_EQ(da.active, db.active);
-    EXPECT_EQ(da.current, db.current);
+    EXPECT_EQ(da.active[i], db.active[i]);
+    EXPECT_EQ(da.current[i], db.current[i]);
     // Bit-identical doubles, deliberately: resume must continue the exact
     // trajectory, not a nearby one.
-    EXPECT_EQ(da.download_mb, db.download_mb);
-    EXPECT_EQ(da.delay_loss_mb, db.delay_loss_mb);
-    EXPECT_EQ(da.switches, db.switches);
+    EXPECT_EQ(da.download_mb[i], db.download_mb[i]);
+    EXPECT_EQ(da.delay_loss_mb[i], db.delay_loss_mb[i]);
+    EXPECT_EQ(da.switches[i], db.switches[i]);
   }
 }
 

@@ -37,11 +37,12 @@ TEST(World, EqualShareCongestion) {
   World world(cfg, {make_wifi(0, 12.0)}, n_devices(4), {}, fixed_factory(), 1);
   world.set_delay_model(std::make_unique<ZeroDelayModel>());
   world.run();
-  for (const auto& d : world.devices()) {
-    EXPECT_DOUBLE_EQ(d.last_rate_mbps, 3.0);
+  const auto& pool = world.devices();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pool.last_rate_mbps[i], 3.0);
     // 5 slots * 3 Mbps * 15 s / 8 = 28.125 MB.
-    EXPECT_NEAR(d.download_mb, 28.125, 1e-9);
-    EXPECT_EQ(d.switches, 0);
+    EXPECT_NEAR(pool.download_mb[i], 28.125, 1e-9);
+    EXPECT_EQ(pool.switches[i], 0);
   }
 }
 
@@ -91,8 +92,8 @@ TEST(World, JoinAndLeaveSchedules) {
   const std::vector<int> expected = {1, 1, 1, 2, 2, 2, 2, 1, 1, 1};
   EXPECT_EQ(active_counts, expected);
   // Device 1 was active slots 3..6 -> 4 slots at 4 Mbps shared = 4 Mbps each.
-  EXPECT_EQ(world.devices()[1].slots_active, 4);
-  EXPECT_NEAR(world.devices()[1].download_mb, 4 * mbps_seconds_to_mb(4.0, 15.0), 1e-9);
+  EXPECT_EQ(world.devices().slots_active[1], 4);
+  EXPECT_NEAR(world.devices().download_mb[1], 4 * mbps_seconds_to_mb(4.0, 15.0), 1e-9);
 }
 
 TEST(World, MoveEventChangesVisibleNetworks) {
@@ -113,7 +114,7 @@ TEST(World, MoveEventChangesVisibleNetworks) {
   std::vector<NetworkId> chosen;
   while (!world.done()) {
     world.step();
-    chosen.push_back(world.devices()[0].current);
+    chosen.push_back(world.devices().current[0]);
   }
   // Before the move only networks {0,1} are choosable; after only {0,2}.
   for (int t = 0; t < 3; ++t) EXPECT_NE(chosen[static_cast<std::size_t>(t)], 2);
@@ -130,7 +131,7 @@ TEST(World, CapacityEventApplies) {
   std::vector<double> rates;
   while (!world.done()) {
     world.step();
-    rates.push_back(world.devices()[0].last_rate_mbps);
+    rates.push_back(world.devices().last_rate_mbps[0]);
   }
   EXPECT_DOUBLE_EQ(rates[0], 8.0);
   EXPECT_DOUBLE_EQ(rates[1], 8.0);
@@ -148,19 +149,20 @@ TEST(World, SwitchAccountingAndDelayLoss) {
               greedy_factory(), 4);
   world.set_delay_model(std::make_unique<FixedDelayModel>(3.0, 3.0));
   world.run();
-  const auto& d = world.devices()[0];
-  EXPECT_EQ(d.current, 0);  // settled on the better network
-  ASSERT_TRUE(d.switches == 1 || d.switches == 2);
+  const auto& pool = world.devices();
+  EXPECT_EQ(pool.current[0], 0);  // settled on the better network
+  const int switches = pool.switches[0];
+  ASSERT_TRUE(switches == 1 || switches == 2);
   const double loss_to_6 = mbps_seconds_to_mb(6.0, 3.0);
   const double loss_to_3 = mbps_seconds_to_mb(3.0, 3.0);
-  const double expected_loss = d.switches == 1 ? loss_to_6 : loss_to_3 + loss_to_6;
-  EXPECT_NEAR(d.delay_loss_mb, expected_loss, 1e-9);
+  const double expected_loss = switches == 1 ? loss_to_6 : loss_to_3 + loss_to_6;
+  EXPECT_NEAR(pool.delay_loss_mb[0], expected_loss, 1e-9);
   // Slots on each network: either 1 on the 3 (explored first) or 1 on the 3
   // and the rest on the 6 — reconstruct gross download from the path.
   const double slots_on_3 = 1.0;
   const double gross = slots_on_3 * mbps_seconds_to_mb(3.0, 15.0) +
                        (10.0 - slots_on_3) * mbps_seconds_to_mb(6.0, 15.0);
-  EXPECT_NEAR(d.download_mb, gross - d.delay_loss_mb, 1e-9);
+  EXPECT_NEAR(pool.download_mb[0], gross - pool.delay_loss_mb[0], 1e-9);
 }
 
 TEST(World, NoDelayChargedOnFirstAssociation) {
@@ -169,8 +171,8 @@ TEST(World, NoDelayChargedOnFirstAssociation) {
   World world(cfg, {make_wifi(0, 6.0)}, n_devices(1), {}, fixed_factory(), 5);
   world.set_delay_model(std::make_unique<FixedDelayModel>(5.0, 5.0));
   world.run();
-  EXPECT_EQ(world.devices()[0].switches, 0);
-  EXPECT_DOUBLE_EQ(world.devices()[0].delay_loss_mb, 0.0);
+  EXPECT_EQ(world.devices().switches[0], 0);
+  EXPECT_DOUBLE_EQ(world.devices().delay_loss_mb[0], 0.0);
 }
 
 TEST(World, UnusedCapacityTracksEmptyNetworks) {
@@ -207,7 +209,7 @@ TEST(World, DeterministicAcrossIdenticalSeeds) {
                 greedy_factory(), seed);
     world.run();
     std::vector<double> downloads;
-    for (const auto& d : world.devices()) downloads.push_back(d.download_mb);
+    for (const double mb : world.devices().download_mb) downloads.push_back(mb);
     return downloads;
   };
   EXPECT_EQ(run(11), run(11));

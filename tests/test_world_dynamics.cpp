@@ -23,9 +23,9 @@ TEST(WorldDynamics, TransientDevicesChargeOnlyActiveSlots) {
   cfg.devices[1].leave_slot = 60;
   auto world = exp::build_world(cfg, 5);
   world->run();
-  EXPECT_EQ(world->devices()[0].slots_active, 100);
-  EXPECT_EQ(world->devices()[1].slots_active, 40);
-  EXPECT_GT(world->devices()[1].download_mb, 0.0);
+  EXPECT_EQ(world->devices().slots_active[0], 100);
+  EXPECT_EQ(world->devices().slots_active[1], 40);
+  EXPECT_GT(world->devices().download_mb[1], 0.0);
 }
 
 TEST(WorldDynamics, LeaverFreesCapacityForTheRest) {
@@ -39,7 +39,7 @@ TEST(WorldDynamics, LeaverFreesCapacityForTheRest) {
   std::vector<double> rates;
   while (!world->done()) {
     world->step();
-    rates.push_back(world->devices()[0].last_rate_mbps);
+    rates.push_back(world->devices().last_rate_mbps[0]);
   }
   EXPECT_DOUBLE_EQ(rates[10], 5.0);   // shared
   EXPECT_DOUBLE_EQ(rates[30], 10.0);  // alone after the departure
@@ -52,8 +52,8 @@ TEST(WorldDynamics, RejoinIsNotSupportedTwicePerSpecButLeaveIsClean) {
   cfg.devices[1].leave_slot = 10;
   auto world = exp::build_world(cfg, 7);
   world->run();
-  EXPECT_EQ(world->devices()[1].slots_active, 5);
-  EXPECT_FALSE(world->devices()[1].active);
+  EXPECT_EQ(world->devices().slots_active[1], 5);
+  EXPECT_FALSE(world->devices().active[1]);
   EXPECT_EQ(world->active_device_count(), 1);
 }
 
@@ -70,7 +70,7 @@ TEST(WorldDynamics, MoveForcesPolicyOntoNewVisibleSet) {
   std::vector<NetworkId> chosen;
   while (!world->done()) {
     world->step();
-    chosen.push_back(world->devices()[0].current);
+    chosen.push_back(world->devices().current[0]);
   }
   for (int t = 0; t < 30; ++t) ASSERT_NE(chosen[static_cast<std::size_t>(t)], 2) << t;
   for (int t = 30; t < 60; ++t) ASSERT_NE(chosen[static_cast<std::size_t>(t)], 1) << t;
@@ -86,7 +86,7 @@ TEST(WorldDynamics, MoveToAreaWithSameVisibilityIsANoop) {
   cfg.scenario.move(10, cfg.devices[0].id, 3);
   auto world = exp::build_world(cfg, 9);
   world->run();
-  EXPECT_EQ(world->devices()[0].slots_active, 20);
+  EXPECT_EQ(world->devices().slots_active[0], 20);
 }
 
 TEST(WorldDynamics, CapacityEventInterruptsTrace) {
@@ -99,7 +99,7 @@ TEST(WorldDynamics, CapacityEventInterruptsTrace) {
   std::vector<double> rates;
   while (!world->done()) {
     world->step();
-    rates.push_back(world->devices()[0].last_rate_mbps);
+    rates.push_back(world->devices().last_rate_mbps[0]);
   }
   EXPECT_DOUBLE_EQ(rates[0], 3.0);  // trace-driven
   EXPECT_DOUBLE_EQ(rates[7], 8.0);  // scripted override wins
@@ -115,7 +115,7 @@ TEST(WorldDynamics, GainScaleCoversTracePeaks) {
   // Gains must stay in [0, 1] even at the trace peak.
   while (!world->done()) {
     world->step();
-    ASSERT_LE(world->devices()[0].last_gain, 1.0);
+    ASSERT_LE(world->devices().last_gain[0], 1.0);
   }
 }
 
@@ -127,7 +127,7 @@ TEST(WorldDynamics, JoinMidRunSeesCurrentCongestion) {
   std::vector<double> rate0;
   while (!world->done()) {
     world->step();
-    rate0.push_back(world->devices()[0].last_rate_mbps);
+    rate0.push_back(world->devices().last_rate_mbps[0]);
   }
   EXPECT_DOUBLE_EQ(rate0[10], 10.0);
   EXPECT_DOUBLE_EQ(rate0[40], 2.0);  // five-way split after the joins

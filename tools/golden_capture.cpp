@@ -21,14 +21,15 @@ int main() {
   std::printf("// golden values for seed %" PRIu64 " (paste into test_golden_trajectory.cpp)\n",
               cfg.base_seed);
   std::printf("const double kExpectedDownloadsMb[] = {\n");
-  for (const auto& d : world->devices()) {
-    std::printf("    %.17g,  // device %d (%s)\n", d.download_mb, d.spec.id,
-                d.spec.policy_name.c_str());
+  const auto& pool = world->devices();
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    std::printf("    %.17g,  // device %d (%s)\n", pool.download_mb[i],
+                pool.spec[i].id, pool.spec[i].policy_name.c_str());
   }
   std::printf("};\nconst int kExpectedSwitches[] = {");
-  for (const auto& d : world->devices()) std::printf("%d, ", d.switches);
+  for (const int s : pool.switches) std::printf("%d, ", s);
   std::printf("};\nconst int kExpectedSlotsActive[] = {");
-  for (const auto& d : world->devices()) std::printf("%d, ", d.slots_active);
+  for (const int s : pool.slots_active) std::printf("%d, ", s);
   std::printf("};\n");
   return 0;
 }

@@ -26,6 +26,8 @@
 // Output options:
 //   --runs N         independent runs (default 20)
 //   --threads N      worker threads (default: hardware concurrency)
+//   --shards N       device-pool shards per world (0 = auto; the trajectory
+//                    is identical for every value — purely an execution knob)
 //   --csv PATH       write the mean distance-to-NE series as CSV
 //   --stability      also run the Definition 2 stable-state detector
 //   --quiet          summary line only
@@ -83,6 +85,7 @@ struct Args {
   std::uint64_t seed = 0;
   bool seed_set = false;
   int threads = 0;
+  int shards = -1;  // -1 = config default (0 = auto: one shard per ~16k devices)
   std::string csv;
   bool stability = false;
   bool quiet = false;
@@ -117,6 +120,7 @@ void print_help() {
       "output:\n"
       "  --runs N         independent runs (default 20)\n"
       "  --threads N      worker threads (default: all cores)\n"
+      "  --shards N       device-pool shards per world (0 = auto)\n"
       "  --csv PATH       dump mean distance-to-NE series as CSV\n"
       "  --stability      run the stable-state detector too\n"
       "  --quiet          one summary line only\n\n"
@@ -222,6 +226,12 @@ Args parse(int argc, char** argv) {
       args.seed_set = true;
     } else if (arg == "--threads") {
       args.threads = parse_int_arg("--threads", need_value("--threads"));
+    } else if (arg == "--shards") {
+      args.shards = parse_int_arg("--shards", need_value("--shards"));
+      if (args.shards < 0) {
+        usage_error("--shards must be >= 0 (0 = auto), got " +
+                    std::to_string(args.shards));
+      }
     } else if (arg == "--checkpoint-every") {
       args.checkpoint_every =
           parse_int_arg("--checkpoint-every", need_value("--checkpoint-every"));
@@ -295,6 +305,10 @@ std::string policy_label(const exp::ExperimentConfig& cfg) {
 int run(const Args& args) {
   auto cfg = build_config(args);
   if (args.seed_set) cfg.base_seed = args.seed;
+  // Execution knob, not part of the scenario: --shards wins, then the
+  // WORLD_SHARDS environment variable, then the config default (auto).
+  cfg.world.shards =
+      args.shards != -1 ? args.shards : exp::world_shards(cfg.world.shards);
   if (args.stability) cfg.recorder.track_stability = true;
   cfg.validate_or_throw();
 
