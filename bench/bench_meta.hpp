@@ -1,0 +1,31 @@
+// Provenance stamp shared by the BENCH JSON writers: which commit produced
+// the numbers and when. The regression gate (tools/check_bench_regression.py)
+// compares only the "config" shape and the measured entries, so "meta" never
+// trips it — it exists for humans and dashboards diffing BENCH files from
+// different machines or commits.
+#pragma once
+
+#include <cstdio>
+#include <ctime>
+
+#ifndef SMARTEXP3_GIT_SHA
+#define SMARTEXP3_GIT_SHA "unknown"
+#endif
+
+namespace smartexp3::bench {
+
+/// Write `  "meta": {...},` (with trailing comma + newline) into an open
+/// BENCH JSON object: the build's git commit and an ISO-8601 UTC timestamp.
+inline void write_meta(std::FILE* f) {
+  char stamp[sizeof "1970-01-01T00:00:00Z"] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm utc;
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  std::fprintf(f,
+               "  \"meta\": {\"git_sha\": \"%s\", \"generated_utc\": \"%s\"},\n",
+               SMARTEXP3_GIT_SHA, stamp);
+}
+
+}  // namespace smartexp3::bench

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "alloc_counter.hpp"
+#include "bench_meta.hpp"
 #include "exp/runner.hpp"
 #include "netsim/delay_model.hpp"
 #include "stats/distributions.hpp"
@@ -109,8 +110,9 @@ int main() {
     std::fprintf(stderr, "perf_samplers: cannot write BENCH_samplers.json\n");
     return 1;
   }
+  std::fprintf(f, "{\n  \"schema_version\": 2,\n");
+  bench::write_meta(f);
   std::fprintf(f,
-               "{\n  \"schema_version\": 2,\n"
                "  \"config\": {\"samples\": %d, \"runs\": %d},\n"
                "  \"table_build_ms\": %.3f,\n  \"samplers\": [\n",
                kSamples, runs, build_ms);

@@ -84,7 +84,9 @@ metrics::RunResult run_once_impl(const ExperimentConfig& config, std::uint64_t s
 bool options_inert(const RunOptions& o) {
   return !o.checkpoint.enabled() && !o.checkpoint.resume &&
          o.control.watchdog_seconds <= 0.0 && o.control.stop == nullptr &&
-         !o.control.fault_hook;
+         !o.control.fault_hook &&
+         !(o.control.progress_every > 0 && o.control.progress) &&
+         !o.control.on_checkpoint;
 }
 
 /// Snapshot world + recorder into a durable checkpoint file for (run, slot),
@@ -152,7 +154,9 @@ metrics::RunResult run_guarded_impl(const ExperimentConfig& config, std::uint64_
   while (!world->done()) {
     if (ctl.stop != nullptr && ctl.stop->load(std::memory_order_relaxed)) {
       if (ck.enabled()) {
-        write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+        const Slot s =
+            write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+        if (ctl.on_checkpoint) ctl.on_checkpoint(run_index, s);
       }
       throw RunInterrupted("run " + std::to_string(run_index) +
                            " interrupted at slot " + std::to_string(world->now()));
@@ -174,7 +178,13 @@ metrics::RunResult run_guarded_impl(const ExperimentConfig& config, std::uint64_
     // and return a result, so a checkpoint there would only cost disk.
     if (ck.enabled() && !world->done() &&
         world->now() % ck.every == 0) {
-      write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+      const Slot s =
+          write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+      if (ctl.on_checkpoint) ctl.on_checkpoint(run_index, s);
+    }
+    if (ctl.progress && ctl.progress_every > 0 &&
+        world->now() % ctl.progress_every == 0) {
+      ctl.progress(run_index, world->now());
     }
   }
   // World::run() notifies on_run_end itself; the guarded slot loop must do

@@ -52,6 +52,16 @@ struct RunControl {
   /// Test-only fault injection: called before every slot with (run, slot);
   /// whatever it throws is a simulated crash at exactly that point.
   std::function<void(int run, Slot slot)> fault_hook;
+  /// Incremental progress stream for long-running callers (netsel_serve):
+  /// when `progress_every` > 0, `progress(run, slot)` fires on the run's
+  /// worker thread every `progress_every` completed slots. Callbacks must be
+  /// thread-safe — a batch invokes them concurrently from every lane.
+  int progress_every = 0;
+  std::function<void(int run, Slot slot)> progress;
+  /// Fires after every durable checkpoint write (periodic cadence and the
+  /// final stop-flag flush alike) with the checkpointed slot. Same
+  /// thread-safety contract as `progress`.
+  std::function<void(int run, Slot slot)> on_checkpoint;
 };
 
 struct RunOptions {

@@ -1,0 +1,89 @@
+// One scheduled simulation job: the unit of intake, scheduling, progress
+// accounting and drain disposition in netsel_serve. A Job is shared between
+// the intake thread (creation), one scheduler executor (execution) and any
+// thread answering a "stats" request — all mutable fields are guarded by the
+// per-job mutex; the scheduler takes it only at progress cadence, never per
+// slot, so accounting cannot throttle the engine.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/config.hpp"
+#include "netsim/types.hpp"
+
+namespace smartexp3::serve {
+
+enum class JobState {
+  kQueued,       ///< accepted, waiting for an executor
+  kRunning,      ///< an executor is driving its batch
+  kCompleted,    ///< every run finished; summary_json is filled
+  kFailed,       ///< at least one run exhausted its attempts
+  kInterrupted,  ///< drain stopped it mid-run; resumable from checkpoints
+};
+
+inline const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
+    case JobState::kInterrupted: return "interrupted";
+  }
+  return "unknown";
+}
+
+/// Bounded reservoir of per-slot latencies (microseconds), fed at progress
+/// cadence with window means. A ring overwrite keeps memory constant for
+/// week-long jobs while the percentiles keep tracking recent behaviour.
+class LatencyReservoir {
+ public:
+  void record(double us) {
+    if (samples_.size() < kCapacity) {
+      samples_.push_back(us);
+    } else {
+      samples_[next_ % kCapacity] = us;
+    }
+    ++next_;
+  }
+  bool empty() const { return samples_.empty(); }
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t i = std::min(
+        sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[i];
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 4096;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+};
+
+struct Job {
+  // Immutable after admission.
+  std::string id;
+  exp::ExperimentConfig cfg;
+  int runs = 1;
+  bool resume = false;      ///< recovered from a previous server's state dir
+  std::string dir;          ///< per-job state directory; "" = ephemeral
+  std::uint64_t client = 0; ///< submitting connection; 0 = none (stdin/restart)
+
+  // Guarded by `mutex` below.
+  JobState state = JobState::kQueued;
+  std::string error;              ///< first failure message (kFailed)
+  std::string summary_json;       ///< deterministic summary (kCompleted)
+  Slot last_checkpoint_slot = -1; ///< newest durable slot across runs
+  long slots_done = 0;            ///< completed slots across all runs
+  double device_slots_per_sec = 0.0;  ///< most recent progress window
+  LatencyReservoir latency;
+
+  mutable std::mutex mutex;
+};
+
+}  // namespace smartexp3::serve

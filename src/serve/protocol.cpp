@@ -1,0 +1,218 @@
+#include "serve/protocol.hpp"
+
+#include <limits>
+
+namespace smartexp3::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) { throw ProtocolError(message); }
+
+const exp::JsonValue* find(const exp::JsonValue& obj, const std::string& key) {
+  for (const auto& [k, v] : obj.object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string require_string(const exp::JsonValue& v, const std::string& key) {
+  if (v.type != exp::JsonValue::Type::kString) {
+    bad("request key '" + key + "' must be a string");
+  }
+  return v.str;
+}
+
+int require_int(const exp::JsonValue& v, const std::string& key, long min, long max) {
+  if (v.type != exp::JsonValue::Type::kNumber || !v.integral) {
+    bad("request key '" + key + "' must be an integer");
+  }
+  const double d = v.number;
+  if (d < static_cast<double>(min) || d > static_cast<double>(max)) {
+    bad("request key '" + key + "' out of range [" + std::to_string(min) + ", " +
+        std::to_string(max) + "]");
+  }
+  return static_cast<int>(d);
+}
+
+std::uint64_t require_uint64(const exp::JsonValue& v, const std::string& key) {
+  if (v.type != exp::JsonValue::Type::kNumber || !v.integral || v.negative ||
+      !v.magnitude_exact) {
+    bad("request key '" + key + "' must be a non-negative integer");
+  }
+  return v.magnitude;
+}
+
+SubmitRequest parse_submit(const exp::JsonValue& obj) {
+  SubmitRequest s;
+  for (const auto& [k, v] : obj.object) {
+    if (k == "type") {
+      continue;
+    } else if (k == "id") {
+      s.id = require_string(v, k);
+    } else if (k == "setting") {
+      s.setting = require_string(v, k);
+    } else if (k == "spec") {
+      if (v.type != exp::JsonValue::Type::kObject) {
+        bad("request key 'spec' must be a ScenarioSpec object");
+      }
+      s.spec_text = json_value_text(v);
+    } else if (k == "runs") {
+      s.runs = require_int(v, k, 1, 100000);
+    } else if (k == "policy") {
+      s.policy = require_string(v, k);
+    } else if (k == "devices") {
+      s.devices = require_int(v, k, 1, 10000000);
+    } else if (k == "networks") {
+      s.networks = require_int(v, k, 1, 10000);
+    } else if (k == "smart") {
+      s.n_smart = require_int(v, k, 0, 10000000);
+    } else if (k == "horizon") {
+      s.horizon = require_int(v, k, 1, std::numeric_limits<int>::max());
+    } else if (k == "seed") {
+      s.seed = require_uint64(v, k);
+      s.seed_set = true;
+    } else if (k == "shards") {
+      s.shards = require_int(v, k, 0, 1 << 20);
+    } else {
+      bad("unknown submit key '" + k + "'");
+    }
+  }
+  const bool has_setting = !s.setting.empty();
+  const bool has_spec = !s.spec_text.empty();
+  if (has_setting == has_spec) {
+    bad("submit needs exactly one of 'setting' or 'spec'");
+  }
+  if (has_spec && (s.devices != -1 || s.networks != -1 || s.n_smart != -1)) {
+    bad("'devices'/'networks'/'smart' do not apply to spec jobs; "
+        "edit the spec instead");
+  }
+  return s;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  exp::JsonValue doc;
+  try {
+    doc = exp::parse_json(line);
+  } catch (const exp::JsonError& e) {
+    bad(std::string("malformed request: ") + e.what());
+  }
+  if (doc.type != exp::JsonValue::Type::kObject) {
+    bad("request must be a JSON object");
+  }
+  const exp::JsonValue* type = find(doc, "type");
+  if (type == nullptr) bad("request needs a 'type' key");
+  const std::string kind = require_string(*type, "type");
+
+  Request r;
+  if (kind == "submit") {
+    r.kind = Request::Kind::kSubmit;
+    r.submit = parse_submit(doc);
+  } else if (kind == "stats") {
+    r.kind = Request::Kind::kStats;
+    if (doc.object.size() != 1) bad("'stats' takes no other keys");
+  } else if (kind == "drain") {
+    r.kind = Request::Kind::kDrain;
+    if (doc.object.size() != 1) bad("'drain' takes no other keys");
+  } else {
+    bad("unknown request type '" + kind + "' (expected submit/stats/drain)");
+  }
+  return r;
+}
+
+std::string json_value_text(const exp::JsonValue& v) {
+  using Type = exp::JsonValue::Type;
+  switch (v.type) {
+    case Type::kBool:
+      return v.boolean ? "true" : "false";
+    case Type::kNumber:
+      // Integral literals stay integral (spec_io distinguishes them), with
+      // the shortest-round-trip double form as the saturation fallback.
+      if (v.integral && v.magnitude_exact) {
+        return (v.negative ? "-" : "") + std::to_string(v.magnitude);
+      }
+      return exp::json_number(v.number);
+    case Type::kString:
+      return exp::json_quote(v.str);
+    case Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += json_value_text(v.array[i]);
+      }
+      return out + "]";
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += exp::json_quote(v.object[i].first);
+        out += ": ";
+        out += json_value_text(v.object[i].second);
+      }
+      return out + "}";
+    }
+  }
+  return "null";  // unreachable: every Type is handled above
+}
+
+EventLine::EventLine(const std::string& event) {
+  out_ = "{\"event\": " + exp::json_quote(event);
+}
+
+void EventLine::key(const std::string& k) {
+  out_ += out_.empty() ? "{" : ", ";
+  out_ += exp::json_quote(k);
+  out_ += ": ";
+}
+
+EventLine& EventLine::field(const std::string& k, const std::string& value) {
+  key(k);
+  out_ += exp::json_quote(value);
+  return *this;
+}
+EventLine& EventLine::field(const std::string& k, const char* value) {
+  return field(k, std::string(value));
+}
+EventLine& EventLine::field(const std::string& k, int value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+EventLine& EventLine::field(const std::string& k, long value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+EventLine& EventLine::field(const std::string& k, std::uint64_t value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+EventLine& EventLine::field(const std::string& k, double value) {
+  key(k);
+  out_ += exp::json_number(value);
+  return *this;
+}
+EventLine& EventLine::field(const std::string& k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+EventLine& EventLine::raw(const std::string& k, const std::string& json) {
+  key(k);
+  out_ += json;
+  return *this;
+}
+
+std::string json_array(const std::vector<std::string>& elements) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += elements[i];
+  }
+  return out + "]";
+}
+
+}  // namespace smartexp3::serve

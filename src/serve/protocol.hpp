@@ -1,0 +1,106 @@
+// netsel_serve wire protocol: newline-delimited jsonish requests in,
+// newline-delimited jsonish events out.
+//
+// The request side reuses the repo's strict JSON-subset parser
+// (exp/jsonish.hpp): one request per line, unknown keys and type mismatches
+// are hard ProtocolErrors with an actionable message — a malformed request
+// must produce one "error" event, never crash the server or desynchronise
+// the stream. An inline "spec" object travels the wire as ordinary JSON and
+// is re-serialized here into ScenarioSpec text, so the whole spec_io
+// validation pipeline (and its error messages) applies to submitted jobs
+// exactly as it does to `netsel_sim --spec` files.
+//
+// The event side is deliberately one-object-per-line (the pretty-printing
+// JsonWriter is for files): every builder below returns a single compact
+// line, doubles printed in shortest round-trip form (exp::json_number), so a
+// resumed job's "completed" summary is byte-identical to an uninterrupted
+// one — the property the crash-recovery service tests diff for. Grammar in
+// DESIGN.md §7.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/jsonish.hpp"
+#include "netsim/types.hpp"
+
+namespace smartexp3::serve {
+
+/// Raised on a malformed request line: bad JSON, unknown type/keys, type or
+/// range mismatches. The server turns it into an "error" event.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Bumped when the request or event grammar changes incompatibly. Echoed in
+/// the "serving" banner so clients can refuse a server they do not speak.
+inline constexpr int kProtocolVersion = 1;
+
+/// One job submission. Exactly one of `setting` / `spec_text` is set:
+/// registry jobs take the same typed overrides as the netsel_sim CLI; spec
+/// jobs carry their full ScenarioSpec text (re-serialized from the inline
+/// wire object) and accept only --policy/--horizon-style overrides.
+struct SubmitRequest {
+  std::string id;         ///< client-chosen job id; "" = server assigns
+  std::string setting;    ///< registry setting name
+  std::string spec_text;  ///< ScenarioSpec text of an inline "spec" object
+  int runs = 1;
+  std::string policy;     ///< "" = setting/spec default
+  int devices = -1;
+  int networks = -1;
+  int n_smart = -1;
+  Slot horizon = -1;
+  bool seed_set = false;
+  std::uint64_t seed = 0;
+  int shards = -1;        ///< -1 = config default (0 = auto)
+};
+
+struct Request {
+  enum class Kind { kSubmit, kStats, kDrain };
+  Kind kind = Kind::kStats;
+  SubmitRequest submit;  ///< meaningful when kind == kSubmit
+};
+
+/// Parse one request line. Throws ProtocolError on anything malformed;
+/// never crashes on arbitrary bytes (the jsonish parser is fuzz-hardened).
+Request parse_request(const std::string& line);
+
+/// Serialize a parsed JSON value back to compact text — the bridge that
+/// turns an inline "spec" wire object into ScenarioSpec text for
+/// exp::parse_spec_text. Integral literals are re-emitted as integers and
+/// doubles in shortest round-trip form, so the round trip is lossless.
+std::string json_value_text(const exp::JsonValue& v);
+
+/// Compact one-line JSON object builder for the event stream. Purely
+/// syntactic, like exp::JsonWriter, but single-line and with raw embedding
+/// for pre-serialized sub-objects (summaries, job arrays). The one-argument
+/// form opens a top-level event ({"event": "..."}); the default form opens a
+/// plain object for nested payloads.
+class EventLine {
+ public:
+  EventLine() = default;
+  explicit EventLine(const std::string& event);
+  EventLine& field(const std::string& key, const std::string& value);
+  EventLine& field(const std::string& key, const char* value);
+  EventLine& field(const std::string& key, int value);
+  EventLine& field(const std::string& key, long value);
+  EventLine& field(const std::string& key, std::uint64_t value);
+  EventLine& field(const std::string& key, double value);
+  EventLine& field(const std::string& key, bool value);
+  /// Embed `json` (an already-serialized value) verbatim.
+  EventLine& raw(const std::string& key, const std::string& json);
+  /// The finished line, without trailing newline.
+  std::string str() const { return (out_.empty() ? "{" : out_) + "}"; }
+
+ private:
+  void key(const std::string& k);
+  std::string out_;
+};
+
+/// "[{...}, {...}]" from pre-serialized object strings.
+std::string json_array(const std::vector<std::string>& elements);
+
+}  // namespace smartexp3::serve

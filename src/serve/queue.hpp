@@ -1,0 +1,71 @@
+// Bounded thread-safe FIFO between job intake and the scheduler executors.
+// Admission control lives at the push side: a full queue rejects instead of
+// blocking the intake thread (the server turns that into a "rejected" event
+// with a queue-full reason), and close() is the drain switch — pending jobs
+// are handed back for disposition reporting instead of being silently lost.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace smartexp3::serve {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full or closed — never blocks.
+  bool push(std::shared_ptr<Job> job) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a job is available; nullptr once closed and empty.
+  std::shared_ptr<Job> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return nullptr;
+    auto job = std::move(queue_.front());
+    queue_.pop_front();
+    return job;
+  }
+
+  /// Stop accepting and wake every blocked pop(). Returns the jobs that were
+  /// still pending so the caller can report their disposition.
+  std::vector<std::shared_ptr<Job>> close() {
+    std::vector<std::shared_ptr<Job>> pending;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      pending.assign(queue_.begin(), queue_.end());
+      queue_.clear();
+    }
+    ready_.notify_all();
+    return pending;
+  }
+
+  std::size_t depth() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace smartexp3::serve

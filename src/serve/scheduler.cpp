@@ -1,0 +1,280 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "exp/aggregate.hpp"
+#include "serve/protocol.hpp"
+
+namespace smartexp3::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-(run) wall-clock cursors behind the progress hook: the hook fires
+/// concurrently from every lane of the batch, so the map is mutex-guarded —
+/// at progress cadence (tens of slots), not per slot.
+struct ProgressTracker {
+  std::mutex mutex;
+  std::map<int, std::pair<Clock::time_point, Slot>> last;  // run -> (when, slot)
+};
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerConfig config, JobQueue& queue, EmitFn emit,
+                     TerminalFn on_terminal)
+    : config_(std::move(config)),
+      queue_(queue),
+      emit_(std::move(emit)),
+      on_terminal_(std::move(on_terminal)) {
+  config_.executors = std::max(1, config_.executors);
+  if (config_.lanes <= 0) {
+    config_.lanes = static_cast<int>(std::thread::hardware_concurrency());
+    if (config_.lanes <= 0) config_.lanes = 4;
+  }
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::start() {
+  if (started_) return;
+  started_ = true;
+  executors_.reserve(static_cast<std::size_t>(config_.executors));
+  for (int i = 0; i < config_.executors; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+void Scheduler::shutdown() {
+  if (!started_ || joined_) return;
+  joined_ = true;
+  queue_.close();
+  for (auto& t : executors_) t.join();
+}
+
+int Scheduler::lane_budget() const {
+  return std::max(1, config_.lanes / std::max(1, config_.executors));
+}
+
+void Scheduler::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job = queue_.pop();
+    if (job == nullptr) return;  // queue closed and empty
+    // A job popped after the drain flag rose never starts: it keeps its
+    // queued state (and its persisted spec) for the next server process.
+    if (stop_.load()) continue;
+    ++running_;
+    execute(job);
+    --running_;
+  }
+}
+
+void Scheduler::execute(const std::shared_ptr<Job>& job) {
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->state = JobState::kRunning;
+  }
+  const int lanes = std::min(lane_budget(), std::max(1, job->runs));
+  emit_(*job, EventLine("started")
+                  .field("job", job->id)
+                  .field("runs", job->runs)
+                  .field("lanes", lanes)
+                  .str());
+
+  const int devices = static_cast<int>(job->cfg.devices.size());
+  const Slot horizon = job->cfg.world.horizon;
+  // Short-horizon jobs (scalability_xl lives at horizon ~60) still deserve
+  // progress events: clamp the cadence to a quarter horizon.
+  const int cadence = std::max(
+      1, std::min(config_.progress_every, static_cast<int>(horizon) / 4));
+
+  ProgressTracker tracker;
+  exp::RunOptions options;
+  if (!job->dir.empty() && config_.checkpoint_every > 0) {
+    options.checkpoint.every = config_.checkpoint_every;
+    options.checkpoint.dir = job->dir + "/ckpt";
+    options.checkpoint.resume = job->resume;
+  }
+  options.control.stop = &stop_;
+  options.control.max_attempts = config_.max_attempts;
+  options.control.watchdog_seconds = config_.watchdog_seconds;
+  options.control.fault_hook = config_.fault_hook;
+  options.control.progress_every = cadence;
+  options.control.progress = [&](int run, Slot slot) {
+    const auto now = Clock::now();
+    double window_us = 0.0;
+    Slot window_slots = 0;
+    {
+      const std::lock_guard<std::mutex> lock(tracker.mutex);
+      auto it = tracker.last.find(run);
+      if (it != tracker.last.end()) {
+        window_us = std::chrono::duration<double, std::micro>(now - it->second.first)
+                        .count();
+        window_slots = slot - it->second.second;
+        it->second = {now, slot};
+      } else {
+        tracker.last.emplace(run, std::make_pair(now, slot));
+        window_slots = slot;  // first window measures from dispatch, skip rate
+      }
+    }
+    long slots_total = 0;
+    double rate = 0.0;
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->slots_done += window_slots;
+      slots_total = job->slots_done;
+      if (window_us > 0.0 && window_slots > 0) {
+        const double per_slot_us = window_us / static_cast<double>(window_slots);
+        job->latency.record(per_slot_us);
+        rate = static_cast<double>(devices) * 1e6 / per_slot_us;
+        job->device_slots_per_sec = rate;
+      }
+    }
+    emit_(*job, EventLine("progress")
+                    .field("job", job->id)
+                    .field("run", run)
+                    .field("slot", slot)
+                    .field("horizon", static_cast<int>(horizon))
+                    .field("slots_done", slots_total)
+                    .field("device_slots_per_sec", rate)
+                    .str());
+  };
+  options.control.on_checkpoint = [&](int run, Slot slot) {
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->last_checkpoint_slot = std::max(job->last_checkpoint_slot, slot);
+    }
+    emit_(*job, EventLine("checkpointed")
+                    .field("job", job->id)
+                    .field("run", run)
+                    .field("slot", slot)
+                    .str());
+  };
+
+  const auto started = Clock::now();
+  exp::BatchResult batch;
+  try {
+    batch = exp::run_many_result(job->cfg, job->runs, lanes, options);
+  } catch (const std::exception& e) {
+    // run_many_result reports run failures in-band; reaching here means the
+    // config itself was rejected (admission should have caught it) or the
+    // harness failed structurally. The job fails; the server stays up.
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->state = JobState::kFailed;
+    job->error = e.what();
+    ++failed_;
+    emit_(*job, EventLine("failed")
+                    .field("job", job->id)
+                    .field("error", job->error)
+                    .field("completed_runs", 0)
+                    .str());
+    on_terminal_(*job);
+    return;
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - started).count();
+
+  if (batch.interrupted) {
+    Slot last = -1;
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->state = JobState::kInterrupted;
+      last = job->last_checkpoint_slot;
+    }
+    ++interrupted_;
+    emit_(*job, EventLine("interrupted")
+                    .field("job", job->id)
+                    .field("last_checkpoint_slot", static_cast<int>(last))
+                    .field("resumable", !job->dir.empty())
+                    .str());
+    // Not terminal: the persisted spec + checkpoints are the hand-off to
+    // the next server process, exactly like netsel_sim --resume.
+    return;
+  }
+
+  std::vector<metrics::RunResult> results;
+  results.reserve(batch.results.size());
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.completed[i]) results.push_back(std::move(batch.results[i]));
+  }
+
+  if (!batch.failures.empty()) {
+    std::vector<std::string> failure_objs;
+    for (const auto& f : batch.failures) {
+      failure_objs.push_back(EventLine()
+                                 .field("run", f.run)
+                                 .field("attempts", f.attempts)
+                                 .field("error", f.error)
+                                 .field("last_checkpoint_slot",
+                                        static_cast<int>(f.last_checkpoint_slot))
+                                 .str());
+    }
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->state = JobState::kFailed;
+      job->error = batch.failures.front().error;
+    }
+    ++failed_;
+    emit_(*job, EventLine("failed")
+                    .field("job", job->id)
+                    .field("error", batch.failures.front().error)
+                    .field("completed_runs", static_cast<int>(results.size()))
+                    .raw("failed_runs", json_array(failure_objs))
+                    .str());
+    on_terminal_(*job);
+    return;
+  }
+
+  const std::string summary = summary_json(job->cfg, results);
+  double p50 = 0.0, p99 = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->state = JobState::kCompleted;
+    job->summary_json = summary;
+    p50 = job->latency.percentile(0.50);
+    p99 = job->latency.percentile(0.99);
+  }
+  ++completed_;
+  emit_(*job, EventLine("completed")
+                  .field("job", job->id)
+                  .raw("summary", summary)
+                  .raw("timing", EventLine()
+                                     .field("elapsed_s", elapsed_s)
+                                     .field("slot_p50_us", p50)
+                                     .field("slot_p99_us", p99)
+                                     .str())
+                  .str());
+  on_terminal_(*job);
+}
+
+std::string policy_label(const exp::ExperimentConfig& cfg) {
+  if (cfg.devices.empty()) return "none";
+  const std::string& first = cfg.devices.front().policy_name;
+  for (const auto& d : cfg.devices) {
+    if (d.policy_name != first) return "mixed";
+  }
+  return first;
+}
+
+std::string summary_json(const exp::ExperimentConfig& cfg,
+                         const std::vector<metrics::RunResult>& results) {
+  const auto switches = exp::switch_summary(results);
+  EventLine s;
+  s.field("name", cfg.name)
+      .field("policy", policy_label(cfg))
+      .field("runs", static_cast<int>(results.size()))
+      .field("devices", static_cast<int>(cfg.devices.size()))
+      .field("horizon", static_cast<int>(cfg.world.horizon))
+      .field("switches_mean", switches.mean)
+      .field("switches_sd", switches.stddev)
+      .field("median_download_mb", exp::mean_of_run_median_download_mb(results))
+      .field("download_stddev_mb", exp::mean_of_run_download_stddev_mb(results))
+      .field("eps_pct", 100.0 * exp::mean_eps_fraction(results))
+      .field("resets_per_device", exp::mean_resets_per_device(results));
+  return s.str();
+}
+
+}  // namespace smartexp3::serve

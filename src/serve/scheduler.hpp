@@ -1,0 +1,97 @@
+// The netsel_serve scheduler: a fixed pool of job executors over the intake
+// queue. Each executor drives one job at a time through the fault-tolerant
+// batch runner (exp::run_many_result) with a per-job lane budget — the
+// run-level worker lanes are split evenly across executors, so a 10^6-device
+// scalability_xl job saturates its own lanes while small jobs keep flowing
+// through the other executors instead of starving behind it.
+//
+// Every job gets its own checkpoint directory (<job dir>/ckpt): the spec
+// fingerprint inside each checkpoint file already refuses cross-job resume,
+// and separate directories keep two jobs from overwriting each other's
+// run<r>_slot<s>.ckpt files (tests/test_run_harness.cpp pins the shared-dir
+// hazard at the runner layer). A raised drain flag stops every running job
+// at its next slot boundary with a final checkpoint flush; interrupted jobs
+// stay on disk and are requeued by the next server process.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "serve/job.hpp"
+#include "serve/queue.hpp"
+
+namespace smartexp3::serve {
+
+struct SchedulerConfig {
+  int executors = 2;        ///< concurrent jobs (>= 1)
+  int lanes = 0;            ///< total run-level lanes; 0 = hardware concurrency
+  int checkpoint_every = 200;  ///< slots between durable checkpoints; 0 = off
+  int progress_every = 64;  ///< slots between progress events per run
+  int max_attempts = 2;     ///< attempts per run (retries resume from checkpoints)
+  double watchdog_seconds = 0.0;  ///< per-attempt budget; 0 = none
+  /// Test-only fault injection threaded into every job's RunControl.
+  std::function<void(int run, Slot slot)> fault_hook;
+};
+
+class Scheduler {
+ public:
+  /// `emit` receives finished event lines (thread-safe on the caller's
+  /// side); `on_terminal` fires once per job when it reaches a final state
+  /// (completed/failed) so the service can persist the result.
+  using EmitFn = std::function<void(const Job& job, const std::string& line)>;
+  using TerminalFn = std::function<void(Job& job)>;
+
+  Scheduler(SchedulerConfig config, JobQueue& queue, EmitFn emit,
+            TerminalFn on_terminal);
+  ~Scheduler();
+
+  void start();
+  /// Raise the cooperative stop flag: running jobs flush a final checkpoint
+  /// at their next slot boundary and report as interrupted.
+  void request_stop() { stop_.store(true); }
+  bool stopping() const { return stop_.load(); }
+  /// Close the queue and join the executors. Idempotent.
+  void shutdown();
+
+  int lane_budget() const;  ///< run-level lanes each executor hands its job
+
+  int running() const { return running_.load(); }
+  int completed() const { return completed_.load(); }
+  int failed() const { return failed_.load(); }
+  int interrupted() const { return interrupted_.load(); }
+
+ private:
+  void executor_loop();
+  void execute(const std::shared_ptr<Job>& job);
+
+  SchedulerConfig config_;
+  JobQueue& queue_;
+  EmitFn emit_;
+  TerminalFn on_terminal_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> running_{0};
+  std::atomic<int> completed_{0};
+  std::atomic<int> failed_{0};
+  std::atomic<int> interrupted_{0};
+  std::vector<std::thread> executors_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+/// The policy label reported in summaries — same derivation as netsel_sim,
+/// so a served job and a CLI run of the same spec print the same label.
+std::string policy_label(const exp::ExperimentConfig& cfg);
+
+/// Deterministic one-line JSON summary of a completed batch: run count plus
+/// the cross-run aggregates of exp/aggregate.hpp, doubles in shortest
+/// round-trip form. Bit-identical results produce byte-identical text —
+/// the comparison key of the resume-equivalence tests.
+std::string summary_json(const exp::ExperimentConfig& cfg,
+                         const std::vector<metrics::RunResult>& results);
+
+}  // namespace smartexp3::serve

@@ -1,0 +1,757 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "exp/registry.hpp"
+#include "exp/spec_io.hpp"
+#include "serve/protocol.hpp"
+
+namespace smartexp3::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool valid_job_id(const std::string& id) {
+  if (id.empty() || id.size() > 80) return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Build the post-override config for a submission — the same override
+/// semantics as the netsel_sim CLI, so a served job and a CLI run of the
+/// same request produce the same trajectory. Throws on unknown settings,
+/// unsupported overrides and malformed spec text.
+exp::ExperimentConfig build_config(const SubmitRequest& s) {
+  exp::ExperimentConfig cfg;
+  if (!s.setting.empty()) {
+    exp::SettingParams params;
+    params.policy = s.policy;
+    params.devices = s.devices;
+    params.horizon = s.horizon;
+    params.networks = s.networks;
+    params.n_smart = s.n_smart;
+    cfg = exp::make_setting(s.setting, params);
+  } else {
+    cfg = exp::parse_spec_text(s.spec_text);
+    if (!s.policy.empty()) cfg.with_policy(s.policy);
+    if (s.horizon > 0) cfg.world.horizon = s.horizon;
+  }
+  if (s.seed_set) cfg.base_seed = s.seed;
+  // Execution knob, not part of the scenario: explicit request value wins,
+  // then the NETSEL_SHARDS environment default.
+  cfg.world.shards =
+      s.shards != -1 ? s.shards : exp::world_shards(cfg.world.shards);
+  return cfg;
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  out.close();
+  if (!out) throw std::runtime_error("cannot write " + path);
+}
+
+int parse_job_runs(const std::string& path) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) throw std::runtime_error("cannot read " + path);
+  const exp::JsonValue doc = exp::parse_json(text);
+  for (const auto& [k, v] : doc.object) {
+    if (k == "runs" && v.type == exp::JsonValue::Type::kNumber && v.integral) {
+      const int runs = static_cast<int>(v.number);
+      if (runs >= 1) return runs;
+    }
+  }
+  throw std::runtime_error(path + " has no valid 'runs' key");
+}
+
+std::string rejected_line(const std::string& id,
+                          const std::vector<std::string>& errors) {
+  std::vector<std::string> quoted;
+  quoted.reserve(errors.size());
+  for (const auto& e : errors) quoted.push_back(exp::json_quote(e));
+  EventLine line("rejected");
+  line.field("job", id);
+  line.raw("errors", json_array(quoted));
+  return line.str();
+}
+
+}  // namespace
+
+JobService::JobService(ServiceConfig config, Sink broadcast)
+    : config_(std::move(config)),
+      broadcast_(std::move(broadcast)),
+      queue_(std::max<std::size_t>(1, config_.queue_capacity)) {
+  SchedulerConfig sc;
+  sc.executors = config_.executors;
+  sc.lanes = config_.lanes;
+  sc.checkpoint_every = config_.checkpoint_every;
+  sc.progress_every = config_.progress_every;
+  sc.max_attempts = config_.max_attempts;
+  sc.watchdog_seconds = config_.watchdog_seconds;
+  sc.fault_hook = config_.fault_hook;
+  scheduler_ = std::make_unique<Scheduler>(
+      sc, queue_,
+      [this](const Job& job, const std::string& line) { emit(line, job.client); },
+      [this](Job& job) { on_terminal(job); });
+}
+
+JobService::~JobService() { scheduler_->shutdown(); }
+
+void JobService::start() {
+  EventLine banner("serving");
+  banner.field("protocol", kProtocolVersion)
+      .field("executors", std::max(1, config_.executors))
+      .field("lane_budget", scheduler_->lane_budget())
+      .field("queue_capacity",
+             static_cast<int>(std::max<std::size_t>(1, config_.queue_capacity)))
+      .field("state_dir", config_.state_dir);
+  emit(banner.str(), 0);
+  if (!config_.state_dir.empty()) recover_persisted_jobs();
+  scheduler_->start();
+}
+
+std::string JobService::job_dir(const std::string& id) const {
+  return (fs::path(config_.state_dir) / "jobs" / id).string();
+}
+
+void JobService::handle_line(const std::string& line, std::uint64_t client) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+  try {
+    const Request request = parse_request(line);
+    switch (request.kind) {
+      case Request::Kind::kSubmit:
+        handle_submit(request.submit, client);
+        return;
+      case Request::Kind::kStats:
+        handle_stats(client);
+        return;
+      case Request::Kind::kDrain:
+        drain();
+        return;
+    }
+  } catch (const std::exception& e) {
+    // Every malformed line costs exactly one "error" event; the stream and
+    // the server survive arbitrary input.
+    emit(EventLine("error").field("error", e.what()).str(), client);
+  }
+}
+
+void JobService::handle_submit(const SubmitRequest& submit,
+                               std::uint64_t client) {
+  std::string id = submit.id;
+  std::vector<std::string> errors;
+  if (draining_.load()) errors.push_back("server is draining; job not accepted");
+
+  exp::ExperimentConfig cfg;
+  if (errors.empty()) {
+    try {
+      cfg = build_config(submit);
+      // The same admission gate as `netsel_sim`: unsound specs are rejected
+      // with the validator's actionable messages, never executed.
+      errors = cfg.validate();
+    } catch (const std::exception& e) {
+      errors.push_back(e.what());
+    }
+  }
+  if (!id.empty() && !valid_job_id(id)) {
+    errors.push_back("job id must be 1-80 chars of [A-Za-z0-9_.-]");
+  }
+
+  auto job = std::make_shared<Job>();
+  bool registered = false;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    const auto taken = [&](const std::string& candidate) {
+      return std::any_of(jobs_.begin(), jobs_.end(),
+                         [&](const auto& j) { return j->id == candidate; });
+    };
+    if (id.empty()) {
+      do {
+        id = "job-" + std::to_string(next_auto_id_++);
+      } while (taken(id));
+    } else if (taken(id)) {
+      errors.push_back("job id '" + id + "' already exists");
+    }
+    if (errors.empty()) {
+      job->id = id;
+      job->cfg = std::move(cfg);
+      job->runs = submit.runs;
+      job->client = client;
+      jobs_.push_back(job);
+      registered = true;
+    }
+  }
+  if (!errors.empty()) {
+    emit(rejected_line(id, errors), client);
+    return;
+  }
+
+  if (!config_.state_dir.empty()) {
+    const std::string dir = job_dir(id);
+    try {
+      fs::create_directories(dir);
+      exp::save_spec_file(job->cfg, dir + "/spec.json");
+      write_text_file(dir + "/job.json", EventLine()
+                                                 .field("version", 1)
+                                                 .field("id", id)
+                                                 .field("runs", job->runs)
+                                                 .str() +
+                                             "\n");
+      job->dir = dir;
+    } catch (const std::exception& e) {
+      const std::lock_guard<std::mutex> lock(jobs_mutex_);
+      jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
+      emit(rejected_line(id, {std::string("cannot persist job state: ") + e.what()}),
+           client);
+      return;
+    }
+  }
+
+  // Enqueue under the emit lock so "accepted" always precedes the
+  // executor's "started" for the same job.
+  bool enqueued = false;
+  {
+    const std::lock_guard<std::mutex> lock(emit_mutex_);
+    enqueued = queue_.push(job);
+    if (enqueued) {
+      write_locked(EventLine("accepted")
+                       .field("job", id)
+                       .field("name", job->cfg.name)
+                       .field("policy", policy_label(job->cfg))
+                       .field("devices", static_cast<int>(job->cfg.devices.size()))
+                       .field("horizon", static_cast<int>(job->cfg.world.horizon))
+                       .field("runs", job->runs)
+                       .field("queue_depth", static_cast<int>(queue_.depth()))
+                       .str(),
+                   client);
+    } else {
+      write_locked(
+          rejected_line(id, {"queue full (capacity " +
+                             std::to_string(std::max<std::size_t>(
+                                 1, config_.queue_capacity)) +
+                             "); resubmit after the backlog shrinks"}),
+          client);
+    }
+  }
+  if (!enqueued && registered) {
+    {
+      const std::lock_guard<std::mutex> lock(jobs_mutex_);
+      jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
+    }
+    if (!job->dir.empty()) {
+      std::error_code ec;
+      fs::remove_all(job->dir, ec);
+    }
+  }
+}
+
+void JobService::handle_stats(std::uint64_t client) {
+  std::vector<std::string> job_objs;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    job_objs.reserve(jobs_.size());
+    for (const auto& job : jobs_) {
+      const std::lock_guard<std::mutex> job_lock(job->mutex);
+      job_objs.push_back(EventLine()
+                             .field("job", job->id)
+                             .field("state", job_state_name(job->state))
+                             .field("runs", job->runs)
+                             .field("slots_done", job->slots_done)
+                             .field("device_slots_per_sec",
+                                    job->device_slots_per_sec)
+                             .field("slot_p50_us", job->latency.percentile(0.50))
+                             .field("slot_p99_us", job->latency.percentile(0.99))
+                             .field("last_checkpoint_slot",
+                                    static_cast<int>(job->last_checkpoint_slot))
+                             .str());
+    }
+  }
+  EventLine stats("stats");
+  stats.field("queue_depth", static_cast<int>(queue_.depth()))
+      .field("running", scheduler_->running())
+      .field("completed", scheduler_->completed())
+      .field("failed", scheduler_->failed())
+      .field("interrupted", scheduler_->interrupted())
+      .raw("jobs", json_array(job_objs));
+  emit(stats.str(), client);
+}
+
+void JobService::emit(const std::string& line, std::uint64_t client) {
+  const std::lock_guard<std::mutex> lock(emit_mutex_);
+  write_locked(line, client);
+}
+
+void JobService::write_locked(const std::string& line, std::uint64_t client) {
+  if (broadcast_) broadcast_(line);
+  if (client == 0) return;
+  Sink sink;
+  {
+    const std::lock_guard<std::mutex> lock(clients_mutex_);
+    const auto it = clients_.find(client);
+    if (it != clients_.end()) sink = it->second;
+  }
+  if (sink) sink(line);
+}
+
+void JobService::on_terminal(Job& job) {
+  if (!job.dir.empty()) {
+    std::string state, summary, error;
+    {
+      const std::lock_guard<std::mutex> lock(job.mutex);
+      state = job_state_name(job.state);
+      summary = job.summary_json;
+      error = job.error;
+    }
+    EventLine result;
+    result.field("state", state);
+    if (!summary.empty()) result.raw("summary", summary);
+    if (!error.empty()) result.field("error", error);
+    try {
+      // result.json marks the job finished: its presence is what stops the
+      // next server process from requeueing this directory.
+      write_text_file(job.dir + "/result.json", result.str() + "\n");
+    } catch (const std::exception& e) {
+      emit(EventLine("error").field("error", e.what()).str(), job.client);
+    }
+  }
+  idle_cv_.notify_all();
+}
+
+std::uint64_t JobService::register_client(Sink sink) {
+  const std::lock_guard<std::mutex> lock(clients_mutex_);
+  const std::uint64_t id = next_client_++;
+  clients_.emplace(id, std::move(sink));
+  return id;
+}
+
+void JobService::unregister_client(std::uint64_t client) {
+  const std::lock_guard<std::mutex> lock(clients_mutex_);
+  clients_.erase(client);
+}
+
+void JobService::recover_persisted_jobs() {
+  std::error_code ec;
+  const fs::path root = fs::path(config_.state_dir) / "jobs";
+  if (!fs::is_directory(root, ec)) return;
+  std::vector<std::string> ids;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory()) ids.push_back(entry.path().filename().string());
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const auto& id : ids) {
+    const fs::path dir = root / id;
+    if (!fs::exists(dir / "job.json", ec)) continue;
+    if (fs::exists(dir / "result.json", ec)) continue;  // finished last time
+    try {
+      auto cfg = exp::load_spec_file((dir / "spec.json").string());
+      cfg.validate_or_throw();
+      cfg.world.shards = exp::world_shards(cfg.world.shards);
+      auto job = std::make_shared<Job>();
+      job->id = id;
+      job->cfg = std::move(cfg);
+      job->runs = parse_job_runs((dir / "job.json").string());
+      job->resume = true;  // checkpoints (if any) continue the old trajectory
+      job->dir = dir.string();
+      {
+        const std::lock_guard<std::mutex> lock(jobs_mutex_);
+        jobs_.push_back(job);
+      }
+      const std::lock_guard<std::mutex> lock(emit_mutex_);
+      if (queue_.push(job)) {
+        write_locked(EventLine("requeued")
+                         .field("job", id)
+                         .field("name", job->cfg.name)
+                         .field("runs", job->runs)
+                         .str(),
+                     0);
+      } else {
+        write_locked(rejected_line(id, {"queue full during recovery"}), 0);
+      }
+    } catch (const std::exception& e) {
+      emit(EventLine("error")
+               .field("error", "cannot recover job '" + id + "': " + e.what())
+               .str(),
+           0);
+    }
+  }
+}
+
+bool JobService::all_terminal() const {
+  const std::lock_guard<std::mutex> lock(jobs_mutex_);
+  for (const auto& job : jobs_) {
+    const std::lock_guard<std::mutex> job_lock(job->mutex);
+    if (job->state != JobState::kCompleted && job->state != JobState::kFailed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool JobService::client_terminal(std::uint64_t client) const {
+  const std::lock_guard<std::mutex> lock(jobs_mutex_);
+  for (const auto& job : jobs_) {
+    if (job->client != client) continue;
+    const std::lock_guard<std::mutex> job_lock(job->mutex);
+    if (job->state != JobState::kCompleted && job->state != JobState::kFailed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void JobService::wait_idle(const std::atomic<bool>* stop) {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  for (;;) {
+    if (draining_.load() || all_terminal()) return;
+    if (stop != nullptr && stop->load()) return;
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+void JobService::wait_client_idle(std::uint64_t client) {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  for (;;) {
+    if (drained_.load() || client_terminal(client)) return;
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+}
+
+std::shared_ptr<Job> JobService::find_job(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(jobs_mutex_);
+  for (const auto& job : jobs_) {
+    if (job->id == id) return job;
+  }
+  return nullptr;
+}
+
+std::size_t JobService::job_count() const {
+  const std::lock_guard<std::mutex> lock(jobs_mutex_);
+  return jobs_.size();
+}
+
+void JobService::drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // Someone else is draining; wait for the "drained" event to have gone out.
+    while (!drained_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return;
+  }
+  emit(EventLine("draining").str(), 0);
+  scheduler_->request_stop();
+  queue_.close();  // pending jobs keep kQueued state and their persisted spec
+  scheduler_->shutdown();
+
+  std::vector<std::string> dispositions;
+  {
+    const std::lock_guard<std::mutex> lock(jobs_mutex_);
+    dispositions.reserve(jobs_.size());
+    for (const auto& job : jobs_) {
+      const std::lock_guard<std::mutex> job_lock(job->mutex);
+      dispositions.push_back(
+          EventLine()
+              .field("job", job->id)
+              .field("state", job_state_name(job->state))
+              .field("last_checkpoint_slot",
+                     static_cast<int>(job->last_checkpoint_slot))
+              .str());
+    }
+  }
+  emit(EventLine("drained")
+           .field("jobs_accepted", static_cast<int>(dispositions.size()))
+           .raw("jobs", json_array(dispositions))
+           .str(),
+       0);
+  drained_.store(true);
+  idle_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Splits a byte stream into newline-terminated request lines.
+class LineBuffer {
+ public:
+  template <typename Fn>
+  void feed(const char* data, std::size_t n, Fn&& on_line) {
+    buf_.append(data, n);
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = buf_.find('\n', start);
+      if (nl == std::string::npos) break;
+      on_line(buf_.substr(start, nl - start));
+      start = nl + 1;
+    }
+    buf_.erase(0, start);
+  }
+  bool pending() const { return !buf_.empty(); }
+  std::string take() {
+    std::string s;
+    s.swap(buf_);
+    return s;
+  }
+
+ private:
+  std::string buf_;
+};
+
+JobService::Sink stdout_sink() {
+  return [](const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);  // events must be observable the moment they happen
+  };
+}
+
+void send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;  // dead client: drop the rest, the reader thread will notice
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+int run_stdin_server(const ServerConfig& config, std::atomic<bool>& stop) {
+  JobService service(config.service, stdout_sink());
+  service.start();
+  LineBuffer lines;
+  bool eof = false;
+  while (!eof && !stop.load() && !service.draining()) {
+    struct pollfd p;
+    p.fd = 0;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int r = ::poll(&p, 1, 200);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    char buf[4096];
+    const ssize_t n = ::read(0, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    lines.feed(buf, static_cast<std::size_t>(n),
+               [&](const std::string& line) { service.handle_line(line, 0); });
+  }
+  if (lines.pending()) service.handle_line(lines.take(), 0);
+  // EOF means "no more work is coming": finish the accepted jobs, then
+  // drain. A signal mid-wait still turns into an immediate drain.
+  if (eof) service.wait_idle(&stop);
+  service.drain();
+  return 0;
+}
+
+int run_socket_server(const ServerConfig& config, std::atomic<bool>& stop) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (config.socket_path.empty() ||
+      config.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "netsel_serve: invalid socket path '%s'\n",
+                 config.socket_path.c_str());
+    return 1;
+  }
+  std::strncpy(addr.sun_path, config.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  std::error_code ec;
+  if (fs::exists(fs::symlink_status(config.socket_path, ec))) {
+    // Probe before unlinking: a connectable socket is a live server, a
+    // refused one is a stale leftover from a killed process.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool live = ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                  sizeof(addr)) == 0;
+      ::close(probe);
+      if (live) {
+        std::fprintf(stderr, "netsel_serve: %s is already being served\n",
+                     config.socket_path.c_str());
+        return 1;
+      }
+    }
+    ::unlink(config.socket_path.c_str());
+  }
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0 ||
+      ::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::fprintf(stderr, "netsel_serve: cannot listen on %s: %s\n",
+                 config.socket_path.c_str(), std::strerror(errno));
+    if (listen_fd >= 0) ::close(listen_fd);
+    return 1;
+  }
+
+  JobService service(config.service, stdout_sink());
+  service.start();
+
+  struct Connection {
+    int fd;
+    std::thread reader;
+  };
+  std::vector<Connection> connections;
+
+  while (!stop.load() && !service.draining()) {
+    struct pollfd p;
+    p.fd = listen_fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    const int r = ::poll(&p, 1, 200);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto write_mutex = std::make_shared<std::mutex>();
+    const std::uint64_t client =
+        service.register_client([fd, write_mutex](const std::string& line) {
+          std::string out = line;
+          out += '\n';
+          const std::lock_guard<std::mutex> lock(*write_mutex);
+          send_all(fd, out.data(), out.size());
+        });
+    connections.push_back({fd, std::thread([fd, client, &service] {
+                             LineBuffer lines;
+                             char buf[4096];
+                             for (;;) {
+                               const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+                               if (n < 0) {
+                                 if (errno == EINTR) continue;
+                                 break;
+                               }
+                               if (n == 0) break;
+                               lines.feed(buf, static_cast<std::size_t>(n),
+                                          [&](const std::string& line) {
+                                            service.handle_line(line, client);
+                                          });
+                             }
+                             if (lines.pending()) {
+                               service.handle_line(lines.take(), client);
+                             }
+                             // Half-close protocol: after the client stops
+                             // sending, hold the connection open until its
+                             // jobs are terminal (or a drain reported them).
+                             service.wait_client_idle(client);
+                             service.unregister_client(client);
+                             ::shutdown(fd, SHUT_RDWR);
+                           })});
+  }
+
+  service.drain();  // clients receive their "drained" event before close
+  for (auto& c : connections) {
+    ::shutdown(c.fd, SHUT_RDWR);
+    c.reader.join();
+    ::close(c.fd);
+  }
+  ::close(listen_fd);
+  ::unlink(config.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int run_server(const ServerConfig& config, std::atomic<bool>& stop) {
+  return config.transport == Transport::kSocket
+             ? run_socket_server(config, stop)
+             : run_stdin_server(config, stop);
+}
+
+int run_client(const std::string& socket_path, std::atomic<bool>& stop) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "netsel_serve: invalid socket path '%s'\n",
+                 socket_path.c_str());
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::fprintf(stderr, "netsel_serve: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    if (fd >= 0) ::close(fd);
+    return 1;
+  }
+
+  std::atomic<bool> done{false};
+  std::thread pump([fd, &done, &stop] {
+    char buf[4096];
+    for (;;) {
+      struct pollfd p;
+      p.fd = 0;
+      p.events = POLLIN;
+      p.revents = 0;
+      const int r = ::poll(&p, 1, 200);
+      if (done.load() || stop.load()) break;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (r == 0) continue;
+      const ssize_t n = ::read(0, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;
+      send_all(fd, buf, static_cast<std::size_t>(n));
+    }
+    ::shutdown(fd, SHUT_WR);  // tells the server "no more requests from me"
+  });
+
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR && !stop.load()) continue;
+      break;
+    }
+    if (n == 0) break;  // server closed: our jobs are done (or it drained)
+    std::fwrite(buf, 1, static_cast<std::size_t>(n), stdout);
+    std::fflush(stdout);
+  }
+  done.store(true);
+  pump.join();
+  ::close(fd);
+  return 0;
+}
+
+}  // namespace smartexp3::serve

@@ -1,0 +1,150 @@
+// The netsel_serve service core and its transports.
+//
+// JobService is transport-free: it consumes request lines (from any thread),
+// emits event lines through sinks, and owns the queue + scheduler + the
+// on-disk job state. The tests drive it in-process; the `netsel_serve` tool
+// wraps it in one of two transports — newline framing on stdin/stdout, or a
+// Unix domain socket accepting concurrent clients (run_server below).
+//
+// Durability contract: with a state dir, every accepted job persists its
+// post-override ScenarioSpec (spec.json — canonical text, so the checkpoint
+// fingerprint matches across processes), its metadata (job.json) and, on
+// completion or failure, its outcome (result.json). A job directory with no
+// result.json is unfinished business: the next server process requeues it
+// with resume=true and the batch runner picks up from the newest valid
+// checkpoint, which is how a SIGKILL'd server finishes its jobs with
+// bit-identical summaries (tests/netsel_serve_test.sh proves the bytes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/scheduler.hpp"
+
+namespace smartexp3::serve {
+
+struct ServiceConfig {
+  std::string state_dir;  ///< "" = ephemeral (no persistence, no resume)
+  int executors = 2;      ///< concurrent jobs
+  int lanes = 0;          ///< total run-level worker lanes; 0 = hardware
+  int checkpoint_every = 200;  ///< slots between durable checkpoints; 0 = off
+  int progress_every = 64;     ///< slots between progress events per run
+  int max_attempts = 2;        ///< attempts per run
+  double watchdog_seconds = 0.0;
+  std::size_t queue_capacity = 64;  ///< pending jobs before admission rejects
+  /// Test-only fault injection threaded into every job's RunControl.
+  std::function<void(int run, Slot slot)> fault_hook;
+};
+
+class JobService {
+ public:
+  /// An event-line consumer. Lines arrive WITHOUT trailing newline, one
+  /// complete JSON object each, serialized by the service's emit lock —
+  /// sinks never see interleaved fragments.
+  using Sink = std::function<void(const std::string& line)>;
+
+  /// `broadcast` receives every event. Per-client sinks (register_client)
+  /// additionally receive events about their own jobs and replies to their
+  /// own requests.
+  JobService(ServiceConfig config, Sink broadcast);
+  ~JobService();
+
+  /// Emit the "serving" banner, requeue unfinished persisted jobs, start the
+  /// executors.
+  void start();
+
+  /// Handle one request line from `client` (0 = the broadcast submitter,
+  /// i.e. stdin mode or tests). Never throws: malformed requests become
+  /// "error" events, unsound specs become "rejected" events.
+  void handle_line(const std::string& line, std::uint64_t client = 0);
+
+  std::uint64_t register_client(Sink sink);
+  void unregister_client(std::uint64_t client);
+
+  /// Graceful drain: stop intake, raise the cooperative stop flag (running
+  /// jobs flush a final checkpoint at the next slot boundary), join the
+  /// executors, report every accepted job's disposition in one "drained"
+  /// event. Idempotent; blocks until complete.
+  void drain();
+  bool draining() const { return draining_.load(); }
+  bool drained() const { return drained_.load(); }
+
+  /// Block until every accepted job reached completed/failed, or a drain
+  /// started, or `*stop` went true (checked at ~100 ms cadence).
+  void wait_idle(const std::atomic<bool>* stop = nullptr);
+  /// Same, but only for jobs submitted by `client`; also returns once a
+  /// drain has fully finished (so the client saw its "drained" event).
+  void wait_client_idle(std::uint64_t client);
+
+  /// Snapshot accessors for tests.
+  std::shared_ptr<Job> find_job(const std::string& id) const;
+  std::size_t job_count() const;
+
+ private:
+  void handle_submit(const SubmitRequest& submit, std::uint64_t client);
+  void handle_stats(std::uint64_t client);
+  /// Route one finished line to the broadcast sink + `client`'s sink.
+  void emit(const std::string& line, std::uint64_t client);
+  /// Same, with emit_mutex_ already held by the caller.
+  void write_locked(const std::string& line, std::uint64_t client);
+  void on_terminal(Job& job);
+  void recover_persisted_jobs();
+  std::string job_dir(const std::string& id) const;
+  bool all_terminal() const;
+  bool client_terminal(std::uint64_t client) const;
+
+  ServiceConfig config_;
+  Sink broadcast_;
+  JobQueue queue_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  mutable std::mutex jobs_mutex_;
+  std::vector<std::shared_ptr<Job>> jobs_;  // acceptance order
+  int next_auto_id_ = 1;
+
+  std::mutex clients_mutex_;
+  std::map<std::uint64_t, Sink> clients_;
+  std::uint64_t next_client_ = 1;
+
+  std::mutex emit_mutex_;  ///< serializes sink writes and accept-vs-start order
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+};
+
+/// How `run_server` listens for requests.
+enum class Transport {
+  kStdin,   ///< newline requests on stdin, events on stdout; EOF = drain
+  kSocket,  ///< Unix domain socket; concurrent clients, events broadcast
+};
+
+struct ServerConfig {
+  Transport transport = Transport::kStdin;
+  std::string socket_path;  ///< kSocket only
+  ServiceConfig service;
+};
+
+/// Run the service until stdin EOF (kStdin) or `stop` goes true (either
+/// transport; the tool's SIGINT/SIGTERM handler raises it). Always drains
+/// before returning. Returns a process exit code: 0 after a graceful drain,
+/// 1 on a transport setup failure (socket in use, bind error).
+int run_server(const ServerConfig& config, std::atomic<bool>& stop);
+
+/// Client mode: connect to a serving socket, pump stdin lines to the server
+/// and print every event line the server sends until it closes the
+/// connection. Returns 0 on a clean close, 1 when the connect fails.
+int run_client(const std::string& socket_path, std::atomic<bool>& stop);
+
+}  // namespace smartexp3::serve

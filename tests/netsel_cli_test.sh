@@ -50,6 +50,45 @@ expect_usage_error "--resume needs --checkpoint-dir" -- --resume
 expect_usage_error "unknown setting" -- --setting no_such_setting
 expect_usage_error "cannot" -- --spec "$WORK/does-not-exist.json"
 
+# --- help audit -----------------------------------------------------------
+# --help must exit 0, and its text must document exactly the flags the
+# parser accepts — a flag added to one side without the other fails here.
+if ! "$SIM" --help >"$WORK/help.out" 2>&1; then
+    fail "--help exited nonzero"
+fi
+if ! "$SIM" -h >/dev/null 2>&1; then
+    fail "-h exited nonzero"
+fi
+# The canonical accepted-flag list (keep in sync with the netsel_sim parser).
+cat >"$WORK/flags.expected" <<'EOF'
+--checkpoint-dir
+--checkpoint-every
+--csv
+--devices
+--dump-spec
+--help
+--horizon
+--list
+--networks
+--policy
+--resume
+--runs
+--seed
+--setting
+--shards
+--smart
+--spec
+--stability
+--threads
+--quiet
+EOF
+sort "$WORK/flags.expected" >"$WORK/flags.sorted"
+grep -oE -- '--[a-z][a-z-]*' "$WORK/help.out" | sort -u >"$WORK/flags.documented"
+if ! diff -u "$WORK/flags.sorted" "$WORK/flags.documented" >"$WORK/flags.diff"; then
+    fail "help text flags differ from the accepted flag list:
+$(cat "$WORK/flags.diff")"
+fi
+
 # A good run exits 0 (small, fast configuration).
 if ! "$SIM" --setting setting1 --devices 4 --horizon 40 --runs 2 --quiet \
         >"$WORK/ok.out" 2>&1; then

@@ -1,0 +1,179 @@
+#!/bin/sh
+# netsel_serve service contract tests, end to end over real processes:
+#   1. socket intake with concurrent mixed-size jobs (one scalability_xl at
+#      10^5 devices — NETSEL_SERVE_TEST_XL_DEVICES scales it down for
+#      sanitizer CI), invalid submissions rejected in-stream, stats replies;
+#   2. SIGTERM mid-run: graceful drain flushes checkpoints and reports every
+#      job's disposition, a restarted server requeues and finishes the job;
+#   3. SIGKILL mid-run: no drain at all, yet the restarted server resumes
+#      from durable checkpoints and the final summary is byte-identical to
+#      an uninterrupted serve run of the same job.
+# Run by ctest as `netsel_serve_test.sh <netsel_serve> <netsel_sim>`.
+set -u
+
+SERVE=${1:?usage: netsel_serve_test.sh <netsel_serve> <netsel_sim>}
+SIM=${2:?usage: netsel_serve_test.sh <netsel_serve> <netsel_sim>}
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+failures=0
+XL_DEVICES=${NETSEL_SERVE_TEST_XL_DEVICES:-100000}
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+# wait_for <file> <needle> <seconds>
+wait_for() {
+    _i=0
+    while [ "$_i" -lt $((10 * $3)) ]; do
+        grep -q -- "$2" "$1" 2>/dev/null && return 0
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    return 1
+}
+
+# extract_summary <file> <job-id>: the raw "summary" object of the job's
+# completed event — the byte string the resume tests compare.
+extract_summary() {
+    grep '"event": "completed"' "$1" | grep "\"job\": \"$2\"" |
+        sed 's/.*"summary": //; s/, "timing".*//'
+}
+
+# --- 1. socket server: concurrent mixed jobs + bad input ------------------
+SOCK="$WORK/serve.sock"
+STATE1="$WORK/state1"
+"$SERVE" --socket "$SOCK" --state-dir "$STATE1" --jobs 4 --checkpoint-every 100 \
+    >"$WORK/server1.out" 2>"$WORK/server1.err" &
+SERVER_PID=$!
+wait_for "$WORK/server1.out" '"event": "serving"' 10 ||
+    fail "server did not start: $(cat "$WORK/server1.err")"
+
+# An inline-spec job exercises the whole wire path: dump a canonical spec,
+# flatten it to one line, embed it in the submit request.
+"$SIM" --dump-spec setting2 >"$WORK/spec.json" 2>/dev/null ||
+    fail "netsel_sim --dump-spec failed"
+SPEC_ONELINE=$(tr '\n' ' ' <"$WORK/spec.json")
+
+{
+    echo "{\"type\": \"submit\", \"id\": \"xl\", \"setting\": \"scalability_xl\", \"devices\": $XL_DEVICES}"
+    echo '{"type": "submit", "id": "small1", "setting": "setting1", "horizon": 200, "runs": 2}'
+    echo '{"type": "submit", "id": "small2", "setting": "setting2", "horizon": 200, "runs": 2}'
+    echo "{\"type\": \"submit\", \"id\": \"specjob\", \"spec\": $SPEC_ONELINE, \"horizon\": 120}"
+    echo '{"type": "submit", "id": "nope", "setting": "no_such_setting"}'
+    echo 'this is not json'
+    echo '{"type": "stats"}'
+} | "$SERVE" --connect "$SOCK" >"$WORK/client1.out" 2>&1 &
+CLIENT_PID=$!
+# The client holds its connection until all four accepted jobs are terminal.
+_i=0
+while kill -0 "$CLIENT_PID" 2>/dev/null; do
+    [ "$_i" -ge 4800 ] && { fail "client did not finish in time"; break; }
+    sleep 0.1
+    _i=$((_i + 1))
+done
+wait "$CLIENT_PID" 2>/dev/null
+
+for job in xl small1 small2 specjob; do
+    grep -q "\"event\": \"completed\".*\"job\": \"$job\"" "$WORK/client1.out" ||
+        fail "job '$job' did not complete: $(tail -5 "$WORK/client1.out")"
+done
+grep -q '"event": "rejected".*"job": "nope".*no_such_setting' "$WORK/client1.out" ||
+    fail "invalid setting was not rejected in-stream"
+grep -q '"event": "error"' "$WORK/client1.out" ||
+    fail "malformed line did not produce an error event"
+grep -q '"event": "stats".*"queue_depth"' "$WORK/client1.out" ||
+    fail "stats reply missing"
+grep -q '"event": "progress".*"device_slots_per_sec"' "$WORK/server1.out" ||
+    fail "no progress events with throughput on the broadcast stream"
+extract_summary "$WORK/client1.out" xl | grep -q '"switches_mean"' ||
+    fail "xl summary lacks aggregate fields"
+
+# --- 2. SIGTERM mid-run: drain, disposition, restart, resume --------------
+printf '%s\n' '{"type": "submit", "id": "slow", "setting": "scalability", "devices": 1000, "runs": 2}' |
+    "$SERVE" --connect "$SOCK" >"$WORK/client2.out" 2>&1 &
+CLIENT2_PID=$!
+wait_for "$WORK/server1.out" '"event": "started", "job": "slow"' 30 ||
+    fail "slow job never started"
+wait_for "$WORK/server1.out" '"event": "checkpointed", "job": "slow"' 60 ||
+    fail "slow job never checkpointed"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+status=$?
+SERVER_PID=""
+[ "$status" -eq 0 ] || fail "SIGTERM drain exited $status, expected 0"
+wait "$CLIENT2_PID" 2>/dev/null
+grep -q '"event": "draining"' "$WORK/server1.out" || fail "no draining event"
+grep -q '"event": "interrupted", "job": "slow"' "$WORK/server1.out" ||
+    fail "slow job was not reported interrupted"
+grep -q '"event": "drained".*"job": "slow".*"state": "interrupted"' "$WORK/server1.out" ||
+    fail "drained disposition missing the interrupted job"
+
+# Restart over the same state dir: the unfinished job is requeued, resumed
+# from its checkpoints, and completes.
+"$SERVE" --stdin --state-dir "$STATE1" --checkpoint-every 100 \
+    </dev/null >"$WORK/server1b.out" 2>&1 ||
+    fail "restarted server exited nonzero"
+grep -q '"event": "requeued", "job": "slow"' "$WORK/server1b.out" ||
+    fail "restart did not requeue the interrupted job"
+grep -q '"event": "completed", "job": "slow"' "$WORK/server1b.out" ||
+    fail "requeued job did not complete after restart"
+# Completed jobs stay done: a third start requeues nothing.
+"$SERVE" --stdin --state-dir "$STATE1" </dev/null >"$WORK/server1c.out" 2>&1
+grep -q '"event": "requeued"' "$WORK/server1c.out" &&
+    fail "finished jobs were requeued on a clean restart"
+
+# --- 3. SIGKILL mid-run: resume must be bit-identical ---------------------
+# Big enough (2000 devices x 8640 slots x 2 runs) that the SIGKILL lands
+# mid-run on any machine, yet finishes in a few seconds when run clean.
+GOLDEN='{"type": "submit", "id": "golden", "setting": "scalability", "devices": 2000, "runs": 2}'
+
+# Reference: the same job served start to finish, never interrupted.
+STATE_REF="$WORK/state_ref"
+printf '%s\n' "$GOLDEN" |
+    "$SERVE" --stdin --state-dir "$STATE_REF" --checkpoint-every 100 \
+        >"$WORK/ref.out" 2>&1 || fail "reference serve run failed"
+REF_SUMMARY=$(extract_summary "$WORK/ref.out" golden)
+[ -n "$REF_SUMMARY" ] || fail "reference run produced no summary"
+
+STATE_KILL="$WORK/state_kill"
+"$SERVE" --socket "$SOCK" --state-dir "$STATE_KILL" --checkpoint-every 100 \
+    >"$WORK/server3.out" 2>&1 &
+SERVER_PID=$!
+wait_for "$WORK/server3.out" '"event": "serving"' 10 || fail "server3 did not start"
+printf '%s\n' "$GOLDEN" | "$SERVE" --connect "$SOCK" >/dev/null 2>&1 &
+CLIENT3_PID=$!
+wait_for "$WORK/server3.out" '"event": "checkpointed", "job": "golden"' 60 ||
+    fail "golden job never checkpointed"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+wait "$CLIENT3_PID" 2>/dev/null
+grep -q '"event": "completed".*"job": "golden"' "$WORK/server3.out" &&
+    fail "golden job finished before the SIGKILL — tighten the kill timing"
+
+"$SERVE" --stdin --state-dir "$STATE_KILL" --checkpoint-every 100 \
+    </dev/null >"$WORK/server3b.out" 2>&1 ||
+    fail "post-SIGKILL restart exited nonzero"
+grep -q '"event": "requeued", "job": "golden"' "$WORK/server3b.out" ||
+    fail "post-SIGKILL restart did not requeue the golden job"
+KILL_SUMMARY=$(extract_summary "$WORK/server3b.out" golden)
+if [ -z "$KILL_SUMMARY" ]; then
+    fail "resumed golden job produced no summary"
+elif [ "$KILL_SUMMARY" != "$REF_SUMMARY" ]; then
+    fail "resumed summary differs from uninterrupted serve run:
+  reference: $REF_SUMMARY
+  resumed:   $KILL_SUMMARY"
+fi
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures serve test(s) failed" >&2
+    exit 1
+fi
+echo "all serve tests passed"

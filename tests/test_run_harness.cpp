@@ -367,6 +367,34 @@ TEST(RunHarness, ResumeWithoutCheckpointsStartsFromScratch) {
   expect_results_identical(reference, result);
 }
 
+TEST(RunHarness, SharedCheckpointDirDoesNotCrossResumeJobs) {
+  // Two different jobs pointed at the SAME checkpoint directory (a
+  // misconfigured service would do this): job B's resume must not pick up
+  // job A's checkpoints even though the run indices, base seed and file
+  // names (run<r>_slot<s>.ckpt) all collide — the spec fingerprint inside
+  // each checkpoint refuses the foreign state and B starts fresh.
+  const fs::path dir = scratch_dir("shared_dir");
+  const auto cfg_a = dynamic_config("exp3");
+  RunOptions options_a;
+  options_a.checkpoint.every = 40;
+  options_a.checkpoint.dir = dir.string();
+  const auto batch_a = run_many_result(cfg_a, 2, 1, options_a);
+  ASSERT_TRUE(batch_a.all_completed());
+  ASSERT_FALSE(fs::is_empty(dir)) << "job A must have left checkpoints behind";
+
+  const auto cfg_b = dynamic_config("greedy");  // same seed, different spec
+  const auto reference = run_many(cfg_b, 2, 1);
+  RunOptions options_b;
+  options_b.checkpoint.every = 40;
+  options_b.checkpoint.dir = dir.string();
+  options_b.checkpoint.resume = true;
+  const auto batch_b = run_many_result(cfg_b, 2, 1, options_b);
+  ASSERT_TRUE(batch_b.all_completed());
+  for (std::size_t r = 0; r < reference.size(); ++r) {
+    expect_results_identical(reference[r], batch_b.results[r]);
+  }
+}
+
 TEST(RunHarness, InertOptionsMatchThePlainPath) {
   // Default-constructed RunOptions must be indistinguishable from run_once
   // without options (it routes through the identical plain loop).

@@ -1,0 +1,424 @@
+// The netsel_serve service core, driven in-process: protocol parsing, job
+// admission and rejection, streaming events, stats, queue back-pressure,
+// graceful drain with resume, and fault-injected retries. The central
+// assertion mirrors the run-harness tests: a served job's summary is
+// byte-identical whether the batch ran clean, crashed and retried, or was
+// drained mid-run and resumed by a second service instance.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/runner.hpp"
+#include "exp/spec_io.hpp"
+#include "serve/protocol.hpp"
+
+namespace smartexp3::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Thread-safe event capture shared with the service's broadcast sink.
+struct EventLog {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+
+  JobService::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      lines.push_back(line);
+    };
+  }
+  std::vector<std::string> snapshot() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return lines;
+  }
+  bool contains(const std::string& needle) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (const auto& l : lines) {
+      if (l.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  int count(const std::string& needle) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    int n = 0;
+    for (const auto& l : lines) {
+      if (l.find(needle) != std::string::npos) ++n;
+    }
+    return n;
+  }
+};
+
+/// The reference summary for a submission: the same config build the
+/// service performs, run directly through the batch executor.
+std::string reference_summary(const std::string& setting, Slot horizon,
+                              int runs) {
+  exp::SettingParams params;
+  params.horizon = horizon;
+  auto cfg = exp::make_setting(setting, params);
+  cfg.world.shards = exp::world_shards(cfg.world.shards);
+  const auto batch = exp::run_many_result(cfg, runs, 2);
+  EXPECT_TRUE(batch.all_completed());
+  std::vector<metrics::RunResult> results;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.completed[i]) results.push_back(batch.results[i]);
+  }
+  return summary_json(cfg, results);
+}
+
+TEST(ServeProtocol, ParsesSubmitWithOverrides) {
+  const Request r = parse_request(
+      R"({"type": "submit", "id": "a", "setting": "scalability", "runs": 3,)"
+      R"( "policy": "exp3", "devices": 12, "networks": 4, "horizon": 99,)"
+      R"( "seed": 7, "shards": 2})");
+  ASSERT_EQ(r.kind, Request::Kind::kSubmit);
+  EXPECT_EQ(r.submit.id, "a");
+  EXPECT_EQ(r.submit.setting, "scalability");
+  EXPECT_EQ(r.submit.runs, 3);
+  EXPECT_EQ(r.submit.policy, "exp3");
+  EXPECT_EQ(r.submit.devices, 12);
+  EXPECT_EQ(r.submit.networks, 4);
+  EXPECT_EQ(r.submit.horizon, 99);
+  EXPECT_TRUE(r.submit.seed_set);
+  EXPECT_EQ(r.submit.seed, 7u);
+  EXPECT_EQ(r.submit.shards, 2);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  EXPECT_THROW(parse_request("not json"), ProtocolError);
+  EXPECT_THROW(parse_request("[1, 2]"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "launch"})"), ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "submit"})"), ProtocolError);
+  // setting and spec are mutually exclusive.
+  EXPECT_THROW(
+      parse_request(
+          R"({"type": "submit", "setting": "setting1", "spec": {"a": 1}})"),
+      ProtocolError);
+  // unknown keys are hard errors, not silent no-ops.
+  EXPECT_THROW(
+      parse_request(R"({"type": "submit", "setting": "setting1", "bogus": 1})"),
+      ProtocolError);
+  // per-request extras on stats/drain are rejected.
+  EXPECT_THROW(parse_request(R"({"type": "stats", "x": 1})"), ProtocolError);
+  // structural overrides make no sense for a full spec.
+  EXPECT_THROW(
+      parse_request(R"({"type": "submit", "spec": {"a": 1}, "devices": 5})"),
+      ProtocolError);
+}
+
+TEST(ServeProtocol, SpecObjectRoundTripsThroughWireText) {
+  exp::SettingParams params;
+  params.horizon = 60;
+  const auto cfg = exp::make_setting("setting2", params);
+  const std::string spec = exp::to_spec_text(cfg);
+  // Wrap the (multi-line, pretty) spec text's parsed form as an inline
+  // object: parse + reserialize must be lossless for the config.
+  const exp::JsonValue doc = exp::parse_json(spec);
+  const std::string wire = json_value_text(doc);
+  EXPECT_EQ(wire.find('\n'), std::string::npos) << "wire form must be one line";
+  const auto round = exp::parse_spec_text(wire);
+  EXPECT_EQ(exp::to_spec_text(round), spec);
+}
+
+TEST(ServeProtocol, EventLinesAreParseableJson) {
+  const std::string line = EventLine("completed")
+                               .field("job", "j-1")
+                               .field("ok", true)
+                               .field("rate", 0.5)
+                               .raw("nested", EventLine().field("n", 1).str())
+                               .str();
+  const exp::JsonValue doc = exp::parse_json(line);
+  ASSERT_EQ(doc.type, exp::JsonValue::Type::kObject);
+  EXPECT_EQ(doc.object.front().first, "event");
+  EXPECT_EQ(doc.object.front().second.str, "completed");
+}
+
+TEST(ServeService, CompletesJobWithReferenceSummary) {
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 2;
+  cfg.lanes = 2;
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "small", "setting": "setting1",)"
+      R"( "horizon": 120, "runs": 2})");
+  service.wait_idle();
+
+  EXPECT_TRUE(log.contains("\"event\": \"accepted\""));
+  EXPECT_TRUE(log.contains("\"event\": \"started\""));
+  EXPECT_TRUE(log.contains("\"event\": \"progress\""));
+  EXPECT_TRUE(log.contains("\"event\": \"completed\""));
+  const auto job = service.find_job("small");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->summary_json, reference_summary("setting1", 120, 2));
+}
+
+TEST(ServeService, RejectsUnsoundJobsAndStaysUp) {
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  JobService service(cfg, log.sink());
+  service.start();
+  // Unknown setting: admission rejects with the registry's message.
+  service.handle_line(R"({"type": "submit", "setting": "no_such_setting"})");
+  EXPECT_TRUE(log.contains("\"event\": \"rejected\""));
+  // Unsound inline spec: the validator's messages ride the rejected event.
+  service.handle_line(
+      R"({"type": "submit", "id": "bad", "spec": {"spec_version": 1,)"
+      R"( "name": "x", "world": {"horizon": 0}}})");
+  EXPECT_GE(log.count("\"event\": \"rejected\""), 2);
+  // Malformed line: an error event, not a crash.
+  service.handle_line("{broken");
+  EXPECT_TRUE(log.contains("\"event\": \"error\""));
+  // The service still takes and finishes work afterwards.
+  service.handle_line(
+      R"({"type": "submit", "id": "ok", "setting": "setting2",)"
+      R"( "horizon": 60})");
+  service.wait_idle();
+  const auto job = service.find_job("ok");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::kCompleted);
+}
+
+TEST(ServeService, AssignsIdsAndRejectsDuplicates) {
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "setting": "setting1", "horizon": 30})");
+  EXPECT_NE(service.find_job("job-1"), nullptr);
+  service.handle_line(
+      R"({"type": "submit", "id": "job-1", "setting": "setting1",)"
+      R"( "horizon": 30})");
+  EXPECT_TRUE(log.contains("already exists"));
+  service.handle_line(
+      R"({"type": "submit", "id": "../escape", "setting": "setting1"})");
+  EXPECT_TRUE(log.contains("job id must be"));
+  service.wait_idle();
+}
+
+TEST(ServeService, StatsReportsQueueAndPerJobLatency) {
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.progress_every = 8;
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "s", "setting": "setting1",)"
+      R"( "horizon": 120})");
+  service.wait_idle();
+  service.handle_line(R"({"type": "stats"})");
+  const auto lines = log.snapshot();
+  std::string stats;
+  for (const auto& l : lines) {
+    if (l.find("\"event\": \"stats\"") != std::string::npos) stats = l;
+  }
+  ASSERT_FALSE(stats.empty());
+  const exp::JsonValue doc = exp::parse_json(stats);
+  bool saw_job = false;
+  for (const auto& [k, v] : doc.object) {
+    if (k == "completed") EXPECT_EQ(v.number, 1.0);
+    if (k == "jobs") {
+      ASSERT_EQ(v.array.size(), 1u);
+      saw_job = true;
+      bool p50 = false, p99 = false;
+      for (const auto& [jk, jv] : v.array[0].object) {
+        if (jk == "state") EXPECT_EQ(jv.str, "completed");
+        if (jk == "slot_p50_us") p50 = true;
+        if (jk == "slot_p99_us") p99 = true;
+      }
+      EXPECT_TRUE(p50);
+      EXPECT_TRUE(p99);
+    }
+  }
+  EXPECT_TRUE(saw_job);
+}
+
+TEST(ServeService, QueueFullRejectsWithoutBlocking) {
+  EventLog log;
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.queue_capacity = 1;
+  // Hold the first job inside its first slot until the gate opens, so the
+  // queue genuinely backs up.
+  cfg.fault_hook = [&gate](int, Slot) {
+    while (!gate.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "a", "setting": "setting1", "horizon": 30})");
+  // Wait until the executor picked up "a" (queue empty again).
+  for (int i = 0; i < 500 && !log.contains("\"event\": \"started\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  service.handle_line(
+      R"({"type": "submit", "id": "b", "setting": "setting1", "horizon": 30})");
+  service.handle_line(
+      R"({"type": "submit", "id": "c", "setting": "setting1", "horizon": 30})");
+  EXPECT_TRUE(log.contains("queue full"));
+  EXPECT_EQ(service.find_job("c"), nullptr) << "rejected job must be forgotten";
+  gate.store(true);
+  service.wait_idle();
+  EXPECT_EQ(service.find_job("a")->state, JobState::kCompleted);
+  EXPECT_EQ(service.find_job("b")->state, JobState::kCompleted);
+}
+
+TEST(ServeService, FaultInjectedRetryMatchesCleanSummary) {
+  const fs::path dir = scratch_dir("retry");
+  EventLog log;
+  std::atomic<bool> crashed{false};
+  ServiceConfig cfg;
+  cfg.state_dir = dir.string();
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.checkpoint_every = 20;
+  cfg.max_attempts = 2;
+  cfg.fault_hook = [&crashed](int run, Slot slot) {
+    if (run == 0 && slot == 70 && !crashed.exchange(true)) {
+      throw std::runtime_error("injected crash");
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "r", "setting": "setting1",)"
+      R"( "horizon": 120, "runs": 2})");
+  service.wait_idle();
+  ASSERT_TRUE(crashed.load());
+  const auto job = service.find_job("r");
+  ASSERT_EQ(job->state, JobState::kCompleted);
+  // The retried batch resumed from a checkpoint, yet the summary is the
+  // clean run's, byte for byte.
+  EXPECT_EQ(job->summary_json, reference_summary("setting1", 120, 2));
+  EXPECT_TRUE(log.contains("\"event\": \"checkpointed\""));
+}
+
+TEST(ServeService, DrainRestartResumesBitIdentical) {
+  const fs::path dir = scratch_dir("drain");
+  const std::string submit =
+      R"({"type": "submit", "id": "d", "setting": "setting1",)"
+      R"( "horizon": 240, "runs": 2})";
+  std::string resumed_summary;
+  {
+    EventLog log;
+    std::atomic<bool> reached{false};
+    ServiceConfig cfg;
+    cfg.state_dir = dir.string();
+    cfg.executors = 1;
+    cfg.lanes = 1;
+    cfg.checkpoint_every = 20;
+    cfg.fault_hook = [&reached](int run, Slot slot) {
+      if (run == 0 && slot == 100) reached.store(true);
+    };
+    JobService service(cfg, log.sink());
+    service.start();
+    service.handle_line(submit);
+    while (!reached.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    service.drain();
+    ASSERT_TRUE(log.contains("\"event\": \"interrupted\""));
+    ASSERT_TRUE(log.contains("\"event\": \"drained\""));
+    const auto job = service.find_job("d");
+    EXPECT_EQ(job->state, JobState::kInterrupted);
+    EXPECT_GE(job->last_checkpoint_slot, 0) << "drain must flush a checkpoint";
+  }
+  {
+    EventLog log;
+    ServiceConfig cfg;
+    cfg.state_dir = dir.string();
+    cfg.executors = 1;
+    cfg.lanes = 1;
+    cfg.checkpoint_every = 20;
+    JobService service(cfg, log.sink());
+    service.start();
+    EXPECT_TRUE(log.contains("\"event\": \"requeued\""));
+    service.wait_idle();
+    const auto job = service.find_job("d");
+    ASSERT_NE(job, nullptr);
+    ASSERT_EQ(job->state, JobState::kCompleted);
+    resumed_summary = job->summary_json;
+  }
+  EXPECT_EQ(resumed_summary, reference_summary("setting1", 240, 2));
+  // A third start finds result.json and requeues nothing.
+  {
+    EventLog log;
+    ServiceConfig cfg;
+    cfg.state_dir = dir.string();
+    JobService service(cfg, log.sink());
+    service.start();
+    EXPECT_FALSE(log.contains("\"event\": \"requeued\""));
+    EXPECT_EQ(service.job_count(), 0u);
+  }
+}
+
+TEST(ServeService, DrainReportsDispositionForEveryAcceptedJob) {
+  EventLog log;
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.fault_hook = [&gate](int, Slot) {
+    while (!gate.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "run1", "setting": "setting1", "horizon": 60})");
+  for (int i = 0; i < 500 && !log.contains("\"event\": \"started\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  service.handle_line(
+      R"({"type": "submit", "id": "wait1", "setting": "setting2", "horizon": 60})");
+  std::thread opener([&gate] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    gate.store(true);
+  });
+  service.drain();
+  opener.join();
+  // Both accepted jobs appear in the drained disposition; the never-started
+  // one is still queued (and would be requeued by a state-dir restart).
+  const auto lines = log.snapshot();
+  std::string drained;
+  for (const auto& l : lines) {
+    if (l.find("\"event\": \"drained\"") != std::string::npos) drained = l;
+  }
+  ASSERT_FALSE(drained.empty());
+  EXPECT_NE(drained.find("\"job\": \"run1\""), std::string::npos);
+  EXPECT_NE(drained.find("\"job\": \"wait1\""), std::string::npos);
+  EXPECT_NE(drained.find("\"queued\""), std::string::npos);
+  // Submissions after the drain are rejected, not queued.
+  service.handle_line(
+      R"({"type": "submit", "id": "late", "setting": "setting1"})");
+  EXPECT_TRUE(log.contains("draining"));
+  EXPECT_EQ(service.find_job("late"), nullptr);
+}
+
+}  // namespace
+}  // namespace smartexp3::serve

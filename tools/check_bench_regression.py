@@ -57,6 +57,8 @@ def main(argv):
     # scales differently with device count / horizon, so a silent config
     # drift would fabricate or mask regressions. `runs` is excluded — more
     # repetitions of the same workload stay comparable (best-of semantics).
+    # Only "config" and the measured entries participate: provenance keys
+    # like "meta" (git_sha, generated_utc) never gate the comparison.
     strip = lambda cfg: {k: v for k, v in cfg.items() if k != "runs"}
     if strip(baseline_doc.get("config", {})) != strip(fresh_doc.get("config", {})):
         sys.exit(

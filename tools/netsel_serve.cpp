@@ -1,0 +1,160 @@
+// netsel_serve — a long-running network-selection simulation service.
+//
+// Accepts newline-delimited JSON job requests (ScenarioSpec jobs or registry
+// settings with netsel_sim-style overrides) over stdin or a Unix domain
+// socket, schedules them across a fixed executor pool with per-job lane
+// budgets, and streams one JSON event per line as each job is accepted,
+// makes progress, checkpoints, completes or fails. With --state-dir, every
+// job's spec and checkpoints are durable: a killed server requeues and
+// resumes unfinished jobs on restart, and the resumed summaries are
+// bit-identical to uninterrupted runs. SIGINT/SIGTERM trigger a graceful
+// drain: intake stops, running jobs flush a final checkpoint at the next
+// slot boundary, and a final "drained" event reports every accepted job's
+// disposition. Protocol and event grammar: DESIGN.md §7.
+//
+// Exit codes: 0 after a graceful drain (or clean client close), 1 on a
+// transport failure (socket in use, bind/connect error), 2 on a usage error.
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace smartexp3;
+
+/// SIGINT/SIGTERM set this; the transport loops poll it at ~200 ms cadence
+/// and turn it into a graceful drain. Plain lock-free atomic store: the only
+/// thing that is async-signal-safe here.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "netsel_serve: " << message << "\n"
+            << "run with --help for usage\n";
+  std::exit(2);
+}
+
+void print_help() {
+  std::cout <<
+      "netsel_serve — long-running simulation job service\n\n"
+      "modes:\n"
+      "  --stdin          serve requests from stdin, events on stdout (default)\n"
+      "  --socket PATH    serve a Unix domain socket (concurrent clients)\n"
+      "  --connect PATH   client: pump stdin requests to a serving socket and\n"
+      "                   print its events until the server closes\n\n"
+      "service options:\n"
+      "  --state-dir DIR  durable job state (specs, checkpoints, results);\n"
+      "                   unfinished jobs are requeued and resumed on restart\n"
+      "  --jobs N         concurrent jobs (default 2)\n"
+      "  --lanes N        total run-level worker lanes, split across jobs\n"
+      "                   (default: hardware concurrency)\n"
+      "  --checkpoint-every N  slots between durable checkpoints (default 200;\n"
+      "                   0 disables; needs --state-dir)\n"
+      "  --progress-every N    slots between progress events per run (default 64)\n"
+      "  --max-attempts N per-run attempts, retries resume from checkpoints\n"
+      "                   (default 2)\n"
+      "  --queue N        pending-job capacity before admission rejects\n"
+      "                   (default 64)\n"
+      "  -h, --help       show this help\n\n"
+      "requests (one JSON object per line):\n"
+      "  {\"type\": \"submit\", \"setting\": \"setting1\", \"runs\": 4, \"policy\": \"exp3\"}\n"
+      "  {\"type\": \"submit\", \"id\": \"big\", \"setting\": \"scalability_xl\"}\n"
+      "  {\"type\": \"submit\", \"spec\": { ... ScenarioSpec object ... }}\n"
+      "  {\"type\": \"stats\"}\n"
+      "  {\"type\": \"drain\"}\n\n"
+      "events (one JSON object per line): serving, accepted, rejected,\n"
+      "  requeued, started, progress, checkpointed, completed, failed,\n"
+      "  interrupted, stats, draining, drained, error — see DESIGN.md §7.\n\n"
+      "SIGINT/SIGTERM drain gracefully: running jobs flush a final checkpoint\n"
+      "and the final \"drained\" event reports every job's disposition.\n"
+      "exit codes: 0 graceful drain / clean close, 1 transport failure,\n"
+      "  2 usage error\n";
+}
+
+int parse_int_arg(const char* name, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    usage_error(std::string(name) + " needs an integer, got '" + value + "'");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig config;
+  bool mode_set = false;
+  std::string connect_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) usage_error(std::string(name) + " needs a value");
+      return argv[++i];
+    };
+    auto set_mode = [&](serve::Transport t) {
+      if (mode_set) usage_error("pick one of --stdin / --socket / --connect");
+      mode_set = true;
+      config.transport = t;
+    };
+    if (arg == "-h" || arg == "--help") {
+      print_help();
+      return 0;
+    } else if (arg == "--stdin") {
+      set_mode(serve::Transport::kStdin);
+    } else if (arg == "--socket") {
+      set_mode(serve::Transport::kSocket);
+      config.socket_path = need_value("--socket");
+    } else if (arg == "--connect") {
+      set_mode(serve::Transport::kStdin);  // transport unused in client mode
+      connect_path = need_value("--connect");
+    } else if (arg == "--state-dir") {
+      config.service.state_dir = need_value("--state-dir");
+    } else if (arg == "--jobs") {
+      config.service.executors = parse_int_arg("--jobs", need_value("--jobs"));
+      if (config.service.executors < 1) usage_error("--jobs must be >= 1");
+    } else if (arg == "--lanes") {
+      config.service.lanes = parse_int_arg("--lanes", need_value("--lanes"));
+      if (config.service.lanes < 1) usage_error("--lanes must be >= 1");
+    } else if (arg == "--checkpoint-every") {
+      config.service.checkpoint_every =
+          parse_int_arg("--checkpoint-every", need_value("--checkpoint-every"));
+      if (config.service.checkpoint_every < 0) {
+        usage_error("--checkpoint-every must be >= 0 (0 disables)");
+      }
+    } else if (arg == "--progress-every") {
+      config.service.progress_every =
+          parse_int_arg("--progress-every", need_value("--progress-every"));
+      if (config.service.progress_every < 1) {
+        usage_error("--progress-every must be >= 1");
+      }
+    } else if (arg == "--max-attempts") {
+      config.service.max_attempts =
+          parse_int_arg("--max-attempts", need_value("--max-attempts"));
+      if (config.service.max_attempts < 1) {
+        usage_error("--max-attempts must be >= 1");
+      }
+    } else if (arg == "--queue") {
+      const int queue = parse_int_arg("--queue", need_value("--queue"));
+      if (queue < 1) usage_error("--queue must be >= 1");
+      config.service.queue_capacity = static_cast<std::size_t>(queue);
+    } else {
+      usage_error("unknown option '" + arg + "'");
+    }
+  }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // dead clients surface as send() errors
+
+  if (!connect_path.empty()) return serve::run_client(connect_path, g_stop);
+  return serve::run_server(config, g_stop);
+}

@@ -130,7 +130,8 @@ void print_help() {
       "                        --checkpoint-every / --resume)\n"
       "  --resume              continue each run from its newest valid\n"
       "                        checkpoint; SIGINT/SIGTERM flush a final\n"
-      "                        checkpoint before exiting with status 130\n";
+      "                        checkpoint before exiting with status 130\n\n"
+      "  -h, --help            show this help and exit\n";
 }
 
 void print_list() {
