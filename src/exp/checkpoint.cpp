@@ -1,8 +1,13 @@
 #include "exp/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +15,7 @@
 #include <utility>
 
 #include "exp/jsonish.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::exp {
 
@@ -238,6 +244,26 @@ Checkpoint parse_checkpoint_text(const std::string& text) {
   return c;
 }
 
+namespace {
+
+bool errno_is_disk_full(int err) { return err == ENOSPC || err == EDQUOT; }
+
+[[noreturn]] void throw_write_error(const std::string& message, bool disk_full) {
+  if (disk_full) throw CheckpointDiskFull(message);
+  throw CheckpointError(message);
+}
+
+/// Close + unlink the temp file on an abandoned write. The injected
+/// short-write site deliberately skips this: a crash mid-write leaves its
+/// torn ".tmp" behind, and the resume path must keep ignoring it.
+void abandon_tmp(int fd, const fs::path& tmp) {
+  if (fd >= 0) ::close(fd);
+  std::error_code ec;
+  fs::remove(tmp, ec);
+}
+
+}  // namespace
+
 void save_checkpoint_file(const Checkpoint& c, const std::string& path) {
   const std::string text = to_checkpoint_text(c);
   const fs::path target(path);
@@ -246,26 +272,114 @@ void save_checkpoint_file(const Checkpoint& c, const std::string& path) {
     fs::create_directories(target.parent_path(), ec);  // best-effort; open reports
   }
   const fs::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw CheckpointError("cannot write checkpoint file '" + tmp.string() + "'");
-    }
-    out << text;
-    out.flush();
-    if (!out) {
-      out.close();
-      fs::remove(tmp, ec);
-      throw CheckpointError("failed writing checkpoint file '" + tmp.string() + "'");
-    }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw_write_error("cannot write checkpoint file '" + tmp.string() +
+                          "': " + std::strerror(errno),
+                      errno_is_disk_full(errno));
   }
+
+  // Injected faults strike where the real ones would: before the payload
+  // lands (enospc / generic failure), mid-payload (short write), at fsync,
+  // at publish (torn rename), and at the directory sync after publish.
+  if (util::failpoint("checkpoint.write.enospc")) {
+    abandon_tmp(fd, tmp);
+    throw CheckpointDiskFull("checkpoint directory out of space writing '" +
+                             tmp.string() + "' [injected checkpoint.write.enospc]");
+  }
+  if (util::failpoint("checkpoint.write.fail")) {
+    abandon_tmp(fd, tmp);
+    throw CheckpointError("failed writing checkpoint file '" + tmp.string() +
+                          "' [injected checkpoint.write.fail]");
+  }
+  if (util::failpoint("checkpoint.write.short")) {
+    // Half the bytes land, then the "process dies": the torn .tmp stays on
+    // disk exactly as a real crash would leave it.
+    (void)!::write(fd, text.data(), text.size() / 2);
+    ::close(fd);
+    throw CheckpointError("short write on checkpoint file '" + tmp.string() +
+                          "' [injected checkpoint.write.short]");
+  }
+
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t w = ::write(fd, text.data() + off, text.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      abandon_tmp(fd, tmp);
+      throw_write_error("failed writing checkpoint file '" + tmp.string() +
+                            "': " + std::strerror(err),
+                        errno_is_disk_full(err));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+
+  // Durability step 1: the payload must be on stable storage before the
+  // rename publishes it, or a power cut could publish an empty/torn file.
+  const bool fsync_injected = util::failpoint("checkpoint.fsync.fail");
+  if (fsync_injected || ::fsync(fd) != 0) {
+    const int err = fsync_injected ? EIO : errno;
+    abandon_tmp(fd, tmp);
+    throw_write_error(
+        "cannot fsync checkpoint file '" + tmp.string() + "': " +
+            (fsync_injected ? "injected checkpoint.fsync.fail"
+                            : std::strerror(err)),
+        errno_is_disk_full(err));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    abandon_tmp(-1, tmp);
+    throw_write_error("cannot close checkpoint file '" + tmp.string() +
+                          "': " + std::strerror(err),
+                      errno_is_disk_full(err));
+  }
+
+  if (util::failpoint("checkpoint.rename.torn")) {
+    // The adversarial case atomic rename is supposed to preclude: torn bytes
+    // under the REAL name (a filesystem that reneged on atomicity mid-crash).
+    // Loaders must reject it on checksum and fall back to an older file.
+    std::ofstream torn(target, std::ios::binary | std::ios::trunc);
+    torn << text.substr(0, text.size() / 2);
+    torn.close();
+    abandon_tmp(-1, tmp);
+    throw CheckpointError("rename torn publishing checkpoint '" + path +
+                          "' [injected checkpoint.rename.torn]");
+  }
+
   // Atomic publish: readers see the old checkpoint or the new one, never a
   // torn file under the real name.
-  fs::rename(tmp, target, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw CheckpointError("cannot rename checkpoint into place at '" + path +
-                          "': " + ec.message());
+  if (::rename(tmp.c_str(), target.c_str()) != 0) {
+    const int err = errno;
+    abandon_tmp(-1, tmp);
+    throw_write_error("cannot rename checkpoint into place at '" + path +
+                          "': " + std::strerror(err),
+                      errno_is_disk_full(err));
+  }
+
+  // Durability step 2: fsync the parent directory so the rename itself (the
+  // new directory entry) survives power loss — without this the data was
+  // durable but the name pointing at it was not.
+  const fs::path parent =
+      target.has_parent_path() ? target.parent_path() : fs::path(".");
+  if (util::failpoint("checkpoint.dirsync.fail")) {
+    throw CheckpointError("cannot fsync checkpoint directory '" +
+                          parent.string() +
+                          "' [injected checkpoint.dirsync.fail]");
+  }
+  const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    const int rc = ::fsync(dfd);
+    const int err = errno;
+    ::close(dfd);
+    // EINVAL = this filesystem cannot fsync directories (some network FSes);
+    // that is the pre-existing durability level, not a new failure.
+    if (rc != 0 && err != EINVAL) {
+      throw_write_error("cannot fsync checkpoint directory '" +
+                            parent.string() + "': " + std::strerror(err),
+                        errno_is_disk_full(err));
+    }
   }
 }
 

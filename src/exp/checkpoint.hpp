@@ -8,10 +8,11 @@
 //
 //   checksum fnv1a64 <16 hex digits>
 //
-// over every byte of the JSON body. Writes are atomic: the file is written
-// to "<path>.tmp" and renamed into place, so a crash mid-write leaves
-// either the old checkpoint or a stray .tmp, never a torn file under the
-// real name. Loads validate the checksum and both version fields before a
+// over every byte of the JSON body. Writes are atomic and durable: the file
+// is written to "<path>.tmp", fsynced, renamed into place, and the parent
+// directory is fsynced — so a crash mid-write leaves either the old
+// checkpoint or a stray .tmp, never a torn file under the real name, and a
+// published checkpoint survives power loss. Loads validate the checksum and both version fields before a
 // single snapshot word reaches a reader, and the resume path
 // (newest_valid_checkpoint) degrades gracefully: a corrupt, truncated or
 // mismatched file is skipped in favour of the newest one that verifies —
@@ -35,6 +36,16 @@ namespace smartexp3::exp {
 class CheckpointError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// The write failed because the checkpoint directory is out of space
+/// (ENOSPC/EDQUOT, or the checkpoint.write.enospc failpoint). Distinguished
+/// from other write errors so callers can degrade gracefully — disable
+/// checkpointing and keep the run alive — instead of retrying into the same
+/// full disk (exp::CheckpointOptions::degrade_on_disk_full).
+class CheckpointDiskFull : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
 };
 
 /// Bumped when the checkpoint file layout itself changes. The snapshot word
@@ -68,8 +79,13 @@ std::string to_checkpoint_text(const Checkpoint& c);
 /// malformed JSON or hex. Never crashes on arbitrary bytes.
 Checkpoint parse_checkpoint_text(const std::string& text);
 
-/// Atomic durable write: text goes to "<path>.tmp", is flushed, then renamed
-/// over `path`. Creates the parent directory if needed.
+/// Atomic durable write: text goes to "<path>.tmp", is fsynced, renamed over
+/// `path`, and the parent directory is fsynced so the rename itself survives
+/// power loss. Creates the parent directory if needed. Throws
+/// CheckpointDiskFull on ENOSPC/EDQUOT and CheckpointError otherwise.
+/// Failpoint sites (util/failpoint.hpp): checkpoint.write.fail,
+/// checkpoint.write.short, checkpoint.write.enospc, checkpoint.fsync.fail,
+/// checkpoint.rename.torn, checkpoint.dirsync.fail.
 void save_checkpoint_file(const Checkpoint& c, const std::string& path);
 
 /// Load + validate one file. Throws CheckpointError (including for an

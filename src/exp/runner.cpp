@@ -16,6 +16,7 @@
 #include "core/factory.hpp"
 #include "exp/checkpoint.hpp"
 #include "exp/spec_io.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::exp {
 
@@ -81,12 +82,14 @@ metrics::RunResult run_once_impl(const ExperimentConfig& config, std::uint64_t s
 
 /// True when no crash-safety feature is active, i.e. the per-slot guard loop
 /// below would be pure overhead and the plain World::run() path applies.
+/// Armed failpoints force the guarded loop too: the runner.* sites live in
+/// it, and a fault schedule must reach every run it covers.
 bool options_inert(const RunOptions& o) {
   return !o.checkpoint.enabled() && !o.checkpoint.resume &&
          o.control.watchdog_seconds <= 0.0 && o.control.stop == nullptr &&
          !o.control.fault_hook &&
          !(o.control.progress_every > 0 && o.control.progress) &&
-         !o.control.on_checkpoint;
+         !o.control.on_checkpoint && !util::failpoints_armed();
 }
 
 /// Snapshot world + recorder into a durable checkpoint file for (run, slot),
@@ -149,15 +152,29 @@ metrics::RunResult run_guarded_impl(const ExperimentConfig& config, std::uint64_
     // (crash-before-first-checkpoint must be resumable too).
   }
 
+  // Disk-pressure degradation: a CheckpointDiskFull from any write site
+  // (periodic cadence or the final stop-flag flush) turns checkpointing off
+  // for the rest of the attempt instead of failing it — when the caller
+  // opted in. The run's trajectory is unaffected either way; checkpoints
+  // are recovery state, not simulation state.
+  bool checkpointing_off = false;
+  const auto checkpoint_now = [&] {
+    try {
+      const Slot s =
+          write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
+      if (ctl.on_checkpoint) ctl.on_checkpoint(run_index, s);
+    } catch (const CheckpointDiskFull& e) {
+      if (!ck.degrade_on_disk_full) throw;
+      checkpointing_off = true;
+      if (ctl.on_degraded) ctl.on_degraded(run_index, world->now(), e.what());
+    }
+  };
+
   const bool watchdog = ctl.watchdog_seconds > 0.0;
   const auto start = std::chrono::steady_clock::now();
   while (!world->done()) {
     if (ctl.stop != nullptr && ctl.stop->load(std::memory_order_relaxed)) {
-      if (ck.enabled()) {
-        const Slot s =
-            write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
-        if (ctl.on_checkpoint) ctl.on_checkpoint(run_index, s);
-      }
+      if (ck.enabled() && !checkpointing_off) checkpoint_now();
       throw RunInterrupted("run " + std::to_string(run_index) +
                            " interrupted at slot " + std::to_string(world->now()));
     }
@@ -171,16 +188,25 @@ metrics::RunResult run_guarded_impl(const ExperimentConfig& config, std::uint64_
                          " s watchdog at slot " + std::to_string(world->now()));
       }
     }
+    if (util::failpoint("runner.attempt.crash")) {
+      throw std::runtime_error("run " + std::to_string(run_index) +
+                               " crashed at slot " + std::to_string(world->now()) +
+                               " [injected runner.attempt.crash]");
+    }
+    if (util::failpoint("runner.watchdog.overrun")) {
+      throw RunTimeout("run " + std::to_string(run_index) +
+                       " watchdog overrun at slot " +
+                       std::to_string(world->now()) +
+                       " [injected runner.watchdog.overrun]");
+    }
     if (ctl.fault_hook) ctl.fault_hook(run_index, world->now());
     world->step();
     // Checkpoints land on slot boundaries (now() already advanced past the
     // completed slot). The final slot is skipped: the run is about to finish
     // and return a result, so a checkpoint there would only cost disk.
-    if (ck.enabled() && !world->done() &&
+    if (ck.enabled() && !checkpointing_off && !world->done() &&
         world->now() % ck.every == 0) {
-      const Slot s =
-          write_checkpoint(*world, recorder, run_index, seed, fingerprint, ck);
-      if (ctl.on_checkpoint) ctl.on_checkpoint(run_index, s);
+      checkpoint_now();
     }
     if (ctl.progress && ctl.progress_every > 0 &&
         world->now() % ctl.progress_every == 0) {
@@ -297,7 +323,30 @@ BatchResult run_many_result(const ExperimentConfig& config, int runs, int thread
   std::mutex failures_mutex;
   std::atomic<int> next{0};
   std::atomic<bool> interrupted{false};
+  std::atomic<int> retries{0};
   const int max_attempts = std::max(1, options.control.max_attempts);
+
+  // Exponential backoff that wakes on the cooperative stop flag: a SIGTERM
+  // drain must not stall behind a worker sleeping out a long retry delay.
+  // 10 ms polling, not a condition variable — the stop flag is a plain
+  // atomic owned by the caller (often a signal handler's), with no paired cv.
+  const auto backoff_sleep = [&options](int attempt) {
+    if (options.control.backoff_seconds <= 0.0) return;
+    const double delay =
+        options.control.backoff_seconds * static_cast<double>(1 << (attempt - 1));
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(delay);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (options.control.stop != nullptr &&
+          options.control.stop->load(std::memory_order_relaxed)) {
+        return;  // next attempt sees the flag and raises RunInterrupted
+      }
+      const std::chrono::duration<double> remaining =
+          deadline - std::chrono::steady_clock::now();
+      std::this_thread::sleep_for(
+          std::min(std::chrono::duration<double>(0.010), remaining));
+    }
+  };
 
   auto worker_loop = [&] {
     for (;;) {
@@ -341,11 +390,8 @@ BatchResult run_many_result(const ExperimentConfig& config, int runs, int thread
             failures.push_back(std::move(f));
             break;
           }
-          if (options.control.backoff_seconds > 0.0) {
-            const double delay =
-                options.control.backoff_seconds * static_cast<double>(1 << (attempt - 1));
-            std::this_thread::sleep_for(std::chrono::duration<double>(delay));
-          }
+          retries.fetch_add(1, std::memory_order_relaxed);
+          backoff_sleep(attempt);
           attempt_options.checkpoint.resume = options.checkpoint.enabled();
         }
       }
@@ -362,6 +408,7 @@ BatchResult run_many_result(const ExperimentConfig& config, int runs, int thread
             [](const RunFailure& a, const RunFailure& b) { return a.run < b.run; });
   batch.failures = std::move(failures);
   batch.interrupted = interrupted.load();
+  batch.retries = retries.load();
   return batch;
 }
 

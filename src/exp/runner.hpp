@@ -30,6 +30,13 @@ struct CheckpointOptions {
   std::string dir;   ///< directory for checkpoint files (created on demand)
   bool resume = false;  ///< start from the newest valid checkpoint, if any
   int keep = 2;      ///< newest checkpoints retained per run (disk bound)
+  /// Disk-pressure policy: when a checkpoint write throws CheckpointDiskFull
+  /// (real ENOSPC/EDQUOT or the checkpoint.write.enospc failpoint), disable
+  /// checkpointing for the rest of the attempt and keep the run alive
+  /// (RunControl::on_degraded fires) instead of failing the attempt into a
+  /// retry against the same full disk. Off by default: batch tools prefer
+  /// the failure to be loud; the serve layer turns it on.
+  bool degrade_on_disk_full = false;
   bool enabled() const { return every > 0 && !dir.empty(); }
 };
 
@@ -62,6 +69,11 @@ struct RunControl {
   /// final stop-flag flush alike) with the checkpointed slot. Same
   /// thread-safety contract as `progress`.
   std::function<void(int run, Slot slot)> on_checkpoint;
+  /// Fires when CheckpointOptions::degrade_on_disk_full swallows a disk-full
+  /// checkpoint failure: the run continues with checkpointing disabled and
+  /// `reason` carries the underlying error. Same thread-safety contract as
+  /// `progress`.
+  std::function<void(int run, Slot slot, const std::string& reason)> on_degraded;
 };
 
 struct RunOptions {
@@ -98,6 +110,7 @@ struct BatchResult {
   std::vector<bool> completed;
   std::vector<RunFailure> failures;  ///< ordered by run index
   bool interrupted = false;          ///< RunControl::stop fired mid-batch
+  int retries = 0;  ///< failed attempts that were retried across all runs
   bool all_completed() const { return failures.empty() && !interrupted; }
 };
 

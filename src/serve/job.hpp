@@ -77,7 +77,15 @@ struct Job {
   // Guarded by `mutex` below.
   JobState state = JobState::kQueued;
   std::string error;              ///< first failure message (kFailed)
+  std::string failure_reason;     ///< machine-readable cause, e.g. "poisoned"
   std::string summary_json;       ///< deterministic summary (kCompleted)
+  /// Executions started that did not end cleanly, persisted in job.json
+  /// across server processes: incremented when an executor picks the job up,
+  /// decremented again on a graceful drain interruption. A job whose count
+  /// reaches ServiceConfig::max_job_attempts crashed that many servers and
+  /// is quarantined at recovery instead of requeued.
+  int attempts = 0;
+  bool degraded = false;          ///< checkpointing disabled by disk pressure
   Slot last_checkpoint_slot = -1; ///< newest durable slot across runs
   long slots_done = 0;            ///< completed slots across all runs
   double device_slots_per_sec = 0.0;  ///< most recent progress window

@@ -115,8 +115,30 @@ Request parse_request(const std::string& line) {
   } else if (kind == "drain") {
     r.kind = Request::Kind::kDrain;
     if (doc.object.size() != 1) bad("'drain' takes no other keys");
+  } else if (kind == "inject") {
+    r.kind = Request::Kind::kInject;
+    for (const auto& [k, v] : doc.object) {
+      if (k == "type") {
+        continue;
+      } else if (k == "site") {
+        r.inject.site = require_string(v, k);
+      } else if (k == "mode") {
+        r.inject.mode = require_string(v, k);
+      } else if (k == "seed") {
+        r.inject.seed = require_uint64(v, k);
+        r.inject.seed_set = true;
+      } else {
+        bad("unknown inject key '" + k + "'");
+      }
+    }
+    if (r.inject.site.empty()) bad("inject needs a non-empty 'site' key");
+    if (r.inject.mode.empty()) {
+      bad("inject needs a 'mode' key (once/once@N/1inN/probability, or "
+          "\"off\" to disarm)");
+    }
   } else {
-    bad("unknown request type '" + kind + "' (expected submit/stats/drain)");
+    bad("unknown request type '" + kind +
+        "' (expected submit/stats/drain/inject)");
   }
   return r;
 }

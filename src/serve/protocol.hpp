@@ -58,10 +58,23 @@ struct SubmitRequest {
   int shards = -1;        ///< -1 = config default (0 = auto)
 };
 
+/// Arm or disarm a failpoint at runtime (util/failpoint.hpp): mode is the
+/// registry grammar ("once", "once@N", "1inN", a probability) or "off" to
+/// disarm. Answered with one "injected" event. Fault injection over the
+/// wire exists for chaos testing a live server — the grammar and the
+/// operational caveats live in DESIGN.md §8.
+struct InjectRequest {
+  std::string site;
+  std::string mode;
+  bool seed_set = false;
+  std::uint64_t seed = 0;  ///< perturbs the site's deterministic RNG
+};
+
 struct Request {
-  enum class Kind { kSubmit, kStats, kDrain };
+  enum class Kind { kSubmit, kStats, kDrain, kInject };
   Kind kind = Kind::kStats;
   SubmitRequest submit;  ///< meaningful when kind == kSubmit
+  InjectRequest inject;  ///< meaningful when kind == kInject
 };
 
 /// Parse one request line. Throws ProtocolError on anything malformed;

@@ -5,8 +5,11 @@
 #include <map>
 #include <mutex>
 
+#include <cstdlib>
+
 #include "exp/aggregate.hpp"
 #include "serve/protocol.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::serve {
 
@@ -77,6 +80,10 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
     const std::lock_guard<std::mutex> lock(job->mutex);
     job->state = JobState::kRunning;
   }
+  // The attempt count must be durable BEFORE any work happens: a SIGKILL
+  // (or the abort failpoint below) one instruction into the batch still
+  // counts as a crash-attempt when the next server reads job.json.
+  if (config_.on_start) config_.on_start(*job);
   const int lanes = std::min(lane_budget(), std::max(1, job->runs));
   emit_(*job, EventLine("started")
                   .field("job", job->id)
@@ -97,6 +104,9 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
     options.checkpoint.every = config_.checkpoint_every;
     options.checkpoint.dir = job->dir + "/ckpt";
     options.checkpoint.resume = job->resume;
+    // A full checkpoint disk must not kill a long job: drop to degraded
+    // (no checkpoints, "degraded" event) and keep simulating.
+    options.checkpoint.degrade_on_disk_full = true;
   }
   options.control.stop = &stop_;
   options.control.max_attempts = config_.max_attempts;
@@ -153,29 +163,64 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
                     .field("slot", slot)
                     .str());
   };
+  options.control.on_degraded = [&](int run, Slot slot,
+                                    const std::string& reason) {
+    bool first = false;
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      if (!job->degraded) {
+        job->degraded = true;
+        first = true;
+      }
+    }
+    // One "degraded" event per job, not one per run attempt that hits the
+    // same full disk.
+    if (!first) return;
+    ++degraded_jobs_;
+    emit_(*job, EventLine("degraded")
+                    .field("job", job->id)
+                    .field("run", run)
+                    .field("slot", slot)
+                    .field("reason", "disk_pressure")
+                    .field("checkpointing", "disabled")
+                    .field("error", reason)
+                    .str());
+  };
 
   const auto started = Clock::now();
   exp::BatchResult batch;
   try {
+    // Executor-level fault sites: a hard process abort (the poison-quarantine
+    // scenario — the job "crashes the server") and a structural exception
+    // that the catch below must survive.
+    if (util::failpoint("serve.executor.abort")) std::abort();
+    if (util::failpoint("serve.executor.exception")) {
+      throw std::runtime_error(
+          "executor exception [injected serve.executor.exception]");
+    }
     batch = exp::run_many_result(job->cfg, job->runs, lanes, options);
   } catch (const std::exception& e) {
     // run_many_result reports run failures in-band; reaching here means the
     // config itself was rejected (admission should have caught it) or the
     // harness failed structurally. The job fails; the server stays up.
-    const std::lock_guard<std::mutex> lock(job->mutex);
-    job->state = JobState::kFailed;
-    job->error = e.what();
+    const std::string error = e.what();
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      job->state = JobState::kFailed;
+      job->error = error;
+    }
     ++failed_;
     emit_(*job, EventLine("failed")
                     .field("job", job->id)
-                    .field("error", job->error)
+                    .field("error", error)
                     .field("completed_runs", 0)
                     .str());
-    on_terminal_(*job);
+    on_terminal_(*job);  // re-locks job->mutex — must run unlocked
     return;
   }
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - started).count();
+  retries_total_ += batch.retries;
 
   if (batch.interrupted) {
     Slot last = -1;
@@ -192,6 +237,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
                     .str());
     // Not terminal: the persisted spec + checkpoints are the hand-off to
     // the next server process, exactly like netsel_sim --resume.
+    if (config_.on_interrupted) config_.on_interrupted(*job);
     return;
   }
 

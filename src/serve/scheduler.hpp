@@ -36,6 +36,12 @@ struct SchedulerConfig {
   double watchdog_seconds = 0.0;  ///< per-attempt budget; 0 = none
   /// Test-only fault injection threaded into every job's RunControl.
   std::function<void(int run, Slot slot)> fault_hook;
+  /// Fires just before a job's batch begins (the service persists the
+  /// incremented attempt count here, so even a SIGKILL mid-run is counted).
+  std::function<void(Job& job)> on_start;
+  /// Fires when a drain interrupted the job — not terminal; the service
+  /// un-counts the attempt (a graceful stop is not a crash).
+  std::function<void(Job& job)> on_interrupted;
 };
 
 class Scheduler {
@@ -64,6 +70,11 @@ class Scheduler {
   int completed() const { return completed_.load(); }
   int failed() const { return failed_.load(); }
   int interrupted() const { return interrupted_.load(); }
+  /// Run-level retry attempts across every batch this scheduler executed.
+  int retries_total() const { return retries_total_.load(); }
+  /// Jobs that lost checkpointing to disk pressure (degraded, still running
+  /// or finished) — each job counted once.
+  int degraded_jobs() const { return degraded_jobs_.load(); }
 
  private:
   void executor_loop();
@@ -78,6 +89,8 @@ class Scheduler {
   std::atomic<int> completed_{0};
   std::atomic<int> failed_{0};
   std::atomic<int> interrupted_{0};
+  std::atomic<int> retries_total_{0};
+  std::atomic<int> degraded_jobs_{0};
   std::vector<std::thread> executors_;
   bool started_ = false;
   bool joined_ = false;

@@ -17,6 +17,7 @@
 #include "exp/registry.hpp"
 #include "exp/spec_io.hpp"
 #include "serve/protocol.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::serve {
 
@@ -68,19 +69,48 @@ void write_text_file(const std::string& path, const std::string& text) {
   if (!out) throw std::runtime_error("cannot write " + path);
 }
 
-int parse_job_runs(const std::string& path) {
+/// The persisted job.json payload. `attempts` counts server executions that
+/// never ended cleanly (see Job::attempts); rewritten in place by the
+/// on_start/on_interrupted hooks, so a plain truncating write is fine — a
+/// torn job.json fails recovery for that one job, never the server.
+std::string job_meta_json(const std::string& id, int runs, int attempts) {
+  return EventLine()
+             .field("version", 1)
+             .field("id", id)
+             .field("runs", runs)
+             .field("attempts", attempts)
+             .str() +
+         "\n";
+}
+
+struct JobMeta {
+  int runs = 1;
+  int attempts = 0;
+};
+
+JobMeta parse_job_meta(const std::string& path) {
   std::ifstream in(path);
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   if (!in.good() && !in.eof()) throw std::runtime_error("cannot read " + path);
   const exp::JsonValue doc = exp::parse_json(text);
+  JobMeta meta;
+  bool have_runs = false;
   for (const auto& [k, v] : doc.object) {
     if (k == "runs" && v.type == exp::JsonValue::Type::kNumber && v.integral) {
       const int runs = static_cast<int>(v.number);
-      if (runs >= 1) return runs;
+      if (runs >= 1) {
+        meta.runs = runs;
+        have_runs = true;
+      }
+    } else if (k == "attempts" && v.type == exp::JsonValue::Type::kNumber &&
+               v.integral) {
+      // Absent in pre-quarantine job.json files: treated as 0 crash-attempts.
+      meta.attempts = std::max(0, static_cast<int>(v.number));
     }
   }
-  throw std::runtime_error(path + " has no valid 'runs' key");
+  if (!have_runs) throw std::runtime_error(path + " has no valid 'runs' key");
+  return meta;
 }
 
 std::string rejected_line(const std::string& id,
@@ -108,6 +138,38 @@ JobService::JobService(ServiceConfig config, Sink broadcast)
   sc.max_attempts = config_.max_attempts;
   sc.watchdog_seconds = config_.watchdog_seconds;
   sc.fault_hook = config_.fault_hook;
+  // Crash-attempt accounting behind the quarantine: persist attempts+1
+  // BEFORE the batch touches a single slot, take it back only on a graceful
+  // drain. A job that SIGKILLs (or aborts) the server leaves the incremented
+  // count on disk for the next process's recovery to judge.
+  sc.on_start = [this](Job& job) {
+    int attempts = 0;
+    {
+      const std::lock_guard<std::mutex> lock(job.mutex);
+      attempts = ++job.attempts;
+    }
+    if (job.dir.empty()) return;
+    try {
+      write_text_file(job.dir + "/job.json",
+                      job_meta_json(job.id, job.runs, attempts));
+    } catch (const std::exception& e) {
+      emit(EventLine("error").field("error", e.what()).str(), job.client);
+    }
+  };
+  sc.on_interrupted = [this](Job& job) {
+    int attempts = 0;
+    {
+      const std::lock_guard<std::mutex> lock(job.mutex);
+      attempts = job.attempts = std::max(0, job.attempts - 1);
+    }
+    if (job.dir.empty()) return;
+    try {
+      write_text_file(job.dir + "/job.json",
+                      job_meta_json(job.id, job.runs, attempts));
+    } catch (const std::exception& e) {
+      emit(EventLine("error").field("error", e.what()).str(), job.client);
+    }
+  };
   scheduler_ = std::make_unique<Scheduler>(
       sc, queue_,
       [this](const Job& job, const std::string& line) { emit(line, job.client); },
@@ -146,6 +208,9 @@ void JobService::handle_line(const std::string& line, std::uint64_t client) {
         return;
       case Request::Kind::kDrain:
         drain();
+        return;
+      case Request::Kind::kInject:
+        handle_inject(request.inject, client);
         return;
     }
   } catch (const std::exception& e) {
@@ -210,12 +275,7 @@ void JobService::handle_submit(const SubmitRequest& submit,
     try {
       fs::create_directories(dir);
       exp::save_spec_file(job->cfg, dir + "/spec.json");
-      write_text_file(dir + "/job.json", EventLine()
-                                                 .field("version", 1)
-                                                 .field("id", id)
-                                                 .field("runs", job->runs)
-                                                 .str() +
-                                             "\n");
+      write_text_file(dir + "/job.json", job_meta_json(id, job->runs, 0));
       job->dir = dir;
     } catch (const std::exception& e) {
       const std::lock_guard<std::mutex> lock(jobs_mutex_);
@@ -275,6 +335,8 @@ void JobService::handle_stats(std::uint64_t client) {
                              .field("job", job->id)
                              .field("state", job_state_name(job->state))
                              .field("runs", job->runs)
+                             .field("attempts", job->attempts)
+                             .field("degraded", job->degraded)
                              .field("slots_done", job->slots_done)
                              .field("device_slots_per_sec",
                                     job->device_slots_per_sec)
@@ -285,14 +347,51 @@ void JobService::handle_stats(std::uint64_t client) {
                              .str());
     }
   }
+  std::vector<std::string> failpoint_objs;
+  for (const auto& fp : util::failpoint_list()) {
+    failpoint_objs.push_back(EventLine()
+                                 .field("site", fp.site)
+                                 .field("mode", fp.mode)
+                                 .field("evals", fp.evals)
+                                 .field("fires", fp.fires)
+                                 .str());
+  }
   EventLine stats("stats");
   stats.field("queue_depth", static_cast<int>(queue_.depth()))
       .field("running", scheduler_->running())
       .field("completed", scheduler_->completed())
       .field("failed", scheduler_->failed())
       .field("interrupted", scheduler_->interrupted())
+      .field("retries_total", scheduler_->retries_total())
+      .field("quarantined_total", quarantined_total_.load())
+      .field("degraded_jobs", scheduler_->degraded_jobs())
+      .raw("failpoints", json_array(failpoint_objs))
       .raw("jobs", json_array(job_objs));
   emit(stats.str(), client);
+}
+
+void JobService::handle_inject(const InjectRequest& inject,
+                               std::uint64_t client) {
+  if (inject.mode == "off") {
+    const bool was_active = util::failpoint_disarm(inject.site);
+    emit(EventLine("injected")
+             .field("site", inject.site)
+             .field("active", false)
+             .field("was_active", was_active)
+             .str(),
+         client);
+    return;
+  }
+  // FailpointError on a bad site/mode propagates to handle_line's catch and
+  // becomes one "error" event, like any other malformed request.
+  util::failpoint_arm(inject.site, inject.mode,
+                      inject.seed_set ? inject.seed : 0);
+  emit(EventLine("injected")
+           .field("site", inject.site)
+           .field("mode", inject.mode)
+           .field("active", true)
+           .str(),
+       client);
 }
 
 void JobService::emit(const std::string& line, std::uint64_t client) {
@@ -314,17 +413,19 @@ void JobService::write_locked(const std::string& line, std::uint64_t client) {
 
 void JobService::on_terminal(Job& job) {
   if (!job.dir.empty()) {
-    std::string state, summary, error;
+    std::string state, summary, error, reason;
     {
       const std::lock_guard<std::mutex> lock(job.mutex);
       state = job_state_name(job.state);
       summary = job.summary_json;
       error = job.error;
+      reason = job.failure_reason;
     }
     EventLine result;
     result.field("state", state);
     if (!summary.empty()) result.raw("summary", summary);
     if (!error.empty()) result.field("error", error);
+    if (!reason.empty()) result.field("reason", reason);
     try {
       // result.json marks the job finished: its presence is what stops the
       // next server process from requeueing this directory.
@@ -365,15 +466,44 @@ void JobService::recover_persisted_jobs() {
       auto cfg = exp::load_spec_file((dir / "spec.json").string());
       cfg.validate_or_throw();
       cfg.world.shards = exp::world_shards(cfg.world.shards);
+      const JobMeta meta = parse_job_meta((dir / "job.json").string());
       auto job = std::make_shared<Job>();
       job->id = id;
       job->cfg = std::move(cfg);
-      job->runs = parse_job_runs((dir / "job.json").string());
+      job->runs = meta.runs;
+      job->attempts = meta.attempts;
       job->resume = true;  // checkpoints (if any) continue the old trajectory
       job->dir = dir.string();
       {
         const std::lock_guard<std::mutex> lock(jobs_mutex_);
         jobs_.push_back(job);
+      }
+      // Poison quarantine: this job already took down `attempts` server
+      // executions without finishing. Requeueing it would crash this one
+      // too, so it fails terminally instead — result.json makes the verdict
+      // exactly-once; the next restart skips the directory entirely.
+      if (config_.max_job_attempts > 0 &&
+          meta.attempts >= config_.max_job_attempts) {
+        const std::string why =
+            "quarantined after " + std::to_string(meta.attempts) +
+            " crashed attempts (max_job_attempts " +
+            std::to_string(config_.max_job_attempts) + ")";
+        {
+          const std::lock_guard<std::mutex> lock(job->mutex);
+          job->state = JobState::kFailed;
+          job->failure_reason = "poisoned";
+          job->error = why;
+        }
+        ++quarantined_total_;
+        emit(EventLine("failed")
+                 .field("job", id)
+                 .field("reason", "poisoned")
+                 .field("attempts", meta.attempts)
+                 .field("error", why)
+                 .str(),
+             0);
+        on_terminal(*job);
+        continue;
       }
       const std::lock_guard<std::mutex> lock(emit_mutex_);
       if (queue_.push(job)) {
@@ -641,6 +771,12 @@ int run_socket_server(const ServerConfig& config, std::atomic<bool>& stop) {
     auto write_mutex = std::make_shared<std::mutex>();
     const std::uint64_t client =
         service.register_client([fd, write_mutex](const std::string& line) {
+          // Fault site: the client vanishes mid-stream. The reader thread
+          // sees the shutdown as EOF and runs the normal disconnect path.
+          if (util::failpoint("serve.client.disconnect")) {
+            ::shutdown(fd, SHUT_RDWR);
+            return;
+          }
           std::string out = line;
           out += '\n';
           const std::lock_guard<std::mutex> lock(*write_mutex);
@@ -650,7 +786,14 @@ int run_socket_server(const ServerConfig& config, std::atomic<bool>& stop) {
                              LineBuffer lines;
                              char buf[4096];
                              for (;;) {
-                               const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+                               // Fault site: genuine 1-byte short reads —
+                               // LineBuffer must reassemble request lines
+                               // from arbitrary fragmentation.
+                               const std::size_t cap =
+                                   util::failpoint("serve.sock.short_read")
+                                       ? 1
+                                       : sizeof(buf);
+                               const ssize_t n = ::recv(fd, buf, cap, 0);
                                if (n < 0) {
                                  if (errno == EINTR) continue;
                                  break;

@@ -39,6 +39,12 @@ struct ServiceConfig {
   int checkpoint_every = 200;  ///< slots between durable checkpoints; 0 = off
   int progress_every = 64;     ///< slots between progress events per run
   int max_attempts = 2;        ///< attempts per run
+  /// Poison-job quarantine threshold: a persisted job whose attempt count
+  /// (server executions that never ended cleanly — i.e. crashes) reaches
+  /// this is quarantined at recovery with a terminal "failed" event, reason
+  /// "poisoned", instead of being requeued to crash the next server too.
+  /// 0 disables quarantine. Needs a state dir to mean anything.
+  int max_job_attempts = 3;
   double watchdog_seconds = 0.0;
   std::size_t queue_capacity = 64;  ///< pending jobs before admission rejects
   /// Test-only fault injection threaded into every job's RunControl.
@@ -92,6 +98,7 @@ class JobService {
  private:
   void handle_submit(const SubmitRequest& submit, std::uint64_t client);
   void handle_stats(std::uint64_t client);
+  void handle_inject(const InjectRequest& inject, std::uint64_t client);
   /// Route one finished line to the broadcast sink + `client`'s sink.
   void emit(const std::string& line, std::uint64_t client);
   /// Same, with emit_mutex_ already held by the caller.
@@ -122,6 +129,7 @@ class JobService {
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> drained_{false};
+  std::atomic<int> quarantined_total_{0};  ///< poisoned jobs since start
 };
 
 /// How `run_server` listens for requests.

@@ -1,0 +1,262 @@
+#include "util/failpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace smartexp3::util {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+/// SplitMix64: tiny, full-period, and good enough to decide coin flips. Kept
+/// local so the registry has no dependency on stats/ (which sits above util
+/// in the layer order).
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Site {
+  enum class Kind { kOnce, kEveryNth, kProbability };
+  std::string mode_text;
+  Kind kind = Kind::kOnce;
+  std::uint64_t n = 1;       ///< once@N target / 1inN period
+  double p = 0.0;            ///< probability per evaluation
+  std::uint64_t rng = 0;     ///< SplitMix64 state (probability mode)
+  std::uint64_t evals = 0;
+  std::uint64_t fires = 0;
+  bool consumed = false;     ///< a one-shot already fired
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Site> sites;
+};
+
+Registry& registry() {
+  static Registry r;  // function-local: immune to static-init order
+  return r;
+}
+
+bool valid_site_name(const std::string& site) {
+  if (site.empty() || site.size() > 128) return false;
+  for (const char c : site) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::uint64_t parse_u64(const std::string& text, bool* ok) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  *ok = end != text.c_str() && *end == '\0' && errno != ERANGE && !text.empty();
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Parse a mode spec into a Site (counters zeroed, RNG unseeded). Throws
+/// FailpointError with the offending text on anything outside the grammar.
+Site parse_mode(const std::string& site, const std::string& mode) {
+  Site s;
+  s.mode_text = mode;
+  bool ok = false;
+  if (mode == "once") {
+    s.kind = Site::Kind::kOnce;
+    s.n = 1;
+    return s;
+  }
+  if (mode.rfind("once@", 0) == 0) {
+    s.kind = Site::Kind::kOnce;
+    s.n = parse_u64(mode.substr(5), &ok);
+    if (!ok || s.n < 1) {
+      throw FailpointError("failpoint '" + site + "': bad one-shot mode '" +
+                           mode + "' (want once@N with N >= 1)");
+    }
+    return s;
+  }
+  if (mode.rfind("1in", 0) == 0) {
+    s.kind = Site::Kind::kEveryNth;
+    s.n = parse_u64(mode.substr(3), &ok);
+    if (!ok || s.n < 1) {
+      throw FailpointError("failpoint '" + site + "': bad every-Nth mode '" +
+                           mode + "' (want 1inN with N >= 1)");
+    }
+    return s;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double p = std::strtod(mode.c_str(), &end);
+  if (mode.empty() || end != mode.c_str() + mode.size() || errno == ERANGE ||
+      !(p >= 0.0 && p <= 1.0)) {
+    throw FailpointError("failpoint '" + site + "': bad mode '" + mode +
+                         "' (want once, once@N, 1inN, or a probability in "
+                         "[0, 1])");
+  }
+  s.kind = Site::Kind::kProbability;
+  s.p = p;
+  return s;
+}
+
+/// One-time env parse hook: runs before main() so NETSEL_FAILPOINTS applies
+/// to anything the program does, including static-free early startup paths.
+struct EnvInit {
+  EnvInit() { failpoints_from_env(); }
+} g_env_init;
+
+}  // namespace
+
+namespace detail {
+
+bool eval(const char* site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  ++s.evals;
+  bool fire = false;
+  switch (s.kind) {
+    case Site::Kind::kOnce:
+      fire = !s.consumed && s.evals == s.n;
+      if (fire) s.consumed = true;
+      break;
+    case Site::Kind::kEveryNth:
+      fire = s.evals % s.n == 0;
+      break;
+    case Site::Kind::kProbability: {
+      const std::uint64_t draw = splitmix64(s.rng);
+      // 53-bit mantissa uniform in [0, 1); strict < so p=0 never fires and
+      // p=1 always does.
+      const double u =
+          static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+      fire = u < s.p;
+      break;
+    }
+  }
+  if (fire) ++s.fires;
+  return fire;
+}
+
+}  // namespace detail
+
+void failpoint_arm(const std::string& site, const std::string& mode,
+                   std::uint64_t seed) {
+  if (!valid_site_name(site)) {
+    throw FailpointError("bad failpoint site name '" + site +
+                         "' (want 1-128 chars of [a-z0-9._-])");
+  }
+  Site s = parse_mode(site, mode);
+  // Deterministic per-site stream: the same (site, mode, seed) triple always
+  // produces the same firing pattern — the chaos harness's repro contract.
+  s.rng = fnv1a64(site) ^ fnv1a64(mode) ^ (seed * 0x2545f4914f6cdd1dULL);
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto [it, inserted] = r.sites.insert_or_assign(site, std::move(s));
+  (void)it;
+  if (inserted) detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool failpoint_disarm(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.sites.erase(site) == 0) return false;
+  detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void failpoint_disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  detail::g_armed.fetch_sub(static_cast<int>(r.sites.size()),
+                            std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+std::vector<FailpointInfo> failpoint_list() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<FailpointInfo> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, s] : r.sites) {
+    out.push_back({name, s.mode_text, s.evals, s.fires});
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+int failpoint_arm_spec(const std::string& spec, std::uint64_t seed) {
+  int armed = 0;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.find_first_not_of(" \t") == std::string::npos) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      throw FailpointError("failpoint spec entry '" + entry +
+                           "' has no '=' (want site=mode)");
+    }
+    failpoint_arm(entry.substr(0, eq), entry.substr(eq + 1), seed);
+    ++armed;
+  }
+  return armed;
+}
+
+int failpoints_from_env() {
+  const char* spec = std::getenv("NETSEL_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  std::uint64_t seed = 0;
+  if (const char* seed_env = std::getenv("NETSEL_FAILPOINT_SEED")) {
+    bool ok = false;
+    seed = parse_u64(seed_env, &ok);
+    if (!ok) {
+      std::fprintf(stderr,
+                   "warning: NETSEL_FAILPOINT_SEED='%s' is not a non-negative "
+                   "integer; using 0\n",
+                   seed_env);
+      seed = 0;
+    }
+  }
+  // Entry-at-a-time with warn-and-skip: an env typo must not abort the
+  // process, but every valid site in the spec must still arm.
+  int armed = 0;
+  const std::string text(spec);
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.find_first_not_of(" \t") == std::string::npos) continue;
+    try {
+      armed += failpoint_arm_spec(entry, seed);
+    } catch (const FailpointError& e) {
+      std::fprintf(stderr, "warning: NETSEL_FAILPOINTS: %s (entry skipped)\n",
+                   e.what());
+    }
+  }
+  return armed;
+}
+
+}  // namespace smartexp3::util

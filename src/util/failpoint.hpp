@@ -1,0 +1,112 @@
+// Failpoints: named fault sites compiled into the binary, armed at runtime.
+//
+// A site is a string like "checkpoint.write.enospc" evaluated at the exact
+// place the corresponding real fault would strike:
+//
+//   if (util::failpoint("checkpoint.write.enospc")) { /* inject the fault */ }
+//
+// The *site* decides what firing means (throw, truncate a write, abort) —
+// the registry only decides *when*. Sites are armed per-process via the
+// NETSEL_FAILPOINTS environment variable, programmatically (failpoint_arm),
+// or over the wire through netsel_serve's "inject" request:
+//
+//   NETSEL_FAILPOINTS=checkpoint.write.enospc=1in7,serve.sock.short_read=0.3
+//
+// Modes (the grammar DESIGN.md §8 documents):
+//   once        fire on the 1st evaluation, then never again
+//   once@N      fire on the Nth evaluation only (one-shot, N >= 1)
+//   1inN        fire on every Nth evaluation (N, 2N, 3N, ...)
+//   P           fire with probability P in [0, 1] per evaluation, drawn from
+//               a per-site deterministic RNG seeded from the site name, the
+//               mode text and NETSEL_FAILPOINT_SEED — same spec, same seed,
+//               same firing pattern.
+//
+// Zero overhead when off: failpoint() is a single relaxed atomic load and a
+// never-taken branch while no site is armed — nothing in the registry is
+// touched, no string is hashed, no lock is contended. The slow path (any
+// site armed, anywhere) takes a mutex; fault injection is a testing mode,
+// not a hot path. Evaluation and fire counters per site are exposed for the
+// serve stats endpoint and the chaos harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace smartexp3::util {
+
+/// Raised by failpoint_arm on a malformed site name or mode spec.
+class FailpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One armed site's observable state (failpoint_list / serve stats).
+struct FailpointInfo {
+  std::string site;
+  std::string mode;          ///< the mode text it was armed with
+  std::uint64_t evals = 0;   ///< times the site was evaluated while armed
+  std::uint64_t fires = 0;   ///< times it actually fired
+};
+
+/// Arm `site` with `mode` (grammar above). Re-arming an armed site replaces
+/// its mode and resets its counters and RNG. `seed` perturbs the per-site
+/// RNG stream for probability modes (0 = the NETSEL_FAILPOINT_SEED default).
+/// Throws FailpointError on an empty/oversized site name or a bad mode.
+void failpoint_arm(const std::string& site, const std::string& mode,
+                   std::uint64_t seed = 0);
+
+/// Disarm one site. Returns false when it was not armed.
+bool failpoint_disarm(const std::string& site);
+
+/// Disarm everything (test teardown; chaos schedule boundaries).
+void failpoint_disarm_all();
+
+/// Every armed site, sorted by name. A consumed one-shot stays listed (its
+/// fires counter shows it spent) until disarmed.
+std::vector<FailpointInfo> failpoint_list();
+
+/// Arm a comma-separated "site=mode,site=mode" spec. Throws FailpointError
+/// on the first malformed entry (sites armed before it stay armed). Returns
+/// the number of sites armed.
+int failpoint_arm_spec(const std::string& spec, std::uint64_t seed = 0);
+
+/// Parse NETSEL_FAILPOINTS (+ NETSEL_FAILPOINT_SEED) from the environment.
+/// Called once automatically before main(); malformed entries warn on
+/// stderr and are skipped — a typo in an env var must not take the process
+/// down. Returns the number of sites armed.
+int failpoints_from_env();
+
+namespace detail {
+extern std::atomic<int> g_armed;  ///< number of armed sites, process-wide
+bool eval(const char* site);      ///< slow path: registry lookup + mode logic
+}  // namespace detail
+
+/// True when any site is armed. The zero-overhead fast path other layers may
+/// branch on before doing failpoint-only setup work.
+inline bool failpoints_armed() {
+  return detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// Evaluate the site: true = inject the fault here, now.
+inline bool failpoint(const char* site) {
+  return failpoints_armed() && detail::eval(site);
+}
+
+/// RAII guard for tests: arms a site on construction (optional) and disarms
+/// every site on destruction, so no schedule leaks into the next test.
+class FailpointScope {
+ public:
+  FailpointScope() = default;
+  FailpointScope(const std::string& site, const std::string& mode,
+                 std::uint64_t seed = 0) {
+    failpoint_arm(site, mode, seed);
+  }
+  FailpointScope(const FailpointScope&) = delete;
+  FailpointScope& operator=(const FailpointScope&) = delete;
+  ~FailpointScope() { failpoint_disarm_all(); }
+};
+
+}  // namespace smartexp3::util

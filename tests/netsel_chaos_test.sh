@@ -1,0 +1,216 @@
+#!/bin/sh
+# Process-level chaos tests: real netsel_serve processes under injected
+# faults (NETSEL_FAILPOINTS / the "inject" request), complementing the
+# in-process randomized sweep in test_chaos.cpp:
+#   1. a crash-riddled schedule (attempt crashes, checkpoint write failures,
+#      probabilistic ENOSPC) still yields a summary byte-identical to the
+#      clean reference run;
+#   2. guaranteed disk pressure degrades checkpointing with a "degraded"
+#      event and the job still completes identically;
+#   3. SIGKILL mid-run with a torn-rename fault armed: the restarted server
+#      must fall back past the torn checkpoint and finish bit-identically —
+#      no torn checkpoint is ever loaded;
+#   4. poison-job quarantine: a job that aborts the server on every attempt
+#      is quarantined after --max-job-attempts crashes, exactly once;
+#   5. socket transport: runtime "inject" arming, 1-byte short reads on the
+#      wire, and a drain that always terminates under active faults.
+# Run by ctest as `netsel_chaos_test.sh <netsel_serve> [seed]`. The seed
+# feeds NETSEL_FAILPOINT_SEED; CI's randomized step passes one and logs it.
+set -u
+
+SERVE=${1:?usage: netsel_chaos_test.sh <netsel_serve> [seed]}
+SEED=${2:-20260808}
+echo "netsel_chaos_test: NETSEL_FAILPOINT_SEED=$SEED"
+WORK=$(mktemp -d)
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+failures=0
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+# wait_for <file> <needle> <seconds>
+wait_for() {
+    _i=0
+    while [ "$_i" -lt $((10 * $3)) ]; do
+        grep -q -- "$2" "$1" 2>/dev/null && return 0
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    return 1
+}
+
+extract_summary() {
+    grep '"event": "completed"' "$1" | grep "\"job\": \"$2\"" |
+        sed 's/.*"summary": //; s/, "timing".*//'
+}
+
+JOB='{"type": "submit", "id": "chaos", "setting": "setting1", "horizon": 240, "runs": 2}'
+
+# --- reference: the same job served with nothing armed --------------------
+printf '%s\n' "$JOB" |
+    "$SERVE" --stdin --state-dir "$WORK/state_ref" --checkpoint-every 25 \
+        >"$WORK/ref.out" 2>&1 || fail "reference serve run failed"
+REF_SUMMARY=$(extract_summary "$WORK/ref.out" chaos)
+[ -n "$REF_SUMMARY" ] || fail "reference run produced no summary"
+
+# --- 1. crash-riddled schedule, byte-identical result ---------------------
+# Three one-shot crash sites (each costs one run attempt; --max-attempts 4
+# absorbs them all even if one run takes every hit) plus probabilistic disk
+# pressure, which only ever degrades.
+printf '%s\n' "$JOB" |
+    NETSEL_FAILPOINTS="runner.attempt.crash=once@40,checkpoint.write.fail=once,checkpoint.write.short=once@3,checkpoint.write.enospc=0.3" \
+    NETSEL_FAILPOINT_SEED="$SEED" \
+    "$SERVE" --stdin --state-dir "$WORK/state_chaos" --checkpoint-every 25 \
+        --max-attempts 4 >"$WORK/chaos.out" 2>&1 ||
+    fail "chaos serve run exited nonzero"
+CHAOS_SUMMARY=$(extract_summary "$WORK/chaos.out" chaos)
+if [ -z "$CHAOS_SUMMARY" ]; then
+    fail "chaos run did not complete: $(tail -3 "$WORK/chaos.out")"
+elif [ "$CHAOS_SUMMARY" != "$REF_SUMMARY" ]; then
+    fail "chaos summary differs from clean reference:
+  reference: $REF_SUMMARY
+  chaos:     $CHAOS_SUMMARY"
+fi
+
+# --- 2. guaranteed disk pressure: degrade, don't die ----------------------
+printf '%s\n' "$JOB" |
+    NETSEL_FAILPOINTS="checkpoint.write.enospc=1in1" \
+    "$SERVE" --stdin --state-dir "$WORK/state_degraded" --checkpoint-every 25 \
+        >"$WORK/degraded.out" 2>&1 ||
+    fail "degraded serve run exited nonzero"
+grep -q '"event": "degraded".*"reason": "disk_pressure"' "$WORK/degraded.out" ||
+    fail "no degraded event under guaranteed ENOSPC"
+DEGRADED_SUMMARY=$(extract_summary "$WORK/degraded.out" chaos)
+[ "$DEGRADED_SUMMARY" = "$REF_SUMMARY" ] ||
+    fail "degraded-mode summary differs from clean reference"
+
+# --- 3. SIGKILL with a torn rename armed: resume never loads torn bytes ---
+# The torn-rename one-shot publishes garbage under a real checkpoint name on
+# the 2nd checkpoint write. Big job so the SIGKILL lands mid-run.
+BIGJOB='{"type": "submit", "id": "big", "setting": "scalability", "devices": 2000, "runs": 2}'
+printf '%s\n' "$BIGJOB" |
+    "$SERVE" --stdin --state-dir "$WORK/state_bigref" --checkpoint-every 100 \
+        >"$WORK/bigref.out" 2>&1 || fail "big reference run failed"
+BIG_REF=$(extract_summary "$WORK/bigref.out" big)
+[ -n "$BIG_REF" ] || fail "big reference run produced no summary"
+
+SOCK="$WORK/chaos.sock"
+NETSEL_FAILPOINTS="checkpoint.rename.torn=once@2" \
+    "$SERVE" --socket "$SOCK" --state-dir "$WORK/state_kill" \
+        --checkpoint-every 100 --max-attempts 4 \
+        >"$WORK/kill.out" 2>&1 &
+SERVER_PID=$!
+wait_for "$WORK/kill.out" '"event": "serving"' 10 || fail "kill-server did not start"
+printf '%s\n' "$BIGJOB" | "$SERVE" --connect "$SOCK" >/dev/null 2>&1 &
+CLIENT_PID=$!
+wait_for "$WORK/kill.out" '"event": "checkpointed", "job": "big"' 60 ||
+    fail "big job never checkpointed under faults"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+wait "$CLIENT_PID" 2>/dev/null
+# Restart clean: recovery must skip any torn residue and finish identically.
+"$SERVE" --stdin --state-dir "$WORK/state_kill" --checkpoint-every 100 \
+    </dev/null >"$WORK/kill_resume.out" 2>&1 ||
+    fail "post-SIGKILL restart exited nonzero"
+KILL_SUMMARY=$(extract_summary "$WORK/kill_resume.out" big)
+if [ -z "$KILL_SUMMARY" ]; then
+    fail "resumed job after SIGKILL+torn-checkpoint produced no summary"
+elif [ "$KILL_SUMMARY" != "$BIG_REF" ]; then
+    fail "torn checkpoint corrupted the resumed trajectory:
+  reference: $BIG_REF
+  resumed:   $KILL_SUMMARY"
+fi
+
+# --- 4. poison-job quarantine across real server crashes ------------------
+QSTATE="$WORK/state_poison"
+QENV="serve.executor.abort=once"
+# Crash 1: the job aborts the server the moment an executor picks it up.
+printf '%s\n' "$JOB" |
+    NETSEL_FAILPOINTS="$QENV" "$SERVE" --stdin --state-dir "$QSTATE" \
+        --max-job-attempts 2 >"$WORK/poison1.out" 2>&1
+[ $? -ne 0 ] || fail "server survived serve.executor.abort"
+grep -q '"attempts": 1' "$QSTATE/jobs/chaos/job.json" ||
+    fail "crashed attempt not persisted: $(cat "$QSTATE/jobs/chaos/job.json")"
+# Crash 2: recovery requeues (1 < 2), the fresh process re-arms the abort.
+NETSEL_FAILPOINTS="$QENV" "$SERVE" --stdin --state-dir "$QSTATE" \
+    --max-job-attempts 2 </dev/null >"$WORK/poison2.out" 2>&1
+[ $? -ne 0 ] || fail "server survived the second abort"
+grep -q '"event": "requeued", "job": "chaos"' "$WORK/poison2.out" ||
+    fail "second start did not requeue the once-crashed job"
+# Start 3, faults off: attempts=2 reached the threshold -> quarantined.
+"$SERVE" --stdin --state-dir "$QSTATE" --max-job-attempts 2 \
+    </dev/null >"$WORK/poison3.out" 2>&1 ||
+    fail "quarantining server exited nonzero"
+grep -q '"event": "failed", "job": "chaos", "reason": "poisoned"' "$WORK/poison3.out" ||
+    fail "poisoned job was not quarantined: $(cat "$WORK/poison3.out")"
+grep -q '"event": "requeued"' "$WORK/poison3.out" &&
+    fail "poisoned job was requeued despite the threshold"
+grep -q '"reason": "poisoned"' "$QSTATE/jobs/chaos/result.json" ||
+    fail "quarantine verdict not durable in result.json"
+# Start 4: exactly once — result.json stops any further verdicts.
+"$SERVE" --stdin --state-dir "$QSTATE" --max-job-attempts 2 \
+    </dev/null >"$WORK/poison4.out" 2>&1
+grep -q 'poisoned' "$WORK/poison4.out" &&
+    fail "quarantine verdict repeated on a later restart"
+
+# --- 5. runtime inject + short reads + drain under faults -----------------
+NETSEL_FAILPOINTS="serve.sock.short_read=0.5" NETSEL_FAILPOINT_SEED="$SEED" \
+    "$SERVE" --socket "$SOCK" --state-dir "$WORK/state_sock" \
+        --checkpoint-every 25 >"$WORK/sock.out" 2>&1 &
+SERVER_PID=$!
+wait_for "$WORK/sock.out" '"event": "serving"' 10 || fail "socket server did not start"
+# Requests arrive over a connection whose reads are capped to 1 byte half
+# the time — the line framing must reassemble them. Arm disk pressure at
+# runtime, run a job to completion under it, and check the stats counters.
+{
+    echo '{"type": "inject", "site": "checkpoint.write.enospc", "mode": "1in1"}'
+    echo "$JOB"
+} | "$SERVE" --connect "$SOCK" >"$WORK/client_inject.out" 2>&1
+grep -q '"event": "injected", "site": "checkpoint.write.enospc".*"active": true' \
+    "$WORK/client_inject.out" || fail "inject request was not acknowledged"
+grep -q '"event": "degraded"' "$WORK/sock.out" ||
+    fail "runtime-armed ENOSPC produced no degraded event"
+INJECT_SUMMARY=$(extract_summary "$WORK/client_inject.out" chaos)
+[ "$INJECT_SUMMARY" = "$REF_SUMMARY" ] ||
+    fail "summary under runtime-injected faults differs from reference"
+# Stats on a fresh connection, after the client above saw the job complete.
+printf '%s\n' '{"type": "stats"}' |
+    "$SERVE" --connect "$SOCK" >"$WORK/client_stats.out" 2>&1
+grep -q '"degraded_jobs": 1' "$WORK/client_stats.out" ||
+    fail "stats did not count the degraded job"
+grep -q '"failpoints": \[.*"site": "checkpoint.write.enospc"' "$WORK/client_stats.out" ||
+    fail "stats did not list the armed failpoint"
+# Drain while faults are armed: must terminate and exit 0.
+printf '%s\n' '{"type": "submit", "id": "late", "setting": "scalability", "devices": 1000, "runs": 2}' |
+    "$SERVE" --connect "$SOCK" >/dev/null 2>&1 &
+CLIENT_PID=$!
+wait_for "$WORK/sock.out" '"event": "started", "job": "late"' 30 ||
+    fail "late job never started"
+printf '%s\n' '{"type": "drain"}' | "$SERVE" --connect "$SOCK" >/dev/null 2>&1
+_i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    [ "$_i" -ge 600 ] && { fail "drain did not terminate under faults"; break; }
+    sleep 0.1
+    _i=$((_i + 1))
+done
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID"
+    [ $? -eq 0 ] || fail "drain under faults exited nonzero"
+    SERVER_PID=""
+fi
+wait "$CLIENT_PID" 2>/dev/null
+grep -q '"event": "drained"' "$WORK/sock.out" || fail "no drained event"
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures chaos test(s) failed" >&2
+    exit 1
+fi
+echo "all chaos tests passed (seed $SEED)"

@@ -8,12 +8,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "stats/rng.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::exp {
 namespace {
@@ -233,6 +235,115 @@ TEST(CheckpointIo, PruneKeepsOnlyNewest) {
   EXPECT_TRUE(fs::exists(checkpoint_path(dir.string(), 0, 30)));
   EXPECT_TRUE(fs::exists(checkpoint_path(dir.string(), 0, 40)));
   EXPECT_TRUE(fs::exists(checkpoint_path(dir.string(), 1, 5)));
+}
+
+// --- Injected faults at every write site (src/util/failpoint.hpp) ---------
+//
+// Each site below is the exact syscall the corresponding real fault would
+// hit. The common contract: the save throws, no valid checkpoint is
+// published under the target name, and once the site disarms the same save
+// succeeds — a fault is an event, not a wedged state.
+
+TEST(CheckpointIo, InjectedPrePublishFaultsThrowAndPublishNothing) {
+  for (const char* site : {"checkpoint.write.fail", "checkpoint.write.enospc",
+                           "checkpoint.fsync.fail"}) {
+    const fs::path dir = scratch_dir(std::string("inject_") +
+                                     (std::strrchr(site, '.') + 1));
+    const Checkpoint c = sample_checkpoint(0, 60);
+    const std::string path = checkpoint_path(dir.string(), 0, 60);
+    {
+      const util::FailpointScope scope(site, "once");
+      EXPECT_THROW(save_checkpoint_file(c, path), CheckpointError) << site;
+    }
+    EXPECT_FALSE(fs::exists(path)) << site << " published a file";
+    EXPECT_FALSE(fs::exists(path + ".tmp")) << site << " leaked its temp file";
+    EXPECT_FALSE(
+        newest_valid_checkpoint(dir.string(), 0, c.spec_fingerprint, c.seed)
+            .has_value())
+        << site;
+    // Disarmed, the identical save succeeds and round-trips.
+    save_checkpoint_file(c, path);
+    EXPECT_EQ(load_checkpoint_file(path).world_words, c.world_words) << site;
+  }
+}
+
+TEST(CheckpointIo, InjectedEnospcIsTypedDiskFull) {
+  const fs::path dir = scratch_dir("enospc_type");
+  const util::FailpointScope scope("checkpoint.write.enospc", "once");
+  try {
+    save_checkpoint_file(sample_checkpoint(), checkpoint_path(dir.string(), 3, 120));
+    FAIL() << "injected ENOSPC did not throw";
+  } catch (const CheckpointDiskFull& e) {
+    // The typed subclass is what the runner's degraded mode dispatches on;
+    // it must still be catchable as a plain CheckpointError.
+    EXPECT_NE(std::string(e.what()).find("out of space"), std::string::npos);
+    const CheckpointError& base = e;
+    (void)base;
+  }
+}
+
+TEST(CheckpointIo, InjectedShortWriteLeavesTornTmpThatResumeIgnores) {
+  const fs::path dir = scratch_dir("short_write");
+  const Checkpoint c = sample_checkpoint(0, 70);
+  const std::string path = checkpoint_path(dir.string(), 0, 70);
+  {
+    const util::FailpointScope scope("checkpoint.write.short", "once");
+    EXPECT_THROW(save_checkpoint_file(c, path), CheckpointError);
+  }
+  // The torn temp file stays on disk, exactly like a crash mid-write...
+  EXPECT_FALSE(fs::exists(path));
+  ASSERT_TRUE(fs::exists(path + ".tmp"));
+  EXPECT_LT(fs::file_size(path + ".tmp"),
+            to_checkpoint_text(c).size());
+  // ...and the resume scan must not be confused by it.
+  EXPECT_FALSE(
+      newest_valid_checkpoint(dir.string(), 0, c.spec_fingerprint, c.seed)
+          .has_value());
+  // The next save overwrites the residue cleanly.
+  save_checkpoint_file(c, path);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  const auto found =
+      newest_valid_checkpoint(dir.string(), 0, c.spec_fingerprint, c.seed);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 70);
+}
+
+TEST(CheckpointIo, InjectedTornRenameFallsBackToOlderCheckpoint) {
+  const fs::path dir = scratch_dir("torn_rename");
+  const Checkpoint early = sample_checkpoint(0, 40);
+  save_checkpoint_file(early, checkpoint_path(dir.string(), 0, 40));
+
+  const std::string late_path = checkpoint_path(dir.string(), 0, 80);
+  {
+    const util::FailpointScope scope("checkpoint.rename.torn", "once");
+    EXPECT_THROW(save_checkpoint_file(sample_checkpoint(0, 80), late_path),
+                 CheckpointError);
+  }
+  // Torn bytes under the REAL name: the single load rejects on checksum and
+  // the resume scan falls back to the older intact file. No torn checkpoint
+  // is ever loaded — the chaos suite's core invariant, pinned per-site here.
+  ASSERT_TRUE(fs::exists(late_path));
+  EXPECT_THROW(load_checkpoint_file(late_path), CheckpointError);
+  const auto found =
+      newest_valid_checkpoint(dir.string(), 0, early.spec_fingerprint, early.seed);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->slot, 40);
+  EXPECT_EQ(found->world_words, early.world_words);
+}
+
+TEST(CheckpointIo, InjectedDirsyncFailureStillPublishedValidFile) {
+  // The directory sync happens AFTER the atomic rename: an injected failure
+  // there throws (the caller must know durability of the *name* is not
+  // guaranteed), yet the already-published file is complete and loadable.
+  const fs::path dir = scratch_dir("dirsync");
+  const Checkpoint c = sample_checkpoint(0, 90);
+  const std::string path = checkpoint_path(dir.string(), 0, 90);
+  {
+    const util::FailpointScope scope("checkpoint.dirsync.fail", "once");
+    EXPECT_THROW(save_checkpoint_file(c, path), CheckpointError);
+  }
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_EQ(load_checkpoint_file(path).world_words, c.world_words);
 }
 
 TEST(CheckpointIo, Fnv1a64MatchesKnownVectors) {

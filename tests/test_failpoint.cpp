@@ -1,0 +1,148 @@
+// Unit tests for the failpoint registry (src/util/failpoint.hpp): mode
+// grammar, determinism of the per-site RNG, counters, env-spec parsing and
+// the zero-overhead off state. Sites here are synthetic ("test.*") — the
+// instrumented production sites are exercised by test_checkpoint_io.cpp,
+// test_run_harness.cpp, test_serve.cpp and test_chaos.cpp.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace smartexp3 {
+namespace {
+
+using util::FailpointError;
+using util::FailpointScope;
+
+TEST(Failpoint, OffByDefaultAndZeroTouch) {
+  const FailpointScope scope;  // disarm-all on exit, belt and braces
+  util::failpoint_disarm_all();
+  EXPECT_FALSE(util::failpoints_armed());
+  // Unarmed evaluation must neither fire nor register the site.
+  EXPECT_FALSE(util::failpoint("test.never.armed"));
+  EXPECT_TRUE(util::failpoint_list().empty());
+}
+
+TEST(Failpoint, OnceFiresExactlyOnFirstEval) {
+  const FailpointScope scope("test.once", "once");
+  EXPECT_TRUE(util::failpoints_armed());
+  EXPECT_TRUE(util::failpoint("test.once"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(util::failpoint("test.once"));
+  const auto list = util::failpoint_list();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].site, "test.once");
+  EXPECT_EQ(list[0].mode, "once");
+  EXPECT_EQ(list[0].evals, 11u);
+  EXPECT_EQ(list[0].fires, 1u);
+}
+
+TEST(Failpoint, OnceAtNFiresOnNthEvalOnly) {
+  const FailpointScope scope("test.once_at", "once@4");
+  for (int eval = 1; eval <= 10; ++eval) {
+    EXPECT_EQ(util::failpoint("test.once_at"), eval == 4) << "eval " << eval;
+  }
+}
+
+TEST(Failpoint, OneInNFiresEveryNth) {
+  const FailpointScope scope("test.nth", "1in3");
+  std::vector<int> fired;
+  for (int eval = 1; eval <= 12; ++eval) {
+    if (util::failpoint("test.nth")) fired.push_back(eval);
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9, 12}));
+}
+
+TEST(Failpoint, OneIn1FiresAlways) {
+  const FailpointScope scope("test.always", "1in1");
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(util::failpoint("test.always"));
+}
+
+TEST(Failpoint, ProbabilityZeroNeverOneAlways) {
+  {
+    const FailpointScope scope("test.p0", "0.0");
+    for (int i = 0; i < 200; ++i) EXPECT_FALSE(util::failpoint("test.p0"));
+  }
+  {
+    const FailpointScope scope("test.p1", "1.0");
+    for (int i = 0; i < 200; ++i) EXPECT_TRUE(util::failpoint("test.p1"));
+  }
+}
+
+TEST(Failpoint, ProbabilityIsDeterministicPerSeed) {
+  const auto pattern = [](std::uint64_t seed) {
+    util::failpoint_arm("test.prob", "0.5", seed);
+    std::string bits;
+    for (int i = 0; i < 64; ++i) {
+      bits += util::failpoint("test.prob") ? '1' : '0';
+    }
+    util::failpoint_disarm_all();
+    return bits;
+  };
+  const std::string a1 = pattern(42);
+  const std::string a2 = pattern(42);
+  const std::string b = pattern(43);
+  EXPECT_EQ(a1, a2) << "same spec + seed must replay the same firing pattern";
+  EXPECT_NE(a1, b) << "different seeds should perturb the stream";
+  // Sanity: p=0.5 over 64 draws fires somewhere strictly between the bounds.
+  EXPECT_NE(a1.find('1'), std::string::npos);
+  EXPECT_NE(a1.find('0'), std::string::npos);
+}
+
+TEST(Failpoint, RearmReplacesModeAndResetsCounters) {
+  const FailpointScope scope("test.rearm", "once");
+  EXPECT_TRUE(util::failpoint("test.rearm"));
+  util::failpoint_arm("test.rearm", "once");  // reset: fires again
+  EXPECT_TRUE(util::failpoint("test.rearm"));
+  const auto list = util::failpoint_list();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].evals, 1u);  // counters restarted at re-arm
+}
+
+TEST(Failpoint, DisarmStopsFiringAndReportsPriorState) {
+  util::failpoint_arm("test.disarm", "1in1");
+  EXPECT_TRUE(util::failpoint("test.disarm"));
+  EXPECT_TRUE(util::failpoint_disarm("test.disarm"));
+  EXPECT_FALSE(util::failpoint("test.disarm"));
+  EXPECT_FALSE(util::failpoint_disarm("test.disarm"));  // already off
+  EXPECT_FALSE(util::failpoints_armed());
+}
+
+TEST(Failpoint, ArmSpecArmsEveryEntry) {
+  const FailpointScope scope;
+  EXPECT_EQ(util::failpoint_arm_spec("test.a=once,test.b=1in2,test.c=0.25"), 3);
+  const auto list = util::failpoint_list();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].site, "test.a");
+  EXPECT_EQ(list[1].site, "test.b");
+  EXPECT_EQ(list[2].site, "test.c");
+}
+
+TEST(Failpoint, MalformedModesThrow) {
+  const FailpointScope scope;
+  EXPECT_THROW(util::failpoint_arm("test.bad", ""), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("test.bad", "sometimes"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("test.bad", "1in0"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("test.bad", "once@0"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("test.bad", "1.5"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("test.bad", "-0.1"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("", "once"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm("Bad Site!", "once"), FailpointError);
+  EXPECT_THROW(util::failpoint_arm_spec("test.ok=once,broken"), FailpointError);
+  // Documented spec semantics: entries before the malformed one stay armed.
+  const auto list = util::failpoint_list();
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].site, "test.ok");
+}
+
+TEST(Failpoint, ScopeDisarmsOnExit) {
+  {
+    const FailpointScope scope("test.scoped", "1in1");
+    EXPECT_TRUE(util::failpoints_armed());
+  }
+  EXPECT_FALSE(util::failpoints_armed());
+}
+
+}  // namespace
+}  // namespace smartexp3

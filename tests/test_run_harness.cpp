@@ -8,6 +8,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -18,6 +19,7 @@
 #include "exp/checkpoint.hpp"
 #include "exp/spec_io.hpp"
 #include "golden_scenario.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::exp {
 namespace {
@@ -402,6 +404,110 @@ TEST(RunHarness, InertOptionsMatchThePlainPath) {
   const auto plain = run_once(cfg, cfg.base_seed);
   const auto guarded = run_once(cfg, cfg.base_seed, RunOptions{}, 0);
   expect_results_identical(plain, guarded);
+}
+
+TEST(RunHarness, BackoffSleepWakesOnStopFlag) {
+  // A crash-then-retry with a long backoff must not serve out the sleep when
+  // the cooperative stop flag rises: the backoff polls the flag and the next
+  // attempt turns into an interruption. Before the fix this test slept 30 s.
+  const auto cfg = dynamic_config("fixed_random");
+  const fs::path dir = scratch_dir("backoff_stop");
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> crashed{false};
+  RunOptions options;
+  options.checkpoint.every = 25;
+  options.checkpoint.dir = dir.string();
+  options.control.max_attempts = 3;
+  options.control.backoff_seconds = 30.0;  // first retry would wait 30 s
+  options.control.stop = &stop;
+  options.control.fault_hook = [&](int, Slot slot) {
+    if (slot == 90 && !crashed.exchange(true)) {
+      stop.store(true);  // "SIGINT arrives while the run is dying"
+      throw std::runtime_error("transient failure");
+    }
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  EXPECT_TRUE(batch.interrupted);
+  EXPECT_LT(elapsed, 10.0) << "backoff slept through the stop flag";
+}
+
+TEST(RunHarness, InjectedAttemptCrashRetriesToBitIdenticalResult) {
+  const auto cfg = dynamic_config("smart_exp3");
+  // Reference BEFORE arming: armed failpoints force even plain runs through
+  // the guarded loop, and this one would crash it.
+  const auto reference = run_once(cfg, cfg.base_seed);
+  const fs::path dir = scratch_dir("inject_crash");
+
+  RunOptions options;
+  options.checkpoint.every = 25;
+  options.checkpoint.dir = dir.string();
+  options.control.max_attempts = 2;
+
+  const util::FailpointScope scope("runner.attempt.crash", "once@50");
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  EXPECT_TRUE(batch.all_completed());
+  EXPECT_EQ(batch.retries, 1) << "the injected crash must be counted";
+  expect_results_identical(reference, batch.results[0]);
+}
+
+TEST(RunHarness, InjectedWatchdogOverrunIsReportedAsTimeout) {
+  const auto cfg = dynamic_config("fixed_random");
+  const util::FailpointScope scope("runner.watchdog.overrun", "once");
+  RunOptions options;
+  options.control.max_attempts = 1;
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  ASSERT_EQ(batch.failures.size(), 1u);
+  EXPECT_NE(batch.failures[0].error.find("watchdog overrun"), std::string::npos)
+      << batch.failures[0].error;
+}
+
+TEST(RunHarness, DiskFullDegradesCheckpointingButFinishesTheRun) {
+  const auto cfg = dynamic_config("smart_exp3");
+  const auto reference = run_once(cfg, cfg.base_seed);
+  const fs::path dir = scratch_dir("degraded");
+
+  std::vector<std::string> degraded_reasons;
+  RunOptions options;
+  options.checkpoint.every = 25;
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.degrade_on_disk_full = true;
+  options.control.on_degraded = [&](int, Slot, const std::string& reason) {
+    degraded_reasons.push_back(reason);
+  };
+
+  const util::FailpointScope scope("checkpoint.write.enospc", "1in1");
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  EXPECT_TRUE(batch.all_completed())
+      << "disk pressure must degrade, not kill, the run";
+  ASSERT_EQ(degraded_reasons.size(), 1u) << "one degradation per run";
+  EXPECT_NE(degraded_reasons[0].find("out of space"), std::string::npos)
+      << degraded_reasons[0];
+  expect_results_identical(reference, batch.results[0]);
+  // Degraded means no checkpoints were published at all.
+  EXPECT_TRUE(fs::is_empty(dir));
+}
+
+TEST(RunHarness, DiskFullWithoutDegradeModeFailsTheRunLoudly) {
+  // Batch tools keep the pre-existing contract: a full disk is an error the
+  // operator must see, not something to silently soldier through.
+  const auto cfg = dynamic_config("fixed_random");
+  const fs::path dir = scratch_dir("no_degrade");
+  RunOptions options;
+  options.checkpoint.every = 25;
+  options.checkpoint.dir = dir.string();
+  options.control.max_attempts = 1;
+
+  const util::FailpointScope scope("checkpoint.write.enospc", "1in1");
+  const auto batch = run_many_result(cfg, 1, 1, options);
+  ASSERT_EQ(batch.failures.size(), 1u);
+  EXPECT_NE(batch.failures[0].error.find("out of space"), std::string::npos)
+      << batch.failures[0].error;
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -20,6 +21,7 @@
 #include "exp/runner.hpp"
 #include "exp/spec_io.hpp"
 #include "serve/protocol.hpp"
+#include "util/failpoint.hpp"
 
 namespace smartexp3::serve {
 namespace {
@@ -418,6 +420,286 @@ TEST(ServeService, DrainReportsDispositionForEveryAcceptedJob) {
       R"({"type": "submit", "id": "late", "setting": "setting1"})");
   EXPECT_TRUE(log.contains("draining"));
   EXPECT_EQ(service.find_job("late"), nullptr);
+}
+
+TEST(ServeProtocol, ParsesInjectRequests) {
+  const Request r = parse_request(
+      R"({"type": "inject", "site": "checkpoint.write.enospc",)"
+      R"( "mode": "1in3", "seed": 99})");
+  ASSERT_EQ(r.kind, Request::Kind::kInject);
+  EXPECT_EQ(r.inject.site, "checkpoint.write.enospc");
+  EXPECT_EQ(r.inject.mode, "1in3");
+  EXPECT_TRUE(r.inject.seed_set);
+  EXPECT_EQ(r.inject.seed, 99u);
+
+  EXPECT_THROW(parse_request(R"({"type": "inject", "mode": "once"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_request(R"({"type": "inject", "site": "x.y"})"),
+               ProtocolError);
+  EXPECT_THROW(
+      parse_request(R"({"type": "inject", "site": "x.y", "mode": "once",)"
+                    R"( "bogus": 1})"),
+      ProtocolError);
+}
+
+/// The most recent "stats" event in the log, parsed.
+exp::JsonValue last_stats(EventLog& log) {
+  std::string stats;
+  for (const auto& l : log.snapshot()) {
+    if (l.find("\"event\": \"stats\"") != std::string::npos) stats = l;
+  }
+  EXPECT_FALSE(stats.empty()) << "no stats event seen";
+  return exp::parse_json(stats);
+}
+
+const exp::JsonValue* stats_key(const exp::JsonValue& doc,
+                                const std::string& key) {
+  for (const auto& [k, v] : doc.object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+TEST(ServeService, StatsReportsRobustnessCountersAndFailpoints) {
+  const util::FailpointScope guard;  // leave no site armed behind
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(R"({"type": "stats"})");
+  {
+    const exp::JsonValue doc = last_stats(log);
+    for (const char* key :
+         {"retries_total", "quarantined_total", "degraded_jobs"}) {
+      const exp::JsonValue* v = stats_key(doc, key);
+      ASSERT_NE(v, nullptr) << key;
+      EXPECT_EQ(v->number, 0.0) << key;
+    }
+    const exp::JsonValue* fps = stats_key(doc, "failpoints");
+    ASSERT_NE(fps, nullptr);
+    EXPECT_TRUE(fps->array.empty()) << "nothing armed yet";
+  }
+
+  // Arm over the wire; the active site shows up with its counters.
+  service.handle_line(
+      R"({"type": "inject", "site": "test.serve.stats", "mode": "1in2"})");
+  EXPECT_TRUE(log.contains("\"event\": \"injected\""));
+  service.handle_line(R"({"type": "stats"})");
+  {
+    const exp::JsonValue doc = last_stats(log);
+    const exp::JsonValue* fps = stats_key(doc, "failpoints");
+    ASSERT_NE(fps, nullptr);
+    ASSERT_EQ(fps->array.size(), 1u);
+    bool saw_site = false;
+    for (const auto& [k, v] : fps->array[0].object) {
+      if (k == "site") {
+        EXPECT_EQ(v.str, "test.serve.stats");
+        saw_site = true;
+      }
+    }
+    EXPECT_TRUE(saw_site);
+  }
+
+  // Disarm with mode "off"; the list empties again.
+  service.handle_line(
+      R"({"type": "inject", "site": "test.serve.stats", "mode": "off"})");
+  service.handle_line(R"({"type": "stats"})");
+  {
+    const exp::JsonValue doc = last_stats(log);
+    const exp::JsonValue* fps = stats_key(doc, "failpoints");
+    ASSERT_NE(fps, nullptr);
+    EXPECT_TRUE(fps->array.empty());
+  }
+
+  // A malformed mode is one "error" event, like any bad request.
+  service.handle_line(
+      R"({"type": "inject", "site": "test.serve.stats", "mode": "maybe"})");
+  EXPECT_TRUE(log.contains("\"event\": \"error\""));
+  EXPECT_FALSE(util::failpoints_armed());
+}
+
+TEST(ServeService, InjectedExecutorExceptionFailsJobNotServer) {
+  const util::FailpointScope guard;
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "inject", "site": "serve.executor.exception",)"
+      R"( "mode": "once"})");
+  service.handle_line(
+      R"({"type": "submit", "id": "boom", "setting": "setting1",)"
+      R"( "horizon": 30})");
+  service.wait_idle();
+  EXPECT_TRUE(log.contains("injected serve.executor.exception"));
+  const auto boom = service.find_job("boom");
+  ASSERT_NE(boom, nullptr);
+  EXPECT_EQ(boom->state, JobState::kFailed);
+  // The executor survived: the next job completes normally.
+  service.handle_line(
+      R"({"type": "submit", "id": "after", "setting": "setting1",)"
+      R"( "horizon": 30})");
+  service.wait_idle();
+  const auto after = service.find_job("after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->state, JobState::kCompleted);
+}
+
+TEST(ServeService, RetriesAndDegradedJobsSurfaceInStats) {
+  const util::FailpointScope guard;
+  const fs::path dir = scratch_dir("degraded_stats");
+  EventLog log;
+  std::atomic<bool> crashed{false};
+  ServiceConfig cfg;
+  cfg.state_dir = dir.string();
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.checkpoint_every = 20;
+  cfg.max_attempts = 2;
+  cfg.fault_hook = [&crashed](int, Slot slot) {
+    if (slot == 50 && !crashed.exchange(true)) {
+      throw std::runtime_error("transient failure");
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  // Disk fills up mid-job: checkpointing degrades, the job still completes.
+  service.handle_line(
+      R"({"type": "inject", "site": "checkpoint.write.enospc",)"
+      R"( "mode": "1in1"})");
+  service.handle_line(
+      R"({"type": "submit", "id": "rough", "setting": "setting1",)"
+      R"( "horizon": 120, "runs": 1})");
+  service.wait_idle();
+  EXPECT_TRUE(log.contains("\"event\": \"degraded\""));
+  EXPECT_TRUE(log.contains("\"reason\": \"disk_pressure\""));
+  const auto job = service.find_job("rough");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::kCompleted)
+      << "disk pressure must not fail the job";
+  EXPECT_TRUE(job->degraded);
+  EXPECT_EQ(job->summary_json, reference_summary("setting1", 120, 1));
+
+  service.handle_line(R"({"type": "stats"})");
+  const exp::JsonValue doc = last_stats(log);
+  EXPECT_EQ(stats_key(doc, "retries_total")->number, 1.0)
+      << "the crashed-and-retried attempt must be counted";
+  EXPECT_EQ(stats_key(doc, "degraded_jobs")->number, 1.0);
+  bool saw_degraded_flag = false;
+  for (const auto& jobv : stats_key(doc, "jobs")->array) {
+    for (const auto& [jk, jv] : jobv.object) {
+      if (jk == "degraded") saw_degraded_flag = jv.boolean;
+    }
+  }
+  EXPECT_TRUE(saw_degraded_flag);
+}
+
+/// Craft the on-disk residue of a job that crashed `attempts` previous
+/// server executions: spec.json + job.json, no result.json.
+void plant_poisoned_job(const fs::path& state_dir, const std::string& id,
+                        int attempts) {
+  exp::SettingParams params;
+  params.horizon = 60;
+  auto cfg = exp::make_setting("setting1", params);
+  const fs::path dir = state_dir / "jobs" / id;
+  fs::create_directories(dir);
+  exp::save_spec_file(cfg, (dir / "spec.json").string());
+  std::ofstream(dir / "job.json")
+      << R"({"version": 1, "id": )" << exp::json_quote(id)
+      << R"(, "runs": 1, "attempts": )" << attempts << "}\n";
+}
+
+TEST(ServeService, QuarantinesPoisonedJobAtRecoveryExactlyOnce) {
+  const fs::path dir = scratch_dir("quarantine");
+  plant_poisoned_job(dir, "poison", 3);
+  plant_poisoned_job(dir, "healthy", 1);  // one prior crash: still requeued
+  {
+    EventLog log;
+    ServiceConfig cfg;
+    cfg.state_dir = dir.string();
+    cfg.executors = 1;
+    cfg.lanes = 1;
+    cfg.max_job_attempts = 3;
+    JobService service(cfg, log.sink());
+    service.start();
+    service.wait_idle();
+    // The poisoned job fails terminally without ever being enqueued...
+    const auto poison = service.find_job("poison");
+    ASSERT_NE(poison, nullptr);
+    EXPECT_EQ(poison->state, JobState::kFailed);
+    EXPECT_EQ(poison->failure_reason, "poisoned");
+    EXPECT_TRUE(log.contains("\"reason\": \"poisoned\""));
+    EXPECT_TRUE(fs::exists(dir / "jobs" / "poison" / "result.json"));
+    // ...while the below-threshold one resumes and completes normally.
+    const auto healthy = service.find_job("healthy");
+    ASSERT_NE(healthy, nullptr);
+    EXPECT_EQ(healthy->state, JobState::kCompleted);
+
+    service.handle_line(R"({"type": "stats"})");
+    EXPECT_EQ(stats_key(last_stats(log), "quarantined_total")->number, 1.0);
+  }
+  // Exactly once: the next restart sees result.json and does nothing.
+  {
+    EventLog log;
+    ServiceConfig cfg;
+    cfg.state_dir = dir.string();
+    cfg.max_job_attempts = 3;
+    JobService service(cfg, log.sink());
+    service.start();
+    EXPECT_EQ(service.job_count(), 0u);
+    EXPECT_FALSE(log.contains("\"reason\": \"poisoned\""));
+    service.handle_line(R"({"type": "stats"})");
+    EXPECT_EQ(stats_key(last_stats(log), "quarantined_total")->number, 0.0);
+  }
+}
+
+TEST(ServeService, GracefulDrainDoesNotCountAsCrashAttempt) {
+  const fs::path dir = scratch_dir("drain_attempts");
+  std::atomic<bool> reached{false};
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.state_dir = dir.string();
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.checkpoint_every = 20;
+  cfg.max_job_attempts = 1;  // one crash would already quarantine
+  cfg.fault_hook = [&reached](int run, Slot slot) {
+    if (run == 0 && slot == 60) reached.store(true);
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "d", "setting": "setting1",)"
+      R"( "horizon": 240})");
+  while (!reached.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.drain();
+  // on_start persisted attempts=1; the drain's on_interrupted took it back.
+  std::ifstream in(dir / "jobs" / "d" / "job.json");
+  const std::string meta((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(meta.find("\"attempts\": 0"), std::string::npos) << meta;
+  // So even the strictest threshold resumes it instead of quarantining.
+  EventLog log2;
+  ServiceConfig cfg2;
+  cfg2.state_dir = dir.string();
+  cfg2.executors = 1;
+  cfg2.lanes = 1;
+  cfg2.checkpoint_every = 20;
+  cfg2.max_job_attempts = 1;
+  JobService service2(cfg2, log2.sink());
+  service2.start();
+  EXPECT_TRUE(log2.contains("\"event\": \"requeued\""));
+  service2.wait_idle();
+  const auto job = service2.find_job("d");
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::kCompleted);
+  EXPECT_EQ(job->summary_json, reference_summary("setting1", 240, 1));
 }
 
 }  // namespace

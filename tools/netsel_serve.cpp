@@ -59,6 +59,9 @@ void print_help() {
       "  --progress-every N    slots between progress events per run (default 64)\n"
       "  --max-attempts N per-run attempts, retries resume from checkpoints\n"
       "                   (default 2)\n"
+      "  --max-job-attempts N  server executions a persisted job may crash\n"
+      "                   before recovery quarantines it as poisoned\n"
+      "                   (default 3; 0 disables; needs --state-dir)\n"
       "  --queue N        pending-job capacity before admission rejects\n"
       "                   (default 64)\n"
       "  -h, --help       show this help\n\n"
@@ -67,10 +70,15 @@ void print_help() {
       "  {\"type\": \"submit\", \"id\": \"big\", \"setting\": \"scalability_xl\"}\n"
       "  {\"type\": \"submit\", \"spec\": { ... ScenarioSpec object ... }}\n"
       "  {\"type\": \"stats\"}\n"
+      "  {\"type\": \"inject\", \"site\": \"checkpoint.write.enospc\", \"mode\": \"1in3\"}\n"
       "  {\"type\": \"drain\"}\n\n"
       "events (one JSON object per line): serving, accepted, rejected,\n"
-      "  requeued, started, progress, checkpointed, completed, failed,\n"
-      "  interrupted, stats, draining, drained, error — see DESIGN.md §7.\n\n"
+      "  requeued, started, progress, checkpointed, degraded, completed,\n"
+      "  failed, interrupted, stats, injected, draining, drained, error —\n"
+      "  see DESIGN.md §7.\n\n"
+      "fault injection: arm failpoints at startup with\n"
+      "  NETSEL_FAILPOINTS=site=mode,... (+ NETSEL_FAILPOINT_SEED) or at\n"
+      "  runtime with \"inject\" requests (mode \"off\" disarms) — DESIGN.md §8.\n\n"
       "SIGINT/SIGTERM drain gracefully: running jobs flush a final checkpoint\n"
       "and the final \"drained\" event reports every job's disposition.\n"
       "exit codes: 0 graceful drain / clean close, 1 transport failure,\n"
@@ -142,6 +150,12 @@ int main(int argc, char** argv) {
           parse_int_arg("--max-attempts", need_value("--max-attempts"));
       if (config.service.max_attempts < 1) {
         usage_error("--max-attempts must be >= 1");
+      }
+    } else if (arg == "--max-job-attempts") {
+      config.service.max_job_attempts = parse_int_arg(
+          "--max-job-attempts", need_value("--max-job-attempts"));
+      if (config.service.max_job_attempts < 0) {
+        usage_error("--max-job-attempts must be >= 0 (0 disables quarantine)");
       }
     } else if (arg == "--queue") {
       const int queue = parse_int_arg("--queue", need_value("--queue"));
