@@ -87,7 +87,7 @@ metrics::RunResult run_once_impl(const ExperimentConfig& config, std::uint64_t s
 bool options_inert(const RunOptions& o) {
   return !o.checkpoint.enabled() && !o.checkpoint.resume &&
          o.control.watchdog_seconds <= 0.0 && o.control.stop == nullptr &&
-         !o.control.fault_hook &&
+         o.control.yield == nullptr && !o.control.fault_hook &&
          !(o.control.progress_every > 0 && o.control.progress) &&
          !o.control.on_checkpoint && !util::failpoints_armed();
 }
@@ -177,6 +177,22 @@ metrics::RunResult run_guarded_impl(const ExperimentConfig& config, std::uint64_
       if (ck.enabled() && !checkpointing_off) checkpoint_now();
       throw RunInterrupted("run " + std::to_string(run_index) +
                            " interrupted at slot " + std::to_string(world->now()));
+    }
+    if (ctl.yield != nullptr && ctl.yield->load(std::memory_order_relaxed)) {
+      // Fault site: the process dies (or the disk lies) exactly while the
+      // preemption checkpoint is being flushed. The throw is an ordinary
+      // attempt failure — retried with resume on, so the run continues from
+      // the newest PERIODIC checkpoint and still finishes bit-identically.
+      if (util::failpoint("runner.preempt.flush")) {
+        throw std::runtime_error("run " + std::to_string(run_index) +
+                                 " crashed flushing the preemption checkpoint "
+                                 "at slot " +
+                                 std::to_string(world->now()) +
+                                 " [injected runner.preempt.flush]");
+      }
+      if (ck.enabled() && !checkpointing_off) checkpoint_now();
+      throw RunPreempted("run " + std::to_string(run_index) +
+                         " preempted at slot " + std::to_string(world->now()));
     }
     if (watchdog) {
       const double elapsed =

@@ -56,6 +56,13 @@ struct RunControl {
   /// true the run flushes a final checkpoint (if enabled) and throws
   /// RunInterrupted. Never retried.
   const std::atomic<bool>* stop = nullptr;
+  /// Cooperative per-job yield (preemption): polled at every slot boundary
+  /// exactly like `stop`, but the run flushes a final checkpoint and throws
+  /// RunPreempted instead. Distinct from `stop` so one job can be asked off
+  /// its executor (requeue + resume later) without draining the process —
+  /// the serve scheduler points every lane of a job at the same flag, so the
+  /// whole batch yields at the next slot boundary.
+  const std::atomic<bool>* yield = nullptr;
   /// Test-only fault injection: called before every slot with (run, slot);
   /// whatever it throws is a simulated crash at exactly that point.
   std::function<void(int run, Slot slot)> fault_hook;
@@ -86,6 +93,17 @@ struct RunOptions {
 class RunInterrupted : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// A run stopped by RunControl::yield: a cooperative preemption, not a
+/// crash. Derives from RunInterrupted so every interruption-aware layer
+/// (the batch executor stops handing out work, nothing counts a failure)
+/// treats it identically; callers that care about the difference — the
+/// serve scheduler requeues a preempted job instead of reporting a drain —
+/// catch or inspect the derived type.
+class RunPreempted : public RunInterrupted {
+ public:
+  using RunInterrupted::RunInterrupted;
 };
 
 /// A run exceeded RunControl::watchdog_seconds.

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -16,6 +18,18 @@
 #include "netsim/types.hpp"
 
 namespace smartexp3::serve {
+
+/// The serve layer's wall clock: deadlines, queue ages and drain-rate
+/// estimates all measure against it. steady_clock — a ntp step must not
+/// shed a job.
+using ServeClock = std::chrono::steady_clock;
+
+/// Why the governor asked a running job to yield at its next slot boundary.
+enum class YieldReason : int {
+  kNone = 0,
+  kPreempt = 1,   ///< higher-priority work is waiting: checkpoint + requeue
+  kDeadline = 2,  ///< wall-clock job budget exhausted: terminal failed
+};
 
 enum class JobState {
   kQueued,       ///< accepted, waiting for an executor
@@ -70,11 +84,24 @@ struct Job {
   std::string id;
   exp::ExperimentConfig cfg;
   int runs = 1;
-  bool resume = false;      ///< recovered from a previous server's state dir
   std::string dir;          ///< per-job state directory; "" = ephemeral
   std::uint64_t client = 0; ///< submitting connection; 0 = none (stdin/restart)
+  std::string tenant;       ///< quota bucket; "" = the anonymous default
+  int priority = 0;         ///< 0 (default) .. 9; higher dispatches first
+  double deadline_s = 0.0;  ///< wall-clock job budget; 0 = none
+  /// Absolute deadline, set at admission (and re-set from deadline_s at
+  /// recovery — the budget restarts with the server, see DESIGN.md §9).
+  ServeClock::time_point deadline_at{};
+
+  /// Cooperative preemption control, written by the scheduler's governor and
+  /// polled by every lane of the job's batch at slot boundaries
+  /// (exp::RunControl::yield). Reset by the executor before each execution.
+  std::atomic<bool> yield{false};
+  std::atomic<int> yield_reason{static_cast<int>(YieldReason::kNone)};
 
   // Guarded by `mutex` below.
+  bool resume = false;      ///< continue from checkpoints (recovery/preempt)
+  int preempts = 0;         ///< times this job was checkpoint-preempted
   JobState state = JobState::kQueued;
   std::string error;              ///< first failure message (kFailed)
   std::string failure_reason;     ///< machine-readable cause, e.g. "poisoned"

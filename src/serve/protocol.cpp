@@ -42,6 +42,18 @@ std::uint64_t require_uint64(const exp::JsonValue& v, const std::string& key) {
   return v.magnitude;
 }
 
+/// Tenant names key quota tables and appear in event fields: same alphabet
+/// as job ids, shorter cap (they are buckets, not identifiers).
+bool valid_tenant(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > 40) return false;
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 SubmitRequest parse_submit(const exp::JsonValue& obj) {
   SubmitRequest s;
   for (const auto& [k, v] : obj.object) {
@@ -73,6 +85,20 @@ SubmitRequest parse_submit(const exp::JsonValue& obj) {
       s.seed_set = true;
     } else if (k == "shards") {
       s.shards = require_int(v, k, 0, 1 << 20);
+    } else if (k == "tenant") {
+      s.tenant = require_string(v, k);
+      if (!valid_tenant(s.tenant)) {
+        bad("request key 'tenant' must be 1-40 chars of [A-Za-z0-9_.-]");
+      }
+    } else if (k == "priority") {
+      s.priority = require_int(v, k, 0, 9);
+    } else if (k == "deadline_s") {
+      if (v.type != exp::JsonValue::Type::kNumber || !(v.number > 0.0) ||
+          v.number > 1e9) {
+        bad("request key 'deadline_s' must be a positive number of seconds "
+            "(at most 1e9)");
+      }
+      s.deadline_s = v.number;
     } else {
       bad("unknown submit key '" + k + "'");
     }

@@ -56,6 +56,12 @@ struct SubmitRequest {
   bool seed_set = false;
   std::uint64_t seed = 0;
   int shards = -1;        ///< -1 = config default (0 = auto)
+  // Overload-control fields (DESIGN.md §9). All optional: the defaults are
+  // the anonymous tenant at priority 0 with no deadline — exactly the old
+  // FIFO behaviour.
+  std::string tenant;     ///< quota bucket; "" = the anonymous default
+  int priority = 0;       ///< 0 (default) .. 9; higher dispatches first
+  double deadline_s = 0;  ///< wall-clock job budget from admission; 0 = none
 };
 
 /// Arm or disarm a failpoint at runtime (util/failpoint.hpp): mode is the

@@ -1,0 +1,270 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/failpoint.hpp"
+
+namespace smartexp3::serve {
+
+namespace {
+
+/// The in-flight cost unit of the device-slot quota. Immutable after
+/// admission (cfg and runs never change), so reading it without the job
+/// mutex is safe.
+long device_slot_cost(const Job& job) {
+  return static_cast<long>(job.cfg.devices.size()) *
+         static_cast<long>(std::max(1, job.runs));
+}
+
+}  // namespace
+
+const char* push_result_reason(PushResult r) {
+  switch (r) {
+    case PushResult::kAccepted: return "accepted";
+    case PushResult::kClosed: return "draining";
+    case PushResult::kFull: return "queue-full";
+    case PushResult::kTenantQueued: return "tenant-queued";
+    case PushResult::kTenantDeviceSlots: return "tenant-device-slots";
+  }
+  return "unknown";
+}
+
+bool QuotaTable::empty() const {
+  if (!default_quota.unlimited()) return false;
+  for (const auto& [name, quota] : tenants) {
+    (void)name;
+    if (!quota.unlimited()) return false;
+  }
+  return true;
+}
+
+const TenantQuota& QuotaTable::lookup(const std::string& tenant) const {
+  const auto it = tenants.find(tenant);
+  return it != tenants.end() ? it->second : default_quota;
+}
+
+JobQueue::JobQueue(std::size_t capacity, QuotaTable quotas)
+    : capacity_(capacity), quotas_(std::move(quotas)), track_(!quotas_.empty()) {}
+
+JobQueue::TenantState* JobQueue::tenant_state(const std::string& tenant) {
+  return &tenants_[tenant];
+}
+
+void JobQueue::release_tenant(const std::string& tenant) {
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.idle()) tenants_.erase(it);
+}
+
+void JobQueue::insert_ordered(Entry entry) {
+  const int priority = entry.job->priority;
+  auto it = queue_.end();
+  while (it != queue_.begin() && std::prev(it)->job->priority < priority) --it;
+  queue_.insert(it, std::move(entry));
+}
+
+PushOutcome JobQueue::push(std::shared_ptr<Job> job) {
+  PushOutcome out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      out.result = PushResult::kClosed;
+      return out;
+    }
+    if (queue_.size() >= capacity_) {
+      out.result = PushResult::kFull;
+      out.limit = static_cast<long>(capacity_);
+      return out;
+    }
+    if (track_) {
+      // Fault site: the quota bookkeeping itself fails. Placed before any
+      // mutation so the throw is strongly exception-safe — the server turns
+      // it into one rejection and the accounting stays consistent.
+      if (util::failpoint("serve.quota.admit")) {
+        throw std::runtime_error(
+            "quota bookkeeping fault [injected serve.quota.admit]");
+      }
+      const TenantQuota& quota = quotas_.lookup(job->tenant);
+      TenantState* state = tenant_state(job->tenant);
+      if (quota.max_queued > 0 && state->queued >= quota.max_queued) {
+        out.result = PushResult::kTenantQueued;
+        out.limit = quota.max_queued;
+        release_tenant(job->tenant);
+        return out;
+      }
+      const long cost = device_slot_cost(*job);
+      if (quota.max_device_slots > 0 &&
+          state->device_slots + cost > quota.max_device_slots) {
+        out.result = PushResult::kTenantDeviceSlots;
+        out.limit = quota.max_device_slots;
+        release_tenant(job->tenant);
+        return out;
+      }
+      ++state->queued;
+      state->device_slots += cost;
+    }
+    Entry entry;
+    entry.seq = next_seq_++;
+    entry.enqueued = ServeClock::now();
+    entry.job = std::move(job);
+    insert_ordered(std::move(entry));
+  }
+  ready_.notify_one();
+  return out;
+}
+
+bool JobQueue::requeue(std::shared_ptr<Job> job, bool from_running) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    if (track_) {
+      TenantState* state = tenant_state(job->tenant);
+      ++state->queued;
+      if (from_running) {
+        state->running = std::max(0, state->running - 1);
+      } else {
+        state->device_slots += device_slot_cost(*job);
+      }
+    }
+    Entry entry;
+    entry.seq = next_seq_++;
+    entry.enqueued = ServeClock::now();
+    entry.job = std::move(job);
+    insert_ordered(std::move(entry));
+  }
+  // A released running slot can unblock a tenant-capped pop, not just the
+  // new entry: wake everyone.
+  ready_.notify_all();
+  return true;
+}
+
+std::size_t JobQueue::dispatchable_index() const {
+  if (!track_) return queue_.empty() ? queue_.size() : 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Job& job = *queue_[i].job;
+    const TenantQuota& quota = quotas_.lookup(job.tenant);
+    if (quota.max_running > 0) {
+      const auto it = tenants_.find(job.tenant);
+      if (it != tenants_.end() && it->second.running >= quota.max_running) {
+        continue;  // tenant at its running cap: skip, keep queued
+      }
+    }
+    return i;
+  }
+  return queue_.size();
+}
+
+std::shared_ptr<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::size_t i = 0;
+  ready_.wait(lock, [&] {
+    if (closed_) return true;
+    i = dispatchable_index();
+    return i < queue_.size();
+  });
+  if (closed_) {
+    if (queue_.empty()) return nullptr;
+    i = 0;  // draining: dispatch order no longer matters, hand jobs out FIFO
+  }
+  auto job = std::move(queue_[i].job);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (track_) {
+    TenantState* state = tenant_state(job->tenant);
+    state->queued = std::max(0, state->queued - 1);
+    ++state->running;
+  }
+  return job;
+}
+
+void JobQueue::finish(const std::shared_ptr<Job>& job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!track_ || closed_) return;
+    TenantState* state = tenant_state(job->tenant);
+    state->running = std::max(0, state->running - 1);
+    state->device_slots =
+        std::max(0L, state->device_slots - device_slot_cost(*job));
+    release_tenant(job->tenant);
+  }
+  // A freed running slot may make a capped tenant's queued jobs dispatchable.
+  ready_.notify_all();
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::shed_expired(
+    ServeClock::time_point now) {
+  std::vector<std::shared_ptr<Job>> shed;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return shed;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Job& job = *it->job;
+    if (job.deadline_s > 0.0 && now >= job.deadline_at) {
+      if (track_) {
+        TenantState* state = tenant_state(job.tenant);
+        state->queued = std::max(0, state->queued - 1);
+        state->device_slots =
+            std::max(0L, state->device_slots - device_slot_cost(job));
+        release_tenant(job.tenant);
+      }
+      shed.push_back(std::move(it->job));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return shed;
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::close() {
+  std::vector<std::shared_ptr<Job>> pending;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    pending.reserve(queue_.size());
+    for (auto& e : queue_) pending.push_back(e.job);
+    queue_.clear();
+    tenants_.clear();
+  }
+  ready_.notify_all();
+  return pending;
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+QueueComposition JobQueue::composition() const {
+  QueueComposition comp;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  comp.depth = queue_.size();
+  if (queue_.empty()) return comp;
+  const auto now = ServeClock::now();
+  auto oldest = queue_.front().enqueued;
+  // (-priority, tenant) keys give the slices the dispatch order for free.
+  std::map<std::pair<int, std::string>, int> buckets;
+  for (const auto& e : queue_) {
+    oldest = std::min(oldest, e.enqueued);
+    ++buckets[{-e.job->priority, e.job->tenant}];
+  }
+  comp.oldest_age_s = std::chrono::duration<double>(now - oldest).count();
+  comp.slices.reserve(buckets.size());
+  for (const auto& [key, depth] : buckets) {
+    comp.slices.push_back({key.second, -key.first, depth});
+  }
+  return comp;
+}
+
+PreemptCandidate JobQueue::preempt_candidate() const {
+  PreemptCandidate cand;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || queue_.empty()) return cand;
+  const std::size_t i = dispatchable_index();
+  const Entry& entry = i < queue_.size() ? queue_[i] : queue_.front();
+  cand.any = true;
+  cand.priority = entry.job->priority;
+  cand.tenant = entry.job->tenant;
+  cand.tenant_at_run_cap = i >= queue_.size();
+  return cand;
+}
+
+}  // namespace smartexp3::serve

@@ -1,70 +1,183 @@
-// Bounded thread-safe FIFO between job intake and the scheduler executors.
-// Admission control lives at the push side: a full queue rejects instead of
-// blocking the intake thread (the server turns that into a "rejected" event
-// with a queue-full reason), and close() is the drain switch — pending jobs
-// are handed back for disposition reporting instead of being silently lost.
+// The netsel_serve admission queue: a bounded, tenant-aware priority queue
+// between job intake and the scheduler executors.
+//
+// Admission control lives at the push side and never blocks the intake
+// thread: a push either succeeds or returns a machine-readable reason (the
+// server turns it into a per-reason "rejected" event with a retry hint) —
+// global capacity, per-tenant queued-job quota and per-tenant device-slot
+// quota each reject distinctly, and a closed (draining) queue is reported as
+// draining instead of masquerading as "full". Dispatch order is (priority
+// desc, arrival seq asc) with per-tenant max_running honoured at pop time:
+// a tenant at its running cap keeps its jobs queued while lower-priority
+// work from other tenants flows around them.
+//
+// With an empty quota table and all-default priorities this degenerates to
+// exactly the old bounded FIFO: push_back / pop_front, no per-tenant
+// accounting, no map lookups — the overload machinery costs nothing when it
+// is idle.
+//
+// close() is the drain switch — pending jobs are handed back for disposition
+// reporting instead of being silently lost. requeue() re-admits work the
+// service already accepted (a preempted job, or recovery after a restart)
+// and therefore bypasses capacity and quota checks: admission decisions are
+// made once, at submit.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <chrono>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "serve/job.hpp"
 
 namespace smartexp3::serve {
 
+/// Why a push was not accepted. kAccepted aside, each value maps 1:1 to a
+/// "rejected" reason string on the wire (push_result_reason below).
+enum class PushResult {
+  kAccepted,           ///< enqueued
+  kClosed,             ///< queue closed: the server is draining
+  kFull,               ///< global queue_capacity reached
+  kTenantQueued,       ///< tenant at its max_queued quota
+  kTenantDeviceSlots,  ///< tenant at its max_device_slots in-flight quota
+};
+
+/// The wire-facing reason slug for a rejection ("draining", "queue-full",
+/// "tenant-queued", "tenant-device-slots"); "accepted" for kAccepted.
+const char* push_result_reason(PushResult r);
+
+/// Per-tenant admission limits. 0 means unlimited for each knob.
+struct TenantQuota {
+  int max_queued = 0;   ///< jobs waiting in the queue
+  int max_running = 0;  ///< jobs on executors (enforced at dispatch)
+  /// Device-slots in flight: sum over the tenant's queued + running jobs of
+  /// devices x runs — the cost unit that stops one tenant from parking a
+  /// million-device scalability_xl burst in front of everyone else.
+  long max_device_slots = 0;
+  bool unlimited() const {
+    return max_queued <= 0 && max_running <= 0 && max_device_slots <= 0;
+  }
+};
+
+/// The service's quota configuration: a default applied to every tenant
+/// (including the anonymous "" tenant) plus named overrides. empty() — no
+/// limits anywhere — selects the accounting-free FIFO fast path.
+struct QuotaTable {
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenants;
+  bool empty() const;
+  const TenantQuota& lookup(const std::string& tenant) const;
+};
+
+struct PushOutcome {
+  PushResult result = PushResult::kAccepted;
+  /// The limit that rejected (capacity for kFull, the quota value for the
+  /// tenant reasons); 0 otherwise.
+  long limit = 0;
+  bool accepted() const { return result == PushResult::kAccepted; }
+};
+
+/// One (tenant, priority) bucket of the queue composition snapshot.
+struct QueueSlice {
+  std::string tenant;
+  int priority = 0;
+  int depth = 0;
+};
+
+struct QueueComposition {
+  std::size_t depth = 0;
+  double oldest_age_s = 0.0;  ///< age of the oldest queued job; 0 when empty
+  std::vector<QueueSlice> slices;  ///< ordered by (priority desc, tenant asc)
+};
+
+/// What the scheduler's governor needs to decide a preemption: the job that
+/// would dispatch next (ignoring nothing — run caps included) and whether it
+/// is blocked by its own tenant's max_running (in which case only a victim
+/// from the same tenant frees a usable slot).
+struct PreemptCandidate {
+  bool any = false;
+  int priority = 0;
+  std::string tenant;
+  bool tenant_at_run_cap = false;
+};
+
 class JobQueue {
  public:
-  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit JobQueue(std::size_t capacity, QuotaTable quotas = {});
 
-  /// False when the queue is full or closed — never blocks.
-  bool push(std::shared_ptr<Job> job) {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || queue_.size() >= capacity_) return false;
-      queue_.push_back(std::move(job));
-    }
-    ready_.notify_one();
-    return true;
-  }
+  /// Admission: quota-checked, never blocks. Evaluates the
+  /// `serve.quota.admit` failpoint (throws std::runtime_error) before any
+  /// bookkeeping mutation, so an injected bookkeeping fault leaves the
+  /// queue untouched — the server reports the rejection and stays up.
+  PushOutcome push(std::shared_ptr<Job> job);
 
-  /// Blocks until a job is available; nullptr once closed and empty.
-  std::shared_ptr<Job> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return nullptr;
-    auto job = std::move(queue_.front());
-    queue_.pop_front();
-    return job;
-  }
+  /// Re-admit a job the service already accepted: a preempted job coming off
+  /// its executor (`from_running` — its device-slots stay in flight) or a
+  /// recovered job from a previous server's state dir. Bypasses capacity and
+  /// quota checks; false only when the queue is closed (the job keeps its
+  /// state for the next process, exactly like a drain-skipped job).
+  bool requeue(std::shared_ptr<Job> job, bool from_running);
+
+  /// Blocks until a dispatchable job is available (highest priority whose
+  /// tenant is under its max_running), marks its tenant running, returns it;
+  /// nullptr once closed and empty. The caller owes exactly one finish() or
+  /// requeue(from_running=true) per popped job.
+  std::shared_ptr<Job> pop();
+
+  /// Release a popped job's accounting when it leaves its executor for a
+  /// terminal state (or is skipped during a drain).
+  void finish(const std::shared_ptr<Job>& job);
+
+  /// Remove and return every queued job whose deadline has passed — the
+  /// governor sheds them with a terminal failed/"deadline" event.
+  std::vector<std::shared_ptr<Job>> shed_expired(
+      ServeClock::time_point now = ServeClock::now());
 
   /// Stop accepting and wake every blocked pop(). Returns the jobs that were
   /// still pending so the caller can report their disposition.
-  std::vector<std::shared_ptr<Job>> close() {
-    std::vector<std::shared_ptr<Job>> pending;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-      pending.assign(queue_.begin(), queue_.end());
-      queue_.clear();
-    }
-    ready_.notify_all();
-    return pending;
-  }
+  std::vector<std::shared_ptr<Job>> close();
 
-  std::size_t depth() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
-  }
+  std::size_t depth() const;
+  QueueComposition composition() const;
+  PreemptCandidate preempt_candidate() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<Job> job;
+    std::uint64_t seq = 0;
+    ServeClock::time_point enqueued;
+  };
+  struct TenantState {
+    int queued = 0;
+    int running = 0;
+    long device_slots = 0;
+    bool idle() const { return queued == 0 && running == 0 && device_slots == 0; }
+  };
+
+  /// Insert in dispatch order: before the first entry of strictly lower
+  /// priority, after every peer (FIFO within a priority level). All-default
+  /// priorities hit the first comparison and push_back.
+  void insert_ordered(Entry entry);
+  /// The queue index that pop() would dispatch, or npos when nothing is
+  /// dispatchable (empty, or every queued tenant is at its running cap).
+  std::size_t dispatchable_index() const;
+  TenantState* tenant_state(const std::string& tenant);
+  void release_tenant(const std::string& tenant);
+
   const std::size_t capacity_;
+  const QuotaTable quotas_;
+  const bool track_;  ///< quota accounting on (quota table non-empty)
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<std::shared_ptr<Job>> queue_;
+  std::deque<Entry> queue_;
+  std::map<std::string, TenantState> tenants_;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

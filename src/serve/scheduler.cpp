@@ -49,11 +49,20 @@ void Scheduler::start() {
   for (int i = 0; i < config_.executors; ++i) {
     executors_.emplace_back([this] { executor_loop(); });
   }
+  governor_ = std::thread([this] { governor_loop(); });
 }
 
 void Scheduler::shutdown() {
   if (!started_ || joined_) return;
   joined_ = true;
+  // The governor goes first: a shed or preemption decided mid-shutdown would
+  // fight the drain's own dispositions.
+  {
+    const std::lock_guard<std::mutex> lock(governor_mutex_);
+    governor_stop_ = true;
+  }
+  governor_cv_.notify_all();
+  governor_.join();
   queue_.close();
   for (auto& t : executors_) t.join();
 }
@@ -68,18 +77,116 @@ void Scheduler::executor_loop() {
     if (job == nullptr) return;  // queue closed and empty
     // A job popped after the drain flag rose never starts: it keeps its
     // queued state (and its persisted spec) for the next server process.
-    if (stop_.load()) continue;
+    if (stop_.load()) {
+      queue_.finish(job);
+      continue;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(active_mutex_);
+      active_.push_back(job);
+    }
     ++running_;
     execute(job);
     --running_;
+    {
+      const std::lock_guard<std::mutex> lock(active_mutex_);
+      active_.erase(std::remove(active_.begin(), active_.end(), job),
+                    active_.end());
+    }
   }
 }
 
+void Scheduler::governor_loop() {
+  std::unique_lock<std::mutex> lock(governor_mutex_);
+  const auto tick =
+      std::chrono::milliseconds(std::max(1, config_.governor_tick_ms));
+  for (;;) {
+    governor_cv_.wait_for(lock, tick, [&] { return governor_stop_; });
+    if (governor_stop_) return;
+    // Draining: the drain owns every job's disposition now — no more
+    // shedding or preemption decisions.
+    if (stop_.load()) continue;
+    lock.unlock();
+    governor_tick();
+    lock.lock();
+  }
+}
+
+void Scheduler::governor_tick() {
+  const auto now = ServeClock::now();
+  // 1. Load shedding: queued jobs whose deadline passed never start.
+  for (const auto& job : queue_.shed_expired(now)) shed_queued_job(job);
+
+  // 2. Per-job wall-clock budget: a running job past its deadline is asked
+  // to stop at its next slot boundary; the executor reports it terminal
+  // failed/"deadline" (the attempt limit never resurrects it).
+  {
+    const std::lock_guard<std::mutex> lock(active_mutex_);
+    for (const auto& job : active_) {
+      if (job->deadline_s > 0.0 && now >= job->deadline_at &&
+          !job->yield.load()) {
+        job->yield_reason.store(static_cast<int>(YieldReason::kDeadline));
+        job->yield.store(true);
+      }
+    }
+  }
+
+  // 3. Preemption: every executor busy + a strictly higher-priority job
+  // waiting => the lowest-priority running job yields at its next slot
+  // boundary (checkpoint flush + requeue, see execute()). One yield in
+  // flight at a time — a slot boundary is never far away, and serializing
+  // decisions keeps victim selection simple to reason about.
+  if (!config_.preempt) return;
+  if (running_.load() < config_.executors) return;
+  const PreemptCandidate cand = queue_.preempt_candidate();
+  if (!cand.any) return;
+  const std::lock_guard<std::mutex> lock(active_mutex_);
+  std::shared_ptr<Job> victim;
+  for (const auto& job : active_) {
+    if (job->yield.load()) return;  // a yield is already in flight
+    // A waiter blocked by its own tenant's max_running is only helped by
+    // evicting a job of that same tenant.
+    if (cand.tenant_at_run_cap && job->tenant != cand.tenant) continue;
+    if (job->priority >= cand.priority) continue;  // strictly lower only
+    if (victim == nullptr || job->priority < victim->priority) victim = job;
+  }
+  if (victim != nullptr) {
+    victim->yield_reason.store(static_cast<int>(YieldReason::kPreempt));
+    victim->yield.store(true);
+  }
+}
+
+void Scheduler::shed_queued_job(const std::shared_ptr<Job>& job) {
+  std::string error;
+  {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    job->state = JobState::kFailed;
+    job->failure_reason = "deadline";
+    error = job->error = "deadline_s " + exp::json_number(job->deadline_s) +
+                         " expired before the job reached an executor";
+  }
+  ++failed_;
+  ++shed_total_;
+  emit_(*job, EventLine("failed")
+                  .field("job", job->id)
+                  .field("reason", "deadline")
+                  .field("error", error)
+                  .field("completed_runs", 0)
+                  .str());
+  on_terminal_(*job);
+}
+
 void Scheduler::execute(const std::shared_ptr<Job>& job) {
+  bool resume = false;
   {
     const std::lock_guard<std::mutex> lock(job->mutex);
     job->state = JobState::kRunning;
+    resume = job->resume;
   }
+  // A fresh execution owes nobody a yield: clear any flag left over from a
+  // previous preemption (or one that raced a completed batch).
+  job->yield_reason.store(static_cast<int>(YieldReason::kNone));
+  job->yield.store(false);
   // The attempt count must be durable BEFORE any work happens: a SIGKILL
   // (or the abort failpoint below) one instruction into the batch still
   // counts as a crash-attempt when the next server reads job.json.
@@ -103,12 +210,13 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
   if (!job->dir.empty() && config_.checkpoint_every > 0) {
     options.checkpoint.every = config_.checkpoint_every;
     options.checkpoint.dir = job->dir + "/ckpt";
-    options.checkpoint.resume = job->resume;
+    options.checkpoint.resume = resume;
     // A full checkpoint disk must not kill a long job: drop to degraded
     // (no checkpoints, "degraded" event) and keep simulating.
     options.checkpoint.degrade_on_disk_full = true;
   }
   options.control.stop = &stop_;
+  options.control.yield = &job->yield;
   options.control.max_attempts = config_.max_attempts;
   options.control.watchdog_seconds = config_.watchdog_seconds;
   options.control.fault_hook = config_.fault_hook;
@@ -215,6 +323,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
                     .field("error", error)
                     .field("completed_runs", 0)
                     .str());
+    queue_.finish(job);
     on_terminal_(*job);  // re-locks job->mutex — must run unlocked
     return;
   }
@@ -223,6 +332,63 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
   retries_total_ += batch.retries;
 
   if (batch.interrupted) {
+    // Three distinct interruptions share the batch's `interrupted` bit: a
+    // process drain (stop_), a governor preemption, and a governor deadline
+    // kill. The drain wins ties — its dispositions cover every job anyway.
+    const auto reason = static_cast<YieldReason>(job->yield_reason.load());
+    if (!stop_.load() && reason == YieldReason::kPreempt) {
+      Slot last = -1;
+      int preempts = 0;
+      {
+        const std::lock_guard<std::mutex> lock(job->mutex);
+        job->state = JobState::kQueued;
+        // The flushed checkpoint is the hand-off to the next execution; an
+        // ephemeral job (no dir) simply reruns from slot 0 — either way the
+        // trajectory is bit-identical to an un-preempted run.
+        job->resume = true;
+        preempts = ++job->preempts;
+        last = job->last_checkpoint_slot;
+      }
+      ++preempted_total_;
+      // A preemption is a graceful stop of one job, not a crash: un-charge
+      // the attempt on_start persisted, exactly like a drain.
+      if (config_.on_interrupted) config_.on_interrupted(*job);
+      emit_(*job, EventLine("preempted")
+                      .field("job", job->id)
+                      .field("last_checkpoint_slot", static_cast<int>(last))
+                      .field("preempts", preempts)
+                      .field("requeued", true)
+                      .str());
+      job->yield_reason.store(static_cast<int>(YieldReason::kNone));
+      job->yield.store(false);
+      // requeue() declines only when the queue closed while the job was
+      // yielding: the job then keeps its queued state and its persisted
+      // spec for the next server process, like a drain-skipped job.
+      queue_.requeue(job, /*from_running=*/true);
+      return;
+    }
+    if (!stop_.load() && reason == YieldReason::kDeadline) {
+      std::string error;
+      {
+        const std::lock_guard<std::mutex> lock(job->mutex);
+        job->state = JobState::kFailed;
+        job->failure_reason = "deadline";
+        error = job->error = "job exceeded its deadline_s " +
+                             exp::json_number(job->deadline_s) +
+                             " wall-clock budget";
+      }
+      ++failed_;
+      ++shed_total_;
+      emit_(*job, EventLine("failed")
+                      .field("job", job->id)
+                      .field("reason", "deadline")
+                      .field("error", error)
+                      .field("completed_runs", 0)
+                      .str());
+      queue_.finish(job);
+      on_terminal_(*job);
+      return;
+    }
     Slot last = -1;
     {
       const std::lock_guard<std::mutex> lock(job->mutex);
@@ -238,6 +404,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
     // Not terminal: the persisted spec + checkpoints are the hand-off to
     // the next server process, exactly like netsel_sim --resume.
     if (config_.on_interrupted) config_.on_interrupted(*job);
+    queue_.finish(job);
     return;
   }
 
@@ -270,6 +437,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
                     .field("completed_runs", static_cast<int>(results.size()))
                     .raw("failed_runs", json_array(failure_objs))
                     .str());
+    queue_.finish(job);
     on_terminal_(*job);
     return;
   }
@@ -293,6 +461,7 @@ void Scheduler::execute(const std::shared_ptr<Job>& job) {
                                      .field("slot_p99_us", p99)
                                      .str())
                   .str());
+  queue_.finish(job);
   on_terminal_(*job);
 }
 

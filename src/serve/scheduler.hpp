@@ -15,8 +15,10 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,13 +36,21 @@ struct SchedulerConfig {
   int progress_every = 64;  ///< slots between progress events per run
   int max_attempts = 2;     ///< attempts per run (retries resume from checkpoints)
   double watchdog_seconds = 0.0;  ///< per-attempt budget; 0 = none
+  /// Checkpoint-based preemption: when every executor is busy and a strictly
+  /// higher-priority job waits, the governor asks the lowest-priority running
+  /// job to yield (checkpoint + requeue). Off = strict run-to-completion.
+  bool preempt = true;
+  /// Governor cadence: deadline shedding/enforcement and preemption
+  /// decisions are evaluated this often.
+  int governor_tick_ms = 10;
   /// Test-only fault injection threaded into every job's RunControl.
   std::function<void(int run, Slot slot)> fault_hook;
   /// Fires just before a job's batch begins (the service persists the
   /// incremented attempt count here, so even a SIGKILL mid-run is counted).
   std::function<void(Job& job)> on_start;
-  /// Fires when a drain interrupted the job — not terminal; the service
-  /// un-counts the attempt (a graceful stop is not a crash).
+  /// Fires when a drain or a preemption interrupted the job — not terminal;
+  /// the service un-counts the attempt (a graceful stop is not a crash, and
+  /// a preemption is a graceful stop of one job).
   std::function<void(Job& job)> on_interrupted;
 };
 
@@ -75,10 +85,22 @@ class Scheduler {
   /// Jobs that lost checkpointing to disk pressure (degraded, still running
   /// or finished) — each job counted once.
   int degraded_jobs() const { return degraded_jobs_.load(); }
+  /// Checkpoint-preemptions completed (yield + requeue), counting each
+  /// preemption, not each job.
+  int preempted_total() const { return preempted_total_.load(); }
+  /// Jobs shed by deadline enforcement: expired while queued, or killed
+  /// running by their wall-clock budget. Terminal failed/"deadline"; a
+  /// subset of failed().
+  int shed_total() const { return shed_total_.load(); }
 
  private:
   void executor_loop();
   void execute(const std::shared_ptr<Job>& job);
+  /// The deadline/preemption policy thread: sheds expired queued jobs,
+  /// raises the yield flag on over-budget or preemptable running jobs.
+  void governor_loop();
+  void governor_tick();
+  void shed_queued_job(const std::shared_ptr<Job>& job);
 
   SchedulerConfig config_;
   JobQueue& queue_;
@@ -91,7 +113,16 @@ class Scheduler {
   std::atomic<int> interrupted_{0};
   std::atomic<int> retries_total_{0};
   std::atomic<int> degraded_jobs_{0};
+  std::atomic<int> preempted_total_{0};
+  std::atomic<int> shed_total_{0};
   std::vector<std::thread> executors_;
+  /// Jobs currently on an executor — the governor's victim pool.
+  mutable std::mutex active_mutex_;
+  std::vector<std::shared_ptr<Job>> active_;
+  std::thread governor_;
+  std::mutex governor_mutex_;
+  std::condition_variable governor_cv_;
+  bool governor_stop_ = false;
   bool started_ = false;
   bool joined_ = false;
 };

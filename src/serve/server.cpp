@@ -69,23 +69,30 @@ void write_text_file(const std::string& path, const std::string& text) {
   if (!out) throw std::runtime_error("cannot write " + path);
 }
 
-/// The persisted job.json payload. `attempts` counts server executions that
-/// never ended cleanly (see Job::attempts); rewritten in place by the
-/// on_start/on_interrupted hooks, so a plain truncating write is fine — a
-/// torn job.json fails recovery for that one job, never the server.
-std::string job_meta_json(const std::string& id, int runs, int attempts) {
-  return EventLine()
-             .field("version", 1)
-             .field("id", id)
-             .field("runs", runs)
-             .field("attempts", attempts)
-             .str() +
-         "\n";
+/// The persisted job.json payload (version 2 adds the overload-control
+/// fields; version-1 files read back with their defaults). `attempts` counts
+/// server executions that never ended cleanly (see Job::attempts); rewritten
+/// in place by the on_start/on_interrupted hooks, so a plain truncating
+/// write is fine — a torn job.json fails recovery for that one job, never
+/// the server.
+std::string job_meta_json(const Job& job, int attempts) {
+  EventLine meta;
+  meta.field("version", 2)
+      .field("id", job.id)
+      .field("runs", job.runs)
+      .field("attempts", attempts);
+  if (!job.tenant.empty()) meta.field("tenant", job.tenant);
+  if (job.priority != 0) meta.field("priority", job.priority);
+  if (job.deadline_s > 0.0) meta.field("deadline_s", job.deadline_s);
+  return meta.str() + "\n";
 }
 
 struct JobMeta {
   int runs = 1;
   int attempts = 0;
+  std::string tenant;
+  int priority = 0;
+  double deadline_s = 0.0;
 };
 
 JobMeta parse_job_meta(const std::string& path) {
@@ -107,19 +114,34 @@ JobMeta parse_job_meta(const std::string& path) {
                v.integral) {
       // Absent in pre-quarantine job.json files: treated as 0 crash-attempts.
       meta.attempts = std::max(0, static_cast<int>(v.number));
+    } else if (k == "tenant" && v.type == exp::JsonValue::Type::kString) {
+      meta.tenant = v.str;
+    } else if (k == "priority" && v.type == exp::JsonValue::Type::kNumber &&
+               v.integral) {
+      meta.priority = std::clamp(static_cast<int>(v.number), 0, 9);
+    } else if (k == "deadline_s" &&
+               v.type == exp::JsonValue::Type::kNumber && v.number > 0.0) {
+      meta.deadline_s = v.number;
     }
   }
   if (!have_runs) throw std::runtime_error(path + " has no valid 'runs' key");
   return meta;
 }
 
-std::string rejected_line(const std::string& id,
-                          const std::vector<std::string>& errors) {
+/// One "rejected" event: machine-readable `reason` (the per-limit slugs of
+/// push_result_reason plus "invalid"/"persist"/"internal"), human-readable
+/// `errors`, and — for backpressure reasons only — a `retry_after_ms` drain
+/// hint (`retry_after_ms` < 0 omits the field).
+std::string rejected_line(const std::string& id, const std::string& reason,
+                          const std::vector<std::string>& errors,
+                          long retry_after_ms = -1) {
   std::vector<std::string> quoted;
   quoted.reserve(errors.size());
   for (const auto& e : errors) quoted.push_back(exp::json_quote(e));
   EventLine line("rejected");
   line.field("job", id);
+  line.field("reason", reason);
+  if (retry_after_ms >= 0) line.field("retry_after_ms", retry_after_ms);
   line.raw("errors", json_array(quoted));
   return line.str();
 }
@@ -129,7 +151,8 @@ std::string rejected_line(const std::string& id,
 JobService::JobService(ServiceConfig config, Sink broadcast)
     : config_(std::move(config)),
       broadcast_(std::move(broadcast)),
-      queue_(std::max<std::size_t>(1, config_.queue_capacity)) {
+      queue_(std::max<std::size_t>(1, config_.queue_capacity),
+             QuotaTable{config_.default_quota, config_.tenant_quotas}) {
   SchedulerConfig sc;
   sc.executors = config_.executors;
   sc.lanes = config_.lanes;
@@ -137,6 +160,8 @@ JobService::JobService(ServiceConfig config, Sink broadcast)
   sc.progress_every = config_.progress_every;
   sc.max_attempts = config_.max_attempts;
   sc.watchdog_seconds = config_.watchdog_seconds;
+  sc.preempt = config_.preempt;
+  sc.governor_tick_ms = config_.governor_tick_ms;
   sc.fault_hook = config_.fault_hook;
   // Crash-attempt accounting behind the quarantine: persist attempts+1
   // BEFORE the batch touches a single slot, take it back only on a graceful
@@ -150,12 +175,13 @@ JobService::JobService(ServiceConfig config, Sink broadcast)
     }
     if (job.dir.empty()) return;
     try {
-      write_text_file(job.dir + "/job.json",
-                      job_meta_json(job.id, job.runs, attempts));
+      write_text_file(job.dir + "/job.json", job_meta_json(job, attempts));
     } catch (const std::exception& e) {
       emit(EventLine("error").field("error", e.what()).str(), job.client);
     }
   };
+  // Fires for drains AND preemptions: both are graceful single-job stops,
+  // so neither charges the crash-attempt the matching on_start persisted.
   sc.on_interrupted = [this](Job& job) {
     int attempts = 0;
     {
@@ -164,8 +190,7 @@ JobService::JobService(ServiceConfig config, Sink broadcast)
     }
     if (job.dir.empty()) return;
     try {
-      write_text_file(job.dir + "/job.json",
-                      job_meta_json(job.id, job.runs, attempts));
+      write_text_file(job.dir + "/job.json", job_meta_json(job, attempts));
     } catch (const std::exception& e) {
       emit(EventLine("error").field("error", e.what()).str(), job.client);
     }
@@ -261,12 +286,22 @@ void JobService::handle_submit(const SubmitRequest& submit,
       job->cfg = std::move(cfg);
       job->runs = submit.runs;
       job->client = client;
+      job->tenant = submit.tenant;
+      job->priority = submit.priority;
+      job->deadline_s = submit.deadline_s;
+      if (submit.deadline_s > 0.0) {
+        job->deadline_at = ServeClock::now() +
+                           std::chrono::duration_cast<ServeClock::duration>(
+                               std::chrono::duration<double>(submit.deadline_s));
+      }
       jobs_.push_back(job);
       registered = true;
     }
   }
   if (!errors.empty()) {
-    emit(rejected_line(id, errors), client);
+    const bool drain_reject = draining_.load();
+    emit(rejected_line(id, drain_reject ? "draining" : "invalid", errors),
+         client);
     return;
   }
 
@@ -275,12 +310,13 @@ void JobService::handle_submit(const SubmitRequest& submit,
     try {
       fs::create_directories(dir);
       exp::save_spec_file(job->cfg, dir + "/spec.json");
-      write_text_file(dir + "/job.json", job_meta_json(id, job->runs, 0));
+      write_text_file(dir + "/job.json", job_meta_json(*job, 0));
       job->dir = dir;
     } catch (const std::exception& e) {
       const std::lock_guard<std::mutex> lock(jobs_mutex_);
       jobs_.erase(std::remove(jobs_.begin(), jobs_.end(), job), jobs_.end());
-      emit(rejected_line(id, {std::string("cannot persist job state: ") + e.what()}),
+      emit(rejected_line(id, "persist",
+                         {std::string("cannot persist job state: ") + e.what()}),
            client);
       return;
     }
@@ -291,7 +327,17 @@ void JobService::handle_submit(const SubmitRequest& submit,
   bool enqueued = false;
   {
     const std::lock_guard<std::mutex> lock(emit_mutex_);
-    enqueued = queue_.push(job);
+    PushOutcome outcome;
+    std::string push_error;
+    try {
+      outcome = queue_.push(job);
+    } catch (const std::exception& e) {
+      // The serve.quota.admit fault site (or any bookkeeping defect): the
+      // push mutated nothing, so this submission is rejected and the queue
+      // stays consistent for the next one.
+      push_error = e.what();
+    }
+    enqueued = push_error.empty() && outcome.accepted();
     if (enqueued) {
       write_locked(EventLine("accepted")
                        .field("job", id)
@@ -300,16 +346,42 @@ void JobService::handle_submit(const SubmitRequest& submit,
                        .field("devices", static_cast<int>(job->cfg.devices.size()))
                        .field("horizon", static_cast<int>(job->cfg.world.horizon))
                        .field("runs", job->runs)
+                       .field("tenant", job->tenant)
+                       .field("priority", job->priority)
                        .field("queue_depth", static_cast<int>(queue_.depth()))
                        .str(),
                    client);
+    } else if (!push_error.empty()) {
+      write_locked(rejected_line(id, "internal", {push_error}), client);
     } else {
-      write_locked(
-          rejected_line(id, {"queue full (capacity " +
-                             std::to_string(std::max<std::size_t>(
-                                 1, config_.queue_capacity)) +
-                             "); resubmit after the backlog shrinks"}),
-          client);
+      std::string message;
+      long retry_after_ms = -1;
+      switch (outcome.result) {
+        case PushResult::kClosed:
+          message = "server is draining; job not accepted";
+          break;
+        case PushResult::kFull:
+          message = "queue full (capacity " + std::to_string(outcome.limit) +
+                    "); resubmit after the backlog shrinks";
+          retry_after_ms = retry_after_ms_hint();
+          break;
+        case PushResult::kTenantQueued:
+          message = "tenant '" + job->tenant + "' is at its max_queued quota (" +
+                    std::to_string(outcome.limit) + " jobs queued)";
+          retry_after_ms = retry_after_ms_hint();
+          break;
+        case PushResult::kTenantDeviceSlots:
+          message = "tenant '" + job->tenant +
+                    "' is at its max_device_slots quota (" +
+                    std::to_string(outcome.limit) + " device-slots in flight)";
+          retry_after_ms = retry_after_ms_hint();
+          break;
+        case PushResult::kAccepted:
+          break;  // unreachable: enqueued above
+      }
+      write_locked(rejected_line(id, push_result_reason(outcome.result),
+                                 {message}, retry_after_ms),
+                   client);
     }
   }
   if (!enqueued && registered) {
@@ -334,8 +406,11 @@ void JobService::handle_stats(std::uint64_t client) {
       job_objs.push_back(EventLine()
                              .field("job", job->id)
                              .field("state", job_state_name(job->state))
+                             .field("tenant", job->tenant)
+                             .field("priority", job->priority)
                              .field("runs", job->runs)
                              .field("attempts", job->attempts)
+                             .field("preempts", job->preempts)
                              .field("degraded", job->degraded)
                              .field("slots_done", job->slots_done)
                              .field("device_slots_per_sec",
@@ -347,6 +422,16 @@ void JobService::handle_stats(std::uint64_t client) {
                              .str());
     }
   }
+  const QueueComposition comp = queue_.composition();
+  std::vector<std::string> slice_objs;
+  slice_objs.reserve(comp.slices.size());
+  for (const auto& slice : comp.slices) {
+    slice_objs.push_back(EventLine()
+                             .field("tenant", slice.tenant)
+                             .field("priority", slice.priority)
+                             .field("depth", slice.depth)
+                             .str());
+  }
   std::vector<std::string> failpoint_objs;
   for (const auto& fp : util::failpoint_list()) {
     failpoint_objs.push_back(EventLine()
@@ -357,7 +442,9 @@ void JobService::handle_stats(std::uint64_t client) {
                                  .str());
   }
   EventLine stats("stats");
-  stats.field("queue_depth", static_cast<int>(queue_.depth()))
+  stats.field("queue_depth", static_cast<int>(comp.depth))
+      .field("oldest_queued_age_s", comp.oldest_age_s)
+      .raw("queue_by", json_array(slice_objs))
       .field("running", scheduler_->running())
       .field("completed", scheduler_->completed())
       .field("failed", scheduler_->failed())
@@ -365,9 +452,22 @@ void JobService::handle_stats(std::uint64_t client) {
       .field("retries_total", scheduler_->retries_total())
       .field("quarantined_total", quarantined_total_.load())
       .field("degraded_jobs", scheduler_->degraded_jobs())
+      .field("preempted_total", scheduler_->preempted_total())
+      .field("shed_total", scheduler_->shed_total())
       .raw("failpoints", json_array(failpoint_objs))
       .raw("jobs", json_array(job_objs));
   emit(stats.str(), client);
+}
+
+long JobService::retry_after_ms_hint() const {
+  const double elapsed =
+      std::chrono::duration<double>(ServeClock::now() - started_at_).count();
+  const int done = scheduler_->completed() + scheduler_->failed();
+  const double backlog = static_cast<double>(queue_.depth()) + 1.0;
+  if (done <= 0 || elapsed <= 0.0) return 1000;  // no drain data yet
+  const double rate = static_cast<double>(done) / elapsed;  // jobs/sec
+  const double ms = backlog / rate * 1000.0;
+  return static_cast<long>(std::clamp(ms, 100.0, 600000.0));
 }
 
 void JobService::handle_inject(const InjectRequest& inject,
@@ -474,6 +574,17 @@ void JobService::recover_persisted_jobs() {
       job->attempts = meta.attempts;
       job->resume = true;  // checkpoints (if any) continue the old trajectory
       job->dir = dir.string();
+      job->tenant = meta.tenant;
+      job->priority = meta.priority;
+      job->deadline_s = meta.deadline_s;
+      if (meta.deadline_s > 0.0) {
+        // The wall-clock budget restarts with the server: steady_clock does
+        // not survive the process, and punishing a job for the dead server's
+        // downtime would shed work no client chose to abandon (DESIGN.md §9).
+        job->deadline_at = ServeClock::now() +
+                           std::chrono::duration_cast<ServeClock::duration>(
+                               std::chrono::duration<double>(meta.deadline_s));
+      }
       {
         const std::lock_guard<std::mutex> lock(jobs_mutex_);
         jobs_.push_back(job);
@@ -506,7 +617,10 @@ void JobService::recover_persisted_jobs() {
         continue;
       }
       const std::lock_guard<std::mutex> lock(emit_mutex_);
-      if (queue_.push(job)) {
+      // requeue, not push: this work was admitted by a previous server, so
+      // capacity and quota checks do not apply a second time (and a capacity
+      // smaller than the recovered backlog must not strand persisted jobs).
+      if (queue_.requeue(job, /*from_running=*/false)) {
         write_locked(EventLine("requeued")
                          .field("job", id)
                          .field("name", job->cfg.name)
@@ -514,7 +628,9 @@ void JobService::recover_persisted_jobs() {
                          .str(),
                      0);
       } else {
-        write_locked(rejected_line(id, {"queue full during recovery"}), 0);
+        write_locked(
+            rejected_line(id, "draining", {"server drained during recovery"}),
+            0);
       }
     } catch (const std::exception& e) {
       emit(EventLine("error")

@@ -47,6 +47,16 @@ struct ServiceConfig {
   int max_job_attempts = 3;
   double watchdog_seconds = 0.0;
   std::size_t queue_capacity = 64;  ///< pending jobs before admission rejects
+  /// Per-tenant admission quotas (DESIGN.md §9): `default_quota` applies to
+  /// every tenant without a named override in `tenant_quotas`. All-unlimited
+  /// (the default) keeps the queue on its accounting-free FIFO fast path.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Checkpoint-based preemption for higher-priority waiters; see
+  /// SchedulerConfig::preempt.
+  bool preempt = true;
+  /// Governor cadence (ms) for deadline shedding and preemption decisions.
+  int governor_tick_ms = 10;
   /// Test-only fault injection threaded into every job's RunControl.
   std::function<void(int run, Slot slot)> fault_hook;
 };
@@ -108,6 +118,10 @@ class JobService {
   std::string job_dir(const std::string& id) const;
   bool all_terminal() const;
   bool client_terminal(std::uint64_t client) const;
+  /// Backpressure hint for queue-full/quota rejections: expected milliseconds
+  /// until the backlog drains, from the service's observed completion rate
+  /// (terminal jobs / uptime). A flat 1 s before any job has finished.
+  long retry_after_ms_hint() const;
 
   ServiceConfig config_;
   Sink broadcast_;
@@ -130,6 +144,7 @@ class JobService {
   std::atomic<bool> draining_{false};
   std::atomic<bool> drained_{false};
   std::atomic<int> quarantined_total_{0};  ///< poisoned jobs since start
+  const ServeClock::time_point started_at_ = ServeClock::now();
 };
 
 /// How `run_server` listens for requests.

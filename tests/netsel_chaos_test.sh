@@ -209,6 +209,56 @@ fi
 wait "$CLIENT_PID" 2>/dev/null
 grep -q '"event": "drained"' "$WORK/sock.out" || fail "no drained event"
 
+# --- 6. preempt, SIGKILL mid-hand-off, restart: all byte-identical --------
+# A single-executor server runs the big low-priority job; a priority-9 job
+# preempts it (checkpoint flush + requeue); the server is SIGKILL'd right
+# after the hand-off. The restarted server must finish BOTH jobs with
+# summaries byte-identical to their clean references — the preemption
+# checkpoint is just another resume point, crash or no crash.
+PSTATE="$WORK/state_preempt"
+PLOW='{"type": "submit", "id": "plow", "setting": "scalability", "devices": 2000, "runs": 2}'
+PHIGH='{"type": "submit", "id": "phigh", "setting": "setting1", "horizon": 240, "runs": 2, "priority": 9}'
+"$SERVE" --socket "$SOCK" --state-dir "$PSTATE" --jobs 1 \
+    --checkpoint-every 100 >"$WORK/preempt.out" 2>&1 &
+SERVER_PID=$!
+wait_for "$WORK/preempt.out" '"event": "serving"' 10 ||
+    fail "preempt-server did not start"
+printf '%s\n' "$PLOW" | "$SERVE" --connect "$SOCK" >/dev/null 2>&1 &
+LOW_PID=$!
+wait_for "$WORK/preempt.out" '"event": "checkpointed", "job": "plow"' 60 ||
+    fail "low-priority job never checkpointed"
+printf '%s\n' "$PHIGH" | "$SERVE" --connect "$SOCK" >/dev/null 2>&1 &
+HIGH_PID=$!
+wait_for "$WORK/preempt.out" '"event": "preempted", "job": "plow"' 30 ||
+    fail "high-priority arrival did not preempt the running job"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+wait "$LOW_PID" 2>/dev/null
+wait "$HIGH_PID" 2>/dev/null
+# Restart clean: recovery requeues both unfinished jobs and runs them dry.
+"$SERVE" --stdin --state-dir "$PSTATE" --checkpoint-every 100 \
+    </dev/null >"$WORK/preempt_resume.out" 2>&1 ||
+    fail "post-preempt restart exited nonzero"
+# Either job may have completed before the SIGKILL: search both logs.
+cat "$WORK/preempt.out" "$WORK/preempt_resume.out" >"$WORK/preempt_all.out"
+P_LOW=$(extract_summary "$WORK/preempt_all.out" plow)
+P_HIGH=$(extract_summary "$WORK/preempt_all.out" phigh)
+if [ -z "$P_LOW" ]; then
+    fail "preempted job never completed after restart"
+elif [ "$P_LOW" != "$BIG_REF" ]; then
+    fail "preempt + SIGKILL forked the low-priority trajectory:
+  reference: $BIG_REF
+  resumed:   $P_LOW"
+fi
+if [ -z "$P_HIGH" ]; then
+    fail "preemptor job never completed"
+elif [ "$P_HIGH" != "$REF_SUMMARY" ]; then
+    fail "preemptor summary differs from clean reference:
+  reference: $REF_SUMMARY
+  got:       $P_HIGH"
+fi
+
 if [ "$failures" -ne 0 ]; then
     echo "$failures chaos test(s) failed" >&2
     exit 1

@@ -1,12 +1,14 @@
 #!/bin/sh
 # netsel_sim CLI contract tests: exit codes and error messages for bad
 # invocations, plus the kill-and-resume crash-recovery walkthrough from the
-# README. Run by ctest as `netsel_cli_test.sh <path-to-netsel_sim>`; a plain
-# shell script because ctest's PASS_REGULAR_EXPRESSION would override the
-# exit-code checks these cases exist to pin.
+# README. Run by ctest as `netsel_cli_test.sh <netsel_sim> [netsel_serve]`;
+# a plain shell script because ctest's PASS_REGULAR_EXPRESSION would
+# override the exit-code checks these cases exist to pin. When the serve
+# binary is given, its --help flag inventory is audited the same way.
 set -u
 
-SIM=${1:?usage: netsel_cli_test.sh <path-to-netsel_sim>}
+SIM=${1:?usage: netsel_cli_test.sh <netsel_sim> [netsel_serve]}
+SERVE=${2:-}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 failures=0
@@ -87,6 +89,45 @@ grep -oE -- '--[a-z][a-z-]*' "$WORK/help.out" | sort -u >"$WORK/flags.documented
 if ! diff -u "$WORK/flags.sorted" "$WORK/flags.documented" >"$WORK/flags.diff"; then
     fail "help text flags differ from the accepted flag list:
 $(cat "$WORK/flags.diff")"
+fi
+
+# Same audit for netsel_serve, when the binary was passed in. The list must
+# track the parser in tools/netsel_serve.cpp exactly.
+if [ -n "$SERVE" ]; then
+    if ! "$SERVE" --help >"$WORK/serve_help.out" 2>&1; then
+        fail "netsel_serve --help exited nonzero"
+    fi
+    cat >"$WORK/serve_flags.expected" <<'EOF'
+--checkpoint-every
+--connect
+--help
+--jobs
+--lanes
+--max-attempts
+--max-job-attempts
+--no-preempt
+--progress-every
+--queue
+--quota-device-slots
+--quota-queued
+--quota-running
+--socket
+--state-dir
+--stdin
+--tenant
+EOF
+    sort "$WORK/serve_flags.expected" >"$WORK/serve_flags.sorted"
+    grep -oE -- '--[a-z][a-z-]*' "$WORK/serve_help.out" | sort -u \
+        >"$WORK/serve_flags.documented"
+    if ! diff -u "$WORK/serve_flags.sorted" "$WORK/serve_flags.documented" \
+            >"$WORK/serve_flags.diff"; then
+        fail "netsel_serve help flags differ from the accepted flag list:
+$(cat "$WORK/serve_flags.diff")"
+    fi
+    "$SERVE" --tenant acme >/dev/null 2>&1
+    [ $? -eq 2 ] || fail "malformed --tenant spec did not exit 2"
+    "$SERVE" --quota-queued -1 >/dev/null 2>&1
+    [ $? -eq 2 ] || fail "negative --quota-queued did not exit 2"
 fi
 
 # A good run exits 0 (small, fast configuration).

@@ -268,5 +268,125 @@ TEST(Chaos, DrainUnderFaultsAlwaysTerminatesAndResumesIdentically) {
   }
 }
 
+/// Clean summary for an arbitrary (horizon, runs) job, nothing armed.
+std::string clean_summary(Slot horizon, int runs) {
+  EXPECT_FALSE(util::failpoints_armed());
+  exp::SettingParams params;
+  params.horizon = horizon;
+  auto cfg = exp::make_setting("setting1", params);
+  cfg.world.shards = exp::world_shards(cfg.world.shards);
+  const auto batch = exp::run_many_result(cfg, runs, 2);
+  EXPECT_TRUE(batch.all_completed());
+  std::vector<metrics::RunResult> results;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.completed[i]) results.push_back(batch.results[i]);
+  }
+  return summary_json(cfg, results);
+}
+
+/// Preemption and load shedding under randomized fault schedules. Every
+/// schedule arms `runner.preempt.flush` (the preemption checkpoint flush
+/// crashes) on top of a random crash-site draw, then forces the full
+/// overload dance: a held low-priority job, a high-priority preemptor, and
+/// a queued job whose deadline expires against the busy executor. The
+/// chaos invariants extend naturally: shedding is terminal and durable,
+/// preempt-resume completions stay byte-identical, and a crashed
+/// preemption flush is just one more absorbed attempt.
+TEST(Chaos, PreemptionAndSheddingUnderFaultsPreserveEveryInvariant) {
+  const std::uint64_t seed = chaos_seed() ^ 0x9fe3a11dc0ffee42ULL;
+  std::printf("[chaos] preempt seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  const std::string low_reference = clean_reference();
+  const std::string high_reference = clean_summary(60, 1);
+  std::mt19937_64 rng(seed);
+
+  for (int i = 0; i < 6; ++i) {
+    const util::FailpointScope guard;
+    std::mt19937_64 schedule_rng(rng());
+    Schedule schedule = arm_random_schedule(schedule_rng);
+    util::failpoint_arm("runner.preempt.flush", "once", schedule_rng());
+    schedule.armed.emplace_back("runner.preempt.flush", "once");
+    SCOPED_TRACE("preempt schedule " + std::to_string(i) + ": " +
+                 schedule.describe());
+
+    const fs::path dir = scratch_dir("preempt_" + std::to_string(i));
+    std::atomic<bool> first{false};
+    std::atomic<bool> gate{false};
+    ServiceConfig cfg;
+    cfg.state_dir = dir.string();
+    cfg.executors = 1;
+    cfg.lanes = 2;
+    cfg.checkpoint_every = 20;
+    // Absorbs the 3-crash worst case of arm_random_schedule PLUS the
+    // preemption-flush crash landing on the same run.
+    cfg.max_attempts = 5;
+    // Pin whichever job reaches an executor first, so the queue is
+    // demonstrably backed up when the preemptor and the doomed job arrive.
+    cfg.fault_hook = [&](int, Slot) {
+      if (!first.exchange(true)) {
+        while (!gate.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    };
+    JobService service(cfg, [](const std::string&) {});
+    service.start();
+    service.handle_line(
+        R"({"type": "submit", "id": "low", "setting": "setting1",)"
+        R"( "horizon": )" +
+        std::to_string(kHorizon) + R"(, "runs": )" + std::to_string(kRuns) +
+        "}");
+    for (int spins = 0; spins < 5000 && !first.load(); ++spins) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    service.handle_line(
+        R"({"type": "submit", "id": "high", "setting": "setting1",)"
+        R"( "horizon": 60, "priority": 5})");
+    service.handle_line(
+        R"({"type": "submit", "id": "doomed", "setting": "setting1",)"
+        R"( "horizon": 60, "deadline_s": 0.02})");
+    // The governor must shed "doomed" while the executor is still pinned —
+    // it can never reach a lane before its 20 ms budget expires.
+    const auto doomed = service.find_job("doomed");
+    ASSERT_NE(doomed, nullptr);
+    for (int spins = 0; spins < 5000 && doomed->state != JobState::kFailed;
+         ++spins) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(doomed->state, JobState::kFailed);
+    EXPECT_EQ(doomed->failure_reason, "deadline");
+    gate.store(true);
+    service.wait_idle();  // invariant 1: terminates
+
+    for (const char* id : {"low", "high"}) {
+      const auto job = service.find_job(id);
+      ASSERT_NE(job, nullptr) << id;
+      // Invariant 2: terminal disposition, always.
+      ASSERT_TRUE(job->state == JobState::kCompleted ||
+                  job->state == JobState::kFailed)
+          << id << ": " << job_state_name(job->state);
+      if (job->state == JobState::kCompleted) {
+        // Invariant 3: preemption, resume, and crashed preemption flushes
+        // leave no trace in the result bytes.
+        EXPECT_EQ(job->summary_json,
+                  std::string(id) == "low" ? low_reference : high_reference)
+            << id;
+      } else {
+        // Invariant 4: only the executor-exception site may fail these jobs.
+        EXPECT_TRUE(schedule.exception_armed)
+            << id << " failed with no fault licensed to fail it: "
+            << job->error;
+        EXPECT_NE(job->error.find("injected serve.executor.exception"),
+                  std::string::npos)
+            << job->error;
+      }
+      EXPECT_TRUE(fs::exists(dir / "jobs" / id / "result.json"))
+          << id << ": terminal disposition must be durable";
+    }
+    EXPECT_TRUE(fs::exists(dir / "jobs" / "doomed" / "result.json"))
+        << "a shed job's disposition must be durable";
+  }
+}
+
 }  // namespace
 }  // namespace smartexp3::serve

@@ -284,6 +284,9 @@ TEST(ServeService, QueueFullRejectsWithoutBlocking) {
   service.handle_line(
       R"({"type": "submit", "id": "c", "setting": "setting1", "horizon": 30})");
   EXPECT_TRUE(log.contains("queue full"));
+  EXPECT_TRUE(log.contains("\"reason\": \"queue-full\""));
+  EXPECT_TRUE(log.contains("\"retry_after_ms\""))
+      << "backpressure rejections must carry a drain hint";
   EXPECT_EQ(service.find_job("c"), nullptr) << "rejected job must be forgotten";
   gate.store(true);
   service.wait_idle();
@@ -700,6 +703,418 @@ TEST(ServeService, GracefulDrainDoesNotCountAsCrashAttempt) {
   ASSERT_NE(job, nullptr);
   EXPECT_EQ(job->state, JobState::kCompleted);
   EXPECT_EQ(job->summary_json, reference_summary("setting1", 240, 1));
+}
+
+TEST(ServeProtocol, ParsesOverloadControlFields) {
+  const Request r = parse_request(
+      R"({"type": "submit", "setting": "setting1", "tenant": "acme-1",)"
+      R"( "priority": 7, "deadline_s": 12.5})");
+  ASSERT_EQ(r.kind, Request::Kind::kSubmit);
+  EXPECT_EQ(r.submit.tenant, "acme-1");
+  EXPECT_EQ(r.submit.priority, 7);
+  EXPECT_EQ(r.submit.deadline_s, 12.5);
+  // Defaults: the anonymous tenant at priority 0 with no deadline.
+  const Request d =
+      parse_request(R"({"type": "submit", "setting": "setting1"})");
+  EXPECT_TRUE(d.submit.tenant.empty());
+  EXPECT_EQ(d.submit.priority, 0);
+  EXPECT_EQ(d.submit.deadline_s, 0.0);
+
+  const auto bad_submit = [](const std::string& extra) {
+    return R"({"type": "submit", "setting": "setting1", )" + extra + "}";
+  };
+  EXPECT_THROW(parse_request(bad_submit(R"("tenant": "")")), ProtocolError);
+  EXPECT_THROW(parse_request(bad_submit(R"("tenant": "a b")")), ProtocolError);
+  EXPECT_THROW(parse_request(bad_submit(R"("priority": 10)")), ProtocolError);
+  EXPECT_THROW(parse_request(bad_submit(R"("priority": -1)")), ProtocolError);
+  EXPECT_THROW(parse_request(bad_submit(R"("deadline_s": 0)")), ProtocolError);
+  EXPECT_THROW(parse_request(bad_submit(R"("deadline_s": -3)")), ProtocolError);
+  EXPECT_THROW(parse_request(bad_submit(R"("deadline_s": "soon")")),
+               ProtocolError);
+}
+
+/// Job ids of every "started" event, in emission order.
+std::vector<std::string> started_order(EventLog& log) {
+  std::vector<std::string> ids;
+  for (const auto& l : log.snapshot()) {
+    if (l.find("\"event\": \"started\"") == std::string::npos) continue;
+    const auto key = l.find("\"job\": \"");
+    if (key == std::string::npos) continue;
+    const auto begin = key + 8;
+    ids.push_back(l.substr(begin, l.find('"', begin) - begin));
+  }
+  return ids;
+}
+
+/// Like reference_summary, but with the policy and shard overrides the
+/// preemption tests submit.
+std::string reference_summary_for(const std::string& setting, Slot horizon,
+                                  int runs, const std::string& policy,
+                                  int shards) {
+  exp::SettingParams params;
+  params.horizon = horizon;
+  params.policy = policy;
+  auto cfg = exp::make_setting(setting, params);
+  cfg.world.shards = shards;
+  const auto batch = exp::run_many_result(cfg, runs, 2);
+  EXPECT_TRUE(batch.all_completed());
+  std::vector<metrics::RunResult> results;
+  for (std::size_t i = 0; i < batch.results.size(); ++i) {
+    if (batch.completed[i]) results.push_back(batch.results[i]);
+  }
+  return summary_json(cfg, results);
+}
+
+/// The preemption contract, end to end: a low-priority job is asked off its
+/// executor when a higher-priority job arrives, flushes a checkpoint,
+/// requeues, resumes after the high-priority job — and its final summary is
+/// bit-identical to an un-preempted run. The preemption is never charged as
+/// a crash attempt.
+void preempt_resume_case(const std::string& policy, int shards) {
+  SCOPED_TRACE("policy=" + policy + " shards=" + std::to_string(shards));
+  const fs::path dir =
+      scratch_dir("preempt_" + policy + "_" + std::to_string(shards));
+  EventLog log;
+  std::atomic<bool> reached{false};
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.state_dir = dir.string();
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.checkpoint_every = 20;
+  // Hold the low-priority job inside slot 100 until the gate opens, so the
+  // governor's yield decision lands while it is demonstrably mid-run.
+  cfg.fault_hook = [&](int run, Slot slot) {
+    if (run == 0 && slot == 100 && !reached.exchange(true)) {
+      while (!gate.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "low", "setting": "setting1",)"
+      R"( "horizon": 240, "policy": ")" +
+      policy + R"(", "shards": )" + std::to_string(shards) + "}");
+  while (!reached.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.handle_line(
+      R"({"type": "submit", "id": "high", "setting": "setting1",)"
+      R"( "horizon": 60, "priority": 5})");
+  const auto low = service.find_job("low");
+  ASSERT_NE(low, nullptr);
+  // The governor must ask "low" off its executor: every executor is busy and
+  // a strictly higher-priority job waits.
+  for (int i = 0; i < 5000 && !low->yield.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(low->yield.load()) << "governor never requested the yield";
+  gate.store(true);
+  service.wait_idle();
+
+  EXPECT_TRUE(log.contains("\"event\": \"preempted\""));
+  EXPECT_TRUE(log.contains("\"requeued\": true"));
+  const auto order = started_order(log);
+  ASSERT_GE(order.size(), 3u) << "low must start, yield, and start again";
+  EXPECT_EQ(order[0], "low");
+  EXPECT_EQ(order[1], "high") << "the preemptor must dispatch first";
+  const auto high = service.find_job("high");
+  ASSERT_NE(high, nullptr);
+  EXPECT_EQ(high->state, JobState::kCompleted);
+  EXPECT_EQ(low->state, JobState::kCompleted);
+  EXPECT_GE(low->preempts, 1);
+  EXPECT_EQ(low->summary_json,
+            reference_summary_for("setting1", 240, 1, policy, shards))
+      << "preempt-resume must be bit-identical to an uninterrupted run";
+  // One clean execution on the books: the preemption's on_interrupted took
+  // back the attempt it would otherwise have charged (attempts would read 2
+  // if it had been charged).
+  std::ifstream in(dir / "jobs" / "low" / "job.json");
+  const std::string meta((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(meta.find("\"attempts\": 1"), std::string::npos) << meta;
+
+  service.handle_line(R"({"type": "stats"})");
+  const exp::JsonValue doc = last_stats(log);
+  EXPECT_EQ(stats_key(doc, "preempted_total")->number, 1.0);
+  EXPECT_EQ(stats_key(doc, "shed_total")->number, 0.0);
+}
+
+TEST(ServeService, PreemptResumeBitIdenticalAcrossPoliciesAndShards) {
+  for (const std::string policy : {"smart_exp3", "exp3"}) {
+    for (const int shards : {1, 2}) preempt_resume_case(policy, shards);
+  }
+}
+
+TEST(ServeService, TenantQuotasRejectWithDistinctReasons) {
+  EventLog log;
+  std::atomic<bool> first{false};
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.default_quota.max_queued = 1;
+  TenantQuota bulk;
+  bulk.max_device_slots = 30;
+  cfg.tenant_quotas["bulk"] = bulk;
+  // Hold the first job mid-run so everything behind it stays queued.
+  cfg.fault_hook = [&](int, Slot) {
+    if (!first.exchange(true)) {
+      while (!gate.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "a", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "acme"})");
+  for (int i = 0; i < 500 && !log.contains("\"event\": \"started\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(log.contains("\"tenant\": \"acme\""))
+      << "accepted events must carry the tenant";
+  // acme may queue one job; the second queued submission trips max_queued.
+  service.handle_line(
+      R"({"type": "submit", "id": "b", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "acme"})");
+  service.handle_line(
+      R"({"type": "submit", "id": "c", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "acme"})");
+  EXPECT_TRUE(log.contains("\"reason\": \"tenant-queued\""));
+  EXPECT_TRUE(log.contains("max_queued quota"));
+  EXPECT_TRUE(log.contains("\"retry_after_ms\""));
+  EXPECT_EQ(service.find_job("c"), nullptr);
+  // bulk is capped at 30 device-slots: one 20-device job fits, two do not.
+  service.handle_line(
+      R"({"type": "submit", "id": "d1", "setting": "setting1",)"
+      R"( "horizon": 30, "devices": 20, "tenant": "bulk"})");
+  service.handle_line(
+      R"({"type": "submit", "id": "d2", "setting": "setting1",)"
+      R"( "horizon": 30, "devices": 20, "tenant": "bulk"})");
+  EXPECT_TRUE(log.contains("\"reason\": \"tenant-device-slots\""));
+  EXPECT_TRUE(log.contains("max_device_slots quota"));
+  EXPECT_EQ(service.find_job("d2"), nullptr);
+  gate.store(true);
+  service.wait_idle();
+  // Rejections shed load without starving admitted work.
+  for (const char* id : {"a", "b", "d1"}) {
+    const auto job = service.find_job(id);
+    ASSERT_NE(job, nullptr) << id;
+    EXPECT_EQ(job->state, JobState::kCompleted) << id;
+  }
+}
+
+TEST(ServeService, QueuedJobPastDeadlineIsShed) {
+  EventLog log;
+  std::atomic<bool> first{false};
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.fault_hook = [&](int, Slot) {
+    if (!first.exchange(true)) {
+      while (!gate.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "hold", "setting": "setting1",)"
+      R"( "horizon": 30})");
+  for (int i = 0; i < 500 && !log.contains("\"event\": \"started\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // 50 ms of patience against a held executor: the governor sheds it from
+  // the queue before it ever starts.
+  service.handle_line(
+      R"({"type": "submit", "id": "doomed", "setting": "setting1",)"
+      R"( "horizon": 30, "deadline_s": 0.05})");
+  for (int i = 0; i < 2000 && !log.contains("\"reason\": \"deadline\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(log.contains("\"event\": \"failed\""));
+  EXPECT_TRUE(log.contains("\"reason\": \"deadline\""));
+  const auto doomed = service.find_job("doomed");
+  ASSERT_NE(doomed, nullptr);
+  EXPECT_EQ(doomed->state, JobState::kFailed);
+  EXPECT_EQ(doomed->failure_reason, "deadline");
+  gate.store(true);
+  service.wait_idle();
+  EXPECT_EQ(service.find_job("hold")->state, JobState::kCompleted);
+  service.handle_line(R"({"type": "stats"})");
+  const exp::JsonValue doc = last_stats(log);
+  EXPECT_EQ(stats_key(doc, "shed_total")->number, 1.0);
+  EXPECT_EQ(stats_key(doc, "preempted_total")->number, 0.0);
+}
+
+TEST(ServeService, RunningJobPastDeadlineFailsTerminally) {
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  // ~2 ms per slot makes the horizon worth seconds of wall clock — far past
+  // the 100 ms budget, so the governor must kill it mid-run.
+  cfg.fault_hook = [](int, Slot) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "slow", "setting": "setting1",)"
+      R"( "horizon": 2000, "deadline_s": 0.1})");
+  service.wait_idle();
+  EXPECT_TRUE(log.contains("\"reason\": \"deadline\""));
+  EXPECT_TRUE(log.contains("wall-clock budget"));
+  const auto slow = service.find_job("slow");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_EQ(slow->state, JobState::kFailed);
+  EXPECT_EQ(slow->failure_reason, "deadline");
+}
+
+TEST(ServeService, StatsReportsQueueCompositionAndOverloadCounters) {
+  EventLog log;
+  std::atomic<bool> first{false};
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.preempt = false;  // keep "hold" on its executor while we snapshot
+  cfg.fault_hook = [&](int, Slot) {
+    if (!first.exchange(true)) {
+      while (!gate.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "hold", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "ops"})");
+  for (int i = 0; i < 500 && !log.contains("\"event\": \"started\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  service.handle_line(
+      R"({"type": "submit", "id": "q1", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "acme", "priority": 2})");
+  service.handle_line(
+      R"({"type": "submit", "id": "q2", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "acme", "priority": 2})");
+  service.handle_line(
+      R"({"type": "submit", "id": "q3", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "zeta"})");
+  service.handle_line(R"({"type": "stats"})");
+  const exp::JsonValue doc = last_stats(log);
+  EXPECT_EQ(stats_key(doc, "queue_depth")->number, 3.0);
+  EXPECT_GE(stats_key(doc, "oldest_queued_age_s")->number, 0.0);
+  const exp::JsonValue* by = stats_key(doc, "queue_by");
+  ASSERT_NE(by, nullptr);
+  ASSERT_EQ(by->array.size(), 2u) << "two (tenant, priority) buckets queued";
+  // Slices come in dispatch order: acme's priority-2 pair ahead of zeta.
+  const auto slice_field = [](const exp::JsonValue& slice, const char* key) {
+    for (const auto& [k, v] : slice.object) {
+      if (k == key) return v;
+    }
+    return exp::JsonValue{};
+  };
+  EXPECT_EQ(slice_field(by->array[0], "tenant").str, "acme");
+  EXPECT_EQ(slice_field(by->array[0], "priority").number, 2.0);
+  EXPECT_EQ(slice_field(by->array[0], "depth").number, 2.0);
+  EXPECT_EQ(slice_field(by->array[1], "tenant").str, "zeta");
+  EXPECT_EQ(slice_field(by->array[1], "depth").number, 1.0);
+  // Per-job rows carry the overload fields.
+  bool saw_hold = false;
+  for (const auto& jobv : stats_key(doc, "jobs")->array) {
+    bool has_priority = false, has_preempts = false;
+    std::string id, tenant;
+    for (const auto& [jk, jv] : jobv.object) {
+      if (jk == "job") id = jv.str;
+      if (jk == "tenant") tenant = jv.str;
+      if (jk == "priority") has_priority = true;
+      if (jk == "preempts") has_preempts = true;
+    }
+    EXPECT_TRUE(has_priority) << id;
+    EXPECT_TRUE(has_preempts) << id;
+    if (id == "hold") {
+      saw_hold = true;
+      EXPECT_EQ(tenant, "ops");
+    }
+  }
+  EXPECT_TRUE(saw_hold);
+  gate.store(true);
+  service.wait_idle();
+}
+
+TEST(ServeService, PriorityOrdersDispatchAndDefaultsStayFifo) {
+  EventLog log;
+  std::atomic<bool> first{false};
+  std::atomic<bool> gate{false};
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.preempt = false;  // dispatch order only; preemption has its own test
+  cfg.fault_hook = [&](int, Slot) {
+    if (!first.exchange(true)) {
+      while (!gate.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "submit", "id": "hold", "setting": "setting1",)"
+      R"( "horizon": 30})");
+  for (int i = 0; i < 500 && !log.contains("\"event\": \"started\""); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Two default-priority jobs, then a priority-9 one: the queue (with no
+  // quota table, i.e. the FIFO fast path) must keep f1 before f2 yet let
+  // p9 jump both.
+  service.handle_line(
+      R"({"type": "submit", "id": "f1", "setting": "setting1", "horizon": 30})");
+  service.handle_line(
+      R"({"type": "submit", "id": "f2", "setting": "setting1", "horizon": 30})");
+  service.handle_line(
+      R"({"type": "submit", "id": "p9", "setting": "setting1",)"
+      R"( "horizon": 30, "priority": 9})");
+  gate.store(true);
+  service.wait_idle();
+  const std::vector<std::string> expected = {"hold", "p9", "f1", "f2"};
+  EXPECT_EQ(started_order(log), expected);
+}
+
+TEST(ServeService, InjectedAdmissionFaultRejectsInternalAndRecovers) {
+  const util::FailpointScope guard;
+  EventLog log;
+  ServiceConfig cfg;
+  cfg.executors = 1;
+  cfg.lanes = 1;
+  cfg.default_quota.max_queued = 8;  // non-empty quota table: accounting on
+  JobService service(cfg, log.sink());
+  service.start();
+  service.handle_line(
+      R"({"type": "inject", "site": "serve.quota.admit", "mode": "once"})");
+  service.handle_line(
+      R"({"type": "submit", "id": "unlucky", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "t"})");
+  EXPECT_TRUE(log.contains("\"reason\": \"internal\""));
+  EXPECT_TRUE(log.contains("injected serve.quota.admit"));
+  EXPECT_EQ(service.find_job("unlucky"), nullptr);
+  // The fault mutated nothing: the very next submission sails through.
+  service.handle_line(
+      R"({"type": "submit", "id": "fine", "setting": "setting1",)"
+      R"( "horizon": 30, "tenant": "t"})");
+  service.wait_idle();
+  const auto fine = service.find_job("fine");
+  ASSERT_NE(fine, nullptr);
+  EXPECT_EQ(fine->state, JobState::kCompleted);
 }
 
 }  // namespace

@@ -63,19 +63,33 @@ void print_help() {
       "                   before recovery quarantines it as poisoned\n"
       "                   (default 3; 0 disables; needs --state-dir)\n"
       "  --queue N        pending-job capacity before admission rejects\n"
-      "                   (default 64)\n"
+      "                   (default 64)\n\n"
+      "overload control (DESIGN.md §9):\n"
+      "  --quota-queued N       default per-tenant queued-job quota\n"
+      "                   (0 = unlimited, the default)\n"
+      "  --quota-running N      default per-tenant running-job quota (0 = unlimited)\n"
+      "  --quota-device-slots N default per-tenant device-slots (devices x runs)\n"
+      "                   in flight (0 = unlimited)\n"
+      "  --tenant NAME=Q:R:D    per-tenant override of the three quotas\n"
+      "                   (queued:running:device-slots, 0 = unlimited; repeatable)\n"
+      "  --no-preempt     disable checkpoint-based preemption: jobs run to\n"
+      "                   completion even when higher-priority work waits\n"
       "  -h, --help       show this help\n\n"
       "requests (one JSON object per line):\n"
       "  {\"type\": \"submit\", \"setting\": \"setting1\", \"runs\": 4, \"policy\": \"exp3\"}\n"
       "  {\"type\": \"submit\", \"id\": \"big\", \"setting\": \"scalability_xl\"}\n"
       "  {\"type\": \"submit\", \"spec\": { ... ScenarioSpec object ... }}\n"
+      "  {\"type\": \"submit\", \"setting\": \"setting1\", \"tenant\": \"alice\",\n"
+      "   \"priority\": 7, \"deadline_s\": 120}\n"
       "  {\"type\": \"stats\"}\n"
       "  {\"type\": \"inject\", \"site\": \"checkpoint.write.enospc\", \"mode\": \"1in3\"}\n"
       "  {\"type\": \"drain\"}\n\n"
       "events (one JSON object per line): serving, accepted, rejected,\n"
-      "  requeued, started, progress, checkpointed, degraded, completed,\n"
-      "  failed, interrupted, stats, injected, draining, drained, error —\n"
-      "  see DESIGN.md §7.\n\n"
+      "  requeued, started, progress, checkpointed, degraded, preempted,\n"
+      "  completed, failed, interrupted, stats, injected, draining, drained,\n"
+      "  error — see DESIGN.md §7/§9. rejected events carry a per-limit\n"
+      "  \"reason\" (draining/queue-full/tenant-queued/tenant-device-slots/\n"
+      "  invalid/persist) and, for backpressure, a \"retry_after_ms\" hint.\n\n"
       "fault injection: arm failpoints at startup with\n"
       "  NETSEL_FAILPOINTS=site=mode,... (+ NETSEL_FAILPOINT_SEED) or at\n"
       "  runtime with \"inject\" requests (mode \"off\" disarms) — DESIGN.md §8.\n\n"
@@ -161,6 +175,43 @@ int main(int argc, char** argv) {
       const int queue = parse_int_arg("--queue", need_value("--queue"));
       if (queue < 1) usage_error("--queue must be >= 1");
       config.service.queue_capacity = static_cast<std::size_t>(queue);
+    } else if (arg == "--quota-queued") {
+      const int n = parse_int_arg("--quota-queued", need_value("--quota-queued"));
+      if (n < 0) usage_error("--quota-queued must be >= 0 (0 = unlimited)");
+      config.service.default_quota.max_queued = n;
+    } else if (arg == "--quota-running") {
+      const int n =
+          parse_int_arg("--quota-running", need_value("--quota-running"));
+      if (n < 0) usage_error("--quota-running must be >= 0 (0 = unlimited)");
+      config.service.default_quota.max_running = n;
+    } else if (arg == "--quota-device-slots") {
+      const int n = parse_int_arg("--quota-device-slots",
+                                  need_value("--quota-device-slots"));
+      if (n < 0) {
+        usage_error("--quota-device-slots must be >= 0 (0 = unlimited)");
+      }
+      config.service.default_quota.max_device_slots = n;
+    } else if (arg == "--tenant") {
+      const std::string spec = need_value("--tenant");
+      const auto eq = spec.find('=');
+      const auto c1 = spec.find(':', eq == std::string::npos ? 0 : eq + 1);
+      const auto c2 = c1 == std::string::npos ? std::string::npos
+                                              : spec.find(':', c1 + 1);
+      if (eq == std::string::npos || eq == 0 || c1 == std::string::npos ||
+          c2 == std::string::npos) {
+        usage_error("--tenant needs NAME=QUEUED:RUNNING:DEVICE_SLOTS, got '" +
+                    spec + "'");
+      }
+      serve::TenantQuota q;
+      q.max_queued = parse_int_arg("--tenant", spec.substr(eq + 1, c1 - eq - 1));
+      q.max_running = parse_int_arg("--tenant", spec.substr(c1 + 1, c2 - c1 - 1));
+      q.max_device_slots = parse_int_arg("--tenant", spec.substr(c2 + 1));
+      if (q.max_queued < 0 || q.max_running < 0 || q.max_device_slots < 0) {
+        usage_error("--tenant quotas must be >= 0 (0 = unlimited)");
+      }
+      config.service.tenant_quotas[spec.substr(0, eq)] = q;
+    } else if (arg == "--no-preempt") {
+      config.service.preempt = false;
     } else {
       usage_error("unknown option '" + arg + "'");
     }
